@@ -1,0 +1,37 @@
+//! # textmr-apps — the paper's benchmark applications
+//!
+//! The six applications of Section II-B, plus the SynText parameterizable
+//! benchmark of Section V-D, written against `textmr-engine`'s byte-level
+//! [`textmr_engine::job::Job`] interface exactly as their Hadoop originals
+//! were written against Hadoop's:
+//!
+//! | app | kind | key skew | map CPU | combine behaviour |
+//! |---|---|---|---|---|
+//! | [`wordcount::WordCount`] | text | Zipf ≈ 1 | light | collapses to 8 B |
+//! | [`inverted_index::InvertedIndex`] | text | Zipf ≈ 1 | light | concatenates (storage-intensive) |
+//! | [`pos_tag::WordPosTag`] | text | Zipf ≈ 1 | very heavy (HMM) | collapses to counters |
+//! | [`access_log::AccessLogSum`] | relational | Zipf 0.8 | light | collapses to 8 B |
+//! | [`access_log::AccessLogJoin`] | relational | Zipf 0.8 | light | none (join) |
+//! | [`pagerank::PageRank`] | graph | Zipf 1 (in-links) | light | sums contributions |
+//! | [`syntext::SynText`] | synthetic | Zipf ≈ 1 | parameter | parameter β |
+//!
+//! None of the applications knows anything about frequency-buffering or
+//! spill-matcher — the paper's "no user code changes" claim is structural
+//! here: optimizations are installed purely through the engine's
+//! `JobConfig`.
+
+#![warn(missing_docs)]
+
+pub mod access_log;
+pub mod inverted_index;
+pub mod pagerank;
+pub mod pos_tag;
+pub mod syntext;
+pub mod wordcount;
+
+pub use access_log::{AccessLogJoin, AccessLogSum, SOURCE_RANKINGS, SOURCE_VISITS};
+pub use inverted_index::InvertedIndex;
+pub use pagerank::PageRank;
+pub use pos_tag::WordPosTag;
+pub use syntext::SynText;
+pub use wordcount::WordCount;

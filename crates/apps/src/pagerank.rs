@@ -1,0 +1,229 @@
+//! PageRank — one iteration of the classic algorithm over a web crawl.
+//!
+//! Input records are adjacency lines `page|rank|out1,out2,...`. The map
+//! function emits two kinds of data, per the paper: `(page, (0, outlinks))`
+//! to reconstruct the graph, plus `(target, rank/outdeg)` for every
+//! out-link. Combine and reduce sum contributions; reduce re-emits the
+//! adjacency line with the new rank so iterations chain.
+//!
+//! PageRank sits between the text and relational workloads: a large
+//! intermediate set with moderately skewed keys (in-link popularity is
+//! Zipf α = 1, flatter than word frequencies), plus comparatively more
+//! reduce-side shuffle — which is why its gains fall between the two
+//! groups in Table III.
+
+use textmr_engine::codec::encode_u64;
+use textmr_engine::job::{Emit, Job, Record, ValueCursor, ValueSink};
+
+/// Intermediate value tags.
+const TAG_STRUCTURE: u8 = 0;
+const TAG_CONTRIB: u8 = 1;
+
+/// Fixed-point scale for rank arithmetic: 1.0 rank = 10^18 atto-units.
+/// Floating-point addition is not associative, and a combiner may group
+/// values arbitrarily, so rank contributions are summed in integer
+/// atto-units — total rank mass is 1, so a single value never overflows.
+const ATTO: u64 = 1_000_000_000_000_000_000;
+
+fn rank_to_atto(rank: f64) -> u64 {
+    (rank.clamp(0.0, 1.0) * ATTO as f64).round() as u64
+}
+
+fn atto_to_string(atto: u64) -> String {
+    // 12 decimal digits, matching the output precision the line format
+    // carries between iterations.
+    format!("{}.{:012}", atto / ATTO, (atto % ATTO) / 1_000_000)
+}
+
+/// The PageRank job (one iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct PageRank {
+    /// Total pages N (for the teleport term).
+    pub num_pages: u64,
+    /// Damping factor d (0.85 is standard).
+    pub damping: f64,
+}
+
+impl PageRank {
+    /// One iteration over a crawl of `num_pages` pages, d = 0.85.
+    pub fn new(num_pages: u64) -> Self {
+        PageRank { num_pages, damping: 0.85 }
+    }
+}
+
+/// Parse an adjacency line `page|rank|links`; `None` if malformed.
+/// (The same format `textmr_data::graph` generates.)
+pub fn parse_page_line(line: &[u8]) -> Option<(u64, f64, &[u8])> {
+    let mut it = line.splitn(3, |&b| b == b'|');
+    let page: u64 = std::str::from_utf8(it.next()?).ok()?.parse().ok()?;
+    let rank: f64 = std::str::from_utf8(it.next()?).ok()?.parse().ok()?;
+    let links = it.next().unwrap_or(b"");
+    Some((page, rank, links))
+}
+
+/// Decode a reduce-output value back into `(rank, links)`.
+pub fn decode_output(v: &[u8]) -> Option<(f64, &str)> {
+    let s = std::str::from_utf8(v).ok()?;
+    let (rank, links) = s.split_once('|')?;
+    Some((rank.parse().ok()?, links))
+}
+
+impl Job for PageRank {
+    fn name(&self) -> &str {
+        "PageRank"
+    }
+
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+        let Some((page, rank, links)) = parse_page_line(record.value) else { return };
+        // Graph structure: (page, TAG_STRUCTURE ++ links).
+        let mut v = Vec::with_capacity(links.len() + 1);
+        v.push(TAG_STRUCTURE);
+        v.extend_from_slice(links);
+        emit.emit(&encode_u64(page), &v);
+        // Rank contributions.
+        let targets = links.split(|&b| b == b',').filter(|s| !s.is_empty());
+        let outdeg = links.split(|&b| b == b',').filter(|s| !s.is_empty()).count();
+        if outdeg == 0 {
+            return;
+        }
+        let share = rank_to_atto(rank) / outdeg as u64;
+        let mut cv = [0u8; 9];
+        cv[0] = TAG_CONTRIB;
+        cv[1..].copy_from_slice(&share.to_be_bytes());
+        for t in targets {
+            let Ok(target) = std::str::from_utf8(t).unwrap_or("").parse::<u64>() else {
+                continue;
+            };
+            emit.emit(&encode_u64(target), &cv);
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+        // Sum contributions into one value; pass structure through.
+        let mut sum = 0u64;
+        let mut any_contrib = false;
+        while let Some(v) = values.next() {
+            match v.first() {
+                Some(&TAG_CONTRIB) if v.len() == 9 => {
+                    sum += u64::from_be_bytes(v[1..9].try_into().expect("8-byte share"));
+                    any_contrib = true;
+                }
+                Some(&TAG_STRUCTURE) => out.push(v),
+                _ => {}
+            }
+        }
+        if any_contrib {
+            let mut cv = [0u8; 9];
+            cv[0] = TAG_CONTRIB;
+            cv[1..].copy_from_slice(&sum.to_be_bytes());
+            out.push(&cv);
+        }
+    }
+
+    fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+        let mut sum = 0u64;
+        let mut links: Vec<u8> = Vec::new();
+        while let Some(v) = values.next() {
+            match v.first() {
+                Some(&TAG_CONTRIB) if v.len() == 9 => {
+                    sum += u64::from_be_bytes(v[1..9].try_into().expect("8-byte share"));
+                }
+                Some(&TAG_STRUCTURE) => {
+                    links.clear();
+                    links.extend_from_slice(&v[1..]);
+                }
+                _ => {}
+            }
+        }
+        // new = (1−d)/N + d·sum, evaluated in integer atto-units (u128
+        // intermediates) so the result is independent of combine grouping.
+        let damping_pct = (self.damping * 100.0).round() as u128;
+        let teleport = (ATTO as u128 * (100 - damping_pct) / 100) / self.num_pages as u128;
+        let new_atto = (teleport + sum as u128 * damping_pct / 100) as u64;
+        let mut value = atto_to_string(new_atto).into_bytes();
+        value.push(b'|');
+        value.extend_from_slice(&links);
+        out.emit(key, &value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig};
+    use textmr_engine::codec::decode_u64;
+    use textmr_engine::io::dfs::SimDfs;
+
+    fn run_iteration(lines: &[&str], n: u64) -> HashMap<u64, (f64, String)> {
+        let cluster = ClusterConfig::single_node();
+        let mut dfs = SimDfs::new(1, 1 << 16);
+        dfs.put("graph", (lines.join("\n") + "\n").into_bytes());
+        let run = run_job(
+            &cluster,
+            &JobConfig::default().with_reducers(2),
+            Arc::new(PageRank::new(n)),
+            &dfs,
+            &[("graph", 0)],
+        )
+        .unwrap();
+        run.sorted_pairs()
+            .into_iter()
+            .map(|(k, v)| {
+                let (rank, links) = decode_output(&v).unwrap();
+                (decode_u64(&k).unwrap(), (rank, links.to_string()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_page_cycle_conserves_rank() {
+        // 0 → 1, 1 → 0, both start at 0.5: ranks stay 0.5.
+        let out = run_iteration(&["0|0.5|1", "1|0.5|0"], 2);
+        assert!((out[&0].0 - 0.5).abs() < 1e-9, "{out:?}");
+        assert!((out[&1].0 - 0.5).abs() < 1e-9);
+        assert_eq!(out[&0].1, "1");
+        assert_eq!(out[&1].1, "0");
+    }
+
+    #[test]
+    fn sink_page_gets_teleport_only() {
+        // Page 2 has no in-links: rank = (1-d)/N.
+        let out = run_iteration(&["0|0.5|1", "1|0.5|0", "2|0.0|0"], 3);
+        assert!((out[&2].0 - 0.15 / 3.0).abs() < 1e-9, "{out:?}");
+    }
+
+    #[test]
+    fn contributions_split_across_outlinks() {
+        // 0 → {1,2} with rank 1.0: each target gets d·0.5 + teleport.
+        let out = run_iteration(&["0|1.0|1,2", "1|0.0|0", "2|0.0|0"], 3);
+        let expect = 0.15 / 3.0 + 0.85 * 0.5;
+        assert!((out[&1].0 - expect).abs() < 1e-9, "{out:?}");
+        assert!((out[&2].0 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_chains_as_input() {
+        let out = run_iteration(&["0|0.5|1", "1|0.5|0"], 2);
+        // Rebuild input lines from the output and parse them back.
+        for (page, (rank, links)) in out {
+            let line = format!("{page}|{rank}|{links}");
+            let (p2, r2, l2) = parse_page_line(line.as_bytes()).unwrap();
+            assert_eq!(p2, page);
+            assert!((r2 - rank).abs() < 1e-9);
+            assert_eq!(l2, links.as_bytes());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_page_line(b"x|y|z").is_none());
+        assert!(parse_page_line(b"").is_none());
+        assert!(parse_page_line(b"1|0.5|").is_some());
+    }
+}

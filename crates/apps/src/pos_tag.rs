@@ -1,0 +1,180 @@
+//! WordPOSTag — part-of-speech statistics over a corpus.
+//!
+//! "For each word, map() emits an array of counters, each counts the times
+//! this word is of a certain type, and reduce() sums the counters up to
+//! get the final POS statistics of all words." The map function runs the
+//! `textmr-nlp` HMM tagger and is by far the most CPU-intensive of the six
+//! applications (the paper's WordPOSTag runs ~35× WordCount); its support
+//! thread is consequently ~95 % idle (Table II).
+//!
+//! Values are `NUM_TAGS` varint counters.
+
+use std::sync::Arc;
+use textmr_engine::codec::{read_varint, write_varint};
+use textmr_engine::job::{Emit, Job, Record, ValueCursor, ValueSink};
+use textmr_nlp::{Tag, Tagger, TaggerConfig, NUM_TAGS};
+
+/// Per-word tag-count vector.
+pub type TagCounts = [u64; NUM_TAGS];
+
+/// Serialize a tag-count vector.
+pub fn encode_counts(counts: &TagCounts, out: &mut Vec<u8>) {
+    for &c in counts {
+        write_varint(out, c);
+    }
+}
+
+/// Deserialize a tag-count vector; `None` on malformed bytes.
+pub fn decode_counts(buf: &[u8]) -> Option<TagCounts> {
+    let mut pos = 0usize;
+    let mut out = [0u64; NUM_TAGS];
+    for slot in &mut out {
+        *slot = read_varint(buf, &mut pos)?;
+    }
+    Some(out)
+}
+
+/// The WordPOSTag job. The tagger is built once and shared by all tasks.
+pub struct WordPosTag {
+    tagger: Arc<Tagger>,
+}
+
+impl WordPosTag {
+    /// Job with the benchmark's default CPU intensity (two posterior
+    /// rescoring passes on top of Viterbi, approximating OpenNLP's cost).
+    pub fn new() -> Self {
+        Self::with_config(TaggerConfig { posterior_passes: 2 })
+    }
+
+    /// Job with an explicit tagger configuration (CPU-intensity knob).
+    pub fn with_config(cfg: TaggerConfig) -> Self {
+        WordPosTag { tagger: Arc::new(Tagger::new(cfg)) }
+    }
+}
+
+impl Default for WordPosTag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn sum_count_values(values: &mut dyn ValueCursor) -> TagCounts {
+    let mut total = [0u64; NUM_TAGS];
+    while let Some(v) = values.next() {
+        if let Some(c) = decode_counts(v) {
+            for (t, x) in total.iter_mut().zip(c) {
+                *t += x;
+            }
+        }
+    }
+    total
+}
+
+impl Job for WordPosTag {
+    fn name(&self) -> &str {
+        "WordPOSTag"
+    }
+
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+        let line = std::str::from_utf8(record.value).unwrap_or("");
+        let mut buf = Vec::with_capacity(NUM_TAGS + 4);
+        for (word, tag) in self.tagger.tag_line(line) {
+            let mut counts = [0u64; NUM_TAGS];
+            counts[tag.index()] = 1;
+            buf.clear();
+            encode_counts(&counts, &mut buf);
+            emit.emit(word.as_bytes(), &buf);
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+        let total = sum_count_values(values);
+        let mut buf = Vec::with_capacity(NUM_TAGS + 4);
+        encode_counts(&total, &mut buf);
+        out.push(&buf);
+    }
+
+    fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+        let total = sum_count_values(values);
+        let mut buf = Vec::with_capacity(NUM_TAGS + 4);
+        encode_counts(&total, &mut buf);
+        out.emit(key, &buf);
+    }
+}
+
+/// Human-readable dominant tag of a count vector (for examples/benches).
+pub fn dominant_tag(counts: &TagCounts) -> Tag {
+    let mut best = 0usize;
+    for i in 1..NUM_TAGS {
+        if counts[i] > counts[best] {
+            best = i;
+        }
+    }
+    Tag::from_index(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig};
+    use textmr_engine::io::dfs::SimDfs;
+
+    fn run(text: &str) -> HashMap<String, TagCounts> {
+        let cluster = ClusterConfig::single_node();
+        let mut dfs = SimDfs::new(1, 1 << 16);
+        dfs.put("in", text.as_bytes().to_vec());
+        let run = run_job(
+            &cluster,
+            &JobConfig::default().with_reducers(2),
+            Arc::new(WordPosTag::new()),
+            &dfs,
+            &[("in", 0)],
+        )
+        .unwrap();
+        run.sorted_pairs()
+            .into_iter()
+            .map(|(k, v)| (String::from_utf8(k).unwrap(), decode_counts(&v).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn counts_roundtrip() {
+        let mut c = [0u64; NUM_TAGS];
+        c[3] = 7;
+        c[11] = 1;
+        let mut buf = Vec::new();
+        encode_counts(&c, &mut buf);
+        assert_eq!(decode_counts(&buf), Some(c));
+        assert_eq!(decode_counts(&buf[..buf.len() - 1]), None);
+    }
+
+    #[test]
+    fn word_statistics_sum_occurrences() {
+        let stats = run("The dog runs. The cat sits.\n");
+        let the = stats["the"];
+        assert_eq!(the.iter().sum::<u64>(), 2);
+        assert_eq!(dominant_tag(&the), Tag::Det);
+    }
+
+    #[test]
+    fn every_word_token_is_counted_once() {
+        let text = "Alpha beta gamma. Delta epsilon.\n";
+        let stats = run(text);
+        let total: u64 = stats.values().map(|c| c.iter().sum::<u64>()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn ambiguous_words_can_split_tags() {
+        // Same surface form in two syntactic positions may receive
+        // different tags; the counter vector accumulates both.
+        let stats = run("The light is on. They light fires.\n");
+        let light = stats["light"];
+        assert_eq!(light.iter().sum::<u64>(), 2);
+    }
+}

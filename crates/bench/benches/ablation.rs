@@ -1,0 +1,240 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * spill fraction sweep on the virtual pipeline — validates that Eq. 1's
+//!   `x* = max{c/(p+c), ½}` minimizes pipeline span across rate regimes;
+//! * frequency-buffer `k` sweep — absorption and end-to-end cost vs table
+//!   size;
+//! * spill-matcher smoothing — last-spill-only (the paper) vs EWMA under
+//!   noisy rates;
+//! * frequent-key registry — the cost of re-profiling in every task vs
+//!   sharing the first task's frozen top-k.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use textmr_core::model::RateModel;
+use textmr_core::{
+    optimized, FreqBufferConfig, FrequentKeyRegistry, OptimizationConfig, SpillMatcherConfig,
+};
+use textmr_data::text::CorpusConfig;
+use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig};
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::task::pipeline::{Admission, Pipeline};
+
+/// Drive the engine's discrete pipeline at constant rates; return the
+/// virtual span.
+fn pipeline_span(x: f64, produce_ns: u64, consume_per_byte: u64, records: usize) -> u64 {
+    let mut p = Pipeline::new(64 << 10, x);
+    let rec = 128usize;
+    for _ in 0..records {
+        if p.admit(rec) == Admission::SpillThenAppend {
+            let b = p.active_bytes();
+            p.handover(b as u64 * consume_per_byte);
+        }
+        p.appended(rec);
+        p.produce(produce_ns);
+        if p.should_spill() {
+            let b = p.active_bytes();
+            p.handover(b as u64 * consume_per_byte);
+        }
+    }
+    p.drain_barrier();
+    if p.active_bytes() > 0 {
+        let b = p.active_bytes();
+        p.handover(b as u64 * consume_per_byte);
+    }
+    p.pipeline_end()
+}
+
+/// Not a timing benchmark: prints the fraction sweep next to Eq. 1's
+/// prediction once, then benchmarks the pipeline state machine's own
+/// overhead at the optimum.
+fn ablation_spill_fraction(c: &mut Criterion) {
+    println!("\n== ablation: spill fraction sweep (virtual span, lower is better) ==");
+    for (produce_ns, consume_per_byte, label) in
+        [(64u64, 2u64, "consumer-slower"), (512, 1, "producer-slower"), (128, 1, "balanced")]
+    {
+        let model = RateModel {
+            p: 128.0 / produce_ns as f64,
+            c: 1.0 / consume_per_byte as f64,
+            capacity: (64 << 10) as f64,
+        };
+        let x_star = model.optimal_fraction();
+        print!("{label:<16} x*={x_star:.2} | spans: ");
+        let mut best = (0.0, u64::MAX);
+        for tenths in 1..=9 {
+            let x = tenths as f64 / 10.0;
+            let span = pipeline_span(x, produce_ns, consume_per_byte, 20_000);
+            if span < best.1 {
+                best = (x, span);
+            }
+            print!("{x:.1}:{:.1}ms ", span as f64 / 1e6);
+        }
+        println!("| empirical best x={:.1}", best.0);
+    }
+    let mut g = c.benchmark_group("pipeline_overhead");
+    g.bench_function("state_machine_20k_records", |b| {
+        b.iter(|| black_box(pipeline_span(0.5, 128, 1, 20_000)))
+    });
+    g.finish();
+}
+
+fn corpus_dfs(nodes: usize) -> SimDfs {
+    let mut dfs = SimDfs::new(nodes, 512 << 10);
+    dfs.put(
+        "corpus",
+        CorpusConfig { lines: 6_000, vocab_size: 20_000, ..Default::default() }.generate_bytes(),
+    );
+    dfs
+}
+
+fn bench_cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::local();
+    c.spill_buffer_bytes = 64 << 10;
+    c
+}
+
+fn ablation_freq_k(c: &mut Criterion) {
+    let cluster = bench_cluster();
+    let dfs = corpus_dfs(cluster.nodes);
+    let mut g = c.benchmark_group("freq_buffer_k");
+    g.sample_size(10);
+    for k in [100usize, 1000, 5000] {
+        g.bench_with_input(BenchmarkId::new("wordcount", k), &k, |b, &k| {
+            let cfg = optimized(
+                JobConfig::default().with_reducers(6),
+                OptimizationConfig::freq_only(FreqBufferConfig {
+                    k,
+                    sampling_fraction: Some(0.05),
+                    ..Default::default()
+                }),
+            );
+            b.iter(|| {
+                black_box(
+                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
+                        .unwrap()
+                        .profile
+                        .wall,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_smoothing(c: &mut Criterion) {
+    let cluster = bench_cluster();
+    let dfs = corpus_dfs(cluster.nodes);
+    let mut g = c.benchmark_group("spill_matcher_smoothing");
+    g.sample_size(10);
+    for (label, lambda) in [("paper_last_spill", 1.0), ("ewma_0.5", 0.5)] {
+        g.bench_function(label, |b| {
+            let cfg = optimized(
+                JobConfig::default().with_reducers(6),
+                OptimizationConfig::spill_only(SpillMatcherConfig {
+                    smoothing: lambda,
+                    ..Default::default()
+                }),
+            );
+            b.iter(|| {
+                black_box(
+                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
+                        .unwrap()
+                        .profile
+                        .wall,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_registry(c: &mut Criterion) {
+    let cluster = bench_cluster();
+    let dfs = corpus_dfs(cluster.nodes);
+    let mut g = c.benchmark_group("frequent_key_registry");
+    g.sample_size(10);
+    for (label, share) in [("shared_per_node", true), ("profile_every_task", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                // The registry is job-scoped: rebuild per iteration.
+                let mut cfg = JobConfig::default().with_reducers(6);
+                let freq = FreqBufferConfig {
+                    k: 2000,
+                    sampling_fraction: Some(0.1),
+                    ..Default::default()
+                };
+                let registry = share.then(|| Arc::new(FrequentKeyRegistry::new()));
+                cfg.emit_filter =
+                    Some(textmr_core::frequency_buffer_factory(freq, registry));
+                black_box(
+                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
+                        .unwrap()
+                        .profile
+                        .wall,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_compression(c: &mut Criterion) {
+    // Compression trades map CPU for shuffle bytes; on the EC2-like
+    // network the trade should pay off for shuffle-heavy jobs.
+    let mut cluster = ClusterConfig::ec2();
+    cluster.spill_buffer_bytes = 64 << 10;
+    let dfs = corpus_dfs(cluster.nodes);
+    let mut g = c.benchmark_group("map_output_compression");
+    g.sample_size(10);
+    for (label, compress) in [("plain", false), ("compressed", true)] {
+        g.bench_function(label, |b| {
+            let mut cl = cluster.clone();
+            cl.compress_map_output = compress;
+            let cfg = JobConfig::default().with_reducers(12);
+            b.iter(|| {
+                let run = run_job(
+                    &cl,
+                    &cfg,
+                    Arc::new(textmr_apps::InvertedIndex),
+                    &dfs,
+                    &[("corpus", 0)],
+                )
+                .unwrap();
+                black_box(run.profile.wall)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_grouping(c: &mut Criterion) {
+    // Sort-merge vs hash grouping on the reduce side (Sec. II-A's
+    // alternative): hash grouping skips the merge sort but loses ordered
+    // output.
+    use textmr_engine::task::reduce_task::Grouping;
+    let cluster = bench_cluster();
+    let dfs = corpus_dfs(cluster.nodes);
+    let mut g = c.benchmark_group("reduce_grouping");
+    g.sample_size(10);
+    for (label, grouping) in [("sort_merge", Grouping::Sort), ("hash", Grouping::Hash)] {
+        g.bench_function(label, |b| {
+            let mut cfg = JobConfig::default().with_reducers(6);
+            cfg.grouping = grouping;
+            b.iter(|| {
+                let run =
+                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
+                        .unwrap();
+                black_box(run.profile.wall)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_spill_fraction, ablation_freq_k, ablation_smoothing, ablation_registry,
+              ablation_compression, ablation_grouping
+}
+criterion_main!(ablation);

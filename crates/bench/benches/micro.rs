@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks for the core data structures: the costs
+//! that decide whether frequency-buffering's bookkeeping pays for itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use textmr_core::space_saving::SpaceSaving;
+use textmr_data::words::word_for_rank;
+use textmr_data::zipf::{ZipfRejection, ZipfTable};
+use textmr_engine::codec::{encode_u64, read_record, write_record};
+use textmr_engine::job::{Emit, Job, Record, ValueCursor};
+use textmr_engine::task::segment::Segment;
+use textmr_engine::task::spill::sort_indices;
+use textmr_nlp::tokenizer;
+
+/// A Zipf(1.0) word-key stream for sketch/sort benchmarks.
+fn zipf_keys(n: usize, universe: usize) -> Vec<Vec<u8>> {
+    let table = ZipfTable::new(universe, 1.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| word_for_rank(table.sample(&mut rng)).into_bytes()).collect()
+}
+
+fn bench_space_saving(c: &mut Criterion) {
+    let keys = zipf_keys(100_000, 50_000);
+    let mut g = c.benchmark_group("space_saving");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    for k in [100usize, 1000, 10_000] {
+        g.bench_with_input(BenchmarkId::new("offer", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ss = SpaceSaving::new(k);
+                for key in &keys {
+                    ss.offer(black_box(key));
+                }
+                black_box(ss.len())
+            })
+        });
+    }
+    // Exact counting baseline: what the sketch's bounded memory buys.
+    g.bench_function("exact_hashmap", |b| {
+        b.iter(|| {
+            let mut m: HashMap<&[u8], u64> = HashMap::new();
+            for key in &keys {
+                *m.entry(black_box(key.as_slice())).or_default() += 1;
+            }
+            black_box(m.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_zipf_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf_sampler");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("table_m1e5", |b| {
+        let t = ZipfTable::new(100_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += t.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("rejection_m1e5", |b| {
+        let t = ZipfRejection::new(100_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += t.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Minimal job for sort benchmarking (bytewise comparator).
+struct PlainJob;
+impl Job for PlainJob {
+    fn name(&self) -> &str {
+        "plain"
+    }
+    fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+    fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spill_sort");
+    for &dup in &["zipf", "unique"] {
+        let keys = if dup == "zipf" {
+            zipf_keys(50_000, 5_000)
+        } else {
+            (0..50_000).map(|i| format!("key{i:08}").into_bytes()).collect()
+        };
+        let mut seg = Segment::new();
+        for k in &keys {
+            seg.push(0, k, &encode_u64(1));
+        }
+        g.throughput(Throughput::Elements(keys.len() as u64));
+        g.bench_function(BenchmarkId::new("sort_indices", dup), |b| {
+            b.iter(|| black_box(sort_indices(&seg, &PlainJob)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("record_roundtrip", |b| {
+        let key = b"some-word-key";
+        let val = encode_u64(123_456);
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(32 * 10_000);
+            for _ in 0..10_000 {
+                write_record(&mut buf, black_box(key), black_box(&val));
+            }
+            let mut pos = 0;
+            let mut n = 0;
+            while read_record(&buf, &mut pos).is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let line = "The quick brown fox, which jumped over the lazy dog's back, ran quickly.";
+    let mut g = c.benchmark_group("tokenizer");
+    g.throughput(Throughput::Bytes(line.len() as u64));
+    g.bench_function("words", |b| {
+        b.iter(|| black_box(tokenizer::words(black_box(line)).count()))
+    });
+    g.bench_function("tokenize_full", |b| {
+        b.iter(|| black_box(tokenizer::tokenize(black_box(line)).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_space_saving, bench_zipf_samplers, bench_sort, bench_codec, bench_tokenizer
+}
+criterion_main!(micro);

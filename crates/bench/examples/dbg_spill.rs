@@ -1,0 +1,31 @@
+use std::sync::Arc;
+use textmr_bench::runner::*;
+use textmr_bench::scale::Scale;
+use textmr_bench::workloads::standard_suite;
+
+fn main() {
+    let scale = Scale::small();
+    let (dfs, ws) = standard_suite(scale);
+    let cluster = local_cluster(scale);
+    for wname in ["AccessLogJoin", "WordCount"] {
+        let w = ws.iter().find(|w| w.name == wname).unwrap();
+        for cfg in [Config::Baseline, Config::SpillOpt] {
+            let run = run_config(&cluster, &dfs, w, cfg, REDUCERS);
+            let p = &run.profile;
+            let spills: usize = p.map_tasks.iter().map(|t| t.spills.len()).sum();
+            let pb: u64 = p.map_tasks.iter().map(|t| t.produce_busy).sum();
+            let cb: u64 = p.map_tasks.iter().map(|t| t.consume_busy).sum();
+            let pw: u64 = p.map_tasks.iter().map(|t| t.producer_wait).sum();
+            let cw: u64 = p.map_tasks.iter().map(|t| t.consumer_wait).sum();
+            let merge: u64 = p.map_tasks.iter().map(|t| t.ops.get(textmr_engine::metrics::Op::Merge)).sum();
+            let vd: u64 = p.map_tasks.iter().map(|t| t.virtual_duration).sum();
+            println!("{wname} {:?}: wall={:.1}ms mapend={:.1}ms tasks={} spills={} pb={:.1} cb={:.1} pw={:.1} cw={:.1} merge={:.1} vdsum={:.1}",
+                cfg, p.wall as f64/1e6, p.map_phase_end as f64/1e6, p.map_tasks.len(), spills,
+                pb as f64/1e6, cb as f64/1e6, pw as f64/1e6, cw as f64/1e6, merge as f64/1e6, vd as f64/1e6);
+            // print first task's fractions
+            let t0 = &p.map_tasks[0];
+            let fr: Vec<String> = t0.spills.iter().take(12).map(|s| format!("{:.2}@{}k", s.fraction, s.bytes/1024)).collect();
+            println!("  task0: {} spills: {}", t0.spills.len(), fr.join(" "));
+        }
+    }
+}

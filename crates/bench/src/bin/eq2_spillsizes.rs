@@ -1,0 +1,101 @@
+//! Ablation: validate the spill-size recurrence (paper Eq. 2) against the
+//! engine's real execution.
+//!
+//! Runs a real WordCount map workload at several fixed spill fractions,
+//! extracts the measured per-spill sizes and produce/consume rates from the
+//! task profiles, and compares the measured steady-state spill size with
+//! the recurrence `m_i = max{xM, min{(p/c)·m_{i−1}, M − m_{i−1}}}`
+//! evaluated at the measured rates.
+//!
+//! ```sh
+//! cargo run --release -p textmr-bench --bin eq2_spillsizes [-- --scale paper]
+//! ```
+
+use std::sync::Arc;
+use textmr_bench::report::Table;
+use textmr_bench::runner::local_cluster;
+use textmr_bench::scale::Scale;
+use textmr_core::model::RateModel;
+use textmr_data::text::CorpusConfig;
+use textmr_engine::cluster::{run_job, JobConfig};
+use textmr_engine::controller::fixed_spill_factory;
+use textmr_engine::io::dfs::SimDfs;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cluster = local_cluster(scale);
+    let mut dfs = SimDfs::new(cluster.nodes, scale.block_size);
+    let corpus = CorpusConfig {
+        lines: scale.corpus_lines / 2,
+        vocab_size: scale.vocab,
+        ..Default::default()
+    };
+    eprintln!("generating corpus …");
+    dfs.put("corpus", corpus.generate_bytes());
+
+    let mut table = Table::new(&[
+        "fraction",
+        "spills",
+        "measured_steady_kb",
+        "model_steady_kb",
+        "rel_err_pct",
+        "p_mb_s",
+        "c_mb_s",
+    ]);
+    println!("Eq. 2 validation — measured vs modelled steady-state spill size\n");
+    for tenths in [2u32, 4, 5, 6, 8] {
+        let x = tenths as f64 / 10.0;
+        let mut cfg = JobConfig::default().with_reducers(6);
+        cfg.spill_controller = fixed_spill_factory(x);
+        let run = run_job(
+            &cluster,
+            &cfg,
+            Arc::new(textmr_apps::WordCount),
+            &dfs,
+            &[("corpus", 0)],
+        )
+        .unwrap();
+        // Use the task with the most spills for a clean steady state.
+        let task = run
+            .profile
+            .map_tasks
+            .iter()
+            .max_by_key(|t| t.spills.len())
+            .expect("at least one task");
+        let spills = &task.spills;
+        if spills.len() < 4 {
+            eprintln!("x={x}: only {} spills; skipping", spills.len());
+            continue;
+        }
+        // Measured steady state: median of the non-final spills after
+        // ramp-up (the final spill is the drain remainder).
+        let mut steady: Vec<usize> =
+            spills[1..spills.len() - 1].iter().map(|s| s.bytes).collect();
+        steady.sort_unstable();
+        let measured = steady[steady.len() / 2] as f64;
+        // Rates from totals (bytes per ns).
+        let bytes: f64 = spills.iter().map(|s| s.bytes as f64).sum();
+        let p = bytes / spills.iter().map(|s| s.produce_ns as f64).sum::<f64>();
+        let c = bytes / spills.iter().map(|s| s.consume_ns as f64).sum::<f64>();
+        let capacity = cluster.spill_buffer_bytes as f64;
+        let model = RateModel { p, c, capacity };
+        let predicted = *model.spill_sizes(x, 40).last().unwrap();
+        let rel = (measured - predicted).abs() / predicted * 100.0;
+        table.row(&[
+            format!("{x:.1}"),
+            spills.len().to_string(),
+            format!("{:.1}", measured / 1024.0),
+            format!("{:.1}", predicted / 1024.0),
+            format!("{rel:.1}"),
+            format!("{:.1}", p * 1e9 / (1 << 20) as f64),
+            format!("{:.1}", c * 1e9 / (1 << 20) as f64),
+        ]);
+    }
+    table.print();
+    let path = table.write_csv("eq2_spillsizes").unwrap();
+    println!("\nwrote {}", path.display());
+    println!(
+        "\ncheck: measured steady-state spill sizes should track the Eq. 2\n\
+         fixed point within record-granularity error across fractions."
+    );
+}

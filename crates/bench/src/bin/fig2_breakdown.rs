@@ -1,0 +1,48 @@
+//! Figure 2 — where does the time go? Normalized breakdown of the total
+//! work (CPU time summed over all tasks, grouped by operation) for each of
+//! the six applications under the baseline engine.
+//!
+//! Paper shape to reproduce: user code (map + combine + reduce) is a
+//! minority of total work for every app except WordPOSTag; post-map
+//! operations (emit, sort, spill, merge, shuffle) dominate and scale with
+//! the intermediate data volume.
+//!
+//! ```sh
+//! cargo run --release -p textmr-bench --bin fig2_breakdown [-- --scale paper]
+//! ```
+
+use textmr_bench::report::{pct, Table};
+use textmr_bench::runner::{local_cluster, run_config, Config, REDUCERS};
+use textmr_bench::scale::Scale;
+use textmr_bench::workloads::standard_suite;
+use textmr_engine::metrics::Op;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (dfs, workloads) = standard_suite(scale);
+    let cluster = local_cluster(scale);
+
+    let ops: Vec<Op> = Op::ALL.iter().copied().filter(|o| !o.is_idle()).collect();
+    let mut header = vec!["app".to_string(), "user_code_pct".to_string()];
+    header.extend(ops.iter().map(|o| format!("{o}_pct")));
+    let mut table = Table::new(&header);
+
+    println!("Figure 2 reproduction — normalized work breakdown (baseline)\n");
+    for w in &workloads {
+        eprintln!("running {} …", w.name);
+        let run = run_config(&cluster, &dfs, w, Config::Baseline, REDUCERS);
+        let totals = run.profile.total_ops();
+        let total = totals.total_work().max(1) as f64;
+        let mut row = vec![w.name.to_string(), pct(totals.user_code() as f64 / total)];
+        row.extend(ops.iter().map(|o| pct(totals.get(*o) as f64 / total)));
+        table.row(&row);
+    }
+    table.print();
+    let path = table.write_csv("fig2_breakdown").unwrap();
+    println!("\nwrote {}", path.display());
+    println!(
+        "\npaper check: user-code share should exceed 50% only for the\n\
+         CPU-bound WordPOSTag (and approach it for AccessLogJoin); all\n\
+         other time is MapReduce abstraction cost."
+    );
+}

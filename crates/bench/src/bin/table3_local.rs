@@ -1,0 +1,45 @@
+//! Table III — overall local-cluster timing results after applying the
+//! optimizations: Baseline / FreqOpt / SpillOpt / Combined × six apps.
+//!
+//! Paper shape to reproduce: text-centric apps improve the most (tens of
+//! percent; Combined ≥ either alone), WordPOSTag improves little in
+//! *percentage* (its map CPU dominates) though its absolute saving is
+//! real, relational apps change only modestly, PageRank sits in between.
+//!
+//! ```sh
+//! cargo run --release -p textmr-bench --bin table3_local [-- --scale paper]
+//! ```
+
+use textmr_bench::report::{ms, Table};
+use textmr_bench::runner::{local_cluster, run_all_configs, Config, REDUCERS};
+use textmr_bench::scale::Scale;
+use textmr_bench::workloads::standard_suite;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (dfs, workloads) = standard_suite(scale);
+    let cluster = local_cluster(scale);
+
+    let mut table = Table::new(&["app", "config", "wall_ms", "vs_baseline_pct"]);
+    println!("Table III reproduction — local cluster ({} nodes)\n", cluster.nodes);
+    for w in &workloads {
+        eprintln!("running {} …", w.name);
+        let runs = run_all_configs(&cluster, &dfs, w, REDUCERS);
+        let base = runs[0].1.profile.wall as f64;
+        for (config, run) in &runs {
+            let wall = run.profile.wall;
+            table.row(&[
+                w.name.to_string(),
+                config.name().to_string(),
+                ms(wall),
+                format!("{:.1}", 100.0 * wall as f64 / base),
+            ]);
+            if *config == Config::Combined {
+                table.row(&[String::new(), String::new(), String::new(), String::new()]);
+            }
+        }
+    }
+    table.print();
+    let path = table.write_csv("table3_local").unwrap();
+    println!("\nwrote {}", path.display());
+}

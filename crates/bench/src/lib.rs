@@ -1,0 +1,20 @@
+//! # textmr-bench — harness infrastructure for reproducing the paper's
+//! tables and figures
+//!
+//! One binary per table/figure lives in `src/bin/`; this library provides
+//! what they share: dataset construction at a configurable scale
+//! ([`scale`]), the benchmark workload definitions ([`workloads`]), the
+//! four-configuration runner ([`runner`]), and table/CSV reporting
+//! ([`report`]).
+//!
+//! Scale is chosen with `--scale small|paper` (default `small`); `small`
+//! keeps every harness under a couple of minutes on a laptop, `paper`
+//! stretches inputs for smoother numbers. Neither reproduces the paper's
+//! absolute seconds (their testbed was a physical Hadoop cluster); the
+//! *shapes* — who wins, by roughly what factor, where crossovers sit — are
+//! the reproduction targets (see EXPERIMENTS.md).
+
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod workloads;

@@ -1,0 +1,120 @@
+//! Table printing and CSV output for the harness binaries.
+//!
+//! Every harness prints the paper's rows/series to stdout and mirrors them
+//! into `results/<name>.csv` so EXPERIMENTS.md can cite stable artifacts.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table that also serializes to CSV.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Display>(header: &[S]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        let row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Print aligned to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.header);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Write as CSV under `results/<name>.csv` (created if needed). Returns
+    /// the path written.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// The results directory: `results/` at the workspace root when run from
+/// there, else the current directory's `results/`.
+pub fn results_dir() -> PathBuf {
+    // The harness binaries are normally run via `cargo run` from the
+    // workspace root; CARGO_MANIFEST_DIR points at crates/bench.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let root = PathBuf::from(manifest).join("../..");
+        if root.join("Cargo.toml").exists() {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Format nanoseconds as milliseconds with one decimal.
+pub fn ms(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e6)
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrips_to_csv() {
+        let mut t = Table::new(&["app", "ms"]);
+        t.row(&["WordCount", "12.5"]);
+        t.row(&["PageRank", "40.0"]);
+        let path = t.write_csv("_test_table").unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("app,ms\n"));
+        assert!(content.contains("PageRank,40.0"));
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1_500_000), "1.5");
+        assert_eq!(pct(0.391), "39.1");
+    }
+}

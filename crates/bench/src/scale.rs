@@ -1,0 +1,88 @@
+//! Input scales and CLI parsing shared by the harness binaries.
+
+/// Dataset sizes for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Text-corpus lines (WordCount, InvertedIndex, SynText).
+    pub corpus_lines: usize,
+    /// Text-corpus lines for WordPOSTag (HMM tagging is ~30× costlier per
+    /// line, so its corpus is scaled down exactly as the paper ran it far
+    /// longer instead).
+    pub pos_corpus_lines: usize,
+    /// Corpus vocabulary size.
+    pub vocab: usize,
+    /// UserVisits records.
+    pub visits: usize,
+    /// Distinct URLs.
+    pub urls: usize,
+    /// Web-graph pages.
+    pub pages: usize,
+    /// DFS block size (bytes) — one map task per block.
+    pub block_size: usize,
+    /// Map-side spill buffer (bytes). Deliberately well below a split's
+    /// intermediate output so tasks spill several times, like Hadoop with
+    /// io.sort.mb ≪ map output.
+    pub spill_buffer: usize,
+}
+
+impl Scale {
+    /// Quick runs (seconds per job).
+    pub fn small() -> Self {
+        Scale {
+            corpus_lines: 30_000,
+            pos_corpus_lines: 4_000,
+            vocab: 30_000,
+            visits: 120_000,
+            urls: 20_000,
+            pages: 30_000,
+            block_size: 1 << 20,
+            spill_buffer: 256 << 10,
+        }
+    }
+
+    /// Larger runs for smoother numbers (a few minutes per harness).
+    pub fn paper() -> Self {
+        Scale {
+            corpus_lines: 120_000,
+            pos_corpus_lines: 10_000,
+            vocab: 100_000,
+            visits: 400_000,
+            urls: 60_000,
+            pages: 100_000,
+            block_size: 2 << 20,
+            spill_buffer: 256 << 10,
+        }
+    }
+
+    /// Parse `--scale small|paper` from `std::env::args` (default small).
+    pub fn from_args() -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                match args.next().as_deref() {
+                    Some("paper") => return Scale::paper(),
+                    Some("small") | None => return Scale::small(),
+                    Some(other) => {
+                        eprintln!("unknown scale '{other}', using small");
+                        return Scale::small();
+                    }
+                }
+            }
+        }
+        Scale::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_larger() {
+        let s = Scale::small();
+        let p = Scale::paper();
+        assert!(p.corpus_lines > s.corpus_lines);
+        assert!(p.visits > s.visits);
+        assert!(p.pages > s.pages);
+    }
+}

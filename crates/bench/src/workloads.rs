@@ -1,0 +1,159 @@
+//! The six benchmark workloads, assembled over generated datasets.
+
+use crate::scale::Scale;
+use std::sync::Arc;
+use textmr_apps::{
+    AccessLogJoin, AccessLogSum, InvertedIndex, PageRank, WordCount, WordPosTag,
+    SOURCE_RANKINGS, SOURCE_VISITS,
+};
+use textmr_core::FreqBufferConfig;
+use textmr_data::graph::GraphConfig;
+use textmr_data::text::CorpusConfig;
+use textmr_data::weblog::WeblogConfig;
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::job::Job;
+
+/// Which frequency-buffering parameters the paper uses for this workload
+/// class (Sec. V-B2: k=3000, s=0.01 for text; k=10000, s=0.1 for logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyClass {
+    /// Word-keyed text application.
+    Text,
+    /// URL-keyed log/graph application.
+    Log,
+}
+
+impl KeyClass {
+    /// The paper's frequency-buffering parameters for this class.
+    pub fn freq_config(self) -> FreqBufferConfig {
+        match self {
+            KeyClass::Text => FreqBufferConfig {
+                k: 3000,
+                sampling_fraction: Some(0.01),
+                ..Default::default()
+            },
+            KeyClass::Log => FreqBufferConfig {
+                k: 10_000,
+                sampling_fraction: Some(0.1),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// One benchmark application bound to its inputs.
+pub struct Workload {
+    /// Display name (the paper's).
+    pub name: &'static str,
+    /// The job.
+    pub job: Arc<dyn Job>,
+    /// `(dfs file, source tag)` inputs.
+    pub inputs: Vec<(&'static str, u8)>,
+    /// Parameter class for frequency-buffering.
+    pub class: KeyClass,
+    /// Is this one of the paper's three text-centric applications?
+    pub text_centric: bool,
+}
+
+/// Build the DFS (all datasets) and the six workloads at `scale`.
+pub fn standard_suite(scale: Scale) -> (SimDfs, Vec<Workload>) {
+    let mut dfs = SimDfs::new(6, scale.block_size);
+
+    let corpus = CorpusConfig {
+        lines: scale.corpus_lines,
+        vocab_size: scale.vocab,
+        ..Default::default()
+    };
+    dfs.put("corpus", corpus.generate_bytes());
+
+    let pos_corpus = CorpusConfig {
+        lines: scale.pos_corpus_lines,
+        vocab_size: scale.vocab,
+        ..Default::default()
+    };
+    dfs.put("pos_corpus", pos_corpus.generate_bytes());
+
+    let weblog = WeblogConfig {
+        num_urls: scale.urls,
+        num_visits: scale.visits,
+        ..Default::default()
+    };
+    dfs.put("visits", weblog.visits_bytes());
+    dfs.put("rankings", weblog.rankings_bytes());
+
+    let graph = GraphConfig { pages: scale.pages, ..Default::default() };
+    dfs.put("graph", graph.generate_bytes());
+
+    let workloads = vec![
+        Workload {
+            name: "WordCount",
+            job: Arc::new(WordCount),
+            inputs: vec![("corpus", 0)],
+            class: KeyClass::Text,
+            text_centric: true,
+        },
+        Workload {
+            name: "InvertedIndex",
+            job: Arc::new(InvertedIndex),
+            inputs: vec![("corpus", 0)],
+            class: KeyClass::Text,
+            text_centric: true,
+        },
+        Workload {
+            name: "WordPOSTag",
+            job: Arc::new(WordPosTag::new()),
+            inputs: vec![("pos_corpus", 0)],
+            class: KeyClass::Text,
+            text_centric: true,
+        },
+        Workload {
+            name: "AccessLogSum",
+            job: Arc::new(AccessLogSum),
+            inputs: vec![("visits", SOURCE_VISITS)],
+            class: KeyClass::Log,
+            text_centric: false,
+        },
+        Workload {
+            name: "AccessLogJoin",
+            job: Arc::new(AccessLogJoin),
+            inputs: vec![("visits", SOURCE_VISITS), ("rankings", SOURCE_RANKINGS)],
+            class: KeyClass::Log,
+            text_centric: false,
+        },
+        Workload {
+            name: "PageRank",
+            job: Arc::new(PageRank::new(scale.pages as u64)),
+            inputs: vec![("graph", 0)],
+            class: KeyClass::Log,
+            text_centric: false,
+        },
+    ];
+    (dfs, workloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_the_papers_six() {
+        let (dfs, ws) = standard_suite(Scale::small());
+        assert_eq!(ws.len(), 6);
+        assert_eq!(ws.iter().filter(|w| w.text_centric).count(), 3);
+        for w in &ws {
+            for (name, _) in &w.inputs {
+                assert!(dfs.get(name).is_some(), "missing dataset {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_parameters_match_the_paper() {
+        let t = KeyClass::Text.freq_config();
+        assert_eq!(t.k, 3000);
+        assert_eq!(t.sampling_fraction, Some(0.01));
+        let l = KeyClass::Log.freq_config();
+        assert_eq!(l.k, 10_000);
+        assert_eq!(l.sampling_fraction, Some(0.1));
+    }
+}

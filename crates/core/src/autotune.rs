@@ -1,0 +1,120 @@
+//! Auto-tuning of the profiling sampling fraction `s` (Sec. III-C).
+//!
+//! The paper models the key stream as i.i.d. Zipf(α) draws. Finding the
+//! k-th most frequent key is a Bernoulli trial with success probability
+//! `p_k = k^{-α} / H_{m,α}`, whose expected waiting time is `1/p_k`. The
+//! profiling prefix must therefore satisfy
+//!
+//! ```text
+//! n·s ≥ k^α · H_{m,α}
+//! ```
+//!
+//! A larger `s` wastes optimization opportunity (records seen during
+//! profiling still take the slow path); a smaller one risks an inaccurate
+//! top-k. We take the bound with a small safety factor.
+
+use textmr_data_free::harmonic_approx;
+
+/// A tiny re-implementation of `textmr_data::zipf::harmonic_approx`, kept
+/// here so the core crate does not depend on the data-generation crate.
+mod textmr_data_free {
+    /// Euler–Maclaurin approximation of `H_{m,α}` (see
+    /// `textmr_data::zipf::harmonic_approx` for the derivation; the two are
+    /// cross-checked by tests in `textmr-bench`).
+    pub fn harmonic_approx(m: usize, alpha: f64) -> f64 {
+        let m = m as f64;
+        if (alpha - 1.0).abs() < 1e-9 {
+            m.ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * m)
+        } else {
+            (m.powf(1.0 - alpha) - 1.0) / (1.0 - alpha)
+                + 0.5 * (1.0 + m.powf(-alpha))
+                + alpha * (1.0 - m.powf(-alpha - 1.0)) / 12.0
+        }
+    }
+}
+
+/// Expected number of stream records needed before the k-th most frequent
+/// key of a Zipf(α) distribution over `m` keys appears: `k^α · H_{m,α}`.
+pub fn required_samples(k: usize, alpha: f64, m: usize) -> f64 {
+    assert!(k >= 1 && m >= 1);
+    (k as f64).powf(alpha) * harmonic_approx(m.max(k), alpha)
+}
+
+/// Tuning bounds: `s` is clamped into this range regardless of the model's
+/// suggestion (a profiling stage that is too short is statistically
+/// meaningless; one that is too long forfeits the optimization).
+#[derive(Debug, Clone, Copy)]
+pub struct TuneBounds {
+    /// Lower clamp for `s`.
+    pub min_s: f64,
+    /// Upper clamp for `s`.
+    pub max_s: f64,
+    /// Safety multiplier on the expected-waiting-time bound.
+    pub safety: f64,
+}
+
+impl Default for TuneBounds {
+    fn default() -> Self {
+        TuneBounds { min_s: 0.001, max_s: 0.5, safety: 2.0 }
+    }
+}
+
+/// Choose the sampling fraction `s` for a stream of `n` expected records,
+/// targeting the top `k` keys of an estimated Zipf(α) distribution over
+/// `m` distinct keys.
+pub fn sampling_fraction(n: u64, k: usize, alpha: f64, m: usize, bounds: TuneBounds) -> f64 {
+    if n == 0 {
+        return bounds.max_s;
+    }
+    let needed = required_samples(k, alpha, m) * bounds.safety;
+    (needed / n as f64).clamp(bounds.min_s, bounds.max_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_samples_grows_with_k_and_alpha() {
+        let base = required_samples(100, 1.0, 100_000);
+        assert!(required_samples(1000, 1.0, 100_000) > base);
+        assert!(required_samples(100, 1.5, 100_000) > base);
+    }
+
+    #[test]
+    fn flatter_distributions_need_more_samples_per_alpha_scaling() {
+        // With α = 0 (uniform), p_k = 1/m for every k: required samples is
+        // H_{m,0} = m, independent of k.
+        let r = required_samples(10, 0.0, 1000);
+        assert!((r - 1000.0).abs() / 1000.0 < 0.01, "r={r}");
+    }
+
+    #[test]
+    fn fraction_scales_inversely_with_stream_length() {
+        let b = TuneBounds::default();
+        let s_small = sampling_fraction(100_000, 1000, 1.0, 100_000, b);
+        let s_large = sampling_fraction(100_000_000, 1000, 1.0, 100_000, b);
+        assert!(s_large < s_small);
+    }
+
+    #[test]
+    fn fraction_respects_bounds() {
+        let b = TuneBounds::default();
+        // Tiny stream → clamped at max.
+        assert_eq!(sampling_fraction(10, 10_000, 1.2, 1_000_000, b), b.max_s);
+        // Astronomically long stream → clamped at min.
+        assert_eq!(sampling_fraction(u64::MAX, 10, 1.0, 100, b), b.min_s);
+        // Zero-length stream → max (degenerate, profiling never completes
+        // anyway).
+        assert_eq!(sampling_fraction(0, 10, 1.0, 100, b), b.max_s);
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // Text corpus scale: k=3000, α≈1, m≈25M unique words, n≈1.45B
+        // records → the model suggests a very small s (paper used 0.01).
+        let s = sampling_fraction(1_450_000_000, 3000, 1.0, 24_700_000, TuneBounds::default());
+        assert!(s <= 0.01, "s={s}");
+        assert!(s >= 0.0001);
+    }
+}

@@ -1,0 +1,5 @@
+//! FNV-1a hashing for hot-path hash tables — re-exported from
+//! `textmr_engine::hash` so the engine's hash-grouping mode and the
+//! frequency buffer share one implementation (and one cost profile).
+
+pub use textmr_engine::hash::{FnvBuildHasher, FnvHashMap, FnvHashSet, FnvHasher};

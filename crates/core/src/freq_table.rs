@@ -1,0 +1,571 @@
+//! Frequency-buffering (paper Section III): the frequent-key combine
+//! buffer, with its three-stage lifecycle.
+//!
+//! 1. **Pre-profile** (~1 % of input records): exact counts feed the
+//!    [`ZipfEstimator`]; at the end, α̂ fixes the sampling fraction `s`
+//!    via the auto-tuner (unless the caller pinned `s`, as the paper's
+//!    experiments do).
+//! 2. **Profile** (until `s·N` input records): a [`SpaceSaving`] sketch —
+//!    seeded with the pre-profile's exact counts — tracks candidate keys.
+//!    All records still take the normal spill path.
+//! 3. **Optimize**: the sketch's top-k keys are frozen into a hash table
+//!    that absorbs matching emissions. Per key, values accumulate until
+//!    the key's space limit, then the user's `combine()` collapses them;
+//!    if a combined record still does not fit, it overflows to the normal
+//!    spill path. At end of input everything drains, combined, to the
+//!    spill path.
+//!
+//! The table's memory is carved out of the spill buffer (the engine's
+//! `filter_budget_fraction`), so total memory is constant — the paper's
+//! 30 % split. The per-key limit is `budget / k`, making the whole table's
+//! footprint ≤ budget by construction.
+//!
+//! A [`FrequentKeyRegistry`](crate::registry::FrequentKeyRegistry) lets the
+//! first task on a node publish its frozen top-k so subsequent tasks skip
+//! stages 1–2 entirely (Sec. III-B, last paragraph).
+
+use crate::autotune::{sampling_fraction, TuneBounds};
+use crate::fnv::FnvHashMap;
+use crate::registry::FrequentKeyRegistry;
+use crate::space_saving::SpaceSaving;
+use crate::zipf_estimator::ZipfEstimator;
+use std::sync::Arc;
+use textmr_engine::codec::{read_bytes, write_bytes};
+use textmr_engine::controller::{EmitFilter, EmitFilterFactory, FilterCtx};
+use textmr_engine::job::{combine_values, Emit, Job};
+
+/// Tuning knobs for frequency-buffering.
+#[derive(Debug, Clone)]
+pub struct FreqBufferConfig {
+    /// Number of frequent keys to track (the paper's `k`; 3000 for text,
+    /// 10000 for logs).
+    pub k: usize,
+    /// Fixed sampling fraction `s` over input records; `None` enables the
+    /// auto-tuner (Sec. III-C).
+    pub sampling_fraction: Option<f64>,
+    /// Fraction of input records used for the α-estimation pre-profile.
+    pub pre_profile_fraction: f64,
+    /// Auto-tuner clamps.
+    pub bounds: TuneBounds,
+}
+
+impl Default for FreqBufferConfig {
+    fn default() -> Self {
+        FreqBufferConfig {
+            k: 3000,
+            sampling_fraction: None,
+            pre_profile_fraction: 0.01,
+            bounds: TuneBounds::default(),
+        }
+    }
+}
+
+/// Per-key value accumulator: values stored back to back, length-framed,
+/// in one growing buffer whose allocation is reused across combines — the
+/// hot absorption path performs no per-record allocation.
+#[derive(Debug, Default)]
+struct KeyBuf {
+    /// Length-framed values.
+    data: Vec<u8>,
+    /// Number of framed values in `data`.
+    count: u32,
+}
+
+impl KeyBuf {
+    #[inline]
+    fn push(&mut self, value: &[u8]) {
+        write_bytes(&mut self.data, value);
+        self.count += 1;
+    }
+
+    /// Borrow all framed values into `scratch` (cleared first).
+    fn gather<'a>(&'a self, scratch: &mut Vec<&'a [u8]>) {
+        scratch.clear();
+        let mut pos = 0usize;
+        while let Some(v) = read_bytes(&self.data, &mut pos) {
+            scratch.push(v);
+        }
+    }
+}
+
+/// The frozen frequent-key table (Optimize stage).
+struct FreqTable {
+    entries: FnvHashMap<Box<[u8]>, KeyBuf>,
+    per_key_limit: usize,
+    /// Reused scratch for combine calls.
+    scratch: Vec<Vec<u8>>,
+}
+
+/// Minimum useful per-key value budget; below this, a key's values are
+/// combined/flushed so often the table is pure overhead.
+const MIN_PER_KEY_BYTES: usize = 256;
+
+impl FreqTable {
+    fn new(keys: impl IntoIterator<Item = Box<[u8]>>, per_key_limit: usize) -> Self {
+        let entries = keys.into_iter().map(|k| (k, KeyBuf::default())).collect();
+        FreqTable {
+            entries,
+            per_key_limit: per_key_limit.max(MIN_PER_KEY_BYTES),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+enum Stage {
+    /// The job has no combiner: buffering values per key could never
+    /// shrink them, so the filter passes everything through at (near) zero
+    /// cost. Hadoop's frequency buffering is likewise only meaningful for
+    /// jobs with a combine function.
+    Disabled,
+    PreProfile { est: ZipfEstimator },
+    Profile { sketch: SpaceSaving, target_inputs: u64 },
+    Optimize(FreqTable),
+}
+
+/// The frequency-buffering [`EmitFilter`]. One instance per map task.
+pub struct FrequencyBuffer {
+    job: Arc<dyn Job>,
+    cfg: FreqBufferConfig,
+    /// Effective number of tracked keys: `cfg.k` capped by the memory
+    /// budget (each key needs a useful value allowance).
+    k: usize,
+    stage: Stage,
+    /// Memory budget for the table (bytes), carved from the spill buffer.
+    budget: usize,
+    /// Input records expected for this task.
+    estimated_inputs: u64,
+    /// Input records seen.
+    inputs_seen: u64,
+    /// Intermediate records offered.
+    offered: u64,
+    /// Records absorbed into the table.
+    absorbed: u64,
+    /// Time spent inside the user's `combine()` since the last drain.
+    user_combine_ns: u64,
+    /// Node + registry for cross-task top-k sharing.
+    node: usize,
+    registry: Option<Arc<FrequentKeyRegistry>>,
+}
+
+impl FrequencyBuffer {
+    /// Build a filter for one map task. If `registry` already has a top-k
+    /// for this node, profiling is skipped (shared frequent-key set).
+    pub fn new(
+        ctx: &FilterCtx,
+        cfg: FreqBufferConfig,
+        registry: Option<Arc<FrequentKeyRegistry>>,
+    ) -> Self {
+        assert!(cfg.k > 0, "k must be positive");
+        assert!(cfg.pre_profile_fraction > 0.0 && cfg.pre_profile_fraction < 1.0);
+        let budget = ctx.budget_bytes.max(1024);
+        // "k is largely fixed by the amount of memory available and the
+        // size of intermediate data records" (Sec. III-C): cap the
+        // requested k so every tracked key gets a useful value budget.
+        let k = cfg.k.min(budget / MIN_PER_KEY_BYTES).max(1);
+        let node = ctx.task.node;
+        let stage = if !ctx.job.has_combiner() {
+            Stage::Disabled
+        } else {
+            match registry.as_ref().and_then(|r| r.lookup(node)) {
+                Some(keys) => Stage::Optimize(FreqTable::new(keys.iter().cloned(), budget / k)),
+                None => Stage::PreProfile { est: ZipfEstimator::default() },
+            }
+        };
+        FrequencyBuffer {
+            job: Arc::clone(&ctx.job),
+            cfg,
+            k,
+            stage,
+            budget,
+            estimated_inputs: ctx.estimated_records.max(1),
+            inputs_seen: 0,
+            offered: 0,
+            absorbed: 0,
+            user_combine_ns: 0,
+            node,
+            registry,
+        }
+    }
+
+    /// Records absorbed so far.
+    pub fn absorbed_records(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// True once the filter is in its Optimize stage.
+    pub fn is_optimizing(&self) -> bool {
+        matches!(self.stage, Stage::Optimize(_))
+    }
+
+    fn pre_profile_target(&self) -> u64 {
+        let raw = (self.estimated_inputs as f64 * self.cfg.pre_profile_fraction) as u64;
+        // At least 20 records for a meaningful α fit — unless the whole
+        // input is smaller than that.
+        let lo = 20.min(self.estimated_inputs);
+        raw.clamp(lo, self.estimated_inputs)
+    }
+
+    /// Transition PreProfile → Profile: fit α, choose `s`, seed the sketch.
+    fn start_profile(&mut self, est: ZipfEstimator) {
+        let fit = est.fit();
+        let s = match self.cfg.sampling_fraction {
+            Some(s) => s,
+            None => {
+                // Extrapolate the distinct-key universe m from the sample.
+                let seen = est.seen().max(1);
+                let scale = (self.estimated_intermediate() as f64 / seen as f64).max(1.0);
+                let m = ((est.distinct() as f64) * scale.sqrt()) as usize;
+                sampling_fraction(
+                    self.estimated_intermediate(),
+                    self.k,
+                    fit.alpha,
+                    m.max(self.k),
+                    self.cfg.bounds,
+                )
+            }
+        };
+        // Profiling must extend at least one record past where we are now;
+        // a tiny input can make that exceed the estimate, in which case the
+        // filter simply never leaves the profile stage (harmless: all
+        // records pass through).
+        let lo = self.inputs_seen + 1;
+        let hi = self.estimated_inputs.max(lo);
+        let target_inputs = ((self.estimated_inputs as f64 * s) as u64).clamp(lo, hi);
+        let mut sketch = SpaceSaving::new(self.k);
+        for (key, count) in est.into_counts() {
+            sketch.offer_n(&key, count);
+        }
+        self.stage = Stage::Profile { sketch, target_inputs };
+    }
+
+    /// Estimated intermediate records for the task, extrapolated from the
+    /// expansion observed so far.
+    fn estimated_intermediate(&self) -> u64 {
+        if self.inputs_seen == 0 {
+            return self.estimated_inputs;
+        }
+        let expansion = self.offered as f64 / self.inputs_seen as f64;
+        (self.estimated_inputs as f64 * expansion.max(1.0)) as u64
+    }
+
+    /// Transition Profile → Optimize: freeze top-k, publish to registry.
+    fn freeze(&mut self, sketch: &SpaceSaving) {
+        let keys: Vec<Box<[u8]>> =
+            sketch.top_k(self.k).into_iter().map(|k| k.into_boxed_slice()).collect();
+        if let Some(r) = &self.registry {
+            r.publish(self.node, keys.clone());
+        }
+        self.stage = Stage::Optimize(FreqTable::new(keys, self.budget / self.k));
+    }
+}
+
+impl EmitFilter for FrequencyBuffer {
+    fn on_input_record(&mut self) {
+        self.inputs_seen += 1;
+        // Stage transitions happen on input-record boundaries, matching the
+        // paper's definition of `s` over input records.
+        let pre_target = self.pre_profile_target();
+        match &mut self.stage {
+            Stage::Disabled => {}
+            Stage::PreProfile { est } => {
+                if self.inputs_seen > pre_target {
+                    let est = std::mem::take(est);
+                    self.start_profile(est);
+                }
+            }
+            Stage::Profile { sketch, target_inputs } => {
+                if self.inputs_seen > *target_inputs {
+                    let sketch = std::mem::replace(sketch, SpaceSaving::new(1));
+                    self.freeze(&sketch);
+                }
+            }
+            Stage::Optimize(_) => {}
+        }
+    }
+
+    fn offer(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Emit) -> bool {
+        self.offered += 1;
+        match &mut self.stage {
+            Stage::Disabled => false,
+            Stage::PreProfile { est } => {
+                est.observe(key);
+                false
+            }
+            Stage::Profile { sketch, .. } => {
+                sketch.offer(key);
+                false
+            }
+            Stage::Optimize(table) => {
+                let Some(buf) = table.entries.get_mut(key) else {
+                    return false;
+                };
+                buf.push(value);
+                self.absorbed += 1;
+                if buf.data.len() > table.per_key_limit {
+                    if buf.count > 1 {
+                        // Space limit hit: combine in place, reusing the
+                        // buffer's allocation.
+                        let mut refs: Vec<&[u8]> = Vec::with_capacity(buf.count as usize);
+                        buf.gather(&mut refs);
+                        let sw = std::time::Instant::now();
+                        let combined = combine_values(self.job.as_ref(), key, &refs);
+                        self.user_combine_ns += sw.elapsed().as_nanos() as u64;
+                        table.scratch.clear();
+                        table.scratch.extend(combined);
+                        buf.data.clear();
+                        buf.count = 0;
+                        for v in &table.scratch {
+                            buf.push(v);
+                        }
+                    }
+                    if buf.data.len() > table.per_key_limit {
+                        // Even the aggregate does not fit (storage-intensive
+                        // combine): overflow to the normal dataflow.
+                        let mut pos = 0usize;
+                        while let Some(v) = read_bytes(&buf.data, &mut pos) {
+                            sink.emit(key, v);
+                        }
+                        buf.data.clear();
+                        buf.count = 0;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn finish(&mut self, sink: &mut dyn Emit) {
+        if let Stage::Optimize(table) = &mut self.stage {
+            // Drain deterministically: sort keys so output is stable.
+            let mut keys: Vec<Box<[u8]>> = table
+                .entries
+                .iter()
+                .filter(|(_, b)| b.count > 0)
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.sort();
+            let mut refs: Vec<&[u8]> = Vec::new();
+            for key in keys {
+                let buf = table.entries.get(&key).expect("key just listed");
+                buf.gather(&mut refs);
+                if refs.len() > 1 && self.job.has_combiner() {
+                    let sw = std::time::Instant::now();
+                    let combined = combine_values(self.job.as_ref(), &key, &refs);
+                    self.user_combine_ns += sw.elapsed().as_nanos() as u64;
+                    for v in combined {
+                        sink.emit(&key, &v);
+                    }
+                } else {
+                    for v in &refs {
+                        sink.emit(&key, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    fn is_active(&self) -> bool {
+        !matches!(self.stage, Stage::Disabled)
+    }
+
+    fn take_user_combine_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.user_combine_ns)
+    }
+}
+
+/// Build an [`EmitFilterFactory`] plugging frequency-buffering into a
+/// [`textmr_engine::cluster::JobConfig`]. Pass a registry to share each
+/// node's frozen top-k across its tasks.
+pub fn frequency_buffer_factory(
+    cfg: FreqBufferConfig,
+    registry: Option<Arc<FrequentKeyRegistry>>,
+) -> EmitFilterFactory {
+    Arc::new(move |ctx| Box::new(FrequencyBuffer::new(&ctx, cfg.clone(), registry.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textmr_engine::codec::{decode_u64, encode_u64};
+    use textmr_engine::controller::TaskCtx;
+    use textmr_engine::job::{Record, ValueCursor, ValueSink, VecEmit};
+
+    struct SumJob;
+    impl Job for SumJob {
+        fn name(&self) -> &str {
+            "sum"
+        }
+        fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(s));
+        }
+        fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+    }
+
+    fn ctx(estimated: u64, budget: usize) -> FilterCtx {
+        FilterCtx {
+            task: TaskCtx { node: 0, task: 0 },
+            job: Arc::new(SumJob),
+            budget_bytes: budget,
+            estimated_records: estimated,
+        }
+    }
+
+    /// Drive: each input record emits the given keys once.
+    fn drive(
+        fb: &mut FrequencyBuffer,
+        inputs: &[Vec<&str>],
+        sink: &mut VecEmit,
+    ) -> (u64, u64) {
+        let mut passed = 0;
+        let mut absorbed = 0;
+        for rec in inputs {
+            fb.on_input_record();
+            for key in rec {
+                if fb.offer(key.as_bytes(), &encode_u64(1), sink) {
+                    absorbed += 1;
+                } else {
+                    // Pass-through: the engine would append to the spill
+                    // path; mirror that so mass accounting closes.
+                    sink.emit(key.as_bytes(), &encode_u64(1));
+                    passed += 1;
+                }
+            }
+        }
+        (passed, absorbed)
+    }
+
+    /// A skewed workload: "hot" appears in every record, cold keys rotate.
+    fn skewed_inputs(n: usize) -> Vec<Vec<String>> {
+        (0..n)
+            .map(|i| vec!["hot".to_string(), "warm".to_string(), format!("cold{}", i % 97)])
+            .collect()
+    }
+
+    fn drive_strings(
+        fb: &mut FrequencyBuffer,
+        inputs: &[Vec<String>],
+        sink: &mut VecEmit,
+    ) -> (u64, u64) {
+        let refs: Vec<Vec<&str>> =
+            inputs.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        drive(fb, &refs, sink)
+    }
+
+    #[test]
+    fn lifecycle_reaches_optimize_and_absorbs_hot_keys() {
+        let cfg = FreqBufferConfig {
+            k: 4,
+            sampling_fraction: Some(0.1),
+            ..Default::default()
+        };
+        let inputs = skewed_inputs(1000);
+        let mut fb = FrequencyBuffer::new(&ctx(1000, 1 << 16), cfg, None);
+        let mut sink = VecEmit::default();
+        let (_passed, absorbed) = drive_strings(&mut fb, &inputs, &mut sink);
+        assert!(fb.is_optimizing());
+        // "hot" appears 1000×; profiling covers ~10% → ≥ 800 absorbed
+        // between hot and warm.
+        assert!(absorbed >= 800, "absorbed={absorbed}");
+        assert_eq!(absorbed, fb.absorbed_records());
+    }
+
+    #[test]
+    fn every_offer_is_passed_or_absorbed() {
+        let cfg = FreqBufferConfig { k: 2, sampling_fraction: Some(0.05), ..Default::default() };
+        let inputs = skewed_inputs(400);
+        let mut fb = FrequencyBuffer::new(&ctx(400, 1 << 16), cfg, None);
+        let mut sink = VecEmit::default();
+        let (passed, absorbed) = drive_strings(&mut fb, &inputs, &mut sink);
+        fb.finish(&mut sink);
+        assert_eq!(passed + absorbed, 400 * 3);
+    }
+
+    #[test]
+    fn mass_conservation_via_totals() {
+        let cfg = FreqBufferConfig { k: 3, sampling_fraction: Some(0.05), ..Default::default() };
+        let inputs = skewed_inputs(300);
+        let mut fb = FrequencyBuffer::new(&ctx(300, 1 << 16), cfg, None);
+        let mut sink = VecEmit::default();
+        drive_strings(&mut fb, &inputs, &mut sink);
+        fb.finish(&mut sink);
+        let total: u64 = sink.pairs.iter().map(|(_, v)| decode_u64(v).unwrap()).sum();
+        assert_eq!(total, 300 * 3, "every unit of count must reach the sink");
+    }
+
+    #[test]
+    fn per_key_limit_triggers_combining() {
+        // Tiny budget → per-key limit small → combine kicks in during
+        // absorption, keeping each entry's byte size bounded.
+        let cfg = FreqBufferConfig { k: 1, sampling_fraction: Some(0.02), ..Default::default() };
+        let inputs: Vec<Vec<String>> = (0..500).map(|_| vec!["hot".to_string()]).collect();
+        let mut fb = FrequencyBuffer::new(&ctx(500, 2048), cfg, None);
+        let mut sink = VecEmit::default();
+        drive_strings(&mut fb, &inputs, &mut sink);
+        fb.finish(&mut sink);
+        let total: u64 = sink
+            .pairs
+            .iter()
+            .filter(|(k, _)| k == b"hot")
+            .map(|(_, v)| decode_u64(v).unwrap())
+            .sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn registry_lets_later_tasks_skip_profiling() {
+        let registry = Arc::new(FrequentKeyRegistry::new());
+        let cfg = FreqBufferConfig { k: 2, sampling_fraction: Some(0.1), ..Default::default() };
+        // Task 1 profiles and publishes.
+        let inputs = skewed_inputs(500);
+        let mut fb1 = FrequencyBuffer::new(&ctx(500, 1 << 16), cfg.clone(), Some(registry.clone()));
+        let mut sink = VecEmit::default();
+        drive_strings(&mut fb1, &inputs, &mut sink);
+        assert!(fb1.is_optimizing());
+        // Task 2 on the same node starts already optimizing.
+        let fb2 = FrequencyBuffer::new(&ctx(500, 1 << 16), cfg, Some(registry));
+        assert!(fb2.is_optimizing(), "second task must reuse the published top-k");
+    }
+
+    #[test]
+    fn cold_keys_pass_through_in_optimize() {
+        let cfg = FreqBufferConfig { k: 1, sampling_fraction: Some(0.05), ..Default::default() };
+        let inputs = skewed_inputs(300);
+        let mut fb = FrequencyBuffer::new(&ctx(300, 1 << 16), cfg, None);
+        let mut sink = VecEmit::default();
+        drive_strings(&mut fb, &inputs, &mut sink);
+        assert!(fb.is_optimizing());
+        // Offer a key that is definitely not hot.
+        let mut sink2 = VecEmit::default();
+        assert!(!fb.offer(b"definitely-cold", &encode_u64(1), &mut sink2));
+    }
+
+    #[test]
+    fn finish_without_reaching_optimize_emits_nothing() {
+        // A stream shorter than the pre-profile target: nothing buffered,
+        // so nothing drains (all records passed through already).
+        let cfg = FreqBufferConfig { k: 4, sampling_fraction: Some(0.5), ..Default::default() };
+        let inputs = skewed_inputs(5);
+        let mut fb = FrequencyBuffer::new(&ctx(10_000, 1 << 16), cfg, None);
+        let mut sink = VecEmit::default();
+        let (passed, absorbed) = drive_strings(&mut fb, &inputs, &mut sink);
+        let before_finish = sink.pairs.len();
+        fb.finish(&mut sink);
+        assert_eq!(absorbed, 0);
+        assert_eq!(passed, 15);
+        // All 15 pairs passed straight through; finish drains nothing.
+        assert_eq!(before_finish, 15);
+        assert_eq!(sink.pairs.len(), 15);
+    }
+}

@@ -1,0 +1,145 @@
+//! # textmr-core — frequency-buffering and spill-matcher
+//!
+//! The primary contribution of *"Reducing MapReduce Abstraction Costs for
+//! Text-Centric Applications"* (Hsiao, Cafarella & Narayanasamy, ICPP
+//! 2014), implemented as plug-ins for the `textmr-engine` MapReduce
+//! framework. Neither optimization requires user-code changes:
+//!
+//! * **Frequency-buffering** ([`freq_table::FrequencyBuffer`]): text-centric
+//!   map outputs have Zipf-skewed keys, so a small in-memory hash table of
+//!   the most frequent keys can combine a large share of intermediate
+//!   records *before* they pay the sort/spill/merge/shuffle toll. Frequent
+//!   keys are found online by a [`space_saving::SpaceSaving`] sketch, whose
+//!   sampling length is auto-tuned ([`autotune`]) from a Zipf-α estimate
+//!   ([`zipf_estimator::ZipfEstimator`]); each node's first task shares its
+//!   frozen top-k via the [`registry::FrequentKeyRegistry`].
+//!
+//! * **Spill-matcher** ([`spill_matcher::SpillMatcher`]): adapts the spill
+//!   fraction per spill to `x = max{c/(p+c), ½}` (Eq. 1) so the slower of
+//!   the map/support threads never waits, while spills stay as large as
+//!   possible for combine efficiency. The analytic model behind Eq. 1
+//!   lives in [`model`] and cross-validates the engine's pipeline.
+//!
+//! [`predictors`] adds the Ideal/LRU baselines of the paper's Figure 7.
+//!
+//! ## Usage
+//!
+//! ```
+//! use textmr_core::{optimized, OptimizationConfig};
+//! use textmr_engine::prelude::*;
+//!
+//! // Any engine JobConfig can be upgraded; user job code is untouched.
+//! let cfg: JobConfig = optimized(JobConfig::default(), OptimizationConfig::default());
+//! assert!(cfg.emit_filter.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod fnv;
+pub mod freq_table;
+pub mod model;
+pub mod predictors;
+pub mod registry;
+pub mod space_saving;
+pub mod spill_matcher;
+pub mod zipf_estimator;
+
+pub use freq_table::{frequency_buffer_factory, FreqBufferConfig, FrequencyBuffer};
+pub use registry::FrequentKeyRegistry;
+pub use space_saving::SpaceSaving;
+pub use spill_matcher::{spill_matcher_factory, SpillMatcher, SpillMatcherConfig};
+pub use zipf_estimator::ZipfEstimator;
+
+use std::sync::Arc;
+use textmr_engine::cluster::JobConfig;
+
+/// Which of the paper's optimizations to enable, and their knobs.
+#[derive(Debug, Clone)]
+pub struct OptimizationConfig {
+    /// Enable frequency-buffering with this configuration.
+    pub frequency_buffering: Option<FreqBufferConfig>,
+    /// Enable spill-matcher with this configuration.
+    pub spill_matcher: Option<SpillMatcherConfig>,
+    /// Share each node's frozen top-k across its tasks.
+    pub share_frequent_keys: bool,
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        OptimizationConfig {
+            frequency_buffering: Some(FreqBufferConfig::default()),
+            spill_matcher: Some(SpillMatcherConfig::default()),
+            share_frequent_keys: true,
+        }
+    }
+}
+
+impl OptimizationConfig {
+    /// Only frequency-buffering (the paper's "FreqOpt" rows).
+    pub fn freq_only(cfg: FreqBufferConfig) -> Self {
+        OptimizationConfig {
+            frequency_buffering: Some(cfg),
+            spill_matcher: None,
+            share_frequent_keys: true,
+        }
+    }
+
+    /// Only spill-matcher (the paper's "SpillOpt" rows).
+    pub fn spill_only(cfg: SpillMatcherConfig) -> Self {
+        OptimizationConfig {
+            frequency_buffering: None,
+            spill_matcher: Some(cfg),
+            share_frequent_keys: false,
+        }
+    }
+
+    /// Neither optimization (the paper's "Baseline" rows).
+    pub fn baseline() -> Self {
+        OptimizationConfig {
+            frequency_buffering: None,
+            spill_matcher: None,
+            share_frequent_keys: false,
+        }
+    }
+}
+
+/// Upgrade an engine [`JobConfig`] with the paper's optimizations. The
+/// returned config runs the *same user job* — no code changes — with the
+/// requested plug-ins installed.
+pub fn optimized(mut job_cfg: JobConfig, opt: OptimizationConfig) -> JobConfig {
+    if let Some(sm) = opt.spill_matcher {
+        job_cfg.spill_controller = spill_matcher_factory(sm);
+    }
+    if let Some(fb) = opt.frequency_buffering {
+        let registry = if opt.share_frequent_keys {
+            Some(Arc::new(FrequentKeyRegistry::new()))
+        } else {
+            None
+        };
+        job_cfg.emit_filter = Some(frequency_buffer_factory(fb, registry));
+    } else {
+        job_cfg.emit_filter = None;
+    }
+    job_cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_installs_requested_plugins() {
+        let base = optimized(JobConfig::default(), OptimizationConfig::baseline());
+        assert!(base.emit_filter.is_none());
+
+        let freq = optimized(
+            JobConfig::default(),
+            OptimizationConfig::freq_only(FreqBufferConfig::default()),
+        );
+        assert!(freq.emit_filter.is_some());
+
+        let both = optimized(JobConfig::default(), OptimizationConfig::default());
+        assert!(both.emit_filter.is_some());
+    }
+}

@@ -1,0 +1,216 @@
+//! Analytic model of the spill pipeline (paper Section IV-C).
+//!
+//! Under constant produce rate `p` and consume rate `c` over a buffer of
+//! capacity `M` with spill fraction `x`, the spill sizes obey
+//!
+//! ```text
+//! m_1 = x·M
+//! m_i = max{ x·M, min{ (p/c)·m_{i−1}, M − m_{i−1} } }       (Eq. 2)
+//! ```
+//!
+//! and the slower of the two threads is wait-free iff
+//! `x ≤ max{ c/(p+c), 1/2 }` (Eq. 1). This module evaluates the recurrence
+//! and a continuous-time event simulation of the same pipeline, providing
+//! the theoretical reference the engine's virtual pipeline and the
+//! spill-matcher are validated against (see the ablation bench and the
+//! property tests in `tests/`).
+
+/// Constant-rate pipeline parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RateModel {
+    /// Produce rate (bytes per unit time).
+    pub p: f64,
+    /// Consume rate (bytes per unit time).
+    pub c: f64,
+    /// Buffer capacity M (bytes).
+    pub capacity: f64,
+}
+
+/// Wait times accumulated by each side over a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineWaits {
+    /// Producer blocked on a full buffer.
+    pub producer_wait: f64,
+    /// Consumer idle between spills (after ramp-up; the wait before the
+    /// very first spill is excluded, as in the paper's steady-state
+    /// argument).
+    pub consumer_wait: f64,
+    /// Spill sizes produced.
+    pub spills: Vec<f64>,
+}
+
+impl RateModel {
+    /// The paper's Eq. 1: the largest wait-free spill fraction.
+    pub fn optimal_fraction(&self) -> f64 {
+        (self.c / (self.p + self.c)).max(0.5)
+    }
+
+    /// Evaluate the spill-size recurrence (Eq. 2) for `n` spills.
+    pub fn spill_sizes(&self, x: f64, n: usize) -> Vec<f64> {
+        assert!(x > 0.0 && x <= 1.0);
+        let m_cap = self.capacity;
+        let mut sizes = Vec::with_capacity(n);
+        let mut prev = x * m_cap;
+        sizes.push(prev);
+        for _ in 1..n {
+            let grown = (self.p / self.c) * prev;
+            let room = m_cap - prev;
+            let m = (x * m_cap).max(grown.min(room));
+            sizes.push(m);
+            prev = m;
+        }
+        sizes
+    }
+
+    /// Continuous-time event simulation of the pipeline for `n` spills.
+    /// Exact for constant rates; used to cross-check both Eq. 2 and the
+    /// engine's discrete virtual pipeline.
+    pub fn simulate(&self, x: f64, n: usize) -> PipelineWaits {
+        assert!(x > 0.0 && x <= 1.0);
+        let m_cap = self.capacity;
+        let threshold = x * m_cap;
+        let mut producer_wait = 0.0f64;
+        let mut consumer_wait = 0.0f64;
+        let mut spills = Vec::with_capacity(n);
+
+        // State: time t; active bytes a; consumer busy until cb holding
+        // in-flight bytes f.
+        let mut t = 0.0f64;
+        let mut a = 0.0f64;
+        let mut cb = 0.0f64;
+        let mut f = 0.0f64;
+        let mut first_spill_done = false;
+
+        while spills.len() < n {
+            if t >= cb {
+                f = 0.0;
+            }
+            if a >= threshold && t >= cb {
+                // Handover.
+                if first_spill_done {
+                    consumer_wait += t - cb;
+                }
+                spills.push(a);
+                f = a;
+                cb = t + a / self.c;
+                a = 0.0;
+                first_spill_done = true;
+                continue;
+            }
+            // Produce until the next event: threshold crossing, buffer
+            // full, or consumer completion.
+            let room = m_cap - f - a;
+            let to_threshold = if a < threshold { (threshold - a) / self.p } else { 0.0 };
+            if a >= threshold {
+                // Waiting for the consumer; keep producing into the room.
+                if room <= 1e-12 {
+                    // Full: block until consumer frees.
+                    producer_wait += cb - t;
+                    t = cb;
+                    continue;
+                }
+                let dt = (room / self.p).min(cb - t);
+                a += self.p * dt;
+                t += dt;
+                continue;
+            }
+            if room <= 1e-12 {
+                producer_wait += cb - t;
+                t = cb;
+                continue;
+            }
+            let dt = to_threshold.min(room / self.p);
+            a += self.p * dt;
+            t += dt;
+        }
+        PipelineWaits { producer_wait, consumer_wait, spills }
+    }
+
+    /// Does the slower thread incur (non-ramp-up) wait time at fraction
+    /// `x`, per the simulation?
+    pub fn slower_thread_waits(&self, x: f64, n: usize) -> bool {
+        let w = self.simulate(x, n);
+        if self.p < self.c {
+            w.producer_wait > 1e-9
+        } else {
+            w.consumer_wait > 1e-9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_first_spill_is_xm() {
+        let m = RateModel { p: 1.0, c: 2.0, capacity: 100.0 };
+        assert_eq!(m.spill_sizes(0.4, 1)[0], 40.0);
+    }
+
+    #[test]
+    fn recurrence_growth_with_slow_consumer() {
+        // p > c: spills grow beyond xM until capped by M − m.
+        let m = RateModel { p: 4.0, c: 1.0, capacity: 100.0 };
+        let sizes = m.spill_sizes(0.2, 6);
+        assert!(sizes[1] > sizes[0]);
+        // Bounded by capacity.
+        assert!(sizes.iter().all(|&s| s <= 100.0));
+    }
+
+    #[test]
+    fn optimal_fraction_matches_eq1() {
+        let fast_consumer = RateModel { p: 1.0, c: 3.0, capacity: 100.0 };
+        assert!((fast_consumer.optimal_fraction() - 0.75).abs() < 1e-12);
+        let slow_consumer = RateModel { p: 3.0, c: 1.0, capacity: 100.0 };
+        assert_eq!(slow_consumer.optimal_fraction(), 0.5);
+    }
+
+    #[test]
+    fn at_or_below_optimal_slower_thread_is_waitfree() {
+        for (p, c) in [(1.0, 3.0), (3.0, 1.0), (1.0, 1.01), (2.0, 2.0 + 1e-6)] {
+            let m = RateModel { p, c, capacity: 1000.0 };
+            let x = m.optimal_fraction();
+            assert!(
+                !m.slower_thread_waits(x - 1e-6, 50),
+                "slower thread waited at x just below optimal (p={p}, c={c})"
+            );
+        }
+    }
+
+    #[test]
+    fn above_optimal_slower_thread_waits() {
+        for (p, c) in [(1.0, 3.0), (3.0, 1.0)] {
+            let m = RateModel { p, c, capacity: 1000.0 };
+            let x = (m.optimal_fraction() + 0.15).min(1.0);
+            assert!(
+                m.slower_thread_waits(x, 50),
+                "slower thread should wait above optimal (p={p}, c={c})"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_spills_match_recurrence() {
+        for (p, c, x) in [(4.0, 1.0, 0.2), (1.0, 4.0, 0.7), (2.0, 2.0, 0.5)] {
+            let m = RateModel { p, c, capacity: 500.0 };
+            let sim = m.simulate(x, 8).spills;
+            let rec = m.spill_sizes(x, 8);
+            for (i, (s, r)) in sim.iter().zip(rec.iter()).enumerate() {
+                assert!(
+                    (s - r).abs() < 1e-6 * m.capacity,
+                    "spill {i}: sim={s} recurrence={r} (p={p} c={c} x={x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_spill_sizes_converge() {
+        let m = RateModel { p: 3.0, c: 1.0, capacity: 100.0 };
+        let sizes = m.spill_sizes(0.5, 30);
+        let last = sizes[29];
+        let prev = sizes[28];
+        assert!((last - prev).abs() < 1e-9, "did not converge: {prev} vs {last}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Frequent-key prediction baselines for Figure 7.
+//!
+//! The paper evaluates how many intermediate values each prediction scheme
+//! removes from the spill path, as a function of the buffer size `k`:
+//!
+//! * **SpaceSaving** — the paper's scheme: profile the first `s·N` records
+//!   with the Metwally sketch, freeze the top-k, absorb matches thereafter;
+//! * **Ideal** — oracle knowledge of the true top-k keys (upper bound on
+//!   any prediction scheme);
+//! * **LRU** — "always adds each new tuple to the buffer, expelling the
+//!   least-recently-used key"; a record is removed when its key is already
+//!   buffered.
+//!
+//! All three absorb over the same optimization window — the records after
+//! the `s·N` profiling prefix — so the comparison isolates *prediction
+//! quality* (the paper's ~6 % Space-Saving-vs-Ideal gap is only meaningful
+//! under a common window; LRU additionally warm-starts its buffer during
+//! the prefix). The functions return the fraction of all records removed.
+
+use crate::space_saving::SpaceSaving;
+use std::collections::HashMap;
+
+/// Fraction removed by the paper's scheme: Space-Saving profiling over the
+/// first `s` fraction of the stream, frozen top-k absorption afterwards.
+pub fn removed_fraction_space_saving<'a>(
+    stream: impl ExactSizeIterator<Item = &'a [u8]>,
+    k: usize,
+    s: f64,
+) -> f64 {
+    assert!((0.0..1.0).contains(&s), "profiling fraction must be in [0,1)");
+    let n = stream.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let profile_n = ((n as f64) * s) as usize;
+    let mut sketch = SpaceSaving::new(k.max(1));
+    let mut frozen: Option<std::collections::HashSet<Vec<u8>>> = None;
+    let mut removed = 0usize;
+    for (i, key) in stream.enumerate() {
+        if i < profile_n {
+            sketch.offer(key);
+            continue;
+        }
+        let table =
+            frozen.get_or_insert_with(|| sketch.top_k(k).into_iter().collect());
+        if table.contains(key) {
+            removed += 1;
+        }
+    }
+    removed as f64 / n as f64
+}
+
+/// Fraction removed with oracle knowledge of the true top-k keys,
+/// absorbing over the post-profiling window (records after `s·N`).
+pub fn removed_fraction_ideal<'a>(
+    stream: impl ExactSizeIterator<Item = &'a [u8]> + Clone,
+    k: usize,
+    s: f64,
+) -> f64 {
+    let n = stream.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let profile_n = ((n as f64) * s) as usize;
+    let mut counts: HashMap<&[u8], u64> = HashMap::new();
+    for key in stream.clone() {
+        *counts.entry(key).or_default() += 1;
+    }
+    let mut freqs: Vec<(&[u8], u64)> = counts.into_iter().collect();
+    freqs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let top: std::collections::HashSet<&[u8]> =
+        freqs.iter().take(k).map(|(key, _)| *key).collect();
+    let removed = stream.skip(profile_n).filter(|key| top.contains(key)).count();
+    removed as f64 / n as f64
+}
+
+/// Fraction removed by an LRU buffer of `k` keys over the post-profiling
+/// window. The buffer warm-starts during the profiling prefix (insertions
+/// without counting hits), then every window record is inserted and counts
+/// as removed when its key is already resident.
+pub fn removed_fraction_lru<'a>(
+    stream: impl ExactSizeIterator<Item = &'a [u8]>,
+    k: usize,
+    s: f64,
+) -> f64 {
+    let k = k.max(1);
+    let n = stream.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let profile_n = ((n as f64) * s) as usize;
+    // Simple timestamped LRU; k is small (thousands), streams are large,
+    // so an ordered scan on eviction would be O(n·k). Use timestamp map +
+    // a monotonically increasing clock with a BTreeMap index.
+    use std::collections::BTreeMap;
+    let mut stamp_of: HashMap<Vec<u8>, u64> = HashMap::new();
+    let mut by_stamp: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut clock = 0u64;
+    let mut removed = 0u64;
+    for (i, key) in stream.enumerate() {
+        clock += 1;
+        if let Some(old) = stamp_of.get_mut(key) {
+            if i >= profile_n {
+                removed += 1;
+            }
+            by_stamp.remove(old);
+            *old = clock;
+            by_stamp.insert(clock, key.to_vec());
+            continue;
+        }
+        if stamp_of.len() == k {
+            let (&oldest, _) = by_stamp.iter().next().expect("LRU non-empty");
+            let victim = by_stamp.remove(&oldest).expect("victim present");
+            stamp_of.remove(&victim);
+        }
+        stamp_of.insert(key.to_vec(), clock);
+        by_stamp.insert(clock, key.to_vec());
+    }
+    removed as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Zipf-ish *stationary* stream: rank i appears 600/i times, spread
+    /// evenly over the stream (occurrence j of a count-c key sits at
+    /// virtual time (j+½)/c). Stationarity is the paper's Sec. III-B
+    /// assumption; a non-stationary stream defeats any prefix profiler.
+    fn skewed_stream() -> Vec<Vec<u8>> {
+        let mut events: Vec<(f64, usize)> = Vec::new();
+        for i in 1..=120usize {
+            let c = (600 / i).max(1);
+            for j in 0..c {
+                events.push(((j as f64 + 0.5) / c as f64, i));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        events.into_iter().map(|(_, i)| format!("k{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn ideal_dominates_space_saving() {
+        let stream = skewed_stream();
+        for k in [2usize, 8, 32] {
+            let ideal = removed_fraction_ideal(stream.iter().map(|v| v.as_slice()), k, 0.1);
+            let ss = removed_fraction_space_saving(stream.iter().map(|v| v.as_slice()), k, 0.1);
+            assert!(
+                ideal >= ss - 1e-9,
+                "ideal {ideal} must dominate space-saving {ss} at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_saving_close_to_ideal_on_skew() {
+        let stream = skewed_stream();
+        let k = 16;
+        let ideal = removed_fraction_ideal(stream.iter().map(|v| v.as_slice()), k, 0.1);
+        let ss = removed_fraction_space_saving(stream.iter().map(|v| v.as_slice()), k, 0.1);
+        // The paper reports ~6% gap on text under a common window; allow a
+        // loose bound here (small synthetic stream).
+        assert!(ideal - ss < 0.15, "gap too large: ideal={ideal} ss={ss}");
+        assert!(ss > 0.2, "space-saving should remove a meaningful share, got {ss}");
+    }
+
+    #[test]
+    fn removal_grows_with_k() {
+        let stream = skewed_stream();
+        let at = |k| removed_fraction_ideal(stream.iter().map(|v| v.as_slice()), k, 0.1);
+        assert!(at(4) <= at(16));
+        assert!(at(16) <= at(64));
+    }
+
+    #[test]
+    fn lru_caps_at_hit_rate_and_handles_eviction() {
+        let stream = skewed_stream();
+        let lru = removed_fraction_lru(stream.iter().map(|v| v.as_slice()), 8, 0.1);
+        assert!(lru > 0.0 && lru < 1.0);
+        // Tiny capacity still works.
+        let lru1 = removed_fraction_lru(stream.iter().map(|v| v.as_slice()), 1, 0.1);
+        assert!(lru1 <= lru);
+    }
+
+    #[test]
+    fn lru_scan_pattern_defeats_it() {
+        // A cyclic scan over k+1 keys with capacity k gives LRU zero hits —
+        // the classic LRU pathology; the frozen top-k approach is immune.
+        let keys: Vec<Vec<u8>> = (0..5).map(|i| format!("s{i}").into_bytes()).collect();
+        let stream: Vec<&[u8]> =
+            (0..100).map(|i| keys[i % 5].as_slice()).collect();
+        let lru = removed_fraction_lru(stream.iter().copied(), 4, 0.0);
+        assert_eq!(lru, 0.0);
+        let ideal = removed_fraction_ideal(stream.iter().copied(), 4, 0.0);
+        assert!(ideal > 0.7);
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let empty: Vec<&[u8]> = Vec::new();
+        assert_eq!(removed_fraction_ideal(empty.iter().copied(), 4, 0.1), 0.0);
+        assert_eq!(removed_fraction_lru(empty.iter().copied(), 4, 0.1), 0.0);
+        assert_eq!(removed_fraction_space_saving(empty.into_iter(), 4, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-node frequent-key sharing (paper Sec. III-B, last paragraph).
+//!
+//! "If the key distribution does not significantly change across different
+//! map tasks within a single job, then it is redundant to profile for the
+//! top-k keys in each task. Instead, our system finds the top-k
+//! frequent-key set just once for all the tasks that run on a single node;
+//! after the first task, the top-k are shared with all subsequent ones."
+//!
+//! The registry is a job-scoped, thread-safe map from node id to the
+//! frozen top-k key set. The first task on a node to finish profiling
+//! publishes; later tasks construct their table directly from the lookup.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Job-scoped registry of frozen frequent-key sets, one per node.
+#[derive(Debug, Default)]
+pub struct FrequentKeyRegistry {
+    slots: Mutex<HashMap<usize, Arc<Vec<Box<[u8]>>>>>,
+}
+
+impl FrequentKeyRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish `keys` as node `node`'s frequent set. First publisher wins;
+    /// later publications for the same node are ignored (all tasks on a
+    /// node see the same distribution, so the first frozen set is as good
+    /// as any and keeping it makes runs deterministic).
+    pub fn publish(&self, node: usize, keys: Vec<Box<[u8]>>) {
+        let mut slots = self.slots.lock();
+        slots.entry(node).or_insert_with(|| Arc::new(keys));
+    }
+
+    /// The frequent set published for `node`, if any.
+    pub fn lookup(&self, node: usize) -> Option<Arc<Vec<Box<[u8]>>>> {
+        self.slots.lock().get(&node).cloned()
+    }
+
+    /// Number of nodes with a published set.
+    pub fn nodes_published(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(v: &[&str]) -> Vec<Box<[u8]>> {
+        v.iter().map(|s| s.as_bytes().into()).collect()
+    }
+
+    #[test]
+    fn publish_then_lookup() {
+        let r = FrequentKeyRegistry::new();
+        assert!(r.lookup(0).is_none());
+        r.publish(0, keys(&["the", "of"]));
+        let got = r.lookup(0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(r.lookup(1).is_none());
+    }
+
+    #[test]
+    fn first_publisher_wins() {
+        let r = FrequentKeyRegistry::new();
+        r.publish(2, keys(&["a"]));
+        r.publish(2, keys(&["b", "c"]));
+        let got = r.lookup(2).unwrap();
+        assert_eq!(got.as_slice(), keys(&["a"]).as_slice());
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let r = FrequentKeyRegistry::new();
+        r.publish(0, keys(&["x"]));
+        r.publish(1, keys(&["y"]));
+        assert_eq!(r.nodes_published(), 2);
+        assert_ne!(r.lookup(0).unwrap(), r.lookup(1).unwrap());
+    }
+
+    #[test]
+    fn concurrent_publish_is_safe() {
+        let r = Arc::new(FrequentKeyRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    r.publish(0, keys(&[&format!("k{i}")]));
+                    r.lookup(0).unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Everyone sees the same winning set.
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

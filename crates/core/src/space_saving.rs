@@ -1,0 +1,434 @@
+//! The Space-Saving top-k sketch (Metwally, Agrawal & El Abbadi, ICDT'05).
+//!
+//! The paper's frequency-buffering profiler uses exactly this algorithm
+//! (Section III-B): a fixed table of `k` counters; a hit increments its
+//! counter; a miss over a full table evicts one key with the minimum count
+//! and inserts the new key with `count = min + 1`, remembering
+//! `error = min` so the overestimation is bounded.
+//!
+//! This implementation is the classic *stream-summary* structure: buckets
+//! of equal count kept in an ascending doubly-linked list, slots chained
+//! per bucket — O(1) amortized per update, O(1) min lookup.
+//!
+//! Guarantees (tested, including by proptest):
+//! * the sum of all counters equals the number of offered items;
+//! * for every monitored key, `count − error ≤ true frequency ≤ count`;
+//! * any key with true frequency > N/k is monitored.
+
+use crate::fnv::FnvHashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    key: Box<[u8]>,
+    error: u64,
+    bucket: u32,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    count: u64,
+    /// First slot in this bucket's chain.
+    head: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// The Space-Saving sketch. `capacity` is the paper's `k`.
+#[derive(Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    map: FnvHashMap<Box<[u8]>, u32>,
+    slots: Vec<Slot>,
+    buckets: Vec<Bucket>,
+    free_buckets: Vec<u32>,
+    /// Bucket with the smallest count (list head); NIL when empty.
+    min_bucket: u32,
+    /// Total items offered.
+    items: u64,
+}
+
+impl SpaceSaving {
+    /// Create a sketch monitoring at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SpaceSaving capacity must be positive");
+        SpaceSaving {
+            capacity,
+            map: FnvHashMap::default(),
+            slots: Vec::with_capacity(capacity),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            min_bucket: NIL,
+            items: 0,
+        }
+    }
+
+    /// Number of monitored keys (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True before any key is offered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total items offered so far (= sum of all counters).
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The monitoring capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offer one occurrence of `key`.
+    pub fn offer(&mut self, key: &[u8]) {
+        self.offer_n(key, 1);
+    }
+
+    /// Offer `n` occurrences of `key` at once (used to seed the sketch from
+    /// the pre-profiling stage's exact counts).
+    pub fn offer_n(&mut self, key: &[u8], n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.items += n;
+        if let Some(&slot) = self.map.get(key) {
+            self.bump(slot, n);
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot { key: key.into(), error: 0, bucket: NIL, prev: NIL, next: NIL });
+            self.map.insert(key.into(), slot);
+            self.attach(slot, n);
+            return;
+        }
+        // Evict a minimum-count key.
+        let min_b = self.min_bucket;
+        let victim = self.buckets[min_b as usize].head;
+        let min_count = self.buckets[min_b as usize].count;
+        let old_key = std::mem::replace(&mut self.slots[victim as usize].key, key.into());
+        self.map.remove(&old_key);
+        self.map.insert(key.into(), victim);
+        self.slots[victim as usize].error = min_count;
+        self.bump(victim, n);
+    }
+
+    /// Estimated count of `key` (with its error bound), if monitored.
+    pub fn get(&self, key: &[u8]) -> Option<(u64, u64)> {
+        let &slot = self.map.get(key)?;
+        let s = &self.slots[slot as usize];
+        Some((self.buckets[s.bucket as usize].count, s.error))
+    }
+
+    /// All monitored keys as `(key, count, error)`, descending by count.
+    pub fn entries(&self) -> Vec<(Vec<u8>, u64, u64)> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        let mut b = self.min_bucket;
+        while b != NIL {
+            let bucket = &self.buckets[b as usize];
+            let mut s = bucket.head;
+            while s != NIL {
+                let slot = &self.slots[s as usize];
+                out.push((slot.key.to_vec(), bucket.count, slot.error));
+                s = slot.next;
+            }
+            b = bucket.next;
+        }
+        out.reverse(); // ascending bucket walk → reverse for descending
+        out
+    }
+
+    /// The top-`k` keys by estimated count, descending.
+    pub fn top_k(&self, k: usize) -> Vec<Vec<u8>> {
+        self.entries().into_iter().take(k).map(|(key, _, _)| key).collect()
+    }
+
+    /// Smallest counter value (0 when not yet full) — the error bound for
+    /// any unmonitored key.
+    pub fn min_count(&self) -> u64 {
+        if self.slots.len() < self.capacity || self.min_bucket == NIL {
+            0
+        } else {
+            self.buckets[self.min_bucket as usize].count
+        }
+    }
+
+    // ---- linked-structure plumbing -------------------------------------------
+
+    /// Increase `slot`'s count by `n`, relocating it to the right bucket.
+    fn bump(&mut self, slot: u32, n: u64) {
+        let old_bucket = self.slots[slot as usize].bucket;
+        let new_count = self.buckets[old_bucket as usize].count + n;
+        self.detach(slot);
+        self.attach_at(slot, new_count, old_bucket);
+        self.reap_bucket(old_bucket);
+    }
+
+    /// Attach a fresh slot with count `n` (search from the min bucket).
+    fn attach(&mut self, slot: u32, n: u64) {
+        self.attach_from(slot, n, self.min_bucket, NIL);
+    }
+
+    /// Attach `slot` with `count`, starting the search at `hint` (the
+    /// bucket it came from, already detached but not yet reaped).
+    fn attach_at(&mut self, slot: u32, count: u64, hint: u32) {
+        // The target bucket has count ≥ the hint bucket's count; search
+        // forward from the hint.
+        self.attach_from(slot, count, hint, hint);
+    }
+
+    /// Walk buckets from `start` to find/create the bucket with `count` and
+    /// put `slot` at its head. `skip_empty` is a bucket allowed to be empty
+    /// (pending reap) that must not be chosen as the target unless counts
+    /// match exactly and it is non-empty-compatible.
+    fn attach_from(&mut self, slot: u32, count: u64, start: u32, came_from: u32) {
+        // Find insertion point: last bucket with bucket.count < count.
+        let mut prev = NIL;
+        let mut cur = if start == NIL { self.min_bucket } else { start };
+        // `start` may itself have count ≥ count only when it's min_bucket;
+        // normalize by walking from min_bucket in that case.
+        if cur != NIL && self.buckets[cur as usize].count >= count {
+            cur = self.min_bucket;
+        }
+        while cur != NIL && self.buckets[cur as usize].count < count {
+            prev = cur;
+            cur = self.buckets[cur as usize].next;
+        }
+        let target = if cur != NIL && self.buckets[cur as usize].count == count && cur != came_from
+        {
+            cur
+        } else if cur == came_from && cur != NIL && self.buckets[cur as usize].count == count {
+            // Re-attaching to the bucket we came from (possible when n
+            // bumps by 0 — excluded — or hint equals target); treat as
+            // normal target.
+            cur
+        } else {
+            // Create a new bucket between prev and cur.
+            let b = self.alloc_bucket(count, prev, cur);
+            if prev == NIL {
+                self.min_bucket = b;
+            } else {
+                self.buckets[prev as usize].next = b;
+            }
+            if cur != NIL {
+                self.buckets[cur as usize].prev = b;
+            }
+            b
+        };
+        // Push slot at the bucket's head.
+        let head = self.buckets[target as usize].head;
+        self.slots[slot as usize].bucket = target;
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = head;
+        if head != NIL {
+            self.slots[head as usize].prev = slot;
+        }
+        self.buckets[target as usize].head = slot;
+    }
+
+    /// Unlink `slot` from its bucket's chain (bucket may become empty; call
+    /// [`Self::reap_bucket`] afterwards).
+    fn detach(&mut self, slot: u32) {
+        let (b, prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.bucket, s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.buckets[b as usize].head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        }
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = NIL;
+    }
+
+    /// Remove `bucket` from the bucket list if it has no slots.
+    fn reap_bucket(&mut self, bucket: u32) {
+        if self.buckets[bucket as usize].head != NIL {
+            return;
+        }
+        let (prev, next) = {
+            let b = &self.buckets[bucket as usize];
+            (b.prev, b.next)
+        };
+        if prev != NIL {
+            self.buckets[prev as usize].next = next;
+        } else {
+            self.min_bucket = next;
+        }
+        if next != NIL {
+            self.buckets[next as usize].prev = prev;
+        }
+        self.free_buckets.push(bucket);
+    }
+
+    fn alloc_bucket(&mut self, count: u64, prev: u32, next: u32) -> u32 {
+        if let Some(b) = self.free_buckets.pop() {
+            self.buckets[b as usize] = Bucket { count, head: NIL, prev, next };
+            b
+        } else {
+            self.buckets.push(Bucket { count, head: NIL, prev, next });
+            (self.buckets.len() - 1) as u32
+        }
+    }
+
+    /// Structural invariants; used by tests.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        // Bucket list strictly ascending, no empty buckets.
+        let mut b = self.min_bucket;
+        let mut last_count = 0u64;
+        let mut prev = NIL;
+        let mut slot_total = 0usize;
+        while b != NIL {
+            let bucket = &self.buckets[b as usize];
+            assert!(bucket.head != NIL, "empty bucket in list");
+            assert!(bucket.count > last_count || prev == NIL, "bucket counts not ascending");
+            assert_eq!(bucket.prev, prev, "broken bucket back-link");
+            last_count = bucket.count;
+            let mut s = bucket.head;
+            let mut sprev = NIL;
+            while s != NIL {
+                let slot = &self.slots[s as usize];
+                assert_eq!(slot.bucket, b, "slot points at wrong bucket");
+                assert_eq!(slot.prev, sprev, "broken slot back-link");
+                slot_total += 1;
+                sprev = s;
+                s = slot.next;
+            }
+            prev = b;
+            b = bucket.next;
+        }
+        assert_eq!(slot_total, self.slots.len(), "slot chain lost entries");
+        assert_eq!(self.map.len(), self.slots.len(), "map out of sync");
+        // Counter sum == items offered.
+        let sum: u64 = self.entries().iter().map(|(_, c, _)| c).sum();
+        assert_eq!(sum, self.items, "counter-sum invariant violated");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdMap;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for _ in 0..5 {
+            ss.offer(b"a");
+        }
+        ss.offer(b"b");
+        assert_eq!(ss.get(b"a"), Some((5, 0)));
+        assert_eq!(ss.get(b"b"), Some((1, 0)));
+        assert_eq!(ss.min_count(), 0);
+        ss.check_invariants();
+    }
+
+    #[test]
+    fn eviction_preserves_guarantees() {
+        let mut ss = SpaceSaving::new(2);
+        ss.offer(b"a");
+        ss.offer(b"a");
+        ss.offer(b"b");
+        ss.offer(b"c"); // evicts b (min count 1): c gets count 2, error 1.
+        assert_eq!(ss.get(b"b"), None);
+        assert_eq!(ss.get(b"c"), Some((2, 1)));
+        assert_eq!(ss.items(), 4);
+        ss.check_invariants();
+    }
+
+    #[test]
+    fn heavy_hitter_survives_zipf_stream() {
+        // Deterministic skewed stream: key i appears ~1000/i times.
+        let mut stream = Vec::new();
+        for i in 1..=200usize {
+            for _ in 0..(1000 / i) {
+                stream.push(format!("k{i}"));
+            }
+        }
+        // Interleave to stress eviction.
+        let mut interleaved = Vec::with_capacity(stream.len());
+        let half = stream.len() / 2;
+        for j in 0..half {
+            interleaved.push(stream[j].clone());
+            interleaved.push(stream[stream.len() - 1 - j].clone());
+        }
+        let mut ss = SpaceSaving::new(20);
+        let mut truth: StdMap<String, u64> = StdMap::new();
+        for k in &interleaved {
+            ss.offer(k.as_bytes());
+            *truth.entry(k.clone()).or_default() += 1;
+        }
+        ss.check_invariants();
+        // The most frequent key must be monitored and within bounds.
+        let (count, err) = ss.get(b"k1").expect("k1 must be monitored");
+        let t = truth["k1"];
+        assert!(count >= t, "count {count} < true {t}");
+        assert!(count - err <= t, "lower bound violated");
+        // Top-5 of the sketch should include k1 and k2.
+        let top: Vec<String> =
+            ss.top_k(5).into_iter().map(|k| String::from_utf8(k).unwrap()).collect();
+        assert!(top.contains(&"k1".to_string()), "{top:?}");
+        assert!(top.contains(&"k2".to_string()), "{top:?}");
+    }
+
+    #[test]
+    fn counter_sum_equals_items() {
+        let mut ss = SpaceSaving::new(3);
+        let keys = ["x", "y", "z", "w", "x", "x", "v", "y", "u", "u"];
+        for k in keys {
+            ss.offer(k.as_bytes());
+            ss.check_invariants();
+        }
+        assert_eq!(ss.items(), keys.len() as u64);
+    }
+
+    #[test]
+    fn offer_n_seeds_like_repeated_offers() {
+        let mut a = SpaceSaving::new(4);
+        let mut b = SpaceSaving::new(4);
+        for _ in 0..7 {
+            a.offer(b"k");
+        }
+        b.offer_n(b"k", 7);
+        assert_eq!(a.get(b"k"), b.get(b"k"));
+        assert_eq!(a.items(), b.items());
+    }
+
+    #[test]
+    fn entries_sorted_descending() {
+        let mut ss = SpaceSaving::new(8);
+        for (k, n) in [("a", 5u64), ("b", 2), ("c", 9), ("d", 1)] {
+            ss.offer_n(k.as_bytes(), n);
+        }
+        let counts: Vec<u64> = ss.entries().iter().map(|(_, c, _)| *c).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        assert_eq!(counts, sorted);
+    }
+
+    #[test]
+    fn capacity_one_tracks_majority_style() {
+        let mut ss = SpaceSaving::new(1);
+        for k in ["a", "b", "a", "a", "c", "a"] {
+            ss.offer(k.as_bytes());
+            ss.check_invariants();
+        }
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss.items(), 6);
+    }
+}

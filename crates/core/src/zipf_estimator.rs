@@ -1,0 +1,201 @@
+//! Zipf-parameter estimation (the paper's pre-profiling step, Sec. III-C).
+//!
+//! Frequency-buffering must choose its sampling fraction `s` before it
+//! knows the key distribution. The paper's answer: watch ~1 % of the
+//! intermediate records, assume the distribution is Zipf(α) (justified via
+//! Belevitch's first-order truncation argument), and estimate α by linear
+//! regression of `log f_i` on `log i` over the observed rank/frequency
+//! pairs — since `f_i = C·i^{-α}` gives `log f_i = −α·log i + log C`.
+
+use crate::fnv::FnvHashMap;
+
+/// Default cap on distinct keys tracked during pre-profiling; bounds
+/// memory on adversarial streams while far exceeding what the regression
+/// needs.
+pub const DEFAULT_MAX_KEYS: usize = 65_536;
+
+/// Accumulates exact key counts over a small prefix of the stream, then
+/// fits α.
+#[derive(Debug)]
+pub struct ZipfEstimator {
+    counts: FnvHashMap<Box<[u8]>, u64>,
+    max_keys: usize,
+    /// Records seen (including ones dropped once the key cap was hit).
+    seen: u64,
+}
+
+impl Default for ZipfEstimator {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_KEYS)
+    }
+}
+
+/// Result of the α fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfFit {
+    /// Estimated Zipf exponent, clamped to `[0.1, 3.0]`.
+    pub alpha: f64,
+    /// Number of rank/frequency points used in the regression.
+    pub points: usize,
+    /// Distinct keys observed in the sample.
+    pub distinct: usize,
+}
+
+impl ZipfEstimator {
+    /// New estimator tracking at most `max_keys` distinct keys.
+    pub fn new(max_keys: usize) -> Self {
+        ZipfEstimator { counts: FnvHashMap::default(), max_keys: max_keys.max(16), seen: 0 }
+    }
+
+    /// Observe one intermediate key.
+    pub fn observe(&mut self, key: &[u8]) {
+        self.seen += 1;
+        if let Some(c) = self.counts.get_mut(key) {
+            *c += 1;
+        } else if self.counts.len() < self.max_keys {
+            self.counts.insert(key.into(), 1);
+        }
+        // Keys beyond the cap are dropped; with a skewed stream the head —
+        // which drives the fit — is captured long before the cap is hit.
+    }
+
+    /// Records observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Distinct keys currently tracked.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Consume the accumulated counts (e.g. to seed a Space-Saving sketch).
+    pub fn into_counts(self) -> FnvHashMap<Box<[u8]>, u64> {
+        self.counts
+    }
+
+    /// Fit α by least squares on `(log rank, log frequency)`.
+    ///
+    /// Ranks whose count is 1 are down-weighted by truncation: the tail of
+    /// a short sample is dominated by singletons whose log-frequency is
+    /// pinned at 0 and would bias α low; we use ranks up to the last count
+    /// ≥ 2, but never fewer than [`MIN_POINTS`] points when available.
+    pub fn fit(&self) -> ZipfFit {
+        /// Regression needs at least this many points to be meaningful.
+        pub const MIN_POINTS: usize = 5;
+
+        let mut freqs: Vec<u64> = self.counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let distinct = freqs.len();
+        if distinct < 2 {
+            return ZipfFit { alpha: 1.0, points: distinct, distinct };
+        }
+        // Truncate the singleton tail (keep at least MIN_POINTS).
+        let mut n = freqs.iter().take_while(|&&f| f >= 2).count();
+        n = n.max(MIN_POINTS.min(distinct)).min(distinct);
+        let pts = &freqs[..n];
+        if n < 2 {
+            return ZipfFit { alpha: 1.0, points: n, distinct };
+        }
+        // Least squares: y = a + b x with x = ln(rank), y = ln(freq).
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (i, &f) in pts.iter().enumerate() {
+            let x = ((i + 1) as f64).ln();
+            let y = (f as f64).ln();
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let nf = n as f64;
+        let denom = nf * sxx - sx * sx;
+        let alpha = if denom.abs() < 1e-12 {
+            1.0
+        } else {
+            let slope = (nf * sxy - sx * sy) / denom;
+            (-slope).clamp(0.1, 3.0)
+        };
+        ZipfFit { alpha, points: n, distinct }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a deterministic stream where rank i appears round(C·i^{-α})
+    /// times, shuffled by interleaving.
+    fn zipf_stream(alpha: f64, ranks: usize, c: f64) -> Vec<Vec<u8>> {
+        let mut items = Vec::new();
+        for i in 1..=ranks {
+            let f = (c * (i as f64).powf(-alpha)).round() as usize;
+            for _ in 0..f.max(1) {
+                items.push(format!("key{i}").into_bytes());
+            }
+        }
+        // Deterministic interleave so the estimator sees a mixed prefix.
+        let mut out = Vec::with_capacity(items.len());
+        let (mut lo, mut hi) = (0usize, items.len());
+        while lo < hi {
+            out.push(items[lo].clone());
+            lo += 1;
+            if lo < hi {
+                hi -= 1;
+                out.push(items[hi].clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_alpha_one() {
+        let mut est = ZipfEstimator::default();
+        for k in zipf_stream(1.0, 500, 5000.0) {
+            est.observe(&k);
+        }
+        let fit = est.fit();
+        assert!((fit.alpha - 1.0).abs() < 0.15, "alpha={}", fit.alpha);
+    }
+
+    #[test]
+    fn recovers_alpha_low_skew() {
+        let mut est = ZipfEstimator::default();
+        for k in zipf_stream(0.8, 500, 5000.0) {
+            est.observe(&k);
+        }
+        let fit = est.fit();
+        assert!((fit.alpha - 0.8).abs() < 0.15, "alpha={}", fit.alpha);
+    }
+
+    #[test]
+    fn uniform_stream_fits_near_zero() {
+        let mut est = ZipfEstimator::default();
+        for round in 0..20 {
+            for i in 0..100 {
+                let _ = round;
+                est.observe(format!("k{i}").as_bytes());
+            }
+        }
+        let fit = est.fit();
+        assert!(fit.alpha < 0.2, "alpha={}", fit.alpha);
+    }
+
+    #[test]
+    fn degenerate_inputs_default_to_one() {
+        let est = ZipfEstimator::default();
+        assert_eq!(est.fit().alpha, 1.0);
+        let mut est = ZipfEstimator::default();
+        est.observe(b"only");
+        assert_eq!(est.fit().alpha, 1.0);
+    }
+
+    #[test]
+    fn key_cap_is_respected() {
+        let mut est = ZipfEstimator::new(100);
+        for i in 0..10_000 {
+            est.observe(format!("k{i}").as_bytes());
+        }
+        assert!(est.distinct() <= 100);
+        assert_eq!(est.seen(), 10_000);
+    }
+}

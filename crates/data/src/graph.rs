@@ -1,0 +1,171 @@
+//! Synthetic web-graph generator for the PageRank workload.
+//!
+//! Substitute for the paper's 10 M-page synthetic crawl (22.89 GB) built
+//! with Pavlo et al.'s tools using Zipf(α = 1) link popularity per Adamic &
+//! Huberman [2]. A page record is one line:
+//!
+//! ```text
+//! <pageId>|<rank>|<out1>,<out2>,...
+//! ```
+//!
+//! where `<rank>` is the page's current PageRank value (initialized to
+//! 1/N) and the out-links point at Zipf-popular target pages, so in-link
+//! counts are Zipfian — the skew that matters for frequency-buffering on
+//! the PageRank map output.
+
+use crate::zipf::ZipfTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Configuration for web-graph generation.
+#[derive(Debug, Clone)]
+pub struct GraphConfig {
+    /// Number of pages in the crawl.
+    pub pages: usize,
+    /// Mean out-degree per page (actual degree jitters ±50 %).
+    pub mean_out_degree: usize,
+    /// Zipf exponent for in-link popularity (paper: 1.0).
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig { pages: 20_000, mean_out_degree: 8, alpha: 1.0, seed: 0x9a9e_12a7 }
+    }
+}
+
+impl GraphConfig {
+    /// Generate the crawl, one adjacency line per page. Page ids are
+    /// `0..pages`; the initial rank of every page is `1/pages`.
+    pub fn generate(&self) -> Vec<String> {
+        let zipf = ZipfTable::new(self.pages, self.alpha);
+        let init_rank = 1.0 / self.pages as f64;
+        (0..self.pages)
+            .into_par_iter()
+            .map(|page| {
+                let mut rng =
+                    StdRng::seed_from_u64(self.seed ^ (page as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                let lo = (self.mean_out_degree / 2).max(1);
+                let hi = (self.mean_out_degree * 3 / 2).max(lo + 1);
+                let degree = rng.gen_range(lo..=hi);
+                let mut line = format!("{page}|{init_rank:.10}|");
+                for d in 0..degree {
+                    // Popularity rank 1 maps to page 0, etc.
+                    let target = zipf.sample(&mut rng) - 1;
+                    if d > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&target.to_string());
+                }
+                line
+            })
+            .collect()
+    }
+
+    /// Graph as a newline-terminated byte buffer.
+    pub fn generate_bytes(&self) -> Vec<u8> {
+        let lines = self.generate();
+        let mut buf = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in &lines {
+            buf.extend_from_slice(l.as_bytes());
+            buf.push(b'\n');
+        }
+        buf
+    }
+}
+
+/// Parsed view of a page record. Out-links are iterated lazily.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRecord<'a> {
+    /// Page id.
+    pub page: u64,
+    /// Current PageRank value.
+    pub rank: f64,
+    links: &'a str,
+}
+
+impl<'a> PageRecord<'a> {
+    /// Parse one adjacency line; returns `None` on malformed input.
+    pub fn parse(line: &'a str) -> Option<Self> {
+        let mut f = line.splitn(3, '|');
+        Some(PageRecord {
+            page: f.next()?.parse().ok()?,
+            rank: f.next()?.parse().ok()?,
+            links: f.next().unwrap_or(""),
+        })
+    }
+
+    /// Iterate the out-link page ids.
+    pub fn out_links(&self) -> impl Iterator<Item = u64> + 'a {
+        self.links.split(',').filter(|s| !s.is_empty()).filter_map(|s| s.parse().ok())
+    }
+
+    /// The raw out-link field (re-emitted verbatim by the PageRank mapper
+    /// to reconstruct the graph).
+    pub fn links_str(&self) -> &'a str {
+        self.links
+    }
+
+    /// Out-degree of the page.
+    pub fn out_degree(&self) -> usize {
+        self.out_links().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn records_parse_back() {
+        let cfg = GraphConfig { pages: 200, ..Default::default() };
+        let lines = cfg.generate();
+        assert_eq!(lines.len(), 200);
+        for line in &lines {
+            let rec = PageRecord::parse(line).expect("generated record must parse");
+            assert!(rec.out_degree() >= 1);
+            assert!((rec.rank - 1.0 / 200.0).abs() < 1e-9);
+            for t in rec.out_links() {
+                assert!((t as usize) < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn in_link_popularity_is_skewed() {
+        let cfg = GraphConfig { pages: 2000, mean_out_degree: 10, alpha: 1.0, seed: 1 };
+        let mut indeg: HashMap<u64, usize> = HashMap::new();
+        for line in cfg.generate() {
+            let rec = PageRecord::parse(&line).unwrap();
+            for t in rec.out_links() {
+                *indeg.entry(t).or_default() += 1;
+            }
+        }
+        let top = indeg.get(&0).copied().unwrap_or(0);
+        let mid = indeg.get(&1000).copied().unwrap_or(0);
+        assert!(top > mid.max(1) * 20, "top={top} mid={mid}: in-link skew too flat");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GraphConfig { pages: 100, ..Default::default() };
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PageRecord::parse("notanumber|0.5|1,2").is_none());
+        assert!(PageRecord::parse("7").is_none());
+    }
+
+    #[test]
+    fn empty_link_list_is_ok() {
+        let rec = PageRecord::parse("3|0.25|").unwrap();
+        assert_eq!(rec.out_degree(), 0);
+        assert_eq!(rec.page, 3);
+    }
+}

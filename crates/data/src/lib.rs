@@ -1,0 +1,26 @@
+//! # textmr-data — synthetic datasets for the textmr reproduction
+//!
+//! The paper evaluates on three inputs none of which we can ship: a 2008
+//! Wikipedia dump, access logs from Pavlo et al.'s generator, and a
+//! synthetic 10 M-page crawl. This crate regenerates statistically
+//! equivalent datasets at configurable (laptop) scale, deterministic in a
+//! seed:
+//!
+//! * [`text::CorpusConfig`] — Zipf(α≈1) word corpus (WordCount,
+//!   InvertedIndex, WordPOSTag).
+//! * [`weblog::WeblogConfig`] — UserVisits + Rankings with Zipf(0.8) URLs
+//!   (AccessLogSum, AccessLogJoin).
+//! * [`graph::GraphConfig`] — web crawl with Zipf(1.0) in-link popularity
+//!   (PageRank).
+//!
+//! The [`zipf`] module supplies the samplers and the generalized harmonic
+//! numbers that also back the paper's auto-tuning analysis, and [`words`]
+//! synthesizes the vocabulary (rank → word string).
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod text;
+pub mod weblog;
+pub mod words;
+pub mod zipf;

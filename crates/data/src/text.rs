@@ -1,0 +1,165 @@
+//! Synthetic Wikipedia-style text corpus generator.
+//!
+//! Substitute for the paper's 2008 Wikipedia dump (8.52 GB, 1.45 B words,
+//! 24.7 M unique words; Figure 3 shows its Zipfian rank-frequency curve).
+//! We generate a corpus with the same governing statistics at a configurable
+//! scale: words drawn Zipf(α) from a synthetic vocabulary, grouped into
+//! sentences and lines. Each output line is one "document line", matching
+//! how the paper's applications consume the dump (line-oriented records).
+
+use crate::words::word_for_rank;
+use crate::zipf::ZipfTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Configuration for corpus generation. All fields are plain data so
+/// benchmark harnesses can sweep them.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of distinct words in the vocabulary (the paper's corpus had
+    /// 24.7 M; defaults here are laptop-scale).
+    pub vocab_size: usize,
+    /// Zipf exponent of word popularity (≈1 for natural language).
+    pub alpha: f64,
+    /// Number of lines (records) to generate.
+    pub lines: usize,
+    /// Mean number of words per line; actual lengths jitter ±50 %.
+    pub words_per_line: usize,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            vocab_size: 50_000,
+            alpha: 1.0,
+            lines: 20_000,
+            words_per_line: 12,
+            seed: 0x7e97_c0de,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Generate the corpus as a vector of lines. Lines are generated in
+    /// parallel (rayon) but deterministically: line `i` depends only on
+    /// `(seed, i)`.
+    pub fn generate(&self) -> Vec<String> {
+        let zipf = ZipfTable::new(self.vocab_size, self.alpha);
+        (0..self.lines)
+            .into_par_iter()
+            .map(|i| self.generate_line(&zipf, i))
+            .collect()
+    }
+
+    /// Generate the corpus and join it into a single newline-terminated
+    /// byte buffer (the shape the engine's DFS ingests).
+    pub fn generate_bytes(&self) -> Vec<u8> {
+        let lines = self.generate();
+        let mut buf = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in &lines {
+            buf.extend_from_slice(l.as_bytes());
+            buf.push(b'\n');
+        }
+        buf
+    }
+
+    fn generate_line(&self, zipf: &ZipfTable, line_idx: usize) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (line_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let lo = (self.words_per_line / 2).max(1);
+        let hi = (self.words_per_line * 3 / 2).max(lo + 1);
+        let n = rng.gen_range(lo..=hi);
+        let mut line = String::with_capacity(n * 7);
+        let mut sentence_start = true;
+        for w in 0..n {
+            let rank = zipf.sample(&mut rng);
+            let word = word_for_rank(rank);
+            if w > 0 {
+                line.push(' ');
+            }
+            if sentence_start {
+                // Capitalize sentence heads so the tokenizer has real work.
+                let mut chars = word.chars();
+                if let Some(c) = chars.next() {
+                    line.extend(c.to_uppercase());
+                    line.push_str(chars.as_str());
+                }
+            } else {
+                line.push_str(&word);
+            }
+            sentence_start = false;
+            // End a sentence roughly every 8 words.
+            if rng.gen_ratio(1, 8) || w == n - 1 {
+                line.push('.');
+                sentence_start = true;
+            } else if rng.gen_ratio(1, 16) {
+                line.push(',');
+            }
+        }
+        line
+    }
+
+    /// Exact expected probability of the rank-1 word, for test assertions.
+    pub fn head_probability(&self) -> f64 {
+        crate::zipf::zipf_pmf(1, self.vocab_size, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CorpusConfig { lines: 100, ..Default::default() };
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusConfig { lines: 50, seed: 1, ..Default::default() };
+        let b = CorpusConfig { lines: 50, seed: 2, ..Default::default() };
+        assert_ne!(a.generate(), b.generate());
+    }
+
+    #[test]
+    fn word_frequencies_are_zipfian() {
+        let cfg = CorpusConfig {
+            vocab_size: 1000,
+            alpha: 1.0,
+            lines: 5000,
+            words_per_line: 10,
+            seed: 99,
+        };
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut total = 0usize;
+        for line in cfg.generate() {
+            for tok in line.split_whitespace() {
+                let w: String = tok
+                    .chars()
+                    .filter(|c| c.is_alphabetic())
+                    .flat_map(|c| c.to_lowercase())
+                    .collect();
+                if !w.is_empty() {
+                    *counts.entry(w).or_default() += 1;
+                    total += 1;
+                }
+            }
+        }
+        // "the" (rank 1) must be by far the most common word, with empirical
+        // frequency close to the Zipf head probability.
+        let the = counts.get("the").copied().unwrap_or(0) as f64 / total as f64;
+        let expect = cfg.head_probability();
+        assert!((the - expect).abs() / expect < 0.15, "emp={the} expect={expect}");
+    }
+
+    #[test]
+    fn bytes_roundtrip_line_count() {
+        let cfg = CorpusConfig { lines: 77, ..Default::default() };
+        let bytes = cfg.generate_bytes();
+        assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), 77);
+    }
+}

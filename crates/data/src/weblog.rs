@@ -1,0 +1,243 @@
+//! Pavlo-style web access-log generators (UserVisits + Rankings).
+//!
+//! Substitute for the data generator from Pavlo et al.'s "MapReduce vs DBMS"
+//! benchmark, which the paper used for AccessLogSum and AccessLogJoin with
+//! one modification: destination URLs follow a Zipf(0.8) popularity
+//! distribution (Breslau et al. [4]). We reproduce the same schema:
+//!
+//! * `UserVisits(sourceIP, destURL, visitDate, adRevenue, userAgent,
+//!   countryCode, languageCode, searchWord, duration)` — pipe-delimited.
+//! * `Rankings(pageURL, pageRank, avgDuration)` — pipe-delimited.
+
+use crate::zipf::ZipfTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Configuration for the access-log pair.
+#[derive(Debug, Clone)]
+pub struct WeblogConfig {
+    /// Number of distinct URLs (the paper used ~600 000).
+    pub num_urls: usize,
+    /// Number of UserVisits records.
+    pub num_visits: usize,
+    /// Zipf exponent of destination-URL popularity (paper: 0.8).
+    pub url_alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeblogConfig {
+    fn default() -> Self {
+        WeblogConfig { num_urls: 20_000, num_visits: 200_000, url_alpha: 0.8, seed: 0x10_6_f11e }
+    }
+}
+
+/// Deterministically produce the URL string for a 1-based popularity rank.
+pub fn url_for_rank(rank: usize) -> String {
+    // Short host component keyed by rank so URLs cluster like real sites.
+    format!("http://site{}.example.com/page{}.html", rank % 977, rank)
+}
+
+const USER_AGENTS: [&str; 5] = ["Mozilla/5.0", "Chrome/34.0", "Safari/7.0", "Opera/12.1", "IE/9.0"];
+const COUNTRIES: [&str; 8] = ["USA", "DEU", "FRA", "GBR", "JPN", "BRA", "IND", "CHN"];
+const LANGS: [&str; 8] = ["en", "de", "fr", "en", "ja", "pt", "hi", "zh"];
+
+impl WeblogConfig {
+    /// Generate the UserVisits log, one record per line.
+    pub fn generate_visits(&self) -> Vec<String> {
+        let zipf = ZipfTable::new(self.num_urls, self.url_alpha);
+        (0..self.num_visits)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng =
+                    StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let url_rank = zipf.sample(&mut rng);
+                let ip = format!(
+                    "{}.{}.{}.{}",
+                    rng.gen_range(1..=254),
+                    rng.gen_range(0..=255),
+                    rng.gen_range(0..=255),
+                    rng.gen_range(1..=254)
+                );
+                let date = format!(
+                    "20{:02}-{:02}-{:02}",
+                    rng.gen_range(8..=13),
+                    rng.gen_range(1..=12),
+                    rng.gen_range(1..=28)
+                );
+                let revenue: f64 = rng.gen_range(0.01..1000.0);
+                let ua = USER_AGENTS[rng.gen_range(0..USER_AGENTS.len())];
+                let ci = rng.gen_range(0..COUNTRIES.len());
+                let word_rank: usize = rng.gen_range(1..5000);
+                let duration = rng.gen_range(1..=10_000);
+                format!(
+                    "{ip}|{url}|{date}|{revenue:.2}|{ua}|{c}|{l}|{w}|{duration}",
+                    url = url_for_rank(url_rank),
+                    c = COUNTRIES[ci],
+                    l = LANGS[ci],
+                    w = crate::words::word_for_rank(word_rank),
+                )
+            })
+            .collect()
+    }
+
+    /// Generate the Rankings table: every URL gets a pageRank score and an
+    /// average visit duration.
+    pub fn generate_rankings(&self) -> Vec<String> {
+        (1..=self.num_urls)
+            .into_par_iter()
+            .map(|rank| {
+                let mut rng =
+                    StdRng::seed_from_u64(self.seed ^ (rank as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+                // More popular pages tend to carry a higher pageRank.
+                let base = (self.num_urls as f64 / rank as f64).ln().max(0.1);
+                let page_rank = (base * rng.gen_range(5.0..15.0)) as u64 + 1;
+                let avg_duration = rng.gen_range(1..=300);
+                format!("{}|{}|{}", url_for_rank(rank), page_rank, avg_duration)
+            })
+            .collect()
+    }
+
+    /// Join lines into a single newline-terminated byte buffer.
+    pub fn visits_bytes(&self) -> Vec<u8> {
+        join_lines(&self.generate_visits())
+    }
+
+    /// Rankings as a newline-terminated byte buffer.
+    pub fn rankings_bytes(&self) -> Vec<u8> {
+        join_lines(&self.generate_rankings())
+    }
+}
+
+fn join_lines(lines: &[String]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for l in lines {
+        buf.extend_from_slice(l.as_bytes());
+        buf.push(b'\n');
+    }
+    buf
+}
+
+/// Parsed view of one UserVisits record. Allocation-free; borrows the line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserVisit<'a> {
+    /// Client IP address.
+    pub source_ip: &'a str,
+    /// Visited URL (Zipf-popular).
+    pub dest_url: &'a str,
+    /// Visit date, `YYYY-MM-DD`.
+    pub visit_date: &'a str,
+    /// Ad revenue attributed to the visit (dollars).
+    pub ad_revenue: f64,
+    /// Browser user-agent string.
+    pub user_agent: &'a str,
+    /// ISO country code.
+    pub country_code: &'a str,
+    /// Language code.
+    pub language_code: &'a str,
+    /// Search keyword that led to the visit.
+    pub search_word: &'a str,
+    /// Visit duration in seconds.
+    pub duration: u32,
+}
+
+impl<'a> UserVisit<'a> {
+    /// Parse a pipe-delimited UserVisits line. Returns `None` on malformed
+    /// input (callers skip such records, as Hadoop jobs do).
+    pub fn parse(line: &'a str) -> Option<Self> {
+        let mut f = line.split('|');
+        Some(UserVisit {
+            source_ip: f.next()?,
+            dest_url: f.next()?,
+            visit_date: f.next()?,
+            ad_revenue: f.next()?.parse().ok()?,
+            user_agent: f.next()?,
+            country_code: f.next()?,
+            language_code: f.next()?,
+            search_word: f.next()?,
+            duration: f.next()?.parse().ok()?,
+        })
+    }
+}
+
+/// Parsed view of one Rankings record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ranking<'a> {
+    /// Page URL (join key).
+    pub page_url: &'a str,
+    /// Ranking score.
+    pub page_rank: u64,
+    /// Average visit duration in seconds.
+    pub avg_duration: u32,
+}
+
+impl<'a> Ranking<'a> {
+    /// Parse a pipe-delimited Rankings line.
+    pub fn parse(line: &'a str) -> Option<Self> {
+        let mut f = line.split('|');
+        Some(Ranking {
+            page_url: f.next()?,
+            page_rank: f.next()?.parse().ok()?,
+            avg_duration: f.next()?.parse().ok()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn visits_parse_back() {
+        let cfg = WeblogConfig { num_visits: 500, ..Default::default() };
+        for line in cfg.generate_visits() {
+            let v = UserVisit::parse(&line).expect("generated record must parse");
+            assert!(v.ad_revenue > 0.0);
+            assert!(v.dest_url.starts_with("http://"));
+        }
+    }
+
+    #[test]
+    fn rankings_parse_back_and_cover_all_urls() {
+        let cfg = WeblogConfig { num_urls: 300, num_visits: 10, ..Default::default() };
+        let lines = cfg.generate_rankings();
+        assert_eq!(lines.len(), 300);
+        for line in &lines {
+            let r = Ranking::parse(line).expect("generated ranking must parse");
+            assert!(r.page_rank >= 1);
+        }
+    }
+
+    #[test]
+    fn url_popularity_is_skewed() {
+        let cfg = WeblogConfig {
+            num_urls: 1000,
+            num_visits: 50_000,
+            url_alpha: 0.8,
+            seed: 5,
+        };
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for line in cfg.generate_visits() {
+            let v = UserVisit::parse(&line).unwrap();
+            *counts.entry(v.dest_url.to_string()).or_default() += 1;
+        }
+        let top = counts.get(&url_for_rank(1)).copied().unwrap_or(0);
+        let mid = counts.get(&url_for_rank(500)).copied().unwrap_or(0);
+        assert!(top > mid * 10, "top={top} mid={mid}: URL skew too flat");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WeblogConfig { num_visits: 100, ..Default::default() };
+        assert_eq!(cfg.generate_visits(), cfg.generate_visits());
+        assert_eq!(cfg.generate_rankings(), cfg.generate_rankings());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(UserVisit::parse("only|three|fields").is_none());
+        assert!(Ranking::parse("url|notanumber|3").is_none());
+    }
+}

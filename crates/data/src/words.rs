@@ -1,0 +1,114 @@
+//! Synthetic vocabulary generation.
+//!
+//! The text-corpus generator needs a vocabulary of distinct, plausible word
+//! strings where *rank i* maps deterministically to a word. Two linguistic
+//! regularities matter for the reproduction:
+//!
+//! * **Distinctness** — keys must be unique so that key-frequency statistics
+//!   are exactly the Zipf ranks we sampled.
+//! * **Brevity of frequent words** — in natural language, frequent words are
+//!   short (a consequence of Zipf's principle of least effort). Key length
+//!   affects serialized record size, sort-comparison cost, and hash cost, so
+//!   we reproduce it: word length grows logarithmically with rank.
+//!
+//! Words are built from pronounceable consonant-vowel syllables; rank `i` is
+//! encoded in a mixed-radix syllable alphabet, which guarantees uniqueness
+//! without any storage.
+
+/// Consonant-vowel syllables used as digits of the word encoding. 64
+/// syllables ⇒ a 6-bit alphabet; two syllables already cover 4096 words.
+const SYLLABLES: [&str; 64] = [
+    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu", "da", "de", "di", "do", "du",
+    "fa", "fe", "fi", "fo", "fu", "ga", "ge", "gi", "go", "gu", "ha", "he", "hi", "ho", "hu",
+    "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu",
+    "na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
+    "sa", "se", "si", "so",
+];
+
+/// The 32 most frequent ranks get hand-picked short "function words",
+/// mirroring English where the head of the distribution is `the, of, and,…`.
+/// No entry may be a concatenation of [`SYLLABLES`] (would collide with the
+/// rank encoding) — e.g. "he" and "be" are excluded for that reason.
+const FUNCTION_WORDS: [&str; 32] = [
+    "the", "of", "and", "in", "to", "a", "is", "was", "for", "as", "on", "with", "by", "him",
+    "at", "from", "his", "it", "an", "are", "were", "which", "this", "that", "you", "or", "had",
+    "not", "but", "one", "their", "its",
+];
+
+/// Deterministically produce the vocabulary word for 1-based Zipf rank
+/// `rank`. Distinct ranks always yield distinct words.
+///
+/// ```
+/// use textmr_data::words::word_for_rank;
+/// assert_eq!(word_for_rank(1), "the");
+/// assert_ne!(word_for_rank(100), word_for_rank(101));
+/// ```
+pub fn word_for_rank(rank: usize) -> String {
+    assert!(rank >= 1, "ranks are 1-based");
+    if rank <= FUNCTION_WORDS.len() {
+        return FUNCTION_WORDS[rank - 1].to_string();
+    }
+    // Encode (rank - FUNCTION_WORDS.len() - 1) in base 64 as syllables.
+    // A fixed prefix syllable count per magnitude keeps the mapping
+    // injective (no leading-zero collisions: we encode length explicitly
+    // by always emitting the full digit count for this rank's magnitude).
+    let mut n = rank - FUNCTION_WORDS.len() - 1;
+    let mut digits = Vec::with_capacity(4);
+    loop {
+        digits.push(n % SYLLABLES.len());
+        n /= SYLLABLES.len();
+        if n == 0 {
+            break;
+        }
+        // Subtract 1 so that the encoding is bijective base-64 (avoids the
+        // "01" == "1" ambiguity of ordinary positional encoding).
+        n -= 1;
+    }
+    let mut w = String::with_capacity(digits.len() * 2);
+    for &d in digits.iter().rev() {
+        w.push_str(SYLLABLES[d]);
+    }
+    w
+}
+
+/// Build the full vocabulary for a universe of `m` words, rank order.
+pub fn vocabulary(m: usize) -> Vec<String> {
+    (1..=m).map(word_for_rank).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn function_words_head_the_vocabulary() {
+        assert_eq!(word_for_rank(1), "the");
+        assert_eq!(word_for_rank(2), "of");
+        assert_eq!(word_for_rank(32), "its");
+    }
+
+    #[test]
+    fn words_are_distinct() {
+        let vocab = vocabulary(50_000);
+        let set: HashSet<&String> = vocab.iter().collect();
+        assert_eq!(set.len(), vocab.len(), "vocabulary contains duplicates");
+    }
+
+    #[test]
+    fn frequent_words_are_short() {
+        let w10 = word_for_rank(10);
+        let w100_000 = word_for_rank(100_000);
+        assert!(w10.len() < w100_000.len());
+        // Length grows logarithmically: even rank 10^6 stays compact.
+        assert!(word_for_rank(1_000_000).len() <= 10);
+    }
+
+    #[test]
+    fn bijective_encoding_has_no_boundary_collisions() {
+        // Check ranks straddling the 1-syllable/2-syllable boundary.
+        let vocab = vocabulary(64 * 66 + 40);
+        let set: HashSet<&String> = vocab.iter().collect();
+        assert_eq!(set.len(), vocab.len());
+    }
+}

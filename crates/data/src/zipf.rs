@@ -1,0 +1,279 @@
+//! Zipfian distribution sampling and generalized harmonic numbers.
+//!
+//! The paper's three datasets are all governed by Zipf-like popularity laws:
+//! words in the text corpus (α ≈ 1, Zipf's law [23]), destination URLs in the
+//! access logs (α = 0.8, Breslau et al. [4]) and web-page in-link popularity
+//! (α = 1, Adamic & Huberman [2]). This module provides two samplers:
+//!
+//! * [`ZipfTable`] — an exact inverse-CDF sampler backed by a cumulative
+//!   table. O(m) memory, O(log m) per sample, bit-exact distribution. Used
+//!   when the universe is small enough to tabulate (vocabularies, URL sets).
+//! * [`ZipfRejection`] — Jain's rejection–inversion sampler. O(1) memory and
+//!   amortized O(1) per sample for any universe size; used for very large
+//!   universes where a table is wasteful.
+//!
+//! Both sample *ranks* in `1..=m`; callers map ranks to concrete items
+//! (words, URLs, page ids).
+
+use rand::Rng;
+
+/// Generalized harmonic number `H_{m,α} = Σ_{j=1..m} j^{-α}`.
+///
+/// This is the normalizing constant of the Zipf(α) distribution over `m`
+/// ranks, and it appears directly in the paper's sampling-fraction bound
+/// `n·s ≥ k^α · H_{m,α}` (Section III-C).
+pub fn harmonic(m: usize, alpha: f64) -> f64 {
+    let mut sum = 0.0;
+    for j in 1..=m {
+        sum += (j as f64).powf(-alpha);
+    }
+    sum
+}
+
+/// Approximation of `H_{m,α}` via the Euler–Maclaurin integral bound; used
+/// when `m` is too large to sum directly. Relative error is far below what
+/// the auto-tuner needs (it feeds a sampling-fraction heuristic).
+pub fn harmonic_approx(m: usize, alpha: f64) -> f64 {
+    let m = m as f64;
+    if (alpha - 1.0).abs() < 1e-9 {
+        // H_{m,1} ≈ ln m + γ + 1/(2m)
+        m.ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * m)
+    } else {
+        // Euler–Maclaurin: ∫_1^m x^{-α} dx + ½(f(1)+f(m)) + (f'(m)-f'(1))/12.
+        (m.powf(1.0 - alpha) - 1.0) / (1.0 - alpha)
+            + 0.5 * (1.0 + m.powf(-alpha))
+            + alpha * (1.0 - m.powf(-alpha - 1.0)) / 12.0
+    }
+}
+
+/// Probability that a Zipf(α) draw over `m` ranks is exactly rank `i`
+/// (1-based): `p_i = i^{-α} / H_{m,α}`.
+pub fn zipf_pmf(i: usize, m: usize, alpha: f64) -> f64 {
+    assert!(i >= 1 && i <= m, "rank out of range");
+    (i as f64).powf(-alpha) / harmonic(m, alpha)
+}
+
+/// Exact inverse-CDF Zipf sampler over ranks `1..=m`.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    /// Cumulative probabilities; `cdf[i]` = P(rank ≤ i+1).
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfTable {
+    /// Build the cumulative table for `m` ranks with exponent `alpha ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `alpha` is negative or non-finite.
+    pub fn new(m: usize, alpha: f64) -> Self {
+        assert!(m > 0, "Zipf universe must be non-empty");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0;
+        for j in 1..=m {
+            acc += (j as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().unwrap() = 1.0;
+        ZipfTable { cdf, alpha }
+    }
+
+    /// Number of ranks in the universe.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The Zipf exponent this table was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draw a rank in `1..=m` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the index of
+        // the first cumulative bucket reaching u — exactly the 0-based rank.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Exact probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        assert!(i >= 1 && i <= self.cdf.len());
+        if i == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[i - 1] - self.cdf[i - 2]
+        }
+    }
+}
+
+/// Rejection–inversion Zipf sampler (W. Hörmann & G. Derflinger / Jain).
+///
+/// Samples ranks in `1..=m` for `alpha > 0` without tabulating the CDF.
+/// For `alpha` near 0 the distribution degenerates to uniform and a table is
+/// preferable; we still handle it by falling back to uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ZipfRejection {
+    m: usize,
+    alpha: f64,
+    // Precomputed constants of the rejection envelope.
+    t: f64,
+}
+
+impl ZipfRejection {
+    /// Create a sampler over `m` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `alpha` is negative or non-finite.
+    pub fn new(m: usize, alpha: f64) -> Self {
+        assert!(m > 0, "Zipf universe must be non-empty");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mf = m as f64;
+        // Envelope area for the classic two-piece envelope: flat over [1,2),
+        // power tail over [2, m+1).
+        let t = if (alpha - 1.0).abs() < 1e-9 {
+            1.0 + (mf).ln()
+        } else {
+            (mf.powf(1.0 - alpha) - alpha) / (1.0 - alpha)
+        };
+        ZipfRejection { m, alpha, t }
+    }
+
+    /// Number of ranks in the universe.
+    pub fn universe(&self) -> usize {
+        self.m
+    }
+
+    /// Draw a rank in `1..=m`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.alpha < 1e-9 {
+            return rng.gen_range(1..=self.m);
+        }
+        // Rejection sampling against the envelope
+        //   b(x) = 1            for 1 <= x < 2
+        //   b(x) = (x-1)^{-α}   for 2 <= x <= m+1
+        // whose integral is `t`. A draw X from b, floored, is accepted with
+        // probability floor(X)^{-α} / b(X).
+        loop {
+            let u: f64 = rng.gen::<f64>() * self.t;
+            let x = if u <= 1.0 {
+                // Flat part.
+                1.0 + u
+            } else if (self.alpha - 1.0).abs() < 1e-9 {
+                // Invert ln(x-1) = u - 1.
+                1.0 + (u - 1.0).exp()
+            } else {
+                // Invert ((x-1)^{1-α} - 1)/(1-α) = u - 1, i.e.
+                // x = 1 + (u(1-α) + α)^{1/(1-α)}.
+                1.0 + (u * (1.0 - self.alpha) + self.alpha).powf(1.0 / (1.0 - self.alpha))
+            };
+            let k = x.floor() as usize;
+            if k < 1 || k > self.m {
+                continue;
+            }
+            let envelope = if x < 2.0 { 1.0 } else { (x - 1.0).powf(-self.alpha) };
+            let target = (k as f64).powf(-self.alpha);
+            if rng.gen::<f64>() * envelope <= target {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert!((harmonic(1, 1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic(2, 1.0) - 1.5).abs() < 1e-12);
+        assert!((harmonic(3, 0.0) - 3.0).abs() < 1e-12);
+        // H_{4,2} = 1 + 1/4 + 1/9 + 1/16
+        assert!((harmonic(4, 2.0) - (1.0 + 0.25 + 1.0 / 9.0 + 0.0625)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_approx_close_to_exact() {
+        for &alpha in &[0.5, 0.8, 1.0, 1.2] {
+            let exact = harmonic(100_000, alpha);
+            let approx = harmonic_approx(100_000, alpha);
+            let rel = (exact - approx).abs() / exact;
+            assert!(rel < 0.01, "alpha={alpha}: exact={exact} approx={approx}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let t = ZipfTable::new(50, 1.0);
+        let sum: f64 = (1..=50).map(|i| t.pmf(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_sampler_is_monotone_in_popularity() {
+        let t = ZipfTable::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..200_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        // Rank 1 must dominate rank 10 must dominate rank 100 clearly.
+        assert!(counts[1] > counts[10] && counts[10] > counts[100]);
+        // Empirical frequency of rank 1 ≈ p_1 within 5 % relative.
+        let p1 = t.pmf(1);
+        let f1 = counts[1] as f64 / 200_000.0;
+        assert!((f1 - p1).abs() / p1 < 0.05, "p1={p1} f1={f1}");
+    }
+
+    #[test]
+    fn rejection_sampler_matches_table_distribution() {
+        let m = 1000;
+        for &alpha in &[0.8, 1.0, 1.3] {
+            let table = ZipfTable::new(m, alpha);
+            let rej = ZipfRejection::new(m, alpha);
+            let mut rng = StdRng::seed_from_u64(42);
+            let n = 300_000;
+            let mut counts = vec![0usize; m + 1];
+            for _ in 0..n {
+                counts[rej.sample(&mut rng)] += 1;
+            }
+            // Compare head probabilities against the exact pmf.
+            for i in 1..=5usize {
+                let emp = counts[i] as f64 / n as f64;
+                let exact = table.pmf(i);
+                assert!(
+                    (emp - exact).abs() / exact < 0.08,
+                    "alpha={alpha} rank={i} emp={emp} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_sampler_stays_in_range() {
+        let rej = ZipfRejection::new(17, 1.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let k = rej.sample(&mut rng);
+            assert!((1..=17).contains(&k));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let t = ZipfTable::new(10, 0.0);
+        for i in 1..=10 {
+            assert!((t.pmf(i) - 0.1).abs() < 1e-9);
+        }
+    }
+}

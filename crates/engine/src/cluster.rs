@@ -1,0 +1,530 @@
+//! Cluster configuration, the job driver, and virtual-time scheduling.
+//!
+//! A cluster is N nodes × (map slots, reduce slots) over a shared network
+//! model — matching the paper's two testbeds: a local cluster running 12
+//! mappers and 12 reducers on 6 worker machines, and a 20-node EC2
+//! cluster. Tasks execute for real (sequentially or not, results are
+//! identical) and are *scheduled in virtual time* onto node slots to
+//! compute the job makespan:
+//!
+//! * map tasks run on their input block's home node (locality);
+//! * reduce tasks start when the map phase ends (no early-shuffle overlap —
+//!   a simplification; the paper also treats shuffle as a distinct phase);
+//! * a failed map attempt occupies its slot for the virtual time it burned,
+//!   then the retry is rescheduled on the same node.
+
+use crate::controller::{fixed_spill_factory, EmitFilterFactory, FilterCtx, SpillControllerFactory, TaskCtx};
+use crate::io::dfs::SimDfs;
+use crate::io::input::InputSplit;
+use crate::job::Job;
+use crate::metrics::{JobProfile, TaskSpan, VNanos};
+use crate::net::NetworkConfig;
+use crate::task::map_task::{run_map_task, MapOutput, MapTaskConfig, MapTaskError};
+use crate::task::reduce_task::{run_reduce_task, Grouping, ReduceTaskConfig};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster shape and resources.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// Shuffle network model.
+    pub network: NetworkConfig,
+    /// Map-side spill buffer capacity M per task, in bytes (Hadoop's
+    /// `io.sort.mb`).
+    pub spill_buffer_bytes: usize,
+    /// Directory for spill files; defaults to a per-process temp dir.
+    pub temp_dir: Option<PathBuf>,
+    /// Maximum merge fan-in (Hadoop's `io.sort.factor`): more runs than
+    /// this trigger multi-pass merging through scratch disk.
+    pub merge_fan_in: usize,
+    /// Compress map-output partitions (the paper's future-work item:
+    /// trade map CPU for shuffle bytes). Off by default, like Hadoop's
+    /// `mapred.compress.map.output`.
+    pub compress_map_output: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's local cluster: 12 mappers + 12 reducers on 6 workers.
+    pub fn local() -> Self {
+        ClusterConfig {
+            nodes: 6,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+            network: NetworkConfig::local_cluster(),
+            spill_buffer_bytes: 4 << 20,
+            temp_dir: None,
+            merge_fan_in: 10,
+            compress_map_output: false,
+        }
+    }
+
+    /// The paper's EC2 cluster: 20 nodes, weaker per-flow network.
+    pub fn ec2() -> Self {
+        ClusterConfig {
+            nodes: 20,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+            network: NetworkConfig::ec2_cluster(),
+            spill_buffer_bytes: 4 << 20,
+            temp_dir: None,
+            merge_fan_in: 10,
+            compress_map_output: false,
+        }
+    }
+
+    /// A single-node configuration for tests.
+    pub fn single_node() -> Self {
+        ClusterConfig {
+            nodes: 1,
+            map_slots_per_node: 1,
+            reduce_slots_per_node: 1,
+            network: NetworkConfig::local_cluster(),
+            spill_buffer_bytes: 1 << 20,
+            temp_dir: None,
+            merge_fan_in: 10,
+            compress_map_output: false,
+        }
+    }
+
+    fn resolve_temp_dir(&self) -> io::Result<PathBuf> {
+        static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = match &self.temp_dir {
+            Some(d) => d.clone(),
+            None => Self::default_temp_root().join(format!("textmr-{}", std::process::id())),
+        }
+        .join(format!("job{seq}"));
+        std::fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
+
+    /// Default spill-file root. `TEXTMR_TMP` wins; otherwise a tmpfs
+    /// (`/dev/shm`) is preferred when present: spill I/O then costs a
+    /// stable memcpy instead of noisy device latency, which keeps the
+    /// measured profiles reproducible (see DESIGN.md — the paper's
+    /// *relative* effects survive, absolute I/O costs are testbed-specific
+    /// either way).
+    fn default_temp_root() -> PathBuf {
+        if let Ok(d) = std::env::var("TEXTMR_TMP") {
+            return PathBuf::from(d);
+        }
+        let shm = PathBuf::from("/dev/shm");
+        if shm.is_dir() {
+            return shm;
+        }
+        std::env::temp_dir()
+    }
+}
+
+/// Job-level policy: reducers, optimization plug-ins, fault injection.
+#[derive(Clone)]
+pub struct JobConfig {
+    /// Number of reduce tasks (partitions).
+    pub num_reducers: usize,
+    /// Spill-fraction policy factory; default Hadoop-style fixed 0.8.
+    pub spill_controller: SpillControllerFactory,
+    /// Optional emit-filter factory (frequency-buffering).
+    pub emit_filter: Option<EmitFilterFactory>,
+    /// Fraction of the spill buffer carved out for the emit filter, so
+    /// total memory stays fixed (the paper devotes 30%).
+    pub filter_budget_fraction: f64,
+    /// Fault injection: map task index → fail its first attempt after
+    /// processing this many records.
+    pub fault_plan: HashMap<usize, u64>,
+    /// Maximum attempts per map task before the job aborts.
+    pub max_attempts: usize,
+    /// Reduce-side grouping strategy (sort-merge by default; hash grouping
+    /// skips the sort for order-insensitive jobs — Sec. II-A).
+    pub grouping: Grouping,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            num_reducers: 4,
+            spill_controller: fixed_spill_factory(0.8),
+            emit_filter: None,
+            filter_budget_fraction: 0.3,
+            fault_plan: HashMap::new(),
+            max_attempts: 4,
+            grouping: Grouping::Sort,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Convenience: set the reducer count.
+    pub fn with_reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n;
+        self
+    }
+}
+
+/// A completed job: outputs per partition plus the full profile.
+#[derive(Debug)]
+pub struct JobRun {
+    /// Final `(key, value)` pairs, per partition, key-sorted.
+    pub outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    /// Aggregated instrumentation.
+    pub profile: JobProfile,
+}
+
+impl JobRun {
+    /// Flatten all partitions into one key-sorted list (convenient for
+    /// assertions; stable across engine configurations).
+    pub fn sorted_pairs(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all: Vec<_> = self.outputs.iter().flatten().cloned().collect();
+        all.sort();
+        all
+    }
+}
+
+/// Run `job` over the named DFS inputs on the given cluster.
+///
+/// `inputs` pairs a DFS file name with its logical source tag (tags matter
+/// only for multi-input jobs such as repartition joins).
+pub fn run_job(
+    cluster: &ClusterConfig,
+    cfg: &JobConfig,
+    job: Arc<dyn Job>,
+    dfs: &SimDfs,
+    inputs: &[(&str, u8)],
+) -> io::Result<JobRun> {
+    assert!(cfg.num_reducers > 0, "need at least one reducer");
+    assert!(
+        (0.0..1.0).contains(&cfg.filter_budget_fraction),
+        "filter budget fraction must be in [0,1)"
+    );
+    let temp = cluster.resolve_temp_dir()?;
+
+    // ---- plan splits ----------------------------------------------------------
+    let mut splits: Vec<InputSplit> = Vec::new();
+    for (name, source) in inputs {
+        let file = dfs
+            .get(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no DFS file {name}")))?;
+        splits.extend(InputSplit::from_file(file, *source));
+    }
+
+    // ---- execute map tasks (real), collecting per-attempt durations -----------
+    let filter_budget = if cfg.emit_filter.is_some() {
+        (cluster.spill_buffer_bytes as f64 * cfg.filter_budget_fraction) as usize
+    } else {
+        0
+    };
+    let pipeline_capacity = (cluster.spill_buffer_bytes - filter_budget).max(1024);
+
+    let mut map_outputs: Vec<MapOutput> = Vec::with_capacity(splits.len());
+    let mut map_profiles = Vec::with_capacity(splits.len());
+    // Per task: virtual durations of every attempt (failed attempts first).
+    let mut attempt_durations: Vec<Vec<VNanos>> = Vec::with_capacity(splits.len());
+
+    for (t, split) in splits.iter().enumerate() {
+        let node = split.home_node % cluster.nodes;
+        let mut attempts: Vec<VNanos> = Vec::new();
+        let mut attempt = 0usize;
+        loop {
+            let ctx = TaskCtx { node, task: t };
+            // An inactive filter (e.g. frequency-buffering on a job with
+            // no combiner) is dropped and its budget returned to the spill
+            // buffer — total memory is constant either way.
+            let filter = cfg
+                .emit_filter
+                .as_ref()
+                .map(|f| {
+                    f(FilterCtx {
+                        task: ctx,
+                        job: Arc::clone(&job),
+                        budget_bytes: filter_budget,
+                        estimated_records: split.count_records(),
+                    })
+                })
+                .filter(|f| f.is_active());
+            let task_cfg = MapTaskConfig {
+                task_id: t,
+                node,
+                num_partitions: cfg.num_reducers,
+                buffer_capacity: if filter.is_some() {
+                    pipeline_capacity
+                } else {
+                    cluster.spill_buffer_bytes
+                },
+                controller: (cfg.spill_controller)(ctx),
+                filter,
+                merge_fan_in: cluster.merge_fan_in,
+                compress_output: cluster.compress_map_output,
+                spill_dir: temp.clone(),
+                fail_after_records: if attempt == 0 { cfg.fault_plan.get(&t).copied() } else { None },
+            };
+            match run_map_task(&job, split, task_cfg) {
+                Ok((out, prof)) => {
+                    attempts.push(prof.virtual_duration);
+                    map_outputs.push(out);
+                    map_profiles.push(prof);
+                    break;
+                }
+                Err(MapTaskError::Injected { virtual_elapsed }) => {
+                    attempts.push(virtual_elapsed);
+                    attempt += 1;
+                    if attempt >= cfg.max_attempts {
+                        return Err(io::Error::other(format!(
+                            "map task {t} failed {attempt} attempts"
+                        )));
+                    }
+                }
+                Err(MapTaskError::Io(e)) => return Err(e),
+            }
+        }
+        attempt_durations.push(attempts);
+    }
+
+    // ---- virtual-schedule the map phase ---------------------------------------
+    let mut slot_free: Vec<Vec<VNanos>> =
+        vec![vec![0; cluster.map_slots_per_node.max(1)]; cluster.nodes];
+    let mut map_spans = Vec::with_capacity(splits.len());
+    for (t, split) in splits.iter().enumerate() {
+        let node = split.home_node % cluster.nodes;
+        let mut span_start = 0;
+        let mut span_end = 0;
+        let mut prev_attempt_end = 0;
+        for &dur in &attempt_durations[t] {
+            // Earliest-free slot on the home node; a retry can only start
+            // after its previous attempt failed.
+            let slot = (0..slot_free[node].len())
+                .min_by_key(|&s| slot_free[node][s])
+                .expect("at least one slot");
+            span_start = slot_free[node][slot].max(prev_attempt_end);
+            span_end = span_start + dur;
+            slot_free[node][slot] = span_end;
+            prev_attempt_end = span_end;
+        }
+        map_spans.push(TaskSpan { node, start: span_start, end: span_end });
+    }
+    let map_phase_end = map_spans.iter().map(|s| s.end).max().unwrap_or(0);
+
+    // ---- execute + schedule reduce tasks ---------------------------------------
+    let mut outputs = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_profiles = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
+    let mut shuffled_bytes = 0u64;
+    let mut rslot_free: Vec<Vec<VNanos>> =
+        vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
+    for r in 0..cfg.num_reducers {
+        let node = r % cluster.nodes;
+        let res = run_reduce_task(
+            &job,
+            &map_outputs,
+            &cluster.network,
+            &ReduceTaskConfig {
+                partition: r,
+                node,
+                merge_fan_in: cluster.merge_fan_in,
+                scratch_dir: temp.clone(),
+                grouping: cfg.grouping,
+            },
+        )?;
+        let slot = (0..rslot_free[node].len())
+            .min_by_key(|&s| rslot_free[node][s])
+            .expect("at least one slot");
+        let start = rslot_free[node][slot];
+        let end = start + res.profile.virtual_duration;
+        rslot_free[node][slot] = end;
+        reduce_spans.push(TaskSpan { node, start, end });
+        shuffled_bytes += res.remote_bytes;
+        outputs.push(res.pairs);
+        reduce_profiles.push(res.profile);
+    }
+    let wall = reduce_spans.iter().map(|s| s.end).max().unwrap_or(map_phase_end);
+
+    // Map outputs (and their files) are dropped here; spill dir cleanup.
+    drop(map_outputs);
+    let _ = std::fs::remove_dir_all(&temp);
+
+    Ok(JobRun {
+        outputs,
+        profile: JobProfile {
+            map_tasks: map_profiles,
+            reduce_tasks: reduce_profiles,
+            map_spans,
+            reduce_spans,
+            map_phase_end,
+            wall,
+            shuffled_bytes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_u64, encode_u64};
+    use crate::job::{Emit, Record, ValueCursor, ValueSink};
+
+    struct WordSum;
+    impl Job for WordSum {
+        fn name(&self) -> &str {
+            "wordsum"
+        }
+        fn map(&self, r: &Record<'_>, e: &mut dyn Emit) {
+            for w in r.value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                e.emit(w, &encode_u64(1));
+            }
+        }
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(s));
+        }
+        fn reduce(&self, k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.emit(k, &encode_u64(s));
+        }
+    }
+
+    fn corpus(lines: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for i in 0..lines {
+            buf.extend_from_slice(format!("w{} common filler\n", i % 23).as_bytes());
+        }
+        buf
+    }
+
+    fn counts_of(run: &JobRun) -> std::collections::HashMap<String, u64> {
+        run.sorted_pairs()
+            .into_iter()
+            .map(|(k, v)| (String::from_utf8(k).unwrap(), decode_u64(&v).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_word_sum() {
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 4096);
+        dfs.put("corpus", corpus(500));
+        let run = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("corpus", 0)])
+            .unwrap();
+        let m = counts_of(&run);
+        assert_eq!(m["common"], 500);
+        assert_eq!(m["filler"], 500);
+        assert_eq!(m["w0"], 500u64.div_ceil(23));
+        // Multiple splits → multiple map tasks.
+        assert!(run.profile.map_tasks.len() > 1);
+        assert!(run.profile.wall > run.profile.map_phase_end);
+    }
+
+    #[test]
+    fn results_identical_across_cluster_shapes() {
+        let data = corpus(300);
+        let mut runs = Vec::new();
+        for cluster in [ClusterConfig::single_node(), ClusterConfig::local(), ClusterConfig::ec2()] {
+            let mut dfs = SimDfs::new(cluster.nodes, 2048);
+            dfs.put("c", data.clone());
+            let run =
+                run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
+                    .unwrap();
+            runs.push(run.sorted_pairs());
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn fault_injection_retries_and_output_is_unaffected() {
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 2048);
+        dfs.put("c", corpus(200));
+        let clean = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
+            .unwrap();
+        let mut cfg = JobConfig::default();
+        cfg.fault_plan.insert(0, 3);
+        cfg.fault_plan.insert(1, 1);
+        let faulty = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+        assert_eq!(clean.sorted_pairs(), faulty.sorted_pairs());
+        // Within the faulty run, the retried task's slot shows both the
+        // failed attempt and the retry: its span must cover at least its
+        // own successful-attempt duration.
+        let t0 = &faulty.profile.map_spans[0];
+        assert!(t0.end - t0.start >= faulty.profile.map_tasks[0].virtual_duration);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let cluster = ClusterConfig::single_node();
+        let dfs = SimDfs::new(1, 1024);
+        let err = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("nope", 0)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn hash_grouping_matches_sort_grouping_output() {
+        let mut cluster = ClusterConfig::local();
+        cluster.spill_buffer_bytes = 64 << 10;
+        let mut dfs = SimDfs::new(cluster.nodes, 4096);
+        dfs.put("c", corpus(400));
+        let sorted = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
+            .unwrap();
+        let mut cfg = JobConfig::default();
+        cfg.grouping = Grouping::Hash;
+        let hashed = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+        // Same multiset of results (hash grouping does not sort output).
+        assert_eq!(sorted.sorted_pairs(), hashed.sorted_pairs());
+        // Hash grouping spends no time in the reduce-side merge sort...
+        use crate::metrics::Op;
+        let merge_sorted = sorted.profile.total_ops().get(Op::ReduceMerge);
+        let merge_hashed = hashed.profile.total_ops().get(Op::ReduceMerge);
+        // ... well, it still spends *some* time grouping (hash table
+        // build), but cannot exceed the sort-merge path wildly; the real
+        // assertion is output equality above and the dedicated ablation
+        // bench measures the cost difference.
+        assert!(merge_sorted > 0 && merge_hashed > 0);
+    }
+
+    #[test]
+    fn compression_preserves_output_and_shrinks_shuffle() {
+        let mut cluster = ClusterConfig::local();
+        cluster.spill_buffer_bytes = 64 << 10;
+        let mut dfs = SimDfs::new(cluster.nodes, 4096);
+        dfs.put("c", corpus(400));
+        let plain = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
+            .unwrap();
+        cluster.compress_map_output = true;
+        let packed = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
+            .unwrap();
+        assert_eq!(plain.sorted_pairs(), packed.sorted_pairs());
+        assert!(
+            packed.profile.shuffled_bytes < plain.profile.shuffled_bytes,
+            "compressed shuffle {} !< plain {}",
+            packed.profile.shuffled_bytes,
+            plain.profile.shuffled_bytes
+        );
+    }
+
+    #[test]
+    fn reduce_spans_start_after_map_phase() {
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 2048);
+        dfs.put("c", corpus(100));
+        let run = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
+            .unwrap();
+        for span in &run.profile.reduce_spans {
+            assert!(span.start >= run.profile.map_phase_end);
+        }
+    }
+}

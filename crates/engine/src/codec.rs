@@ -1,0 +1,241 @@
+//! Record serialization: varint framing and order-preserving scalar codecs.
+//!
+//! The engine stores intermediate records as raw bytes (Hadoop-style): keys
+//! are compared with a byte-level comparator during sort/merge, so key
+//! encodings must be *order-preserving* if the job relies on sorted output.
+//! This module provides:
+//!
+//! * LEB128 varint encode/decode for length framing (spill files, map
+//!   outputs, value lists);
+//! * big-endian scalar codecs (`u64`, `i64`) whose byte order equals
+//!   numeric order;
+//! * an order-preserving `f64` encoding (sign-flipped IEEE-754 trick);
+//! * helpers to frame/unframe `(key, value)` records.
+
+/// Append a LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint from `buf[*pos..]`, advancing `pos`.
+/// Returns `None` on truncated or overlong (> 10 byte) input.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // overflow
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Number of bytes [`write_varint`] will use for `v`.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize + 6) / 7
+    }
+}
+
+/// Append a length-prefixed byte slice.
+#[inline]
+pub fn write_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    write_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Read a length-prefixed byte slice, advancing `pos`.
+#[inline]
+pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let out = &buf[*pos..end];
+    *pos = end;
+    Some(out)
+}
+
+/// Append a framed `(key, value)` record.
+#[inline]
+pub fn write_record(buf: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    write_bytes(buf, key);
+    write_bytes(buf, value);
+}
+
+/// Read a framed `(key, value)` record, advancing `pos`.
+#[inline]
+pub fn read_record<'a>(buf: &'a [u8], pos: &mut usize) -> Option<(&'a [u8], &'a [u8])> {
+    let k = read_bytes(buf, pos)?;
+    let v = read_bytes(buf, pos)?;
+    Some((k, v))
+}
+
+/// Serialized size of a framed record.
+#[inline]
+pub fn record_len(key_len: usize, val_len: usize) -> usize {
+    varint_len(key_len as u64) + key_len + varint_len(val_len as u64) + val_len
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving scalar codecs.
+// ---------------------------------------------------------------------------
+
+/// Encode `u64` big-endian (bytewise order == numeric order).
+#[inline]
+pub fn encode_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Decode a big-endian `u64`; `None` if `b` is not exactly 8 bytes.
+#[inline]
+pub fn decode_u64(b: &[u8]) -> Option<u64> {
+    Some(u64::from_be_bytes(b.try_into().ok()?))
+}
+
+/// Encode `i64` order-preserving (offset-binary big-endian).
+#[inline]
+pub fn encode_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1u64 << 63)).to_be_bytes()
+}
+
+/// Decode an order-preserving `i64`.
+#[inline]
+pub fn decode_i64(b: &[u8]) -> Option<i64> {
+    let u = u64::from_be_bytes(b.try_into().ok()?);
+    Some((u ^ (1u64 << 63)) as i64)
+}
+
+/// Encode `f64` order-preserving: flip the sign bit for positives, flip all
+/// bits for negatives. Total order matches IEEE-754 ordering (NaNs sort
+/// high/low by sign bit; the engine never generates NaN keys).
+#[inline]
+pub fn encode_f64(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let flipped = if bits & (1 << 63) == 0 { bits ^ (1 << 63) } else { !bits };
+    flipped.to_be_bytes()
+}
+
+/// Decode an order-preserving `f64`.
+#[inline]
+pub fn decode_f64(b: &[u8]) -> Option<f64> {
+    let u = u64::from_be_bytes(b.try_into().ok()?);
+    let bits = if u & (1 << 63) != 0 { u ^ (1 << 63) } else { !u };
+    Some(f64::from_bits(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_and_len() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncated() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"key", b"value");
+        write_record(&mut buf, b"", b"v2");
+        assert_eq!(buf.len(), record_len(3, 5) + record_len(0, 2));
+        let mut pos = 0;
+        assert_eq!(read_record(&buf, &mut pos), Some((&b"key"[..], &b"value"[..])));
+        assert_eq!(read_record(&buf, &mut pos), Some((&b""[..], &b"v2"[..])));
+        assert_eq!(read_record(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn read_bytes_rejects_overlong_length() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1000);
+        buf.extend_from_slice(b"short");
+        let mut pos = 0;
+        assert_eq!(read_bytes(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn u64_order_preserved() {
+        let vals = [0u64, 1, 255, 256, 1 << 40, u64::MAX];
+        for a in vals {
+            for b in vals {
+                assert_eq!(encode_u64(a).cmp(&encode_u64(b)), a.cmp(&b));
+                assert_eq!(decode_u64(&encode_u64(a)), Some(a));
+            }
+        }
+    }
+
+    #[test]
+    fn i64_order_preserved() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 42, i64::MAX];
+        for a in vals {
+            for b in vals {
+                assert_eq!(encode_i64(a).cmp(&encode_i64(b)), a.cmp(&b));
+                assert_eq!(decode_i64(&encode_i64(a)), Some(a));
+            }
+        }
+    }
+
+    #[test]
+    fn f64_order_preserved() {
+        let vals = [-1e300, -2.5, -0.0, 0.0, 1e-9, 3.14, 1e300];
+        for a in vals {
+            for b in vals {
+                let byte_cmp = encode_f64(a).cmp(&encode_f64(b));
+                let num_cmp = a.partial_cmp(&b).unwrap();
+                // -0.0 == 0.0 numerically but encodes differently; accept
+                // either order for equal values.
+                if a != b {
+                    assert_eq!(byte_cmp, num_cmp, "a={a} b={b}");
+                }
+                assert_eq!(decode_f64(&encode_f64(a)), Some(a));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_wrong_width_is_none() {
+        assert_eq!(decode_u64(b"1234567"), None);
+        assert_eq!(decode_i64(b"123456789"), None);
+        assert_eq!(decode_f64(b""), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Extension points where the paper's optimizations plug into the engine.
+//!
+//! The paper stresses that frequency-buffering and spill-matcher need "only
+//! small changes to the MapReduce system" and no user-code changes. The
+//! engine realizes that as two narrow traits:
+//!
+//! * [`SpillController`] — decides the spill fraction `x` (the Hadoop
+//!   `io.sort.spill.percent`) before each spill. The baseline is
+//!   [`FixedSpill`] (Hadoop's static 0.8); `textmr-core`'s `SpillMatcher`
+//!   adapts it per spill from observed produce/consume rates.
+//! * [`EmitFilter`] — intercepts `(key, value)` pairs between the user's
+//!   `map()` and the spill buffer. The baseline is no filter;
+//!   `textmr-core`'s `FrequencyBuffer` absorbs frequent keys into an
+//!   in-memory combining hash table.
+//!
+//! Both are created per map task through factory closures carried by the
+//! job configuration, so node-level state (e.g. the per-node frequent-key
+//! registry) lives in the closure's captures.
+
+use crate::job::{Emit, Job};
+use std::sync::Arc;
+
+/// What the engine observed about the previous spill; input to
+/// [`SpillController::next_fraction`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpillObservation {
+    /// Size of the spill segment in buffer-accounted bytes.
+    pub bytes: usize,
+    /// Measured time the map thread took to produce the segment (ns).
+    pub produce_ns: u64,
+    /// Measured time the support thread took to consume it (ns).
+    pub consume_ns: u64,
+    /// Spill buffer capacity M in bytes.
+    pub capacity: usize,
+}
+
+impl SpillObservation {
+    /// Produce rate `p` in bytes/sec.
+    pub fn produce_rate(&self) -> f64 {
+        self.bytes as f64 / (self.produce_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Consume rate `c` in bytes/sec.
+    pub fn consume_rate(&self) -> f64 {
+        self.bytes as f64 / (self.consume_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Per-spill policy for the spill fraction `x ∈ (0, 1]`.
+pub trait SpillController: Send {
+    /// Fraction used for the first spill (no observation yet).
+    fn initial_fraction(&mut self) -> f64;
+
+    /// Fraction for the next spill given the previous spill's observation.
+    fn next_fraction(&mut self, obs: &SpillObservation) -> f64;
+}
+
+/// Hadoop's default policy: a fixed spill percentage (default 0.8).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSpill(pub f64);
+
+impl Default for FixedSpill {
+    fn default() -> Self {
+        FixedSpill(0.8)
+    }
+}
+
+impl SpillController for FixedSpill {
+    fn initial_fraction(&mut self) -> f64 {
+        self.0
+    }
+
+    fn next_fraction(&mut self, _obs: &SpillObservation) -> f64 {
+        self.0
+    }
+}
+
+/// Map-side emit interceptor (frequency-buffering's hook).
+///
+/// `offer` sees every pair the user emits, *before* it reaches the spill
+/// buffer. Returning `true` means the filter absorbed the pair (it will
+/// surface later, combined, through `sink` — either on overflow or in
+/// [`EmitFilter::finish`]). Returning `false` sends the pair down the
+/// normal spill path. Every absorbed pair's aggregate must eventually be
+/// emitted to `sink`, or output would be lost.
+pub trait EmitFilter: Send {
+    /// Offer one emitted pair. The time spent here is accounted as `emit`
+    /// overhead, matching the paper's treatment of profiling/hashing cost.
+    fn offer(&mut self, key: &[u8], value: &[u8], sink: &mut dyn Emit) -> bool;
+
+    /// Called once per map *input* record, before its `map()` runs. The
+    /// paper's sampling fraction `s` is defined over input records
+    /// (Sec. III-B), so stage transitions key off this count.
+    fn on_input_record(&mut self) {}
+
+    /// End of map input: drain all buffered state into `sink`.
+    fn finish(&mut self, sink: &mut dyn Emit);
+
+    /// Number of pairs absorbed so far (for profiles; Fig. 7's removed
+    /// records derive from this).
+    fn absorbed(&self) -> u64 {
+        0
+    }
+
+    /// Whether the filter will actually do anything for this job. A filter
+    /// that disabled itself (e.g. frequency-buffering on a combinerless
+    /// job) returns `false`, and the engine reclaims its memory carve-out
+    /// for the spill buffer instead of paying for an inert table.
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    /// Drain the nanoseconds this filter spent inside the *user's*
+    /// `combine()` since the last call. The engine re-attributes that time
+    /// from the `emit` operation to `combine` so profiles keep the paper's
+    /// user-code/framework split.
+    fn take_user_combine_ns(&mut self) -> u64 {
+        0
+    }
+}
+
+/// Identity of a map task, handed to factories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskCtx {
+    /// Node index the task runs on.
+    pub node: usize,
+    /// Task index within the job.
+    pub task: usize,
+}
+
+/// Context available when constructing an [`EmitFilter`] for a map task.
+pub struct FilterCtx {
+    /// Task identity.
+    pub task: TaskCtx,
+    /// The job, for calling its `combine()` from inside the filter.
+    pub job: Arc<dyn Job>,
+    /// Memory budget (bytes) carved out of the spill buffer for the filter.
+    pub budget_bytes: usize,
+    /// Estimated number of map-input records for this task (drives
+    /// profiling-stage sizing).
+    pub estimated_records: u64,
+}
+
+/// Factory producing a fresh controller per map task.
+pub type SpillControllerFactory = Arc<dyn Fn(TaskCtx) -> Box<dyn SpillController> + Send + Sync>;
+
+/// Factory producing a fresh emit filter per map task.
+pub type EmitFilterFactory = Arc<dyn Fn(FilterCtx) -> Box<dyn EmitFilter> + Send + Sync>;
+
+/// Convenience: a factory for [`FixedSpill`].
+pub fn fixed_spill_factory(fraction: f64) -> SpillControllerFactory {
+    Arc::new(move |_ctx| Box::new(FixedSpill(fraction)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_spill_never_adapts() {
+        let mut c = FixedSpill(0.8);
+        assert_eq!(c.initial_fraction(), 0.8);
+        let obs = SpillObservation { bytes: 100, produce_ns: 10, consume_ns: 90, capacity: 1000 };
+        assert_eq!(c.next_fraction(&obs), 0.8);
+    }
+
+    #[test]
+    fn observation_rates() {
+        let obs = SpillObservation {
+            bytes: 1_000_000,
+            produce_ns: 1_000_000_000, // 1 s
+            consume_ns: 500_000_000,   // 0.5 s
+            capacity: 10_000_000,
+        };
+        assert!((obs.produce_rate() - 1e6).abs() < 1.0);
+        assert!((obs.consume_rate() - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn factory_produces_independent_controllers() {
+        let f = fixed_spill_factory(0.5);
+        let mut a = f(TaskCtx { node: 0, task: 0 });
+        let mut b = f(TaskCtx { node: 1, task: 1 });
+        assert_eq!(a.initial_fraction(), 0.5);
+        assert_eq!(b.initial_fraction(), 0.5);
+    }
+}

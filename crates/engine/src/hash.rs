@@ -1,0 +1,69 @@
+//! FNV-1a hashing for the hot-path hash tables.
+//!
+//! The frequency buffer performs one hash lookup per emitted record — the
+//! "small profiling and hashing overhead" the paper says must stay below
+//! the savings. `std`'s default SipHash is DoS-resistant but several times
+//! slower on short text keys; FNV-1a is the standard fast choice for
+//! trusted keys (cf. the perf-book guidance this repo follows). Keys here
+//! are corpus words / URLs the job itself produced, so HashDoS is not a
+//! concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a 64-bit [`Hasher`].
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`].
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` keyed with FNV-1a.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` keyed with FNV-1a.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_keys_and_is_deterministic() {
+        let mut m: FnvHashMap<Vec<u8>, u32> = FnvHashMap::default();
+        m.insert(b"the".to_vec(), 1);
+        m.insert(b"they".to_vec(), 2);
+        assert_eq!(m.get(b"the".as_slice()), Some(&1));
+        assert_eq!(m.get(b"they".as_slice()), Some(&2));
+        assert_eq!(m.get(b"them".as_slice()), None);
+    }
+
+    #[test]
+    fn hasher_matches_fnv1a_for_single_write() {
+        let mut h = FnvHasher::default();
+        h.write(b"hello");
+        assert_eq!(h.finish(), crate::job::fnv1a(b"hello"));
+    }
+}

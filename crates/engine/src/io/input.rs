@@ -1,0 +1,189 @@
+//! Input splits and the line-oriented record reader.
+//!
+//! One split per DFS block, with Hadoop's exact line-boundary protocol: a
+//! reader starting at offset > 0 skips the (partial) first line — it
+//! belongs to the previous split — and the reader owning the byte at the
+//! split end finishes the line that straddles it. Every input line is
+//! therefore read exactly once across splits.
+
+use crate::codec::encode_u64;
+use crate::io::dfs::DfsFile;
+use crate::job::Record;
+use std::sync::Arc;
+
+/// One unit of map-task input.
+#[derive(Debug, Clone)]
+pub struct InputSplit {
+    /// The whole file's bytes (splits slice into it).
+    pub data: Arc<Vec<u8>>,
+    /// Split start offset (inclusive).
+    pub start: usize,
+    /// Split end offset (exclusive; the line containing `end-1` is
+    /// finished by this split).
+    pub end: usize,
+    /// Node holding the block.
+    pub home_node: usize,
+    /// Logical input source tag (multi-input jobs).
+    pub source: u8,
+}
+
+impl InputSplit {
+    /// Create one split per block of `file`.
+    pub fn from_file(file: &DfsFile, source: u8) -> Vec<InputSplit> {
+        (0..file.num_blocks())
+            .map(|b| {
+                let (start, end) = file.block_range(b);
+                InputSplit {
+                    data: Arc::clone(&file.data),
+                    start,
+                    end,
+                    home_node: file.placements[b],
+                    source,
+                }
+            })
+            .collect()
+    }
+
+    /// Split length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the byte range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Exact number of records this split will yield (one scan; used to
+    /// size the frequency buffer's profiling stage).
+    pub fn count_records(&self) -> u64 {
+        let mut reader = SplitReader::new(self);
+        let mut n = 0u64;
+        while reader.next().is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Lending reader producing line [`Record`]s from a split. The record key
+/// is the big-endian byte offset of the line; the value is the line without
+/// its trailing newline.
+pub struct SplitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    end: usize,
+    source: u8,
+    key_buf: [u8; 8],
+}
+
+impl<'a> SplitReader<'a> {
+    /// Position a reader at the split's first whole line.
+    pub fn new(split: &'a InputSplit) -> Self {
+        let data: &'a [u8] = &split.data;
+        let mut pos = split.start;
+        if pos > 0 {
+            // Skip the partial first line: it belongs to the previous split.
+            while pos < data.len() && data[pos - 1] != b'\n' {
+                pos += 1;
+            }
+        }
+        SplitReader { data, pos, end: split.end, source: split.source, key_buf: [0; 8] }
+    }
+
+    /// Next record, or `None` at the end of the split.
+    #[allow(clippy::should_implement_trait)] // lending iterator: borrows self
+    pub fn next(&mut self) -> Option<Record<'_>> {
+        // A line is read by the split containing its first byte.
+        if self.pos >= self.end || self.pos >= self.data.len() {
+            return None;
+        }
+        let line_start = self.pos;
+        let mut i = self.pos;
+        while i < self.data.len() && self.data[i] != b'\n' {
+            i += 1;
+        }
+        let line = &self.data[line_start..i];
+        self.pos = if i < self.data.len() { i + 1 } else { i };
+        self.key_buf = encode_u64(line_start as u64);
+        Some(Record { key: &self.key_buf, value: line, source: self.source })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::dfs::SimDfs;
+
+    fn splits_of(text: &str, block: usize, nodes: usize) -> Vec<InputSplit> {
+        let mut dfs = SimDfs::new(nodes, block);
+        dfs.put("f", text.as_bytes().to_vec());
+        InputSplit::from_file(dfs.get("f").unwrap(), 0)
+    }
+
+    fn read_all(split: &InputSplit) -> Vec<String> {
+        let mut r = SplitReader::new(split);
+        let mut out = Vec::new();
+        while let Some(rec) = r.next() {
+            out.push(String::from_utf8(rec.value.to_vec()).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn every_line_read_exactly_once_across_splits() {
+        // Lines of varied length, block size chosen to cut lines mid-way.
+        let text = "alpha\nbee\ncderation\nx\nlongerline\nz\n";
+        for block in 1..=text.len() {
+            let splits = splits_of(text, block, 3);
+            let mut got: Vec<String> = splits.iter().flat_map(|s| read_all(s)).collect();
+            let want: Vec<String> = text.lines().map(str::to_string).collect();
+            got.sort();
+            let mut want_sorted = want.clone();
+            want_sorted.sort();
+            assert_eq!(got, want_sorted, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn record_keys_are_line_offsets() {
+        let splits = splits_of("ab\ncd\n", 100, 1);
+        let split = &splits[0];
+        let mut r = SplitReader::new(split);
+        let rec = r.next().unwrap();
+        assert_eq!(crate::codec::decode_u64(rec.key), Some(0));
+        let rec = r.next().unwrap();
+        assert_eq!(crate::codec::decode_u64(rec.key), Some(3));
+    }
+
+    #[test]
+    fn missing_trailing_newline_still_yields_last_line() {
+        let splits = splits_of("one\ntwo", 100, 1);
+        assert_eq!(read_all(&splits[0]), vec!["one", "two"]);
+    }
+
+    #[test]
+    fn count_records_matches_read() {
+        let text = "a\nbb\nccc\ndddd\n";
+        for block in [2, 3, 5, 100] {
+            let splits = splits_of(text, block, 2);
+            let total: u64 = splits.iter().map(|s| s.count_records()).sum();
+            assert_eq!(total, 4, "block {block}");
+        }
+    }
+
+    #[test]
+    fn source_tag_propagates() {
+        let mut dfs = SimDfs::new(1, 100);
+        dfs.put("f", b"x\n".to_vec());
+        let splits = InputSplit::from_file(dfs.get("f").unwrap(), 7);
+        let mut r = SplitReader::new(&splits[0]);
+        assert_eq!(r.next().unwrap().source, 7);
+    }
+
+    #[test]
+    fn empty_lines_are_records() {
+        let splits = splits_of("a\n\nb\n", 100, 1);
+        assert_eq!(read_all(&splits[0]), vec!["a", "", "b"]);
+    }
+}

@@ -1,0 +1,6 @@
+//! Storage and input: the simulated DFS, input splits, and spill files.
+
+pub mod compress;
+pub mod dfs;
+pub mod input;
+pub mod spill_file;

@@ -1,0 +1,234 @@
+//! On-disk spill files and map-output files.
+//!
+//! A spill file stores framed `(key, value)` records grouped by partition,
+//! each partition's records sorted by key, with an in-memory partition
+//! index `(offset, length, record count)`. The same container backs both
+//! intermediate spills and the final merged map output (whose partitions
+//! reducers fetch during shuffle). Files are deleted when the handle drops,
+//! like Hadoop's task-attempt directories.
+
+use crate::codec::write_record;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Index entry for one partition inside a spill file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartIndex {
+    /// Partition id.
+    pub part: usize,
+    /// Byte offset of the partition's records.
+    pub offset: u64,
+    /// Byte length of the partition's records.
+    pub len: u64,
+    /// Number of records in the partition.
+    pub records: u64,
+}
+
+/// A completed, immutable spill file.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+    index: Vec<PartIndex>,
+    total_bytes: u64,
+    total_records: u64,
+}
+
+impl SpillFile {
+    /// Open a writer creating `path` (truncates any existing file).
+    pub fn create(path: PathBuf) -> io::Result<SpillFileWriter> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(SpillFileWriter {
+            w: BufWriter::new(file),
+            path,
+            index: Vec::new(),
+            offset: 0,
+            cur: None,
+            buf: Vec::with_capacity(64 * 1024),
+        })
+    }
+
+    /// The partition index (ascending partition order, only non-empty
+    /// partitions present).
+    pub fn index(&self) -> &[PartIndex] {
+        &self.index
+    }
+
+    /// Total serialized bytes across partitions.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total records across partitions.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Index entry for `part`, if the partition is non-empty.
+    pub fn part_index(&self, part: usize) -> Option<&PartIndex> {
+        self.index.iter().find(|e| e.part == part)
+    }
+
+    /// Read one partition's framed records into memory. Returns an empty
+    /// buffer for partitions with no records.
+    pub fn read_partition(&self, part: usize) -> io::Result<Vec<u8>> {
+        let Some(entry) = self.part_index(part) else {
+            return Ok(Vec::new());
+        };
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(entry.offset))?;
+        let mut buf = vec![0u8; entry.len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Filesystem path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Incremental writer for a [`SpillFile`]. Partitions must be started in
+/// ascending order; records within a partition must already be sorted.
+#[derive(Debug)]
+pub struct SpillFileWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+    index: Vec<PartIndex>,
+    offset: u64,
+    cur: Option<PartIndex>,
+    buf: Vec<u8>,
+}
+
+impl SpillFileWriter {
+    /// Begin a new partition. Panics if `part` is not greater than the
+    /// previous partition (enforces sorted layout).
+    pub fn start_partition(&mut self, part: usize) -> io::Result<()> {
+        self.finish_partition()?;
+        if let Some(last) = self.index.last() {
+            assert!(part > last.part, "partitions must be written in ascending order");
+        }
+        self.cur = Some(PartIndex { part, offset: self.offset, len: 0, records: 0 });
+        Ok(())
+    }
+
+    /// Append one record to the current partition.
+    ///
+    /// # Panics
+    /// Panics if no partition has been started.
+    pub fn write_record(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let cur = self.cur.as_mut().expect("write_record before start_partition");
+        self.buf.clear();
+        write_record(&mut self.buf, key, value);
+        self.w.write_all(&self.buf)?;
+        cur.len += self.buf.len() as u64;
+        cur.records += 1;
+        self.offset += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Write one partition as a single pre-encoded blob (e.g. a compressed
+    /// run). `records` is the logical record count the blob carries.
+    pub fn write_raw_partition(&mut self, part: usize, data: &[u8], records: u64) -> io::Result<()> {
+        self.start_partition(part)?;
+        let cur = self.cur.as_mut().expect("partition just started");
+        self.w.write_all(data)?;
+        cur.len += data.len() as u64;
+        cur.records += records;
+        self.offset += data.len() as u64;
+        Ok(())
+    }
+
+    fn finish_partition(&mut self) -> io::Result<()> {
+        if let Some(cur) = self.cur.take() {
+            if cur.records > 0 {
+                self.index.push(cur);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush and seal the file.
+    pub fn finish(mut self) -> io::Result<SpillFile> {
+        self.finish_partition()?;
+        self.w.flush()?;
+        let total_bytes = self.index.iter().map(|e| e.len).sum();
+        let total_records = self.index.iter().map(|e| e.records).sum();
+        Ok(SpillFile { path: self.path, index: self.index, total_bytes, total_records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::read_record;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("textmr-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_and_read_partitions() {
+        let mut w = SpillFile::create(tmp("spill1.bin")).unwrap();
+        w.start_partition(0).unwrap();
+        w.write_record(b"a", b"1").unwrap();
+        w.write_record(b"b", b"2").unwrap();
+        w.start_partition(2).unwrap();
+        w.write_record(b"z", b"26").unwrap();
+        let f = w.finish().unwrap();
+
+        assert_eq!(f.total_records(), 3);
+        let p0 = f.read_partition(0).unwrap();
+        let mut pos = 0;
+        assert_eq!(read_record(&p0, &mut pos), Some((&b"a"[..], &b"1"[..])));
+        assert_eq!(read_record(&p0, &mut pos), Some((&b"b"[..], &b"2"[..])));
+        assert_eq!(read_record(&p0, &mut pos), None);
+
+        // Partition 1 was never written: empty.
+        assert!(f.read_partition(1).unwrap().is_empty());
+
+        let p2 = f.read_partition(2).unwrap();
+        let mut pos = 0;
+        assert_eq!(read_record(&p2, &mut pos), Some((&b"z"[..], &b"26"[..])));
+    }
+
+    #[test]
+    fn empty_partitions_are_omitted_from_index() {
+        let mut w = SpillFile::create(tmp("spill2.bin")).unwrap();
+        w.start_partition(0).unwrap();
+        w.start_partition(1).unwrap();
+        w.write_record(b"k", b"v").unwrap();
+        let f = w.finish().unwrap();
+        assert_eq!(f.index().len(), 1);
+        assert_eq!(f.index()[0].part, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn out_of_order_partitions_panic() {
+        let mut w = SpillFile::create(tmp("spill3.bin")).unwrap();
+        w.start_partition(1).unwrap();
+        w.write_record(b"k", b"v").unwrap();
+        w.start_partition(0).unwrap();
+    }
+
+    #[test]
+    fn file_removed_on_drop() {
+        let path = tmp("spill4.bin");
+        let mut w = SpillFile::create(path.clone()).unwrap();
+        w.start_partition(0).unwrap();
+        w.write_record(b"k", b"v").unwrap();
+        let f = w.finish().unwrap();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,263 @@
+//! The MapReduce programming interface.
+//!
+//! Jobs are defined at the byte level, Hadoop-style: user code serializes
+//! keys/values at `emit` time, and the framework sorts/merges raw bytes with
+//! the job's key comparator. This makes serialization, comparison and
+//! buffering costs *real* — they are the abstraction overhead the paper
+//! measures and attacks.
+//!
+//! A job provides:
+//! * [`Job::map`] — transform one input [`Record`] into `(key, value)`
+//!   pairs via an [`Emit`] sink;
+//! * [`Job::combine`] — optional local aggregation of a key's values
+//!   (enabled iff [`Job::has_combiner`]);
+//! * [`Job::reduce`] — final aggregation per key;
+//! * [`Job::compare_keys`] / [`Job::partition`] — ordering and routing.
+
+use std::cmp::Ordering;
+
+/// One input record handed to `map()`. For line-oriented text inputs the
+/// key is the big-endian byte offset and the value is the line (without the
+/// trailing newline). `source` tags which logical input the record came
+/// from (0 unless the job has multiple inputs, e.g. a join).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record<'a> {
+    /// Record key bytes (input-format defined).
+    pub key: &'a [u8],
+    /// Record value bytes.
+    pub value: &'a [u8],
+    /// Logical input source index.
+    pub source: u8,
+}
+
+/// Sink for `(key, value)` pairs emitted by user code.
+pub trait Emit {
+    /// Emit one serialized pair.
+    fn emit(&mut self, key: &[u8], value: &[u8]);
+}
+
+/// An [`Emit`] that collects into a `Vec`, for tests and small outputs.
+#[derive(Debug, Default)]
+pub struct VecEmit {
+    /// Collected pairs.
+    pub pairs: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl Emit for VecEmit {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self.pairs.push((key.to_vec(), value.to_vec()));
+    }
+}
+
+impl<F: FnMut(&[u8], &[u8])> Emit for F {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self(key, value)
+    }
+}
+
+/// Sink for `combine()` output values (the key is fixed: combine must not
+/// change keys, which the type system enforces here).
+pub trait ValueSink {
+    /// Emit one combined value for the current key.
+    fn push(&mut self, value: &[u8]);
+}
+
+impl ValueSink for Vec<Vec<u8>> {
+    fn push(&mut self, value: &[u8]) {
+        Vec::push(self, value.to_vec());
+    }
+}
+
+/// Lending cursor over the serialized values of one key group. `next`
+/// borrows from the cursor, so values can be decoded without copying.
+pub trait ValueCursor {
+    /// Advance to the next value; `None` at end of group.
+    fn next(&mut self) -> Option<&[u8]>;
+}
+
+/// A [`ValueCursor`] over an in-memory slice of value slices.
+pub struct SliceValues<'a> {
+    values: &'a [&'a [u8]],
+    idx: usize,
+}
+
+impl<'a> SliceValues<'a> {
+    /// Cursor over `values`.
+    pub fn new(values: &'a [&'a [u8]]) -> Self {
+        SliceValues { values, idx: 0 }
+    }
+}
+
+impl<'a> ValueCursor for SliceValues<'a> {
+    fn next(&mut self) -> Option<&[u8]> {
+        let v = self.values.get(self.idx)?;
+        self.idx += 1;
+        Some(v)
+    }
+}
+
+/// A MapReduce job: user code plus ordering/routing policy.
+///
+/// Implementations must be `Send + Sync` because the framework invokes
+/// `map`/`combine`/`reduce` from many tasks concurrently.
+pub trait Job: Send + Sync {
+    /// Short name used in profiles and bench output.
+    fn name(&self) -> &str;
+
+    /// The map function: called once per input record.
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit);
+
+    /// Whether this job has a combiner. When `false`, [`Job::combine`] is
+    /// never invoked and spills are written uncombined.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+
+    /// The combine function: aggregate `values` (all sharing `key`) into
+    /// one or more output values pushed to `out`. Must be associative and
+    /// commutative across repeated application, as in Hadoop.
+    ///
+    /// The default implementation forwards values unchanged.
+    fn combine(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+        let _ = key;
+        while let Some(v) = values.next() {
+            out.push(v);
+        }
+    }
+
+    /// The reduce function: called once per unique key with all its values.
+    fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit);
+
+    /// Key ordering used by sort/merge/group. Defaults to bytewise
+    /// comparison, which matches order-preserving key encodings.
+    fn compare_keys(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+
+    /// Route a key to one of `num_partitions` reducers. Defaults to an
+    /// FNV-1a hash. Must be deterministic.
+    fn partition(&self, key: &[u8], num_partitions: usize) -> usize {
+        (fnv1a(key) % num_partitions as u64) as usize
+    }
+}
+
+/// FNV-1a 64-bit hash (the engine's default partitioner and the hash used
+/// by in-memory key tables; fast on short text keys per the perf guide).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Run `combine` over an owned value list, returning the combined values.
+/// Convenience used by both the spill path and the frequency buffer.
+pub fn combine_values(job: &dyn Job, key: &[u8], values: &[&[u8]]) -> Vec<Vec<u8>> {
+    let mut cursor = SliceValues::new(values);
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(1);
+    job.combine(key, &mut cursor, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_u64, encode_u64};
+
+    /// Toy word-sum job used across engine unit tests.
+    pub(crate) struct SumJob;
+
+    impl Job for SumJob {
+        fn name(&self) -> &str {
+            "sum"
+        }
+
+        fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+            for w in record.value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                emit.emit(w, &encode_u64(1));
+            }
+        }
+
+        fn has_combiner(&self) -> bool {
+            true
+        }
+
+        fn combine(&self, _key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut sum = 0u64;
+            while let Some(v) = values.next() {
+                sum += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(sum));
+        }
+
+        fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+            let mut sum = 0u64;
+            while let Some(v) = values.next() {
+                sum += decode_u64(v).unwrap();
+            }
+            out.emit(key, &encode_u64(sum));
+        }
+    }
+
+    #[test]
+    fn map_emits_words() {
+        let job = SumJob;
+        let mut sink = VecEmit::default();
+        job.map(&Record { key: b"", value: b"a b a", source: 0 }, &mut sink);
+        assert_eq!(sink.pairs.len(), 3);
+        assert_eq!(sink.pairs[0].0, b"a");
+    }
+
+    #[test]
+    fn combine_aggregates() {
+        let job = SumJob;
+        let one = encode_u64(1);
+        let vals: Vec<&[u8]> = vec![&one, &one, &one];
+        let out = combine_values(&job, b"a", &vals);
+        assert_eq!(out.len(), 1);
+        assert_eq!(decode_u64(&out[0]), Some(3));
+    }
+
+    #[test]
+    fn default_combine_is_identity() {
+        struct NoCombine;
+        impl Job for NoCombine {
+            fn name(&self) -> &str {
+                "nc"
+            }
+            fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+            fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+        }
+        let vals: Vec<&[u8]> = vec![b"x", b"y"];
+        let out = combine_values(&NoCombine, b"k", &vals);
+        assert_eq!(out, vec![b"x".to_vec(), b"y".to_vec()]);
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        let job = SumJob;
+        for key in [&b"alpha"[..], b"beta", b""] {
+            let p = job.partition(key, 7);
+            assert!(p < 7);
+            assert_eq!(p, job.partition(key, 7));
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_keys() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+
+    #[test]
+    fn closure_emit_works() {
+        let job = SumJob;
+        let mut count = 0usize;
+        let mut emit = |_k: &[u8], _v: &[u8]| count += 1;
+        job.map(&Record { key: b"", value: b"x y", source: 0 }, &mut emit);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! # textmr-engine — a mini-MapReduce framework with measured abstraction costs
+//!
+//! This crate rebuilds the Hadoop substrate the paper ("Reducing MapReduce
+//! Abstraction Costs for Text-Centric Applications", ICPP 2014) instruments
+//! and modifies:
+//!
+//! * a byte-level [`job::Job`] interface (serialize-at-emit, raw-byte key
+//!   comparison — Hadoop's design, so serialization and sort costs are real);
+//! * a simulated DFS with block placement and Hadoop's exact input-split
+//!   line protocol ([`io::dfs`], [`io::input`]);
+//! * the map-side pipeline: spill buffer, sort, combine, on-disk spills,
+//!   k-way merge ([`task`]); the producer/consumer overlap between the map
+//!   thread and the support thread is advanced in *virtual time*
+//!   ([`task::pipeline`]) while all work executes for real and is measured —
+//!   see DESIGN.md for why (single-core determinism, faithful to the
+//!   paper's Section IV-C model);
+//! * shuffle with a bandwidth/latency network model ([`net`]) and
+//!   sort-merge reduce ([`task::reduce_task`]);
+//! * cluster-level virtual scheduling onto node slots ([`cluster`]);
+//! * fine-grained abstraction-cost metrics ([`metrics`]) matching the
+//!   paper's Table I operation breakdown.
+//!
+//! The paper's optimizations plug in through [`controller::SpillController`]
+//! and [`controller::EmitFilter`] — see the `textmr-core` crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use textmr_engine::prelude::*;
+//!
+//! struct CountA;
+//! impl Job for CountA {
+//!     fn name(&self) -> &str { "count-a" }
+//!     fn map(&self, rec: &Record<'_>, emit: &mut dyn Emit) {
+//!         let n = rec.value.iter().filter(|&&b| b == b'a').count() as u64;
+//!         emit.emit(b"a", &encode_u64(n));
+//!     }
+//!     fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+//!         let mut sum = 0;
+//!         while let Some(v) = values.next() { sum += decode_u64(v).unwrap(); }
+//!         out.emit(key, &encode_u64(sum));
+//!     }
+//! }
+//!
+//! let cluster = ClusterConfig::single_node();
+//! let mut dfs = SimDfs::new(cluster.nodes, 1024);
+//! dfs.put("in", b"banana\ncabbage\n".to_vec());
+//! let run = run_job(&cluster, &JobConfig::default().with_reducers(1),
+//!                   Arc::new(CountA), &dfs, &[("in", 0)]).unwrap();
+//! let (_k, v) = &run.outputs[0][0];
+//! assert_eq!(decode_u64(v), Some(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod controller;
+pub mod hash;
+pub mod io;
+pub mod job;
+pub mod metrics;
+pub mod net;
+pub mod reference;
+pub mod task;
+
+/// One-stop imports for writing and running jobs.
+pub mod prelude {
+    pub use crate::cluster::{run_job, ClusterConfig, JobConfig, JobRun};
+    pub use crate::codec::{decode_f64, decode_u64, encode_f64, encode_u64};
+    pub use crate::controller::{
+        fixed_spill_factory, EmitFilter, FilterCtx, FixedSpill, SpillController,
+        SpillObservation, TaskCtx,
+    };
+    pub use crate::io::dfs::SimDfs;
+    pub use crate::job::{Emit, Job, Record, ValueCursor, ValueSink};
+    pub use crate::metrics::{JobProfile, Op, Phase, TaskProfile};
+    pub use crate::net::NetworkConfig;
+    pub use crate::task::reduce_task::Grouping;
+}

@@ -1,0 +1,489 @@
+//! Fine-grained abstraction-cost accounting (the paper's Table I operations).
+//!
+//! Section II of the paper breaks the three MapReduce phases into
+//! fine-grained operations and asks "where does the time go?". This module
+//! defines those operations ([`Op`]), per-task accumulators
+//! ([`TaskProfile`]), and the job-level aggregate ([`JobProfile`]) from
+//! which every profiling figure/table in the paper (Fig. 2, Fig. 8, Fig. 9,
+//! Table II) is derived.
+//!
+//! All durations are in nanoseconds of *measured work* or *virtual time*
+//! (see `task::pipeline`); `u64` nanoseconds are used throughout so profiles
+//! are plain data.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Virtual-time instant / duration in nanoseconds.
+pub type VNanos = u64;
+
+/// Number of fine-grained operations tracked.
+pub const NUM_OPS: usize = 13;
+
+/// Fine-grained operations, following the paper's Table I decomposition of
+/// the map, shuffle and reduce phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Op {
+    /// Reading and deserializing input records (map phase, framework).
+    Read = 0,
+    /// Executing the user's `map()` function (user code).
+    Map = 1,
+    /// Serializing and collecting map output into the spill buffer,
+    /// including frequency-buffering's profiling/hashing overhead when
+    /// enabled (framework).
+    Emit = 2,
+    /// Sorting a spill by (partition, key) (framework).
+    Sort = 3,
+    /// Executing the user's `combine()` function (user code).
+    Combine = 4,
+    /// Writing sorted/combined spills to local disk (framework).
+    SpillWrite = 5,
+    /// End-of-task merge of spill files into the map output (framework).
+    Merge = 6,
+    /// Map thread blocked on a full spill buffer (idle).
+    MapIdle = 7,
+    /// Support thread waiting for a spill to be produced (idle).
+    SupportIdle = 8,
+    /// Transferring map output partitions to reducers (shuffle phase).
+    ShuffleFetch = 9,
+    /// Reduce-side merge-sort of fetched runs (framework).
+    ReduceMerge = 10,
+    /// Executing the user's `reduce()` function (user code).
+    Reduce = 11,
+    /// Writing final output (framework).
+    OutputWrite = 12,
+}
+
+/// Coarse phases of a MapReduce job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Everything a map task does (read → merge).
+    Map,
+    /// Moving intermediate data to reducers.
+    Shuffle,
+    /// Reduce-side merge, user reduce, output write.
+    Reduce,
+}
+
+impl Op {
+    /// All operations in index order.
+    pub const ALL: [Op; NUM_OPS] = [
+        Op::Read,
+        Op::Map,
+        Op::Emit,
+        Op::Sort,
+        Op::Combine,
+        Op::SpillWrite,
+        Op::Merge,
+        Op::MapIdle,
+        Op::SupportIdle,
+        Op::ShuffleFetch,
+        Op::ReduceMerge,
+        Op::Reduce,
+        Op::OutputWrite,
+    ];
+
+    /// Index in `0..NUM_OPS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The phase this operation belongs to.
+    pub fn phase(self) -> Phase {
+        match self {
+            Op::Read | Op::Map | Op::Emit | Op::Sort | Op::Combine | Op::SpillWrite
+            | Op::Merge | Op::MapIdle | Op::SupportIdle => Phase::Map,
+            Op::ShuffleFetch => Phase::Shuffle,
+            Op::ReduceMerge | Op::Reduce | Op::OutputWrite => Phase::Reduce,
+        }
+    }
+
+    /// True for the operations that execute *user* code; everything else is
+    /// the abstraction cost the paper attacks. (The paper counts `map()`,
+    /// `combine()` and the reduce phase's `reduce()` as user code.)
+    pub fn is_user_code(self) -> bool {
+        matches!(self, Op::Map | Op::Combine | Op::Reduce)
+    }
+
+    /// True for the idle/wait pseudo-operations.
+    pub fn is_idle(self) -> bool {
+        matches!(self, Op::MapIdle | Op::SupportIdle)
+    }
+
+    /// Display name used by the bench harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Read => "read",
+            Op::Map => "map",
+            Op::Emit => "emit",
+            Op::Sort => "sort",
+            Op::Combine => "combine",
+            Op::SpillWrite => "spill",
+            Op::Merge => "merge",
+            Op::MapIdle => "map-idle",
+            Op::SupportIdle => "support-idle",
+            Op::ShuffleFetch => "shuffle",
+            Op::ReduceMerge => "reduce-merge",
+            Op::Reduce => "reduce",
+            Op::OutputWrite => "write",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Accumulated nanoseconds per operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpTimes {
+    nanos: [u64; NUM_OPS],
+}
+
+impl OpTimes {
+    /// Fresh zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to operation `op`.
+    #[inline]
+    pub fn add(&mut self, op: Op, d: Duration) {
+        self.nanos[op.index()] += d.as_nanos() as u64;
+    }
+
+    /// Add raw nanoseconds to operation `op`.
+    #[inline]
+    pub fn add_nanos(&mut self, op: Op, ns: u64) {
+        self.nanos[op.index()] += ns;
+    }
+
+    /// Accumulated nanoseconds for `op`.
+    #[inline]
+    pub fn get(&self, op: Op) -> u64 {
+        self.nanos[op.index()]
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &OpTimes) {
+        for i in 0..NUM_OPS {
+            self.nanos[i] += other.nanos[i];
+        }
+    }
+
+    /// Total across all *work* operations (idle excluded): the "serialized
+    /// view of the work performed" from Figure 2.
+    pub fn total_work(&self) -> u64 {
+        Op::ALL
+            .iter()
+            .filter(|o| !o.is_idle())
+            .map(|o| self.get(*o))
+            .sum()
+    }
+
+    /// Total nanoseconds in user code (`map` + `combine` + `reduce`).
+    pub fn user_code(&self) -> u64 {
+        Op::ALL
+            .iter()
+            .filter(|o| o.is_user_code())
+            .map(|o| self.get(*o))
+            .sum()
+    }
+
+    /// Total framework-overhead nanoseconds (work that is neither user code
+    /// nor idle) — the paper's "abstraction cost".
+    pub fn abstraction_cost(&self) -> u64 {
+        self.total_work() - self.user_code()
+    }
+
+    /// Work nanoseconds per phase (idle excluded).
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        Op::ALL
+            .iter()
+            .filter(|o| o.phase() == phase && !o.is_idle())
+            .map(|o| self.get(*o))
+            .sum()
+    }
+
+    /// Fractions of total work per op, for normalized breakdown charts.
+    /// Returns zeros if no work was recorded.
+    pub fn fractions(&self) -> [(Op, f64); NUM_OPS] {
+        let total = self.total_work().max(1) as f64;
+        let mut out = [(Op::Read, 0.0); NUM_OPS];
+        for (slot, op) in out.iter_mut().zip(Op::ALL) {
+            let v = if op.is_idle() { 0.0 } else { self.get(op) as f64 / total };
+            *slot = (op, v);
+        }
+        out
+    }
+}
+
+/// Statistics of one spill produced by a map task.
+#[derive(Debug, Clone)]
+pub struct SpillStat {
+    /// Serialized bytes in the spill segment (including per-record
+    /// metadata accounted against the buffer budget).
+    pub bytes: usize,
+    /// Records in the segment before combining.
+    pub records: usize,
+    /// Records written to disk after combining.
+    pub records_after_combine: usize,
+    /// Measured time to produce the segment (map-thread work), ns.
+    pub produce_ns: u64,
+    /// Measured time to consume it (sort + combine + write), ns.
+    pub consume_ns: u64,
+    /// Spill fraction `x` in force when this segment started.
+    pub fraction: f64,
+}
+
+/// Per-task profile: operation times plus the virtual-pipeline outcome.
+#[derive(Debug, Clone, Default)]
+pub struct TaskProfile {
+    /// Operation-level accounting.
+    pub ops: OpTimes,
+    /// Virtual duration of the whole task (map: pipelined producer/consumer
+    /// + merge; reduce: fetch + merge + reduce + write).
+    pub virtual_duration: VNanos,
+    /// Map-thread (producer) busy virtual time. Zero for reduce tasks.
+    pub produce_busy: VNanos,
+    /// Support-thread (consumer) busy virtual time. Zero for reduce tasks.
+    pub consume_busy: VNanos,
+    /// Map-thread blocked-on-full-buffer virtual time.
+    pub producer_wait: VNanos,
+    /// Support-thread waiting-for-spill virtual time.
+    pub consumer_wait: VNanos,
+    /// Per-spill statistics, in order.
+    pub spills: Vec<SpillStat>,
+    /// Input records consumed.
+    pub input_records: u64,
+    /// Map-output records emitted by user code (before combining).
+    pub emitted_records: u64,
+    /// Records absorbed by the frequency buffer (never entered the spill
+    /// path individually).
+    pub freq_absorbed_records: u64,
+    /// Bytes written to the final (merged) map output / reduce output.
+    pub output_bytes: u64,
+}
+
+impl TaskProfile {
+    /// Idle fraction of the map thread over the pipelined portion of the
+    /// task (Table II's "Map, Idle").
+    pub fn map_idle_fraction(&self) -> f64 {
+        let span = self.pipeline_span();
+        if span == 0 {
+            return 0.0;
+        }
+        self.producer_wait as f64 / span as f64
+    }
+
+    /// Idle fraction of the support thread (Table II's "Support, Idle").
+    pub fn support_idle_fraction(&self) -> f64 {
+        let span = self.pipeline_span();
+        if span == 0 {
+            return 0.0;
+        }
+        (span.saturating_sub(self.consume_busy)) as f64 / span as f64
+    }
+
+    /// Virtual span of the producer/consumer pipeline (excludes the final
+    /// merge, which is not pipelined).
+    pub fn pipeline_span(&self) -> VNanos {
+        self.produce_busy + self.producer_wait + self.consumer_trailing_wait()
+    }
+
+    fn consumer_trailing_wait(&self) -> VNanos {
+        // The pipeline ends when the consumer finishes the final spill; any
+        // consumer work after the producer finished extends the span.
+        let producer_span = self.produce_busy + self.producer_wait;
+        let consumer_span = self.consume_busy + self.consumer_wait;
+        consumer_span.saturating_sub(producer_span)
+    }
+}
+
+/// Virtual schedule entry for one task (used for makespan accounting and
+/// the bench harness's per-phase spans).
+#[derive(Debug, Clone)]
+pub struct TaskSpan {
+    /// Node the task ran on.
+    pub node: usize,
+    /// Virtual start time.
+    pub start: VNanos,
+    /// Virtual end time.
+    pub end: VNanos,
+}
+
+/// Aggregated profile of a complete job run.
+#[derive(Debug, Clone, Default)]
+pub struct JobProfile {
+    /// Per-map-task profiles.
+    pub map_tasks: Vec<TaskProfile>,
+    /// Per-reduce-task profiles.
+    pub reduce_tasks: Vec<TaskProfile>,
+    /// Virtual schedule of map tasks.
+    pub map_spans: Vec<TaskSpan>,
+    /// Virtual schedule of reduce tasks (fetch+merge+reduce+write).
+    pub reduce_spans: Vec<TaskSpan>,
+    /// Virtual time when the map phase completed.
+    pub map_phase_end: VNanos,
+    /// Virtual job makespan.
+    pub wall: VNanos,
+    /// Total intermediate bytes shuffled across the (virtual) network.
+    pub shuffled_bytes: u64,
+}
+
+impl JobProfile {
+    /// Sum of all operation times across all tasks.
+    pub fn total_ops(&self) -> OpTimes {
+        let mut agg = OpTimes::new();
+        for t in self.map_tasks.iter().chain(self.reduce_tasks.iter()) {
+            agg.merge(&t.ops);
+        }
+        agg
+    }
+
+    /// Mean map-thread idle fraction across map tasks (Table II row).
+    pub fn map_idle_pct(&self) -> f64 {
+        mean(self.map_tasks.iter().map(|t| t.map_idle_fraction())) * 100.0
+    }
+
+    /// Mean support-thread idle fraction across map tasks (Table II row).
+    pub fn support_idle_pct(&self) -> f64 {
+        mean(self.map_tasks.iter().map(|t| t.support_idle_fraction())) * 100.0
+    }
+
+    /// Total records removed from the intermediate data by combining
+    /// (spill-time + merge-time + frequency-buffer).
+    pub fn records_emitted(&self) -> u64 {
+        self.map_tasks.iter().map(|t| t.emitted_records).sum()
+    }
+
+    /// Virtual makespan as a `Duration`.
+    pub fn wall_duration(&self) -> Duration {
+        Duration::from_nanos(self.wall)
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Convenience stopwatch measuring real elapsed time into an [`OpTimes`].
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Start timing.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Elapsed nanoseconds since start.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+
+    /// Stop and record into `times` under `op`; returns elapsed ns.
+    #[inline]
+    pub fn stop(self, times: &mut OpTimes, op: Op) -> u64 {
+        let ns = self.elapsed_ns();
+        times.add_nanos(op, ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_indices_match_all_order() {
+        for (i, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn user_vs_abstraction_partition_work() {
+        let mut t = OpTimes::new();
+        t.add_nanos(Op::Map, 70);
+        t.add_nanos(Op::Sort, 20);
+        t.add_nanos(Op::Combine, 10);
+        t.add_nanos(Op::MapIdle, 999); // idle not counted as work
+        assert_eq!(t.total_work(), 100);
+        assert_eq!(t.user_code(), 80);
+        assert_eq!(t.abstraction_cost(), 20);
+    }
+
+    #[test]
+    fn phase_assignment() {
+        assert_eq!(Op::Sort.phase(), Phase::Map);
+        assert_eq!(Op::ShuffleFetch.phase(), Phase::Shuffle);
+        assert_eq!(Op::Reduce.phase(), Phase::Reduce);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut t = OpTimes::new();
+        t.add_nanos(Op::Read, 10);
+        t.add_nanos(Op::Map, 30);
+        t.add_nanos(Op::Emit, 60);
+        let sum: f64 = t.fractions().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fractions() {
+        let t = TaskProfile {
+            produce_busy: 60,
+            producer_wait: 40,
+            consume_busy: 50,
+            consumer_wait: 30,
+            ..Default::default()
+        };
+        // pipeline span = 60 + 40 = 100; consumer span = 80 < producer span,
+        // so no trailing extension.
+        assert_eq!(t.pipeline_span(), 100);
+        assert!((t.map_idle_fraction() - 0.4).abs() < 1e-12);
+        assert!((t.support_idle_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_consumer_extends_span() {
+        let t = TaskProfile {
+            produce_busy: 50,
+            producer_wait: 0,
+            consume_busy: 70,
+            consumer_wait: 10,
+            ..Default::default()
+        };
+        // Consumer span 80 > producer span 50 → span 80.
+        assert_eq!(t.pipeline_span(), 80);
+    }
+
+    #[test]
+    fn job_profile_aggregation() {
+        let mut a = TaskProfile::default();
+        a.ops.add_nanos(Op::Map, 5);
+        let mut b = TaskProfile::default();
+        b.ops.add_nanos(Op::Reduce, 7);
+        let p = JobProfile { map_tasks: vec![a], reduce_tasks: vec![b], ..Default::default() };
+        let agg = p.total_ops();
+        assert_eq!(agg.get(Op::Map), 5);
+        assert_eq!(agg.get(Op::Reduce), 7);
+    }
+}

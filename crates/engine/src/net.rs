@@ -1,0 +1,80 @@
+//! The shuffle network model.
+//!
+//! Shuffle traffic between distinct nodes pays `latency + bytes/bandwidth`
+//! in virtual time; node-local fetches pay only the (real, measured) disk
+//! read. Two presets mirror the paper's clusters: a LAN-like local cluster
+//! and an EC2-like cloud cluster with lower per-node bandwidth — the knob
+//! behind Table IV's observation that InvertedIndex's gains shrink on EC2
+//! because shuffle grows.
+
+/// Bandwidth/latency model for cross-node transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Point-to-point bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Per-transfer latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl NetworkConfig {
+    /// Gigabit-LAN-like local cluster (the paper's 7-node lab cluster).
+    pub fn local_cluster() -> Self {
+        NetworkConfig {
+            bandwidth_bytes_per_sec: 110 * 1024 * 1024, // ~1 GbE
+            latency_ns: 200_000,                        // 0.2 ms
+        }
+    }
+
+    /// EC2-like cloud cluster: more nodes contending, lower effective
+    /// per-flow bandwidth and higher latency.
+    pub fn ec2_cluster() -> Self {
+        NetworkConfig {
+            bandwidth_bytes_per_sec: 30 * 1024 * 1024,
+            latency_ns: 800_000,
+        }
+    }
+
+    /// Virtual nanoseconds to move `bytes` from `src` to `dst`. Free if the
+    /// nodes coincide (local disk read is measured separately, for real).
+    pub fn transfer_ns(&self, src: usize, dst: usize, bytes: u64) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        self.latency_ns + bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_transfers_are_free() {
+        let net = NetworkConfig::local_cluster();
+        assert_eq!(net.transfer_ns(3, 3, 1 << 30), 0);
+    }
+
+    #[test]
+    fn remote_transfer_scales_with_bytes() {
+        let net = NetworkConfig { bandwidth_bytes_per_sec: 1_000_000, latency_ns: 1000 };
+        let t1 = net.transfer_ns(0, 1, 1_000_000); // 1 s + latency
+        assert_eq!(t1, 1_000_000_000 + 1000);
+        let t2 = net.transfer_ns(0, 1, 2_000_000);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn ec2_is_slower_than_local() {
+        let bytes = 50 * 1024 * 1024;
+        assert!(
+            NetworkConfig::ec2_cluster().transfer_ns(0, 1, bytes)
+                > NetworkConfig::local_cluster().transfer_ns(0, 1, bytes)
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_does_not_divide_by_zero() {
+        let net = NetworkConfig { bandwidth_bytes_per_sec: 0, latency_ns: 5 };
+        let _ = net.transfer_ns(0, 1, 100);
+    }
+}

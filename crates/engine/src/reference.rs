@@ -1,0 +1,128 @@
+//! Reference executor: a direct, single-threaded MapReduce evaluation with
+//! no buffering, spilling, combining or scheduling.
+//!
+//! Used by integration and property tests as the ground truth the engine's
+//! pipelined execution must match for any configuration (spill fractions,
+//! buffer sizes, filters, controllers, cluster shapes). Jobs must be
+//! order-insensitive in their reduce values — the standard MapReduce
+//! contract — because the engine's value ordering reflects spill structure.
+
+use crate::io::dfs::SimDfs;
+use crate::io::input::{InputSplit, SplitReader};
+use crate::job::{Job, SliceValues, VecEmit};
+use std::io;
+
+/// Run `job` sequentially over the named inputs. Returns `(key, value)`
+/// pairs per partition, key-sorted — directly comparable with
+/// `JobRun::outputs` modulo value order inside multi-value reduces.
+pub fn reference_run(
+    job: &dyn Job,
+    dfs: &SimDfs,
+    inputs: &[(&str, u8)],
+    num_partitions: usize,
+) -> io::Result<Vec<Vec<(Vec<u8>, Vec<u8>)>>> {
+    // Map everything.
+    let mut intermediate: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
+    for (name, source) in inputs {
+        let file = dfs
+            .get(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no DFS file {name}")))?;
+        for split in InputSplit::from_file(file, *source) {
+            let mut reader = SplitReader::new(&split);
+            while let Some(rec) = reader.next() {
+                let mut sink = VecEmit::default();
+                job.map(&rec, &mut sink);
+                for (k, v) in sink.pairs {
+                    let p = job.partition(&k, num_partitions);
+                    intermediate.push((p, k, v));
+                }
+            }
+        }
+    }
+
+    // Group by (partition, key) with the job's comparator; stable sort so
+    // emission order is preserved within groups.
+    intermediate.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| job.compare_keys(&a.1, &b.1)));
+
+    // Reduce.
+    let mut out: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); num_partitions];
+    let mut i = 0usize;
+    while i < intermediate.len() {
+        let (p, ref key, _) = intermediate[i];
+        let mut j = i;
+        while j < intermediate.len()
+            && intermediate[j].0 == p
+            && job.compare_keys(&intermediate[j].1, key) == std::cmp::Ordering::Equal
+        {
+            j += 1;
+        }
+        let values: Vec<&[u8]> = intermediate[i..j].iter().map(|(_, _, v)| v.as_slice()).collect();
+        let mut cursor = SliceValues::new(&values);
+        let mut sink = VecEmit::default();
+        job.reduce(key, &mut cursor, &mut sink);
+        out[p].extend(sink.pairs);
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Flatten + sort a per-partition output for comparison.
+pub fn flatten_sorted(outputs: &[Vec<(Vec<u8>, Vec<u8>)>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut all: Vec<_> = outputs.iter().flatten().cloned().collect();
+    all.sort();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_job, ClusterConfig, JobConfig};
+    use crate::codec::{decode_u64, encode_u64};
+    use crate::job::{Emit, Record, ValueCursor, ValueSink};
+    use std::sync::Arc;
+
+    struct WordSum;
+    impl Job for WordSum {
+        fn name(&self) -> &str {
+            "wordsum"
+        }
+        fn map(&self, r: &Record<'_>, e: &mut dyn Emit) {
+            for w in r.value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                e.emit(w, &encode_u64(1));
+            }
+        }
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(s));
+        }
+        fn reduce(&self, k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.emit(k, &encode_u64(s));
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference() {
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 1024);
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.extend_from_slice(format!("alpha w{} beta\n", i % 13).as_bytes());
+        }
+        dfs.put("c", data);
+        let cfg = JobConfig::default();
+        let engine =
+            run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+        let reference = reference_run(&WordSum, &dfs, &[("c", 0)], cfg.num_reducers).unwrap();
+        assert_eq!(engine.sorted_pairs(), flatten_sorted(&reference));
+    }
+}

@@ -1,0 +1,542 @@
+//! Execution of one map task: read → map → emit → (filter) → spill buffer →
+//! sort/combine/spill → merge.
+//!
+//! All user and framework work runs for real and is measured; the
+//! producer/consumer overlap between the map thread and the support thread
+//! is advanced on the virtual clocks of [`Pipeline`]. The paper's
+//! optimizations plug in here: an [`EmitFilter`] (frequency-buffering) sees
+//! every emitted pair before the spill path, and a [`SpillController`]
+//! (spill-matcher) picks the spill fraction after every spill.
+
+use crate::controller::{EmitFilter, SpillController, SpillObservation};
+use crate::io::input::{InputSplit, SplitReader};
+use crate::io::spill_file::SpillFile;
+use crate::job::{combine_values, Emit, Job};
+use crate::metrics::{Op, OpTimes, SpillStat, Stopwatch, TaskProfile, VNanos};
+use crate::task::merge::merge_grouped;
+use crate::task::pipeline::{Admission, Pipeline};
+use crate::task::segment::Segment;
+use crate::task::spill::spill_segment;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Lower clamp for controller-proposed spill fractions; guards against a
+/// degenerate controller melting the task into per-record spills.
+const MIN_FRACTION: f64 = 0.01;
+
+/// Configuration of one map-task execution.
+pub struct MapTaskConfig {
+    /// Task index within the job.
+    pub task_id: usize,
+    /// Node the task runs on (for the output's shuffle source).
+    pub node: usize,
+    /// Number of reduce partitions.
+    pub num_partitions: usize,
+    /// Spill buffer capacity M in accounted bytes (already net of any
+    /// filter carve-out).
+    pub buffer_capacity: usize,
+    /// Spill-fraction policy.
+    pub controller: Box<dyn SpillController>,
+    /// Optional map-side emit filter (frequency-buffering).
+    pub filter: Option<Box<dyn EmitFilter>>,
+    /// Maximum merge fan-in (Hadoop's `io.sort.factor`).
+    pub merge_fan_in: usize,
+    /// Compress the final map-output partitions.
+    pub compress_output: bool,
+    /// Directory for spill and output files.
+    pub spill_dir: PathBuf,
+    /// Fault injection: abort (as a task failure) after this many input
+    /// records.
+    pub fail_after_records: Option<u64>,
+}
+
+/// A finished map task's output, fetchable by partition during shuffle.
+#[derive(Debug)]
+pub struct MapOutput {
+    /// The merged, partition-indexed output file.
+    pub file: SpillFile,
+    /// Node that produced it (shuffle source).
+    pub node: usize,
+    /// Whether partitions are stored compressed (reducers must
+    /// decompress after fetching).
+    pub compressed: bool,
+}
+
+/// Why a map task did not complete.
+#[derive(Debug)]
+pub enum MapTaskError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Injected fault (testing / failure-handling exercises). Carries the
+    /// virtual time the attempt consumed before dying.
+    Injected {
+        /// Virtual nanoseconds elapsed at the point of failure.
+        virtual_elapsed: VNanos,
+    },
+}
+
+impl From<io::Error> for MapTaskError {
+    fn from(e: io::Error) -> Self {
+        MapTaskError::Io(e)
+    }
+}
+
+/// The spill path: active segment + virtual pipeline + spill files.
+/// Implements [`Emit`] so it can serve directly as the filter's flush sink.
+struct SpillPath<'a> {
+    job: &'a dyn Job,
+    num_partitions: usize,
+    pipeline: Pipeline,
+    seg: Segment,
+    controller: Box<dyn SpillController>,
+    spills: Vec<SpillFile>,
+    stats: Vec<SpillStat>,
+    ops: OpTimes,
+    spill_dir: &'a Path,
+    task_id: usize,
+    /// Support-thread (consume) work performed inside the current emit
+    /// call; the producer's measured time must exclude it.
+    consume_pending_ns: u64,
+    /// Deferred I/O error (the `Emit` trait is infallible).
+    io_error: Option<io::Error>,
+}
+
+impl<'a> SpillPath<'a> {
+    fn append(&mut self, key: &[u8], value: &[u8]) {
+        let part = self.job.partition(key, self.num_partitions);
+        let cost = Segment::record_cost(key, value);
+        if self.pipeline.admit(cost) == Admission::SpillThenAppend {
+            self.do_spill();
+        }
+        self.seg.push(part, key, value);
+        self.pipeline.appended(cost);
+        if self.pipeline.should_spill() {
+            self.do_spill();
+        }
+    }
+
+    /// Sort/combine/write the active segment and advance the virtual
+    /// pipeline. No-op on an empty segment.
+    fn do_spill(&mut self) {
+        if self.seg.is_empty() || self.io_error.is_some() {
+            return;
+        }
+        let path = self.spill_dir.join(format!("t{}_s{}.spill", self.task_id, self.spills.len()));
+        match spill_segment(&self.seg, self.job, path) {
+            Ok(out) => {
+                self.ops.add_nanos(Op::Sort, out.sort_ns);
+                self.ops.add_nanos(Op::Combine, out.combine_ns);
+                self.ops.add_nanos(Op::SpillWrite, out.write_ns);
+                let consume_ns = out.consume_ns();
+                let fraction = self.pipeline.fraction();
+                let (bytes, produce_ns) = self.pipeline.handover(consume_ns);
+                self.stats.push(SpillStat {
+                    bytes,
+                    records: out.records_in as usize,
+                    records_after_combine: out.records_out as usize,
+                    produce_ns,
+                    consume_ns,
+                    fraction,
+                });
+                let obs = SpillObservation {
+                    bytes,
+                    produce_ns,
+                    consume_ns,
+                    capacity: self.pipeline.capacity(),
+                };
+                let next = self.controller.next_fraction(&obs).clamp(MIN_FRACTION, 1.0);
+                self.pipeline.set_fraction(next);
+                self.consume_pending_ns += consume_ns;
+                self.seg.clear();
+                self.spills.push(out.file);
+            }
+            Err(e) => self.io_error = Some(e),
+        }
+    }
+
+    fn take_consume_pending(&mut self) -> u64 {
+        std::mem::take(&mut self.consume_pending_ns)
+    }
+}
+
+impl<'a> Emit for SpillPath<'a> {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        self.append(key, value);
+    }
+}
+
+/// The emitter handed to user `map()` code: times emits, routes pairs
+/// through the optional filter, and keeps producer-time bookkeeping.
+struct MapEmitter<'a> {
+    path: SpillPath<'a>,
+    filter: Option<Box<dyn EmitFilter>>,
+    emit_ns: u64,
+    handover_ns: u64,
+    emitted: u64,
+}
+
+impl<'a> Emit for MapEmitter<'a> {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        let sw = Stopwatch::start();
+        self.emitted += 1;
+        let absorbed = match &mut self.filter {
+            Some(f) => f.offer(key, value, &mut self.path),
+            None => false,
+        };
+        if !absorbed {
+            self.path.append(key, value);
+        }
+        let total = sw.elapsed_ns();
+        let consumed = self.path.take_consume_pending();
+        self.handover_ns += consumed;
+        self.emit_ns += total.saturating_sub(consumed);
+    }
+}
+
+/// Run one map task over `split`.
+pub fn run_map_task(
+    job: &Arc<dyn Job>,
+    split: &InputSplit,
+    cfg: MapTaskConfig,
+) -> Result<(MapOutput, TaskProfile), MapTaskError> {
+    let mut controller = cfg.controller;
+    let initial = controller.initial_fraction().clamp(MIN_FRACTION, 1.0);
+    let path = SpillPath {
+        job: job.as_ref(),
+        num_partitions: cfg.num_partitions,
+        pipeline: Pipeline::new(cfg.buffer_capacity, initial),
+        seg: Segment::new(),
+        controller,
+        spills: Vec::new(),
+        stats: Vec::new(),
+        ops: OpTimes::new(),
+        spill_dir: &cfg.spill_dir,
+        task_id: cfg.task_id,
+        consume_pending_ns: 0,
+        io_error: None,
+    };
+    let mut emitter = MapEmitter { path, filter: cfg.filter, emit_ns: 0, handover_ns: 0, emitted: 0 };
+
+    // ---- producer loop: read → map → emit ---------------------------------
+    let mut reader = SplitReader::new(split);
+    let mut input_records = 0u64;
+    loop {
+        let sw_rec = Stopwatch::start();
+        let Some(rec) = reader.next() else { break };
+        let read_ns = sw_rec.elapsed_ns();
+        if let Some(f) = &mut emitter.filter {
+            f.on_input_record();
+        }
+        job.map(&rec, &mut emitter);
+        let total_ns = sw_rec.elapsed_ns();
+        input_records += 1;
+
+        let emit_ns = std::mem::take(&mut emitter.emit_ns);
+        let handover_ns = std::mem::take(&mut emitter.handover_ns);
+        // Combine work performed inside the filter is user code: report it
+        // under `combine`, not `emit` (it remains producer-side time).
+        let filter_combine_ns =
+            emitter.filter.as_mut().map_or(0, |f| f.take_user_combine_ns()).min(emit_ns);
+        let ops = &mut emitter.path.ops;
+        ops.add_nanos(Op::Read, read_ns);
+        ops.add_nanos(Op::Emit, emit_ns - filter_combine_ns);
+        ops.add_nanos(Op::Combine, filter_combine_ns);
+        ops.add_nanos(Op::Map, total_ns.saturating_sub(read_ns + emit_ns + handover_ns));
+        emitter.path.pipeline.produce(total_ns.saturating_sub(handover_ns));
+
+        if let Some(e) = emitter.path.io_error.take() {
+            return Err(e.into());
+        }
+        if cfg.fail_after_records == Some(input_records) {
+            return Err(MapTaskError::Injected {
+                virtual_elapsed: emitter.path.pipeline.pipeline_end(),
+            });
+        }
+    }
+
+    // ---- drain the filter ---------------------------------------------------
+    let mut freq_absorbed = 0u64;
+    if let Some(mut f) = emitter.filter.take() {
+        let sw = Stopwatch::start();
+        f.finish(&mut emitter.path);
+        let total = sw.elapsed_ns();
+        let consumed = emitter.path.take_consume_pending();
+        let produce = total.saturating_sub(consumed);
+        let combine = f.take_user_combine_ns().min(produce);
+        emitter.path.ops.add_nanos(Op::Emit, produce - combine);
+        emitter.path.ops.add_nanos(Op::Combine, combine);
+        emitter.path.pipeline.produce(produce);
+        freq_absorbed = f.absorbed();
+    }
+
+    // ---- final spill ---------------------------------------------------------
+    let mut path = emitter.path;
+    path.pipeline.drain_barrier();
+    path.do_spill();
+    if let Some(e) = path.io_error.take() {
+        return Err(e.into());
+    }
+    let pipeline_end = path.pipeline.pipeline_end();
+
+    // ---- merge spills into the map output -----------------------------------
+    let sw_merge = Stopwatch::start();
+    let mut combine_in_merge_ns = 0u64;
+    let out_path = cfg.spill_dir.join(format!("t{}_out.bin", cfg.task_id));
+    let mut writer = SpillFile::create(out_path)?;
+    let has_combiner = job.has_combiner();
+    let scratch = cfg.spill_dir.join(format!("t{}_mergescratch.bin", cfg.task_id));
+    for part in 0..cfg.num_partitions {
+        let runs: Vec<Vec<u8>> = path
+            .spills
+            .iter()
+            .map(|s| s.read_partition(part))
+            .collect::<io::Result<_>>()?;
+        if runs.iter().all(|r| r.is_empty()) {
+            continue;
+        }
+        // Bound the final pass's fan-in, merging through scratch disk as
+        // Hadoop does when spills exceed io.sort.factor.
+        let multi = crate::task::merge::reduce_to_fan_in(
+            runs,
+            job.as_ref(),
+            has_combiner,
+            cfg.merge_fan_in,
+            &scratch,
+        )?;
+        combine_in_merge_ns += multi.combine_ns;
+        let runs = multi.runs;
+        if cfg.compress_output {
+            // Merge into an in-memory run, compress it, store as one blob;
+            // reducers decompress after fetching (trading CPU for shuffle
+            // bytes — the paper's future-work item).
+            let mut merged = Vec::new();
+            let mut records = 0u64;
+            merge_grouped(&runs, &|a, b| job.compare_keys(a, b), |key, values| {
+                if has_combiner && values.len() > 1 {
+                    let sw_c = Stopwatch::start();
+                    let combined = combine_values(job.as_ref(), key, values);
+                    combine_in_merge_ns += sw_c.elapsed_ns();
+                    for v in &combined {
+                        crate::codec::write_record(&mut merged, key, v);
+                        records += 1;
+                    }
+                } else {
+                    for v in values {
+                        crate::codec::write_record(&mut merged, key, v);
+                        records += 1;
+                    }
+                }
+            });
+            let blob = crate::io::compress::compress(&merged);
+            writer.write_raw_partition(part, &blob, records)?;
+        } else {
+            writer.start_partition(part)?;
+            let mut write_err: Option<io::Error> = None;
+            merge_grouped(&runs, &|a, b| job.compare_keys(a, b), |key, values| {
+                if write_err.is_some() {
+                    return;
+                }
+                let mut write = |k: &[u8], v: &[u8]| {
+                    if let Err(e) = writer.write_record(k, v) {
+                        write_err = Some(e);
+                    }
+                };
+                if has_combiner && values.len() > 1 {
+                    let sw_c = Stopwatch::start();
+                    let combined = combine_values(job.as_ref(), key, values);
+                    combine_in_merge_ns += sw_c.elapsed_ns();
+                    for v in &combined {
+                        write(key, v);
+                    }
+                } else {
+                    for v in values {
+                        write(key, v);
+                    }
+                }
+            });
+            if let Some(e) = write_err {
+                return Err(e.into());
+            }
+        }
+    }
+    let file = writer.finish()?;
+    let merge_total_ns = sw_merge.elapsed_ns();
+    path.ops.add_nanos(Op::Merge, merge_total_ns.saturating_sub(combine_in_merge_ns));
+    path.ops.add_nanos(Op::Combine, combine_in_merge_ns);
+
+    // ---- profile -------------------------------------------------------------
+    let profile = TaskProfile {
+        ops: path.ops,
+        virtual_duration: pipeline_end + merge_total_ns,
+        produce_busy: path.pipeline.produce_busy,
+        consume_busy: path.pipeline.consume_busy,
+        producer_wait: path.pipeline.producer_wait,
+        consumer_wait: path.pipeline.consumer_wait,
+        spills: path.stats,
+        input_records,
+        emitted_records: emitter.emitted,
+        freq_absorbed_records: freq_absorbed,
+        output_bytes: file.total_bytes(),
+    };
+    Ok((MapOutput { file, node: cfg.node, compressed: cfg.compress_output }, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_u64, encode_u64, read_record};
+    use crate::controller::FixedSpill;
+    use crate::io::dfs::SimDfs;
+    use crate::job::{Record, ValueCursor, ValueSink};
+
+    struct WordSum;
+    impl Job for WordSum {
+        fn name(&self) -> &str {
+            "wordsum"
+        }
+        fn map(&self, r: &Record<'_>, e: &mut dyn Emit) {
+            for w in r.value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                e.emit(w, &encode_u64(1));
+            }
+        }
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(s));
+        }
+        fn reduce(&self, k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.emit(k, &encode_u64(s));
+        }
+    }
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("textmr-maptask-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn one_split(text: &str) -> InputSplit {
+        let mut dfs = SimDfs::new(1, 1 << 20);
+        dfs.put("in", text.as_bytes().to_vec());
+        InputSplit::from_file(dfs.get("in").unwrap(), 0).remove(0)
+    }
+
+    fn cfg(buffer: usize) -> MapTaskConfig {
+        MapTaskConfig {
+            task_id: 0,
+            node: 0,
+            num_partitions: 2,
+            buffer_capacity: buffer,
+            controller: Box::new(FixedSpill(0.8)),
+            filter: None,
+            merge_fan_in: 10,
+            compress_output: false,
+            spill_dir: tmpdir(),
+            fail_after_records: None,
+        }
+    }
+
+    fn output_counts(out: &MapOutput, parts: usize) -> std::collections::HashMap<String, u64> {
+        let mut m = std::collections::HashMap::new();
+        for p in 0..parts {
+            let run = out.file.read_partition(p).unwrap();
+            let mut pos = 0;
+            while let Some((k, v)) = read_record(&run, &mut pos) {
+                *m.entry(String::from_utf8(k.to_vec()).unwrap()).or_insert(0) +=
+                    decode_u64(v).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn small_input_single_spill() {
+        let split = one_split("a b a\nb c\n");
+        let (out, prof) = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(1 << 20))
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
+        assert_eq!(prof.input_records, 2);
+        assert_eq!(prof.emitted_records, 5);
+        assert_eq!(prof.spills.len(), 1);
+        let counts = output_counts(&out, 2);
+        assert_eq!(counts["a"], 2);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 1);
+    }
+
+    #[test]
+    fn tiny_buffer_forces_many_spills_same_result() {
+        let text: String = (0..200).map(|i| format!("w{} common x\n", i % 17)).collect();
+        let split = one_split(&text);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let (out_big, _) = run_map_task(&job, &split, cfg(1 << 22)).map_err(|e| format!("{e:?}")).unwrap();
+        let mut small = cfg(512);
+        small.task_id = 1;
+        let (out_small, prof_small) =
+            run_map_task(&job, &split, small).map_err(|e| format!("{e:?}")).unwrap();
+        assert!(prof_small.spills.len() > 3, "expected many spills, got {}", prof_small.spills.len());
+        assert_eq!(output_counts(&out_big, 2), output_counts(&out_small, 2));
+    }
+
+    #[test]
+    fn combiner_shrinks_output() {
+        let text: String = std::iter::repeat("the the the the\n").take(100).collect();
+        let split = one_split(&text);
+        let (out, prof) =
+            run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(1 << 20))
+                .map_err(|e| format!("{e:?}"))
+                .unwrap();
+        assert_eq!(prof.emitted_records, 400);
+        assert_eq!(out.file.total_records(), 1);
+        let counts = output_counts(&out, 2);
+        assert_eq!(counts["the"], 400);
+    }
+
+    #[test]
+    fn fault_injection_reports_partial_progress() {
+        let split = one_split("a\nb\nc\nd\n");
+        let mut c = cfg(1 << 20);
+        c.fail_after_records = Some(2);
+        let err = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, c).unwrap_err();
+        match err {
+            MapTaskError::Injected { .. } => {}
+            other => panic!("expected injected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_times_are_consistent() {
+        let text: String = (0..500).map(|i| format!("word{} b c d e\n", i % 29)).collect();
+        let split = one_split(&text);
+        let (_, prof) = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(4096))
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
+        // Virtual duration covers at least the busy producer time.
+        assert!(prof.virtual_duration >= prof.produce_busy);
+        // Consume busy equals the sum of per-spill consume times.
+        let consume_sum: u64 = prof.spills.iter().map(|s| s.consume_ns).sum();
+        assert_eq!(prof.consume_busy, consume_sum);
+        // Spilled bytes equal total emitted payload + metadata.
+        assert!(prof.spills.iter().map(|s| s.records).sum::<usize>() as u64 == prof.emitted_records);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let split = one_split("");
+        let (out, prof) = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(1024))
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
+        assert_eq!(prof.emitted_records, 0);
+        assert_eq!(out.file.total_records(), 0);
+    }
+}

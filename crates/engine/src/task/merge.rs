@@ -1,0 +1,340 @@
+//! K-way merge of sorted runs with key grouping.
+//!
+//! Used twice per job, exactly as in Hadoop: at the end of each map task to
+//! merge spill files into the final map output (applying `combine()`
+//! again), and on the reduce side to merge fetched partitions before
+//! `reduce()`. Runs are byte buffers of framed records sorted by the job's
+//! key comparator; groups (key + all its values) are delivered to a
+//! visitor without copying record bytes.
+
+use crate::codec::read_record;
+use std::cmp::Ordering;
+
+/// One sorted run positioned at its current record.
+struct Cursor<'a> {
+    data: &'a [u8],
+    key: &'a [u8],
+    val: &'a [u8],
+    next_pos: usize,
+    exhausted: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        let mut c = Cursor { data, key: b"", val: b"", next_pos: 0, exhausted: false };
+        c.advance();
+        c
+    }
+
+    fn advance(&mut self) {
+        let mut pos = self.next_pos;
+        match read_record(self.data, &mut pos) {
+            Some((k, v)) => {
+                self.key = k;
+                self.val = v;
+                self.next_pos = pos;
+            }
+            None => {
+                self.exhausted = true;
+            }
+        }
+    }
+}
+
+/// Merge sorted `runs` and invoke `on_group(key, values)` once per unique
+/// key, in key order. `values` preserves run order (then within-run order),
+/// matching Hadoop's unstated but deterministic grouping.
+///
+/// Records inside each run must already be sorted by `cmp`; this is
+/// guaranteed for spill files and map outputs produced by this engine.
+pub fn merge_grouped<'a, F>(runs: &'a [Vec<u8>], cmp: &dyn Fn(&[u8], &[u8]) -> Ordering, mut on_group: F)
+where
+    F: FnMut(&'a [u8], &[&'a [u8]]),
+{
+    let mut cursors: Vec<Cursor<'a>> = runs.iter().map(|r| Cursor::new(r)).collect();
+    let mut values: Vec<&'a [u8]> = Vec::new();
+    loop {
+        // Find the minimum head key with a linear scan: the fan-in is the
+        // number of spill files / map outputs (tens), so a scan beats heap
+        // bookkeeping at this scale.
+        let mut min: Option<usize> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if c.exhausted {
+                continue;
+            }
+            min = Some(match min {
+                None => i,
+                Some(m) if cmp(c.key, cursors[m].key) == Ordering::Less => i,
+                Some(m) => m,
+            });
+        }
+        let Some(m) = min else { break };
+        let group_key = cursors[m].key;
+        values.clear();
+        // Collect every value equal to group_key, run by run (a run may
+        // contain repeats of the key, e.g. without a combiner).
+        for c in cursors.iter_mut() {
+            while !c.exhausted && cmp(c.key, group_key) == Ordering::Equal {
+                values.push(c.val);
+                c.advance();
+            }
+        }
+        on_group(group_key, &values);
+    }
+}
+
+/// Outcome of reducing a run set to a bounded fan-in (multi-pass merge).
+#[derive(Debug)]
+pub struct MultiPassOutcome {
+    /// The surviving runs (≤ fan_in of them), each sorted.
+    pub runs: Vec<Vec<u8>>,
+    /// Time spent in the user's combiner during intermediate passes (ns).
+    pub combine_ns: u64,
+    /// Time spent writing/reading intermediate runs to scratch disk (ns).
+    pub io_ns: u64,
+    /// Number of intermediate merge passes performed.
+    pub passes: usize,
+}
+
+/// Hadoop-style multi-pass merge: while more than `fan_in` runs exist,
+/// merge batches of `fan_in` into intermediate on-disk runs (applying the
+/// combiner when available, as Hadoop does on intermediate passes), until
+/// at most `fan_in` runs remain for the caller's final streaming pass.
+///
+/// `scratch` is a file path reused for the intermediate round-trips; the
+/// write+read cost is real and measured into `io_ns`.
+pub fn reduce_to_fan_in(
+    mut runs: Vec<Vec<u8>>,
+    job: &dyn crate::job::Job,
+    use_combiner: bool,
+    fan_in: usize,
+    scratch: &std::path::Path,
+) -> std::io::Result<MultiPassOutcome> {
+    use crate::codec::write_record;
+    use crate::job::combine_values;
+    use crate::metrics::Stopwatch;
+
+    let fan_in = fan_in.max(2);
+    let mut combine_ns = 0u64;
+    let mut io_ns = 0u64;
+    let mut passes = 0usize;
+    while runs.len() > fan_in {
+        passes += 1;
+        let batch: Vec<Vec<u8>> = runs.drain(..fan_in).collect();
+        let mut merged = Vec::with_capacity(batch.iter().map(|r| r.len()).sum());
+        merge_grouped(&batch, &|a, b| job.compare_keys(a, b), |key, values| {
+            if use_combiner && values.len() > 1 {
+                let sw = Stopwatch::start();
+                let combined = combine_values(job, key, values);
+                combine_ns += sw.elapsed_ns();
+                for v in &combined {
+                    write_record(&mut merged, key, v);
+                }
+            } else {
+                for v in values {
+                    write_record(&mut merged, key, v);
+                }
+            }
+        });
+        // Round-trip through scratch disk, as Hadoop's intermediate merge
+        // outputs do; the cost is real.
+        let sw = Stopwatch::start();
+        std::fs::write(scratch, &merged)?;
+        let merged = std::fs::read(scratch)?;
+        io_ns += sw.elapsed_ns();
+        runs.push(merged);
+    }
+    let _ = std::fs::remove_file(scratch);
+    Ok(MultiPassOutcome { runs, combine_ns, io_ns, passes })
+}
+
+/// Count records in a framed run (diagnostics/tests).
+pub fn count_records(run: &[u8]) -> usize {
+    let mut pos = 0;
+    let mut n = 0;
+    while read_record(run, &mut pos).is_some() {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::write_record;
+
+    fn run_of(pairs: &[(&str, &str)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for (k, v) in pairs {
+            write_record(&mut buf, k.as_bytes(), v.as_bytes());
+        }
+        buf
+    }
+
+    fn collect(runs: &[Vec<u8>]) -> Vec<(String, Vec<String>)> {
+        let mut out = Vec::new();
+        merge_grouped(runs, &|a, b| a.cmp(b), |k, vs| {
+            out.push((
+                String::from_utf8(k.to_vec()).unwrap(),
+                vs.iter().map(|v| String::from_utf8(v.to_vec()).unwrap()).collect(),
+            ));
+        });
+        out
+    }
+
+    #[test]
+    fn merges_in_key_order_with_grouping() {
+        let runs = vec![
+            run_of(&[("a", "1"), ("c", "3")]),
+            run_of(&[("a", "2"), ("b", "9")]),
+        ];
+        let got = collect(&runs);
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), vec!["1".into(), "2".into()]),
+                ("b".into(), vec!["9".into()]),
+                ("c".into(), vec!["3".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn repeats_within_a_run_group_together() {
+        let runs = vec![run_of(&[("a", "1"), ("a", "2"), ("a", "3")])];
+        let got = collect(&runs);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.len(), 3);
+    }
+
+    #[test]
+    fn empty_runs_are_fine() {
+        let runs = vec![Vec::new(), run_of(&[("x", "1")]), Vec::new()];
+        let got = collect(&runs);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "x");
+    }
+
+    #[test]
+    fn no_runs_no_groups() {
+        let got = collect(&[]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn custom_comparator_is_respected() {
+        // Reverse ordering: runs sorted descending merge descending.
+        let runs = vec![run_of(&[("c", "1"), ("a", "2")]), run_of(&[("b", "3")])];
+        let mut keys = Vec::new();
+        merge_grouped(&runs, &|a, b| b.cmp(a), |k, _| {
+            keys.push(String::from_utf8(k.to_vec()).unwrap());
+        });
+        assert_eq!(keys, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn count_records_counts() {
+        let run = run_of(&[("a", "1"), ("b", "2")]);
+        assert_eq!(count_records(&run), 2);
+        assert_eq!(count_records(&[]), 0);
+    }
+
+    mod multi_pass {
+        use super::*;
+        use crate::job::{Emit, Job, Record, ValueCursor};
+        use std::path::PathBuf;
+
+        struct Plain;
+        impl Job for Plain {
+            fn name(&self) -> &str {
+                "plain"
+            }
+            fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+            fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+        }
+
+        fn scratch(name: &str) -> PathBuf {
+            let d = std::env::temp_dir().join(format!("textmr-mp-{}", std::process::id()));
+            std::fs::create_dir_all(&d).unwrap();
+            d.join(name)
+        }
+
+        /// 25 single-record runs with distinct sorted keys.
+        fn many_runs() -> Vec<Vec<u8>> {
+            (0..25).map(|i| run_of(&[(&format!("k{i:02}"), "v")])).collect()
+        }
+
+        #[test]
+        fn reduces_run_count_to_fan_in() {
+            let out = reduce_to_fan_in(many_runs(), &Plain, false, 4, &scratch("a.bin")).unwrap();
+            assert!(out.runs.len() <= 4, "got {} runs", out.runs.len());
+            assert!(out.passes >= 1);
+            assert!(out.io_ns > 0, "intermediate passes must pay I/O");
+            // No records lost.
+            let total: usize = out.runs.iter().map(|r| count_records(r)).sum();
+            assert_eq!(total, 25);
+        }
+
+        #[test]
+        fn final_merge_over_reduced_runs_is_sorted_and_complete() {
+            let out = reduce_to_fan_in(many_runs(), &Plain, false, 3, &scratch("b.bin")).unwrap();
+            let mut keys = Vec::new();
+            merge_grouped(&out.runs, &|a, b| a.cmp(b), |k, vs| {
+                keys.push(k.to_vec());
+                assert_eq!(vs.len(), 1);
+            });
+            assert_eq!(keys.len(), 25);
+            assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn under_fan_in_is_untouched() {
+            let runs = vec![run_of(&[("a", "1")]), run_of(&[("b", "2")])];
+            let out = reduce_to_fan_in(runs.clone(), &Plain, false, 10, &scratch("c.bin")).unwrap();
+            assert_eq!(out.passes, 0);
+            assert_eq!(out.runs, runs);
+            assert_eq!(out.io_ns, 0);
+        }
+
+        #[test]
+        fn combiner_runs_on_intermediate_passes() {
+            use crate::codec::{decode_u64, encode_u64};
+            use crate::job::ValueSink;
+            struct Sum;
+            impl Job for Sum {
+                fn name(&self) -> &str {
+                    "sum"
+                }
+                fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+                fn has_combiner(&self) -> bool {
+                    true
+                }
+                fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+                    let mut s = 0;
+                    while let Some(v) = values.next() {
+                        s += decode_u64(v).unwrap();
+                    }
+                    out.push(&encode_u64(s));
+                }
+                fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+            }
+            // 8 runs all holding key "x" with value 1.
+            let one = {
+                let mut buf = Vec::new();
+                crate::codec::write_record(&mut buf, b"x", &encode_u64(1));
+                buf
+            };
+            let runs = vec![one; 8];
+            let out = reduce_to_fan_in(runs, &Sum, true, 2, &scratch("d.bin")).unwrap();
+            // Total mass preserved across intermediate combining.
+            let mut total = 0u64;
+            merge_grouped(&out.runs, &|a, b| a.cmp(b), |_k, vs| {
+                for v in vs {
+                    total += decode_u64(v).unwrap();
+                }
+            });
+            assert_eq!(total, 8);
+            assert!(out.combine_ns > 0);
+        }
+    }
+}

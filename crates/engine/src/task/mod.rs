@@ -1,0 +1,9 @@
+//! Task execution: segments, the virtual-time pipeline, sort/combine/spill,
+//! k-way merge, and the map/reduce task runners.
+
+pub mod map_task;
+pub mod merge;
+pub mod pipeline;
+pub mod reduce_task;
+pub mod segment;
+pub mod spill;

@@ -1,0 +1,330 @@
+//! Execution of one reduce task: shuffle fetch → merge → reduce → write.
+//!
+//! The reducer fetches its partition from every map output (a real disk
+//! read, plus virtual network time for remote sources), k-way merges the
+//! sorted runs, groups by key, invokes the user's `reduce()`, and
+//! serializes the output. Fetches are sequential, a conservative stand-in
+//! for Hadoop's small pool of parallel fetchers; the network model is where
+//! the EC2 configuration's shuffle penalty enters (Table IV).
+
+use crate::hash::FnvHashMap;
+use crate::job::{Emit, Job, SliceValues};
+use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile};
+use crate::net::NetworkConfig;
+use crate::task::map_task::MapOutput;
+use crate::task::merge::merge_grouped;
+use std::io;
+use std::sync::Arc;
+
+/// How a reduce task groups values by key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Grouping {
+    /// Hadoop's sort-merge grouping: reduce input (and hence output, when
+    /// reduce emits its grouping key) arrives in key order. Required by
+    /// order-dependent consumers such as inverted indexes (Sec. II-A).
+    #[default]
+    Sort,
+    /// Hash-based grouping (the paper's Sec. II-A/VII alternative, after
+    /// Lin et al.): skips the reduce-side merge sort entirely; output
+    /// order is unspecified. Only valid for order-insensitive jobs.
+    Hash,
+}
+
+/// A finished reduce task.
+#[derive(Debug)]
+pub struct ReduceResult {
+    /// Final `(key, value)` pairs in key order.
+    pub pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Task profile (ops + virtual duration).
+    pub profile: TaskProfile,
+    /// Bytes fetched across the network (remote sources only).
+    pub remote_bytes: u64,
+    /// Total bytes fetched (all sources).
+    pub fetched_bytes: u64,
+}
+
+/// Output sink measuring serialization cost separately from user reduce
+/// time.
+struct ReduceSink {
+    pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    out_buf: Vec<u8>,
+    write_ns: u64,
+}
+
+impl Emit for ReduceSink {
+    fn emit(&mut self, key: &[u8], value: &[u8]) {
+        let sw = Stopwatch::start();
+        crate::codec::write_record(&mut self.out_buf, key, value);
+        self.pairs.push((key.to_vec(), value.to_vec()));
+        self.write_ns += sw.elapsed_ns();
+    }
+}
+
+/// Configuration of one reduce-task execution.
+#[derive(Debug, Clone)]
+pub struct ReduceTaskConfig {
+    /// Partition this reducer owns.
+    pub partition: usize,
+    /// Node the reducer runs on.
+    pub node: usize,
+    /// Maximum merge fan-in (sort grouping only).
+    pub merge_fan_in: usize,
+    /// Scratch directory for intermediate merge passes.
+    pub scratch_dir: std::path::PathBuf,
+    /// Grouping strategy.
+    pub grouping: Grouping,
+}
+
+/// Run one reduce task against all map outputs.
+pub fn run_reduce_task(
+    job: &Arc<dyn Job>,
+    map_outputs: &[MapOutput],
+    net: &NetworkConfig,
+    cfg: &ReduceTaskConfig,
+) -> io::Result<ReduceResult> {
+    let (partition, node) = (cfg.partition, cfg.node);
+    let mut ops = OpTimes::new();
+    let mut shuffle_virtual_ns = 0u64;
+    let mut remote_bytes = 0u64;
+    let mut fetched_bytes = 0u64;
+    let mut runs: Vec<Vec<u8>> = Vec::with_capacity(map_outputs.len());
+
+    // ---- shuffle fetch -------------------------------------------------------
+    for mo in map_outputs {
+        let sw = Stopwatch::start();
+        let run = mo.file.read_partition(partition)?;
+        let io_ns = sw.elapsed_ns();
+        ops.add_nanos(Op::ShuffleFetch, io_ns);
+        // Network pays for the bytes as stored (compressed when the map
+        // side compressed them).
+        let net_ns = net.transfer_ns(mo.node, node, run.len() as u64);
+        shuffle_virtual_ns += io_ns + net_ns;
+        fetched_bytes += run.len() as u64;
+        if mo.node != node {
+            remote_bytes += run.len() as u64;
+        }
+        let run = if mo.compressed && !run.is_empty() {
+            let sw_d = Stopwatch::start();
+            let decompressed = crate::io::compress::decompress(&run).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "corrupt compressed map output")
+            })?;
+            let d_ns = sw_d.elapsed_ns();
+            ops.add_nanos(Op::ShuffleFetch, d_ns);
+            shuffle_virtual_ns += d_ns;
+            decompressed
+        } else {
+            run
+        };
+        if !run.is_empty() {
+            runs.push(run);
+        }
+    }
+
+    let sw_all = Stopwatch::start();
+    let mut sink = ReduceSink { pairs: Vec::new(), out_buf: Vec::new(), write_ns: 0 };
+    let mut reduce_ns = 0u64;
+    let mut input_records = 0u64;
+    let mut intermediate_combine_ns = 0u64;
+    let reduce_group = |key: &[u8], values: &[&[u8]], sink: &mut ReduceSink, reduce_ns: &mut u64| {
+        let write_before = sink.write_ns;
+        let sw_r = Stopwatch::start();
+        let mut cursor = SliceValues::new(values);
+        job.reduce(key, &mut cursor, sink);
+        let group_ns = sw_r.elapsed_ns();
+        *reduce_ns += group_ns.saturating_sub(sink.write_ns - write_before);
+    };
+    match cfg.grouping {
+        Grouping::Sort => {
+            // ---- multi-pass merge down to the fan-in limit ------------------
+            let scratch = cfg.scratch_dir.join(format!("r{partition}_mergescratch.bin"));
+            let multi = crate::task::merge::reduce_to_fan_in(
+                runs,
+                job.as_ref(),
+                job.has_combiner(),
+                cfg.merge_fan_in,
+                &scratch,
+            )?;
+            let runs = multi.runs;
+            intermediate_combine_ns = multi.combine_ns;
+
+            // ---- final merge + reduce + write --------------------------------
+            merge_grouped(&runs, &|a, b| job.compare_keys(a, b), |key, values| {
+                input_records += values.len() as u64;
+                reduce_group(key, values, &mut sink, &mut reduce_ns);
+            });
+        }
+        Grouping::Hash => {
+            // ---- hash grouping: no sort, no merge passes ----------------------
+            // Values per key accumulate as framed bytes in one buffer.
+            let mut groups: FnvHashMap<Vec<u8>, Vec<u8>> = FnvHashMap::default();
+            for run in &runs {
+                let mut pos = 0usize;
+                while let Some((k, v)) = crate::codec::read_record(run, &mut pos) {
+                    input_records += 1;
+                    let buf = groups.entry(k.to_vec()).or_default();
+                    crate::codec::write_bytes(buf, v);
+                }
+            }
+            let mut values: Vec<&[u8]> = Vec::new();
+            for (key, buf) in &groups {
+                values.clear();
+                let mut pos = 0usize;
+                while let Some(v) = crate::codec::read_bytes(buf, &mut pos) {
+                    values.push(v);
+                }
+                reduce_group(key, &values, &mut sink, &mut reduce_ns);
+            }
+        }
+    }
+    let total_ns = sw_all.elapsed_ns();
+    let write_ns = sink.write_ns;
+    let merge_ns =
+        total_ns.saturating_sub(reduce_ns + write_ns + intermediate_combine_ns);
+    ops.add_nanos(Op::ReduceMerge, merge_ns);
+    ops.add_nanos(Op::Combine, intermediate_combine_ns);
+    ops.add_nanos(Op::Reduce, reduce_ns);
+    ops.add_nanos(Op::OutputWrite, write_ns);
+
+    let output_bytes = sink.out_buf.len() as u64;
+    let profile = TaskProfile {
+        ops,
+        virtual_duration: shuffle_virtual_ns + total_ns,
+        input_records,
+        output_bytes,
+        ..Default::default()
+    };
+    Ok(ReduceResult { pairs: sink.pairs, profile, remote_bytes, fetched_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_u64, encode_u64};
+    use crate::controller::FixedSpill;
+    use crate::io::dfs::SimDfs;
+    use crate::io::input::InputSplit;
+    use crate::job::{Record, ValueCursor, ValueSink};
+    use crate::task::map_task::{run_map_task, MapTaskConfig};
+    use std::path::PathBuf;
+
+    struct WordSum;
+    impl Job for WordSum {
+        fn name(&self) -> &str {
+            "wordsum"
+        }
+        fn map(&self, r: &Record<'_>, e: &mut dyn Emit) {
+            for w in r.value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                e.emit(w, &encode_u64(1));
+            }
+        }
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(s));
+        }
+        fn reduce(&self, k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+            let mut s = 0;
+            while let Some(v) = values.next() {
+                s += decode_u64(v).unwrap();
+            }
+            out.emit(k, &encode_u64(s));
+        }
+    }
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("textmr-reduce-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn map_all(texts: &[&str], parts: usize) -> Vec<MapOutput> {
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut dfs = SimDfs::new(4, 1 << 20);
+                dfs.put("in", t.as_bytes().to_vec());
+                let split = InputSplit::from_file(dfs.get("in").unwrap(), 0).remove(0);
+                let cfg = MapTaskConfig {
+                    task_id: i,
+                    node: i % 4,
+                    num_partitions: parts,
+                    buffer_capacity: 1 << 20,
+                    controller: Box::new(FixedSpill(0.8)),
+                    filter: None,
+                    merge_fan_in: 10,
+                    compress_output: false,
+                    spill_dir: tmpdir(),
+                    fail_after_records: None,
+                };
+                run_map_task(&job, &split, cfg).map_err(|e| format!("{e:?}")).unwrap().0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduce_aggregates_across_map_outputs() {
+        let outputs = map_all(&["a b a\n", "a c\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let r = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: 0, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+        let m: std::collections::HashMap<String, u64> = r
+            .pairs
+            .iter()
+            .map(|(k, v)| (String::from_utf8(k.clone()).unwrap(), decode_u64(v).unwrap()))
+            .collect();
+        assert_eq!(m["a"], 3);
+        assert_eq!(m["b"], 1);
+        assert_eq!(m["c"], 1);
+        // Output is key-sorted.
+        let keys: Vec<_> = r.pairs.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_complete() {
+        let outputs = map_all(&["x y z w v u\n"], 3);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let mut all = Vec::new();
+        for p in 0..3 {
+            let r = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: p, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+            all.extend(r.pairs);
+        }
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn remote_bytes_counted_only_for_remote_sources() {
+        // Map task ran on node 1 (i % 4 with i=1... here single text → node 0).
+        let outputs = map_all(&["k k k\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let local = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: 0, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+        assert_eq!(local.remote_bytes, 0);
+        let remote = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: 0, node: 1, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+        assert!(remote.remote_bytes > 0);
+        assert_eq!(remote.fetched_bytes, local.fetched_bytes);
+        // Remote fetch costs more virtual time.
+        assert!(remote.profile.virtual_duration >= local.profile.virtual_duration);
+    }
+
+    #[test]
+    fn empty_partition_is_fine() {
+        let outputs = map_all(&["solo\n"], 4);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let mut nonempty = 0;
+        for p in 0..4 {
+            let r = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: p, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+            if !r.pairs.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert_eq!(nonempty, 1);
+    }
+}

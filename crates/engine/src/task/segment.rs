@@ -1,0 +1,141 @@
+//! In-memory spill segments: the unit of data handed from the map thread to
+//! the support thread.
+//!
+//! A segment stores serialized records contiguously plus per-record
+//! metadata, mirroring Hadoop's `MapOutputBuffer` (kvbuffer + kvmeta). The
+//! buffer budget accounts both the raw bytes and [`META_BYTES`] per record,
+//! as Hadoop does — record *count* matters to sort cost, so metadata must
+//! be budgeted or tiny-record workloads would under-charge the buffer.
+
+/// Bytes of buffer budget charged per record for its metadata entry
+/// (Hadoop's `METASIZE` is likewise 16).
+pub const META_BYTES: usize = 16;
+
+/// Metadata of one record inside a [`Segment`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecMeta {
+    /// Destination partition.
+    pub part: u32,
+    /// Offset of the key within `Segment::data`.
+    pub key_off: u32,
+    /// Key length in bytes.
+    pub key_len: u32,
+    /// Value length in bytes (value bytes follow the key bytes).
+    pub val_len: u32,
+}
+
+/// A growable in-memory run of serialized map-output records.
+#[derive(Debug, Default)]
+pub struct Segment {
+    /// Concatenated `key ++ value` bytes of all records.
+    pub data: Vec<u8>,
+    /// One entry per record.
+    pub recs: Vec<RecMeta>,
+}
+
+impl Segment {
+    /// Empty segment.
+    pub fn new() -> Self {
+        Segment::default()
+    }
+
+    /// Append one record routed to `part`.
+    pub fn push(&mut self, part: usize, key: &[u8], value: &[u8]) {
+        let key_off = self.data.len() as u32;
+        self.data.extend_from_slice(key);
+        self.data.extend_from_slice(value);
+        self.recs.push(RecMeta {
+            part: part as u32,
+            key_off,
+            key_len: key.len() as u32,
+            val_len: value.len() as u32,
+        });
+    }
+
+    /// Buffer-budget bytes this segment occupies (data + metadata).
+    pub fn accounted_bytes(&self) -> usize {
+        self.data.len() + self.recs.len() * META_BYTES
+    }
+
+    /// Buffer-budget bytes appending `(key, value)` would add.
+    pub fn record_cost(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + META_BYTES
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True if the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Key bytes of record `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u8] {
+        let m = &self.recs[i];
+        &self.data[m.key_off as usize..(m.key_off + m.key_len) as usize]
+    }
+
+    /// Value bytes of record `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &[u8] {
+        let m = &self.recs[i];
+        let start = (m.key_off + m.key_len) as usize;
+        &self.data[start..start + m.val_len as usize]
+    }
+
+    /// Partition of record `i`.
+    #[inline]
+    pub fn part(&self, i: usize) -> usize {
+        self.recs[i].part as usize
+    }
+
+    /// Reset to empty, keeping allocations (workhorse-collection reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.recs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut s = Segment::new();
+        s.push(2, b"key1", b"val1");
+        s.push(0, b"k", b"");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.key(0), b"key1");
+        assert_eq!(s.value(0), b"val1");
+        assert_eq!(s.part(0), 2);
+        assert_eq!(s.key(1), b"k");
+        assert_eq!(s.value(1), b"");
+        assert_eq!(s.part(1), 0);
+    }
+
+    #[test]
+    fn accounting_includes_metadata() {
+        let mut s = Segment::new();
+        assert_eq!(s.accounted_bytes(), 0);
+        s.push(0, b"abc", b"de");
+        assert_eq!(s.accounted_bytes(), 5 + META_BYTES);
+        assert_eq!(Segment::record_cost(b"abc", b"de"), 5 + META_BYTES);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = Segment::new();
+        for i in 0..100 {
+            s.push(0, format!("key{i}").as_bytes(), b"v");
+        }
+        let cap = s.data.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.data.capacity(), cap);
+    }
+}

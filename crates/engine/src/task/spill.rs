@@ -1,0 +1,223 @@
+//! Sorting, combining and writing one spill segment — the support thread's
+//! work.
+//!
+//! Given an in-memory [`Segment`], this module sorts record indices by
+//! `(partition, key)` (the job's key comparator), runs the user's
+//! `combine()` over equal-key groups, and streams the result into a
+//! [`SpillFile`]. Each stage is measured separately because the paper's
+//! breakdown (Fig. 2/8) distinguishes sort (framework), combine (user) and
+//! spill I/O (framework).
+
+use crate::io::spill_file::SpillFile;
+use crate::job::{combine_values, Job};
+use crate::metrics::Stopwatch;
+use crate::task::segment::Segment;
+use std::io;
+use std::path::PathBuf;
+
+/// Measured result of spilling a segment.
+#[derive(Debug)]
+pub struct SpillOutcome {
+    /// The on-disk spill file.
+    pub file: SpillFile,
+    /// Records entering the spill (segment records).
+    pub records_in: u64,
+    /// Records written after combining.
+    pub records_out: u64,
+    /// Time sorting, ns.
+    pub sort_ns: u64,
+    /// Time in the user's combiner, ns.
+    pub combine_ns: u64,
+    /// Time grouping + writing, ns.
+    pub write_ns: u64,
+}
+
+impl SpillOutcome {
+    /// Total support-thread (consumer) time for this spill.
+    pub fn consume_ns(&self) -> u64 {
+        self.sort_ns + self.combine_ns + self.write_ns
+    }
+}
+
+/// Sort record indices of `seg` by `(partition, key)` using the job's key
+/// comparator. Exposed for benches and property tests.
+pub fn sort_indices(seg: &Segment, job: &dyn Job) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..seg.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        seg.part(a)
+            .cmp(&seg.part(b))
+            .then_with(|| job.compare_keys(seg.key(a), seg.key(b)))
+    });
+    idx
+}
+
+/// Sort, combine and write `seg` to a new spill file at `path`.
+pub fn spill_segment(
+    seg: &Segment,
+    job: &dyn Job,
+    path: PathBuf,
+) -> io::Result<SpillOutcome> {
+    let sw = Stopwatch::start();
+    let idx = sort_indices(seg, job);
+    let sort_ns = sw.elapsed_ns();
+
+    let sw_write = Stopwatch::start();
+    let mut combine_ns = 0u64;
+    let mut records_out = 0u64;
+    let mut writer = SpillFile::create(path)?;
+    let use_combiner = job.has_combiner();
+
+    let mut i = 0usize;
+    let mut cur_part: Option<usize> = None;
+    let mut values: Vec<&[u8]> = Vec::new();
+    while i < idx.len() {
+        let r = idx[i] as usize;
+        let part = seg.part(r);
+        if cur_part != Some(part) {
+            writer.start_partition(part)?;
+            cur_part = Some(part);
+        }
+        let key = seg.key(r);
+        // Gather the group of equal keys within this partition.
+        values.clear();
+        values.push(seg.value(r));
+        let mut j = i + 1;
+        while j < idx.len() {
+            let r2 = idx[j] as usize;
+            if seg.part(r2) != part || job.compare_keys(seg.key(r2), key) != std::cmp::Ordering::Equal
+            {
+                break;
+            }
+            values.push(seg.value(r2));
+            j += 1;
+        }
+        if use_combiner && values.len() > 1 {
+            // A correct MapReduce combiner is run zero-or-more times, so
+            // skipping it for singleton groups is semantics-preserving and
+            // matches Hadoop's practical behaviour.
+            let sw_c = Stopwatch::start();
+            let combined = combine_values(job, key, &values);
+            combine_ns += sw_c.elapsed_ns();
+            for v in &combined {
+                writer.write_record(key, v)?;
+                records_out += 1;
+            }
+        } else {
+            for v in &values {
+                writer.write_record(key, v)?;
+                records_out += 1;
+            }
+        }
+        i = j;
+    }
+    let file = writer.finish()?;
+    let write_ns = sw_write.elapsed_ns().saturating_sub(combine_ns);
+
+    Ok(SpillOutcome {
+        file,
+        records_in: seg.len() as u64,
+        records_out,
+        sort_ns,
+        combine_ns,
+        write_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_u64, encode_u64, read_record};
+    use crate::job::{Emit, Record, ValueCursor, ValueSink};
+
+    struct SumJob;
+    impl Job for SumJob {
+        fn name(&self) -> &str {
+            "sum"
+        }
+        fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+        fn has_combiner(&self) -> bool {
+            true
+        }
+        fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+            let mut sum = 0u64;
+            while let Some(v) = values.next() {
+                sum += decode_u64(v).unwrap();
+            }
+            out.push(&encode_u64(sum));
+        }
+        fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("textmr-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn spill_sorts_by_partition_then_key() {
+        let mut seg = Segment::new();
+        seg.push(1, b"b", &encode_u64(1));
+        seg.push(0, b"z", &encode_u64(1));
+        seg.push(1, b"a", &encode_u64(1));
+        seg.push(0, b"a", &encode_u64(1));
+        let out = spill_segment(&seg, &SumJob, tmp("s1.bin")).unwrap();
+        assert_eq!(out.records_out, 4);
+
+        let p0 = out.file.read_partition(0).unwrap();
+        let mut pos = 0;
+        let (k1, _) = read_record(&p0, &mut pos).unwrap();
+        let (k2, _) = read_record(&p0, &mut pos).unwrap();
+        assert_eq!((k1, k2), (&b"a"[..], &b"z"[..]));
+
+        let p1 = out.file.read_partition(1).unwrap();
+        let mut pos = 0;
+        let (k1, _) = read_record(&p1, &mut pos).unwrap();
+        assert_eq!(k1, b"a");
+    }
+
+    #[test]
+    fn combiner_collapses_duplicates() {
+        let mut seg = Segment::new();
+        for _ in 0..10 {
+            seg.push(0, b"the", &encode_u64(1));
+        }
+        seg.push(0, b"rare", &encode_u64(1));
+        let out = spill_segment(&seg, &SumJob, tmp("s2.bin")).unwrap();
+        assert_eq!(out.records_in, 11);
+        assert_eq!(out.records_out, 2);
+
+        let p0 = out.file.read_partition(0).unwrap();
+        let mut pos = 0;
+        let (k, v) = read_record(&p0, &mut pos).unwrap();
+        assert_eq!(k, b"rare");
+        assert_eq!(decode_u64(v), Some(1));
+        let (k, v) = read_record(&p0, &mut pos).unwrap();
+        assert_eq!(k, b"the");
+        assert_eq!(decode_u64(v), Some(10));
+    }
+
+    #[test]
+    fn empty_segment_yields_empty_file() {
+        let seg = Segment::new();
+        let out = spill_segment(&seg, &SumJob, tmp("s3.bin")).unwrap();
+        assert_eq!(out.records_out, 0);
+        assert_eq!(out.file.total_bytes(), 0);
+    }
+
+    #[test]
+    fn sort_indices_is_a_permutation() {
+        let mut seg = Segment::new();
+        for i in 0..50 {
+            seg.push(i % 3, format!("k{}", 50 - i).as_bytes(), b"v");
+        }
+        let idx = sort_indices(&seg, &SumJob);
+        let mut seen = vec![false; 50];
+        for &i in &idx {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,186 @@
+//! Emission model: closed-class lexicon + morphological suffix guesser.
+//!
+//! Produces, for any token, a log-probability score per tag. Closed-class
+//! words (determiners, pronouns, prepositions, conjunctions, particles) are
+//! looked up; open-class words are scored by suffix morphology, the standard
+//! technique for unknown-word handling in HMM taggers.
+
+use crate::tags::{Tag, NUM_TAGS};
+use std::collections::HashMap;
+
+/// Strongly negative log-probability standing in for "impossible".
+pub const LOG_ZERO: f64 = -1.0e6;
+
+/// Closed-class word → tag entries. Deliberately small: the tagger is a
+/// workload substitute, not a linguistics deliverable, but the entries are
+/// real so output is plausible and deterministic.
+const CLOSED_CLASS: &[(&str, Tag)] = &[
+    // Determiners / articles.
+    ("the", Tag::Det), ("a", Tag::Det), ("an", Tag::Det), ("this", Tag::Det),
+    ("that", Tag::Det), ("these", Tag::Det), ("those", Tag::Det), ("each", Tag::Det),
+    ("every", Tag::Det), ("some", Tag::Det), ("any", Tag::Det), ("no", Tag::Det),
+    ("their", Tag::Det), ("its", Tag::Det), ("his", Tag::Det), ("her", Tag::Det),
+    ("our", Tag::Det), ("your", Tag::Det), ("my", Tag::Det),
+    // Pronouns.
+    ("i", Tag::Pron), ("you", Tag::Pron), ("him", Tag::Pron), ("she", Tag::Pron),
+    ("it", Tag::Pron), ("we", Tag::Pron), ("they", Tag::Pron), ("them", Tag::Pron),
+    ("who", Tag::Pron), ("which", Tag::Pron), ("what", Tag::Pron), ("me", Tag::Pron),
+    ("us", Tag::Pron), ("himself", Tag::Pron), ("itself", Tag::Pron),
+    // Adpositions.
+    ("of", Tag::Adp), ("in", Tag::Adp), ("on", Tag::Adp), ("at", Tag::Adp),
+    ("by", Tag::Adp), ("with", Tag::Adp), ("from", Tag::Adp), ("into", Tag::Adp),
+    ("for", Tag::Adp), ("about", Tag::Adp), ("under", Tag::Adp), ("over", Tag::Adp),
+    ("between", Tag::Adp), ("through", Tag::Adp), ("during", Tag::Adp), ("against", Tag::Adp),
+    // Conjunctions.
+    ("and", Tag::Conj), ("or", Tag::Conj), ("but", Tag::Conj), ("because", Tag::Conj),
+    ("while", Tag::Conj), ("although", Tag::Conj), ("if", Tag::Conj), ("when", Tag::Conj),
+    ("as", Tag::Conj), ("since", Tag::Conj),
+    // Particles.
+    ("to", Tag::Part), ("not", Tag::Part), ("n't", Tag::Part),
+    // Common verbs (auxiliaries and frequent irregulars).
+    ("is", Tag::Verb), ("was", Tag::Verb), ("are", Tag::Verb), ("were", Tag::Verb),
+    ("be", Tag::Verb), ("been", Tag::Verb), ("has", Tag::Verb), ("have", Tag::Verb),
+    ("had", Tag::Verb), ("do", Tag::Verb), ("does", Tag::Verb), ("did", Tag::Verb),
+    ("will", Tag::Verb), ("would", Tag::Verb), ("can", Tag::Verb), ("could", Tag::Verb),
+    ("may", Tag::Verb), ("might", Tag::Verb), ("shall", Tag::Verb), ("should", Tag::Verb),
+    // Frequent adverbs.
+    ("very", Tag::Adv), ("also", Tag::Adv), ("then", Tag::Adv), ("there", Tag::Adv),
+    ("here", Tag::Adv), ("now", Tag::Adv), ("only", Tag::Adv), ("just", Tag::Adv),
+    ("however", Tag::Adv), ("often", Tag::Adv),
+    // Frequent quantifier/number words.
+    ("one", Tag::Num), ("two", Tag::Num), ("three", Tag::Num), ("first", Tag::Num),
+    ("second", Tag::Num),
+];
+
+/// Suffix → (tag, strength) morphological cues for open-class words,
+/// longest-match-wins.
+const SUFFIX_CUES: &[(&str, Tag, f64)] = &[
+    ("ation", Tag::Noun, 3.0), ("ment", Tag::Noun, 3.0), ("ness", Tag::Noun, 3.0),
+    ("ship", Tag::Noun, 2.5), ("ity", Tag::Noun, 2.5), ("ers", Tag::Noun, 2.0),
+    ("er", Tag::Noun, 0.8), ("ism", Tag::Noun, 2.5), ("ist", Tag::Noun, 2.0),
+    ("ize", Tag::Verb, 2.5), ("ise", Tag::Verb, 2.0), ("ify", Tag::Verb, 2.5),
+    ("ing", Tag::Verb, 1.5), ("ed", Tag::Verb, 1.5), ("ate", Tag::Verb, 1.2),
+    ("able", Tag::Adj, 2.5), ("ible", Tag::Adj, 2.5), ("ful", Tag::Adj, 2.5),
+    ("ous", Tag::Adj, 2.5), ("ive", Tag::Adj, 2.0), ("al", Tag::Adj, 1.0),
+    ("ic", Tag::Adj, 1.5), ("less", Tag::Adj, 2.5), ("ish", Tag::Adj, 1.8),
+    ("ly", Tag::Adv, 4.5),
+    ("s", Tag::Noun, 0.5),
+];
+
+/// The emission model. Construction builds the hash lookup once; scoring is
+/// per-token and CPU-bound (the point of the WordPOSTag workload).
+#[derive(Debug)]
+pub struct Lexicon {
+    closed: HashMap<&'static str, Tag>,
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lexicon {
+    /// Build the lexicon.
+    pub fn new() -> Self {
+        Lexicon { closed: CLOSED_CLASS.iter().copied().collect() }
+    }
+
+    /// Fill `scores` with per-tag emission log-probabilities for `word`
+    /// (already lowercased). `scores` must have length `NUM_TAGS`.
+    pub fn emission_scores(&self, word: &str, scores: &mut [f64]) {
+        debug_assert_eq!(scores.len(), NUM_TAGS);
+        // Closed-class lookup: near-deterministic emission.
+        if let Some(&tag) = self.closed.get(word) {
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s = if i == tag.index() { -0.05 } else { -8.0 };
+            }
+            return;
+        }
+        // Numeral detection.
+        if word.chars().all(|c| c.is_ascii_digit()) && !word.is_empty() {
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s = if i == Tag::Num.index() { -0.05 } else { -10.0 };
+            }
+            return;
+        }
+        // Open-class prior: nouns dominate, then verbs/adjectives.
+        let mut weights = [0.0f64; NUM_TAGS];
+        weights[Tag::Noun.index()] = 5.0;
+        weights[Tag::Verb.index()] = 2.0;
+        weights[Tag::Adj.index()] = 1.5;
+        weights[Tag::Adv.index()] = 0.5;
+        weights[Tag::Other.index()] = 0.2;
+        // Morphological cues, longest suffix first; every matching suffix
+        // contributes (a real suffix guesser interpolates all orders).
+        for &(suffix, tag, strength) in SUFFIX_CUES {
+            if word.len() > suffix.len() && word.ends_with(suffix) {
+                weights[tag.index()] += strength * suffix.len() as f64;
+            }
+        }
+        // Normalize into log-probabilities.
+        let total: f64 = weights.iter().sum();
+        for (s, &w) in scores.iter_mut().zip(weights.iter()) {
+            *s = if w > 0.0 { (w / total).ln() } else { LOG_ZERO };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn best_tag(lex: &Lexicon, word: &str) -> Tag {
+        let mut scores = [0.0; NUM_TAGS];
+        lex.emission_scores(word, &mut scores);
+        let (i, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        Tag::from_index(i)
+    }
+
+    #[test]
+    fn closed_class_words_resolve() {
+        let lex = Lexicon::new();
+        assert_eq!(best_tag(&lex, "the"), Tag::Det);
+        assert_eq!(best_tag(&lex, "of"), Tag::Adp);
+        assert_eq!(best_tag(&lex, "and"), Tag::Conj);
+        assert_eq!(best_tag(&lex, "is"), Tag::Verb);
+    }
+
+    #[test]
+    fn suffixes_guide_open_class() {
+        let lex = Lexicon::new();
+        assert_eq!(best_tag(&lex, "quickly"), Tag::Adv);
+        assert_eq!(best_tag(&lex, "nationalization"), Tag::Noun);
+        assert_eq!(best_tag(&lex, "running"), Tag::Verb);
+        assert_eq!(best_tag(&lex, "beautiful"), Tag::Adj);
+    }
+
+    #[test]
+    fn digits_are_numerals() {
+        let lex = Lexicon::new();
+        assert_eq!(best_tag(&lex, "1234"), Tag::Num);
+    }
+
+    #[test]
+    fn unknown_word_defaults_nounish() {
+        let lex = Lexicon::new();
+        assert_eq!(best_tag(&lex, "glorp"), Tag::Noun);
+    }
+
+    #[test]
+    fn scores_are_normalized_log_probs() {
+        let lex = Lexicon::new();
+        let mut scores = [0.0; NUM_TAGS];
+        for w in ["the", "running", "42", "glorp"] {
+            lex.emission_scores(w, &mut scores);
+            let sum: f64 = scores.iter().map(|s| s.exp()).sum();
+            // Closed-class entries are not exactly normalized (they are
+            // confidence-shaped), so allow slack.
+            assert!(sum > 0.5 && sum < 1.5, "word={w} sum={sum}");
+        }
+    }
+}

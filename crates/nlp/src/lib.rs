@@ -1,0 +1,30 @@
+//! # textmr-nlp — a from-scratch POS tagger (OpenNLP substitute)
+//!
+//! The paper's WordPOSTag benchmark wraps Apache OpenNLP to get a
+//! "computation-intensive" map function. This crate rebuilds the needed
+//! pieces natively:
+//!
+//! * [`tokenizer`] — word/punctuation tokenization (shared with WordCount
+//!   and InvertedIndex, so tokenization cost is identical across apps).
+//! * [`tags`] — a 12-tag universal-style tag set ([`tags::NUM_TAGS`] counter
+//!   slots per word key, as the paper describes).
+//! * [`lexicon`] — closed-class lexicon + suffix-morphology emission model.
+//! * [`hmm`] — bigram-HMM Viterbi tagger with optional forward–backward
+//!   posterior passes (the CPU-intensity knob matching OpenNLP's cost).
+//!
+//! ```
+//! use textmr_nlp::hmm::Tagger;
+//! let tagger = Tagger::default();
+//! let tagged = tagger.tag_line("The quick dog runs quickly.");
+//! assert_eq!(tagged[0].0, "the");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hmm;
+pub mod lexicon;
+pub mod tags;
+pub mod tokenizer;
+
+pub use hmm::{Tagger, TaggerConfig};
+pub use tags::{Tag, NUM_TAGS};

@@ -1,0 +1,119 @@
+//! The part-of-speech tag set.
+//!
+//! A compact 12-tag universal-style tag set. The WordPOSTag application
+//! emits, per word, an array of `NUM_TAGS` counters (one per tag), exactly
+//! as the paper describes: "map() emits an array of counters, each counts
+//! the times this word is of a certain type".
+
+/// Number of distinct part-of-speech tags.
+pub const NUM_TAGS: usize = 12;
+
+/// Part-of-speech tags (universal-style coarse tag set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Tag {
+    /// Common and proper nouns.
+    Noun = 0,
+    /// Verbs in any inflection.
+    Verb = 1,
+    /// Adjectives.
+    Adj = 2,
+    /// Adverbs.
+    Adv = 3,
+    /// Pronouns.
+    Pron = 4,
+    /// Determiners and articles.
+    Det = 5,
+    /// Adpositions (prepositions / postpositions).
+    Adp = 6,
+    /// Conjunctions (coordinating and subordinating).
+    Conj = 7,
+    /// Numerals.
+    Num = 8,
+    /// Particles (to-infinitive marker, possessive, negation).
+    Part = 9,
+    /// Punctuation.
+    Punct = 10,
+    /// Everything else (interjections, symbols, foreign words).
+    Other = 11,
+}
+
+impl Tag {
+    /// All tags in discriminant order.
+    pub const ALL: [Tag; NUM_TAGS] = [
+        Tag::Noun,
+        Tag::Verb,
+        Tag::Adj,
+        Tag::Adv,
+        Tag::Pron,
+        Tag::Det,
+        Tag::Adp,
+        Tag::Conj,
+        Tag::Num,
+        Tag::Part,
+        Tag::Punct,
+        Tag::Other,
+    ];
+
+    /// Tag index in `0..NUM_TAGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Tag::index`].
+    ///
+    /// # Panics
+    /// Panics if `i >= NUM_TAGS`.
+    pub fn from_index(i: usize) -> Tag {
+        Self::ALL[i]
+    }
+
+    /// Short human-readable name (used in example/bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tag::Noun => "NOUN",
+            Tag::Verb => "VERB",
+            Tag::Adj => "ADJ",
+            Tag::Adv => "ADV",
+            Tag::Pron => "PRON",
+            Tag::Det => "DET",
+            Tag::Adp => "ADP",
+            Tag::Conj => "CONJ",
+            Tag::Num => "NUM",
+            Tag::Part => "PART",
+            Tag::Punct => "PUNCT",
+            Tag::Other => "X",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for t in Tag::ALL {
+            assert_eq!(Tag::from_index(t.index()), t);
+        }
+    }
+
+    #[test]
+    fn all_covers_every_discriminant_once() {
+        let mut seen = [false; NUM_TAGS];
+        for t in Tag::ALL {
+            assert!(!seen[t.index()], "duplicate tag in ALL");
+            seen[t.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Tag::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_TAGS);
+    }
+}

@@ -1,0 +1,190 @@
+//! Text tokenization shared by the text-centric applications.
+//!
+//! Splits a line into word tokens and punctuation tokens. Word tokens are
+//! lowercased; this is the exact key normalization the paper's WordCount /
+//! InvertedIndex / WordPOSTag jobs perform before emitting word keys, so the
+//! tokenizer's cost is part of the measured `map` operation.
+
+/// A single token: either a lowercased word or one punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A word, lowercased.
+    Word(String),
+    /// A punctuation character.
+    Punct(char),
+}
+
+impl Token {
+    /// The token text as a `&str` slice for words; punctuation renders via
+    /// [`Token::push_str_to`].
+    pub fn as_word(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            Token::Punct(_) => None,
+        }
+    }
+
+    /// Append the token's surface text to `out`.
+    pub fn push_str_to(&self, out: &mut String) {
+        match self {
+            Token::Word(w) => out.push_str(w),
+            Token::Punct(c) => out.push(*c),
+        }
+    }
+}
+
+/// Tokenize a line into words and punctuation.
+///
+/// Words are maximal runs of alphanumeric characters (plus internal
+/// apostrophes/hyphens), lowercased. Sentence punctuation becomes
+/// [`Token::Punct`]; all other characters are separators.
+pub fn tokenize(line: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_alphanumeric() {
+            word.extend(c.to_lowercase());
+        } else if (c == '\'' || c == '-') && !word.is_empty() && chars.peek().is_some_and(|n| n.is_alphanumeric()) {
+            // Internal apostrophe/hyphen stays inside the word ("don't").
+            word.push(c);
+        } else {
+            if !word.is_empty() {
+                out.push(Token::Word(std::mem::take(&mut word)));
+            }
+            if matches!(c, '.' | ',' | ';' | ':' | '!' | '?') {
+                out.push(Token::Punct(c));
+            }
+        }
+    }
+    if !word.is_empty() {
+        out.push(Token::Word(word));
+    }
+    out
+}
+
+/// Iterate just the lowercased words of a line, skipping punctuation.
+/// Cheaper than [`tokenize`] when sentence structure is irrelevant
+/// (WordCount, InvertedIndex).
+pub fn words(line: &str) -> impl Iterator<Item = String> + '_ {
+    WordIter { chars: line.chars().peekable(), word: String::new() }
+}
+
+struct WordIter<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    word: String,
+}
+
+impl<'a> Iterator for WordIter<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        self.word.clear();
+        while let Some(c) = self.chars.next() {
+            if c.is_alphanumeric() {
+                self.word.extend(c.to_lowercase());
+            } else if (c == '\'' || c == '-')
+                && !self.word.is_empty()
+                && self.chars.peek().is_some_and(|n| n.is_alphanumeric())
+            {
+                // Internal apostrophe/hyphen stays inside the word, exactly
+                // as in [`tokenize`] — both iterators must produce the same
+                // word keys or applications would disagree on vocabulary.
+                self.word.push(c);
+            } else if !self.word.is_empty() {
+                return Some(std::mem::take(&mut self.word));
+            }
+        }
+        if self.word.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.word))
+        }
+    }
+}
+
+/// Split tokens into sentences at terminal punctuation (`.`, `!`, `?`).
+/// Each returned slice holds the word tokens of one sentence (punctuation
+/// included), which is the unit the HMM tagger decodes over.
+pub fn sentences(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t, Token::Punct('.') | Token::Punct('!') | Token::Punct('?')) {
+            out.push(&tokens[start..=i]);
+            start = i + 1;
+        }
+    }
+    if start < tokens.len() {
+        out.push(&tokens[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basic() {
+        let toks = tokenize("The cat, sat.");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("the".into()),
+                Token::Word("cat".into()),
+                Token::Punct(','),
+                Token::Word("sat".into()),
+                Token::Punct('.'),
+            ]
+        );
+    }
+
+    #[test]
+    fn internal_apostrophes_kept() {
+        let toks = tokenize("don't stop");
+        assert_eq!(toks[0], Token::Word("don't".into()));
+    }
+
+    #[test]
+    fn trailing_apostrophe_dropped() {
+        let toks = tokenize("cats' tails");
+        assert_eq!(toks[0], Token::Word("cats".into()));
+    }
+
+    #[test]
+    fn words_iterator_matches_tokenizer_words() {
+        let line = "Alpha, beta gamma. Delta!";
+        let via_tokens: Vec<String> = tokenize(line)
+            .into_iter()
+            .filter_map(|t| t.as_word().map(str::to_string))
+            .collect();
+        let via_words: Vec<String> = words(line).collect();
+        assert_eq!(via_tokens, via_words);
+    }
+
+    #[test]
+    fn sentences_split_at_terminals() {
+        let toks = tokenize("One two. Three four! Five");
+        let sents = sentences(&toks);
+        assert_eq!(sents.len(), 3);
+        assert_eq!(sents[0].len(), 3); // one two .
+        assert_eq!(sents[2].len(), 1); // five
+    }
+
+    #[test]
+    fn empty_and_punct_only_lines() {
+        assert!(tokenize("").is_empty());
+        let toks = tokenize("...");
+        assert_eq!(toks.len(), 3);
+        assert!(sentences(&toks).len() == 3);
+        assert_eq!(words("!!!").count(), 0);
+    }
+
+    #[test]
+    fn unicode_words_lowercased() {
+        let toks = tokenize("Äpfel Über");
+        assert_eq!(toks[0], Token::Word("äpfel".into()));
+        assert_eq!(toks[1], Token::Word("über".into()));
+    }
+}

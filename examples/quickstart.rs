@@ -1,0 +1,79 @@
+//! Quickstart: run WordCount on a synthetic corpus, baseline vs fully
+//! optimized (frequency-buffering + spill-matcher), and print the word
+//! counts plus the virtual-time comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use textmr_apps::WordCount;
+use textmr_core::{optimized, OptimizationConfig};
+use textmr_data::text::CorpusConfig;
+use textmr_engine::prelude::*;
+
+fn main() {
+    // 1. Generate a Zipf-distributed text corpus (a tiny stand-in for the
+    //    paper's 8.5 GB Wikipedia dump).
+    let corpus = CorpusConfig { lines: 20_000, vocab_size: 30_000, ..Default::default() };
+    println!("generating corpus: {} lines, vocab {}", corpus.lines, corpus.vocab_size);
+    let data = corpus.generate_bytes();
+    println!("corpus size: {:.1} MiB", data.len() as f64 / (1 << 20) as f64);
+
+    // 2. Store it in the simulated DFS of a 6-node cluster. The spill
+    //    buffer is sized well below a split's intermediate output — the
+    //    paper's regime (io.sort.mb ≪ map output), where each task spills
+    //    several times and sort/spill/merge costs are worth attacking.
+    let mut cluster = ClusterConfig::local();
+    cluster.spill_buffer_bytes = 128 << 10;
+    let mut dfs = SimDfs::new(cluster.nodes, 1 << 20);
+    dfs.put("corpus", data);
+
+    // 3. Run baseline.
+    let job = Arc::new(WordCount);
+    let base_cfg = optimized(JobConfig::default().with_reducers(4), OptimizationConfig::baseline());
+    let base = run_job(&cluster, &base_cfg, job.clone(), &dfs, &[("corpus", 0)]).unwrap();
+
+    // 4. Run with the paper's two optimizations — same job, no user-code
+    //    changes.
+    let opt_cfg = optimized(JobConfig::default().with_reducers(4), OptimizationConfig::default());
+    let opt = run_job(&cluster, &opt_cfg, job, &dfs, &[("corpus", 0)]).unwrap();
+
+    // 5. Results are identical.
+    assert_eq!(base.sorted_pairs(), opt.sorted_pairs(), "optimizations must not change output");
+
+    // 6. Show the most frequent words.
+    let mut counts: Vec<(String, u64)> = base
+        .sorted_pairs()
+        .into_iter()
+        .map(|(k, v)| (String::from_utf8(k).unwrap(), decode_u64(&v).unwrap()))
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("\ntop 10 words:");
+    for (w, c) in counts.iter().take(10) {
+        println!("  {w:<10} {c}");
+    }
+
+    // 7. Compare virtual wall time and abstraction costs.
+    let b = &base.profile;
+    let o = &opt.profile;
+    println!("\n                     baseline     optimized");
+    println!(
+        "virtual wall time    {:>9.1}ms  {:>9.1}ms  ({:+.1}%)",
+        b.wall as f64 / 1e6,
+        o.wall as f64 / 1e6,
+        (o.wall as f64 / b.wall as f64 - 1.0) * 100.0
+    );
+    let (bo, oo) = (b.total_ops(), o.total_ops());
+    println!(
+        "abstraction cost     {:>9.1}ms  {:>9.1}ms",
+        bo.abstraction_cost() as f64 / 1e6,
+        oo.abstraction_cost() as f64 / 1e6
+    );
+    let absorbed: u64 = o.map_tasks.iter().map(|t| t.freq_absorbed_records).sum();
+    let emitted: u64 = o.map_tasks.iter().map(|t| t.emitted_records).sum();
+    println!(
+        "frequency buffer     absorbed {absorbed} of {emitted} intermediate records ({:.1}%)",
+        100.0 * absorbed as f64 / emitted.max(1) as f64
+    );
+}

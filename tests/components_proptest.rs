@@ -1,0 +1,200 @@
+//! Component-level property tests: serialization, compression, sorting,
+//! merging and tokenization hold their invariants on arbitrary inputs.
+
+use proptest::prelude::*;
+use textmr_engine::codec;
+use textmr_engine::io::compress;
+use textmr_engine::job::{Emit, Job, Record, ValueCursor};
+use textmr_engine::task::merge::{count_records, merge_grouped};
+use textmr_engine::task::segment::Segment;
+use textmr_engine::task::spill::sort_indices;
+
+struct Bytewise;
+impl Job for Bytewise {
+    fn name(&self) -> &str {
+        "bytewise"
+    }
+    fn map(&self, _r: &Record<'_>, _e: &mut dyn Emit) {}
+    fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        codec::write_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), codec::varint_len(v));
+        let mut pos = 0;
+        prop_assert_eq!(codec::read_varint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn records_roundtrip(pairs in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..64),
+         proptest::collection::vec(any::<u8>(), 0..64)), 0..20)) {
+        let mut buf = Vec::new();
+        for (k, v) in &pairs {
+            codec::write_record(&mut buf, k, v);
+        }
+        let mut pos = 0;
+        for (k, v) in &pairs {
+            let (rk, rv) = codec::read_record(&buf, &mut pos).expect("record present");
+            prop_assert_eq!(rk, k.as_slice());
+            prop_assert_eq!(rv, v.as_slice());
+        }
+        prop_assert_eq!(codec::read_record(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn record_reader_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut pos = 0;
+        while codec::read_record(&data, &mut pos).is_some() {}
+        // Also varints directly.
+        let mut pos = 0;
+        let _ = codec::read_varint(&data, &mut pos);
+    }
+
+    #[test]
+    fn scalar_codecs_preserve_order(a in any::<u64>(), b in any::<u64>(),
+                                    x in any::<i64>(), y in any::<i64>()) {
+        prop_assert_eq!(codec::encode_u64(a).cmp(&codec::encode_u64(b)), a.cmp(&b));
+        prop_assert_eq!(codec::encode_i64(x).cmp(&codec::encode_i64(y)), x.cmp(&y));
+    }
+
+    #[test]
+    fn compression_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress::compress(&data);
+        prop_assert_eq!(compress::decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn compression_roundtrips_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..200,
+    ) {
+        let mut data = Vec::with_capacity(unit.len() * reps);
+        for _ in 0..reps {
+            data.extend_from_slice(&unit);
+        }
+        let c = compress::compress(&data);
+        prop_assert_eq!(compress::decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = compress::decompress(&data);
+    }
+
+    #[test]
+    fn sort_indices_orders_by_partition_then_key(
+        recs in proptest::collection::vec(
+            (0u32..4, proptest::collection::vec(any::<u8>(), 0..12)), 0..80)
+    ) {
+        let mut seg = Segment::new();
+        for (part, key) in &recs {
+            seg.push(*part as usize, key, b"v");
+        }
+        let idx = sort_indices(&seg, &Bytewise);
+        prop_assert_eq!(idx.len(), recs.len());
+        for w in idx.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            let ka = (seg.part(a), seg.key(a));
+            let kb = (seg.part(b), seg.key(b));
+            prop_assert!(ka <= kb, "out of order: {:?} then {:?}", ka, kb);
+        }
+    }
+
+    #[test]
+    fn merge_matches_naive_reference(
+        runs_data in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..6),
+                 proptest::collection::vec(any::<u8>(), 0..6)), 0..20),
+            0..5)
+    ) {
+        // Sort each run's pairs by key (merge precondition), build framed
+        // runs, merge, and compare against flatten-sort-group.
+        let mut runs: Vec<Vec<u8>> = Vec::new();
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for mut pairs in runs_data {
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut buf = Vec::new();
+            for (k, v) in &pairs {
+                codec::write_record(&mut buf, k, v);
+                all.push((k.clone(), v.clone()));
+            }
+            runs.push(buf);
+        }
+        let mut merged: Vec<(Vec<u8>, usize)> = Vec::new();
+        let mut merged_records = 0usize;
+        merge_grouped(&runs, &|a, b| a.cmp(b), |k, vs| {
+            merged.push((k.to_vec(), vs.len()));
+            merged_records += vs.len();
+        });
+        // Group keys are strictly increasing.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        // Record count preserved; group sizes match the naive count.
+        prop_assert_eq!(merged_records, all.len());
+        let mut naive: std::collections::BTreeMap<Vec<u8>, usize> = Default::default();
+        for (k, _) in &all {
+            *naive.entry(k.clone()).or_default() += 1;
+        }
+        prop_assert_eq!(merged.len(), naive.len());
+        for (k, n) in &merged {
+            prop_assert_eq!(naive[k], *n);
+        }
+    }
+
+    #[test]
+    fn count_records_is_consistent_with_writes(
+        pairs in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..8),
+             proptest::collection::vec(any::<u8>(), 0..8)), 0..30)
+    ) {
+        let mut buf = Vec::new();
+        for (k, v) in &pairs {
+            codec::write_record(&mut buf, k, v);
+        }
+        prop_assert_eq!(count_records(&buf), pairs.len());
+    }
+
+    #[test]
+    fn tokenizer_words_are_normalized(line in "\\PC{0,80}") {
+        for w in textmr_nlp::tokenizer::words(&line) {
+            prop_assert!(!w.is_empty());
+            // Lowercased (modulo chars with no lowercase mapping, e.g.
+            // U+2110 SCRIPT CAPITAL I); internal ' and - allowed; never
+            // whitespace.
+            prop_assert!(
+                w.chars().all(|c| !c.is_whitespace()
+                    && (!c.is_uppercase() || c.to_lowercase().eq(std::iter::once(c)))),
+                "bad token {w:?} from {line:?}"
+            );
+            prop_assert!(
+                w.chars().all(|c| c.is_alphanumeric() || c == '\'' || c == '-'
+                    || !c.is_ascii()),
+                "bad token {w:?} from {line:?}"
+            );
+        }
+        // Full tokenizer agrees on the word sequence.
+        let via_tokens: Vec<String> = textmr_nlp::tokenizer::tokenize(&line)
+            .into_iter()
+            .filter_map(|t| t.as_word().map(str::to_string))
+            .collect();
+        let via_words: Vec<String> = textmr_nlp::tokenizer::words(&line).collect();
+        prop_assert_eq!(via_tokens, via_words);
+    }
+
+    #[test]
+    fn tagger_tags_every_word_token(line in "[a-zA-Z ,.]{0,60}") {
+        let tagger = textmr_nlp::Tagger::default();
+        let tagged = tagger.tag_line(&line);
+        let words = textmr_nlp::tokenizer::words(&line).count();
+        prop_assert_eq!(tagged.len(), words);
+    }
+}
