@@ -191,7 +191,9 @@ impl Job for AccessLogJoin {
                 }
                 Some(&TAG_VISIT) => {
                     let mut pos = 1usize;
-                    let Some(ip) = read_bytes(v, &mut pos) else { continue };
+                    let Some(ip) = read_bytes(v, &mut pos) else {
+                        continue;
+                    };
                     if v.len() < pos + 8 {
                         continue;
                     }
@@ -253,7 +255,10 @@ mod tests {
     fn malformed_visit_lines_are_skipped() {
         let cluster = ClusterConfig::single_node();
         let mut dfs = SimDfs::new(1, 1 << 16);
-        dfs.put("visits", b"garbage line\n1.1.1.1|http://a|d|notanumber|x\n".to_vec());
+        dfs.put(
+            "visits",
+            b"garbage line\n1.1.1.1|http://a|d|notanumber|x\n".to_vec(),
+        );
         let run = run_job(
             &cluster,
             &JobConfig::default().with_reducers(1),
@@ -276,7 +281,10 @@ mod tests {
         ]
         .join("\n");
         dfs.put("visits", (visits + "\n").into_bytes());
-        dfs.put("ranks", b"http://a|50|10\nhttp://b|7|20\nhttp://c|1|5\n".to_vec());
+        dfs.put(
+            "ranks",
+            b"http://a|50|10\nhttp://b|7|20\nhttp://c|1|5\n".to_vec(),
+        );
         let run = run_job(
             &cluster,
             &JobConfig::default().with_reducers(2),
@@ -302,7 +310,10 @@ mod tests {
     fn unmatched_visits_are_dropped() {
         let cluster = ClusterConfig::single_node();
         let mut dfs = SimDfs::new(1, 1 << 16);
-        dfs.put("visits", (visit("9.9.9.9", "http://nowhere", 4.0) + "\n").into_bytes());
+        dfs.put(
+            "visits",
+            (visit("9.9.9.9", "http://nowhere", 4.0) + "\n").into_bytes(),
+        );
         dfs.put("ranks", b"http://elsewhere|3|1\n".to_vec());
         let run = run_job(
             &cluster,

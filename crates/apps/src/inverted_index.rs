@@ -157,10 +157,7 @@ mod tests {
     fn repeated_word_in_one_line_keeps_positions() {
         let idx = index_of("dup dup dup\n");
         let ps = &idx["dup"];
-        assert_eq!(
-            ps.iter().map(|p| p.pos).collect::<Vec<_>>(),
-            vec![0, 1, 2]
-        );
+        assert_eq!(ps.iter().map(|p| p.pos).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

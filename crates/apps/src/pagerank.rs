@@ -47,7 +47,10 @@ pub struct PageRank {
 impl PageRank {
     /// One iteration over a crawl of `num_pages` pages, d = 0.85.
     pub fn new(num_pages: u64) -> Self {
-        PageRank { num_pages, damping: 0.85 }
+        PageRank {
+            num_pages,
+            damping: 0.85,
+        }
     }
 }
 
@@ -74,7 +77,9 @@ impl Job for PageRank {
     }
 
     fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
-        let Some((page, rank, links)) = parse_page_line(record.value) else { return };
+        let Some((page, rank, links)) = parse_page_line(record.value) else {
+            return;
+        };
         // Graph structure: (page, TAG_STRUCTURE ++ links).
         let mut v = Vec::with_capacity(links.len() + 1);
         v.push(TAG_STRUCTURE);
@@ -82,7 +87,10 @@ impl Job for PageRank {
         emit.emit(&encode_u64(page), &v);
         // Rank contributions.
         let targets = links.split(|&b| b == b',').filter(|s| !s.is_empty());
-        let outdeg = links.split(|&b| b == b',').filter(|s| !s.is_empty()).count();
+        let outdeg = links
+            .split(|&b| b == b',')
+            .filter(|s| !s.is_empty())
+            .count();
         if outdeg == 0 {
             return;
         }

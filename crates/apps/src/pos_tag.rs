@@ -43,12 +43,16 @@ impl WordPosTag {
     /// Job with the benchmark's default CPU intensity (two posterior
     /// rescoring passes on top of Viterbi, approximating OpenNLP's cost).
     pub fn new() -> Self {
-        Self::with_config(TaggerConfig { posterior_passes: 2 })
+        Self::with_config(TaggerConfig {
+            posterior_passes: 2,
+        })
     }
 
     /// Job with an explicit tagger configuration (CPU-intensity knob).
     pub fn with_config(cfg: TaggerConfig) -> Self {
-        WordPosTag { tagger: Arc::new(Tagger::new(cfg)) }
+        WordPosTag {
+            tagger: Arc::new(Tagger::new(cfg)),
+        }
     }
 }
 

@@ -35,7 +35,11 @@ impl SynText {
     /// A cell of the Figure 10 sweep.
     pub fn new(cpu_factor: u32, storage_beta: f64) -> Self {
         assert!((0.0..=1.0).contains(&storage_beta));
-        SynText { cpu_factor, storage_beta, payload: 16 }
+        SynText {
+            cpu_factor,
+            storage_beta,
+            payload: 16,
+        }
     }
 }
 
@@ -192,7 +196,11 @@ mod tests {
     #[test]
     fn intermediate_beta_shrinks_partially() {
         let v = combine_four(0.5);
-        assert!(v.payload_len > 0 && v.payload_len < 4 * 16, "payload={}", v.payload_len);
+        assert!(
+            v.payload_len > 0 && v.payload_len < 4 * 16,
+            "payload={}",
+            v.payload_len
+        );
     }
 
     #[test]

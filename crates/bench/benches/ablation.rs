@@ -50,9 +50,11 @@ fn pipeline_span(x: f64, produce_ns: u64, consume_per_byte: u64, records: usize)
 /// overhead at the optimum.
 fn ablation_spill_fraction(c: &mut Criterion) {
     println!("\n== ablation: spill fraction sweep (virtual span, lower is better) ==");
-    for (produce_ns, consume_per_byte, label) in
-        [(64u64, 2u64, "consumer-slower"), (512, 1, "producer-slower"), (128, 1, "balanced")]
-    {
+    for (produce_ns, consume_per_byte, label) in [
+        (64u64, 2u64, "consumer-slower"),
+        (512, 1, "producer-slower"),
+        (128, 1, "balanced"),
+    ] {
         let model = RateModel {
             p: 128.0 / produce_ns as f64,
             c: 1.0 / consume_per_byte as f64,
@@ -82,7 +84,12 @@ fn corpus_dfs(nodes: usize) -> SimDfs {
     let mut dfs = SimDfs::new(nodes, 512 << 10);
     dfs.put(
         "corpus",
-        CorpusConfig { lines: 6_000, vocab_size: 20_000, ..Default::default() }.generate_bytes(),
+        CorpusConfig {
+            lines: 6_000,
+            vocab_size: 20_000,
+            ..Default::default()
+        }
+        .generate_bytes(),
     );
     dfs
 }
@@ -110,10 +117,16 @@ fn ablation_freq_k(c: &mut Criterion) {
             );
             b.iter(|| {
                 black_box(
-                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
-                        .unwrap()
-                        .profile
-                        .wall,
+                    run_job(
+                        &cluster,
+                        &cfg,
+                        Arc::new(textmr_apps::WordCount),
+                        &dfs,
+                        &[("corpus", 0)],
+                    )
+                    .unwrap()
+                    .profile
+                    .wall,
                 )
             })
         });
@@ -137,10 +150,16 @@ fn ablation_smoothing(c: &mut Criterion) {
             );
             b.iter(|| {
                 black_box(
-                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
-                        .unwrap()
-                        .profile
-                        .wall,
+                    run_job(
+                        &cluster,
+                        &cfg,
+                        Arc::new(textmr_apps::WordCount),
+                        &dfs,
+                        &[("corpus", 0)],
+                    )
+                    .unwrap()
+                    .profile
+                    .wall,
                 )
             })
         });
@@ -164,13 +183,18 @@ fn ablation_registry(c: &mut Criterion) {
                     ..Default::default()
                 };
                 let registry = share.then(|| Arc::new(FrequentKeyRegistry::new()));
-                cfg.emit_filter =
-                    Some(textmr_core::frequency_buffer_factory(freq, registry));
+                cfg.emit_filter = Some(textmr_core::frequency_buffer_factory(freq, registry));
                 black_box(
-                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
-                        .unwrap()
-                        .profile
-                        .wall,
+                    run_job(
+                        &cluster,
+                        &cfg,
+                        Arc::new(textmr_apps::WordCount),
+                        &dfs,
+                        &[("corpus", 0)],
+                    )
+                    .unwrap()
+                    .profile
+                    .wall,
                 )
             })
         });
@@ -221,9 +245,14 @@ fn ablation_grouping(c: &mut Criterion) {
             let mut cfg = JobConfig::default().with_reducers(6);
             cfg.grouping = grouping;
             b.iter(|| {
-                let run =
-                    run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
-                        .unwrap();
+                let run = run_job(
+                    &cluster,
+                    &cfg,
+                    Arc::new(textmr_apps::WordCount),
+                    &dfs,
+                    &[("corpus", 0)],
+                )
+                .unwrap();
                 black_box(run.profile.wall)
             })
         });

@@ -18,7 +18,9 @@ use textmr_nlp::tokenizer;
 fn zipf_keys(n: usize, universe: usize) -> Vec<Vec<u8>> {
     let table = ZipfTable::new(universe, 1.0);
     let mut rng = StdRng::seed_from_u64(42);
-    (0..n).map(|_| word_for_rank(table.sample(&mut rng)).into_bytes()).collect()
+    (0..n)
+        .map(|_| word_for_rank(table.sample(&mut rng)).into_bytes())
+        .collect()
 }
 
 fn bench_space_saving(c: &mut Criterion) {
@@ -93,7 +95,9 @@ fn bench_sort(c: &mut Criterion) {
         let keys = if dup == "zipf" {
             zipf_keys(50_000, 5_000)
         } else {
-            (0..50_000).map(|i| format!("key{i:08}").into_bytes()).collect()
+            (0..50_000)
+                .map(|i| format!("key{i:08}").into_bytes())
+                .collect()
         };
         let mut seg = Segment::new();
         for k in &keys {

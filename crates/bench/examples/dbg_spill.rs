@@ -1,4 +1,3 @@
-use std::sync::Arc;
 use textmr_bench::runner::*;
 use textmr_bench::scale::Scale;
 use textmr_bench::workloads::standard_suite;
@@ -17,14 +16,23 @@ fn main() {
             let cb: u64 = p.map_tasks.iter().map(|t| t.consume_busy).sum();
             let pw: u64 = p.map_tasks.iter().map(|t| t.producer_wait).sum();
             let cw: u64 = p.map_tasks.iter().map(|t| t.consumer_wait).sum();
-            let merge: u64 = p.map_tasks.iter().map(|t| t.ops.get(textmr_engine::metrics::Op::Merge)).sum();
+            let merge: u64 = p
+                .map_tasks
+                .iter()
+                .map(|t| t.ops.get(textmr_engine::metrics::Op::Merge))
+                .sum();
             let vd: u64 = p.map_tasks.iter().map(|t| t.virtual_duration).sum();
             println!("{wname} {:?}: wall={:.1}ms mapend={:.1}ms tasks={} spills={} pb={:.1} cb={:.1} pw={:.1} cw={:.1} merge={:.1} vdsum={:.1}",
                 cfg, p.wall as f64/1e6, p.map_phase_end as f64/1e6, p.map_tasks.len(), spills,
                 pb as f64/1e6, cb as f64/1e6, pw as f64/1e6, cw as f64/1e6, merge as f64/1e6, vd as f64/1e6);
             // print first task's fractions
             let t0 = &p.map_tasks[0];
-            let fr: Vec<String> = t0.spills.iter().take(12).map(|s| format!("{:.2}@{}k", s.fraction, s.bytes/1024)).collect();
+            let fr: Vec<String> = t0
+                .spills
+                .iter()
+                .take(12)
+                .map(|s| format!("{:.2}@{}k", s.fraction, s.bytes / 1024))
+                .collect();
             println!("  task0: {} spills: {}", t0.spills.len(), fr.join(" "));
         }
     }

@@ -22,8 +22,18 @@ use textmr_engine::cluster::{run_job, JobConfig, JobRun};
 use textmr_engine::io::dfs::SimDfs;
 
 fn absorbed_pct(run: &JobRun) -> f64 {
-    let absorbed: u64 = run.profile.map_tasks.iter().map(|t| t.freq_absorbed_records).sum();
-    let emitted: u64 = run.profile.map_tasks.iter().map(|t| t.emitted_records).sum();
+    let absorbed: u64 = run
+        .profile
+        .map_tasks
+        .iter()
+        .map(|t| t.freq_absorbed_records)
+        .sum();
+    let emitted: u64 = run
+        .profile
+        .map_tasks
+        .iter()
+        .map(|t| t.emitted_records)
+        .sum();
     100.0 * absorbed as f64 / emitted.max(1) as f64
 }
 
@@ -31,8 +41,7 @@ fn main() {
     let scale = Scale::from_args();
     let cluster = local_cluster(scale);
 
-    let mut table =
-        Table::new(&["true_alpha", "s", "absorbed_pct", "wall_ms"]);
+    let mut table = Table::new(&["true_alpha", "s", "absorbed_pct", "wall_ms"]);
     println!("Auto-tuner evaluation — fixed s sweep vs auto-tuned s per key skew\n");
     for &alpha in &[0.6f64, 0.8, 1.0, 1.2] {
         let mut dfs = SimDfs::new(cluster.nodes, scale.block_size);
@@ -54,8 +63,14 @@ fn main() {
                     ..Default::default()
                 }),
             );
-            run_job(&cluster, &cfg, Arc::new(textmr_apps::WordCount), &dfs, &[("corpus", 0)])
-                .unwrap()
+            run_job(
+                &cluster,
+                &cfg,
+                Arc::new(textmr_apps::WordCount),
+                &dfs,
+                &[("corpus", 0)],
+            )
+            .unwrap()
         };
 
         for s in [0.005f64, 0.02, 0.1, 0.3] {

@@ -69,8 +69,10 @@ fn main() {
         }
         // Measured steady state: median of the non-final spills after
         // ramp-up (the final spill is the drain remainder).
-        let mut steady: Vec<usize> =
-            spills[1..spills.len() - 1].iter().map(|s| s.bytes).collect();
+        let mut steady: Vec<usize> = spills[1..spills.len() - 1]
+            .iter()
+            .map(|s| s.bytes)
+            .collect();
         steady.sort_unstable();
         let measured = steady[steady.len() / 2] as f64;
         // Rates from totals (bytes per ns).

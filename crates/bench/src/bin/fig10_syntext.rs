@@ -57,8 +57,7 @@ fn main() {
             };
             let base = run_config(&cluster, &dfs, &w, Config::Baseline, REDUCERS);
             let comb = run_config(&cluster, &dfs, &w, Config::Combined, REDUCERS);
-            let saved =
-                100.0 * (1.0 - comb.profile.wall as f64 / base.profile.wall.max(1) as f64);
+            let saved = 100.0 * (1.0 - comb.profile.wall as f64 / base.profile.wall.max(1) as f64);
             eprintln!("cpu={cpu:<4} beta={beta:.2}: saved {saved:.1}%");
             table.row(&[
                 cpu.to_string(),

@@ -33,7 +33,10 @@ fn sweep(name: &str, stream: &[Vec<u8>], ks: &[usize], table: &mut Table) {
             pct(ideal),
             pct(lru),
         ]);
-        eprintln!("{name} k={k}: ss={:.3} ideal={:.3} lru={:.3}", ss, ideal, lru);
+        eprintln!(
+            "{name} k={k}: ss={:.3} ideal={:.3} lru={:.3}",
+            ss, ideal, lru
+        );
     }
 }
 
@@ -50,7 +53,11 @@ fn main() {
     let words: Vec<Vec<u8>> = corpus
         .generate()
         .iter()
-        .flat_map(|l| tokenizer::words(l).map(|w| w.into_bytes()).collect::<Vec<_>>())
+        .flat_map(|l| {
+            tokenizer::words(l)
+                .map(|w| w.into_bytes())
+                .collect::<Vec<_>>()
+        })
         .collect();
 
     // Key stream 2: access-log destination URLs.
@@ -67,8 +74,7 @@ fn main() {
         .collect();
 
     let ks = [30usize, 100, 300, 1000, 3000, 10_000];
-    let mut table =
-        Table::new(&["stream", "k", "space_saving_pct", "ideal_pct", "lru_pct"]);
+    let mut table = Table::new(&["stream", "k", "space_saving_pct", "ideal_pct", "lru_pct"]);
     println!("Figure 7 reproduction — intermediate values removed vs buffer size (s = 0.1)\n");
     sweep("text_corpus", &words, &ks, &mut table);
     sweep("access_log", &urls, &ks, &mut table);

@@ -29,7 +29,11 @@ fn main() {
         .copied()
         .filter(|o| !o.is_idle() && !o.is_user_code())
         .collect();
-    let mut header = vec!["app".to_string(), "config".to_string(), "abstraction_ms".to_string()];
+    let mut header = vec![
+        "app".to_string(),
+        "config".to_string(),
+        "abstraction_ms".to_string(),
+    ];
     header.extend(shown.iter().map(|o| format!("{o}_ms")));
     header.push("removed_records_pct".to_string());
     let mut table = Table::new(&header);
@@ -40,16 +44,28 @@ fn main() {
         for config in [Config::Baseline, Config::FreqOpt] {
             let run = run_config(&cluster, &dfs, w, config, REDUCERS);
             let totals = run.profile.total_ops();
-            let absorbed: u64 =
-                run.profile.map_tasks.iter().map(|t| t.freq_absorbed_records).sum();
-            let emitted: u64 = run.profile.map_tasks.iter().map(|t| t.emitted_records).sum();
+            let absorbed: u64 = run
+                .profile
+                .map_tasks
+                .iter()
+                .map(|t| t.freq_absorbed_records)
+                .sum();
+            let emitted: u64 = run
+                .profile
+                .map_tasks
+                .iter()
+                .map(|t| t.emitted_records)
+                .sum();
             let mut row = vec![
                 w.name.to_string(),
                 config.name().to_string(),
                 ms(totals.abstraction_cost()),
             ];
             row.extend(shown.iter().map(|o| ms(totals.get(*o))));
-            row.push(format!("{:.1}", 100.0 * absorbed as f64 / emitted.max(1) as f64));
+            row.push(format!(
+                "{:.1}",
+                100.0 * absorbed as f64 / emitted.max(1) as f64
+            ));
             table.row(&row);
         }
     }

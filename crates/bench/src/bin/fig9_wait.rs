@@ -29,7 +29,13 @@ fn sums(run: &JobRun) -> (u64, u64, u64, u64, u64) {
     let slower: u64 = p
         .map_tasks
         .iter()
-        .map(|t| if t.produce_busy >= t.consume_busy { t.producer_wait } else { t.consumer_wait })
+        .map(|t| {
+            if t.produce_busy >= t.consume_busy {
+                t.producer_wait
+            } else {
+                t.consumer_wait
+            }
+        })
         .sum();
     (pb, pw, cb, cw, slower)
 }

@@ -1,0 +1,101 @@
+//! Wall-clock speedup of the worker pool: WordCount end-to-end, sequential
+//! vs `--parallel` execution.
+//!
+//! Virtual-time results (makespans, every paper figure) are identical at
+//! any worker count — this harness measures the *real* time the harness
+//! itself takes, which is what the pool buys. It also re-checks the
+//! determinism contract: outputs and timing-free profile signatures must
+//! be identical across modes.
+//!
+//! ```sh
+//! cargo run --release -p textmr-bench --bin speedup [-- --parallel=8 --scale paper]
+//! ```
+//! Without an explicit `--parallel[=N]`, all hardware threads are used.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use textmr_apps::WordCount;
+use textmr_bench::report::Table;
+use textmr_bench::runner::{available_parallelism, reps, worker_threads, REDUCERS};
+use textmr_bench::scale::Scale;
+use textmr_data::text::CorpusConfig;
+use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig, JobRun};
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::job::Job;
+
+/// Run the job `reps()` times at the given worker count; report the best
+/// real wall-clock time (least scheduler noise) and the last run.
+fn measure(cluster: &ClusterConfig, dfs: &SimDfs, job: Arc<dyn Job>) -> (Duration, JobRun) {
+    let cfg = JobConfig::default().with_reducers(REDUCERS);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps().max(1) {
+        let t0 = Instant::now();
+        let run = run_job(cluster, &cfg, job.clone(), dfs, &[("corpus", 0)]).unwrap();
+        best = best.min(t0.elapsed());
+        last = Some(run);
+    }
+    (best, last.unwrap())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let threads = match worker_threads() {
+        1 => available_parallelism(),
+        n => n,
+    };
+
+    // Size blocks so the map phase has plenty of tasks per worker thread.
+    let corpus = CorpusConfig {
+        lines: scale.corpus_lines,
+        vocab_size: scale.vocab,
+        ..Default::default()
+    }
+    .generate_bytes();
+    let block = (corpus.len() / (4 * threads).max(8)).max(64 << 10);
+    let mut cluster = ClusterConfig::local();
+    cluster.spill_buffer_bytes = scale.spill_buffer;
+    let mut dfs = SimDfs::new(cluster.nodes, block);
+    dfs.put("corpus", corpus);
+
+    println!(
+        "WordCount end-to-end, {} map tasks × {} reducers, {} reps per mode\n",
+        dfs.get("corpus").map(|f| f.num_blocks()).unwrap_or(0),
+        REDUCERS,
+        reps().max(1),
+    );
+
+    cluster.worker_threads = 1;
+    let (seq_wall, seq_run) = measure(&cluster, &dfs, Arc::new(WordCount));
+    cluster.worker_threads = threads;
+    let (par_wall, par_run) = measure(&cluster, &dfs, Arc::new(WordCount));
+
+    assert_eq!(
+        seq_run.sorted_pairs(),
+        par_run.sorted_pairs(),
+        "parallel execution changed the job output"
+    );
+    assert_eq!(
+        seq_run.profile.signature(),
+        par_run.profile.signature(),
+        "parallel execution changed the profile's structural counters"
+    );
+
+    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9);
+    let mut table = Table::new(&["mode", "workers", "wall_clock_ms", "speedup"]);
+    table.row(&[
+        "sequential".into(),
+        "1".into(),
+        format!("{:.1}", seq_wall.as_secs_f64() * 1e3),
+        "1.00".into(),
+    ]);
+    table.row(&[
+        "parallel".into(),
+        threads.to_string(),
+        format!("{:.1}", par_wall.as_secs_f64() * 1e3),
+        format!("{speedup:.2}"),
+    ]);
+    table.print();
+    println!("\noutputs and profile signatures identical across modes");
+    println!("speedup {speedup:.2}x with {threads} worker threads");
+}

@@ -21,7 +21,10 @@ fn main() {
     let cluster = local_cluster(scale);
 
     let mut table = Table::new(&["app", "config", "wall_ms", "vs_baseline_pct"]);
-    println!("Table III reproduction — local cluster ({} nodes)\n", cluster.nodes);
+    println!(
+        "Table III reproduction — local cluster ({} nodes)\n",
+        cluster.nodes
+    );
     for w in &workloads {
         eprintln!("running {} …", w.name);
         let runs = run_all_configs(&cluster, &dfs, w, REDUCERS);

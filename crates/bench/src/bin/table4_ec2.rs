@@ -35,7 +35,10 @@ fn main() {
         ..Default::default()
     };
     dfs.put("corpus", corpus.generate_bytes());
-    let graph = GraphConfig { pages: scale.pages * factor, ..Default::default() };
+    let graph = GraphConfig {
+        pages: scale.pages * factor,
+        ..Default::default()
+    };
     dfs.put("graph", graph.generate_bytes());
 
     let workloads = [
@@ -62,9 +65,11 @@ fn main() {
         },
     ];
 
-    let mut table =
-        Table::new(&["app", "config", "wall_ms", "vs_baseline_pct", "shuffle_mb"]);
-    println!("Table IV reproduction — EC2-like cluster ({} nodes)\n", cluster.nodes);
+    let mut table = Table::new(&["app", "config", "wall_ms", "vs_baseline_pct", "shuffle_mb"]);
+    println!(
+        "Table IV reproduction — EC2-like cluster ({} nodes)\n",
+        cluster.nodes
+    );
     for w in &workloads {
         eprintln!("running {} …", w.name);
         let runs = run_all_configs(&cluster, &dfs, w, REDUCERS * 2);
@@ -75,7 +80,10 @@ fn main() {
                 config.name().to_string(),
                 ms(run.profile.wall),
                 format!("{:.1}", 100.0 * run.profile.wall as f64 / base),
-                format!("{:.1}", run.profile.shuffled_bytes as f64 / (1 << 20) as f64),
+                format!(
+                    "{:.1}",
+                    run.profile.shuffled_bytes as f64 / (1 << 20) as f64
+                ),
             ]);
         }
     }

@@ -18,7 +18,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new<S: Display>(header: &[S]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringified cells).
@@ -44,7 +47,10 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.header);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

@@ -21,7 +21,12 @@ pub enum Config {
 
 impl Config {
     /// All four, in the paper's row order.
-    pub const ALL: [Config; 4] = [Config::Baseline, Config::FreqOpt, Config::SpillOpt, Config::Combined];
+    pub const ALL: [Config; 4] = [
+        Config::Baseline,
+        Config::FreqOpt,
+        Config::SpillOpt,
+        Config::Combined,
+    ];
 
     /// Display name (the paper's row label).
     pub fn name(self) -> &'static str {
@@ -49,25 +54,60 @@ impl Config {
     }
 }
 
+/// Worker threads for real task execution, from the command line or the
+/// environment: `--parallel` (all hardware threads), `--parallel=N`, or
+/// `TEXTMR_PARALLEL=N`. Defaults to 1 — the sequential legacy mode. The
+/// knob only changes real wall-clock time; every virtual-time result
+/// (makespans, profiles, all paper figures) is identical at any setting.
+pub fn worker_threads() -> usize {
+    let mut n: Option<usize> = None;
+    for arg in std::env::args() {
+        if arg == "--parallel" {
+            n = Some(available_parallelism());
+        } else if let Some(v) = arg.strip_prefix("--parallel=") {
+            n = v.parse().ok();
+        }
+    }
+    let n = n.or_else(|| {
+        std::env::var("TEXTMR_PARALLEL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    n.unwrap_or(1).max(1)
+}
+
+/// Hardware threads available to this process (fallback 4).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
 /// The paper's local cluster, with the spill buffer scaled to the input
-/// regime.
+/// regime and the worker pool sized by [`worker_threads`].
 pub fn local_cluster(scale: Scale) -> ClusterConfig {
     let mut c = ClusterConfig::local();
     c.spill_buffer_bytes = scale.spill_buffer;
+    c.worker_threads = worker_threads();
     c
 }
 
-/// The paper's EC2 cluster at the same buffer regime.
+/// The paper's EC2 cluster at the same buffer regime (worker pool sized by
+/// [`worker_threads`], like [`local_cluster`]).
 pub fn ec2_cluster(scale: Scale) -> ClusterConfig {
     let mut c = ClusterConfig::ec2();
     c.spill_buffer_bytes = scale.spill_buffer;
+    c.worker_threads = worker_threads();
     c
 }
 
 /// Repetitions per (workload, config) measurement; the median-wall run is
 /// reported. Override with `TEXTMR_REPS`.
 pub fn reps() -> usize {
-    std::env::var("TEXTMR_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+    std::env::var("TEXTMR_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
 }
 
 /// Run one workload under one configuration, `reps()` times, returning the
@@ -86,8 +126,14 @@ pub fn run_config(
     );
     let mut runs: Vec<JobRun> = (0..reps().max(1))
         .map(|_| {
-            run_job(cluster, &job_cfg, workload.job.clone(), dfs, &workload.inputs)
-                .unwrap_or_else(|e| panic!("{} under {:?} failed: {e}", workload.name, config))
+            run_job(
+                cluster,
+                &job_cfg,
+                workload.job.clone(),
+                dfs,
+                &workload.inputs,
+            )
+            .unwrap_or_else(|e| panic!("{} under {:?} failed: {e}", workload.name, config))
         })
         .collect();
     runs.sort_by_key(|r| r.profile.wall);

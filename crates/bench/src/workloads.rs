@@ -3,8 +3,8 @@
 use crate::scale::Scale;
 use std::sync::Arc;
 use textmr_apps::{
-    AccessLogJoin, AccessLogSum, InvertedIndex, PageRank, WordCount, WordPosTag,
-    SOURCE_RANKINGS, SOURCE_VISITS,
+    AccessLogJoin, AccessLogSum, InvertedIndex, PageRank, WordCount, WordPosTag, SOURCE_RANKINGS,
+    SOURCE_VISITS,
 };
 use textmr_core::FreqBufferConfig;
 use textmr_data::graph::GraphConfig;
@@ -81,7 +81,10 @@ pub fn standard_suite(scale: Scale) -> (SimDfs, Vec<Workload>) {
     dfs.put("visits", weblog.visits_bytes());
     dfs.put("rankings", weblog.rankings_bytes());
 
-    let graph = GraphConfig { pages: scale.pages, ..Default::default() };
+    let graph = GraphConfig {
+        pages: scale.pages,
+        ..Default::default()
+    };
     dfs.put("graph", graph.generate_bytes());
 
     let workloads = vec![

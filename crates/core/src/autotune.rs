@@ -55,7 +55,11 @@ pub struct TuneBounds {
 
 impl Default for TuneBounds {
     fn default() -> Self {
-        TuneBounds { min_s: 0.001, max_s: 0.5, safety: 2.0 }
+        TuneBounds {
+            min_s: 0.001,
+            max_s: 0.5,
+            safety: 2.0,
+        }
     }
 }
 

@@ -117,8 +117,13 @@ enum Stage {
     /// cost. Hadoop's frequency buffering is likewise only meaningful for
     /// jobs with a combine function.
     Disabled,
-    PreProfile { est: ZipfEstimator },
-    Profile { sketch: SpaceSaving, target_inputs: u64 },
+    PreProfile {
+        est: ZipfEstimator,
+    },
+    Profile {
+        sketch: SpaceSaving,
+        target_inputs: u64,
+    },
     Optimize(FreqTable),
 }
 
@@ -168,7 +173,9 @@ impl FrequencyBuffer {
         } else {
             match registry.as_ref().and_then(|r| r.lookup(node)) {
                 Some(keys) => Stage::Optimize(FreqTable::new(keys.iter().cloned(), budget / k)),
-                None => Stage::PreProfile { est: ZipfEstimator::default() },
+                None => Stage::PreProfile {
+                    est: ZipfEstimator::default(),
+                },
             }
         };
         FrequencyBuffer {
@@ -235,7 +242,10 @@ impl FrequencyBuffer {
         for (key, count) in est.into_counts() {
             sketch.offer_n(&key, count);
         }
-        self.stage = Stage::Profile { sketch, target_inputs };
+        self.stage = Stage::Profile {
+            sketch,
+            target_inputs,
+        };
     }
 
     /// Estimated intermediate records for the task, extrapolated from the
@@ -250,8 +260,11 @@ impl FrequencyBuffer {
 
     /// Transition Profile → Optimize: freeze top-k, publish to registry.
     fn freeze(&mut self, sketch: &SpaceSaving) {
-        let keys: Vec<Box<[u8]>> =
-            sketch.top_k(self.k).into_iter().map(|k| k.into_boxed_slice()).collect();
+        let keys: Vec<Box<[u8]>> = sketch
+            .top_k(self.k)
+            .into_iter()
+            .map(|k| k.into_boxed_slice())
+            .collect();
         if let Some(r) = &self.registry {
             r.publish(self.node, keys.clone());
         }
@@ -273,7 +286,10 @@ impl EmitFilter for FrequencyBuffer {
                     self.start_profile(est);
                 }
             }
-            Stage::Profile { sketch, target_inputs } => {
+            Stage::Profile {
+                sketch,
+                target_inputs,
+            } => {
                 if self.inputs_seen > *target_inputs {
                     let sketch = std::mem::replace(sketch, SpaceSaving::new(1));
                     self.freeze(&sketch);
@@ -423,11 +439,7 @@ mod tests {
     }
 
     /// Drive: each input record emits the given keys once.
-    fn drive(
-        fb: &mut FrequencyBuffer,
-        inputs: &[Vec<&str>],
-        sink: &mut VecEmit,
-    ) -> (u64, u64) {
+    fn drive(fb: &mut FrequencyBuffer, inputs: &[Vec<&str>], sink: &mut VecEmit) -> (u64, u64) {
         let mut passed = 0;
         let mut absorbed = 0;
         for rec in inputs {
@@ -449,7 +461,13 @@ mod tests {
     /// A skewed workload: "hot" appears in every record, cold keys rotate.
     fn skewed_inputs(n: usize) -> Vec<Vec<String>> {
         (0..n)
-            .map(|i| vec!["hot".to_string(), "warm".to_string(), format!("cold{}", i % 97)])
+            .map(|i| {
+                vec![
+                    "hot".to_string(),
+                    "warm".to_string(),
+                    format!("cold{}", i % 97),
+                ]
+            })
             .collect()
     }
 
@@ -458,8 +476,10 @@ mod tests {
         inputs: &[Vec<String>],
         sink: &mut VecEmit,
     ) -> (u64, u64) {
-        let refs: Vec<Vec<&str>> =
-            inputs.iter().map(|r| r.iter().map(|s| s.as_str()).collect()).collect();
+        let refs: Vec<Vec<&str>> = inputs
+            .iter()
+            .map(|r| r.iter().map(|s| s.as_str()).collect())
+            .collect();
         drive(fb, &refs, sink)
     }
 
@@ -483,7 +503,11 @@ mod tests {
 
     #[test]
     fn every_offer_is_passed_or_absorbed() {
-        let cfg = FreqBufferConfig { k: 2, sampling_fraction: Some(0.05), ..Default::default() };
+        let cfg = FreqBufferConfig {
+            k: 2,
+            sampling_fraction: Some(0.05),
+            ..Default::default()
+        };
         let inputs = skewed_inputs(400);
         let mut fb = FrequencyBuffer::new(&ctx(400, 1 << 16), cfg, None);
         let mut sink = VecEmit::default();
@@ -494,7 +518,11 @@ mod tests {
 
     #[test]
     fn mass_conservation_via_totals() {
-        let cfg = FreqBufferConfig { k: 3, sampling_fraction: Some(0.05), ..Default::default() };
+        let cfg = FreqBufferConfig {
+            k: 3,
+            sampling_fraction: Some(0.05),
+            ..Default::default()
+        };
         let inputs = skewed_inputs(300);
         let mut fb = FrequencyBuffer::new(&ctx(300, 1 << 16), cfg, None);
         let mut sink = VecEmit::default();
@@ -508,7 +536,11 @@ mod tests {
     fn per_key_limit_triggers_combining() {
         // Tiny budget → per-key limit small → combine kicks in during
         // absorption, keeping each entry's byte size bounded.
-        let cfg = FreqBufferConfig { k: 1, sampling_fraction: Some(0.02), ..Default::default() };
+        let cfg = FreqBufferConfig {
+            k: 1,
+            sampling_fraction: Some(0.02),
+            ..Default::default()
+        };
         let inputs: Vec<Vec<String>> = (0..500).map(|_| vec!["hot".to_string()]).collect();
         let mut fb = FrequencyBuffer::new(&ctx(500, 2048), cfg, None);
         let mut sink = VecEmit::default();
@@ -526,7 +558,11 @@ mod tests {
     #[test]
     fn registry_lets_later_tasks_skip_profiling() {
         let registry = Arc::new(FrequentKeyRegistry::new());
-        let cfg = FreqBufferConfig { k: 2, sampling_fraction: Some(0.1), ..Default::default() };
+        let cfg = FreqBufferConfig {
+            k: 2,
+            sampling_fraction: Some(0.1),
+            ..Default::default()
+        };
         // Task 1 profiles and publishes.
         let inputs = skewed_inputs(500);
         let mut fb1 = FrequencyBuffer::new(&ctx(500, 1 << 16), cfg.clone(), Some(registry.clone()));
@@ -535,12 +571,19 @@ mod tests {
         assert!(fb1.is_optimizing());
         // Task 2 on the same node starts already optimizing.
         let fb2 = FrequencyBuffer::new(&ctx(500, 1 << 16), cfg, Some(registry));
-        assert!(fb2.is_optimizing(), "second task must reuse the published top-k");
+        assert!(
+            fb2.is_optimizing(),
+            "second task must reuse the published top-k"
+        );
     }
 
     #[test]
     fn cold_keys_pass_through_in_optimize() {
-        let cfg = FreqBufferConfig { k: 1, sampling_fraction: Some(0.05), ..Default::default() };
+        let cfg = FreqBufferConfig {
+            k: 1,
+            sampling_fraction: Some(0.05),
+            ..Default::default()
+        };
         let inputs = skewed_inputs(300);
         let mut fb = FrequencyBuffer::new(&ctx(300, 1 << 16), cfg, None);
         let mut sink = VecEmit::default();
@@ -555,7 +598,11 @@ mod tests {
     fn finish_without_reaching_optimize_emits_nothing() {
         // A stream shorter than the pre-profile target: nothing buffered,
         // so nothing drains (all records passed through already).
-        let cfg = FreqBufferConfig { k: 4, sampling_fraction: Some(0.5), ..Default::default() };
+        let cfg = FreqBufferConfig {
+            k: 4,
+            sampling_fraction: Some(0.5),
+            ..Default::default()
+        };
         let inputs = skewed_inputs(5);
         let mut fb = FrequencyBuffer::new(&ctx(10_000, 1 << 16), cfg, None);
         let mut sink = VecEmit::default();

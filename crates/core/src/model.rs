@@ -100,7 +100,11 @@ impl RateModel {
             // Produce until the next event: threshold crossing, buffer
             // full, or consumer completion.
             let room = m_cap - f - a;
-            let to_threshold = if a < threshold { (threshold - a) / self.p } else { 0.0 };
+            let to_threshold = if a < threshold {
+                (threshold - a) / self.p
+            } else {
+                0.0
+            };
             if a >= threshold {
                 // Waiting for the consumer; keep producing into the room.
                 if room <= 1e-12 {
@@ -123,7 +127,11 @@ impl RateModel {
             a += self.p * dt;
             t += dt;
         }
-        PipelineWaits { producer_wait, consumer_wait, spills }
+        PipelineWaits {
+            producer_wait,
+            consumer_wait,
+            spills,
+        }
     }
 
     /// Does the slower thread incur (non-ramp-up) wait time at fraction
@@ -144,14 +152,22 @@ mod tests {
 
     #[test]
     fn recurrence_first_spill_is_xm() {
-        let m = RateModel { p: 1.0, c: 2.0, capacity: 100.0 };
+        let m = RateModel {
+            p: 1.0,
+            c: 2.0,
+            capacity: 100.0,
+        };
         assert_eq!(m.spill_sizes(0.4, 1)[0], 40.0);
     }
 
     #[test]
     fn recurrence_growth_with_slow_consumer() {
         // p > c: spills grow beyond xM until capped by M − m.
-        let m = RateModel { p: 4.0, c: 1.0, capacity: 100.0 };
+        let m = RateModel {
+            p: 4.0,
+            c: 1.0,
+            capacity: 100.0,
+        };
         let sizes = m.spill_sizes(0.2, 6);
         assert!(sizes[1] > sizes[0]);
         // Bounded by capacity.
@@ -160,16 +176,28 @@ mod tests {
 
     #[test]
     fn optimal_fraction_matches_eq1() {
-        let fast_consumer = RateModel { p: 1.0, c: 3.0, capacity: 100.0 };
+        let fast_consumer = RateModel {
+            p: 1.0,
+            c: 3.0,
+            capacity: 100.0,
+        };
         assert!((fast_consumer.optimal_fraction() - 0.75).abs() < 1e-12);
-        let slow_consumer = RateModel { p: 3.0, c: 1.0, capacity: 100.0 };
+        let slow_consumer = RateModel {
+            p: 3.0,
+            c: 1.0,
+            capacity: 100.0,
+        };
         assert_eq!(slow_consumer.optimal_fraction(), 0.5);
     }
 
     #[test]
     fn at_or_below_optimal_slower_thread_is_waitfree() {
         for (p, c) in [(1.0, 3.0), (3.0, 1.0), (1.0, 1.01), (2.0, 2.0 + 1e-6)] {
-            let m = RateModel { p, c, capacity: 1000.0 };
+            let m = RateModel {
+                p,
+                c,
+                capacity: 1000.0,
+            };
             let x = m.optimal_fraction();
             assert!(
                 !m.slower_thread_waits(x - 1e-6, 50),
@@ -181,7 +209,11 @@ mod tests {
     #[test]
     fn above_optimal_slower_thread_waits() {
         for (p, c) in [(1.0, 3.0), (3.0, 1.0)] {
-            let m = RateModel { p, c, capacity: 1000.0 };
+            let m = RateModel {
+                p,
+                c,
+                capacity: 1000.0,
+            };
             let x = (m.optimal_fraction() + 0.15).min(1.0);
             assert!(
                 m.slower_thread_waits(x, 50),
@@ -193,7 +225,11 @@ mod tests {
     #[test]
     fn simulation_spills_match_recurrence() {
         for (p, c, x) in [(4.0, 1.0, 0.2), (1.0, 4.0, 0.7), (2.0, 2.0, 0.5)] {
-            let m = RateModel { p, c, capacity: 500.0 };
+            let m = RateModel {
+                p,
+                c,
+                capacity: 500.0,
+            };
             let sim = m.simulate(x, 8).spills;
             let rec = m.spill_sizes(x, 8);
             for (i, (s, r)) in sim.iter().zip(rec.iter()).enumerate() {
@@ -207,10 +243,17 @@ mod tests {
 
     #[test]
     fn steady_state_spill_sizes_converge() {
-        let m = RateModel { p: 3.0, c: 1.0, capacity: 100.0 };
+        let m = RateModel {
+            p: 3.0,
+            c: 1.0,
+            capacity: 100.0,
+        };
         let sizes = m.spill_sizes(0.5, 30);
         let last = sizes[29];
         let prev = sizes[28];
-        assert!((last - prev).abs() < 1e-9, "did not converge: {prev} vs {last}");
+        assert!(
+            (last - prev).abs() < 1e-9,
+            "did not converge: {prev} vs {last}"
+        );
     }
 }

@@ -27,7 +27,10 @@ pub fn removed_fraction_space_saving<'a>(
     k: usize,
     s: f64,
 ) -> f64 {
-    assert!((0.0..1.0).contains(&s), "profiling fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&s),
+        "profiling fraction must be in [0,1)"
+    );
     let n = stream.len();
     if n == 0 {
         return 0.0;
@@ -41,8 +44,7 @@ pub fn removed_fraction_space_saving<'a>(
             sketch.offer(key);
             continue;
         }
-        let table =
-            frozen.get_or_insert_with(|| sketch.top_k(k).into_iter().collect());
+        let table = frozen.get_or_insert_with(|| sketch.top_k(k).into_iter().collect());
         if table.contains(key) {
             removed += 1;
         }
@@ -68,9 +70,11 @@ pub fn removed_fraction_ideal<'a>(
     }
     let mut freqs: Vec<(&[u8], u64)> = counts.into_iter().collect();
     freqs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
-    let top: std::collections::HashSet<&[u8]> =
-        freqs.iter().take(k).map(|(key, _)| *key).collect();
-    let removed = stream.skip(profile_n).filter(|key| top.contains(key)).count();
+    let top: std::collections::HashSet<&[u8]> = freqs.iter().take(k).map(|(key, _)| *key).collect();
+    let removed = stream
+        .skip(profile_n)
+        .filter(|key| top.contains(key))
+        .count();
     removed as f64 / n as f64
 }
 
@@ -136,7 +140,10 @@ mod tests {
             }
         }
         events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-        events.into_iter().map(|(_, i)| format!("k{i}").into_bytes()).collect()
+        events
+            .into_iter()
+            .map(|(_, i)| format!("k{i}").into_bytes())
+            .collect()
     }
 
     #[test]
@@ -161,7 +168,10 @@ mod tests {
         // The paper reports ~6% gap on text under a common window; allow a
         // loose bound here (small synthetic stream).
         assert!(ideal - ss < 0.15, "gap too large: ideal={ideal} ss={ss}");
-        assert!(ss > 0.2, "space-saving should remove a meaningful share, got {ss}");
+        assert!(
+            ss > 0.2,
+            "space-saving should remove a meaningful share, got {ss}"
+        );
     }
 
     #[test]
@@ -187,8 +197,7 @@ mod tests {
         // A cyclic scan over k+1 keys with capacity k gives LRU zero hits —
         // the classic LRU pathology; the frozen top-k approach is immune.
         let keys: Vec<Vec<u8>> = (0..5).map(|i| format!("s{i}").into_bytes()).collect();
-        let stream: Vec<&[u8]> =
-            (0..100).map(|i| keys[i % 5].as_slice()).collect();
+        let stream: Vec<&[u8]> = (0..100).map(|i| keys[i % 5].as_slice()).collect();
         let lru = removed_fraction_lru(stream.iter().copied(), 4, 0.0);
         assert_eq!(lru, 0.0);
         let ideal = removed_fraction_ideal(stream.iter().copied(), 4, 0.0);
@@ -200,6 +209,9 @@ mod tests {
         let empty: Vec<&[u8]> = Vec::new();
         assert_eq!(removed_fraction_ideal(empty.iter().copied(), 4, 0.1), 0.0);
         assert_eq!(removed_fraction_lru(empty.iter().copied(), 4, 0.1), 0.0);
-        assert_eq!(removed_fraction_space_saving(empty.into_iter(), 4, 0.1), 0.0);
+        assert_eq!(
+            removed_fraction_space_saving(empty.into_iter(), 4, 0.1),
+            0.0
+        );
     }
 }

@@ -14,10 +14,13 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// A frozen, shareable top-k frequent-key set.
+pub type SharedKeySet = Arc<Vec<Box<[u8]>>>;
+
 /// Job-scoped registry of frozen frequent-key sets, one per node.
 #[derive(Debug, Default)]
 pub struct FrequentKeyRegistry {
-    slots: Mutex<HashMap<usize, Arc<Vec<Box<[u8]>>>>>,
+    slots: Mutex<HashMap<usize, SharedKeySet>>,
 }
 
 impl FrequentKeyRegistry {
@@ -36,7 +39,7 @@ impl FrequentKeyRegistry {
     }
 
     /// The frequent set published for `node`, if any.
-    pub fn lookup(&self, node: usize) -> Option<Arc<Vec<Box<[u8]>>>> {
+    pub fn lookup(&self, node: usize) -> Option<SharedKeySet> {
         self.slots.lock().get(&node).cloned()
     }
 

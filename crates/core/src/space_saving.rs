@@ -107,7 +107,13 @@ impl SpaceSaving {
         }
         if self.slots.len() < self.capacity {
             let slot = self.slots.len() as u32;
-            self.slots.push(Slot { key: key.into(), error: 0, bucket: NIL, prev: NIL, next: NIL });
+            self.slots.push(Slot {
+                key: key.into(),
+                error: 0,
+                bucket: NIL,
+                prev: NIL,
+                next: NIL,
+            });
             self.map.insert(key.into(), slot);
             self.attach(slot, n);
             return;
@@ -150,7 +156,11 @@ impl SpaceSaving {
 
     /// The top-`k` keys by estimated count, descending.
     pub fn top_k(&self, k: usize) -> Vec<Vec<u8>> {
-        self.entries().into_iter().take(k).map(|(key, _, _)| key).collect()
+        self.entries()
+            .into_iter()
+            .take(k)
+            .map(|(key, _, _)| key)
+            .collect()
     }
 
     /// Smallest counter value (0 when not yet full) — the error bound for
@@ -277,10 +287,20 @@ impl SpaceSaving {
 
     fn alloc_bucket(&mut self, count: u64, prev: u32, next: u32) -> u32 {
         if let Some(b) = self.free_buckets.pop() {
-            self.buckets[b as usize] = Bucket { count, head: NIL, prev, next };
+            self.buckets[b as usize] = Bucket {
+                count,
+                head: NIL,
+                prev,
+                next,
+            };
             b
         } else {
-            self.buckets.push(Bucket { count, head: NIL, prev, next });
+            self.buckets.push(Bucket {
+                count,
+                head: NIL,
+                prev,
+                next,
+            });
             (self.buckets.len() - 1) as u32
         }
     }
@@ -296,7 +316,10 @@ impl SpaceSaving {
         while b != NIL {
             let bucket = &self.buckets[b as usize];
             assert!(bucket.head != NIL, "empty bucket in list");
-            assert!(bucket.count > last_count || prev == NIL, "bucket counts not ascending");
+            assert!(
+                bucket.count > last_count || prev == NIL,
+                "bucket counts not ascending"
+            );
             assert_eq!(bucket.prev, prev, "broken bucket back-link");
             last_count = bucket.count;
             let mut s = bucket.head;
@@ -380,8 +403,11 @@ mod tests {
         assert!(count >= t, "count {count} < true {t}");
         assert!(count - err <= t, "lower bound violated");
         // Top-5 of the sketch should include k1 and k2.
-        let top: Vec<String> =
-            ss.top_k(5).into_iter().map(|k| String::from_utf8(k).unwrap()).collect();
+        let top: Vec<String> = ss
+            .top_k(5)
+            .into_iter()
+            .map(|k| String::from_utf8(k).unwrap())
+            .collect();
         assert!(top.contains(&"k1".to_string()), "{top:?}");
         assert!(top.contains(&"k2".to_string()), "{top:?}");
     }

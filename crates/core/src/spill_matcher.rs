@@ -38,7 +38,12 @@ pub struct SpillMatcherConfig {
 
 impl Default for SpillMatcherConfig {
     fn default() -> Self {
-        SpillMatcherConfig { initial: 0.8, min_fraction: 0.05, max_fraction: 0.95, smoothing: 1.0 }
+        SpillMatcherConfig {
+            initial: 0.8,
+            min_fraction: 0.05,
+            max_fraction: 0.95,
+            smoothing: 1.0,
+        }
     }
 }
 
@@ -61,7 +66,12 @@ impl SpillMatcher {
         assert!(cfg.min_fraction > 0.0 && cfg.min_fraction <= cfg.max_fraction);
         assert!(cfg.max_fraction <= 1.0);
         assert!((0.0..=1.0).contains(&cfg.smoothing));
-        SpillMatcher { cfg, tp_per_byte: None, tc_per_byte: None, history: Vec::new() }
+        SpillMatcher {
+            cfg,
+            tp_per_byte: None,
+            tc_per_byte: None,
+            history: Vec::new(),
+        }
     }
 
     /// Fractions chosen so far, in order.
@@ -122,7 +132,12 @@ mod tests {
     use super::*;
 
     fn obs(bytes: usize, produce_ns: u64, consume_ns: u64) -> SpillObservation {
-        SpillObservation { bytes, produce_ns, consume_ns, capacity: 1 << 20 }
+        SpillObservation {
+            bytes,
+            produce_ns,
+            consume_ns,
+            capacity: 1 << 20,
+        }
     }
 
     #[test]
@@ -154,12 +169,18 @@ mod tests {
         let x1 = m.next_fraction(&obs(1000, 9000, 1000)); // producer slow → 0.9
         let x2 = m.next_fraction(&obs(1000, 1000, 9000)); // consumer slow → 0.5
         assert!(x1 > 0.85);
-        assert!((x2 - 0.5).abs() < 1e-9, "no-smoothing controller must react fully");
+        assert!(
+            (x2 - 0.5).abs() < 1e-9,
+            "no-smoothing controller must react fully"
+        );
     }
 
     #[test]
     fn smoothing_damps_reaction() {
-        let mut m = SpillMatcher::new(SpillMatcherConfig { smoothing: 0.5, ..Default::default() });
+        let mut m = SpillMatcher::new(SpillMatcherConfig {
+            smoothing: 0.5,
+            ..Default::default()
+        });
         let _ = m.next_fraction(&obs(1000, 9000, 1000));
         let x2 = m.next_fraction(&obs(1000, 1000, 9000));
         // Smoothed times: tp = (9+1)/2 = 5, tc = (1+9)/2 = 5 → x = 0.5…

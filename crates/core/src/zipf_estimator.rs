@@ -44,7 +44,11 @@ pub struct ZipfFit {
 impl ZipfEstimator {
     /// New estimator tracking at most `max_keys` distinct keys.
     pub fn new(max_keys: usize) -> Self {
-        ZipfEstimator { counts: FnvHashMap::default(), max_keys: max_keys.max(16), seen: 0 }
+        ZipfEstimator {
+            counts: FnvHashMap::default(),
+            max_keys: max_keys.max(16),
+            seen: 0,
+        }
     }
 
     /// Observe one intermediate key.
@@ -88,14 +92,22 @@ impl ZipfEstimator {
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         let distinct = freqs.len();
         if distinct < 2 {
-            return ZipfFit { alpha: 1.0, points: distinct, distinct };
+            return ZipfFit {
+                alpha: 1.0,
+                points: distinct,
+                distinct,
+            };
         }
         // Truncate the singleton tail (keep at least MIN_POINTS).
         let mut n = freqs.iter().take_while(|&&f| f >= 2).count();
         n = n.max(MIN_POINTS.min(distinct)).min(distinct);
         let pts = &freqs[..n];
         if n < 2 {
-            return ZipfFit { alpha: 1.0, points: n, distinct };
+            return ZipfFit {
+                alpha: 1.0,
+                points: n,
+                distinct,
+            };
         }
         // Least squares: y = a + b x with x = ln(rank), y = ln(freq).
         let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
@@ -115,7 +127,11 @@ impl ZipfEstimator {
             let slope = (nf * sxy - sx * sy) / denom;
             (-slope).clamp(0.1, 3.0)
         };
-        ZipfFit { alpha, points: n, distinct }
+        ZipfFit {
+            alpha,
+            points: n,
+            distinct,
+        }
     }
 }
 

@@ -33,7 +33,12 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        GraphConfig { pages: 20_000, mean_out_degree: 8, alpha: 1.0, seed: 0x9a9e_12a7 }
+        GraphConfig {
+            pages: 20_000,
+            mean_out_degree: 8,
+            alpha: 1.0,
+            seed: 0x9a9e_12a7,
+        }
     }
 }
 
@@ -46,8 +51,9 @@ impl GraphConfig {
         (0..self.pages)
             .into_par_iter()
             .map(|page| {
-                let mut rng =
-                    StdRng::seed_from_u64(self.seed ^ (page as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ (page as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                );
                 let lo = (self.mean_out_degree / 2).max(1);
                 let hi = (self.mean_out_degree * 3 / 2).max(lo + 1);
                 let degree = rng.gen_range(lo..=hi);
@@ -100,7 +106,10 @@ impl<'a> PageRecord<'a> {
 
     /// Iterate the out-link page ids.
     pub fn out_links(&self) -> impl Iterator<Item = u64> + 'a {
-        self.links.split(',').filter(|s| !s.is_empty()).filter_map(|s| s.parse().ok())
+        self.links
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.parse().ok())
     }
 
     /// The raw out-link field (re-emitted verbatim by the PageRank mapper
@@ -122,7 +131,10 @@ mod tests {
 
     #[test]
     fn records_parse_back() {
-        let cfg = GraphConfig { pages: 200, ..Default::default() };
+        let cfg = GraphConfig {
+            pages: 200,
+            ..Default::default()
+        };
         let lines = cfg.generate();
         assert_eq!(lines.len(), 200);
         for line in &lines {
@@ -137,7 +149,12 @@ mod tests {
 
     #[test]
     fn in_link_popularity_is_skewed() {
-        let cfg = GraphConfig { pages: 2000, mean_out_degree: 10, alpha: 1.0, seed: 1 };
+        let cfg = GraphConfig {
+            pages: 2000,
+            mean_out_degree: 10,
+            alpha: 1.0,
+            seed: 1,
+        };
         let mut indeg: HashMap<u64, usize> = HashMap::new();
         for line in cfg.generate() {
             let rec = PageRecord::parse(&line).unwrap();
@@ -147,12 +164,18 @@ mod tests {
         }
         let top = indeg.get(&0).copied().unwrap_or(0);
         let mid = indeg.get(&1000).copied().unwrap_or(0);
-        assert!(top > mid.max(1) * 20, "top={top} mid={mid}: in-link skew too flat");
+        assert!(
+            top > mid.max(1) * 20,
+            "top={top} mid={mid}: in-link skew too flat"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = GraphConfig { pages: 100, ..Default::default() };
+        let cfg = GraphConfig {
+            pages: 100,
+            ..Default::default()
+        };
         assert_eq!(cfg.generate(), cfg.generate());
     }
 

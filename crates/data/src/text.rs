@@ -67,7 +67,9 @@ impl CorpusConfig {
     }
 
     fn generate_line(&self, zipf: &ZipfTable, line_idx: usize) -> String {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (line_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (line_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let lo = (self.words_per_line / 2).max(1);
         let hi = (self.words_per_line * 3 / 2).max(lo + 1);
         let n = rng.gen_range(lo..=hi);
@@ -114,14 +116,25 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = CorpusConfig { lines: 100, ..Default::default() };
+        let cfg = CorpusConfig {
+            lines: 100,
+            ..Default::default()
+        };
         assert_eq!(cfg.generate(), cfg.generate());
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = CorpusConfig { lines: 50, seed: 1, ..Default::default() };
-        let b = CorpusConfig { lines: 50, seed: 2, ..Default::default() };
+        let a = CorpusConfig {
+            lines: 50,
+            seed: 1,
+            ..Default::default()
+        };
+        let b = CorpusConfig {
+            lines: 50,
+            seed: 2,
+            ..Default::default()
+        };
         assert_ne!(a.generate(), b.generate());
     }
 
@@ -153,12 +166,18 @@ mod tests {
         // frequency close to the Zipf head probability.
         let the = counts.get("the").copied().unwrap_or(0) as f64 / total as f64;
         let expect = cfg.head_probability();
-        assert!((the - expect).abs() / expect < 0.15, "emp={the} expect={expect}");
+        assert!(
+            (the - expect).abs() / expect < 0.15,
+            "emp={the} expect={expect}"
+        );
     }
 
     #[test]
     fn bytes_roundtrip_line_count() {
-        let cfg = CorpusConfig { lines: 77, ..Default::default() };
+        let cfg = CorpusConfig {
+            lines: 77,
+            ..Default::default()
+        };
         let bytes = cfg.generate_bytes();
         assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), 77);
     }

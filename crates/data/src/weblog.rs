@@ -29,7 +29,12 @@ pub struct WeblogConfig {
 
 impl Default for WeblogConfig {
     fn default() -> Self {
-        WeblogConfig { num_urls: 20_000, num_visits: 200_000, url_alpha: 0.8, seed: 0x10_6_f11e }
+        WeblogConfig {
+            num_urls: 20_000,
+            num_visits: 200_000,
+            url_alpha: 0.8,
+            seed: 0x0106_f11e,
+        }
     }
 }
 
@@ -39,7 +44,13 @@ pub fn url_for_rank(rank: usize) -> String {
     format!("http://site{}.example.com/page{}.html", rank % 977, rank)
 }
 
-const USER_AGENTS: [&str; 5] = ["Mozilla/5.0", "Chrome/34.0", "Safari/7.0", "Opera/12.1", "IE/9.0"];
+const USER_AGENTS: [&str; 5] = [
+    "Mozilla/5.0",
+    "Chrome/34.0",
+    "Safari/7.0",
+    "Opera/12.1",
+    "IE/9.0",
+];
 const COUNTRIES: [&str; 8] = ["USA", "DEU", "FRA", "GBR", "JPN", "BRA", "IND", "CHN"];
 const LANGS: [&str; 8] = ["en", "de", "fr", "en", "ja", "pt", "hi", "zh"];
 
@@ -50,8 +61,9 @@ impl WeblogConfig {
         (0..self.num_visits)
             .into_par_iter()
             .map(|i| {
-                let mut rng =
-                    StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                );
                 let url_rank = zipf.sample(&mut rng);
                 let ip = format!(
                     "{}.{}.{}.{}",
@@ -88,8 +100,9 @@ impl WeblogConfig {
         (1..=self.num_urls)
             .into_par_iter()
             .map(|rank| {
-                let mut rng =
-                    StdRng::seed_from_u64(self.seed ^ (rank as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed ^ (rank as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+                );
                 // More popular pages tend to carry a higher pageRank.
                 let base = (self.num_urls as f64 / rank as f64).ln().max(0.1);
                 let page_rank = (base * rng.gen_range(5.0..15.0)) as u64 + 1;
@@ -191,7 +204,10 @@ mod tests {
 
     #[test]
     fn visits_parse_back() {
-        let cfg = WeblogConfig { num_visits: 500, ..Default::default() };
+        let cfg = WeblogConfig {
+            num_visits: 500,
+            ..Default::default()
+        };
         for line in cfg.generate_visits() {
             let v = UserVisit::parse(&line).expect("generated record must parse");
             assert!(v.ad_revenue > 0.0);
@@ -201,7 +217,11 @@ mod tests {
 
     #[test]
     fn rankings_parse_back_and_cover_all_urls() {
-        let cfg = WeblogConfig { num_urls: 300, num_visits: 10, ..Default::default() };
+        let cfg = WeblogConfig {
+            num_urls: 300,
+            num_visits: 10,
+            ..Default::default()
+        };
         let lines = cfg.generate_rankings();
         assert_eq!(lines.len(), 300);
         for line in &lines {
@@ -230,7 +250,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = WeblogConfig { num_visits: 100, ..Default::default() };
+        let cfg = WeblogConfig {
+            num_visits: 100,
+            ..Default::default()
+        };
         assert_eq!(cfg.generate_visits(), cfg.generate_visits());
         assert_eq!(cfg.generate_rankings(), cfg.generate_rankings());
     }

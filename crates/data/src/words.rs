@@ -18,11 +18,10 @@
 /// Consonant-vowel syllables used as digits of the word encoding. 64
 /// syllables ⇒ a 6-bit alphabet; two syllables already cover 4096 words.
 const SYLLABLES: [&str; 64] = [
-    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu", "da", "de", "di", "do", "du",
-    "fa", "fe", "fi", "fo", "fu", "ga", "ge", "gi", "go", "gu", "ha", "he", "hi", "ho", "hu",
-    "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu",
-    "na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
-    "sa", "se", "si", "so",
+    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu", "da", "de", "di", "do", "du", "fa",
+    "fe", "fi", "fo", "fu", "ga", "ge", "gi", "go", "gu", "ha", "he", "hi", "ho", "hu", "ka", "ke",
+    "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni",
+    "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so",
 ];
 
 /// The 32 most frequent ranks get hand-picked short "function words",
@@ -30,9 +29,9 @@ const SYLLABLES: [&str; 64] = [
 /// No entry may be a concatenation of [`SYLLABLES`] (would collide with the
 /// rank encoding) — e.g. "he" and "be" are excluded for that reason.
 const FUNCTION_WORDS: [&str; 32] = [
-    "the", "of", "and", "in", "to", "a", "is", "was", "for", "as", "on", "with", "by", "him",
-    "at", "from", "his", "it", "an", "are", "were", "which", "this", "that", "you", "or", "had",
-    "not", "but", "one", "their", "its",
+    "the", "of", "and", "in", "to", "a", "is", "was", "for", "as", "on", "with", "by", "him", "at",
+    "from", "his", "it", "an", "are", "were", "which", "this", "that", "you", "or", "had", "not",
+    "but", "one", "their", "its",
 ];
 
 /// Deterministically produce the vocabulary word for 1-based Zipf rank

@@ -3,9 +3,13 @@
 //! A cluster is N nodes × (map slots, reduce slots) over a shared network
 //! model — matching the paper's two testbeds: a local cluster running 12
 //! mappers and 12 reducers on 6 worker machines, and a 20-node EC2
-//! cluster. Tasks execute for real (sequentially or not, results are
-//! identical) and are *scheduled in virtual time* onto node slots to
-//! compute the job makespan:
+//! cluster. Tasks execute for real — sequentially, or on a bounded pool of
+//! worker threads when [`ClusterConfig::worker_threads`] > 1; results are
+//! identical either way because every task writes into its own isolated
+//! spill directory and the driver collects outputs and profiles in task-id
+//! order, not completion order. Independently of how tasks execute, they
+//! are *scheduled in virtual time* onto node slots to compute the job
+//! makespan:
 //!
 //! * map tasks run on their input block's home node (locality);
 //! * reduce tasks start when the map phase ends (no early-shuffle overlap —
@@ -13,18 +17,20 @@
 //! * a failed map attempt occupies its slot for the virtual time it burned,
 //!   then the retry is rescheduled on the same node.
 
-use crate::controller::{fixed_spill_factory, EmitFilterFactory, FilterCtx, SpillControllerFactory, TaskCtx};
+use crate::controller::{
+    fixed_spill_factory, EmitFilterFactory, FilterCtx, SpillControllerFactory, TaskCtx,
+};
 use crate::io::dfs::SimDfs;
 use crate::io::input::InputSplit;
 use crate::job::Job;
-use crate::metrics::{JobProfile, TaskSpan, VNanos};
+use crate::metrics::{JobProfile, TaskProfile, TaskSpan, VNanos};
 use crate::net::NetworkConfig;
 use crate::task::map_task::{run_map_task, MapOutput, MapTaskConfig, MapTaskError};
-use crate::task::reduce_task::{run_reduce_task, Grouping, ReduceTaskConfig};
+use crate::task::reduce_task::{run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig};
 use std::collections::HashMap;
 use std::io;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Cluster shape and resources.
@@ -50,6 +56,12 @@ pub struct ClusterConfig {
     /// trade map CPU for shuffle bytes). Off by default, like Hadoop's
     /// `mapred.compress.map.output`.
     pub compress_map_output: bool,
+    /// Worker threads for *real* task execution. `1` (the default) runs
+    /// every task inline on the caller's thread, exactly as before; larger
+    /// values run map attempts and reduce tasks on a bounded pool of scoped
+    /// threads. Outputs, profiles and the virtual-time schedule are
+    /// identical either way — this knob only changes real wall-clock time.
+    pub worker_threads: usize,
 }
 
 impl ClusterConfig {
@@ -64,6 +76,7 @@ impl ClusterConfig {
             temp_dir: None,
             merge_fan_in: 10,
             compress_map_output: false,
+            worker_threads: 1,
         }
     }
 
@@ -78,6 +91,7 @@ impl ClusterConfig {
             temp_dir: None,
             merge_fan_in: 10,
             compress_map_output: false,
+            worker_threads: 1,
         }
     }
 
@@ -92,7 +106,14 @@ impl ClusterConfig {
             temp_dir: None,
             merge_fan_in: 10,
             compress_map_output: false,
+            worker_threads: 1,
         }
+    }
+
+    /// Builder: set the worker-thread count (clamped to at least 1).
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n.max(1);
+        self
     }
 
     fn resolve_temp_dir(&self) -> io::Result<PathBuf> {
@@ -188,6 +209,81 @@ impl JobRun {
     }
 }
 
+/// Removes the job's temp directory on every exit path (success, error,
+/// panic), so aborted jobs do not leak spill files into tmpfs.
+struct TempDirGuard<'a>(&'a Path);
+
+impl Drop for TempDirGuard<'_> {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(self.0);
+    }
+}
+
+/// Run `count` indexed work items on `workers` threads and collect the
+/// results **by item index**, not completion order, so callers observe the
+/// same ordering a sequential loop would produce.
+///
+/// With `workers <= 1` the items run inline on the caller's thread (no pool,
+/// no atomics on the hot path) — this is the bit-for-bit legacy execution
+/// mode. Otherwise scoped threads claim indices from a shared counter; each
+/// worker batches its `(index, result)` pairs locally and the driver merges
+/// them after joining, so no locks are held while tasks run. A panicking
+/// worker propagates its panic to the caller at join time.
+fn run_indexed<R, F>(workers: usize, count: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(count))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        done.push((i, work(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Outcome of one map task's full retry loop, as produced on a worker.
+enum MapTaskOutcome {
+    /// The task completed; carries every attempt's virtual duration
+    /// (failed attempts first) for slot scheduling.
+    Done {
+        attempts: Vec<VNanos>,
+        out: MapOutput,
+        prof: Box<TaskProfile>,
+    },
+    /// All `max_attempts` attempts failed.
+    Exhausted { attempts: usize },
+    /// An I/O error killed the task outright.
+    Failed(io::Error),
+    /// The task gave up because another task had already doomed the job.
+    Cancelled,
+}
+
 /// Run `job` over the named DFS inputs on the given cluster.
 ///
 /// `inputs` pairs a DFS file name with its logical source tag (tags matter
@@ -205,13 +301,15 @@ pub fn run_job(
         "filter budget fraction must be in [0,1)"
     );
     let temp = cluster.resolve_temp_dir()?;
+    let _cleanup = TempDirGuard(&temp);
+    let workers = cluster.worker_threads.max(1);
 
     // ---- plan splits ----------------------------------------------------------
     let mut splits: Vec<InputSplit> = Vec::new();
     for (name, source) in inputs {
-        let file = dfs
-            .get(name)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no DFS file {name}")))?;
+        let file = dfs.get(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no DFS file {name}"))
+        })?;
         splits.extend(InputSplit::from_file(file, *source));
     }
 
@@ -223,16 +321,28 @@ pub fn run_job(
     };
     let pipeline_capacity = (cluster.spill_buffer_bytes - filter_budget).max(1024);
 
-    let mut map_outputs: Vec<MapOutput> = Vec::with_capacity(splits.len());
-    let mut map_profiles = Vec::with_capacity(splits.len());
-    // Per task: virtual durations of every attempt (failed attempts first).
-    let mut attempt_durations: Vec<Vec<VNanos>> = Vec::with_capacity(splits.len());
-
-    for (t, split) in splits.iter().enumerate() {
+    // A task that exhausts its retries (or hits an I/O error) sets this
+    // flag; in-flight tasks notice it between input records and bail with
+    // `Cancelled`, and queued tasks never start real work — the pool drains
+    // promptly instead of grinding through a doomed job.
+    let cancel = Arc::new(AtomicBool::new(false));
+    let run_one_map_task = |t: usize| -> MapTaskOutcome {
+        if cancel.load(Ordering::Relaxed) {
+            return MapTaskOutcome::Cancelled;
+        }
+        let split = &splits[t];
         let node = split.home_node % cluster.nodes;
         let mut attempts: Vec<VNanos> = Vec::new();
         let mut attempt = 0usize;
         loop {
+            // Every attempt spills into its own directory: a retry never
+            // reuses (or trips over) a dead attempt's files, even when
+            // other tasks are running concurrently in the same job temp.
+            let attempt_dir = temp.join(format!("t{t}_a{attempt}"));
+            if let Err(e) = std::fs::create_dir_all(&attempt_dir) {
+                cancel.store(true, Ordering::Relaxed);
+                return MapTaskOutcome::Failed(e);
+            }
             let ctx = TaskCtx { node, task: t };
             // An inactive filter (e.g. frequency-buffering on a job with
             // no combiner) is dropped and its budget returned to the spill
@@ -262,29 +372,73 @@ pub fn run_job(
                 filter,
                 merge_fan_in: cluster.merge_fan_in,
                 compress_output: cluster.compress_map_output,
-                spill_dir: temp.clone(),
-                fail_after_records: if attempt == 0 { cfg.fault_plan.get(&t).copied() } else { None },
+                spill_dir: attempt_dir.clone(),
+                fail_after_records: if attempt == 0 {
+                    cfg.fault_plan.get(&t).copied()
+                } else {
+                    None
+                },
+                cancel: Some(Arc::clone(&cancel)),
             };
             match run_map_task(&job, split, task_cfg) {
                 Ok((out, prof)) => {
                     attempts.push(prof.virtual_duration);
-                    map_outputs.push(out);
-                    map_profiles.push(prof);
-                    break;
+                    return MapTaskOutcome::Done {
+                        attempts,
+                        out,
+                        prof: Box::new(prof),
+                    };
                 }
                 Err(MapTaskError::Injected { virtual_elapsed }) => {
                     attempts.push(virtual_elapsed);
+                    let _ = std::fs::remove_dir_all(&attempt_dir);
                     attempt += 1;
                     if attempt >= cfg.max_attempts {
-                        return Err(io::Error::other(format!(
-                            "map task {t} failed {attempt} attempts"
-                        )));
+                        cancel.store(true, Ordering::Relaxed);
+                        return MapTaskOutcome::Exhausted { attempts: attempt };
                     }
                 }
-                Err(MapTaskError::Io(e)) => return Err(e),
+                Err(MapTaskError::Io(e)) => {
+                    cancel.store(true, Ordering::Relaxed);
+                    return MapTaskOutcome::Failed(e);
+                }
+                Err(MapTaskError::Cancelled) => return MapTaskOutcome::Cancelled,
             }
         }
-        attempt_durations.push(attempts);
+    };
+    let map_results = run_indexed(workers, splits.len(), run_one_map_task);
+
+    let mut map_outputs: Vec<MapOutput> = Vec::with_capacity(splits.len());
+    let mut map_profiles = Vec::with_capacity(splits.len());
+    // Per task: virtual durations of every attempt (failed attempts first).
+    let mut attempt_durations: Vec<Vec<VNanos>> = Vec::with_capacity(splits.len());
+    // Results arrive in task-id order; the first hard failure seen is the
+    // lowest-numbered one, matching the error a sequential run reports.
+    let mut failure: Option<io::Error> = None;
+    for (t, outcome) in map_results.into_iter().enumerate() {
+        match outcome {
+            MapTaskOutcome::Done {
+                attempts,
+                out,
+                prof,
+            } => {
+                attempt_durations.push(attempts);
+                map_outputs.push(out);
+                map_profiles.push(*prof);
+            }
+            MapTaskOutcome::Exhausted { attempts } => {
+                failure.get_or_insert_with(|| {
+                    io::Error::other(format!("map task {t} failed {attempts} attempts"))
+                });
+            }
+            MapTaskOutcome::Failed(e) => {
+                failure.get_or_insert(e);
+            }
+            MapTaskOutcome::Cancelled => {}
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
     }
 
     // ---- virtual-schedule the map phase ---------------------------------------
@@ -307,31 +461,75 @@ pub fn run_job(
             slot_free[node][slot] = span_end;
             prev_attempt_end = span_end;
         }
-        map_spans.push(TaskSpan { node, start: span_start, end: span_end });
+        map_spans.push(TaskSpan {
+            node,
+            start: span_start,
+            end: span_end,
+        });
     }
     let map_phase_end = map_spans.iter().map(|s| s.end).max().unwrap_or(0);
 
-    // ---- execute + schedule reduce tasks ---------------------------------------
-    let mut outputs = Vec::with_capacity(cfg.num_reducers);
-    let mut reduce_profiles = Vec::with_capacity(cfg.num_reducers);
-    let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
-    let mut shuffled_bytes = 0u64;
-    let mut rslot_free: Vec<Vec<VNanos>> =
-        vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
-    for r in 0..cfg.num_reducers {
-        let node = r % cluster.nodes;
+    // ---- execute reduce tasks (real) -------------------------------------------
+    // Reduce tasks are independent (each reads its own partition out of the
+    // map-output files, which are opened per read), so they run on the same
+    // pool. Each gets a private scratch directory for multi-pass merges.
+    let rcancel = AtomicBool::new(false);
+    let run_one_reduce_task = |r: usize| -> Option<io::Result<ReduceResult>> {
+        if rcancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        let scratch_dir = temp.join(format!("r{r}"));
+        if let Err(e) = std::fs::create_dir_all(&scratch_dir) {
+            rcancel.store(true, Ordering::Relaxed);
+            return Some(Err(e));
+        }
         let res = run_reduce_task(
             &job,
             &map_outputs,
             &cluster.network,
             &ReduceTaskConfig {
                 partition: r,
-                node,
+                node: r % cluster.nodes,
                 merge_fan_in: cluster.merge_fan_in,
-                scratch_dir: temp.clone(),
+                scratch_dir,
                 grouping: cfg.grouping,
             },
-        )?;
+        );
+        if res.is_err() {
+            rcancel.store(true, Ordering::Relaxed);
+        }
+        Some(res)
+    };
+    let reduce_results = run_indexed(workers, cfg.num_reducers, run_one_reduce_task);
+
+    // ---- virtual-schedule the reduce phase, in partition order -----------------
+    let mut outputs = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_profiles = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
+    let mut shuffled_bytes = 0u64;
+    let mut rslot_free: Vec<Vec<VNanos>> =
+        vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
+    let mut first_err: Option<io::Error> = None;
+    let mut results = Vec::with_capacity(cfg.num_reducers);
+    for slot in reduce_results {
+        match slot {
+            Some(Ok(res)) => results.push(res),
+            Some(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            None => {}
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    debug_assert_eq!(
+        results.len(),
+        cfg.num_reducers,
+        "reducer cancelled without an error"
+    );
+    for (r, res) in results.into_iter().enumerate() {
+        let node = r % cluster.nodes;
         let slot = (0..rslot_free[node].len())
             .min_by_key(|&s| rslot_free[node][s])
             .expect("at least one slot");
@@ -343,11 +541,15 @@ pub fn run_job(
         outputs.push(res.pairs);
         reduce_profiles.push(res.profile);
     }
-    let wall = reduce_spans.iter().map(|s| s.end).max().unwrap_or(map_phase_end);
+    let wall = reduce_spans
+        .iter()
+        .map(|s| s.end)
+        .max()
+        .unwrap_or(map_phase_end);
 
-    // Map outputs (and their files) are dropped here; spill dir cleanup.
+    // Map outputs (and their files) are dropped here; `_cleanup` removes
+    // the job's temp directory when `run_job` returns.
     drop(map_outputs);
-    let _ = std::fs::remove_dir_all(&temp);
 
     Ok(JobRun {
         outputs,
@@ -418,8 +620,14 @@ mod tests {
         let cluster = ClusterConfig::local();
         let mut dfs = SimDfs::new(cluster.nodes, 4096);
         dfs.put("corpus", corpus(500));
-        let run = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("corpus", 0)])
-            .unwrap();
+        let run = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("corpus", 0)],
+        )
+        .unwrap();
         let m = counts_of(&run);
         assert_eq!(m["common"], 500);
         assert_eq!(m["filler"], 500);
@@ -433,12 +641,21 @@ mod tests {
     fn results_identical_across_cluster_shapes() {
         let data = corpus(300);
         let mut runs = Vec::new();
-        for cluster in [ClusterConfig::single_node(), ClusterConfig::local(), ClusterConfig::ec2()] {
+        for cluster in [
+            ClusterConfig::single_node(),
+            ClusterConfig::local(),
+            ClusterConfig::ec2(),
+        ] {
             let mut dfs = SimDfs::new(cluster.nodes, 2048);
             dfs.put("c", data.clone());
-            let run =
-                run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
-                    .unwrap();
+            let run = run_job(
+                &cluster,
+                &JobConfig::default(),
+                Arc::new(WordSum),
+                &dfs,
+                &[("c", 0)],
+            )
+            .unwrap();
             runs.push(run.sorted_pairs());
         }
         assert_eq!(runs[0], runs[1]);
@@ -450,8 +667,14 @@ mod tests {
         let cluster = ClusterConfig::local();
         let mut dfs = SimDfs::new(cluster.nodes, 2048);
         dfs.put("c", corpus(200));
-        let clean = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
-            .unwrap();
+        let clean = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("c", 0)],
+        )
+        .unwrap();
         let mut cfg = JobConfig::default();
         cfg.fault_plan.insert(0, 3);
         cfg.fault_plan.insert(1, 1);
@@ -465,10 +688,85 @@ mod tests {
     }
 
     #[test]
+    fn parallel_execution_matches_sequential_bit_for_bit() {
+        let data = corpus(400);
+        let mut runs = Vec::new();
+        for workers in [1, 4] {
+            let cluster = ClusterConfig::local().with_worker_threads(workers);
+            let mut dfs = SimDfs::new(cluster.nodes, 2048);
+            dfs.put("c", data.clone());
+            let run = run_job(
+                &cluster,
+                &JobConfig::default(),
+                Arc::new(WordSum),
+                &dfs,
+                &[("c", 0)],
+            )
+            .unwrap();
+            runs.push(run);
+        }
+        assert_eq!(runs[0].outputs, runs[1].outputs);
+        // Profiles are collected in task-id order regardless of which worker
+        // finished first: the per-task structural counters line up exactly.
+        let (seq, par) = (&runs[0].profile, &runs[1].profile);
+        assert_eq!(seq.map_tasks.len(), par.map_tasks.len());
+        for (s, p) in seq.map_tasks.iter().zip(&par.map_tasks) {
+            assert_eq!(s.input_records, p.input_records);
+            assert_eq!(s.emitted_records, p.emitted_records);
+            assert_eq!(s.output_bytes, p.output_bytes);
+            assert_eq!(s.spills.len(), p.spills.len());
+        }
+        assert_eq!(seq.shuffled_bytes, par.shuffled_bytes);
+    }
+
+    #[test]
+    fn parallel_retries_match_sequential_and_do_not_collide() {
+        let data = corpus(300);
+        let mut cfg = JobConfig::default();
+        // Fail the first attempt of several tasks at once so retries and
+        // healthy tasks share the pool (and the job temp dir) concurrently.
+        for t in 0..6 {
+            cfg.fault_plan.insert(t, 2);
+        }
+        let mut pairs = Vec::new();
+        for workers in [1, 4] {
+            let cluster = ClusterConfig::local().with_worker_threads(workers);
+            let mut dfs = SimDfs::new(cluster.nodes, 2048);
+            dfs.put("c", data.clone());
+            let run = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+            pairs.push(run.sorted_pairs());
+        }
+        assert_eq!(pairs[0], pairs[1]);
+    }
+
+    #[test]
+    fn parallel_abort_on_exhausted_retries_terminates_promptly() {
+        let cluster = ClusterConfig::local().with_worker_threads(4);
+        let mut dfs = SimDfs::new(cluster.nodes, 1024);
+        dfs.put("c", corpus(400));
+        let mut cfg = JobConfig {
+            max_attempts: 1,
+            ..JobConfig::default()
+        };
+        cfg.fault_plan.insert(2, 1);
+        let err = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap_err();
+        assert!(
+            err.to_string().contains("map task 2 failed 1 attempts"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
     fn missing_input_errors() {
         let cluster = ClusterConfig::single_node();
         let dfs = SimDfs::new(1, 1024);
-        let err = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("nope", 0)]);
+        let err = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("nope", 0)],
+        );
         assert!(err.is_err());
     }
 
@@ -478,10 +776,18 @@ mod tests {
         cluster.spill_buffer_bytes = 64 << 10;
         let mut dfs = SimDfs::new(cluster.nodes, 4096);
         dfs.put("c", corpus(400));
-        let sorted = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
-            .unwrap();
-        let mut cfg = JobConfig::default();
-        cfg.grouping = Grouping::Hash;
+        let sorted = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("c", 0)],
+        )
+        .unwrap();
+        let cfg = JobConfig {
+            grouping: Grouping::Hash,
+            ..JobConfig::default()
+        };
         let hashed = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
         // Same multiset of results (hash grouping does not sort output).
         assert_eq!(sorted.sorted_pairs(), hashed.sorted_pairs());
@@ -502,11 +808,23 @@ mod tests {
         cluster.spill_buffer_bytes = 64 << 10;
         let mut dfs = SimDfs::new(cluster.nodes, 4096);
         dfs.put("c", corpus(400));
-        let plain = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
-            .unwrap();
+        let plain = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("c", 0)],
+        )
+        .unwrap();
         cluster.compress_map_output = true;
-        let packed = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
-            .unwrap();
+        let packed = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("c", 0)],
+        )
+        .unwrap();
         assert_eq!(plain.sorted_pairs(), packed.sorted_pairs());
         assert!(
             packed.profile.shuffled_bytes < plain.profile.shuffled_bytes,
@@ -521,8 +839,14 @@ mod tests {
         let cluster = ClusterConfig::local();
         let mut dfs = SimDfs::new(cluster.nodes, 2048);
         dfs.put("c", corpus(100));
-        let run = run_job(&cluster, &JobConfig::default(), Arc::new(WordSum), &dfs, &[("c", 0)])
-            .unwrap();
+        let run = run_job(
+            &cluster,
+            &JobConfig::default(),
+            Arc::new(WordSum),
+            &dfs,
+            &[("c", 0)],
+        )
+        .unwrap();
         for span in &run.profile.reduce_spans {
             assert!(span.start >= run.profile.map_phase_end);
         }

@@ -160,7 +160,12 @@ mod tests {
     fn fixed_spill_never_adapts() {
         let mut c = FixedSpill(0.8);
         assert_eq!(c.initial_fraction(), 0.8);
-        let obs = SpillObservation { bytes: 100, produce_ns: 10, consume_ns: 90, capacity: 1000 };
+        let obs = SpillObservation {
+            bytes: 100,
+            produce_ns: 10,
+            consume_ns: 90,
+            capacity: 1000,
+        };
         assert_eq!(c.next_fraction(&obs), 0.8);
     }
 

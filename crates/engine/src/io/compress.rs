@@ -140,7 +140,11 @@ mod tests {
     fn repetitive_data_compresses_well() {
         let data: Vec<u8> = b"the quick brown fox ".repeat(200);
         let c = compress(&data);
-        assert!(c.len() * 4 < data.len(), "ratio {:.2}", c.len() as f64 / data.len() as f64);
+        assert!(
+            c.len() * 4 < data.len(),
+            "ratio {:.2}",
+            c.len() as f64 / data.len() as f64
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -156,7 +160,11 @@ mod tests {
             );
         }
         let c = compress(&data);
-        assert!(c.len() * 2 < data.len(), "ratio {:.2}", c.len() as f64 / data.len() as f64);
+        assert!(
+            c.len() * 2 < data.len(),
+            "ratio {:.2}",
+            c.len() as f64 / data.len() as f64
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

@@ -56,7 +56,11 @@ impl SimDfs {
     pub fn new(nodes: usize, block_size: usize) -> Self {
         assert!(nodes > 0, "DFS needs at least one node");
         assert!(block_size > 0, "block size must be positive");
-        SimDfs { nodes, block_size, files: HashMap::new() }
+        SimDfs {
+            nodes,
+            block_size,
+            files: HashMap::new(),
+        }
     }
 
     /// Number of nodes.
@@ -77,7 +81,11 @@ impl SimDfs {
         let placements = (0..blocks).map(|b| (start_node + b) % self.nodes).collect();
         self.files.insert(
             name.to_string(),
-            DfsFile { data: Arc::new(data), placements, block_size: self.block_size },
+            DfsFile {
+                data: Arc::new(data),
+                placements,
+                block_size: self.block_size,
+            },
         );
     }
 

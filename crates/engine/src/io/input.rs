@@ -88,7 +88,13 @@ impl<'a> SplitReader<'a> {
                 pos += 1;
             }
         }
-        SplitReader { data, pos, end: split.end, source: split.source, key_buf: [0; 8] }
+        SplitReader {
+            data,
+            pos,
+            end: split.end,
+            source: split.source,
+            key_buf: [0; 8],
+        }
     }
 
     /// Next record, or `None` at the end of the split.
@@ -106,7 +112,11 @@ impl<'a> SplitReader<'a> {
         let line = &self.data[line_start..i];
         self.pos = if i < self.data.len() { i + 1 } else { i };
         self.key_buf = encode_u64(line_start as u64);
-        Some(Record { key: &self.key_buf, value: line, source: self.source })
+        Some(Record {
+            key: &self.key_buf,
+            value: line,
+            source: self.source,
+        })
     }
 }
 
@@ -136,7 +146,7 @@ mod tests {
         let text = "alpha\nbee\ncderation\nx\nlongerline\nz\n";
         for block in 1..=text.len() {
             let splits = splits_of(text, block, 3);
-            let mut got: Vec<String> = splits.iter().flat_map(|s| read_all(s)).collect();
+            let mut got: Vec<String> = splits.iter().flat_map(read_all).collect();
             let want: Vec<String> = text.lines().map(str::to_string).collect();
             got.sort();
             let mut want_sorted = want.clone();

@@ -37,7 +37,11 @@ pub struct SpillFile {
 impl SpillFile {
     /// Open a writer creating `path` (truncates any existing file).
     pub fn create(path: PathBuf) -> io::Result<SpillFileWriter> {
-        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
         Ok(SpillFileWriter {
             w: BufWriter::new(file),
             path,
@@ -112,9 +116,17 @@ impl SpillFileWriter {
     pub fn start_partition(&mut self, part: usize) -> io::Result<()> {
         self.finish_partition()?;
         if let Some(last) = self.index.last() {
-            assert!(part > last.part, "partitions must be written in ascending order");
+            assert!(
+                part > last.part,
+                "partitions must be written in ascending order"
+            );
         }
-        self.cur = Some(PartIndex { part, offset: self.offset, len: 0, records: 0 });
+        self.cur = Some(PartIndex {
+            part,
+            offset: self.offset,
+            len: 0,
+            records: 0,
+        });
         Ok(())
     }
 
@@ -123,7 +135,10 @@ impl SpillFileWriter {
     /// # Panics
     /// Panics if no partition has been started.
     pub fn write_record(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
-        let cur = self.cur.as_mut().expect("write_record before start_partition");
+        let cur = self
+            .cur
+            .as_mut()
+            .expect("write_record before start_partition");
         self.buf.clear();
         write_record(&mut self.buf, key, value);
         self.w.write_all(&self.buf)?;
@@ -135,7 +150,12 @@ impl SpillFileWriter {
 
     /// Write one partition as a single pre-encoded blob (e.g. a compressed
     /// run). `records` is the logical record count the blob carries.
-    pub fn write_raw_partition(&mut self, part: usize, data: &[u8], records: u64) -> io::Result<()> {
+    pub fn write_raw_partition(
+        &mut self,
+        part: usize,
+        data: &[u8],
+        records: u64,
+    ) -> io::Result<()> {
         self.start_partition(part)?;
         let cur = self.cur.as_mut().expect("partition just started");
         self.w.write_all(data)?;
@@ -160,7 +180,12 @@ impl SpillFileWriter {
         self.w.flush()?;
         let total_bytes = self.index.iter().map(|e| e.len).sum();
         let total_records = self.index.iter().map(|e| e.records).sum();
-        Ok(SpillFile { path: self.path, index: self.index, total_bytes, total_records })
+        Ok(SpillFile {
+            path: self.path,
+            index: self.index,
+            total_bytes,
+            total_records,
+        })
     }
 }
 

@@ -206,7 +206,14 @@ mod tests {
     fn map_emits_words() {
         let job = SumJob;
         let mut sink = VecEmit::default();
-        job.map(&Record { key: b"", value: b"a b a", source: 0 }, &mut sink);
+        job.map(
+            &Record {
+                key: b"",
+                value: b"a b a",
+                source: 0,
+            },
+            &mut sink,
+        );
         assert_eq!(sink.pairs.len(), 3);
         assert_eq!(sink.pairs[0].0, b"a");
     }
@@ -257,7 +264,14 @@ mod tests {
         let job = SumJob;
         let mut count = 0usize;
         let mut emit = |_k: &[u8], _v: &[u8]| count += 1;
-        job.map(&Record { key: b"", value: b"x y", source: 0 }, &mut emit);
+        job.map(
+            &Record {
+                key: b"",
+                value: b"x y",
+                source: 0,
+            },
+            &mut emit,
+        );
         assert_eq!(count, 2);
     }
 }

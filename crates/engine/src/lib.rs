@@ -70,8 +70,8 @@ pub mod prelude {
     pub use crate::cluster::{run_job, ClusterConfig, JobConfig, JobRun};
     pub use crate::codec::{decode_f64, decode_u64, encode_f64, encode_u64};
     pub use crate::controller::{
-        fixed_spill_factory, EmitFilter, FilterCtx, FixedSpill, SpillController,
-        SpillObservation, TaskCtx,
+        fixed_spill_factory, EmitFilter, FilterCtx, FixedSpill, SpillController, SpillObservation,
+        TaskCtx,
     };
     pub use crate::io::dfs::SimDfs;
     pub use crate::job::{Emit, Job, Record, ValueCursor, ValueSink};

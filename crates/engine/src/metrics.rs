@@ -93,8 +93,15 @@ impl Op {
     /// The phase this operation belongs to.
     pub fn phase(self) -> Phase {
         match self {
-            Op::Read | Op::Map | Op::Emit | Op::Sort | Op::Combine | Op::SpillWrite
-            | Op::Merge | Op::MapIdle | Op::SupportIdle => Phase::Map,
+            Op::Read
+            | Op::Map
+            | Op::Emit
+            | Op::Sort
+            | Op::Combine
+            | Op::SpillWrite
+            | Op::Merge
+            | Op::MapIdle
+            | Op::SupportIdle => Phase::Map,
             Op::ShuffleFetch => Phase::Shuffle,
             Op::ReduceMerge | Op::Reduce | Op::OutputWrite => Phase::Reduce,
         }
@@ -215,11 +222,46 @@ impl OpTimes {
         let total = self.total_work().max(1) as f64;
         let mut out = [(Op::Read, 0.0); NUM_OPS];
         for (slot, op) in out.iter_mut().zip(Op::ALL) {
-            let v = if op.is_idle() { 0.0 } else { self.get(op) as f64 / total };
+            let v = if op.is_idle() {
+                0.0
+            } else {
+                self.get(op) as f64 / total
+            };
             *slot = (op, v);
         }
         out
     }
+}
+
+/// Timing-free summary of one task's profile: the counters and byte totals
+/// that depend only on the input data and the job configuration, never on
+/// measured wall-clock time. For a timing-independent configuration (fixed
+/// spill fraction, no adaptive controller) these are identical across runs
+/// and across sequential vs pooled execution — the determinism tests
+/// compare them to prove the worker pool changes nothing observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSignature {
+    /// Input records consumed.
+    pub input_records: u64,
+    /// Records emitted by user `map()` code.
+    pub emitted_records: u64,
+    /// Records absorbed by the frequency buffer.
+    pub freq_absorbed_records: u64,
+    /// Bytes in the final merged output.
+    pub output_bytes: u64,
+    /// Per-spill `(bytes, records, records_after_combine)`, in order.
+    pub spills: Vec<(usize, usize, usize)>,
+}
+
+/// Timing-free summary of a whole job run (see [`TaskSignature`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSignature {
+    /// Map-task signatures, in task-id order.
+    pub map_tasks: Vec<TaskSignature>,
+    /// Reduce-task signatures, in partition order.
+    pub reduce_tasks: Vec<TaskSignature>,
+    /// Total intermediate bytes shuffled across the virtual network.
+    pub shuffled_bytes: u64,
 }
 
 /// Statistics of one spill produced by a map task.
@@ -270,6 +312,21 @@ pub struct TaskProfile {
 }
 
 impl TaskProfile {
+    /// The timing-free part of this profile (see [`TaskSignature`]).
+    pub fn signature(&self) -> TaskSignature {
+        TaskSignature {
+            input_records: self.input_records,
+            emitted_records: self.emitted_records,
+            freq_absorbed_records: self.freq_absorbed_records,
+            output_bytes: self.output_bytes,
+            spills: self
+                .spills
+                .iter()
+                .map(|s| (s.bytes, s.records, s.records_after_combine))
+                .collect(),
+        }
+    }
+
     /// Idle fraction of the map thread over the pipelined portion of the
     /// task (Table II's "Map, Idle").
     pub fn map_idle_fraction(&self) -> f64 {
@@ -336,6 +393,19 @@ pub struct JobProfile {
 }
 
 impl JobProfile {
+    /// The timing-free part of this profile (see [`JobSignature`]).
+    pub fn signature(&self) -> JobSignature {
+        JobSignature {
+            map_tasks: self.map_tasks.iter().map(TaskProfile::signature).collect(),
+            reduce_tasks: self
+                .reduce_tasks
+                .iter()
+                .map(TaskProfile::signature)
+                .collect(),
+            shuffled_bytes: self.shuffled_bytes,
+        }
+    }
+
     /// Sum of all operation times across all tasks.
     pub fn total_ops(&self) -> OpTimes {
         let mut agg = OpTimes::new();
@@ -476,12 +546,55 @@ mod tests {
     }
 
     #[test]
+    fn profiles_are_plain_send_sync_data() {
+        // Task results cross worker-thread boundaries in the parallel
+        // driver; these types must stay plain data.
+        fn check<T: Send + Sync>() {}
+        check::<OpTimes>();
+        check::<SpillStat>();
+        check::<TaskProfile>();
+        check::<TaskSpan>();
+        check::<JobProfile>();
+        check::<TaskSignature>();
+        check::<JobSignature>();
+    }
+
+    #[test]
+    fn signatures_strip_timing() {
+        let mut t = TaskProfile {
+            input_records: 3,
+            emitted_records: 9,
+            ..Default::default()
+        };
+        t.ops.add_nanos(Op::Map, 1234); // timing must not appear in the signature
+        t.spills.push(SpillStat {
+            bytes: 100,
+            records: 9,
+            records_after_combine: 4,
+            produce_ns: 55,
+            consume_ns: 66,
+            fraction: 0.8,
+        });
+        let sig = t.signature();
+        assert_eq!(sig.input_records, 3);
+        assert_eq!(sig.spills, vec![(100, 9, 4)]);
+        let mut later = t.clone();
+        later.ops.add_nanos(Op::Sort, 999);
+        later.spills[0].produce_ns = 1;
+        assert_eq!(sig, later.signature());
+    }
+
+    #[test]
     fn job_profile_aggregation() {
         let mut a = TaskProfile::default();
         a.ops.add_nanos(Op::Map, 5);
         let mut b = TaskProfile::default();
         b.ops.add_nanos(Op::Reduce, 7);
-        let p = JobProfile { map_tasks: vec![a], reduce_tasks: vec![b], ..Default::default() };
+        let p = JobProfile {
+            map_tasks: vec![a],
+            reduce_tasks: vec![b],
+            ..Default::default()
+        };
         let agg = p.total_ops();
         assert_eq!(agg.get(Op::Map), 5);
         assert_eq!(agg.get(Op::Reduce), 7);

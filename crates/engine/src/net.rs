@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn remote_transfer_scales_with_bytes() {
-        let net = NetworkConfig { bandwidth_bytes_per_sec: 1_000_000, latency_ns: 1000 };
+        let net = NetworkConfig {
+            bandwidth_bytes_per_sec: 1_000_000,
+            latency_ns: 1000,
+        };
         let t1 = net.transfer_ns(0, 1, 1_000_000); // 1 s + latency
         assert_eq!(t1, 1_000_000_000 + 1000);
         let t2 = net.transfer_ns(0, 1, 2_000_000);
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_does_not_divide_by_zero() {
-        let net = NetworkConfig { bandwidth_bytes_per_sec: 0, latency_ns: 5 };
+        let net = NetworkConfig {
+            bandwidth_bytes_per_sec: 0,
+            latency_ns: 5,
+        };
         let _ = net.transfer_ns(0, 1, 100);
     }
 }

@@ -12,6 +12,9 @@ use crate::io::input::{InputSplit, SplitReader};
 use crate::job::{Job, SliceValues, VecEmit};
 use std::io;
 
+/// `(key, value)` pairs per partition, as produced by [`reference_run`].
+pub type PartitionedPairs = Vec<Vec<(Vec<u8>, Vec<u8>)>>;
+
 /// Run `job` sequentially over the named inputs. Returns `(key, value)`
 /// pairs per partition, key-sorted — directly comparable with
 /// `JobRun::outputs` modulo value order inside multi-value reduces.
@@ -20,13 +23,13 @@ pub fn reference_run(
     dfs: &SimDfs,
     inputs: &[(&str, u8)],
     num_partitions: usize,
-) -> io::Result<Vec<Vec<(Vec<u8>, Vec<u8>)>>> {
+) -> io::Result<PartitionedPairs> {
     // Map everything.
     let mut intermediate: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
     for (name, source) in inputs {
-        let file = dfs
-            .get(name)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no DFS file {name}")))?;
+        let file = dfs.get(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no DFS file {name}"))
+        })?;
         for split in InputSplit::from_file(file, *source) {
             let mut reader = SplitReader::new(&split);
             while let Some(rec) = reader.next() {
@@ -56,7 +59,10 @@ pub fn reference_run(
         {
             j += 1;
         }
-        let values: Vec<&[u8]> = intermediate[i..j].iter().map(|(_, _, v)| v.as_slice()).collect();
+        let values: Vec<&[u8]> = intermediate[i..j]
+            .iter()
+            .map(|(_, _, v)| v.as_slice())
+            .collect();
         let mut cursor = SliceValues::new(&values);
         let mut sink = VecEmit::default();
         job.reduce(key, &mut cursor, &mut sink);
@@ -120,8 +126,7 @@ mod tests {
         }
         dfs.put("c", data);
         let cfg = JobConfig::default();
-        let engine =
-            run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+        let engine = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
         let reference = reference_run(&WordSum, &dfs, &[("c", 0)], cfg.num_reducers).unwrap();
         assert_eq!(engine.sorted_pairs(), flatten_sorted(&reference));
     }

@@ -19,6 +19,7 @@ use crate::task::segment::Segment;
 use crate::task::spill::spill_segment;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Lower clamp for controller-proposed spill fractions; guards against a
@@ -49,6 +50,11 @@ pub struct MapTaskConfig {
     /// Fault injection: abort (as a task failure) after this many input
     /// records.
     pub fail_after_records: Option<u64>,
+    /// Cooperative cancellation token, set by the driver when the job is
+    /// aborting (another task exhausted its retries or hit an I/O error).
+    /// Checked between input records so a doomed job does not keep worker
+    /// threads busy.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// A finished map task's output, fetchable by partition during shuffle.
@@ -74,6 +80,10 @@ pub enum MapTaskError {
         /// Virtual nanoseconds elapsed at the point of failure.
         virtual_elapsed: VNanos,
     },
+    /// The driver cancelled the job while this attempt was running; the
+    /// attempt's partial state is discarded without being counted as a
+    /// task failure.
+    Cancelled,
 }
 
 impl From<io::Error> for MapTaskError {
@@ -122,7 +132,9 @@ impl<'a> SpillPath<'a> {
         if self.seg.is_empty() || self.io_error.is_some() {
             return;
         }
-        let path = self.spill_dir.join(format!("t{}_s{}.spill", self.task_id, self.spills.len()));
+        let path = self
+            .spill_dir
+            .join(format!("t{}_s{}.spill", self.task_id, self.spills.len()));
         match spill_segment(&self.seg, self.job, path) {
             Ok(out) => {
                 self.ops.add_nanos(Op::Sort, out.sort_ns);
@@ -194,6 +206,11 @@ impl<'a> Emit for MapEmitter<'a> {
     }
 }
 
+#[inline]
+fn is_cancelled(cancel: &Option<Arc<AtomicBool>>) -> bool {
+    cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed))
+}
+
 /// Run one map task over `split`.
 pub fn run_map_task(
     job: &Arc<dyn Job>,
@@ -216,7 +233,13 @@ pub fn run_map_task(
         consume_pending_ns: 0,
         io_error: None,
     };
-    let mut emitter = MapEmitter { path, filter: cfg.filter, emit_ns: 0, handover_ns: 0, emitted: 0 };
+    let mut emitter = MapEmitter {
+        path,
+        filter: cfg.filter,
+        emit_ns: 0,
+        handover_ns: 0,
+        emitted: 0,
+    };
 
     // ---- producer loop: read → map → emit ---------------------------------
     let mut reader = SplitReader::new(split);
@@ -236,14 +259,23 @@ pub fn run_map_task(
         let handover_ns = std::mem::take(&mut emitter.handover_ns);
         // Combine work performed inside the filter is user code: report it
         // under `combine`, not `emit` (it remains producer-side time).
-        let filter_combine_ns =
-            emitter.filter.as_mut().map_or(0, |f| f.take_user_combine_ns()).min(emit_ns);
+        let filter_combine_ns = emitter
+            .filter
+            .as_mut()
+            .map_or(0, |f| f.take_user_combine_ns())
+            .min(emit_ns);
         let ops = &mut emitter.path.ops;
         ops.add_nanos(Op::Read, read_ns);
         ops.add_nanos(Op::Emit, emit_ns - filter_combine_ns);
         ops.add_nanos(Op::Combine, filter_combine_ns);
-        ops.add_nanos(Op::Map, total_ns.saturating_sub(read_ns + emit_ns + handover_ns));
-        emitter.path.pipeline.produce(total_ns.saturating_sub(handover_ns));
+        ops.add_nanos(
+            Op::Map,
+            total_ns.saturating_sub(read_ns + emit_ns + handover_ns),
+        );
+        emitter
+            .path
+            .pipeline
+            .produce(total_ns.saturating_sub(handover_ns));
 
         if let Some(e) = emitter.path.io_error.take() {
             return Err(e.into());
@@ -252,6 +284,9 @@ pub fn run_map_task(
             return Err(MapTaskError::Injected {
                 virtual_elapsed: emitter.path.pipeline.pipeline_end(),
             });
+        }
+        if is_cancelled(&cfg.cancel) {
+            return Err(MapTaskError::Cancelled);
         }
     }
 
@@ -280,12 +315,17 @@ pub fn run_map_task(
     let pipeline_end = path.pipeline.pipeline_end();
 
     // ---- merge spills into the map output -----------------------------------
+    if is_cancelled(&cfg.cancel) {
+        return Err(MapTaskError::Cancelled);
+    }
     let sw_merge = Stopwatch::start();
     let mut combine_in_merge_ns = 0u64;
     let out_path = cfg.spill_dir.join(format!("t{}_out.bin", cfg.task_id));
     let mut writer = SpillFile::create(out_path)?;
     let has_combiner = job.has_combiner();
-    let scratch = cfg.spill_dir.join(format!("t{}_mergescratch.bin", cfg.task_id));
+    let scratch = cfg
+        .spill_dir
+        .join(format!("t{}_mergescratch.bin", cfg.task_id));
     for part in 0..cfg.num_partitions {
         let runs: Vec<Vec<u8>> = path
             .spills
@@ -362,7 +402,10 @@ pub fn run_map_task(
     }
     let file = writer.finish()?;
     let merge_total_ns = sw_merge.elapsed_ns();
-    path.ops.add_nanos(Op::Merge, merge_total_ns.saturating_sub(combine_in_merge_ns));
+    path.ops.add_nanos(
+        Op::Merge,
+        merge_total_ns.saturating_sub(combine_in_merge_ns),
+    );
     path.ops.add_nanos(Op::Combine, combine_in_merge_ns);
 
     // ---- profile -------------------------------------------------------------
@@ -379,7 +422,14 @@ pub fn run_map_task(
         freq_absorbed_records: freq_absorbed,
         output_bytes: file.total_bytes(),
     };
-    Ok((MapOutput { file, node: cfg.node, compressed: cfg.compress_output }, profile))
+    Ok((
+        MapOutput {
+            file,
+            node: cfg.node,
+            compressed: cfg.compress_output,
+        },
+        profile,
+    ))
 }
 
 #[cfg(test)]
@@ -443,6 +493,7 @@ mod tests {
             compress_output: false,
             spill_dir: tmpdir(),
             fail_after_records: None,
+            cancel: None,
         }
     }
 
@@ -476,26 +527,34 @@ mod tests {
 
     #[test]
     fn tiny_buffer_forces_many_spills_same_result() {
-        let text: String = (0..200).map(|i| format!("w{} common x\n", i % 17)).collect();
+        let text: String = (0..200)
+            .map(|i| format!("w{} common x\n", i % 17))
+            .collect();
         let split = one_split(&text);
         let job: Arc<dyn Job> = Arc::new(WordSum);
-        let (out_big, _) = run_map_task(&job, &split, cfg(1 << 22)).map_err(|e| format!("{e:?}")).unwrap();
+        let (out_big, _) = run_map_task(&job, &split, cfg(1 << 22))
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
         let mut small = cfg(512);
         small.task_id = 1;
-        let (out_small, prof_small) =
-            run_map_task(&job, &split, small).map_err(|e| format!("{e:?}")).unwrap();
-        assert!(prof_small.spills.len() > 3, "expected many spills, got {}", prof_small.spills.len());
+        let (out_small, prof_small) = run_map_task(&job, &split, small)
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
+        assert!(
+            prof_small.spills.len() > 3,
+            "expected many spills, got {}",
+            prof_small.spills.len()
+        );
         assert_eq!(output_counts(&out_big, 2), output_counts(&out_small, 2));
     }
 
     #[test]
     fn combiner_shrinks_output() {
-        let text: String = std::iter::repeat("the the the the\n").take(100).collect();
+        let text: String = "the the the the\n".repeat(100);
         let split = one_split(&text);
-        let (out, prof) =
-            run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(1 << 20))
-                .map_err(|e| format!("{e:?}"))
-                .unwrap();
+        let (out, prof) = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(1 << 20))
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
         assert_eq!(prof.emitted_records, 400);
         assert_eq!(out.file.total_records(), 1);
         let counts = output_counts(&out, 2);
@@ -515,8 +574,19 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_task_stops_early() {
+        let split = one_split("a b\nc d\ne f\n");
+        let mut c = cfg(1 << 20);
+        c.cancel = Some(Arc::new(AtomicBool::new(true)));
+        let err = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, c).unwrap_err();
+        assert!(matches!(err, MapTaskError::Cancelled), "got {err:?}");
+    }
+
+    #[test]
     fn profile_times_are_consistent() {
-        let text: String = (0..500).map(|i| format!("word{} b c d e\n", i % 29)).collect();
+        let text: String = (0..500)
+            .map(|i| format!("word{} b c d e\n", i % 29))
+            .collect();
         let split = one_split(&text);
         let (_, prof) = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, cfg(4096))
             .map_err(|e| format!("{e:?}"))
@@ -527,7 +597,9 @@ mod tests {
         let consume_sum: u64 = prof.spills.iter().map(|s| s.consume_ns).sum();
         assert_eq!(prof.consume_busy, consume_sum);
         // Spilled bytes equal total emitted payload + metadata.
-        assert!(prof.spills.iter().map(|s| s.records).sum::<usize>() as u64 == prof.emitted_records);
+        assert!(
+            prof.spills.iter().map(|s| s.records).sum::<usize>() as u64 == prof.emitted_records
+        );
     }
 
     #[test]

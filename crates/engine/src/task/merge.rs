@@ -21,7 +21,13 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(data: &'a [u8]) -> Self {
-        let mut c = Cursor { data, key: b"", val: b"", next_pos: 0, exhausted: false };
+        let mut c = Cursor {
+            data,
+            key: b"",
+            val: b"",
+            next_pos: 0,
+            exhausted: false,
+        };
         c.advance();
         c
     }
@@ -47,8 +53,11 @@ impl<'a> Cursor<'a> {
 ///
 /// Records inside each run must already be sorted by `cmp`; this is
 /// guaranteed for spill files and map outputs produced by this engine.
-pub fn merge_grouped<'a, F>(runs: &'a [Vec<u8>], cmp: &dyn Fn(&[u8], &[u8]) -> Ordering, mut on_group: F)
-where
+pub fn merge_grouped<'a, F>(
+    runs: &'a [Vec<u8>],
+    cmp: &dyn Fn(&[u8], &[u8]) -> Ordering,
+    mut on_group: F,
+) where
     F: FnMut(&'a [u8], &[&'a [u8]]),
 {
     let mut cursors: Vec<Cursor<'a>> = runs.iter().map(|r| Cursor::new(r)).collect();
@@ -145,7 +154,12 @@ pub fn reduce_to_fan_in(
         runs.push(merged);
     }
     let _ = std::fs::remove_file(scratch);
-    Ok(MultiPassOutcome { runs, combine_ns, io_ns, passes })
+    Ok(MultiPassOutcome {
+        runs,
+        combine_ns,
+        io_ns,
+        passes,
+    })
 }
 
 /// Count records in a framed run (diagnostics/tests).
@@ -176,7 +190,9 @@ mod tests {
         merge_grouped(runs, &|a, b| a.cmp(b), |k, vs| {
             out.push((
                 String::from_utf8(k.to_vec()).unwrap(),
-                vs.iter().map(|v| String::from_utf8(v.to_vec()).unwrap()).collect(),
+                vs.iter()
+                    .map(|v| String::from_utf8(v.to_vec()).unwrap())
+                    .collect(),
             ));
         });
         out
@@ -261,7 +277,9 @@ mod tests {
 
         /// 25 single-record runs with distinct sorted keys.
         fn many_runs() -> Vec<Vec<u8>> {
-            (0..25).map(|i| run_of(&[(&format!("k{i:02}"), "v")])).collect()
+            (0..25)
+                .map(|i| run_of(&[(&format!("k{i:02}"), "v")]))
+                .collect()
         }
 
         #[test]
@@ -309,7 +327,12 @@ mod tests {
                 fn has_combiner(&self) -> bool {
                     true
                 }
-                fn combine(&self, _k: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+                fn combine(
+                    &self,
+                    _k: &[u8],
+                    values: &mut dyn ValueCursor,
+                    out: &mut dyn ValueSink,
+                ) {
                     let mut s = 0;
                     while let Some(v) = values.next() {
                         s += decode_u64(v).unwrap();

@@ -2,9 +2,9 @@
 //!
 //! This is the executable form of the paper's Section IV-C model. Per map
 //! task, a *producer* (the map thread: read + map + emit) fills a spill
-//! buffer of capacity `M`; a *consumer* (the support thread: sort + combine
-//! + spill write) drains it one segment at a time. The spill fraction `x`
-//! controls when the active segment is handed over:
+//! buffer of capacity `M`; a *consumer* (the support thread: sort, combine
+//! and spill write) drains it one segment at a time. The spill fraction
+//! `x` controls when the active segment is handed over.
 //!
 //! * handover happens when the active segment reaches `x·M` **and** the
 //!   consumer is idle — while the consumer is busy the segment keeps
@@ -69,7 +69,10 @@ impl Pipeline {
     /// Panics if `capacity == 0` or `fraction` is not in `(0, 1]`.
     pub fn new(capacity: usize, fraction: f64) -> Self {
         assert!(capacity > 0, "spill buffer capacity must be positive");
-        assert!(fraction > 0.0 && fraction <= 1.0, "spill fraction must be in (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "spill fraction must be in (0,1]"
+        );
         Pipeline {
             capacity,
             fraction,
@@ -98,7 +101,10 @@ impl Pipeline {
     /// Set the spill fraction for the *next* segment (controllers call this
     /// through the map task after each spill).
     pub fn set_fraction(&mut self, x: f64) {
-        assert!(x > 0.0 && x <= 1.0, "spill fraction must be in (0,1], got {x}");
+        assert!(
+            x > 0.0 && x <= 1.0,
+            "spill fraction must be in (0,1], got {x}"
+        );
         self.fraction = x;
     }
 
@@ -177,7 +183,10 @@ impl Pipeline {
     /// its idle gap since finishing the previous segment is accounted as
     /// consumer wait.
     pub fn handover(&mut self, consume_ns: u64) -> (usize, u64) {
-        debug_assert!(self.v_producer >= self.consumer_busy_until, "handover while consumer busy");
+        debug_assert!(
+            self.v_producer >= self.consumer_busy_until,
+            "handover while consumer busy"
+        );
         let seg_bytes = self.active_bytes;
         let produce_ns = self.produce_busy - self.segment_produce_start;
         self.consumer_wait += self.v_producer - self.consumer_busy_until;

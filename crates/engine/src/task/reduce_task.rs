@@ -121,22 +121,29 @@ pub fn run_reduce_task(
     }
 
     let sw_all = Stopwatch::start();
-    let mut sink = ReduceSink { pairs: Vec::new(), out_buf: Vec::new(), write_ns: 0 };
+    let mut sink = ReduceSink {
+        pairs: Vec::new(),
+        out_buf: Vec::new(),
+        write_ns: 0,
+    };
     let mut reduce_ns = 0u64;
     let mut input_records = 0u64;
     let mut intermediate_combine_ns = 0u64;
-    let reduce_group = |key: &[u8], values: &[&[u8]], sink: &mut ReduceSink, reduce_ns: &mut u64| {
-        let write_before = sink.write_ns;
-        let sw_r = Stopwatch::start();
-        let mut cursor = SliceValues::new(values);
-        job.reduce(key, &mut cursor, sink);
-        let group_ns = sw_r.elapsed_ns();
-        *reduce_ns += group_ns.saturating_sub(sink.write_ns - write_before);
-    };
+    let reduce_group =
+        |key: &[u8], values: &[&[u8]], sink: &mut ReduceSink, reduce_ns: &mut u64| {
+            let write_before = sink.write_ns;
+            let sw_r = Stopwatch::start();
+            let mut cursor = SliceValues::new(values);
+            job.reduce(key, &mut cursor, sink);
+            let group_ns = sw_r.elapsed_ns();
+            *reduce_ns += group_ns.saturating_sub(sink.write_ns - write_before);
+        };
     match cfg.grouping {
         Grouping::Sort => {
             // ---- multi-pass merge down to the fan-in limit ------------------
-            let scratch = cfg.scratch_dir.join(format!("r{partition}_mergescratch.bin"));
+            let scratch = cfg
+                .scratch_dir
+                .join(format!("r{partition}_mergescratch.bin"));
             let multi = crate::task::merge::reduce_to_fan_in(
                 runs,
                 job.as_ref(),
@@ -178,8 +185,7 @@ pub fn run_reduce_task(
     }
     let total_ns = sw_all.elapsed_ns();
     let write_ns = sink.write_ns;
-    let merge_ns =
-        total_ns.saturating_sub(reduce_ns + write_ns + intermediate_combine_ns);
+    let merge_ns = total_ns.saturating_sub(reduce_ns + write_ns + intermediate_combine_ns);
     ops.add_nanos(Op::ReduceMerge, merge_ns);
     ops.add_nanos(Op::Combine, intermediate_combine_ns);
     ops.add_nanos(Op::Reduce, reduce_ns);
@@ -193,7 +199,12 @@ pub fn run_reduce_task(
         output_bytes,
         ..Default::default()
     };
-    Ok(ReduceResult { pairs: sink.pairs, profile, remote_bytes, fetched_bytes })
+    Ok(ReduceResult {
+        pairs: sink.pairs,
+        profile,
+        remote_bytes,
+        fetched_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -262,8 +273,12 @@ mod tests {
                     compress_output: false,
                     spill_dir: tmpdir(),
                     fail_after_records: None,
+                    cancel: None,
                 };
-                run_map_task(&job, &split, cfg).map_err(|e| format!("{e:?}")).unwrap().0
+                run_map_task(&job, &split, cfg)
+                    .map_err(|e| format!("{e:?}"))
+                    .unwrap()
+                    .0
             })
             .collect()
     }
@@ -272,11 +287,28 @@ mod tests {
     fn reduce_aggregates_across_map_outputs() {
         let outputs = map_all(&["a b a\n", "a c\n"], 1);
         let job: Arc<dyn Job> = Arc::new(WordSum);
-        let r = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: 0, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+        let r = run_reduce_task(
+            &job,
+            &outputs,
+            &NetworkConfig::local_cluster(),
+            &ReduceTaskConfig {
+                partition: 0,
+                node: 0,
+                merge_fan_in: 10,
+                scratch_dir: tmpdir(),
+                grouping: Grouping::Sort,
+            },
+        )
+        .unwrap();
         let m: std::collections::HashMap<String, u64> = r
             .pairs
             .iter()
-            .map(|(k, v)| (String::from_utf8(k.clone()).unwrap(), decode_u64(v).unwrap()))
+            .map(|(k, v)| {
+                (
+                    String::from_utf8(k.clone()).unwrap(),
+                    decode_u64(v).unwrap(),
+                )
+            })
             .collect();
         assert_eq!(m["a"], 3);
         assert_eq!(m["b"], 1);
@@ -294,7 +326,19 @@ mod tests {
         let job: Arc<dyn Job> = Arc::new(WordSum);
         let mut all = Vec::new();
         for p in 0..3 {
-            let r = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: p, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+            let r = run_reduce_task(
+                &job,
+                &outputs,
+                &NetworkConfig::local_cluster(),
+                &ReduceTaskConfig {
+                    partition: p,
+                    node: 0,
+                    merge_fan_in: 10,
+                    scratch_dir: tmpdir(),
+                    grouping: Grouping::Sort,
+                },
+            )
+            .unwrap();
             all.extend(r.pairs);
         }
         assert_eq!(all.len(), 6);
@@ -305,9 +349,33 @@ mod tests {
         // Map task ran on node 1 (i % 4 with i=1... here single text → node 0).
         let outputs = map_all(&["k k k\n"], 1);
         let job: Arc<dyn Job> = Arc::new(WordSum);
-        let local = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: 0, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+        let local = run_reduce_task(
+            &job,
+            &outputs,
+            &NetworkConfig::local_cluster(),
+            &ReduceTaskConfig {
+                partition: 0,
+                node: 0,
+                merge_fan_in: 10,
+                scratch_dir: tmpdir(),
+                grouping: Grouping::Sort,
+            },
+        )
+        .unwrap();
         assert_eq!(local.remote_bytes, 0);
-        let remote = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: 0, node: 1, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+        let remote = run_reduce_task(
+            &job,
+            &outputs,
+            &NetworkConfig::local_cluster(),
+            &ReduceTaskConfig {
+                partition: 0,
+                node: 1,
+                merge_fan_in: 10,
+                scratch_dir: tmpdir(),
+                grouping: Grouping::Sort,
+            },
+        )
+        .unwrap();
         assert!(remote.remote_bytes > 0);
         assert_eq!(remote.fetched_bytes, local.fetched_bytes);
         // Remote fetch costs more virtual time.
@@ -320,7 +388,19 @@ mod tests {
         let job: Arc<dyn Job> = Arc::new(WordSum);
         let mut nonempty = 0;
         for p in 0..4 {
-            let r = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &ReduceTaskConfig { partition: p, node: 0, merge_fan_in: 10, scratch_dir: tmpdir(), grouping: Grouping::Sort }).unwrap();
+            let r = run_reduce_task(
+                &job,
+                &outputs,
+                &NetworkConfig::local_cluster(),
+                &ReduceTaskConfig {
+                    partition: p,
+                    node: 0,
+                    merge_fan_in: 10,
+                    scratch_dir: tmpdir(),
+                    grouping: Grouping::Sort,
+                },
+            )
+            .unwrap();
             if !r.pairs.is_empty() {
                 nonempty += 1;
             }

@@ -53,11 +53,7 @@ pub fn sort_indices(seg: &Segment, job: &dyn Job) -> Vec<u32> {
 }
 
 /// Sort, combine and write `seg` to a new spill file at `path`.
-pub fn spill_segment(
-    seg: &Segment,
-    job: &dyn Job,
-    path: PathBuf,
-) -> io::Result<SpillOutcome> {
+pub fn spill_segment(seg: &Segment, job: &dyn Job, path: PathBuf) -> io::Result<SpillOutcome> {
     let sw = Stopwatch::start();
     let idx = sort_indices(seg, job);
     let sort_ns = sw.elapsed_ns();
@@ -85,7 +81,8 @@ pub fn spill_segment(
         let mut j = i + 1;
         while j < idx.len() {
             let r2 = idx[j] as usize;
-            if seg.part(r2) != part || job.compare_keys(seg.key(r2), key) != std::cmp::Ordering::Equal
+            if seg.part(r2) != part
+                || job.compare_keys(seg.key(r2), key) != std::cmp::Ordering::Equal
             {
                 break;
             }
@@ -213,7 +210,7 @@ mod tests {
             seg.push(i % 3, format!("k{}", 50 - i).as_bytes(), b"v");
         }
         let idx = sort_indices(&seg, &SumJob);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for &i in &idx {
             assert!(!seen[i as usize]);
             seen[i as usize] = true;

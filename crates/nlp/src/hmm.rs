@@ -13,18 +13,12 @@ use crate::tags::{Tag, NUM_TAGS};
 use crate::tokenizer::{self, Token};
 
 /// Tagger configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TaggerConfig {
     /// Number of forward–backward posterior rescoring passes run after
     /// Viterbi. 0 = plain Viterbi (fastest); the WordPOSTag benchmark uses a
     /// higher value to match the paper's CPU-intensity ratio.
     pub posterior_passes: usize,
-}
-
-impl Default for TaggerConfig {
-    fn default() -> Self {
-        TaggerConfig { posterior_passes: 0 }
-    }
 }
 
 /// The tagger. Construction builds the transition matrix and lexicon once;
@@ -46,23 +40,52 @@ fn transition_weights() -> [[f64; NUM_TAGS]; NUM_TAGS] {
     use Tag::*;
     let mut w = [[0.2f64; NUM_TAGS]; NUM_TAGS];
     let mut set = |a: Tag, b: Tag, v: f64| w[a.index()][b.index()] = v;
-    set(Det, Noun, 6.0); set(Det, Adj, 3.0); set(Det, Num, 1.0);
-    set(Adj, Noun, 6.0); set(Adj, Adj, 1.5); set(Adj, Conj, 0.8);
-    set(Noun, Verb, 4.0); set(Noun, Adp, 3.0); set(Noun, Punct, 3.0);
-    set(Noun, Conj, 1.5); set(Noun, Noun, 2.0); set(Noun, Adv, 0.8);
-    set(Verb, Det, 4.0); set(Verb, Noun, 2.0); set(Verb, Adv, 2.0);
-    set(Verb, Adp, 2.0); set(Verb, Verb, 1.0); set(Verb, Part, 1.0);
-    set(Verb, Adj, 1.5); set(Verb, Pron, 1.0); set(Verb, Punct, 2.0);
-    set(Adv, Verb, 3.0); set(Adv, Adj, 3.0); set(Adv, Adv, 1.0); set(Adv, Punct, 1.0);
-    set(Pron, Verb, 6.0); set(Pron, Punct, 1.0);
-    set(Adp, Det, 5.0); set(Adp, Noun, 3.0); set(Adp, Pron, 1.5); set(Adp, Num, 1.0);
-    set(Conj, Det, 2.0); set(Conj, Noun, 2.0); set(Conj, Verb, 1.5);
-    set(Conj, Pron, 1.5); set(Conj, Adj, 1.0);
-    set(Num, Noun, 5.0); set(Num, Punct, 1.5);
+    set(Det, Noun, 6.0);
+    set(Det, Adj, 3.0);
+    set(Det, Num, 1.0);
+    set(Adj, Noun, 6.0);
+    set(Adj, Adj, 1.5);
+    set(Adj, Conj, 0.8);
+    set(Noun, Verb, 4.0);
+    set(Noun, Adp, 3.0);
+    set(Noun, Punct, 3.0);
+    set(Noun, Conj, 1.5);
+    set(Noun, Noun, 2.0);
+    set(Noun, Adv, 0.8);
+    set(Verb, Det, 4.0);
+    set(Verb, Noun, 2.0);
+    set(Verb, Adv, 2.0);
+    set(Verb, Adp, 2.0);
+    set(Verb, Verb, 1.0);
+    set(Verb, Part, 1.0);
+    set(Verb, Adj, 1.5);
+    set(Verb, Pron, 1.0);
+    set(Verb, Punct, 2.0);
+    set(Adv, Verb, 3.0);
+    set(Adv, Adj, 3.0);
+    set(Adv, Adv, 1.0);
+    set(Adv, Punct, 1.0);
+    set(Pron, Verb, 6.0);
+    set(Pron, Punct, 1.0);
+    set(Adp, Det, 5.0);
+    set(Adp, Noun, 3.0);
+    set(Adp, Pron, 1.5);
+    set(Adp, Num, 1.0);
+    set(Conj, Det, 2.0);
+    set(Conj, Noun, 2.0);
+    set(Conj, Verb, 1.5);
+    set(Conj, Pron, 1.5);
+    set(Conj, Adj, 1.0);
+    set(Num, Noun, 5.0);
+    set(Num, Punct, 1.5);
     set(Part, Verb, 6.0);
-    set(Punct, Det, 2.0); set(Punct, Noun, 2.0); set(Punct, Pron, 2.0);
-    set(Punct, Conj, 1.5); set(Punct, Adv, 1.0);
-    set(Other, Noun, 1.0); set(Other, Punct, 1.0);
+    set(Punct, Det, 2.0);
+    set(Punct, Noun, 2.0);
+    set(Punct, Pron, 2.0);
+    set(Punct, Conj, 1.5);
+    set(Punct, Adv, 1.0);
+    set(Other, Noun, 1.0);
+    set(Other, Punct, 1.0);
     w
 }
 
@@ -96,7 +119,12 @@ impl Tagger {
         for j in 0..NUM_TAGS {
             init[j] = (init_w[j] / init_sum).ln();
         }
-        Tagger { lexicon: Lexicon::new(), trans, init, config }
+        Tagger {
+            lexicon: Lexicon::new(),
+            trans,
+            init,
+            config,
+        }
     }
 
     /// Tag one sentence of tokens; returns one tag per token.
@@ -112,7 +140,11 @@ impl Tagger {
                 Token::Word(w) => self.lexicon.emission_scores(w, &mut emit[i]),
                 Token::Punct(_) => {
                     for (j, e) in emit[i].iter_mut().enumerate() {
-                        *e = if j == Tag::Punct.index() { -0.01 } else { LOG_ZERO };
+                        *e = if j == Tag::Punct.index() {
+                            -0.01
+                        } else {
+                            LOG_ZERO
+                        };
                     }
                 }
             }
@@ -158,8 +190,8 @@ impl Tagger {
             for j in 0..NUM_TAGS {
                 let mut best = f64::NEG_INFINITY;
                 let mut arg = 0u8;
-                for k in 0..NUM_TAGS {
-                    let v = delta[i - 1][k] + self.trans[k][j];
+                for (k, &d) in delta[i - 1].iter().enumerate() {
+                    let v = d + self.trans[k][j];
                     if v > best {
                         best = v;
                         arg = k as u8;
@@ -194,8 +226,8 @@ impl Tagger {
         for i in 1..t {
             for j in 0..NUM_TAGS {
                 let mut acc = f64::NEG_INFINITY;
-                for k in 0..NUM_TAGS {
-                    acc = log_sum_exp(acc, fwd[i - 1][k] + self.trans[k][j]);
+                for (k, &f) in fwd[i - 1].iter().enumerate() {
+                    acc = log_sum_exp(acc, f + self.trans[k][j]);
                 }
                 fwd[i][j] = acc + emit[i][j];
             }
@@ -261,8 +293,12 @@ mod tests {
 
     #[test]
     fn posterior_passes_do_not_change_token_count() {
-        let plain = Tagger::new(TaggerConfig { posterior_passes: 0 });
-        let heavy = Tagger::new(TaggerConfig { posterior_passes: 3 });
+        let plain = Tagger::new(TaggerConfig {
+            posterior_passes: 0,
+        });
+        let heavy = Tagger::new(TaggerConfig {
+            posterior_passes: 3,
+        });
         let line = "She quickly gave him the beautiful painting and left.";
         assert_eq!(plain.tag_line(line).len(), heavy.tag_line(line).len());
     }
@@ -286,8 +322,12 @@ mod tests {
 
     #[test]
     fn viterbi_and_posterior_mostly_agree() {
-        let plain = Tagger::new(TaggerConfig { posterior_passes: 0 });
-        let heavy = Tagger::new(TaggerConfig { posterior_passes: 1 });
+        let plain = Tagger::new(TaggerConfig {
+            posterior_passes: 0,
+        });
+        let heavy = Tagger::new(TaggerConfig {
+            posterior_passes: 1,
+        });
         let line = "The national government had often planned a celebration in the city.";
         let a = plain.tag_line(line);
         let b = heavy.tag_line(line);

@@ -16,53 +16,140 @@ pub const LOG_ZERO: f64 = -1.0e6;
 /// real so output is plausible and deterministic.
 const CLOSED_CLASS: &[(&str, Tag)] = &[
     // Determiners / articles.
-    ("the", Tag::Det), ("a", Tag::Det), ("an", Tag::Det), ("this", Tag::Det),
-    ("that", Tag::Det), ("these", Tag::Det), ("those", Tag::Det), ("each", Tag::Det),
-    ("every", Tag::Det), ("some", Tag::Det), ("any", Tag::Det), ("no", Tag::Det),
-    ("their", Tag::Det), ("its", Tag::Det), ("his", Tag::Det), ("her", Tag::Det),
-    ("our", Tag::Det), ("your", Tag::Det), ("my", Tag::Det),
+    ("the", Tag::Det),
+    ("a", Tag::Det),
+    ("an", Tag::Det),
+    ("this", Tag::Det),
+    ("that", Tag::Det),
+    ("these", Tag::Det),
+    ("those", Tag::Det),
+    ("each", Tag::Det),
+    ("every", Tag::Det),
+    ("some", Tag::Det),
+    ("any", Tag::Det),
+    ("no", Tag::Det),
+    ("their", Tag::Det),
+    ("its", Tag::Det),
+    ("his", Tag::Det),
+    ("her", Tag::Det),
+    ("our", Tag::Det),
+    ("your", Tag::Det),
+    ("my", Tag::Det),
     // Pronouns.
-    ("i", Tag::Pron), ("you", Tag::Pron), ("him", Tag::Pron), ("she", Tag::Pron),
-    ("it", Tag::Pron), ("we", Tag::Pron), ("they", Tag::Pron), ("them", Tag::Pron),
-    ("who", Tag::Pron), ("which", Tag::Pron), ("what", Tag::Pron), ("me", Tag::Pron),
-    ("us", Tag::Pron), ("himself", Tag::Pron), ("itself", Tag::Pron),
+    ("i", Tag::Pron),
+    ("you", Tag::Pron),
+    ("him", Tag::Pron),
+    ("she", Tag::Pron),
+    ("it", Tag::Pron),
+    ("we", Tag::Pron),
+    ("they", Tag::Pron),
+    ("them", Tag::Pron),
+    ("who", Tag::Pron),
+    ("which", Tag::Pron),
+    ("what", Tag::Pron),
+    ("me", Tag::Pron),
+    ("us", Tag::Pron),
+    ("himself", Tag::Pron),
+    ("itself", Tag::Pron),
     // Adpositions.
-    ("of", Tag::Adp), ("in", Tag::Adp), ("on", Tag::Adp), ("at", Tag::Adp),
-    ("by", Tag::Adp), ("with", Tag::Adp), ("from", Tag::Adp), ("into", Tag::Adp),
-    ("for", Tag::Adp), ("about", Tag::Adp), ("under", Tag::Adp), ("over", Tag::Adp),
-    ("between", Tag::Adp), ("through", Tag::Adp), ("during", Tag::Adp), ("against", Tag::Adp),
+    ("of", Tag::Adp),
+    ("in", Tag::Adp),
+    ("on", Tag::Adp),
+    ("at", Tag::Adp),
+    ("by", Tag::Adp),
+    ("with", Tag::Adp),
+    ("from", Tag::Adp),
+    ("into", Tag::Adp),
+    ("for", Tag::Adp),
+    ("about", Tag::Adp),
+    ("under", Tag::Adp),
+    ("over", Tag::Adp),
+    ("between", Tag::Adp),
+    ("through", Tag::Adp),
+    ("during", Tag::Adp),
+    ("against", Tag::Adp),
     // Conjunctions.
-    ("and", Tag::Conj), ("or", Tag::Conj), ("but", Tag::Conj), ("because", Tag::Conj),
-    ("while", Tag::Conj), ("although", Tag::Conj), ("if", Tag::Conj), ("when", Tag::Conj),
-    ("as", Tag::Conj), ("since", Tag::Conj),
+    ("and", Tag::Conj),
+    ("or", Tag::Conj),
+    ("but", Tag::Conj),
+    ("because", Tag::Conj),
+    ("while", Tag::Conj),
+    ("although", Tag::Conj),
+    ("if", Tag::Conj),
+    ("when", Tag::Conj),
+    ("as", Tag::Conj),
+    ("since", Tag::Conj),
     // Particles.
-    ("to", Tag::Part), ("not", Tag::Part), ("n't", Tag::Part),
+    ("to", Tag::Part),
+    ("not", Tag::Part),
+    ("n't", Tag::Part),
     // Common verbs (auxiliaries and frequent irregulars).
-    ("is", Tag::Verb), ("was", Tag::Verb), ("are", Tag::Verb), ("were", Tag::Verb),
-    ("be", Tag::Verb), ("been", Tag::Verb), ("has", Tag::Verb), ("have", Tag::Verb),
-    ("had", Tag::Verb), ("do", Tag::Verb), ("does", Tag::Verb), ("did", Tag::Verb),
-    ("will", Tag::Verb), ("would", Tag::Verb), ("can", Tag::Verb), ("could", Tag::Verb),
-    ("may", Tag::Verb), ("might", Tag::Verb), ("shall", Tag::Verb), ("should", Tag::Verb),
+    ("is", Tag::Verb),
+    ("was", Tag::Verb),
+    ("are", Tag::Verb),
+    ("were", Tag::Verb),
+    ("be", Tag::Verb),
+    ("been", Tag::Verb),
+    ("has", Tag::Verb),
+    ("have", Tag::Verb),
+    ("had", Tag::Verb),
+    ("do", Tag::Verb),
+    ("does", Tag::Verb),
+    ("did", Tag::Verb),
+    ("will", Tag::Verb),
+    ("would", Tag::Verb),
+    ("can", Tag::Verb),
+    ("could", Tag::Verb),
+    ("may", Tag::Verb),
+    ("might", Tag::Verb),
+    ("shall", Tag::Verb),
+    ("should", Tag::Verb),
     // Frequent adverbs.
-    ("very", Tag::Adv), ("also", Tag::Adv), ("then", Tag::Adv), ("there", Tag::Adv),
-    ("here", Tag::Adv), ("now", Tag::Adv), ("only", Tag::Adv), ("just", Tag::Adv),
-    ("however", Tag::Adv), ("often", Tag::Adv),
+    ("very", Tag::Adv),
+    ("also", Tag::Adv),
+    ("then", Tag::Adv),
+    ("there", Tag::Adv),
+    ("here", Tag::Adv),
+    ("now", Tag::Adv),
+    ("only", Tag::Adv),
+    ("just", Tag::Adv),
+    ("however", Tag::Adv),
+    ("often", Tag::Adv),
     // Frequent quantifier/number words.
-    ("one", Tag::Num), ("two", Tag::Num), ("three", Tag::Num), ("first", Tag::Num),
+    ("one", Tag::Num),
+    ("two", Tag::Num),
+    ("three", Tag::Num),
+    ("first", Tag::Num),
     ("second", Tag::Num),
 ];
 
 /// Suffix → (tag, strength) morphological cues for open-class words,
 /// longest-match-wins.
 const SUFFIX_CUES: &[(&str, Tag, f64)] = &[
-    ("ation", Tag::Noun, 3.0), ("ment", Tag::Noun, 3.0), ("ness", Tag::Noun, 3.0),
-    ("ship", Tag::Noun, 2.5), ("ity", Tag::Noun, 2.5), ("ers", Tag::Noun, 2.0),
-    ("er", Tag::Noun, 0.8), ("ism", Tag::Noun, 2.5), ("ist", Tag::Noun, 2.0),
-    ("ize", Tag::Verb, 2.5), ("ise", Tag::Verb, 2.0), ("ify", Tag::Verb, 2.5),
-    ("ing", Tag::Verb, 1.5), ("ed", Tag::Verb, 1.5), ("ate", Tag::Verb, 1.2),
-    ("able", Tag::Adj, 2.5), ("ible", Tag::Adj, 2.5), ("ful", Tag::Adj, 2.5),
-    ("ous", Tag::Adj, 2.5), ("ive", Tag::Adj, 2.0), ("al", Tag::Adj, 1.0),
-    ("ic", Tag::Adj, 1.5), ("less", Tag::Adj, 2.5), ("ish", Tag::Adj, 1.8),
+    ("ation", Tag::Noun, 3.0),
+    ("ment", Tag::Noun, 3.0),
+    ("ness", Tag::Noun, 3.0),
+    ("ship", Tag::Noun, 2.5),
+    ("ity", Tag::Noun, 2.5),
+    ("ers", Tag::Noun, 2.0),
+    ("er", Tag::Noun, 0.8),
+    ("ism", Tag::Noun, 2.5),
+    ("ist", Tag::Noun, 2.0),
+    ("ize", Tag::Verb, 2.5),
+    ("ise", Tag::Verb, 2.0),
+    ("ify", Tag::Verb, 2.5),
+    ("ing", Tag::Verb, 1.5),
+    ("ed", Tag::Verb, 1.5),
+    ("ate", Tag::Verb, 1.2),
+    ("able", Tag::Adj, 2.5),
+    ("ible", Tag::Adj, 2.5),
+    ("ful", Tag::Adj, 2.5),
+    ("ous", Tag::Adj, 2.5),
+    ("ive", Tag::Adj, 2.0),
+    ("al", Tag::Adj, 1.0),
+    ("ic", Tag::Adj, 1.5),
+    ("less", Tag::Adj, 2.5),
+    ("ish", Tag::Adj, 1.8),
     ("ly", Tag::Adv, 4.5),
     ("s", Tag::Noun, 0.5),
 ];
@@ -83,7 +170,9 @@ impl Default for Lexicon {
 impl Lexicon {
     /// Build the lexicon.
     pub fn new() -> Self {
-        Lexicon { closed: CLOSED_CLASS.iter().copied().collect() }
+        Lexicon {
+            closed: CLOSED_CLASS.iter().copied().collect(),
+        }
     }
 
     /// Fill `scores` with per-tag emission log-probabilities for `word`

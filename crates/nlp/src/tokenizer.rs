@@ -45,7 +45,10 @@ pub fn tokenize(line: &str) -> Vec<Token> {
     while let Some(c) = chars.next() {
         if c.is_alphanumeric() {
             word.extend(c.to_lowercase());
-        } else if (c == '\'' || c == '-') && !word.is_empty() && chars.peek().is_some_and(|n| n.is_alphanumeric()) {
+        } else if (c == '\'' || c == '-')
+            && !word.is_empty()
+            && chars.peek().is_some_and(|n| n.is_alphanumeric())
+        {
             // Internal apostrophe/hyphen stays inside the word ("don't").
             word.push(c);
         } else {
@@ -67,7 +70,10 @@ pub fn tokenize(line: &str) -> Vec<Token> {
 /// Cheaper than [`tokenize`] when sentence structure is irrelevant
 /// (WordCount, InvertedIndex).
 pub fn words(line: &str) -> impl Iterator<Item = String> + '_ {
-    WordIter { chars: line.chars().peekable(), word: String::new() }
+    WordIter {
+        chars: line.chars().peekable(),
+        word: String::new(),
+    }
 }
 
 struct WordIter<'a> {

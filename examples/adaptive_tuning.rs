@@ -20,7 +20,11 @@ use textmr_engine::controller::fixed_spill_factory;
 use textmr_engine::prelude::*;
 
 fn main() {
-    let corpus = CorpusConfig { lines: 15_000, vocab_size: 20_000, ..Default::default() };
+    let corpus = CorpusConfig {
+        lines: 15_000,
+        vocab_size: 20_000,
+        ..Default::default()
+    };
     let data = corpus.generate_bytes();
     let mut cluster = ClusterConfig::local();
     cluster.spill_buffer_bytes = 512 << 10; // small buffer → many spills
@@ -28,7 +32,10 @@ fn main() {
     dfs.put("corpus", data);
     let job: Arc<dyn Job> = Arc::new(WordCount);
 
-    println!("{:<12} {:>12} {:>14} {:>14}", "config", "wall (ms)", "map wait (ms)", "supp wait (ms)");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "config", "wall (ms)", "map wait (ms)", "supp wait (ms)"
+    );
 
     let report = |label: &str, run: &JobRun| {
         let p = &run.profile;
@@ -69,13 +76,20 @@ fn main() {
     if let Some(last) = t.spills.last() {
         let p = last.bytes as f64 / last.produce_ns.max(1) as f64;
         let c = last.bytes as f64 / last.consume_ns.max(1) as f64;
-        let model = RateModel { p, c, capacity: cluster.spill_buffer_bytes as f64 };
+        let model = RateModel {
+            p,
+            c,
+            capacity: cluster.spill_buffer_bytes as f64,
+        };
         println!(
             "\nmeasured rates p = {:.1} MB/s, c = {:.1} MB/s",
             p * 1e9 / (1 << 20) as f64,
             c * 1e9 / (1 << 20) as f64
         );
-        println!("Eq. 1 optimal fraction  x* = {:.3}", model.optimal_fraction());
+        println!(
+            "Eq. 1 optimal fraction  x* = {:.3}",
+            model.optimal_fraction()
+        );
         println!("spill-matcher converged on {:.3}", last.fraction);
         let (bx, _) = best_fixed.unwrap();
         println!("best fixed fraction was {bx:.1} — found only by sweeping all nine");

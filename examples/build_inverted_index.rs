@@ -17,7 +17,11 @@ use textmr_data::text::CorpusConfig;
 use textmr_engine::prelude::*;
 
 fn main() {
-    let corpus = CorpusConfig { lines: 10_000, vocab_size: 20_000, ..Default::default() };
+    let corpus = CorpusConfig {
+        lines: 10_000,
+        vocab_size: 20_000,
+        ..Default::default()
+    };
     let data = corpus.generate_bytes();
     // Keep the raw text around so we can verify query hits against it.
     let lines: Vec<(u64, String)> = {
@@ -50,7 +54,14 @@ fn main() {
             ..Default::default()
         },
     );
-    let run = run_job(&cluster, &cfg, Arc::new(InvertedIndex), &dfs, &[("corpus", 0)]).unwrap();
+    let run = run_job(
+        &cluster,
+        &cfg,
+        Arc::new(InvertedIndex),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
 
     let index: HashMap<String, Vec<Posting>> = run
         .sorted_pairs()
@@ -74,14 +85,21 @@ fn main() {
                 .nth(p.pos as usize)
                 .unwrap_or("?");
             println!("  doc@{:<8} pos {:<3} -> {:?}", p.doc, p.pos, word_at);
-            assert_eq!(word_at.to_lowercase(), query, "index must point at the word");
+            assert_eq!(
+                word_at.to_lowercase(),
+                query,
+                "index must point at the word"
+            );
         }
     }
 
     // Output keys arrive sorted — the property that forces MapReduce to
     // really sort (Sec. II-A) and that an inverted index needs.
     for part in &run.outputs {
-        assert!(part.windows(2).all(|w| w[0].0 <= w[1].0), "partition not sorted");
+        assert!(
+            part.windows(2).all(|w| w[0].0 <= w[1].0),
+            "partition not sorted"
+        );
     }
     println!("\nall partitions key-sorted ✓");
 }

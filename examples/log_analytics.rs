@@ -18,8 +18,15 @@ use textmr_data::weblog::WeblogConfig;
 use textmr_engine::prelude::*;
 
 fn main() {
-    let weblog = WeblogConfig { num_urls: 5_000, num_visits: 50_000, ..Default::default() };
-    println!("generating {} visits over {} urls", weblog.num_visits, weblog.num_urls);
+    let weblog = WeblogConfig {
+        num_urls: 5_000,
+        num_visits: 50_000,
+        ..Default::default()
+    };
+    println!(
+        "generating {} visits over {} urls",
+        weblog.num_visits, weblog.num_urls
+    );
 
     let cluster = ClusterConfig::local();
     let mut dfs = SimDfs::new(cluster.nodes, 1 << 20);
@@ -37,14 +44,27 @@ fn main() {
     };
 
     // ---- AccessLogSum: SELECT destURL, SUM(adRevenue) GROUP BY destURL ----
-    let base_cfg = optimized(JobConfig::default().with_reducers(4), OptimizationConfig::baseline());
+    let base_cfg = optimized(
+        JobConfig::default().with_reducers(4),
+        OptimizationConfig::baseline(),
+    );
     let opt_cfg = optimized(JobConfig::default().with_reducers(4), opt.clone());
-    let sum_base =
-        run_job(&cluster, &base_cfg, Arc::new(AccessLogSum), &dfs, &[("visits", SOURCE_VISITS)])
-            .unwrap();
-    let sum_opt =
-        run_job(&cluster, &opt_cfg, Arc::new(AccessLogSum), &dfs, &[("visits", SOURCE_VISITS)])
-            .unwrap();
+    let sum_base = run_job(
+        &cluster,
+        &base_cfg,
+        Arc::new(AccessLogSum),
+        &dfs,
+        &[("visits", SOURCE_VISITS)],
+    )
+    .unwrap();
+    let sum_opt = run_job(
+        &cluster,
+        &opt_cfg,
+        Arc::new(AccessLogSum),
+        &dfs,
+        &[("visits", SOURCE_VISITS)],
+    )
+    .unwrap();
     assert_eq!(sum_base.sorted_pairs().len(), sum_opt.sorted_pairs().len());
 
     let mut revenue: Vec<(String, f64)> = sum_base
@@ -62,10 +82,17 @@ fn main() {
     let inputs = [("visits", SOURCE_VISITS), ("rankings", SOURCE_RANKINGS)];
     let join_base = run_job(&cluster, &base_cfg, Arc::new(AccessLogJoin), &dfs, &inputs).unwrap();
     let join_opt = run_job(&cluster, &opt_cfg, Arc::new(AccessLogJoin), &dfs, &inputs).unwrap();
-    assert_eq!(join_base.sorted_pairs(), join_opt.sorted_pairs(), "join must be unaffected");
+    assert_eq!(
+        join_base.sorted_pairs(),
+        join_opt.sorted_pairs(),
+        "join must be unaffected"
+    );
 
     let rows = join_base.sorted_pairs();
-    println!("\njoin produced {} (sourceIP, adRevenue, pageRank) rows; sample:", rows.len());
+    println!(
+        "\njoin produced {} (sourceIP, adRevenue, pageRank) rows; sample:",
+        rows.len()
+    );
     for (ip, v) in rows.iter().take(5) {
         let out = decode_join_out(v).unwrap();
         println!(

@@ -20,14 +20,21 @@ use textmr_engine::prelude::*;
 
 fn main() {
     let pages = 10_000usize;
-    let graph = GraphConfig { pages, mean_out_degree: 8, ..Default::default() };
+    let graph = GraphConfig {
+        pages,
+        mean_out_degree: 8,
+        ..Default::default()
+    };
     println!("generating crawl: {pages} pages");
     let mut current = graph.generate_bytes();
 
     let mut cluster = ClusterConfig::local();
     cluster.spill_buffer_bytes = 256 << 10;
     let job = Arc::new(PageRank::new(pages as u64));
-    let cfg = optimized(JobConfig::default().with_reducers(6), OptimizationConfig::default());
+    let cfg = optimized(
+        JobConfig::default().with_reducers(6),
+        OptimizationConfig::default(),
+    );
 
     let mut prev_top: Option<Vec<u64>> = None;
     for iter in 1..=8 {
@@ -64,7 +71,12 @@ fn main() {
 
     // Zipf(1) in-link popularity ⇒ page 0 must win.
     let (page, rank) = {
-        let line = std::str::from_utf8(&current).unwrap().lines().next().unwrap().to_string();
+        let line = std::str::from_utf8(&current)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
         let mut f = line.split('|');
         (
             f.next().unwrap().parse::<u64>().unwrap(),

@@ -15,10 +15,20 @@ use textmr_engine::prelude::*;
 fn main() {
     // 1. Generate a Zipf-distributed text corpus (a tiny stand-in for the
     //    paper's 8.5 GB Wikipedia dump).
-    let corpus = CorpusConfig { lines: 20_000, vocab_size: 30_000, ..Default::default() };
-    println!("generating corpus: {} lines, vocab {}", corpus.lines, corpus.vocab_size);
+    let corpus = CorpusConfig {
+        lines: 20_000,
+        vocab_size: 30_000,
+        ..Default::default()
+    };
+    println!(
+        "generating corpus: {} lines, vocab {}",
+        corpus.lines, corpus.vocab_size
+    );
     let data = corpus.generate_bytes();
-    println!("corpus size: {:.1} MiB", data.len() as f64 / (1 << 20) as f64);
+    println!(
+        "corpus size: {:.1} MiB",
+        data.len() as f64 / (1 << 20) as f64
+    );
 
     // 2. Store it in the simulated DFS of a 6-node cluster. The spill
     //    buffer is sized well below a split's intermediate output — the
@@ -31,16 +41,26 @@ fn main() {
 
     // 3. Run baseline.
     let job = Arc::new(WordCount);
-    let base_cfg = optimized(JobConfig::default().with_reducers(4), OptimizationConfig::baseline());
+    let base_cfg = optimized(
+        JobConfig::default().with_reducers(4),
+        OptimizationConfig::baseline(),
+    );
     let base = run_job(&cluster, &base_cfg, job.clone(), &dfs, &[("corpus", 0)]).unwrap();
 
     // 4. Run with the paper's two optimizations — same job, no user-code
     //    changes.
-    let opt_cfg = optimized(JobConfig::default().with_reducers(4), OptimizationConfig::default());
+    let opt_cfg = optimized(
+        JobConfig::default().with_reducers(4),
+        OptimizationConfig::default(),
+    );
     let opt = run_job(&cluster, &opt_cfg, job, &dfs, &[("corpus", 0)]).unwrap();
 
     // 5. Results are identical.
-    assert_eq!(base.sorted_pairs(), opt.sorted_pairs(), "optimizations must not change output");
+    assert_eq!(
+        base.sorted_pairs(),
+        opt.sorted_pairs(),
+        "optimizations must not change output"
+    );
 
     // 6. Show the most frequent words.
     let mut counts: Vec<(String, u64)> = base
@@ -48,7 +68,7 @@ fn main() {
         .into_iter()
         .map(|(k, v)| (String::from_utf8(k).unwrap(), decode_u64(&v).unwrap()))
         .collect();
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     println!("\ntop 10 words:");
     for (w, c) in counts.iter().take(10) {
         println!("  {w:<10} {c}");

@@ -198,3 +198,23 @@ proptest! {
         prop_assert_eq!(tagged.len(), words);
     }
 }
+
+/// Pinned regression from `components_proptest.proptest-regressions`: the
+/// tokenizer once mishandled U+2110 SCRIPT CAPITAL I, which `is_uppercase`
+/// but has an identity `to_lowercase` mapping. Kept as an explicit case so
+/// it runs on every engine, independent of property-test seed replay.
+#[test]
+fn tokenizer_regression_script_capital_i() {
+    let line = "\u{2110}";
+    let tokens: Vec<String> = textmr_nlp::tokenizer::words(line).collect();
+    assert_eq!(tokens, vec![line.to_string()]);
+    for w in textmr_nlp::tokenizer::words(line) {
+        assert!(w.chars().all(|c| !c.is_whitespace()
+            && (!c.is_uppercase() || c.to_lowercase().eq(std::iter::once(c)))));
+    }
+    let via_tokens: Vec<String> = textmr_nlp::tokenizer::tokenize(line)
+        .into_iter()
+        .filter_map(|t| t.as_word().map(str::to_string))
+        .collect();
+    assert_eq!(via_tokens, tokens);
+}

@@ -1,0 +1,85 @@
+//! Sequential vs parallel execution must be indistinguishable: the worker
+//! pool (`ClusterConfig::worker_threads`) may only change real wall-clock
+//! time, never the job's outputs, its virtual-time schedule's structure,
+//! or any timing-free profile counter.
+//!
+//! These tests use the default `JobConfig` (fixed spill fraction, no
+//! adaptive controller, no shared frequent-key registry), under which spill
+//! boundaries depend only on byte counts — so the full structural profile
+//! signature is deterministic. Measured nanosecond totals (`OpTimes`) are
+//! excluded: they are noisy even between two sequential runs.
+
+use std::sync::Arc;
+use textmr_apps::{AccessLogJoin, WordCount, SOURCE_RANKINGS, SOURCE_VISITS};
+use textmr_data::text::CorpusConfig;
+use textmr_data::weblog::WeblogConfig;
+use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig, JobRun};
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::job::Job;
+
+fn run_with(workers: usize, job: Arc<dyn Job>, dfs: &SimDfs, inputs: &[(&str, u8)]) -> JobRun {
+    let mut cluster = ClusterConfig::local().with_worker_threads(workers);
+    cluster.spill_buffer_bytes = 128 << 10; // several spills per task
+    let cfg = JobConfig::default().with_reducers(5);
+    run_job(&cluster, &cfg, job, dfs, inputs).unwrap()
+}
+
+fn assert_identical(job: Arc<dyn Job>, dfs: &SimDfs, inputs: &[(&str, u8)]) {
+    let seq = run_with(1, job.clone(), dfs, inputs);
+    for workers in [2, 4, 8] {
+        let par = run_with(workers, job.clone(), dfs, inputs);
+        // Byte-identical outputs, per partition and overall.
+        assert_eq!(
+            seq.outputs,
+            par.outputs,
+            "{} outputs differ at {workers} workers",
+            job.name()
+        );
+        assert_eq!(seq.sorted_pairs(), par.sorted_pairs());
+        // Identical timing-free profile: task counts, per-task record and
+        // byte counters, per-spill structure, shuffled bytes.
+        assert_eq!(
+            seq.profile.signature(),
+            par.profile.signature(),
+            "{} profile signature differs at {workers} workers",
+            job.name()
+        );
+        assert_eq!(seq.profile.map_spans.len(), par.profile.map_spans.len());
+        assert_eq!(
+            seq.profile.reduce_spans.len(),
+            par.profile.reduce_spans.len()
+        );
+    }
+}
+
+#[test]
+fn wordcount_is_deterministic_across_worker_counts() {
+    let mut dfs = SimDfs::new(6, 32 << 10);
+    dfs.put(
+        "corpus",
+        CorpusConfig {
+            lines: 3_000,
+            vocab_size: 4_000,
+            ..Default::default()
+        }
+        .generate_bytes(),
+    );
+    assert_identical(Arc::new(WordCount), &dfs, &[("corpus", 0)]);
+}
+
+#[test]
+fn access_log_join_is_deterministic_across_worker_counts() {
+    let mut dfs = SimDfs::new(6, 32 << 10);
+    let weblog = WeblogConfig {
+        num_urls: 600,
+        num_visits: 6_000,
+        ..Default::default()
+    };
+    dfs.put("visits", weblog.visits_bytes());
+    dfs.put("rankings", weblog.rankings_bytes());
+    assert_identical(
+        Arc::new(AccessLogJoin),
+        &dfs,
+        &[("visits", SOURCE_VISITS), ("rankings", SOURCE_RANKINGS)],
+    );
+}

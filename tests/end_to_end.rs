@@ -43,7 +43,10 @@ fn check_impl(job: Arc<dyn Job>, dfs: &SimDfs, inputs: &[(&str, u8)], sorted_out
         // Each partition must be key-sorted (MapReduce's sort contract,
         // which holds whenever reduce emits its grouping key).
         for part in &engine.outputs {
-            assert!(part.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted partition");
+            assert!(
+                part.windows(2).all(|w| w[0].0 <= w[1].0),
+                "unsorted partition"
+            );
         }
     }
 }
@@ -52,7 +55,12 @@ fn corpus_dfs(lines: usize) -> SimDfs {
     let mut dfs = SimDfs::new(6, 64 << 10);
     dfs.put(
         "corpus",
-        CorpusConfig { lines, vocab_size: 5_000, ..Default::default() }.generate_bytes(),
+        CorpusConfig {
+            lines,
+            vocab_size: 5_000,
+            ..Default::default()
+        }
+        .generate_bytes(),
     );
     dfs
 }
@@ -70,13 +78,21 @@ fn inverted_index_end_to_end() {
 #[test]
 fn word_pos_tag_end_to_end() {
     // The tagger is expensive; keep the corpus small.
-    check_against_reference(Arc::new(WordPosTag::new()), &corpus_dfs(400), &[("corpus", 0)]);
+    check_against_reference(
+        Arc::new(WordPosTag::new()),
+        &corpus_dfs(400),
+        &[("corpus", 0)],
+    );
 }
 
 #[test]
 fn access_log_sum_end_to_end() {
     let mut dfs = SimDfs::new(6, 64 << 10);
-    let weblog = WeblogConfig { num_urls: 800, num_visits: 5_000, ..Default::default() };
+    let weblog = WeblogConfig {
+        num_urls: 800,
+        num_visits: 5_000,
+        ..Default::default()
+    };
     dfs.put("visits", weblog.visits_bytes());
     check_against_reference(Arc::new(AccessLogSum), &dfs, &[("visits", SOURCE_VISITS)]);
 }
@@ -84,7 +100,11 @@ fn access_log_sum_end_to_end() {
 #[test]
 fn access_log_join_end_to_end() {
     let mut dfs = SimDfs::new(6, 64 << 10);
-    let weblog = WeblogConfig { num_urls: 500, num_visits: 3_000, ..Default::default() };
+    let weblog = WeblogConfig {
+        num_urls: 500,
+        num_visits: 3_000,
+        ..Default::default()
+    };
     dfs.put("visits", weblog.visits_bytes());
     dfs.put("rankings", weblog.rankings_bytes());
     check_against_reference_unsorted(
@@ -97,14 +117,22 @@ fn access_log_join_end_to_end() {
 #[test]
 fn pagerank_end_to_end() {
     let mut dfs = SimDfs::new(6, 64 << 10);
-    let graph = GraphConfig { pages: 2_000, mean_out_degree: 6, ..Default::default() };
+    let graph = GraphConfig {
+        pages: 2_000,
+        mean_out_degree: 6,
+        ..Default::default()
+    };
     dfs.put("graph", graph.generate_bytes());
     check_against_reference(Arc::new(PageRank::new(2_000)), &dfs, &[("graph", 0)]);
 }
 
 #[test]
 fn syntext_end_to_end() {
-    check_against_reference(Arc::new(SynText::new(2, 0.5)), &corpus_dfs(1500), &[("corpus", 0)]);
+    check_against_reference(
+        Arc::new(SynText::new(2, 0.5)),
+        &corpus_dfs(1500),
+        &[("corpus", 0)],
+    );
 }
 
 #[test]
@@ -112,7 +140,11 @@ fn pagerank_rank_mass_is_conserved_approximately() {
     // One damped iteration keeps total rank ≈ 1 when every page links out.
     let pages = 1_000u64;
     let mut dfs = SimDfs::new(6, 64 << 10);
-    let graph = GraphConfig { pages: pages as usize, mean_out_degree: 8, ..Default::default() };
+    let graph = GraphConfig {
+        pages: pages as usize,
+        mean_out_degree: 8,
+        ..Default::default()
+    };
     dfs.put("graph", graph.generate_bytes());
     let run = run_job(
         &small_cluster(),
@@ -147,10 +179,21 @@ fn profiles_account_full_pipeline() {
     assert_eq!(p.reduce_tasks.len(), 3);
     // Spills happened (small buffer) and consume work was recorded.
     let spills: usize = p.map_tasks.iter().map(|t| t.spills.len()).sum();
-    assert!(spills >= p.map_tasks.len(), "each task spills at least once");
+    assert!(
+        spills >= p.map_tasks.len(),
+        "each task spills at least once"
+    );
     let ops = p.total_ops();
     use textmr_engine::metrics::Op;
-    for op in [Op::Read, Op::Map, Op::Emit, Op::Sort, Op::SpillWrite, Op::Merge, Op::Reduce] {
+    for op in [
+        Op::Read,
+        Op::Map,
+        Op::Emit,
+        Op::Sort,
+        Op::SpillWrite,
+        Op::Merge,
+        Op::Reduce,
+    ] {
         assert!(ops.get(op) > 0, "operation {op} never recorded");
     }
     // Wall covers the map phase plus at least one reduce task.

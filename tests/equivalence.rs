@@ -194,3 +194,86 @@ proptest! {
         }
     }
 }
+
+/// Pinned regression from `equivalence.proptest-regressions` (seed
+/// `ff93ba88…`): FreqOpt over a tiny 1 KiB spill buffer, 1 KiB blocks, two
+/// nodes and four reducers. The saved shrink predates the `compress` /
+/// `hash_grouping` parameters, so this explicit case covers all four
+/// combinations — and both sequential and pooled execution.
+#[test]
+fn equivalence_regression_freqopt_tiny_buffer() {
+    let lines: Vec<String> = [
+        "hot hot hot aba ca warm hot hot warm dc",
+        "dcc hot hot hot qi hot warm warm b hot",
+        "hot warm hot warm",
+        "hi cc warm ba warm hot c nqgrr warm hot cd",
+        "abc bac hot hot warm aa hot fmp iu hot hot",
+        "wuffm hot hot n dc bb warm c hot c hot",
+        "cdd dcd warm hot hot hot hot hot warm bdd",
+        "dd hot hot warm warm b",
+        "hot warm hot b warm bd hot warm hot",
+        "warm hot bab bba adc hot hot hot hot hot",
+        "bab cc warm hot ccc d",
+        "warm hot hot klis hot warm hot warm warm",
+        "hot hot pekkt warm dbd hot hot tksvng hot",
+        "fnwilm warm",
+        "cba hot c aa",
+        "hxnog cdd a hot",
+        "ba hot hot hot hot hot hot hot",
+        "warm bbd uziu warm warm bd d hot",
+        "hot warm dad hot warm hot warm",
+        "hot hot hot hot warm dda hot",
+        "hot xqg hot hot c jsnhu warm hot dd",
+        "hot hot b hot hot xxvnl warm",
+        "thwx warm a a",
+        "hot warm mfgz hot",
+        "hot pffl qvlkx warm warm",
+        "hot warm aa cc hot b cd hot warm warm warm",
+        "kztpnz warm ca adb",
+        "warm a warm rgliui hot",
+        "warm hot hot ab da hzmjnw",
+        "xmqzfr ca hot warm hot y warm hot b",
+        "mvvfvq hot uxku hot baa hot warm hot",
+        "a b qer hot caa",
+        "hot a warm gmru cbc dcc hot hot hot",
+        "hot hot c a hot cd caa nfeli hot",
+        "warm hot hot hot",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (nodes, block, buffer, reducers) = (2usize, 1024usize, 1024usize, 4usize);
+    let dfs = build_dfs(&lines, nodes, block);
+    let reference = reference_run(&TokenSum, &dfs, &[("in", 0)], reducers).unwrap();
+    let expected = flatten_sorted(&reference);
+    for compress in [false, true] {
+        for hash_grouping in [false, true] {
+            for workers in [1, 4] {
+                let mut cluster = ClusterConfig::local();
+                cluster.nodes = nodes;
+                cluster.spill_buffer_bytes = buffer;
+                cluster.compress_map_output = compress;
+                cluster.worker_threads = workers;
+                let freq = FreqBufferConfig {
+                    k: 50,
+                    sampling_fraction: Some(0.1),
+                    ..Default::default()
+                };
+                let mut cfg = optimized(
+                    JobConfig::default().with_reducers(reducers),
+                    OptimizationConfig::freq_only(freq),
+                );
+                if hash_grouping {
+                    cfg.grouping = textmr_engine::task::reduce_task::Grouping::Hash;
+                }
+                let job: Arc<dyn Job> = Arc::new(TokenSum);
+                let engine = run_job(&cluster, &cfg, job, &dfs, &[("in", 0)]).unwrap();
+                assert_eq!(
+                    engine.sorted_pairs(),
+                    expected,
+                    "compress={compress} hash_grouping={hash_grouping} workers={workers}"
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Failure injection: map-task attempts die mid-input and are retried;
 //! output must be unaffected under every optimization configuration, and
-//! exhausted retries must abort the job.
+//! exhausted retries must abort the job — sequentially and on the worker
+//! pool, where a retry must never reuse a dead attempt's spill directory
+//! and an abort must cancel in-flight tasks instead of hanging the pool.
 
 use std::sync::Arc;
 use textmr_apps::WordCount;
@@ -13,7 +15,12 @@ fn corpus_dfs() -> SimDfs {
     let mut dfs = SimDfs::new(6, 32 << 10);
     dfs.put(
         "corpus",
-        CorpusConfig { lines: 2_000, vocab_size: 2_000, ..Default::default() }.generate_bytes(),
+        CorpusConfig {
+            lines: 2_000,
+            vocab_size: 2_000,
+            ..Default::default()
+        }
+        .generate_bytes(),
     );
     dfs
 }
@@ -41,7 +48,14 @@ fn retried_tasks_do_not_change_output() {
     cfg.fault_plan.insert(0, 1);
     cfg.fault_plan.insert(1, 50);
     cfg.fault_plan.insert(2, 7);
-    let faulty = run_job(&cluster(), &cfg, Arc::new(WordCount), &dfs, &[("corpus", 0)]).unwrap();
+    let faulty = run_job(
+        &cluster(),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
     assert_eq!(clean.sorted_pairs(), faulty.sorted_pairs());
 }
 
@@ -56,7 +70,11 @@ fn retries_work_under_every_optimization_config() {
         &[("corpus", 0)],
     )
     .unwrap();
-    let freq = FreqBufferConfig { k: 200, sampling_fraction: Some(0.1), ..Default::default() };
+    let freq = FreqBufferConfig {
+        k: 200,
+        sampling_fraction: Some(0.1),
+        ..Default::default()
+    };
     let configs = [
         OptimizationConfig::freq_only(freq.clone()),
         OptimizationConfig::spill_only(SpillMatcherConfig::default()),
@@ -70,8 +88,14 @@ fn retries_work_under_every_optimization_config() {
         let mut cfg = optimized(JobConfig::default().with_reducers(3), opt);
         cfg.fault_plan.insert(0, 25);
         cfg.fault_plan.insert(3, 2);
-        let faulty =
-            run_job(&cluster(), &cfg, Arc::new(WordCount), &dfs, &[("corpus", 0)]).unwrap();
+        let faulty = run_job(
+            &cluster(),
+            &cfg,
+            Arc::new(WordCount),
+            &dfs,
+            &[("corpus", 0)],
+        )
+        .unwrap();
         assert_eq!(clean.sorted_pairs(), faulty.sorted_pairs());
     }
 }
@@ -81,13 +105,23 @@ fn failed_attempt_occupies_slot_time() {
     let dfs = corpus_dfs();
     let mut cfg = JobConfig::default().with_reducers(3);
     cfg.fault_plan.insert(0, 100);
-    let run = run_job(&cluster(), &cfg, Arc::new(WordCount), &dfs, &[("corpus", 0)]).unwrap();
+    let run = run_job(
+        &cluster(),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
     // Task 0's scheduled span covers at least its successful attempt.
     let span = &run.profile.map_spans[0];
     assert!(span.end - span.start >= run.profile.map_tasks[0].virtual_duration);
     // And the failed attempt pushed its start later than zero... only if it
     // ran on the same slot first; at minimum the start is not before 0.
-    assert!(span.start > 0, "retry should be scheduled after the failed attempt");
+    assert!(
+        span.start > 0,
+        "retry should be scheduled after the failed attempt"
+    );
 }
 
 #[test]
@@ -97,7 +131,14 @@ fn injected_fault_on_every_first_attempt_still_completes() {
     for t in 0..64 {
         cfg.fault_plan.insert(t, 3);
     }
-    let run = run_job(&cluster(), &cfg, Arc::new(WordCount), &dfs, &[("corpus", 0)]).unwrap();
+    let run = run_job(
+        &cluster(),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
     assert!(!run.sorted_pairs().is_empty());
 }
 
@@ -107,6 +148,68 @@ fn max_attempts_zero_tolerance_aborts() {
     let mut cfg = JobConfig::default().with_reducers(2);
     cfg.fault_plan.insert(0, 5);
     cfg.max_attempts = 1; // the single allowed attempt is the failing one
-    let err = run_job(&cluster(), &cfg, Arc::new(WordCount), &dfs, &[("corpus", 0)]);
+    let err = run_job(
+        &cluster(),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    );
     assert!(err.is_err(), "exhausted attempts must abort the job");
+}
+
+#[test]
+fn retries_on_the_worker_pool_match_sequential_output() {
+    let dfs = corpus_dfs();
+    let mut cfg = JobConfig::default().with_reducers(3);
+    // Enough faults that retries and healthy tasks overlap on the pool.
+    for t in 0..8 {
+        cfg.fault_plan.insert(t, 1 + (t as u64 * 7) % 40);
+    }
+    let seq = run_job(
+        &cluster(),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    let par = run_job(
+        &cluster().with_worker_threads(4),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    assert_eq!(seq.sorted_pairs(), par.sorted_pairs());
+    assert_eq!(seq.profile.signature(), par.profile.signature());
+}
+
+#[test]
+fn exhausted_retries_abort_promptly_on_the_worker_pool() {
+    let dfs = corpus_dfs();
+    let mut cfg = JobConfig::default().with_reducers(2);
+    cfg.max_attempts = 1;
+    cfg.fault_plan.insert(3, 1); // dooms the job while other tasks are in flight
+    let start = std::time::Instant::now();
+    let err = run_job(
+        &cluster().with_worker_threads(4),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    );
+    let elapsed = start.elapsed();
+    let err = err.expect_err("exhausted attempts must abort the job");
+    assert!(
+        err.to_string().contains("map task 3 failed 1 attempts"),
+        "got: {err}"
+    );
+    // The abort cancels in-flight and queued tasks rather than running the
+    // whole job to completion; generous bound to stay robust under CI load.
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "abort took {elapsed:?}"
+    );
 }

@@ -18,11 +18,18 @@ fn cluster() -> ClusterConfig {
 }
 
 fn four_configs() -> Vec<(&'static str, OptimizationConfig)> {
-    let freq = FreqBufferConfig { k: 500, sampling_fraction: Some(0.05), ..Default::default() };
+    let freq = FreqBufferConfig {
+        k: 500,
+        sampling_fraction: Some(0.05),
+        ..Default::default()
+    };
     vec![
         ("Baseline", OptimizationConfig::baseline()),
         ("FreqOpt", OptimizationConfig::freq_only(freq.clone())),
-        ("SpillOpt", OptimizationConfig::spill_only(SpillMatcherConfig::default())),
+        (
+            "SpillOpt",
+            OptimizationConfig::spill_only(SpillMatcherConfig::default()),
+        ),
         (
             "Combined",
             OptimizationConfig {
@@ -39,7 +46,10 @@ fn run_all(job: Arc<dyn Job>, dfs: &SimDfs, inputs: &[(&str, u8)]) -> Vec<(&'sta
         .into_iter()
         .map(|(name, opt)| {
             let cfg = optimized(JobConfig::default().with_reducers(3), opt);
-            (name, run_job(&cluster(), &cfg, job.clone(), dfs, inputs).unwrap())
+            (
+                name,
+                run_job(&cluster(), &cfg, job.clone(), dfs, inputs).unwrap(),
+            )
         })
         .collect()
 }
@@ -48,7 +58,12 @@ fn corpus_dfs(lines: usize) -> SimDfs {
     let mut dfs = SimDfs::new(6, 64 << 10);
     dfs.put(
         "corpus",
-        CorpusConfig { lines, vocab_size: 3_000, ..Default::default() }.generate_bytes(),
+        CorpusConfig {
+            lines,
+            vocab_size: 3_000,
+            ..Default::default()
+        }
+        .generate_bytes(),
     );
     dfs
 }
@@ -76,7 +91,11 @@ fn all_configs_agree_on_inverted_index() {
 #[test]
 fn all_configs_agree_on_join() {
     let mut dfs = SimDfs::new(6, 64 << 10);
-    let weblog = WeblogConfig { num_urls: 400, num_visits: 2_500, ..Default::default() };
+    let weblog = WeblogConfig {
+        num_urls: 400,
+        num_visits: 2_500,
+        ..Default::default()
+    };
     dfs.put("visits", weblog.visits_bytes());
     dfs.put("rankings", weblog.rankings_bytes());
     let inputs = [("visits", SOURCE_VISITS), ("rankings", SOURCE_RANKINGS)];
@@ -92,12 +111,22 @@ fn freq_buffering_absorbs_on_text() {
     let dfs = corpus_dfs(4000);
     let runs = run_all(Arc::new(WordCount), &dfs, &[("corpus", 0)]);
     let absorbed = |run: &JobRun| -> u64 {
-        run.profile.map_tasks.iter().map(|t| t.freq_absorbed_records).sum()
+        run.profile
+            .map_tasks
+            .iter()
+            .map(|t| t.freq_absorbed_records)
+            .sum()
     };
     assert_eq!(absorbed(&runs[0].1), 0, "baseline must not absorb");
     assert_eq!(absorbed(&runs[2].1), 0, "spill-only must not absorb");
     let freq_absorbed = absorbed(&runs[1].1);
-    let emitted: u64 = runs[1].1.profile.map_tasks.iter().map(|t| t.emitted_records).sum();
+    let emitted: u64 = runs[1]
+        .1
+        .profile
+        .map_tasks
+        .iter()
+        .map(|t| t.emitted_records)
+        .sum();
     // Zipf(1) text: the frequent set should absorb a large share.
     assert!(
         freq_absorbed as f64 > 0.3 * emitted as f64,
@@ -185,7 +214,11 @@ fn combined_does_not_regress_text_virtual_time() {
 fn relational_job_not_catastrophically_hurt() {
     // The paper's claim is "improve or do not substantially change".
     let mut dfs = SimDfs::new(6, 64 << 10);
-    let weblog = WeblogConfig { num_urls: 600, num_visits: 4_000, ..Default::default() };
+    let weblog = WeblogConfig {
+        num_urls: 600,
+        num_visits: 4_000,
+        ..Default::default()
+    };
     dfs.put("visits", weblog.visits_bytes());
     let runs = run_all(Arc::new(AccessLogSum), &dfs, &[("visits", SOURCE_VISITS)]);
     let base = runs[0].1.profile.wall as f64;

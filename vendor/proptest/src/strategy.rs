@@ -1,0 +1,470 @@
+//! Value-generation strategies for the `proptest!` shim.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`] (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union built by `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` arms; weights must sum to > 0.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < u64::from(*w) {
+                return s.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Strategy for `Vec<S::Value>`; see [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty vec size range");
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar strategies: any::<T>() and ranges.
+// ---------------------------------------------------------------------------
+
+/// Types with a default "arbitrary value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over all values of `T`, biased toward boundary values the way
+/// upstream proptest's integer domains are.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix of edges, small values, and full-range uniforms:
+                // edge-heavy streams find off-by-one and overflow bugs that
+                // pure uniforms over wide types rarely hit.
+                match rng.below(8) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 | 4 => (rng.below(16)) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -1.0,
+            2 => 1.0,
+            _ => (rng.unit_f64() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        random_non_control_char(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy for `&'static str` patterns.
+// ---------------------------------------------------------------------------
+
+/// One repeatable unit of a pattern.
+enum Unit {
+    /// `\PC` — any non-control character.
+    NonControl,
+    /// `[...]` — explicit set of chars (ranges expanded).
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+struct PatternPiece {
+    unit: Unit,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '\\' => {
+                // Only `\PC` (non-control) is supported; anything else is an
+                // escaped literal.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Unit::NonControl
+                } else {
+                    let c = *chars.get(i + 1).expect("dangling escape in pattern");
+                    i += 2;
+                    Unit::Literal(c)
+                }
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in pattern");
+                i += 1; // closing ']'
+                Unit::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Unit::Literal(c)
+            }
+        };
+        // Optional {m,n} / {m} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {}")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition"),
+                    n.trim().parse().expect("bad repetition"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("bad repetition");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatternPiece { unit, min, max });
+    }
+    pieces
+}
+
+/// Sample any Unicode scalar that is not a control character, weighted
+/// toward ASCII but regularly producing multi-byte chars (the long tail is
+/// where tokenizer bugs live).
+fn random_non_control_char(rng: &mut TestRng) -> char {
+    loop {
+        let c = match rng.below(10) {
+            0..=5 => char::from_u32(0x20 + rng.below(0x5f) as u32),
+            6 | 7 => char::from_u32(0xA0 + rng.below(0x2f60) as u32),
+            _ => char::from_u32(rng.below(0x11_0000) as u32),
+        };
+        if let Some(c) = c {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &piece.unit {
+                    Unit::NonControl => out.push(random_non_control_char(rng)),
+                    Unit::Literal(c) => out.push(*c),
+                    Unit::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = (*hi as u64) - (*lo as u64) + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0xABCD, 0)
+    }
+
+    #[test]
+    fn char_class_pattern_respects_alphabet_and_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-d]{1,3}".generate(&mut r);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-zA-Z ,.]{0,60}".generate(&mut r);
+            assert!(s.chars().count() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || c == ' ' || c == ',' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn non_control_pattern_generates_no_controls_and_some_non_ascii() {
+        let mut r = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = "\\PC{0,80}".generate(&mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "long-tail chars never generated");
+    }
+
+    #[test]
+    fn oneof_honours_weights_roughly() {
+        let s = crate::prop_oneof![
+            4 => Just("hot".to_string()),
+            1 => "[a-d]{1,1}".prop_map(|s| s),
+        ];
+        let mut r = rng();
+        let hot = (0..1000).filter(|_| s.generate(&mut r) == "hot").count();
+        assert!((600..=1000).contains(&hot), "hot picked {hot}/1000");
+    }
+
+    #[test]
+    fn vec_strategy_lengths_in_range() {
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn any_int_hits_edges() {
+        let mut r = rng();
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..200 {
+            match u64::arbitrary(&mut r) {
+                0 => saw_zero = true,
+                u64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn tuples_and_ranges_compose() {
+        let s = (0u32..4, crate::collection::vec(any::<u8>(), 0..12));
+        let mut r = rng();
+        for _ in 0..100 {
+            let (part, key) = s.generate(&mut r);
+            assert!(part < 4);
+            assert!(key.len() < 12);
+        }
+    }
+}

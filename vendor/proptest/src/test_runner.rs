@@ -1,0 +1,120 @@
+//! Deterministic case scheduling for the `proptest!` shim.
+
+/// Configuration accepted by `#![proptest_config(...)]`. Only `cases` has an
+/// effect; the remaining fields exist so functional-record-update spellings
+/// like `ProptestConfig { cases: 64, ..ProptestConfig::default() }` compile.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (the shim never shrinks).
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Effective case count: `PROPTEST_CASES` overrides the config when set.
+pub fn resolved_cases(config_cases: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(config_cases),
+        Err(_) => config_cases,
+    }
+}
+
+/// Base RNG seed: `PROPTEST_RNG_SEED` (decimal or 0x-hex) or a fixed
+/// default, so failures reproduce across runs by default.
+pub fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).unwrap_or(0x7e57_5eed)
+            } else {
+                v.parse().unwrap_or(0x7e57_5eed)
+            }
+        }
+        Err(_) => 0x7e57_5eed,
+    }
+}
+
+/// SplitMix64 RNG used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one case, decorrelated from neighbouring cases.
+    pub fn for_case(base: u64, case: u32) -> Self {
+        let mut rng = TestRng {
+            state: base ^ (u64::from(case) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        // Warm up so adjacent case seeds diverge immediately.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_rngs_are_deterministic_and_distinct() {
+        let a1: Vec<u64> = {
+            let mut r = TestRng::for_case(1, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = TestRng::for_case(1, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2);
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case(1, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn default_config_compiles_with_fru() {
+        let c = ProptestConfig {
+            cases: 12,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(c.cases, 12);
+    }
+}

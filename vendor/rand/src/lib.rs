@@ -1,0 +1,211 @@
+//! Offline, API-compatible shim for the parts of `rand` 0.8 this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! extension methods `gen`, `gen_range`, `gen_ratio`.
+//!
+//! The generator is SplitMix64 — statistically solid for test-data
+//! generation, deterministic, and trivially seedable. It is NOT the same
+//! stream as upstream `StdRng` (ChaCha12), so datasets generated here differ
+//! byte-for-byte from ones generated with the real crate; all consumers in
+//! this workspace treat generated data as opaque, so only determinism
+//! matters.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Random number generator core + convenience methods (shim of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` from its "standard" distribution
+    /// (`f64` in `[0, 1)`, integers uniform over their full range).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits64(self.next_u64())
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// True with probability `num / den`.
+    fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0 && num <= den, "gen_ratio({num}, {den})");
+        (self.next_u64() % u64::from(den)) < u64::from(num)
+    }
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard {
+    fn from_bits64(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_bits64(bits: u64) -> f64 {
+        // 53 high bits -> [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_bits64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_bits64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_bits64(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let u: f64 = f64::from_bits64(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seedable RNG (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..5000 {
+            match r.gen_range(0u8..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_ratio_degenerate_cases() {
+        let mut r = StdRng::seed_from_u64(4);
+        assert!(!r.gen_ratio(0, 5));
+        assert!(r.gen_ratio(5, 5));
+    }
+
+    #[test]
+    fn works_through_unsized_bound() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut r = StdRng::seed_from_u64(5);
+        let _ = sample(&mut r);
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline shim for `rayon`: `into_par_iter()` degrades to the sequential
+//! `std` iterator. All call sites in this workspace seed their work
+//! per-index, so sequential and parallel execution produce identical
+//! output; only data-generation wall time differs. Engine-side parallelism
+//! does not go through rayon — the cluster driver uses its own scoped
+//! worker pool (`textmr_engine::cluster`).
+
+pub mod prelude {
+    /// Shim of `rayon::iter::IntoParallelIterator`, blanket-implemented so
+    /// `.into_par_iter()` yields the ordinary sequential iterator and the
+    /// downstream `.map(...).collect()` chain type-checks unchanged.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}
