@@ -59,8 +59,11 @@ pub struct ClusterConfig {
     /// Worker threads for *real* task execution. `1` (the default) runs
     /// every task inline on the caller's thread, exactly as before; larger
     /// values run map attempts and reduce tasks on a bounded pool of scoped
-    /// threads. Outputs, profiles and the virtual-time schedule are
-    /// identical either way — this knob only changes real wall-clock time.
+    /// threads. Outputs and timing-free profile counters
+    /// ([`JobProfile::signature`](crate::metrics::JobProfile::signature))
+    /// are identical either way; measured virtual durations vary with real
+    /// execution timing (pool contention, run-to-run jitter), as they
+    /// always have.
     pub worker_threads: usize,
 }
 
@@ -523,7 +526,10 @@ pub fn run_job(
     if let Some(e) = first_err {
         return Err(e);
     }
-    debug_assert_eq!(
+    // Hard assert: a violation would silently shift partition indices in
+    // the enumerate-based scheduling loop below, attributing results to the
+    // wrong partitions and dropping outputs instead of failing loudly.
+    assert_eq!(
         results.len(),
         cfg.num_reducers,
         "reducer cancelled without an error"

@@ -199,7 +199,7 @@ proptest! {
     }
 }
 
-/// Pinned regression from `components_proptest.proptest-regressions`: the
+/// Pinned regression (originally found by proptest): the
 /// tokenizer once mishandled U+2110 SCRIPT CAPITAL I, which `is_uppercase`
 /// but has an identity `to_lowercase` mapping. Kept as an explicit case so
 /// it runs on every engine, independent of property-test seed replay.

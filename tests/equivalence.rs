@@ -195,8 +195,8 @@ proptest! {
     }
 }
 
-/// Pinned regression from `equivalence.proptest-regressions` (seed
-/// `ff93ba88…`): FreqOpt over a tiny 1 KiB spill buffer, 1 KiB blocks, two
+/// Pinned regression (originally found by proptest, seed `ff93ba88…`):
+/// FreqOpt over a tiny 1 KiB spill buffer, 1 KiB blocks, two
 /// nodes and four reducers. The saved shrink predates the `compress` /
 /// `hash_grouping` parameters, so this explicit case covers all four
 /// combinations — and both sequential and pooled execution.
