@@ -76,6 +76,27 @@ pub fn worker_threads() -> usize {
     n.unwrap_or(1).max(1)
 }
 
+/// Shuffle fetchers per reduce task, from the command line or the
+/// environment: `--fetchers=N` or `TEXTMR_FETCHERS=N`. Defaults to 1 — the
+/// sequential legacy shuffle with independent-flow network accounting.
+/// With `N > 1` fetches run on a bounded pool and shuffle virtual time
+/// comes from the contention-aware NIC model; outputs and signatures are
+/// identical at any setting (see `textmr_engine::shuffle`).
+pub fn shuffle_fetchers() -> usize {
+    let mut n: Option<usize> = None;
+    for arg in std::env::args() {
+        if let Some(v) = arg.strip_prefix("--fetchers=") {
+            n = v.parse().ok();
+        }
+    }
+    let n = n.or_else(|| {
+        std::env::var("TEXTMR_FETCHERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    n.unwrap_or(1).max(1)
+}
+
 /// Hardware threads available to this process (fallback 4).
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
@@ -89,6 +110,7 @@ pub fn local_cluster(scale: Scale) -> ClusterConfig {
     let mut c = ClusterConfig::local();
     c.spill_buffer_bytes = scale.spill_buffer;
     c.worker_threads = worker_threads();
+    c.shuffle_fetchers = shuffle_fetchers();
     c
 }
 
@@ -98,6 +120,7 @@ pub fn ec2_cluster(scale: Scale) -> ClusterConfig {
     let mut c = ClusterConfig::ec2();
     c.spill_buffer_bytes = scale.spill_buffer;
     c.worker_threads = worker_threads();
+    c.shuffle_fetchers = shuffle_fetchers();
     c
 }
 

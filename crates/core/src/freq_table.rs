@@ -21,8 +21,14 @@
 //! footprint ≤ budget by construction.
 //!
 //! A [`FrequentKeyRegistry`](crate::registry::FrequentKeyRegistry) lets the
-//! first task on a node publish its frozen top-k so subsequent tasks skip
-//! stages 1–2 entirely (Sec. III-B, last paragraph).
+//! node's *designated* task (the lowest task id scheduled on the node —
+//! `FilterCtx::node_first_task`) publish its frozen top-k so every other
+//! task on the node skips stages 1–2 entirely (Sec. III-B, last
+//! paragraph). Non-designated tasks block on the designated outcome; if
+//! the designated task never freezes a set, it declines on drop and the
+//! waiters profile for themselves. Pinning the publisher (instead of
+//! first-to-freeze-wins) makes absorption counts — and hence job
+//! signatures — identical at any worker-thread count.
 
 use crate::autotune::{sampling_fraction, TuneBounds};
 use crate::fnv::FnvHashMap;
@@ -150,11 +156,19 @@ pub struct FrequencyBuffer {
     /// Node + registry for cross-task top-k sharing.
     node: usize,
     registry: Option<Arc<FrequentKeyRegistry>>,
+    /// True when this task is the node's designated publisher (and a
+    /// registry is in play): it must publish at freeze or decline on drop.
+    publisher: bool,
+    /// Whether the designated outcome has been recorded yet.
+    published: bool,
 }
 
 impl FrequencyBuffer {
-    /// Build a filter for one map task. If `registry` already has a top-k
-    /// for this node, profiling is skipped (shared frequent-key set).
+    /// Build a filter for one map task. With a registry, the node's
+    /// designated task (`ctx.node_first_task`) profiles and publishes;
+    /// every other task on the node waits for the designated outcome — a
+    /// published top-k skips profiling entirely, a decline means profiling
+    /// for itself (without publishing).
     pub fn new(
         ctx: &FilterCtx,
         cfg: FreqBufferConfig,
@@ -168,14 +182,36 @@ impl FrequencyBuffer {
         // requested k so every tracked key gets a useful value budget.
         let k = cfg.k.min(budget / MIN_PER_KEY_BYTES).max(1);
         let node = ctx.task.node;
+        let designated = ctx.task.task == ctx.node_first_task;
+        let publisher = designated && registry.is_some();
+        let fresh_profile = || Stage::PreProfile {
+            est: ZipfEstimator::default(),
+        };
         let stage = if !ctx.job.has_combiner() {
             Stage::Disabled
+        } else if publisher {
+            fresh_profile()
         } else {
-            match registry.as_ref().and_then(|r| r.lookup(node)) {
-                Some(keys) => Stage::Optimize(FreqTable::new(keys.iter().cloned(), budget / k)),
-                None => Stage::PreProfile {
-                    est: ZipfEstimator::default(),
-                },
+            match &registry {
+                // Consumer: block on the designated task's outcome. Safe
+                // because the worker pool claims task ids in ascending
+                // order (the designated, lower-id task is already claimed)
+                // and the wait polls the job's cancellation flag.
+                Some(r) => {
+                    let cancel = ctx.cancel.clone();
+                    let cancelled = move || {
+                        cancel
+                            .as_ref()
+                            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                    };
+                    match r.wait_for(node, &cancelled) {
+                        Some(keys) => {
+                            Stage::Optimize(FreqTable::new(keys.iter().cloned(), budget / k))
+                        }
+                        None => fresh_profile(),
+                    }
+                }
+                None => fresh_profile(),
             }
         };
         FrequencyBuffer {
@@ -191,6 +227,8 @@ impl FrequencyBuffer {
             user_combine_ns: 0,
             node,
             registry,
+            publisher,
+            published: false,
         }
     }
 
@@ -258,17 +296,35 @@ impl FrequencyBuffer {
         (self.estimated_inputs as f64 * expansion.max(1.0)) as u64
     }
 
-    /// Transition Profile → Optimize: freeze top-k, publish to registry.
+    /// Transition Profile → Optimize: freeze top-k; the designated
+    /// publisher shares it through the registry (consumers that profiled
+    /// for themselves after a decline keep their set private).
     fn freeze(&mut self, sketch: &SpaceSaving) {
         let keys: Vec<Box<[u8]>> = sketch
             .top_k(self.k)
             .into_iter()
             .map(|k| k.into_boxed_slice())
             .collect();
-        if let Some(r) = &self.registry {
-            r.publish(self.node, keys.clone());
+        if self.publisher {
+            if let Some(r) = &self.registry {
+                r.publish(self.node, keys.clone());
+            }
+            self.published = true;
         }
         self.stage = Stage::Optimize(FreqTable::new(keys, self.budget / self.k));
+    }
+}
+
+impl Drop for FrequencyBuffer {
+    fn drop(&mut self) {
+        // A designated publisher that never froze a set (input too small,
+        // filter inactive, task failed/panicked) declines so the node's
+        // waiters unblock and profile for themselves.
+        if self.publisher && !self.published {
+            if let Some(r) = &self.registry {
+                r.decline(self.node);
+            }
+        }
     }
 }
 
@@ -429,13 +485,19 @@ mod tests {
         fn reduce(&self, _k: &[u8], _v: &mut dyn ValueCursor, _o: &mut dyn Emit) {}
     }
 
-    fn ctx(estimated: u64, budget: usize) -> FilterCtx {
+    fn ctx_task(task: usize, estimated: u64, budget: usize) -> FilterCtx {
         FilterCtx {
-            task: TaskCtx { node: 0, task: 0 },
+            task: TaskCtx { node: 0, task },
             job: Arc::new(SumJob),
             budget_bytes: budget,
             estimated_records: estimated,
+            node_first_task: 0,
+            cancel: None,
         }
+    }
+
+    fn ctx(estimated: u64, budget: usize) -> FilterCtx {
+        ctx_task(0, estimated, budget)
     }
 
     /// Drive: each input record emits the given keys once.
@@ -563,18 +625,55 @@ mod tests {
             sampling_fraction: Some(0.1),
             ..Default::default()
         };
-        // Task 1 profiles and publishes.
+        // The designated task (lowest id on the node) profiles + publishes.
         let inputs = skewed_inputs(500);
         let mut fb1 = FrequencyBuffer::new(&ctx(500, 1 << 16), cfg.clone(), Some(registry.clone()));
         let mut sink = VecEmit::default();
         drive_strings(&mut fb1, &inputs, &mut sink);
         assert!(fb1.is_optimizing());
-        // Task 2 on the same node starts already optimizing.
-        let fb2 = FrequencyBuffer::new(&ctx(500, 1 << 16), cfg, Some(registry));
+        assert_eq!(registry.nodes_published(), 1);
+        // A later task on the same node starts already optimizing.
+        let fb2 = FrequencyBuffer::new(&ctx_task(1, 500, 1 << 16), cfg, Some(registry));
         assert!(
             fb2.is_optimizing(),
             "second task must reuse the published top-k"
         );
+    }
+
+    #[test]
+    fn designated_task_declines_on_drop_and_waiters_profile_themselves() {
+        let registry = Arc::new(FrequentKeyRegistry::new());
+        let cfg = FreqBufferConfig {
+            k: 2,
+            sampling_fraction: Some(0.5),
+            ..Default::default()
+        };
+        // The designated task sees too little input to ever freeze...
+        let mut fb1 =
+            FrequencyBuffer::new(&ctx(10_000, 1 << 16), cfg.clone(), Some(registry.clone()));
+        let mut sink = VecEmit::default();
+        drive_strings(&mut fb1, &skewed_inputs(5), &mut sink);
+        assert!(!fb1.is_optimizing());
+        drop(fb1); // ...so dropping it declines the node's slot.
+        assert_eq!(registry.nodes_published(), 0);
+        // A later task is not blocked: it profiles for itself and reaches
+        // Optimize without publishing.
+        let mut fb2 = FrequencyBuffer::new(&ctx_task(1, 500, 1 << 16), cfg, Some(registry.clone()));
+        drive_strings(&mut fb2, &skewed_inputs(500), &mut sink);
+        assert!(fb2.is_optimizing());
+        assert_eq!(registry.nodes_published(), 0);
+    }
+
+    #[test]
+    fn consumer_wait_respects_cancellation() {
+        use std::sync::atomic::AtomicBool;
+        let registry = Arc::new(FrequentKeyRegistry::new());
+        // Node slot never decided, but the job is already cancelled: the
+        // consumer must construct (in PreProfile) instead of hanging.
+        let mut c = ctx_task(3, 100, 1 << 16);
+        c.cancel = Some(Arc::new(AtomicBool::new(true)));
+        let fb = FrequencyBuffer::new(&c, FreqBufferConfig::default(), Some(registry));
+        assert!(!fb.is_optimizing());
     }
 
     #[test]

@@ -7,20 +7,40 @@
 //! after the first task, the top-k are shared with all subsequent ones."
 //!
 //! The registry is a job-scoped, thread-safe map from node id to the
-//! frozen top-k key set. The first task on a node to finish profiling
-//! publishes; later tasks construct their table directly from the lookup.
+//! frozen top-k key set. Each node has a **designated publisher** — the
+//! lowest-id map task scheduled on the node, chosen from the split plan by
+//! the job driver — which profiles and [`publish`](FrequentKeyRegistry::publish)es;
+//! every other task on the node [`wait_for`](FrequentKeyRegistry::wait_for)s
+//! the designated outcome instead of racing to publish. "Whichever task
+//! froze first" would make absorption counts depend on pool scheduling;
+//! pinning the publisher makes them identical at any worker-thread count.
+//! A designated task that never freezes a set (tiny input, inactive
+//! filter, panic) [`decline`](FrequentKeyRegistry::decline)s so waiters
+//! fall back to profiling for themselves rather than blocking forever.
+//!
+//! Deadlock-freedom when waiters block: the worker pool claims task
+//! indices in ascending order, so by the time any higher-id task on a node
+//! is running, the node's lowest-id task has already been claimed (it is
+//! running or finished) — its publish/decline is always forthcoming.
+//! Waiters additionally poll a caller-supplied cancellation check so a job
+//! that aborts mid-flight drains instead of hanging.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A frozen, shareable top-k frequent-key set.
 pub type SharedKeySet = Arc<Vec<Box<[u8]>>>;
 
+/// One node's slot: absent = undecided, `Some(set)` = published,
+/// `None` = declined (waiters must profile for themselves).
+type Slot = Option<SharedKeySet>;
+
 /// Job-scoped registry of frozen frequent-key sets, one per node.
 #[derive(Debug, Default)]
 pub struct FrequentKeyRegistry {
-    slots: Mutex<HashMap<usize, SharedKeySet>>,
+    slots: Mutex<HashMap<usize, Slot>>,
+    decided: Condvar,
 }
 
 impl FrequentKeyRegistry {
@@ -29,23 +49,65 @@ impl FrequentKeyRegistry {
         Self::default()
     }
 
-    /// Publish `keys` as node `node`'s frequent set. First publisher wins;
+    /// Publish `keys` as node `node`'s frequent set. First decision wins;
     /// later publications for the same node are ignored (all tasks on a
-    /// node see the same distribution, so the first frozen set is as good
-    /// as any and keeping it makes runs deterministic).
+    /// node see the same distribution, so the designated set is as good as
+    /// any and keeping it makes runs deterministic).
     pub fn publish(&self, node: usize, keys: Vec<Box<[u8]>>) {
-        let mut slots = self.slots.lock();
-        slots.entry(node).or_insert_with(|| Arc::new(keys));
+        let mut slots = self.slots.lock().expect("registry lock poisoned");
+        slots.entry(node).or_insert_with(|| Some(Arc::new(keys)));
+        self.decided.notify_all();
     }
 
-    /// The frequent set published for `node`, if any.
+    /// Record that node `node`'s designated publisher will never publish,
+    /// releasing any waiters to profile for themselves. Ignored if the
+    /// node's slot is already decided.
+    pub fn decline(&self, node: usize) {
+        let mut slots = self.slots.lock().expect("registry lock poisoned");
+        slots.entry(node).or_insert(None);
+        self.decided.notify_all();
+    }
+
+    /// The frequent set published for `node`, if the slot is decided and
+    /// was published (declined or undecided both yield `None`).
     pub fn lookup(&self, node: usize) -> Option<SharedKeySet> {
-        self.slots.lock().get(&node).cloned()
+        self.slots
+            .lock()
+            .expect("registry lock poisoned")
+            .get(&node)
+            .cloned()
+            .flatten()
     }
 
-    /// Number of nodes with a published set.
+    /// Block until node `node`'s slot is decided, returning the published
+    /// set (or `None` if the publisher declined). `cancelled` is polled
+    /// between short waits; once it returns `true` the wait gives up and
+    /// returns `None` so an aborting job drains promptly.
+    pub fn wait_for(&self, node: usize, cancelled: &dyn Fn() -> bool) -> Option<SharedKeySet> {
+        let mut slots = self.slots.lock().expect("registry lock poisoned");
+        loop {
+            if let Some(slot) = slots.get(&node) {
+                return slot.clone();
+            }
+            if cancelled() {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .decided
+                .wait_timeout(slots, Duration::from_millis(10))
+                .expect("registry lock poisoned");
+            slots = guard;
+        }
+    }
+
+    /// Number of nodes whose slot carries a published set.
     pub fn nodes_published(&self) -> usize {
-        self.slots.lock().len()
+        self.slots
+            .lock()
+            .expect("registry lock poisoned")
+            .values()
+            .filter(|s| s.is_some())
+            .count()
     }
 }
 
@@ -77,6 +139,17 @@ mod tests {
     }
 
     #[test]
+    fn decline_is_sticky_only_until_nothing_else_decides() {
+        let r = FrequentKeyRegistry::new();
+        r.decline(1);
+        assert!(r.lookup(1).is_none());
+        assert_eq!(r.nodes_published(), 0);
+        // First decision wins: a late publish after decline is ignored.
+        r.publish(1, keys(&["a"]));
+        assert!(r.lookup(1).is_none());
+    }
+
+    #[test]
     fn nodes_are_independent() {
         let r = FrequentKeyRegistry::new();
         r.publish(0, keys(&["x"]));
@@ -102,5 +175,35 @@ mod tests {
         for w in results.windows(2) {
             assert_eq!(w[0], w[1]);
         }
+    }
+
+    #[test]
+    fn wait_for_returns_already_decided_slot() {
+        let r = FrequentKeyRegistry::new();
+        r.publish(3, keys(&["k"]));
+        assert_eq!(r.wait_for(3, &|| false).unwrap().len(), 1);
+        r.decline(4);
+        assert!(r.wait_for(4, &|| false).is_none());
+    }
+
+    #[test]
+    fn wait_for_blocks_until_publish() {
+        let r = Arc::new(FrequentKeyRegistry::new());
+        let waiter = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || r.wait_for(7, &|| false))
+        };
+        // Let the waiter park, then publish.
+        std::thread::sleep(Duration::from_millis(20));
+        r.publish(7, keys(&["w"]));
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(got.as_slice(), keys(&["w"]).as_slice());
+    }
+
+    #[test]
+    fn wait_for_respects_cancellation() {
+        let r = FrequentKeyRegistry::new();
+        // Nothing will ever decide node 9; cancellation unblocks the wait.
+        assert!(r.wait_for(9, &|| true).is_none());
     }
 }

@@ -25,12 +25,13 @@ use crate::io::input::InputSplit;
 use crate::job::Job;
 use crate::metrics::{JobProfile, TaskProfile, TaskSpan, VNanos};
 use crate::net::NetworkConfig;
+use crate::pool::run_indexed;
 use crate::task::map_task::{run_map_task, MapOutput, MapTaskConfig, MapTaskError};
 use crate::task::reduce_task::{run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cluster shape and resources.
@@ -65,6 +66,14 @@ pub struct ClusterConfig {
     /// execution timing (pool contention, run-to-run jitter), as they
     /// always have.
     pub worker_threads: usize,
+    /// Parallel shuffle fetchers per reduce task (Hadoop's `parallel
+    /// copies`). `1` (the default) is the sequential legacy behaviour with
+    /// independent-flow network accounting; larger values fetch on a
+    /// bounded pool and price concurrent flows through the contention-aware
+    /// NIC model (see [`crate::shuffle`]). Outputs and signatures are
+    /// identical at any setting; clamped to
+    /// [`crate::shuffle::MAX_FETCHERS`].
+    pub shuffle_fetchers: usize,
 }
 
 impl ClusterConfig {
@@ -80,6 +89,7 @@ impl ClusterConfig {
             merge_fan_in: 10,
             compress_map_output: false,
             worker_threads: 1,
+            shuffle_fetchers: 1,
         }
     }
 
@@ -95,6 +105,7 @@ impl ClusterConfig {
             merge_fan_in: 10,
             compress_map_output: false,
             worker_threads: 1,
+            shuffle_fetchers: 1,
         }
     }
 
@@ -110,12 +121,21 @@ impl ClusterConfig {
             merge_fan_in: 10,
             compress_map_output: false,
             worker_threads: 1,
+            shuffle_fetchers: 1,
         }
     }
 
     /// Builder: set the worker-thread count (clamped to at least 1).
     pub fn with_worker_threads(mut self, n: usize) -> Self {
         self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Builder: set the per-reduce-task shuffle fetcher count (clamped to
+    /// at least 1; [`run_job`] further clamps to
+    /// [`crate::shuffle::MAX_FETCHERS`]).
+    pub fn with_shuffle_fetchers(mut self, n: usize) -> Self {
+        self.shuffle_fetchers = n.max(1);
         self
     }
 
@@ -222,54 +242,6 @@ impl Drop for TempDirGuard<'_> {
     }
 }
 
-/// Run `count` indexed work items on `workers` threads and collect the
-/// results **by item index**, not completion order, so callers observe the
-/// same ordering a sequential loop would produce.
-///
-/// With `workers <= 1` the items run inline on the caller's thread (no pool,
-/// no atomics on the hot path) — this is the bit-for-bit legacy execution
-/// mode. Otherwise scoped threads claim indices from a shared counter; each
-/// worker batches its `(index, result)` pairs locally and the driver merges
-/// them after joining, so no locks are held while tasks run. A panicking
-/// worker propagates its panic to the caller at join time.
-fn run_indexed<R, F>(workers: usize, count: usize, work: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    if workers <= 1 || count <= 1 {
-        return (0..count).map(work).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(count))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        done.push((i, work(i)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("worker thread panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
-        .collect()
-}
-
 /// Outcome of one map task's full retry loop, as produced on a worker.
 enum MapTaskOutcome {
     /// The task completed; carries every attempt's virtual duration
@@ -329,6 +301,15 @@ pub fn run_job(
     // `Cancelled`, and queued tasks never start real work — the pool drains
     // promptly instead of grinding through a doomed job.
     let cancel = Arc::new(AtomicBool::new(false));
+    // Lowest task id per node: the designated publisher for the node's
+    // frequent-key registry slot. Deterministic (derived from the split
+    // plan), unlike "whichever task froze first" under a worker pool.
+    let mut node_first_task: HashMap<usize, usize> = HashMap::new();
+    for (t, split) in splits.iter().enumerate() {
+        node_first_task
+            .entry(split.home_node % cluster.nodes)
+            .or_insert(t);
+    }
     let run_one_map_task = |t: usize| -> MapTaskOutcome {
         if cancel.load(Ordering::Relaxed) {
             return MapTaskOutcome::Cancelled;
@@ -359,6 +340,8 @@ pub fn run_job(
                         job: Arc::clone(&job),
                         budget_bytes: filter_budget,
                         estimated_records: split.count_records(),
+                        node_first_task: node_first_task.get(&node).copied().unwrap_or(t),
+                        cancel: Some(Arc::clone(&cancel)),
                     })
                 })
                 .filter(|f| f.is_active());
@@ -496,6 +479,7 @@ pub fn run_job(
                 merge_fan_in: cluster.merge_fan_in,
                 scratch_dir,
                 grouping: cfg.grouping,
+                fetchers: cluster.shuffle_fetchers.max(1),
             },
         );
         if res.is_err() {
@@ -509,6 +493,7 @@ pub fn run_job(
     let mut outputs = Vec::with_capacity(cfg.num_reducers);
     let mut reduce_profiles = Vec::with_capacity(cfg.num_reducers);
     let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_shuffles = Vec::with_capacity(cfg.num_reducers);
     let mut shuffled_bytes = 0u64;
     let mut rslot_free: Vec<Vec<VNanos>> =
         vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
@@ -543,7 +528,8 @@ pub fn run_job(
         let end = start + res.profile.virtual_duration;
         rslot_free[node][slot] = end;
         reduce_spans.push(TaskSpan { node, start, end });
-        shuffled_bytes += res.remote_bytes;
+        shuffled_bytes += res.shuffle.remote_bytes;
+        reduce_shuffles.push(res.shuffle);
         outputs.push(res.pairs);
         reduce_profiles.push(res.profile);
     }
@@ -567,6 +553,7 @@ pub fn run_job(
             map_phase_end,
             wall,
             shuffled_bytes,
+            reduce_shuffles,
         },
     })
 }
@@ -743,6 +730,47 @@ mod tests {
             pairs.push(run.sorted_pairs());
         }
         assert_eq!(pairs[0], pairs[1]);
+    }
+
+    #[test]
+    fn fetcher_pool_matches_sequential_shuffle() {
+        let data = corpus(400);
+        let mut runs = Vec::new();
+        for fetchers in [1, 4] {
+            let cluster = ClusterConfig::local().with_shuffle_fetchers(fetchers);
+            let mut dfs = SimDfs::new(cluster.nodes, 2048);
+            dfs.put("c", data.clone());
+            let run = run_job(
+                &cluster,
+                &JobConfig::default(),
+                Arc::new(WordSum),
+                &dfs,
+                &[("c", 0)],
+            )
+            .unwrap();
+            runs.push(run);
+        }
+        let (seq, par) = (&runs[0], &runs[1]);
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.profile.signature(), par.profile.signature());
+        // Timing-free shuffle stats line up per reducer; the NIC model's
+        // virtual time respects its bounds.
+        for (s, p) in seq
+            .profile
+            .reduce_shuffles
+            .iter()
+            .zip(&par.profile.reduce_shuffles)
+        {
+            assert_eq!(s.fetched_bytes, p.fetched_bytes);
+            assert_eq!(s.remote_bytes, p.remote_bytes);
+            assert_eq!(s.size_hist, p.size_hist);
+            assert_eq!(s.wait_ns, 0); // one fetcher never stalls
+            assert!(p.virtual_ns <= p.sequential_ns);
+            assert!(p.virtual_ns >= p.max_flow_ns);
+        }
+        let agg = par.profile.shuffle_stats();
+        assert_eq!(agg.fetched_bytes, seq.profile.shuffle_stats().fetched_bytes);
+        assert!(agg.fetchers >= 4 || agg.fetches == 0);
     }
 
     #[test]

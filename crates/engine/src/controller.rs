@@ -18,6 +18,7 @@
 //! registry) lives in the closure's captures.
 
 use crate::job::{Emit, Job};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// What the engine observed about the previous spill; input to
@@ -139,6 +140,16 @@ pub struct FilterCtx {
     /// Estimated number of map-input records for this task (drives
     /// profiling-stage sizing).
     pub estimated_records: u64,
+    /// Lowest task id scheduled on this task's node — the *designated
+    /// publisher* for node-level shared state (the frequent-key registry).
+    /// Derived from the split plan, so it is identical at any worker-thread
+    /// count; a task for which `task.task == node_first_task` publishes,
+    /// everyone else consumes.
+    pub node_first_task: usize,
+    /// Job-wide cancellation flag (set when any task dooms the job). A
+    /// filter blocking on a node-level outcome must poll this so a doomed
+    /// job drains instead of deadlocking.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Factory producing a fresh controller per map task.

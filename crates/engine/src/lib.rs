@@ -14,8 +14,10 @@
 //!   ([`task::pipeline`]) while all work executes for real and is measured —
 //!   see DESIGN.md for why (single-core determinism, faithful to the
 //!   paper's Section IV-C model);
-//! * shuffle with a bandwidth/latency network model ([`net`]) and
-//!   sort-merge reduce ([`task::reduce_task`]);
+//! * a shuffle subsystem ([`shuffle`]) with a pooled parallel fetcher per
+//!   reduce task and a contention-aware per-node NIC model over the
+//!   bandwidth/latency network config ([`net`]), feeding sort-merge reduce
+//!   ([`task::reduce_task`]);
 //! * cluster-level virtual scheduling onto node slots ([`cluster`]);
 //! * fine-grained abstraction-cost metrics ([`metrics`]) matching the
 //!   paper's Table I operation breakdown.
@@ -62,7 +64,9 @@ pub mod io;
 pub mod job;
 pub mod metrics;
 pub mod net;
+pub(crate) mod pool;
 pub mod reference;
+pub mod shuffle;
 pub mod task;
 
 /// One-stop imports for writing and running jobs.
@@ -77,5 +81,6 @@ pub mod prelude {
     pub use crate::job::{Emit, Job, Record, ValueCursor, ValueSink};
     pub use crate::metrics::{JobProfile, Op, Phase, TaskProfile};
     pub use crate::net::NetworkConfig;
+    pub use crate::shuffle::{FetchHistogram, ShuffleStats};
     pub use crate::task::reduce_task::Grouping;
 }

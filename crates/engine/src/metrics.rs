@@ -11,6 +11,7 @@
 //! (see `task::pipeline`); `u64` nanoseconds are used throughout so profiles
 //! are plain data.
 
+use crate::shuffle::ShuffleStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -18,7 +19,7 @@ use std::time::Duration;
 pub type VNanos = u64;
 
 /// Number of fine-grained operations tracked.
-pub const NUM_OPS: usize = 13;
+pub const NUM_OPS: usize = 14;
 
 /// Fine-grained operations, following the paper's Table I decomposition of
 /// the map, shuffle and reduce phases.
@@ -53,6 +54,10 @@ pub enum Op {
     Reduce = 11,
     /// Writing final output (framework).
     OutputWrite = 12,
+    /// Reduce task stalled on its single slowest shuffle source while the
+    /// rest of its fetcher pool sat idle — the straggler tail of a parallel
+    /// shuffle (idle; zero with one fetcher, which is never "stalled").
+    ShuffleWait = 13,
 }
 
 /// Coarse phases of a MapReduce job.
@@ -82,6 +87,7 @@ impl Op {
         Op::ReduceMerge,
         Op::Reduce,
         Op::OutputWrite,
+        Op::ShuffleWait,
     ];
 
     /// Index in `0..NUM_OPS`.
@@ -102,7 +108,7 @@ impl Op {
             | Op::Merge
             | Op::MapIdle
             | Op::SupportIdle => Phase::Map,
-            Op::ShuffleFetch => Phase::Shuffle,
+            Op::ShuffleFetch | Op::ShuffleWait => Phase::Shuffle,
             Op::ReduceMerge | Op::Reduce | Op::OutputWrite => Phase::Reduce,
         }
     }
@@ -116,7 +122,7 @@ impl Op {
 
     /// True for the idle/wait pseudo-operations.
     pub fn is_idle(self) -> bool {
-        matches!(self, Op::MapIdle | Op::SupportIdle)
+        matches!(self, Op::MapIdle | Op::SupportIdle | Op::ShuffleWait)
     }
 
     /// Display name used by the bench harnesses.
@@ -135,6 +141,7 @@ impl Op {
             Op::ReduceMerge => "reduce-merge",
             Op::Reduce => "reduce",
             Op::OutputWrite => "write",
+            Op::ShuffleWait => "shuffle-wait",
         }
     }
 }
@@ -390,6 +397,9 @@ pub struct JobProfile {
     pub wall: VNanos,
     /// Total intermediate bytes shuffled across the (virtual) network.
     pub shuffled_bytes: u64,
+    /// Per-reduce-task shuffle statistics (fetch histograms + NIC-model
+    /// schedule), in partition order. See [`crate::shuffle`].
+    pub reduce_shuffles: Vec<ShuffleStats>,
 }
 
 impl JobProfile {
@@ -404,6 +414,16 @@ impl JobProfile {
                 .collect(),
             shuffled_bytes: self.shuffled_bytes,
         }
+    }
+
+    /// Aggregate shuffle statistics across all reduce tasks (byte totals
+    /// and virtual times add; `max_flow_ns` keeps the job-wide maximum).
+    pub fn shuffle_stats(&self) -> ShuffleStats {
+        let mut agg = ShuffleStats::default();
+        for s in &self.reduce_shuffles {
+            agg.merge(s);
+        }
+        agg
     }
 
     /// Sum of all operation times across all tasks.

@@ -6,11 +6,19 @@
 //! and an EC2-like cloud cluster with lower per-node bandwidth — the knob
 //! behind Table IV's observation that InvertedIndex's gains shrink on EC2
 //! because shuffle grows.
+//!
+//! [`NetworkConfig::transfer_ns`] prices one flow in isolation — the exact
+//! accounting a single sequential fetcher produces. When a reduce task runs
+//! several fetchers in parallel, concurrent flows into its node share the
+//! node's ingress NIC instead of each getting the full bandwidth; that
+//! contention-aware schedule is computed by [`crate::shuffle`], which uses
+//! [`NetworkConfig::full_rate_ns`] as the per-flow service demand.
 
 /// Bandwidth/latency model for cross-node transfers.
 #[derive(Debug, Clone, Copy)]
 pub struct NetworkConfig {
-    /// Point-to-point bandwidth in bytes per second.
+    /// Per-node NIC bandwidth in bytes per second. A single flow gets all
+    /// of it; concurrent flows into the same node share it fairly.
     pub bandwidth_bytes_per_sec: u64,
     /// Per-transfer latency in nanoseconds.
     pub latency_ns: u64,
@@ -34,13 +42,23 @@ impl NetworkConfig {
         }
     }
 
-    /// Virtual nanoseconds to move `bytes` from `src` to `dst`. Free if the
-    /// nodes coincide (local disk read is measured separately, for real).
+    /// Virtual nanoseconds to move `bytes` from `src` to `dst` as the only
+    /// flow on the destination NIC. Free if the nodes coincide (local disk
+    /// read is measured separately, for real).
     pub fn transfer_ns(&self, src: usize, dst: usize, bytes: u64) -> u64 {
         if src == dst {
             return 0;
         }
-        self.latency_ns + bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec.max(1)
+        self.latency_ns.saturating_add(self.full_rate_ns(bytes))
+    }
+
+    /// Virtual nanoseconds to push `bytes` through the NIC at the full
+    /// bandwidth, excluding latency: the flow's service demand. Computed in
+    /// `u128` so multi-gigabyte transfers cannot saturate the intermediate
+    /// product (`bytes * 1e9` overflows `u64` above ~18 GB).
+    pub fn full_rate_ns(&self, bytes: u64) -> u64 {
+        let ns = (bytes as u128) * 1_000_000_000 / self.bandwidth_bytes_per_sec.max(1) as u128;
+        u64::try_from(ns).unwrap_or(u64::MAX)
     }
 }
 
@@ -82,5 +100,19 @@ mod tests {
             latency_ns: 5,
         };
         let _ = net.transfer_ns(0, 1, 100);
+    }
+
+    #[test]
+    fn huge_transfers_do_not_saturate() {
+        // 64 GiB at 1 GbE: the old u64 `bytes * 1e9` accounting saturated
+        // above ~18 GB and silently undercounted. 64 GiB should cost 4× as
+        // much as 16 GiB, not clamp.
+        let net = NetworkConfig::local_cluster();
+        let t16 = net.transfer_ns(0, 1, 16 << 30);
+        let t64 = net.transfer_ns(0, 1, 64 << 30);
+        assert!(t64 > 3 * t16, "t64={t64} t16={t16}");
+        // And the exact value matches the u128 arithmetic.
+        let expect = (64u128 << 30) * 1_000_000_000 / (110 * 1024 * 1024);
+        assert_eq!(net.full_rate_ns(64 << 30), expect as u64);
     }
 }

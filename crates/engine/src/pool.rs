@@ -1,0 +1,86 @@
+//! Bounded scoped-thread execution of indexed work items.
+//!
+//! Shared by the job driver (map attempts, reduce tasks — see [`crate::cluster`])
+//! and the shuffle fetcher pool ([`crate::shuffle`]). The contract both rely
+//! on: results come back **by item index**, never by completion order, so a
+//! pooled run is observably identical to a sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `count` indexed work items on `workers` threads and collect the
+/// results **by item index**, not completion order, so callers observe the
+/// same ordering a sequential loop would produce.
+///
+/// With `workers <= 1` the items run inline on the caller's thread (no pool,
+/// no atomics on the hot path) — this is the bit-for-bit legacy execution
+/// mode. Otherwise scoped threads claim indices from a shared counter; each
+/// worker batches its `(index, result)` pairs locally and the driver merges
+/// them after joining, so no locks are held while tasks run. A panicking
+/// worker propagates its panic to the caller at join time.
+///
+/// Indices are claimed in ascending order: item `i` is always claimed no
+/// later than item `j > i`. Work that waits on an outcome produced by a
+/// lower-indexed item (e.g. the frequent-key registry's designated
+/// publisher) relies on this to stay deadlock-free.
+pub(crate) fn run_indexed<R, F>(workers: usize, count: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(count))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        done.push((i, work(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_pooled_agree() {
+        let work = |i: usize| i * i;
+        let seq = run_indexed(1, 37, work);
+        for workers in [2, 4, 16] {
+            assert_eq!(run_indexed(workers, 37, work), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_runs_inline() {
+        assert!(run_indexed(8, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,614 @@
+//! The shuffle subsystem: a pooled parallel fetcher per reduce task and a
+//! contention-aware per-node NIC model for shuffle virtual time.
+//!
+//! A reduce task fetches its partition from every map output. Two things
+//! happen per fetch: *real* work (disk read of the stored partition, plus
+//! decompression when the map side compressed it), which is measured, and
+//! *virtual* network time for remote sources. Historically both lived in a
+//! sequential `for` loop inside the reduce task; this module lifts them
+//! into a first-class subsystem with two independent knobs:
+//!
+//! * **Fetcher pool** ([`ClusterConfig::shuffle_fetchers`]
+//!   (crate::cluster::ClusterConfig::shuffle_fetchers)): the real disk
+//!   reads + decompression run on a bounded pool of scoped threads, like
+//!   Hadoop's small pool of parallel copiers. Results are collected in
+//!   **map-task-id order** (the same recipe the job driver uses for task
+//!   results), so the merged reduce input is byte-identical at any fetcher
+//!   count.
+//! * **NIC-sharing virtual-time model**: with one fetcher, each remote flow
+//!   has the destination NIC to itself and shuffle virtual time is the
+//!   plain sum of `latency + bytes/bandwidth` terms — exactly the legacy
+//!   accounting, reproduced bit-for-bit. With `f > 1` fetchers, up to `f`
+//!   flows are in flight at once and concurrent flows into the reducer's
+//!   node share its ingress bandwidth fairly; a small deterministic event
+//!   loop computes the resulting schedule. Parallel fetch virtual time is
+//!   therefore the *makespan* of overlapping flows — never more than the
+//!   sequential sum, never less than the largest single flow.
+//!
+//! The event loop also measures the **straggler tail**: the span during
+//! which every other fetcher has drained and the reducer is stalled on its
+//! single slowest source. That feeds [`Op::ShuffleWait`]
+//! (crate::metrics::Op::ShuffleWait) and the `shuffle_scale` harness.
+//!
+//! Simplification (documented, like the phase-split shuffle): each reduce
+//! task models its own node's ingress NIC in isolation; two reduce tasks
+//! scheduled onto the same node do not contend with each other, matching
+//! the engine's independent-task virtual scheduling.
+
+use crate::io::compress::decompress;
+use crate::metrics::{Stopwatch, VNanos};
+use crate::net::NetworkConfig;
+use crate::pool::run_indexed;
+use crate::task::map_task::MapOutput;
+use std::io;
+
+/// Hard cap on parallel fetchers per reduce task. Keeps the NIC event
+/// loop's exact integer arithmetic in range ([`SCALE`] is the LCM of all
+/// admissible flow counts); Hadoop's `parallel copies` default is 5, so 16
+/// is already generous.
+pub const MAX_FETCHERS: usize = 16;
+
+/// LCM(1..=16): with `n` concurrent flows, each flow drains `SCALE / n`
+/// scaled units per virtual nanosecond — an exact integer for every
+/// admissible `n`, so the event loop is deterministic with no float drift.
+const SCALE: u128 = 720_720;
+
+/// Number of power-of-two size buckets in a [`FetchHistogram`]
+/// (bucket 39 holds fetches of 2^38 bytes = 256 GiB and above).
+pub const NUM_FETCH_BUCKETS: usize = 40;
+
+/// Power-of-two histogram of per-fetch stored sizes (bytes as shuffled,
+/// i.e. compressed when map outputs are compressed).
+///
+/// Bucket `0` counts empty fetches; bucket `i > 0` counts fetches with
+/// `bytes` in `[2^(i-1), 2^i)`. Timing-free and deterministic: identical
+/// across worker and fetcher counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchHistogram {
+    counts: [u64; NUM_FETCH_BUCKETS],
+}
+
+impl Default for FetchHistogram {
+    fn default() -> Self {
+        FetchHistogram {
+            counts: [0; NUM_FETCH_BUCKETS],
+        }
+    }
+}
+
+impl FetchHistogram {
+    /// Bucket index for a fetch of `bytes` stored bytes.
+    pub fn bucket_of(bytes: u64) -> usize {
+        ((u64::BITS - bytes.leading_zeros()) as usize).min(NUM_FETCH_BUCKETS - 1)
+    }
+
+    /// Count one fetch of `bytes` stored bytes.
+    pub fn record(&mut self, bytes: u64) {
+        self.counts[Self::bucket_of(bytes)] += 1;
+    }
+
+    /// Add another histogram's counts into this one.
+    pub fn merge(&mut self, other: &FetchHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// All bucket counts, index `i` covering `[2^(i-1), 2^i)` (index 0:
+    /// empty fetches).
+    pub fn buckets(&self) -> &[u64; NUM_FETCH_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total fetches recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Per-reduce-task shuffle statistics: byte totals, the fetch-size
+/// histogram, and the virtual-time outcome of the NIC model.
+///
+/// Byte totals and the histogram are timing-free (deterministic across
+/// worker/fetcher counts); the `*_ns` fields are virtual times driven by
+/// measured disk/decompress costs and carry the usual measurement noise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Number of map outputs fetched (one per map task).
+    pub fetches: u64,
+    /// Fetches whose source node differed from the reducer's node.
+    pub remote_fetches: u64,
+    /// Total stored bytes fetched (all sources).
+    pub fetched_bytes: u64,
+    /// Stored bytes fetched from remote sources (paid network time).
+    pub remote_bytes: u64,
+    /// Parallel fetchers the schedule was computed for (after clamping).
+    pub fetchers: usize,
+    /// Virtual shuffle makespan under the NIC-sharing model. Equals
+    /// [`ShuffleStats::sequential_ns`] when `fetchers == 1`.
+    pub virtual_ns: VNanos,
+    /// Degenerate one-fetcher virtual time (the legacy independent-flow
+    /// sum), computed from the same measured inputs for comparison.
+    pub sequential_ns: VNanos,
+    /// Largest single fetch (disk + latency + full-bandwidth transfer +
+    /// decompress): a lower bound on any schedule's makespan.
+    pub max_flow_ns: VNanos,
+    /// Straggler tail: time the reducer was stalled on its single slowest
+    /// source while every other fetcher was idle. Zero when `fetchers == 1`
+    /// (a lone fetcher is always busy, never stalled).
+    pub wait_ns: VNanos,
+    /// Histogram of per-fetch stored sizes.
+    pub size_hist: FetchHistogram,
+}
+
+impl ShuffleStats {
+    /// Merge another task's stats into this aggregate (virtual times add;
+    /// `fetchers` keeps the maximum seen).
+    pub fn merge(&mut self, other: &ShuffleStats) {
+        self.fetches += other.fetches;
+        self.remote_fetches += other.remote_fetches;
+        self.fetched_bytes += other.fetched_bytes;
+        self.remote_bytes += other.remote_bytes;
+        self.fetchers = self.fetchers.max(other.fetchers);
+        self.virtual_ns += other.virtual_ns;
+        self.sequential_ns += other.sequential_ns;
+        self.max_flow_ns = self.max_flow_ns.max(other.max_flow_ns);
+        self.wait_ns += other.wait_ns;
+        self.size_hist.merge(&other.size_hist);
+    }
+}
+
+/// Everything a reduce task needs from its shuffle: the fetched runs plus
+/// accounting.
+#[derive(Debug)]
+pub struct ShuffleOutcome {
+    /// Non-empty decompressed partition runs, in map-task-id order —
+    /// byte-identical at any fetcher count.
+    pub runs: Vec<Vec<u8>>,
+    /// Measured real work (disk reads + decompression), for
+    /// [`Op::ShuffleFetch`](crate::metrics::Op::ShuffleFetch).
+    pub fetch_work_ns: u64,
+    /// Per-task statistics including the virtual-time schedule.
+    pub stats: ShuffleStats,
+}
+
+/// One fetched partition with its measured costs.
+struct FetchedRun {
+    data: Vec<u8>,
+    src_node: usize,
+    stored_bytes: u64,
+    io_ns: u64,
+    decompress_ns: u64,
+}
+
+/// Read (and decompress) one map output's partition, measuring both costs.
+fn fetch_one(mo: &MapOutput, partition: usize) -> io::Result<FetchedRun> {
+    let sw = Stopwatch::start();
+    let raw = mo.file.read_partition(partition)?;
+    let io_ns = sw.elapsed_ns();
+    let stored_bytes = raw.len() as u64;
+    let (data, decompress_ns) = if mo.compressed && !raw.is_empty() {
+        let sw_d = Stopwatch::start();
+        let data = decompress(&raw).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "corrupt compressed map output")
+        })?;
+        (data, sw_d.elapsed_ns())
+    } else {
+        (raw, 0)
+    };
+    Ok(FetchedRun {
+        data,
+        src_node: mo.node,
+        stored_bytes,
+        io_ns,
+        decompress_ns,
+    })
+}
+
+/// One fetch as the NIC model sees it: fixed pre work (disk read), an
+/// optional network flow (latency, then bytes at the shared rate), fixed
+/// post work (decompress).
+#[derive(Debug, Clone, Copy)]
+struct FlowJob {
+    pre_ns: u64,
+    remote: bool,
+    latency_ns: u64,
+    full_rate_ns: u64,
+    post_ns: u64,
+}
+
+impl FlowJob {
+    /// The job's cost when it has the NIC to itself.
+    fn isolated_ns(&self) -> u64 {
+        let net = if self.remote {
+            self.latency_ns.saturating_add(self.full_rate_ns)
+        } else {
+            0
+        };
+        self.pre_ns.saturating_add(net).saturating_add(self.post_ns)
+    }
+}
+
+/// What a fetcher slot is currently doing.
+enum SlotState {
+    /// A fixed-duration phase (disk read, latency, or decompress).
+    Fixed { until: u64, next: AfterFixed },
+    /// An in-flight network transfer; `remaining` is in `SCALE`-scaled
+    /// full-rate nanoseconds.
+    Transfer { remaining: u128 },
+}
+
+/// What follows the current fixed phase.
+enum AfterFixed {
+    /// Disk read done → start latency (remote) or decompress (local).
+    Latency,
+    /// Latency done → start the transfer.
+    Transfer,
+    /// Decompress done → job complete.
+    Done,
+}
+
+struct Slot {
+    job: usize,
+    state: SlotState,
+}
+
+impl Slot {
+    fn start(jobs: &[FlowJob], job: usize, now: u64) -> Slot {
+        Slot {
+            job,
+            state: SlotState::Fixed {
+                until: now.saturating_add(jobs[job].pre_ns),
+                next: if jobs[job].remote {
+                    AfterFixed::Latency
+                } else {
+                    AfterFixed::Done
+                },
+            },
+        }
+    }
+
+    /// Advance through any phases that complete exactly at `now`.
+    /// Returns `true` when the job finished.
+    fn advance(&mut self, jobs: &[FlowJob], now: u64) -> bool {
+        loop {
+            match &self.state {
+                SlotState::Fixed { until, next } if *until == now => match next {
+                    AfterFixed::Latency => {
+                        self.state = SlotState::Fixed {
+                            until: now.saturating_add(jobs[self.job].latency_ns),
+                            next: AfterFixed::Transfer,
+                        };
+                    }
+                    AfterFixed::Transfer => {
+                        self.state = SlotState::Transfer {
+                            remaining: jobs[self.job].full_rate_ns as u128 * SCALE,
+                        };
+                    }
+                    AfterFixed::Done => return true,
+                },
+                SlotState::Transfer { remaining } if *remaining == 0 => {
+                    self.state = SlotState::Fixed {
+                        until: now.saturating_add(jobs[self.job].post_ns),
+                        next: AfterFixed::Done,
+                    };
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Deterministic event loop: `fetchers` slots pull jobs in id order; all
+/// in-flight transfers share the destination NIC fairly. Returns the
+/// schedule makespan and the straggler tail.
+fn nic_schedule(jobs: &[FlowJob], fetchers: usize) -> (VNanos, VNanos) {
+    let f = fetchers.clamp(1, MAX_FETCHERS).min(jobs.len().max(1));
+    let mut slots: Vec<Option<Slot>> = (0..f).map(|_| None).collect();
+    let mut next_job = 0usize;
+    let mut now: u64 = 0;
+    let mut wait_ns: u64 = 0;
+    loop {
+        for slot in slots.iter_mut() {
+            // Keep claiming: a fully zero-cost job completes instantly and
+            // frees its slot for the next pending job at the same instant.
+            while slot.is_none() && next_job < jobs.len() {
+                let mut s = Slot::start(jobs, next_job, now);
+                next_job += 1;
+                if !s.advance(jobs, now) {
+                    *slot = Some(s);
+                }
+            }
+        }
+        let busy = slots.iter().flatten().count();
+        if busy == 0 {
+            break;
+        }
+        let n_flows = slots
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s.state, SlotState::Transfer { .. }))
+            .count();
+        // Earliest next event across fixed phases and flow completions.
+        let mut t_next = u64::MAX;
+        for s in slots.iter().flatten() {
+            let t = match &s.state {
+                SlotState::Fixed { until, .. } => *until,
+                SlotState::Transfer { remaining } => {
+                    let rate = SCALE / n_flows as u128; // exact: n ≤ 16
+                    let dt = remaining.div_ceil(rate);
+                    now.saturating_add(u64::try_from(dt).unwrap_or(u64::MAX))
+                }
+            };
+            t_next = t_next.min(t);
+        }
+        let dt = t_next - now;
+        // Straggler tail: one source left in flight, idle capacity beside it.
+        if f > 1 && busy == 1 && next_job >= jobs.len() {
+            wait_ns += dt;
+        }
+        if n_flows > 0 && dt > 0 {
+            let dep = dt as u128 * (SCALE / n_flows as u128);
+            for s in slots.iter_mut().flatten() {
+                if let SlotState::Transfer { remaining } = &mut s.state {
+                    *remaining = remaining.saturating_sub(dep);
+                }
+            }
+        }
+        now = t_next;
+        for slot in slots.iter_mut() {
+            if let Some(s) = slot {
+                if s.advance(jobs, now) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+    (now, wait_ns)
+}
+
+/// Fetch a reduce task's partition from every map output.
+///
+/// Real disk reads and decompression run on up to `fetchers` scoped
+/// threads (1 = inline, the legacy path); the virtual-time schedule is
+/// computed by the NIC-sharing model. Runs come back in map-task-id order
+/// regardless of fetcher count.
+pub fn run_shuffle(
+    map_outputs: &[MapOutput],
+    partition: usize,
+    dst_node: usize,
+    net: &NetworkConfig,
+    fetchers: usize,
+) -> io::Result<ShuffleOutcome> {
+    let fetchers = fetchers.clamp(1, MAX_FETCHERS);
+    let fetched = run_indexed(fetchers.min(map_outputs.len()), map_outputs.len(), |i| {
+        fetch_one(&map_outputs[i], partition)
+    });
+
+    let mut stats = ShuffleStats {
+        fetchers,
+        ..ShuffleStats::default()
+    };
+    let mut fetch_work_ns = 0u64;
+    let mut jobs = Vec::with_capacity(map_outputs.len());
+    let mut runs = Vec::with_capacity(map_outputs.len());
+    // Results arrive in map-task-id order; the first error seen is the one
+    // a sequential fetch loop would have reported.
+    for fr in fetched {
+        let fr = fr?;
+        let remote = fr.src_node != dst_node;
+        stats.fetches += 1;
+        stats.fetched_bytes += fr.stored_bytes;
+        if remote {
+            stats.remote_fetches += 1;
+            stats.remote_bytes += fr.stored_bytes;
+        }
+        stats.size_hist.record(fr.stored_bytes);
+        fetch_work_ns += fr.io_ns + fr.decompress_ns;
+        let job = FlowJob {
+            pre_ns: fr.io_ns,
+            remote,
+            latency_ns: net.latency_ns,
+            full_rate_ns: net.full_rate_ns(fr.stored_bytes),
+            post_ns: fr.decompress_ns,
+        };
+        stats.sequential_ns = stats.sequential_ns.saturating_add(job.isolated_ns());
+        stats.max_flow_ns = stats.max_flow_ns.max(job.isolated_ns());
+        jobs.push(job);
+        if !fr.data.is_empty() {
+            runs.push(fr.data);
+        }
+    }
+
+    if fetchers <= 1 {
+        // Degenerate case: the legacy independent-flow sum, bit-for-bit.
+        stats.virtual_ns = stats.sequential_ns;
+        stats.wait_ns = 0;
+    } else {
+        let (makespan, wait_ns) = nic_schedule(&jobs, fetchers);
+        stats.virtual_ns = makespan;
+        stats.wait_ns = wait_ns;
+        debug_assert!(
+            stats.virtual_ns <= stats.sequential_ns,
+            "NIC sharing cannot exceed the sequential sum"
+        );
+        debug_assert!(
+            stats.virtual_ns >= stats.max_flow_ns,
+            "no schedule beats the largest single flow"
+        );
+    }
+
+    Ok(ShuffleOutcome {
+        runs,
+        fetch_work_ns,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn remote(pre: u64, bytes_ns: u64, post: u64) -> FlowJob {
+        FlowJob {
+            pre_ns: pre,
+            remote: true,
+            latency_ns: 100,
+            full_rate_ns: bytes_ns,
+            post_ns: post,
+        }
+    }
+
+    fn local(pre: u64, post: u64) -> FlowJob {
+        FlowJob {
+            pre_ns: pre,
+            remote: false,
+            latency_ns: 100,
+            full_rate_ns: 0,
+            post_ns: post,
+        }
+    }
+
+    fn seq_sum(jobs: &[FlowJob]) -> u64 {
+        jobs.iter().map(FlowJob::isolated_ns).sum()
+    }
+
+    fn max_flow(jobs: &[FlowJob]) -> u64 {
+        jobs.iter().map(FlowJob::isolated_ns).max().unwrap_or(0)
+    }
+
+    #[test]
+    fn one_fetcher_matches_sequential_sum() {
+        let jobs = vec![remote(10, 1000, 5), local(7, 0), remote(3, 500, 2)];
+        let (makespan, wait) = nic_schedule(&jobs, 1);
+        assert_eq!(makespan, seq_sum(&jobs));
+        assert_eq!(wait, 0);
+    }
+
+    #[test]
+    fn two_equal_flows_share_the_nic() {
+        // Two identical remote flows, no fixed work: each transfer takes
+        // twice as long at half rate, but they overlap — makespan is
+        // latency + 2 × full_rate (both drain together), not 2 × (latency
+        // + full_rate).
+        let jobs = vec![remote(0, 1000, 0), remote(0, 1000, 0)];
+        let (makespan, _) = nic_schedule(&jobs, 2);
+        assert_eq!(makespan, 100 + 2000);
+        assert!(makespan < seq_sum(&jobs));
+        assert!(makespan >= max_flow(&jobs));
+    }
+
+    #[test]
+    fn unequal_flows_finish_shortest_first() {
+        // 300 and 900 full-rate ns sharing: the short flow drains after
+        // 600 shared ns (progress 300); the long one then has 600 left at
+        // full rate. Makespan = latency + 600 + 600.
+        let jobs = vec![remote(0, 300, 0), remote(0, 900, 0)];
+        let (makespan, wait) = nic_schedule(&jobs, 2);
+        assert_eq!(makespan, 100 + 600 + 600);
+        // Tail where only the 900-flow remains: 600 ns.
+        assert_eq!(wait, 600);
+    }
+
+    #[test]
+    fn local_fetches_do_not_consume_bandwidth() {
+        // A local fetch overlaps a remote flow without slowing it.
+        let jobs = vec![remote(0, 1000, 0), local(500, 0)];
+        let (makespan, _) = nic_schedule(&jobs, 2);
+        assert_eq!(makespan, 100 + 1000);
+    }
+
+    #[test]
+    fn bounds_hold_for_many_mixed_jobs() {
+        let jobs: Vec<FlowJob> = (0..23)
+            .map(|i| {
+                if i % 3 == 0 {
+                    local(17 * i as u64, 5)
+                } else {
+                    remote(11 * i as u64, 137 * i as u64, i as u64)
+                }
+            })
+            .collect();
+        for f in [2, 3, 4, 8, 16] {
+            let (makespan, wait) = nic_schedule(&jobs, f);
+            assert!(makespan <= seq_sum(&jobs), "f={f}");
+            assert!(makespan >= max_flow(&jobs), "f={f}");
+            assert!(wait <= makespan, "f={f}");
+        }
+        // More fetchers never slow the schedule down on flow-free work...
+        // with shared bandwidth the makespan is monotone non-increasing.
+        let (m2, _) = nic_schedule(&jobs, 2);
+        let (m16, _) = nic_schedule(&jobs, 16);
+        assert!(m16 <= m2);
+    }
+
+    #[test]
+    fn zero_cost_jobs_terminate() {
+        let jobs = vec![local(0, 0), remote(0, 0, 0), local(0, 0)];
+        for f in [1, 2, 4] {
+            let (makespan, _) = nic_schedule(&jobs, f);
+            // Only the remote latency costs anything, at any fetcher count.
+            assert_eq!(makespan, 100, "f={f}");
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let (makespan, wait) = nic_schedule(&[], 4);
+        assert_eq!((makespan, wait), (0, 0));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(FetchHistogram::bucket_of(0), 0);
+        assert_eq!(FetchHistogram::bucket_of(1), 1);
+        assert_eq!(FetchHistogram::bucket_of(2), 2);
+        assert_eq!(FetchHistogram::bucket_of(3), 2);
+        assert_eq!(FetchHistogram::bucket_of(4), 3);
+        assert_eq!(FetchHistogram::bucket_of(u64::MAX), NUM_FETCH_BUCKETS - 1);
+        let mut h = FetchHistogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.buckets()[2], 2);
+        let mut h2 = FetchHistogram::default();
+        h2.record(3);
+        h2.merge(&h);
+        assert_eq!(h2.buckets()[2], 3);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ShuffleStats {
+            fetches: 2,
+            remote_bytes: 10,
+            fetched_bytes: 20,
+            virtual_ns: 5,
+            sequential_ns: 7,
+            max_flow_ns: 4,
+            wait_ns: 1,
+            fetchers: 2,
+            ..Default::default()
+        };
+        let b = ShuffleStats {
+            fetches: 1,
+            remote_bytes: 5,
+            fetched_bytes: 5,
+            virtual_ns: 3,
+            sequential_ns: 3,
+            max_flow_ns: 6,
+            wait_ns: 0,
+            fetchers: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.fetches, 3);
+        assert_eq!(a.remote_bytes, 15);
+        assert_eq!(a.fetched_bytes, 25);
+        assert_eq!(a.virtual_ns, 8);
+        assert_eq!(a.sequential_ns, 10);
+        assert_eq!(a.max_flow_ns, 6);
+        assert_eq!(a.fetchers, 4);
+    }
+}

@@ -1,5 +1,6 @@
 //! Task execution: segments, the virtual-time pipeline, sort/combine/spill,
-//! k-way merge, and the map/reduce task runners.
+//! k-way merge, and the map/reduce task runners. (Shuffle fetching lives in
+//! [`crate::shuffle`]; the reduce runner delegates to it.)
 
 pub mod map_task;
 pub mod merge;

@@ -3,14 +3,17 @@
 //! The reducer fetches its partition from every map output (a real disk
 //! read, plus virtual network time for remote sources), k-way merges the
 //! sorted runs, groups by key, invokes the user's `reduce()`, and
-//! serializes the output. Fetches are sequential, a conservative stand-in
-//! for Hadoop's small pool of parallel fetchers; the network model is where
-//! the EC2 configuration's shuffle penalty enters (Table IV).
+//! serializes the output. Fetching is delegated to [`crate::shuffle`]: a
+//! bounded pool of parallel fetchers (like Hadoop's parallel copiers) whose
+//! virtual time comes from a contention-aware per-node NIC model — with one
+//! fetcher it degenerates to the sequential independent-flow accounting,
+//! which is where the EC2 configuration's shuffle penalty enters (Table IV).
 
 use crate::hash::FnvHashMap;
 use crate::job::{Emit, Job, SliceValues};
 use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile};
 use crate::net::NetworkConfig;
+use crate::shuffle::{run_shuffle, ShuffleStats};
 use crate::task::map_task::MapOutput;
 use crate::task::merge::merge_grouped;
 use std::io;
@@ -37,10 +40,9 @@ pub struct ReduceResult {
     pub pairs: Vec<(Vec<u8>, Vec<u8>)>,
     /// Task profile (ops + virtual duration).
     pub profile: TaskProfile,
-    /// Bytes fetched across the network (remote sources only).
-    pub remote_bytes: u64,
-    /// Total bytes fetched (all sources).
-    pub fetched_bytes: u64,
+    /// Shuffle statistics: byte totals, fetch-size histogram, and the
+    /// NIC-model schedule for this task's fetches.
+    pub shuffle: ShuffleStats,
 }
 
 /// Output sink measuring serialization cost separately from user reduce
@@ -73,6 +75,9 @@ pub struct ReduceTaskConfig {
     pub scratch_dir: std::path::PathBuf,
     /// Grouping strategy.
     pub grouping: Grouping,
+    /// Parallel shuffle fetchers (1 = sequential legacy behaviour; clamped
+    /// to [`crate::shuffle::MAX_FETCHERS`]).
+    pub fetchers: usize,
 }
 
 /// Run one reduce task against all map outputs.
@@ -82,43 +87,18 @@ pub fn run_reduce_task(
     net: &NetworkConfig,
     cfg: &ReduceTaskConfig,
 ) -> io::Result<ReduceResult> {
-    let (partition, node) = (cfg.partition, cfg.node);
+    let partition = cfg.partition;
     let mut ops = OpTimes::new();
-    let mut shuffle_virtual_ns = 0u64;
-    let mut remote_bytes = 0u64;
-    let mut fetched_bytes = 0u64;
-    let mut runs: Vec<Vec<u8>> = Vec::with_capacity(map_outputs.len());
 
-    // ---- shuffle fetch -------------------------------------------------------
-    for mo in map_outputs {
-        let sw = Stopwatch::start();
-        let run = mo.file.read_partition(partition)?;
-        let io_ns = sw.elapsed_ns();
-        ops.add_nanos(Op::ShuffleFetch, io_ns);
-        // Network pays for the bytes as stored (compressed when the map
-        // side compressed them).
-        let net_ns = net.transfer_ns(mo.node, node, run.len() as u64);
-        shuffle_virtual_ns += io_ns + net_ns;
-        fetched_bytes += run.len() as u64;
-        if mo.node != node {
-            remote_bytes += run.len() as u64;
-        }
-        let run = if mo.compressed && !run.is_empty() {
-            let sw_d = Stopwatch::start();
-            let decompressed = crate::io::compress::decompress(&run).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "corrupt compressed map output")
-            })?;
-            let d_ns = sw_d.elapsed_ns();
-            ops.add_nanos(Op::ShuffleFetch, d_ns);
-            shuffle_virtual_ns += d_ns;
-            decompressed
-        } else {
-            run
-        };
-        if !run.is_empty() {
-            runs.push(run);
-        }
-    }
+    // ---- shuffle fetch (see crate::shuffle) ----------------------------------
+    // Network virtual time pays for the bytes as stored (compressed when
+    // the map side compressed them).
+    let fetched = run_shuffle(map_outputs, partition, cfg.node, net, cfg.fetchers)?;
+    ops.add_nanos(Op::ShuffleFetch, fetched.fetch_work_ns);
+    ops.add_nanos(Op::ShuffleWait, fetched.stats.wait_ns);
+    let shuffle_virtual_ns = fetched.stats.virtual_ns;
+    let runs = fetched.runs;
+    let shuffle = fetched.stats;
 
     let sw_all = Stopwatch::start();
     let mut sink = ReduceSink {
@@ -172,8 +152,14 @@ pub fn run_reduce_task(
                     crate::codec::write_bytes(buf, v);
                 }
             }
+            // FnvHashMap iteration order is seed/layout-dependent; sort
+            // groups by key bytes so output (and hence signatures) are
+            // deterministic. This is NOT the sort-merge key order the Sort
+            // grouping guarantees — just a stable iteration order.
+            let mut sorted_groups: Vec<(&Vec<u8>, &Vec<u8>)> = groups.iter().collect();
+            sorted_groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
             let mut values: Vec<&[u8]> = Vec::new();
-            for (key, buf) in &groups {
+            for (key, buf) in sorted_groups {
                 values.clear();
                 let mut pos = 0usize;
                 while let Some(v) = crate::codec::read_bytes(buf, &mut pos) {
@@ -202,8 +188,7 @@ pub fn run_reduce_task(
     Ok(ReduceResult {
         pairs: sink.pairs,
         profile,
-        remote_bytes,
-        fetched_bytes,
+        shuffle,
     })
 }
 
@@ -297,6 +282,7 @@ mod tests {
                 merge_fan_in: 10,
                 scratch_dir: tmpdir(),
                 grouping: Grouping::Sort,
+                fetchers: 1,
             },
         )
         .unwrap();
@@ -336,6 +322,7 @@ mod tests {
                     merge_fan_in: 10,
                     scratch_dir: tmpdir(),
                     grouping: Grouping::Sort,
+                    fetchers: 1,
                 },
             )
             .unwrap();
@@ -359,10 +346,11 @@ mod tests {
                 merge_fan_in: 10,
                 scratch_dir: tmpdir(),
                 grouping: Grouping::Sort,
+                fetchers: 1,
             },
         )
         .unwrap();
-        assert_eq!(local.remote_bytes, 0);
+        assert_eq!(local.shuffle.remote_bytes, 0);
         let remote = run_reduce_task(
             &job,
             &outputs,
@@ -373,13 +361,47 @@ mod tests {
                 merge_fan_in: 10,
                 scratch_dir: tmpdir(),
                 grouping: Grouping::Sort,
+                fetchers: 1,
             },
         )
         .unwrap();
-        assert!(remote.remote_bytes > 0);
-        assert_eq!(remote.fetched_bytes, local.fetched_bytes);
+        assert!(remote.shuffle.remote_bytes > 0);
+        assert_eq!(remote.shuffle.fetched_bytes, local.shuffle.fetched_bytes);
         // Remote fetch costs more virtual time.
         assert!(remote.profile.virtual_duration >= local.profile.virtual_duration);
+    }
+
+    #[test]
+    fn parallel_fetchers_produce_identical_output() {
+        let outputs = map_all(&["a b a\n", "a c d e\n", "b d f\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let run = |fetchers: usize| {
+            run_reduce_task(
+                &job,
+                &outputs,
+                &NetworkConfig::local_cluster(),
+                &ReduceTaskConfig {
+                    partition: 0,
+                    node: 1, // all sources remote → real flows in the NIC model
+                    merge_fan_in: 10,
+                    scratch_dir: tmpdir(),
+                    grouping: Grouping::Sort,
+                    fetchers,
+                },
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        assert_eq!(seq.shuffle.virtual_ns, seq.shuffle.sequential_ns);
+        assert_eq!(seq.shuffle.wait_ns, 0);
+        for f in [2, 4] {
+            let par = run(f);
+            assert_eq!(par.pairs, seq.pairs, "fetchers={f}");
+            assert_eq!(par.shuffle.fetched_bytes, seq.shuffle.fetched_bytes);
+            assert_eq!(par.shuffle.size_hist, seq.shuffle.size_hist);
+            assert!(par.shuffle.virtual_ns <= par.shuffle.sequential_ns);
+            assert!(par.shuffle.virtual_ns >= par.shuffle.max_flow_ns);
+        }
     }
 
     #[test]
@@ -398,6 +420,7 @@ mod tests {
                     merge_fan_in: 10,
                     scratch_dir: tmpdir(),
                     grouping: Grouping::Sort,
+                    fetchers: 1,
                 },
             )
             .unwrap();

@@ -1,16 +1,22 @@
 //! Sequential vs parallel execution must be indistinguishable: the worker
-//! pool (`ClusterConfig::worker_threads`) may only change real wall-clock
-//! time, never the job's outputs, its virtual-time schedule's structure,
-//! or any timing-free profile counter.
+//! pool (`ClusterConfig::worker_threads`) and the shuffle fetcher pool
+//! (`ClusterConfig::shuffle_fetchers`) may only change real wall-clock
+//! time (and, for fetchers, the NIC model's virtual shuffle time), never
+//! the job's outputs or any timing-free profile counter.
 //!
-//! These tests use the default `JobConfig` (fixed spill fraction, no
+//! Most tests use the default `JobConfig` (fixed spill fraction, no
 //! adaptive controller, no shared frequent-key registry), under which spill
 //! boundaries depend only on byte counts — so the full structural profile
-//! signature is deterministic. Measured nanosecond totals (`OpTimes`) are
-//! excluded: they are noisy even between two sequential runs.
+//! signature is deterministic. The shared-frequent-keys test adds the
+//! `FrequentKeyRegistry` with its designated-publisher protocol, proving
+//! absorption counts stay identical too. Measured nanosecond totals
+//! (`OpTimes`) are excluded: they are noisy even between two sequential
+//! runs. The timing-adaptive spill matcher is likewise out of scope here —
+//! its spill boundaries react to measured rates by design.
 
 use std::sync::Arc;
 use textmr_apps::{AccessLogJoin, WordCount, SOURCE_RANKINGS, SOURCE_VISITS};
+use textmr_core::{optimized, FreqBufferConfig, OptimizationConfig};
 use textmr_data::text::CorpusConfig;
 use textmr_data::weblog::WeblogConfig;
 use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig, JobRun};
@@ -65,6 +71,66 @@ fn wordcount_is_deterministic_across_worker_counts() {
         .generate_bytes(),
     );
     assert_identical(Arc::new(WordCount), &dfs, &[("corpus", 0)]);
+}
+
+#[test]
+fn shared_frequent_keys_are_deterministic_across_workers_and_fetchers() {
+    let mut dfs = SimDfs::new(6, 32 << 10);
+    dfs.put(
+        "corpus",
+        CorpusConfig {
+            lines: 3_000,
+            vocab_size: 4_000,
+            ..Default::default()
+        }
+        .generate_bytes(),
+    );
+    let job: Arc<dyn Job> = Arc::new(WordCount);
+    let run_with = |workers: usize, fetchers: usize| {
+        let mut cluster = ClusterConfig::local()
+            .with_worker_threads(workers)
+            .with_shuffle_fetchers(fetchers);
+        cluster.spill_buffer_bytes = 128 << 10;
+        // Pin the sampling fraction so the test isolates pool/registry
+        // effects (the auto-tuner is deterministic too, but noisier to
+        // reason about). `optimized` builds a fresh registry per call —
+        // essential, or runs would share frozen key sets.
+        let fb = FreqBufferConfig {
+            sampling_fraction: Some(0.05),
+            ..Default::default()
+        };
+        let cfg = optimized(
+            JobConfig::default().with_reducers(5),
+            OptimizationConfig::freq_only(fb),
+        );
+        run_job(&cluster, &cfg, job.clone(), &dfs, &[("corpus", 0)]).unwrap()
+    };
+    let base = run_with(1, 1);
+    let base_sig = base.profile.signature();
+    let absorbed: u64 = base
+        .profile
+        .map_tasks
+        .iter()
+        .map(|t| t.freq_absorbed_records)
+        .sum();
+    assert!(
+        absorbed > 0,
+        "frequency buffering absorbed nothing — the test is vacuous"
+    );
+    for workers in [1, 4] {
+        for fetchers in [1, 4] {
+            let run = run_with(workers, fetchers);
+            assert_eq!(
+                base.outputs, run.outputs,
+                "outputs differ at workers={workers} fetchers={fetchers}"
+            );
+            assert_eq!(
+                base_sig,
+                run.profile.signature(),
+                "signature differs at workers={workers} fetchers={fetchers}"
+            );
+        }
+    }
 }
 
 #[test]
