@@ -1,0 +1,183 @@
+//! Chaos sweep — seeded fault plans through the recovery machinery.
+//!
+//! Generates a deterministic [`FaultPlan`] per seed (map/reduce record
+//! faults, spill-write faults, transient shuffle-fetch faults, straggler
+//! nodes), runs WordCount under each, and re-checks the recovery contract
+//! at every point: output pairs and the timing-free signature are
+//! byte-identical to the fault-free run, while the virtual makespan pays
+//! for dead attempts, retried fetches (backoff charged in virtual time)
+//! and stretched straggler nodes. A final section shows speculative
+//! execution clawing back a straggler's tail latency.
+//!
+//! ```sh
+//! cargo run --release -p textmr-bench --bin chaos [-- --scale paper]
+//! cargo run --release -p textmr-bench --bin chaos -- --smoke   # CI
+//! ```
+
+use std::sync::Arc;
+use textmr_bench::report::{ms, Table};
+use textmr_bench::runner::{local_cluster, REDUCERS};
+use textmr_bench::scale::Scale;
+use textmr_data::text::CorpusConfig;
+use textmr_engine::cluster::JobConfig;
+use textmr_engine::fault::{ChaosShape, FaultPlan, SpeculationConfig};
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::prelude::run_job;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::from_args();
+    let lines = if smoke { 1_500 } else { scale.corpus_lines };
+    // Small blocks force many map tasks: more fault sites per plan.
+    let block = if smoke {
+        8 << 10
+    } else {
+        scale.block_size.min(128 << 10)
+    };
+    let seeds: u64 = if smoke { 6 } else { 24 };
+
+    let cluster = local_cluster(scale);
+    let mut dfs = SimDfs::new(cluster.nodes, block);
+    dfs.put(
+        "corpus",
+        CorpusConfig {
+            lines,
+            vocab_size: scale.vocab,
+            ..Default::default()
+        }
+        .generate_bytes(),
+    );
+    let job: Arc<dyn textmr_engine::job::Job> = Arc::new(textmr_apps::WordCount);
+    let job_cfg = JobConfig::default().with_reducers(REDUCERS);
+
+    eprintln!("running fault-free reference …");
+    let clean = run_job(&cluster, &job_cfg, job.clone(), &dfs, &[("corpus", 0)])
+        .expect("fault-free reference failed");
+    let clean_pairs = clean.sorted_pairs();
+    let clean_sig = clean.profile.signature();
+    let shape = ChaosShape {
+        map_tasks: clean.profile.map_tasks.len(),
+        reducers: REDUCERS,
+        nodes: cluster.nodes,
+        ..ChaosShape::default()
+    };
+
+    println!(
+        "Chaos sweep — {} seeded plans over {} map tasks × {} reducers (WordCount)\n",
+        seeds, shape.map_tasks, shape.reducers
+    );
+    let mut table = Table::new(&[
+        "seed",
+        "map_faults",
+        "reduce_faults",
+        "shuffle_faults",
+        "spill_faults",
+        "slow_nodes",
+        "fetch_retries",
+        "backoff_ms",
+        "wall_ms",
+        "overhead",
+    ]);
+    for seed in 0..seeds {
+        let plan = FaultPlan::generate(seed, &shape);
+        let (maps, reduces, shuffles, spills, slow) = plan.counts();
+        eprintln!("running plan {seed} ({maps}m/{reduces}r/{shuffles}sh/{spills}sp/{slow}sn) …");
+        let run = run_job(
+            &cluster,
+            &job_cfg.clone().with_fault_plan(plan),
+            job.clone(),
+            &dfs,
+            &[("corpus", 0)],
+        )
+        .expect("survivable plan aborted the job");
+        // The recovery contract, re-checked on every plan.
+        assert_eq!(
+            run.sorted_pairs(),
+            clean_pairs,
+            "plan {seed}: outputs diverged from the fault-free run"
+        );
+        assert_eq!(
+            run.profile.signature(),
+            clean_sig,
+            "plan {seed}: timing-free signature diverged"
+        );
+        let agg = run.profile.shuffle_stats();
+        table.row(&[
+            seed.to_string(),
+            maps.to_string(),
+            reduces.to_string(),
+            shuffles.to_string(),
+            spills.to_string(),
+            slow.to_string(),
+            agg.retries.to_string(),
+            format!("{:.3}", agg.backoff_ns as f64 / 1e6),
+            format!("{:.3}", run.profile.wall as f64 / 1e6),
+            format!(
+                "{:.3}x",
+                run.profile.wall as f64 / clean.profile.wall.max(1) as f64
+            ),
+        ]);
+    }
+    table.print();
+    match table.write_csv("chaos") {
+        Ok(p) => eprintln!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("\ncsv write failed: {e}"),
+    }
+
+    // ---- speculation vs one straggler node --------------------------------
+    println!("\nSpeculation vs a straggler node (factor 24 on node 0)\n");
+    let plan = FaultPlan::new().slow_node(0, 24);
+    let slow = run_job(
+        &cluster,
+        &job_cfg.clone().with_fault_plan(plan.clone()),
+        job.clone(),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .expect("straggler run failed");
+    let spec = run_job(
+        &cluster,
+        &job_cfg
+            .clone()
+            .with_fault_plan(plan)
+            .with_speculation(SpeculationConfig::default()),
+        job.clone(),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .expect("speculative run failed");
+    assert_eq!(
+        slow.sorted_pairs(),
+        spec.sorted_pairs(),
+        "speculation changed the output"
+    );
+    assert!(
+        spec.profile.wall < slow.profile.wall,
+        "speculation did not beat the straggler: {} !< {}",
+        spec.profile.wall,
+        slow.profile.wall
+    );
+    let stats = spec.profile.speculation;
+    let mut spec_table = Table::new(&["config", "wall_ms", "backups", "wins"]);
+    spec_table.row(&[
+        "straggler".into(),
+        ms(slow.profile.wall),
+        "0".into(),
+        "0".into(),
+    ]);
+    spec_table.row(&[
+        "straggler+spec".into(),
+        ms(spec.profile.wall),
+        stats.backups().to_string(),
+        stats.wins().to_string(),
+    ]);
+    spec_table.print();
+    println!(
+        "\nspeculation recovers {:.2}x of the straggler makespan",
+        slow.profile.wall as f64 / spec.profile.wall.max(1) as f64
+    );
+
+    if smoke {
+        println!("\nsmoke OK: all plans recovered to identical outputs and signatures; speculation beat the straggler");
+    }
+}

@@ -14,20 +14,28 @@
 //! * map tasks run on their input block's home node (locality);
 //! * reduce tasks start when the map phase ends (no early-shuffle overlap —
 //!   a simplification; the paper also treats shuffle as a distinct phase);
-//! * a failed map attempt occupies its slot for the virtual time it burned,
-//!   then the retry is rescheduled on the same node.
+//! * a failed map or reduce attempt occupies its slot for the virtual time
+//!   it burned, then the retry is rescheduled on the same node;
+//! * straggler nodes (declared in the job's [`FaultPlan`]) stretch their
+//!   virtual task durations by a factor; opt-in speculative execution
+//!   ([`JobConfig::speculation`]) launches a backup attempt on the fastest
+//!   other node for any task lagging the median span — first completion in
+//!   virtual time wins, and the loser's spill directory is reclaimed.
 
 use crate::controller::{
     fixed_spill_factory, EmitFilterFactory, FilterCtx, SpillControllerFactory, TaskCtx,
 };
+use crate::fault::{FaultPlan, SpeculationConfig};
 use crate::io::dfs::SimDfs;
 use crate::io::input::InputSplit;
 use crate::job::Job;
-use crate::metrics::{JobProfile, TaskProfile, TaskSpan, VNanos};
+use crate::metrics::{JobProfile, SpeculationStats, TaskProfile, TaskSpan, VNanos};
 use crate::net::NetworkConfig;
 use crate::pool::run_indexed;
 use crate::task::map_task::{run_map_task, MapOutput, MapTaskConfig, MapTaskError};
-use crate::task::reduce_task::{run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig};
+use crate::task::reduce_task::{
+    run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig, ReduceTaskError,
+};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -181,14 +189,23 @@ pub struct JobConfig {
     /// Fraction of the spill buffer carved out for the emit filter, so
     /// total memory stays fixed (the paper devotes 30%).
     pub filter_budget_fraction: f64,
-    /// Fault injection: map task index → fail its first attempt after
-    /// processing this many records.
-    pub fault_plan: HashMap<usize, u64>,
-    /// Maximum attempts per map task before the job aborts.
+    /// Seeded deterministic fault plan: per-attempt map/reduce record
+    /// faults, spill-write faults, transient shuffle-fetch faults, and
+    /// per-node straggler factors. Empty by default. See [`crate::fault`].
+    pub fault_plan: FaultPlan,
+    /// Maximum attempts per map task, per reduce task, and per shuffle
+    /// fetch before the job aborts.
     pub max_attempts: usize,
     /// Reduce-side grouping strategy (sort-merge by default; hash grouping
     /// skips the sort for order-insensitive jobs — Sec. II-A).
     pub grouping: Grouping,
+    /// Speculative-execution policy. `None` (the default) disables backup
+    /// attempts. When set, a task whose virtual span exceeds the policy's
+    /// threshold of the median span gets a backup on the fastest other
+    /// node; first completion in virtual time wins. Opt-in because a
+    /// winning backup moves the task (changing shuffle locality and hence
+    /// `shuffled_bytes`), trading signature stability for makespan.
+    pub speculation: Option<SpeculationConfig>,
 }
 
 impl Default for JobConfig {
@@ -198,9 +215,10 @@ impl Default for JobConfig {
             spill_controller: fixed_spill_factory(0.8),
             emit_filter: None,
             filter_budget_fraction: 0.3,
-            fault_plan: HashMap::new(),
+            fault_plan: FaultPlan::new(),
             max_attempts: 4,
             grouping: Grouping::Sort,
+            speculation: None,
         }
     }
 }
@@ -209,6 +227,18 @@ impl JobConfig {
     /// Convenience: set the reducer count.
     pub fn with_reducers(mut self, n: usize) -> Self {
         self.num_reducers = n;
+        self
+    }
+
+    /// Convenience: install a fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Convenience: enable speculative execution.
+    pub fn with_speculation(mut self, spec: SpeculationConfig) -> Self {
+        self.speculation = Some(spec);
         self
     }
 }
@@ -257,6 +287,34 @@ enum MapTaskOutcome {
     Failed(io::Error),
     /// The task gave up because another task had already doomed the job.
     Cancelled,
+}
+
+/// Outcome of one reduce task's full retry loop (mirror of
+/// [`MapTaskOutcome`]).
+enum ReduceTaskOutcome {
+    /// The task completed; carries every attempt's virtual duration
+    /// (failed attempts first) for slot scheduling.
+    Done {
+        attempts: Vec<VNanos>,
+        res: Box<ReduceResult>,
+    },
+    /// All `max_attempts` attempts failed.
+    Exhausted { attempts: usize },
+    /// An I/O error (including exhausted shuffle-fetch retries) killed the
+    /// task outright.
+    Failed(io::Error),
+    /// The task gave up because another task had already doomed the job.
+    Cancelled,
+}
+
+/// Median of a set of virtual durations (0 for the empty set; upper
+/// median for even counts).
+fn median(mut v: Vec<VNanos>) -> VNanos {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
 }
 
 /// Run `job` over the named DFS inputs on the given cluster.
@@ -359,11 +417,8 @@ pub fn run_job(
                 merge_fan_in: cluster.merge_fan_in,
                 compress_output: cluster.compress_map_output,
                 spill_dir: attempt_dir.clone(),
-                fail_after_records: if attempt == 0 {
-                    cfg.fault_plan.get(&t).copied()
-                } else {
-                    None
-                },
+                fail_after_records: cfg.fault_plan.map_fault(t, attempt),
+                fail_spill: cfg.fault_plan.spill_fault(t, attempt),
                 cancel: Some(Arc::clone(&cancel)),
             };
             match run_map_task(&job, split, task_cfg) {
@@ -438,12 +493,13 @@ pub fn run_job(
         let mut prev_attempt_end = 0;
         for &dur in &attempt_durations[t] {
             // Earliest-free slot on the home node; a retry can only start
-            // after its previous attempt failed.
+            // after its previous attempt failed. A straggler node
+            // stretches the attempt's virtual duration by its factor.
             let slot = (0..slot_free[node].len())
                 .min_by_key(|&s| slot_free[node][s])
                 .expect("at least one slot");
             span_start = slot_free[node][slot].max(prev_attempt_end);
-            span_end = span_start + dur;
+            span_end = span_start + cfg.fault_plan.scale(node, dur);
             slot_free[node][slot] = span_end;
             prev_attempt_end = span_end;
         }
@@ -453,81 +509,334 @@ pub fn run_job(
             end: span_end,
         });
     }
+
+    // ---- speculative execution: map phase -------------------------------------
+    // A task whose scheduled span exceeds the policy threshold of the
+    // median span gets a backup attempt on the fastest other node,
+    // launched (in virtual time) at the moment the lag becomes
+    // detectable. The backup re-executes the task for real — its output
+    // bytes depend only on the input split, so either copy is valid — and
+    // whichever attempt finishes first in virtual time wins; the loser's
+    // spill directory is reclaimed immediately. Simplification: a loser's
+    // slot reservation is not retroactively shrunk (no cascading
+    // reschedule of already-placed tasks) — speculation here is a
+    // tail-latency patch, not a full re-plan.
+    let mut spec_stats = SpeculationStats::default();
+    if let Some(spec) = cfg.speculation.as_ref().filter(|_| cluster.nodes > 1) {
+        let threshold = spec.threshold();
+        let med = median(map_spans.iter().map(|s| s.end - s.start).collect());
+        for t in 0..splits.len() {
+            let (home, p_start, p_end) = {
+                let s = &map_spans[t];
+                (s.node, s.start, s.end)
+            };
+            let dur = p_end - p_start;
+            if med == 0 || (dur as u128) * 100 <= (med as u128) * (threshold as u128) {
+                continue;
+            }
+            let detect = p_start + med.saturating_mul(threshold) / 100;
+            if detect >= p_end {
+                continue;
+            }
+            let Some(backup_node) = cfg.fault_plan.fastest_other_node(cluster.nodes, home) else {
+                continue;
+            };
+            let spec_dir = temp.join(format!("t{t}_spec"));
+            if std::fs::create_dir_all(&spec_dir).is_err() {
+                continue;
+            }
+            spec_stats.map_backups += 1;
+            let split = &splits[t];
+            // The filter context keeps the *home* node's identity so the
+            // backup's output is byte-identical to the primary's (the
+            // frequent-key registry is first-decision-wins, so a re-run
+            // publisher is harmless); only the output's placement moves.
+            let ctx = TaskCtx {
+                node: home,
+                task: t,
+            };
+            let filter = cfg
+                .emit_filter
+                .as_ref()
+                .map(|f| {
+                    f(FilterCtx {
+                        task: ctx,
+                        job: Arc::clone(&job),
+                        budget_bytes: filter_budget,
+                        estimated_records: split.count_records(),
+                        node_first_task: node_first_task.get(&home).copied().unwrap_or(t),
+                        cancel: None,
+                    })
+                })
+                .filter(|f| f.is_active());
+            let task_cfg = MapTaskConfig {
+                task_id: t,
+                node: backup_node,
+                num_partitions: cfg.num_reducers,
+                buffer_capacity: if filter.is_some() {
+                    pipeline_capacity
+                } else {
+                    cluster.spill_buffer_bytes
+                },
+                controller: (cfg.spill_controller)(ctx),
+                filter,
+                merge_fan_in: cluster.merge_fan_in,
+                compress_output: cluster.compress_map_output,
+                spill_dir: spec_dir.clone(),
+                fail_after_records: None,
+                fail_spill: None,
+                cancel: None,
+            };
+            match run_map_task(&job, split, task_cfg) {
+                Ok((out_b, prof_b)) => {
+                    let slot = (0..slot_free[backup_node].len())
+                        .min_by_key(|&s| slot_free[backup_node][s])
+                        .expect("at least one slot");
+                    let start_b = slot_free[backup_node][slot].max(detect);
+                    let end_b =
+                        start_b + cfg.fault_plan.scale(backup_node, prof_b.virtual_duration);
+                    if end_b < p_end {
+                        // Backup wins: it becomes the task of record; the
+                        // primary is cancelled and its final attempt's
+                        // spill directory reclaimed.
+                        spec_stats.map_wins += 1;
+                        slot_free[backup_node][slot] = end_b;
+                        map_spans[t] = TaskSpan {
+                            node: backup_node,
+                            start: start_b,
+                            end: end_b,
+                        };
+                        // Dropping the loser's MapOutput deletes its spill
+                        // file; then its (now empty) directory goes too.
+                        drop(std::mem::replace(&mut map_outputs[t], out_b));
+                        let final_attempt = attempt_durations[t].len().saturating_sub(1);
+                        let _ =
+                            std::fs::remove_dir_all(temp.join(format!("t{t}_a{final_attempt}")));
+                        map_profiles[t] = prof_b;
+                    } else {
+                        // Primary wins: the backup is cancelled the moment
+                        // the primary completes; its slot frees then.
+                        slot_free[backup_node][slot] = p_end.max(start_b);
+                        drop(out_b);
+                        let _ = std::fs::remove_dir_all(&spec_dir);
+                    }
+                }
+                Err(_) => {
+                    // A failed backup never unseats the primary.
+                    let _ = std::fs::remove_dir_all(&spec_dir);
+                }
+            }
+        }
+    }
     let map_phase_end = map_spans.iter().map(|s| s.end).max().unwrap_or(0);
 
-    // ---- execute reduce tasks (real) -------------------------------------------
+    // ---- execute reduce tasks (real), with per-attempt retries -----------------
     // Reduce tasks are independent (each reads its own partition out of the
     // map-output files, which are opened per read), so they run on the same
-    // pool. Each gets a private scratch directory for multi-pass merges.
-    let rcancel = AtomicBool::new(false);
-    let run_one_reduce_task = |r: usize| -> Option<io::Result<ReduceResult>> {
-        if rcancel.load(Ordering::Relaxed) {
-            return None;
-        }
-        let scratch_dir = temp.join(format!("r{r}"));
-        if let Err(e) = std::fs::create_dir_all(&scratch_dir) {
-            rcancel.store(true, Ordering::Relaxed);
-            return Some(Err(e));
-        }
-        let res = run_reduce_task(
-            &job,
-            &map_outputs,
-            &cluster.network,
-            &ReduceTaskConfig {
-                partition: r,
-                node: r % cluster.nodes,
-                merge_fan_in: cluster.merge_fan_in,
-                scratch_dir,
-                grouping: cfg.grouping,
-                fetchers: cluster.shuffle_fetchers.max(1),
-            },
-        );
-        if res.is_err() {
-            rcancel.store(true, Ordering::Relaxed);
-        }
-        Some(res)
+    // pool. Every attempt gets a private scratch directory for multi-pass
+    // merges; a failed attempt's directory is reclaimed before the retry.
+    let rcancel = Arc::new(AtomicBool::new(false));
+    let shuffle_faults: Option<Arc<FaultPlan>> = if cfg.fault_plan.is_empty() {
+        None
+    } else {
+        Some(Arc::new(cfg.fault_plan.clone()))
     };
-    let reduce_results = run_indexed(workers, cfg.num_reducers, run_one_reduce_task);
+    let run_one_reduce_task = |r: usize| -> ReduceTaskOutcome {
+        if rcancel.load(Ordering::Relaxed) {
+            return ReduceTaskOutcome::Cancelled;
+        }
+        let mut attempts: Vec<VNanos> = Vec::new();
+        let mut attempt = 0usize;
+        loop {
+            let scratch_dir = temp.join(format!("r{r}_a{attempt}"));
+            if let Err(e) = std::fs::create_dir_all(&scratch_dir) {
+                rcancel.store(true, Ordering::Relaxed);
+                return ReduceTaskOutcome::Failed(e);
+            }
+            let res = run_reduce_task(
+                &job,
+                &map_outputs,
+                &cluster.network,
+                &ReduceTaskConfig {
+                    partition: r,
+                    node: r % cluster.nodes,
+                    merge_fan_in: cluster.merge_fan_in,
+                    scratch_dir: scratch_dir.clone(),
+                    grouping: cfg.grouping,
+                    fetchers: cluster.shuffle_fetchers.max(1),
+                    fail_after_groups: cfg.fault_plan.reduce_fault(r, attempt),
+                    faults: shuffle_faults.clone(),
+                    max_fetch_attempts: cfg.max_attempts.max(1),
+                    cancel: Some(Arc::clone(&rcancel)),
+                },
+            );
+            match res {
+                Ok(res) => {
+                    attempts.push(res.profile.virtual_duration);
+                    return ReduceTaskOutcome::Done {
+                        attempts,
+                        res: Box::new(res),
+                    };
+                }
+                Err(ReduceTaskError::Injected { virtual_elapsed }) => {
+                    attempts.push(virtual_elapsed);
+                    let _ = std::fs::remove_dir_all(&scratch_dir);
+                    attempt += 1;
+                    if attempt >= cfg.max_attempts {
+                        rcancel.store(true, Ordering::Relaxed);
+                        return ReduceTaskOutcome::Exhausted { attempts: attempt };
+                    }
+                }
+                Err(ReduceTaskError::Io(e)) => {
+                    rcancel.store(true, Ordering::Relaxed);
+                    return ReduceTaskOutcome::Failed(e);
+                }
+                Err(ReduceTaskError::Cancelled) => return ReduceTaskOutcome::Cancelled,
+            }
+        }
+    };
+    let reduce_outcomes = run_indexed(workers, cfg.num_reducers, run_one_reduce_task);
 
-    // ---- virtual-schedule the reduce phase, in partition order -----------------
-    let mut outputs = Vec::with_capacity(cfg.num_reducers);
-    let mut reduce_profiles = Vec::with_capacity(cfg.num_reducers);
-    let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
-    let mut reduce_shuffles = Vec::with_capacity(cfg.num_reducers);
-    let mut shuffled_bytes = 0u64;
-    let mut rslot_free: Vec<Vec<VNanos>> =
-        vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
     let mut first_err: Option<io::Error> = None;
-    let mut results = Vec::with_capacity(cfg.num_reducers);
-    for slot in reduce_results {
-        match slot {
-            Some(Ok(res)) => results.push(res),
-            Some(Err(e)) => {
+    let mut results: Vec<ReduceResult> = Vec::with_capacity(cfg.num_reducers);
+    // Per partition: virtual durations of every attempt (failed first).
+    let mut rattempt_durations: Vec<Vec<VNanos>> = Vec::with_capacity(cfg.num_reducers);
+    for (r, outcome) in reduce_outcomes.into_iter().enumerate() {
+        match outcome {
+            ReduceTaskOutcome::Done { attempts, res } => {
+                rattempt_durations.push(attempts);
+                results.push(*res);
+            }
+            ReduceTaskOutcome::Exhausted { attempts } => {
+                first_err.get_or_insert_with(|| {
+                    io::Error::other(format!("reduce task {r} failed {attempts} attempts"))
+                });
+            }
+            ReduceTaskOutcome::Failed(e) => {
                 first_err.get_or_insert(e);
             }
-            None => {}
+            ReduceTaskOutcome::Cancelled => {}
         }
     }
     if let Some(e) = first_err {
         return Err(e);
     }
     // Hard assert: a violation would silently shift partition indices in
-    // the enumerate-based scheduling loop below, attributing results to the
-    // wrong partitions and dropping outputs instead of failing loudly.
+    // the scheduling loop below, attributing results to the wrong
+    // partitions and dropping outputs instead of failing loudly.
     assert_eq!(
         results.len(),
         cfg.num_reducers,
         "reducer cancelled without an error"
     );
-    for (r, res) in results.into_iter().enumerate() {
+
+    // ---- virtual-schedule the reduce phase, in partition order -----------------
+    let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
+    let mut rslot_free: Vec<Vec<VNanos>> =
+        vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
+    for (r, attempts) in rattempt_durations.iter().enumerate() {
         let node = r % cluster.nodes;
-        let slot = (0..rslot_free[node].len())
-            .min_by_key(|&s| rslot_free[node][s])
-            .expect("at least one slot");
-        let start = rslot_free[node][slot];
-        let end = start + res.profile.virtual_duration;
-        rslot_free[node][slot] = end;
-        reduce_spans.push(TaskSpan { node, start, end });
+        let mut span_start = map_phase_end;
+        let mut span_end = map_phase_end;
+        let mut prev_attempt_end = 0;
+        for &dur in attempts {
+            let slot = (0..rslot_free[node].len())
+                .min_by_key(|&s| rslot_free[node][s])
+                .expect("at least one slot");
+            span_start = rslot_free[node][slot].max(prev_attempt_end);
+            span_end = span_start + cfg.fault_plan.scale(node, dur);
+            rslot_free[node][slot] = span_end;
+            prev_attempt_end = span_end;
+        }
+        reduce_spans.push(TaskSpan {
+            node,
+            start: span_start,
+            end: span_end,
+        });
+    }
+
+    // ---- speculative execution: reduce phase -----------------------------------
+    // Mirrors the map phase. The backup reducer re-fetches its partition
+    // from the (final) map outputs and re-reduces for real; a winning
+    // backup replaces the primary's result wholesale, so output pairs stay
+    // exact. Must run before `map_outputs` is dropped.
+    if let Some(spec) = cfg.speculation.as_ref().filter(|_| cluster.nodes > 1) {
+        let threshold = spec.threshold();
+        let med = median(reduce_spans.iter().map(|s| s.end - s.start).collect());
+        for r in 0..cfg.num_reducers {
+            let (home, p_start, p_end) = {
+                let s = &reduce_spans[r];
+                (s.node, s.start, s.end)
+            };
+            let dur = p_end - p_start;
+            if med == 0 || (dur as u128) * 100 <= (med as u128) * (threshold as u128) {
+                continue;
+            }
+            let detect = p_start + med.saturating_mul(threshold) / 100;
+            if detect >= p_end {
+                continue;
+            }
+            let Some(backup_node) = cfg.fault_plan.fastest_other_node(cluster.nodes, home) else {
+                continue;
+            };
+            let spec_dir = temp.join(format!("r{r}_spec"));
+            if std::fs::create_dir_all(&spec_dir).is_err() {
+                continue;
+            }
+            spec_stats.reduce_backups += 1;
+            let res_b = run_reduce_task(
+                &job,
+                &map_outputs,
+                &cluster.network,
+                &ReduceTaskConfig {
+                    partition: r,
+                    node: backup_node,
+                    merge_fan_in: cluster.merge_fan_in,
+                    scratch_dir: spec_dir.clone(),
+                    grouping: cfg.grouping,
+                    fetchers: cluster.shuffle_fetchers.max(1),
+                    fail_after_groups: None,
+                    faults: None,
+                    max_fetch_attempts: 1,
+                    cancel: None,
+                },
+            );
+            if let Ok(b) = res_b {
+                let slot = (0..rslot_free[backup_node].len())
+                    .min_by_key(|&s| rslot_free[backup_node][s])
+                    .expect("at least one slot");
+                let start_b = rslot_free[backup_node][slot].max(detect);
+                let end_b = start_b
+                    + cfg
+                        .fault_plan
+                        .scale(backup_node, b.profile.virtual_duration);
+                if end_b < p_end {
+                    spec_stats.reduce_wins += 1;
+                    rslot_free[backup_node][slot] = end_b;
+                    reduce_spans[r] = TaskSpan {
+                        node: backup_node,
+                        start: start_b,
+                        end: end_b,
+                    };
+                    results[r] = b;
+                    let final_attempt = rattempt_durations[r].len().saturating_sub(1);
+                    let _ = std::fs::remove_dir_all(temp.join(format!("r{r}_a{final_attempt}")));
+                } else {
+                    rslot_free[backup_node][slot] = p_end.max(start_b);
+                }
+            }
+            // Reduce output lives in memory, so the backup's scratch is
+            // disposable whether it won or lost.
+            let _ = std::fs::remove_dir_all(&spec_dir);
+        }
+    }
+
+    // ---- aggregate -------------------------------------------------------------
+    let mut outputs = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_profiles = Vec::with_capacity(cfg.num_reducers);
+    let mut reduce_shuffles = Vec::with_capacity(cfg.num_reducers);
+    let mut shuffled_bytes = 0u64;
+    for res in results {
         shuffled_bytes += res.shuffle.remote_bytes;
         reduce_shuffles.push(res.shuffle);
         outputs.push(res.pairs);
@@ -554,6 +863,7 @@ pub fn run_job(
             wall,
             shuffled_bytes,
             reduce_shuffles,
+            speculation: spec_stats,
         },
     })
 }

@@ -59,6 +59,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod controller;
+pub mod fault;
 pub mod hash;
 pub mod io;
 pub mod job;
@@ -77,6 +78,7 @@ pub mod prelude {
         fixed_spill_factory, EmitFilter, FilterCtx, FixedSpill, SpillController, SpillObservation,
         TaskCtx,
     };
+    pub use crate::fault::{ChaosShape, FaultPlan, SpeculationConfig};
     pub use crate::io::dfs::SimDfs;
     pub use crate::job::{Emit, Job, Record, ValueCursor, ValueSink};
     pub use crate::metrics::{JobProfile, Op, Phase, TaskProfile};

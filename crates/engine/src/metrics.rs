@@ -19,7 +19,7 @@ use std::time::Duration;
 pub type VNanos = u64;
 
 /// Number of fine-grained operations tracked.
-pub const NUM_OPS: usize = 14;
+pub const NUM_OPS: usize = 15;
 
 /// Fine-grained operations, following the paper's Table I decomposition of
 /// the map, shuffle and reduce phases.
@@ -58,6 +58,12 @@ pub enum Op {
     /// rest of its fetcher pool sat idle — the straggler tail of a parallel
     /// shuffle (idle; zero with one fetcher, which is never "stalled").
     ShuffleWait = 13,
+    /// Virtual backoff a fetcher spent between a transiently failed
+    /// shuffle fetch and its retry (see
+    /// [`fault::shuffle_backoff_ns`](crate::fault::shuffle_backoff_ns)).
+    /// Idle, like [`Op::ShuffleWait`]: the fetcher does no work while
+    /// backing off, so retries never inflate the Fig. 2 work breakdown.
+    ShuffleRetry = 14,
 }
 
 /// Coarse phases of a MapReduce job.
@@ -88,6 +94,7 @@ impl Op {
         Op::Reduce,
         Op::OutputWrite,
         Op::ShuffleWait,
+        Op::ShuffleRetry,
     ];
 
     /// Index in `0..NUM_OPS`.
@@ -108,7 +115,7 @@ impl Op {
             | Op::Merge
             | Op::MapIdle
             | Op::SupportIdle => Phase::Map,
-            Op::ShuffleFetch | Op::ShuffleWait => Phase::Shuffle,
+            Op::ShuffleFetch | Op::ShuffleWait | Op::ShuffleRetry => Phase::Shuffle,
             Op::ReduceMerge | Op::Reduce | Op::OutputWrite => Phase::Reduce,
         }
     }
@@ -122,7 +129,10 @@ impl Op {
 
     /// True for the idle/wait pseudo-operations.
     pub fn is_idle(self) -> bool {
-        matches!(self, Op::MapIdle | Op::SupportIdle | Op::ShuffleWait)
+        matches!(
+            self,
+            Op::MapIdle | Op::SupportIdle | Op::ShuffleWait | Op::ShuffleRetry
+        )
     }
 
     /// Display name used by the bench harnesses.
@@ -142,6 +152,7 @@ impl Op {
             Op::Reduce => "reduce",
             Op::OutputWrite => "write",
             Op::ShuffleWait => "shuffle-wait",
+            Op::ShuffleRetry => "shuffle-retry",
         }
     }
 }
@@ -368,6 +379,34 @@ impl TaskProfile {
     }
 }
 
+/// Speculative-execution counters for one job run. Deliberately *not* part
+/// of [`JobSignature`]: a winning backup changes task placement (and hence
+/// shuffle locality), so speculation is an opt-in scheduling policy rather
+/// than a determinism-preserving knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// Backup map attempts launched.
+    pub map_backups: u64,
+    /// Backup map attempts that finished before their primary.
+    pub map_wins: u64,
+    /// Backup reduce attempts launched.
+    pub reduce_backups: u64,
+    /// Backup reduce attempts that finished before their primary.
+    pub reduce_wins: u64,
+}
+
+impl SpeculationStats {
+    /// Total backups launched in either phase.
+    pub fn backups(&self) -> u64 {
+        self.map_backups + self.reduce_backups
+    }
+
+    /// Total backups that beat their primary.
+    pub fn wins(&self) -> u64 {
+        self.map_wins + self.reduce_wins
+    }
+}
+
 /// Virtual schedule entry for one task (used for makespan accounting and
 /// the bench harness's per-phase spans).
 #[derive(Debug, Clone)]
@@ -400,6 +439,10 @@ pub struct JobProfile {
     /// Per-reduce-task shuffle statistics (fetch histograms + NIC-model
     /// schedule), in partition order. See [`crate::shuffle`].
     pub reduce_shuffles: Vec<ShuffleStats>,
+    /// Speculative-execution counters (zero unless
+    /// [`JobConfig::speculation`](crate::cluster::JobConfig::speculation)
+    /// was enabled).
+    pub speculation: SpeculationStats,
 }
 
 impl JobProfile {

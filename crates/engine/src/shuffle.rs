@@ -35,6 +35,7 @@
 //! scheduled onto the same node do not contend with each other, matching
 //! the engine's independent-task virtual scheduling.
 
+use crate::fault::{shuffle_backoff_ns, FaultPlan};
 use crate::io::compress::decompress;
 use crate::metrics::{Stopwatch, VNanos};
 use crate::net::NetworkConfig;
@@ -137,6 +138,15 @@ pub struct ShuffleStats {
     /// source while every other fetcher was idle. Zero when `fetchers == 1`
     /// (a lone fetcher is always busy, never stalled).
     pub wait_ns: VNanos,
+    /// Transiently failed fetch attempts that were retried (injected via
+    /// [`FaultPlan::shuffle_fail`]). Deterministic: a pure function of the
+    /// fault plan.
+    pub retries: u64,
+    /// Total virtual backoff charged before retries (capped exponential,
+    /// [`crate::fault::shuffle_backoff_ns`]); flows into the NIC schedule
+    /// as pre-flow time and into [`Op::ShuffleRetry`]
+    /// (crate::metrics::Op::ShuffleRetry). Deterministic, like `retries`.
+    pub backoff_ns: VNanos,
     /// Histogram of per-fetch stored sizes.
     pub size_hist: FetchHistogram,
 }
@@ -154,6 +164,8 @@ impl ShuffleStats {
         self.sequential_ns += other.sequential_ns;
         self.max_flow_ns = self.max_flow_ns.max(other.max_flow_ns);
         self.wait_ns += other.wait_ns;
+        self.retries += other.retries;
+        self.backoff_ns += other.backoff_ns;
         self.size_hist.merge(&other.size_hist);
     }
 }
@@ -179,30 +191,62 @@ struct FetchedRun {
     stored_bytes: u64,
     io_ns: u64,
     decompress_ns: u64,
+    retries: u64,
+    backoff_ns: u64,
 }
 
 /// Read (and decompress) one map output's partition, measuring both costs.
-fn fetch_one(mo: &MapOutput, partition: usize) -> io::Result<FetchedRun> {
-    let sw = Stopwatch::start();
-    let raw = mo.file.read_partition(partition)?;
-    let io_ns = sw.elapsed_ns();
-    let stored_bytes = raw.len() as u64;
-    let (data, decompress_ns) = if mo.compressed && !raw.is_empty() {
-        let sw_d = Stopwatch::start();
-        let data = decompress(&raw).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "corrupt compressed map output")
-        })?;
-        (data, sw_d.elapsed_ns())
-    } else {
-        (raw, 0)
-    };
-    Ok(FetchedRun {
-        data,
-        src_node: mo.node,
-        stored_bytes,
-        io_ns,
-        decompress_ns,
-    })
+///
+/// When the fault plan marks a fetch attempt of `map_task` as transiently
+/// failed, the (real, measured) read is discarded and retried after a
+/// capped exponential backoff charged in *virtual* time; the fetch errors
+/// out only when `max_fetch_attempts` attempts have all failed.
+fn fetch_one(
+    mo: &MapOutput,
+    map_task: usize,
+    partition: usize,
+    faults: Option<&FaultPlan>,
+    max_fetch_attempts: usize,
+) -> io::Result<FetchedRun> {
+    let mut io_ns = 0u64;
+    let mut retries = 0u64;
+    let mut backoff_ns = 0u64;
+    loop {
+        let attempt = retries as usize;
+        let sw = Stopwatch::start();
+        let raw = mo.file.read_partition(partition)?;
+        io_ns += sw.elapsed_ns();
+        if faults.is_some_and(|f| f.shuffle_fault(map_task, attempt)) {
+            retries += 1;
+            if attempt + 1 >= max_fetch_attempts.max(1) {
+                return Err(io::Error::other(format!(
+                    "shuffle fetch of map output {map_task} (partition {partition}) \
+                     failed {retries} attempts"
+                )));
+            }
+            backoff_ns += shuffle_backoff_ns(attempt);
+            continue;
+        }
+        let stored_bytes = raw.len() as u64;
+        let (data, decompress_ns) = if mo.compressed && !raw.is_empty() {
+            let sw_d = Stopwatch::start();
+            let data = decompress(&raw).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "corrupt compressed map output")
+            })?;
+            (data, sw_d.elapsed_ns())
+        } else {
+            (raw, 0)
+        };
+        return Ok(FetchedRun {
+            data,
+            src_node: mo.node,
+            stored_bytes,
+            io_ns,
+            decompress_ns,
+            retries,
+            backoff_ns,
+        });
+    }
 }
 
 /// One fetch as the NIC model sees it: fixed pre work (disk read), an
@@ -373,16 +417,24 @@ fn nic_schedule(jobs: &[FlowJob], fetchers: usize) -> (VNanos, VNanos) {
 /// threads (1 = inline, the legacy path); the virtual-time schedule is
 /// computed by the NIC-sharing model. Runs come back in map-task-id order
 /// regardless of fetcher count.
+///
+/// `faults` injects transient fetch failures (keyed by map-task id and
+/// fetch attempt); each failure costs a virtual backoff that is charged to
+/// the flow's pre-work in the NIC schedule, and a fetch whose failures
+/// reach `max_fetch_attempts` becomes a hard `io::Error`.
 pub fn run_shuffle(
     map_outputs: &[MapOutput],
     partition: usize,
     dst_node: usize,
     net: &NetworkConfig,
     fetchers: usize,
+    faults: Option<&FaultPlan>,
+    max_fetch_attempts: usize,
 ) -> io::Result<ShuffleOutcome> {
     let fetchers = fetchers.clamp(1, MAX_FETCHERS);
     let fetched = run_indexed(fetchers.min(map_outputs.len()), map_outputs.len(), |i| {
-        fetch_one(&map_outputs[i], partition)
+        // Map outputs arrive in map-task-id order, so index == task id.
+        fetch_one(&map_outputs[i], i, partition, faults, max_fetch_attempts)
     });
 
     let mut stats = ShuffleStats {
@@ -404,9 +456,14 @@ pub fn run_shuffle(
             stats.remote_bytes += fr.stored_bytes;
         }
         stats.size_hist.record(fr.stored_bytes);
+        stats.retries += fr.retries;
+        stats.backoff_ns += fr.backoff_ns;
         fetch_work_ns += fr.io_ns + fr.decompress_ns;
         let job = FlowJob {
-            pre_ns: fr.io_ns,
+            // Backoff is virtual pre-flow time: the fetcher holds its slot
+            // while backing off, so retries delay this flow (and, under the
+            // NIC model, anything queued behind it) but burn no real work.
+            pre_ns: fr.io_ns.saturating_add(fr.backoff_ns),
             remote,
             latency_ns: net.latency_ns,
             full_rate_ns: net.full_rate_ns(fr.stored_bytes),
@@ -588,6 +645,8 @@ mod tests {
             sequential_ns: 7,
             max_flow_ns: 4,
             wait_ns: 1,
+            retries: 2,
+            backoff_ns: 30,
             fetchers: 2,
             ..Default::default()
         };
@@ -599,6 +658,8 @@ mod tests {
             sequential_ns: 3,
             max_flow_ns: 6,
             wait_ns: 0,
+            retries: 1,
+            backoff_ns: 12,
             fetchers: 4,
             ..Default::default()
         };
@@ -609,6 +670,125 @@ mod tests {
         assert_eq!(a.virtual_ns, 8);
         assert_eq!(a.sequential_ns, 10);
         assert_eq!(a.max_flow_ns, 6);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.backoff_ns, 42);
         assert_eq!(a.fetchers, 4);
+    }
+
+    // ---- fetch-retry tests (injected transient faults) ---------------------
+
+    use crate::io::spill_file::SpillFile;
+
+    /// Build a single-partition map output on disk for fetch tests.
+    fn test_output(name: &str, node: usize, words: &[&str]) -> MapOutput {
+        let dir = std::env::temp_dir().join(format!("textmr-shuffle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = SpillFile::create(dir.join(name)).unwrap();
+        w.start_partition(0).unwrap();
+        for word in words {
+            w.write_record(word.as_bytes(), b"1").unwrap();
+        }
+        MapOutput {
+            file: w.finish().unwrap(),
+            node,
+            compressed: false,
+        }
+    }
+
+    #[test]
+    fn injected_fetch_faults_retry_with_virtual_backoff() {
+        let outputs = vec![
+            test_output("retry_a.bin", 1, &["alpha", "beta"]),
+            test_output("retry_b.bin", 2, &["gamma"]),
+        ];
+        let net = NetworkConfig::local_cluster();
+        let clean = run_shuffle(&outputs, 0, 0, &net, 1, None, 4).unwrap();
+        // Map 0 fails twice, map 1 once — all within the 4-attempt budget.
+        let plan = FaultPlan::new()
+            .shuffle_fail(0, 0)
+            .shuffle_fail(0, 1)
+            .shuffle_fail(1, 0);
+        let faulty = run_shuffle(&outputs, 0, 0, &net, 1, Some(&plan), 4).unwrap();
+        // Byte-identical reduce input despite the retries.
+        assert_eq!(faulty.runs, clean.runs);
+        assert_eq!(faulty.stats.fetched_bytes, clean.stats.fetched_bytes);
+        assert_eq!(faulty.stats.size_hist, clean.stats.size_hist);
+        // Retries and their deterministic virtual backoff appear in stats.
+        assert_eq!(clean.stats.retries, 0);
+        assert_eq!(clean.stats.backoff_ns, 0);
+        assert_eq!(faulty.stats.retries, 3);
+        let expected_backoff =
+            shuffle_backoff_ns(0) + shuffle_backoff_ns(1) + shuffle_backoff_ns(0);
+        assert_eq!(faulty.stats.backoff_ns, expected_backoff);
+        // Backoff is charged in virtual time: it is part of the flows'
+        // pre-work, so even the one-fetcher sequential sum must cover it.
+        assert!(faulty.stats.virtual_ns >= expected_backoff);
+        assert_eq!(faulty.stats.virtual_ns, faulty.stats.sequential_ns);
+    }
+
+    #[test]
+    fn exhausted_fetch_retries_error_out() {
+        let outputs = vec![test_output("exhaust.bin", 1, &["k"])];
+        let plan = FaultPlan::new()
+            .shuffle_fail(0, 0)
+            .shuffle_fail(0, 1)
+            .shuffle_fail(0, 2);
+        let err = run_shuffle(
+            &outputs,
+            0,
+            0,
+            &NetworkConfig::local_cluster(),
+            1,
+            Some(&plan),
+            3,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("failed 3 attempts"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn one_fetcher_without_firing_faults_matches_legacy_path() {
+        let outputs = vec![
+            test_output("legacy_a.bin", 0, &["x", "y"]),
+            test_output("legacy_b.bin", 3, &["z"]),
+        ];
+        let net = NetworkConfig::local_cluster();
+        // A plan that targets a map task this shuffle never fetches: no
+        // fault fires, so the legacy one-fetcher accounting is reproduced
+        // bit-for-bit in every deterministic field.
+        let plan = FaultPlan::new().shuffle_fail(99, 0);
+        let base = run_shuffle(&outputs, 0, 0, &net, 1, None, 4).unwrap();
+        let armed = run_shuffle(&outputs, 0, 0, &net, 1, Some(&plan), 4).unwrap();
+        assert_eq!(armed.runs, base.runs);
+        assert_eq!(armed.stats.fetches, base.stats.fetches);
+        assert_eq!(armed.stats.remote_fetches, base.stats.remote_fetches);
+        assert_eq!(armed.stats.fetched_bytes, base.stats.fetched_bytes);
+        assert_eq!(armed.stats.remote_bytes, base.stats.remote_bytes);
+        assert_eq!(armed.stats.size_hist, base.stats.size_hist);
+        assert_eq!(armed.stats.retries, 0);
+        assert_eq!(armed.stats.backoff_ns, 0);
+        assert_eq!(armed.stats.wait_ns, 0);
+        assert_eq!(armed.stats.virtual_ns, armed.stats.sequential_ns);
+    }
+
+    #[test]
+    fn parallel_fetchers_with_faults_keep_bytes_and_bounds() {
+        let outputs: Vec<MapOutput> = (0..6)
+            .map(|i| test_output(&format!("par_{i}.bin"), i, &["w", "q", "r"]))
+            .collect();
+        let net = NetworkConfig::local_cluster();
+        let clean = run_shuffle(&outputs, 0, 0, &net, 4, None, 4).unwrap();
+        let plan = FaultPlan::new()
+            .shuffle_fail(1, 0)
+            .shuffle_fail(4, 0)
+            .shuffle_fail(4, 1);
+        let faulty = run_shuffle(&outputs, 0, 0, &net, 4, Some(&plan), 4).unwrap();
+        assert_eq!(faulty.runs, clean.runs);
+        assert_eq!(faulty.stats.retries, 3);
+        assert!(faulty.stats.virtual_ns <= faulty.stats.sequential_ns);
+        assert!(faulty.stats.virtual_ns >= faulty.stats.max_flow_ns);
     }
 }

@@ -50,6 +50,10 @@ pub struct MapTaskConfig {
     /// Fault injection: abort (as a task failure) after this many input
     /// records.
     pub fail_after_records: Option<u64>,
+    /// Fault injection: fail the spill write with this 0-based index. The
+    /// attempt dies like a record fault (an `Injected` error, retried by
+    /// the driver), but from inside the I/O path rather than user code.
+    pub fail_spill: Option<usize>,
     /// Cooperative cancellation token, set by the driver when the job is
     /// aborting (another task exhausted its retries or hit an I/O error).
     /// Checked between input records so a doomed job does not keep worker
@@ -110,6 +114,11 @@ struct SpillPath<'a> {
     consume_pending_ns: u64,
     /// Deferred I/O error (the `Emit` trait is infallible).
     io_error: Option<io::Error>,
+    /// Injected spill fault: fail the spill write with this index.
+    fail_spill: Option<usize>,
+    /// Set when `io_error` came from an injected fault, so the task is
+    /// reported as `Injected` (retryable) instead of a hard I/O failure.
+    injected: bool,
 }
 
 impl<'a> SpillPath<'a> {
@@ -130,6 +139,15 @@ impl<'a> SpillPath<'a> {
     /// pipeline. No-op on an empty segment.
     fn do_spill(&mut self) {
         if self.seg.is_empty() || self.io_error.is_some() {
+            return;
+        }
+        if self.fail_spill == Some(self.spills.len()) {
+            self.injected = true;
+            self.io_error = Some(io::Error::other(format!(
+                "injected fault: spill write {} of map task {}",
+                self.spills.len(),
+                self.task_id
+            )));
             return;
         }
         let path = self
@@ -232,6 +250,8 @@ pub fn run_map_task(
         task_id: cfg.task_id,
         consume_pending_ns: 0,
         io_error: None,
+        fail_spill: cfg.fail_spill,
+        injected: false,
     };
     let mut emitter = MapEmitter {
         path,
@@ -278,6 +298,11 @@ pub fn run_map_task(
             .produce(total_ns.saturating_sub(handover_ns));
 
         if let Some(e) = emitter.path.io_error.take() {
+            if emitter.path.injected {
+                return Err(MapTaskError::Injected {
+                    virtual_elapsed: emitter.path.pipeline.pipeline_end(),
+                });
+            }
             return Err(e.into());
         }
         if cfg.fail_after_records == Some(input_records) {
@@ -310,6 +335,11 @@ pub fn run_map_task(
     path.pipeline.drain_barrier();
     path.do_spill();
     if let Some(e) = path.io_error.take() {
+        if path.injected {
+            return Err(MapTaskError::Injected {
+                virtual_elapsed: path.pipeline.pipeline_end(),
+            });
+        }
         return Err(e.into());
     }
     let pipeline_end = path.pipeline.pipeline_end();
@@ -493,6 +523,7 @@ mod tests {
             compress_output: false,
             spill_dir: tmpdir(),
             fail_after_records: None,
+            fail_spill: None,
             cancel: None,
         }
     }
@@ -571,6 +602,32 @@ mod tests {
             MapTaskError::Injected { .. } => {}
             other => panic!("expected injected failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spill_fault_reports_injected_failure() {
+        let text: String = (0..200)
+            .map(|i| format!("w{} common x\n", i % 17))
+            .collect();
+        let split = one_split(&text);
+        let mut c = cfg(512); // tiny buffer → several spills
+        c.fail_spill = Some(1);
+        let err = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, c).unwrap_err();
+        match err {
+            MapTaskError::Injected { .. } => {}
+            other => panic!("expected injected spill failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_fault_beyond_last_spill_never_fires() {
+        let split = one_split("a b a\nb c\n");
+        let mut c = cfg(1 << 20); // one final spill only
+        c.fail_spill = Some(5);
+        let (_, prof) = run_map_task(&(Arc::new(WordSum) as Arc<dyn Job>), &split, c)
+            .map_err(|e| format!("{e:?}"))
+            .unwrap();
+        assert_eq!(prof.spills.len(), 1);
     }
 
     #[test]

@@ -9,14 +9,16 @@
 //! fetcher it degenerates to the sequential independent-flow accounting,
 //! which is where the EC2 configuration's shuffle penalty enters (Table IV).
 
+use crate::fault::FaultPlan;
 use crate::hash::FnvHashMap;
 use crate::job::{Emit, Job, SliceValues};
-use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile};
+use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile, VNanos};
 use crate::net::NetworkConfig;
 use crate::shuffle::{run_shuffle, ShuffleStats};
 use crate::task::map_task::MapOutput;
 use crate::task::merge::merge_grouped;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// How a reduce task groups values by key.
@@ -31,6 +33,30 @@ pub enum Grouping {
     /// Lin et al.): skips the reduce-side merge sort entirely; output
     /// order is unspecified. Only valid for order-insensitive jobs.
     Hash,
+}
+
+/// Why a reduce task did not complete (mirror of
+/// [`MapTaskError`](crate::task::map_task::MapTaskError)).
+#[derive(Debug)]
+pub enum ReduceTaskError {
+    /// Underlying I/O failure (including exhausted shuffle-fetch retries).
+    Io(io::Error),
+    /// Injected fault: the attempt died after its budgeted number of key
+    /// groups. Carries the virtual time the attempt consumed (shuffle +
+    /// partial reduce), so the driver can schedule the dead attempt's slot
+    /// occupancy before the retry.
+    Injected {
+        /// Virtual nanoseconds elapsed at the point of failure.
+        virtual_elapsed: VNanos,
+    },
+    /// The driver cancelled the job while this attempt was running.
+    Cancelled,
+}
+
+impl From<io::Error> for ReduceTaskError {
+    fn from(e: io::Error) -> Self {
+        ReduceTaskError::Io(e)
+    }
 }
 
 /// A finished reduce task.
@@ -78,6 +104,29 @@ pub struct ReduceTaskConfig {
     /// Parallel shuffle fetchers (1 = sequential legacy behaviour; clamped
     /// to [`crate::shuffle::MAX_FETCHERS`]).
     pub fetchers: usize,
+    /// Fault injection: abort (as a retryable task failure) after reducing
+    /// this many key groups.
+    pub fail_after_groups: Option<u64>,
+    /// Fault plan consulted for transient shuffle-fetch failures (keyed by
+    /// map-task id and fetch attempt). `None` disables fetch faults.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Attempts per shuffle fetch before it becomes a hard error (the
+    /// driver passes the job's `max_attempts`; clamped to ≥ 1).
+    pub max_fetch_attempts: usize,
+    /// Cooperative cancellation token, set by the driver when the job is
+    /// aborting; checked between key groups.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+#[inline]
+fn is_cancelled(cancel: &Option<Arc<AtomicBool>>) -> bool {
+    cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed))
+}
+
+/// Why the group loop stopped before draining every key group.
+enum Abort {
+    Injected,
+    Cancelled,
 }
 
 /// Run one reduce task against all map outputs.
@@ -86,16 +135,28 @@ pub fn run_reduce_task(
     map_outputs: &[MapOutput],
     net: &NetworkConfig,
     cfg: &ReduceTaskConfig,
-) -> io::Result<ReduceResult> {
+) -> Result<ReduceResult, ReduceTaskError> {
     let partition = cfg.partition;
     let mut ops = OpTimes::new();
+    if is_cancelled(&cfg.cancel) {
+        return Err(ReduceTaskError::Cancelled);
+    }
 
     // ---- shuffle fetch (see crate::shuffle) ----------------------------------
     // Network virtual time pays for the bytes as stored (compressed when
     // the map side compressed them).
-    let fetched = run_shuffle(map_outputs, partition, cfg.node, net, cfg.fetchers)?;
+    let fetched = run_shuffle(
+        map_outputs,
+        partition,
+        cfg.node,
+        net,
+        cfg.fetchers,
+        cfg.faults.as_deref(),
+        cfg.max_fetch_attempts.max(1),
+    )?;
     ops.add_nanos(Op::ShuffleFetch, fetched.fetch_work_ns);
     ops.add_nanos(Op::ShuffleWait, fetched.stats.wait_ns);
+    ops.add_nanos(Op::ShuffleRetry, fetched.stats.backoff_ns);
     let shuffle_virtual_ns = fetched.stats.virtual_ns;
     let runs = fetched.runs;
     let shuffle = fetched.stats;
@@ -109,6 +170,11 @@ pub fn run_reduce_task(
     let mut reduce_ns = 0u64;
     let mut input_records = 0u64;
     let mut intermediate_combine_ns = 0u64;
+    // Group-fault / cancellation bookkeeping: the group loops cannot early-
+    // return (merge_grouped drives a callback), so they record the abort and
+    // skip the remaining groups' user work instead.
+    let mut groups_done = 0u64;
+    let mut aborted: Option<Abort> = None;
     let reduce_group =
         |key: &[u8], values: &[&[u8]], sink: &mut ReduceSink, reduce_ns: &mut u64| {
             let write_before = sink.write_ns;
@@ -136,8 +202,17 @@ pub fn run_reduce_task(
 
             // ---- final merge + reduce + write --------------------------------
             merge_grouped(&runs, &|a, b| job.compare_keys(a, b), |key, values| {
+                if aborted.is_some() {
+                    return;
+                }
                 input_records += values.len() as u64;
                 reduce_group(key, values, &mut sink, &mut reduce_ns);
+                groups_done += 1;
+                if cfg.fail_after_groups == Some(groups_done) {
+                    aborted = Some(Abort::Injected);
+                } else if groups_done.is_multiple_of(64) && is_cancelled(&cfg.cancel) {
+                    aborted = Some(Abort::Cancelled);
+                }
             });
         }
         Grouping::Hash => {
@@ -166,8 +241,27 @@ pub fn run_reduce_task(
                     values.push(v);
                 }
                 reduce_group(key, &values, &mut sink, &mut reduce_ns);
+                groups_done += 1;
+                if cfg.fail_after_groups == Some(groups_done) {
+                    aborted = Some(Abort::Injected);
+                    break;
+                }
+                if groups_done.is_multiple_of(64) && is_cancelled(&cfg.cancel) {
+                    aborted = Some(Abort::Cancelled);
+                    break;
+                }
             }
         }
+    }
+    match aborted {
+        Some(Abort::Injected) => {
+            // The dead attempt consumed its shuffle plus the partial reduce.
+            return Err(ReduceTaskError::Injected {
+                virtual_elapsed: shuffle_virtual_ns + sw_all.elapsed_ns(),
+            });
+        }
+        Some(Abort::Cancelled) => return Err(ReduceTaskError::Cancelled),
+        None => {}
     }
     let total_ns = sw_all.elapsed_ns();
     let write_ns = sink.write_ns;
@@ -238,6 +332,21 @@ mod tests {
         d
     }
 
+    fn rcfg(partition: usize, node: usize, fetchers: usize) -> ReduceTaskConfig {
+        ReduceTaskConfig {
+            partition,
+            node,
+            merge_fan_in: 10,
+            scratch_dir: tmpdir(),
+            grouping: Grouping::Sort,
+            fetchers,
+            fail_after_groups: None,
+            faults: None,
+            max_fetch_attempts: 4,
+            cancel: None,
+        }
+    }
+
     fn map_all(texts: &[&str], parts: usize) -> Vec<MapOutput> {
         let job: Arc<dyn Job> = Arc::new(WordSum);
         texts
@@ -258,6 +367,7 @@ mod tests {
                     compress_output: false,
                     spill_dir: tmpdir(),
                     fail_after_records: None,
+                    fail_spill: None,
                     cancel: None,
                 };
                 run_map_task(&job, &split, cfg)
@@ -276,14 +386,7 @@ mod tests {
             &job,
             &outputs,
             &NetworkConfig::local_cluster(),
-            &ReduceTaskConfig {
-                partition: 0,
-                node: 0,
-                merge_fan_in: 10,
-                scratch_dir: tmpdir(),
-                grouping: Grouping::Sort,
-                fetchers: 1,
-            },
+            &rcfg(0, 0, 1),
         )
         .unwrap();
         let m: std::collections::HashMap<String, u64> = r
@@ -316,14 +419,7 @@ mod tests {
                 &job,
                 &outputs,
                 &NetworkConfig::local_cluster(),
-                &ReduceTaskConfig {
-                    partition: p,
-                    node: 0,
-                    merge_fan_in: 10,
-                    scratch_dir: tmpdir(),
-                    grouping: Grouping::Sort,
-                    fetchers: 1,
-                },
+                &rcfg(p, 0, 1),
             )
             .unwrap();
             all.extend(r.pairs);
@@ -340,14 +436,7 @@ mod tests {
             &job,
             &outputs,
             &NetworkConfig::local_cluster(),
-            &ReduceTaskConfig {
-                partition: 0,
-                node: 0,
-                merge_fan_in: 10,
-                scratch_dir: tmpdir(),
-                grouping: Grouping::Sort,
-                fetchers: 1,
-            },
+            &rcfg(0, 0, 1),
         )
         .unwrap();
         assert_eq!(local.shuffle.remote_bytes, 0);
@@ -355,14 +444,7 @@ mod tests {
             &job,
             &outputs,
             &NetworkConfig::local_cluster(),
-            &ReduceTaskConfig {
-                partition: 0,
-                node: 1,
-                merge_fan_in: 10,
-                scratch_dir: tmpdir(),
-                grouping: Grouping::Sort,
-                fetchers: 1,
-            },
+            &rcfg(0, 1, 1),
         )
         .unwrap();
         assert!(remote.shuffle.remote_bytes > 0);
@@ -376,18 +458,12 @@ mod tests {
         let outputs = map_all(&["a b a\n", "a c d e\n", "b d f\n"], 1);
         let job: Arc<dyn Job> = Arc::new(WordSum);
         let run = |fetchers: usize| {
+            // node 1: all sources remote → real flows in the NIC model
             run_reduce_task(
                 &job,
                 &outputs,
                 &NetworkConfig::local_cluster(),
-                &ReduceTaskConfig {
-                    partition: 0,
-                    node: 1, // all sources remote → real flows in the NIC model
-                    merge_fan_in: 10,
-                    scratch_dir: tmpdir(),
-                    grouping: Grouping::Sort,
-                    fetchers,
-                },
+                &rcfg(0, 1, fetchers),
             )
             .unwrap()
         };
@@ -414,14 +490,7 @@ mod tests {
                 &job,
                 &outputs,
                 &NetworkConfig::local_cluster(),
-                &ReduceTaskConfig {
-                    partition: p,
-                    node: 0,
-                    merge_fan_in: 10,
-                    scratch_dir: tmpdir(),
-                    grouping: Grouping::Sort,
-                    fetchers: 1,
-                },
+                &rcfg(p, 0, 1),
             )
             .unwrap();
             if !r.pairs.is_empty() {
@@ -429,5 +498,81 @@ mod tests {
             }
         }
         assert_eq!(nonempty, 1);
+    }
+
+    #[test]
+    fn group_fault_reports_injected_failure() {
+        let outputs = map_all(&["a b c d e f g h\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let mut cfg = rcfg(0, 0, 1);
+        cfg.fail_after_groups = Some(3);
+        let err =
+            run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &cfg).unwrap_err();
+        match err {
+            ReduceTaskError::Injected { virtual_elapsed } => {
+                assert!(virtual_elapsed > 0);
+            }
+            other => panic!("expected injected failure, got {other:?}"),
+        }
+        // A budget beyond the group count never fires.
+        cfg.fail_after_groups = Some(1000);
+        let ok = run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &cfg).unwrap();
+        assert_eq!(ok.pairs.len(), 8);
+    }
+
+    #[test]
+    fn group_fault_fires_under_hash_grouping_too() {
+        let outputs = map_all(&["a b c d\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let mut cfg = rcfg(0, 0, 1);
+        cfg.grouping = Grouping::Hash;
+        cfg.fail_after_groups = Some(2);
+        let err =
+            run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, ReduceTaskError::Injected { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cancelled_reduce_task_stops_before_fetching() {
+        let outputs = map_all(&["a b\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let mut cfg = rcfg(0, 0, 1);
+        cfg.cancel = Some(Arc::new(AtomicBool::new(true)));
+        let err =
+            run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &cfg).unwrap_err();
+        assert!(matches!(err, ReduceTaskError::Cancelled), "got {err:?}");
+    }
+
+    #[test]
+    fn injected_shuffle_faults_retry_transparently() {
+        let outputs = map_all(&["a b a\n", "a c\n"], 1);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+        let clean = run_reduce_task(
+            &job,
+            &outputs,
+            &NetworkConfig::local_cluster(),
+            &rcfg(0, 0, 1),
+        )
+        .unwrap();
+        let mut cfg = rcfg(0, 0, 1);
+        cfg.faults = Some(Arc::new(
+            crate::fault::FaultPlan::new()
+                .shuffle_fail(0, 0)
+                .shuffle_fail(1, 0),
+        ));
+        let faulty =
+            run_reduce_task(&job, &outputs, &NetworkConfig::local_cluster(), &cfg).unwrap();
+        assert_eq!(faulty.pairs, clean.pairs);
+        assert_eq!(faulty.shuffle.retries, 2);
+        // The virtual backoff lands on the idle ShuffleRetry op, keeping the
+        // work breakdown (total_work) free of retry noise.
+        assert_eq!(
+            faulty.profile.ops.get(Op::ShuffleRetry),
+            faulty.shuffle.backoff_ns
+        );
+        assert!(faulty.shuffle.backoff_ns > 0);
     }
 }

@@ -1,14 +1,16 @@
-//! Failure injection: map-task attempts die mid-input and are retried;
-//! output must be unaffected under every optimization configuration, and
-//! exhausted retries must abort the job — sequentially and on the worker
-//! pool, where a retry must never reuse a dead attempt's spill directory
-//! and an abort must cancel in-flight tasks instead of hanging the pool.
+//! Failure injection: map-task attempts die mid-input (and reduce-task
+//! attempts mid-group) and are retried; output must be unaffected under
+//! every optimization configuration, and exhausted retries must abort the
+//! job — sequentially and on the worker pool, where a retry must never
+//! reuse a dead attempt's spill directory and an abort must cancel
+//! in-flight tasks instead of hanging the pool.
 
 use std::sync::Arc;
 use textmr_apps::WordCount;
 use textmr_core::{optimized, FreqBufferConfig, OptimizationConfig, SpillMatcherConfig};
 use textmr_data::text::CorpusConfig;
 use textmr_engine::cluster::{run_job, ClusterConfig, JobConfig};
+use textmr_engine::fault::FaultPlan;
 use textmr_engine::io::dfs::SimDfs;
 
 fn corpus_dfs() -> SimDfs {
@@ -212,4 +214,181 @@ fn exhausted_retries_abort_promptly_on_the_worker_pool() {
         elapsed < std::time::Duration::from_secs(30),
         "abort took {elapsed:?}"
     );
+}
+
+// ---- reduce-side mirror of the map matrix ----------------------------------
+
+#[test]
+fn retried_reduce_tasks_do_not_change_output_or_signature() {
+    let dfs = corpus_dfs();
+    let clean = run_job(
+        &cluster(),
+        &JobConfig::default().with_reducers(3),
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+
+    let plan = FaultPlan::new()
+        .reduce_fail_after(0, 1) // dies on its very first key group
+        .reduce_fail_at(1, 0, 40)
+        .reduce_fail_at(1, 1, 7) // two dead attempts, succeeds on the third
+        .reduce_fail_after(2, 15);
+    let faulty = run_job(
+        &cluster(),
+        &JobConfig::default().with_reducers(3).with_fault_plan(plan),
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    assert_eq!(clean.sorted_pairs(), faulty.sorted_pairs());
+    // Only the final (successful) attempt contributes to the profile, so
+    // the timing-free signature is untouched by the dead attempts.
+    assert_eq!(clean.profile.signature(), faulty.profile.signature());
+}
+
+#[test]
+fn reduce_retries_work_under_every_optimization_config() {
+    let dfs = corpus_dfs();
+    let clean = run_job(
+        &cluster(),
+        &JobConfig::default().with_reducers(3),
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    let freq = FreqBufferConfig {
+        k: 200,
+        sampling_fraction: Some(0.1),
+        ..Default::default()
+    };
+    let configs = [
+        OptimizationConfig::freq_only(freq.clone()),
+        OptimizationConfig::spill_only(SpillMatcherConfig::default()),
+        OptimizationConfig {
+            frequency_buffering: Some(freq),
+            spill_matcher: Some(SpillMatcherConfig::default()),
+            share_frequent_keys: true,
+        },
+    ];
+    let plan = FaultPlan::new()
+        .reduce_fail_after(0, 12)
+        .reduce_fail_at(2, 0, 3)
+        .reduce_fail_at(2, 1, 30);
+    for opt in configs {
+        for workers in [1, 4] {
+            let cfg = optimized(JobConfig::default().with_reducers(3), opt.clone())
+                .with_fault_plan(plan.clone());
+            let faulty = run_job(
+                &cluster().with_worker_threads(workers),
+                &cfg,
+                Arc::new(WordCount),
+                &dfs,
+                &[("corpus", 0)],
+            )
+            .unwrap();
+            assert_eq!(
+                clean.sorted_pairs(),
+                faulty.sorted_pairs(),
+                "workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn failed_reduce_attempt_occupies_slot_time() {
+    let dfs = corpus_dfs();
+    let cfg = JobConfig::default()
+        .with_reducers(3)
+        .with_fault_plan(FaultPlan::new().reduce_fail_after(0, 20));
+    let run = run_job(
+        &cluster(),
+        &cfg,
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    // Partition 0's span covers both the dead attempt and the successful
+    // retry, so it must exceed the successful attempt's own duration and
+    // start strictly after the map phase let it begin.
+    let span = &run.profile.reduce_spans[0];
+    assert!(span.end - span.start >= run.profile.reduce_tasks[0].virtual_duration);
+    assert!(
+        span.start > run.profile.map_phase_end,
+        "retry should be scheduled after the failed attempt"
+    );
+}
+
+#[test]
+fn exhausted_reduce_retries_abort_with_a_named_error() {
+    let dfs = corpus_dfs();
+    // Every allowed attempt of partition 1 dies.
+    let plan = FaultPlan::new()
+        .reduce_fail_at(1, 0, 5)
+        .reduce_fail_at(1, 1, 5);
+    let cfg = JobConfig {
+        max_attempts: 2,
+        ..JobConfig::default().with_reducers(3).with_fault_plan(plan)
+    };
+    for workers in [1, 4] {
+        let err = run_job(
+            &cluster().with_worker_threads(workers),
+            &cfg,
+            Arc::new(WordCount),
+            &dfs,
+            &[("corpus", 0)],
+        )
+        .expect_err("exhausted reduce attempts must abort the job");
+        assert!(
+            err.to_string().contains("reduce task 1 failed 2 attempts"),
+            "workers={workers}, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn mixed_map_and_reduce_faults_recover_together() {
+    let dfs = corpus_dfs();
+    let clean = run_job(
+        &cluster(),
+        &JobConfig::default().with_reducers(3),
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    let plan = FaultPlan::new()
+        .map_fail_after(0, 9)
+        .map_fail_at(2, 1, 4) // first retry dies too
+        .map_fail_at(2, 0, 31)
+        .spill_fail(1, 0, 0) // first spill write of task 1, attempt 0
+        .shuffle_fail(0, 0) // first fetch of map 0's output, per reducer
+        .shuffle_fail(3, 0)
+        .shuffle_fail(3, 1)
+        .reduce_fail_after(2, 11);
+    for workers in [1, 4] {
+        let faulty = run_job(
+            &cluster().with_worker_threads(workers),
+            &JobConfig::default()
+                .with_reducers(3)
+                .with_fault_plan(plan.clone()),
+            Arc::new(WordCount),
+            &dfs,
+            &[("corpus", 0)],
+        )
+        .unwrap();
+        assert_eq!(
+            clean.sorted_pairs(),
+            faulty.sorted_pairs(),
+            "workers={workers}"
+        );
+        assert_eq!(clean.profile.signature(), faulty.profile.signature());
+        // The injected shuffle faults actually fired and were retried.
+        assert!(faulty.profile.shuffle_stats().retries > 0);
+    }
 }
