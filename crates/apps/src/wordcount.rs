@@ -1,4 +1,4 @@
-//! WordCount — the canonical text-centric MapReduce program ([6]).
+//! WordCount — the canonical text-centric MapReduce program (\[6\]).
 //!
 //! `map()` tokenizes each line and emits `(word, 1)`; `combine()` and
 //! `reduce()` sum. Non-CPU-intensive, non-storage-intensive: the paper's

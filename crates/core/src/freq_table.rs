@@ -20,7 +20,7 @@
 //! 30 % split. The per-key limit is `budget / k`, making the whole table's
 //! footprint ≤ budget by construction.
 //!
-//! A [`FrequentKeyRegistry`](crate::registry::FrequentKeyRegistry) lets the
+//! A [`FrequentKeyRegistry`] lets the
 //! node's *designated* task (the lowest task id scheduled on the node —
 //! `FilterCtx::node_first_task`) publish its frozen top-k so every other
 //! task on the node skips stages 1–2 entirely (Sec. III-B, last

@@ -83,7 +83,7 @@ impl ZipfEstimator {
     /// Ranks whose count is 1 are down-weighted by truncation: the tail of
     /// a short sample is dominated by singletons whose log-frequency is
     /// pinned at 0 and would bias α low; we use ranks up to the last count
-    /// ≥ 2, but never fewer than [`MIN_POINTS`] points when available.
+    /// ≥ 2, but never fewer than `MIN_POINTS` points when available.
     pub fn fit(&self) -> ZipfFit {
         /// Regression needs at least this many points to be meaningful.
         pub const MIN_POINTS: usize = 5;

@@ -2,7 +2,7 @@
 //!
 //! Substitute for the paper's 10 M-page synthetic crawl (22.89 GB) built
 //! with Pavlo et al.'s tools using Zipf(α = 1) link popularity per Adamic &
-//! Huberman [2]. A page record is one line:
+//! Huberman \[2\]. A page record is one line:
 //!
 //! ```text
 //! <pageId>|<rank>|<out1>,<out2>,...

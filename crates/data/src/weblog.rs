@@ -3,7 +3,7 @@
 //! Substitute for the data generator from Pavlo et al.'s "MapReduce vs DBMS"
 //! benchmark, which the paper used for AccessLogSum and AccessLogJoin with
 //! one modification: destination URLs follow a Zipf(0.8) popularity
-//! distribution (Breslau et al. [4]). We reproduce the same schema:
+//! distribution (Breslau et al. \[4\]). We reproduce the same schema:
 //!
 //! * `UserVisits(sourceIP, destURL, visitDate, adRevenue, userAgent,
 //!   countryCode, languageCode, searchWord, duration)` — pipe-delimited.

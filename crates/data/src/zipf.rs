@@ -1,9 +1,9 @@
 //! Zipfian distribution sampling and generalized harmonic numbers.
 //!
 //! The paper's three datasets are all governed by Zipf-like popularity laws:
-//! words in the text corpus (α ≈ 1, Zipf's law [23]), destination URLs in the
-//! access logs (α = 0.8, Breslau et al. [4]) and web-page in-link popularity
-//! (α = 1, Adamic & Huberman [2]). This module provides two samplers:
+//! words in the text corpus (α ≈ 1, Zipf's law \[23\]), destination URLs in the
+//! access logs (α = 0.8, Breslau et al. \[4\]) and web-page in-link popularity
+//! (α = 1, Adamic & Huberman \[2\]). This module provides two samplers:
 //!
 //! * [`ZipfTable`] — an exact inverse-CDF sampler backed by a cumulative
 //!   table. O(m) memory, O(log m) per sample, bit-exact distribution. Used

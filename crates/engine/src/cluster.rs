@@ -36,6 +36,7 @@ use crate::task::map_task::{run_map_task, MapOutput, MapTaskConfig, MapTaskError
 use crate::task::reduce_task::{
     run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig, ReduceTaskError,
 };
+use crate::trace::{AttemptKind, EntryDetail, JobTrace, TaskKind, TraceEntry};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -206,6 +207,11 @@ pub struct JobConfig {
     /// winning backup moves the task (changing shuffle locality and hence
     /// `shuffled_bytes`), trading signature stability for makespan.
     pub speculation: Option<SpeculationConfig>,
+    /// Record a deterministic virtual-time trace of every task attempt
+    /// into [`JobRun::trace`] (see [`crate::trace`]). Off by default; the
+    /// untraced path records nothing and allocates nothing, so profiles and
+    /// outputs are byte-identical with the flag off.
+    pub trace: bool,
 }
 
 impl Default for JobConfig {
@@ -219,6 +225,7 @@ impl Default for JobConfig {
             max_attempts: 4,
             grouping: Grouping::Sort,
             speculation: None,
+            trace: false,
         }
     }
 }
@@ -241,6 +248,12 @@ impl JobConfig {
         self.speculation = Some(spec);
         self
     }
+
+    /// Convenience: enable virtual-time tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
 }
 
 /// A completed job: outputs per partition plus the full profile.
@@ -250,6 +263,9 @@ pub struct JobRun {
     pub outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
     /// Aggregated instrumentation.
     pub profile: JobProfile,
+    /// Virtual-time trace of every scheduled attempt; `Some` iff
+    /// [`JobConfig::trace`] was set.
+    pub trace: Option<JobTrace>,
 }
 
 impl JobRun {
@@ -306,6 +322,11 @@ enum ReduceTaskOutcome {
     /// The task gave up because another task had already doomed the job.
     Cancelled,
 }
+
+/// A captured speculative-backup placement for the trace: `(task, node,
+/// slot, start, end, flat outcome)` — the outcome is `None` when the backup
+/// won the race and owns the task's detailed lanes.
+type BackupCapture = (usize, usize, usize, VNanos, VNanos, Option<AttemptKind>);
 
 /// Median of a set of virtual durations (0 for the empty set; upper
 /// median for even counts).
@@ -420,6 +441,7 @@ pub fn run_job(
                 fail_after_records: cfg.fault_plan.map_fault(t, attempt),
                 fail_spill: cfg.fault_plan.spill_fault(t, attempt),
                 cancel: Some(Arc::clone(&cancel)),
+                trace: cfg.trace,
             };
             match run_map_task(&job, split, task_cfg) {
                 Ok((out, prof)) => {
@@ -486,11 +508,14 @@ pub fn run_job(
     let mut slot_free: Vec<Vec<VNanos>> =
         vec![vec![0; cluster.map_slots_per_node.max(1)]; cluster.nodes];
     let mut map_spans = Vec::with_capacity(splits.len());
+    // When tracing: per task, every attempt's (slot, start, end) placement.
+    let mut map_sched: Vec<Vec<(usize, VNanos, VNanos)>> = Vec::new();
     for (t, split) in splits.iter().enumerate() {
         let node = split.home_node % cluster.nodes;
         let mut span_start = 0;
         let mut span_end = 0;
         let mut prev_attempt_end = 0;
+        let mut sched = Vec::new();
         for &dur in &attempt_durations[t] {
             // Earliest-free slot on the home node; a retry can only start
             // after its previous attempt failed. A straggler node
@@ -502,6 +527,12 @@ pub fn run_job(
             span_end = span_start + cfg.fault_plan.scale(node, dur);
             slot_free[node][slot] = span_end;
             prev_attempt_end = span_end;
+            if cfg.trace {
+                sched.push((slot, span_start, span_end));
+            }
+        }
+        if cfg.trace {
+            map_sched.push(sched);
         }
         map_spans.push(TaskSpan {
             node,
@@ -522,6 +553,11 @@ pub fn run_job(
     // reschedule of already-placed tasks) — speculation here is a
     // tail-latency patch, not a full re-plan.
     let mut spec_stats = SpeculationStats::default();
+    // When tracing: backup attempts' placements, and which tasks' primary
+    // lost its speculative race (its final attempt renders as a flat
+    // "speculation-lost" span; the backup owns the detailed lanes).
+    let mut map_backups: Vec<BackupCapture> = Vec::new();
+    let mut map_lost_to_backup = vec![false; if cfg.trace { splits.len() } else { 0 }];
     if let Some(spec) = cfg.speculation.as_ref().filter(|_| cluster.nodes > 1) {
         let threshold = spec.threshold();
         let med = median(map_spans.iter().map(|s| s.end - s.start).collect());
@@ -583,9 +619,10 @@ pub fn run_job(
                 merge_fan_in: cluster.merge_fan_in,
                 compress_output: cluster.compress_map_output,
                 spill_dir: spec_dir.clone(),
-                fail_after_records: None,
+                fail_after_records: cfg.fault_plan.map_backup_fault(t),
                 fail_spill: None,
                 cancel: None,
+                trace: cfg.trace,
             };
             match run_map_task(&job, split, task_cfg) {
                 Ok((out_b, prof_b)) => {
@@ -613,12 +650,49 @@ pub fn run_job(
                         let _ =
                             std::fs::remove_dir_all(temp.join(format!("t{t}_a{final_attempt}")));
                         map_profiles[t] = prof_b;
+                        if cfg.trace {
+                            map_lost_to_backup[t] = true;
+                            map_backups.push((t, backup_node, slot, start_b, end_b, None));
+                        }
                     } else {
                         // Primary wins: the backup is cancelled the moment
                         // the primary completes; its slot frees then.
-                        slot_free[backup_node][slot] = p_end.max(start_b);
+                        let end_b = p_end.max(start_b);
+                        slot_free[backup_node][slot] = end_b;
                         drop(out_b);
                         let _ = std::fs::remove_dir_all(&spec_dir);
+                        if cfg.trace && end_b > start_b {
+                            map_backups.push((
+                                t,
+                                backup_node,
+                                slot,
+                                start_b,
+                                end_b,
+                                Some(AttemptKind::Lost),
+                            ));
+                        }
+                    }
+                }
+                Err(MapTaskError::Injected { virtual_elapsed }) => {
+                    // An injected fault killed the backup mid-flight: the
+                    // primary stands, but the dead backup occupied its slot
+                    // for the virtual time it burned before dying.
+                    let slot = (0..slot_free[backup_node].len())
+                        .min_by_key(|&s| slot_free[backup_node][s])
+                        .expect("at least one slot");
+                    let start_b = slot_free[backup_node][slot].max(detect);
+                    let end_b = start_b + cfg.fault_plan.scale(backup_node, virtual_elapsed);
+                    slot_free[backup_node][slot] = end_b;
+                    let _ = std::fs::remove_dir_all(&spec_dir);
+                    if cfg.trace && end_b > start_b {
+                        map_backups.push((
+                            t,
+                            backup_node,
+                            slot,
+                            start_b,
+                            end_b,
+                            Some(AttemptKind::Dead),
+                        ));
                     }
                 }
                 Err(_) => {
@@ -668,6 +742,7 @@ pub fn run_job(
                     faults: shuffle_faults.clone(),
                     max_fetch_attempts: cfg.max_attempts.max(1),
                     cancel: Some(Arc::clone(&rcancel)),
+                    trace: cfg.trace,
                 },
             );
             match res {
@@ -734,11 +809,13 @@ pub fn run_job(
     let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
     let mut rslot_free: Vec<Vec<VNanos>> =
         vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
+    let mut reduce_sched: Vec<Vec<(usize, VNanos, VNanos)>> = Vec::new();
     for (r, attempts) in rattempt_durations.iter().enumerate() {
         let node = r % cluster.nodes;
         let mut span_start = map_phase_end;
         let mut span_end = map_phase_end;
         let mut prev_attempt_end = 0;
+        let mut sched = Vec::new();
         for &dur in attempts {
             let slot = (0..rslot_free[node].len())
                 .min_by_key(|&s| rslot_free[node][s])
@@ -747,6 +824,12 @@ pub fn run_job(
             span_end = span_start + cfg.fault_plan.scale(node, dur);
             rslot_free[node][slot] = span_end;
             prev_attempt_end = span_end;
+            if cfg.trace {
+                sched.push((slot, span_start, span_end));
+            }
+        }
+        if cfg.trace {
+            reduce_sched.push(sched);
         }
         reduce_spans.push(TaskSpan {
             node,
@@ -760,6 +843,8 @@ pub fn run_job(
     // from the (final) map outputs and re-reduces for real; a winning
     // backup replaces the primary's result wholesale, so output pairs stay
     // exact. Must run before `map_outputs` is dropped.
+    let mut reduce_backups: Vec<BackupCapture> = Vec::new();
+    let mut reduce_lost_to_backup = vec![false; if cfg.trace { cfg.num_reducers } else { 0 }];
     if let Some(spec) = cfg.speculation.as_ref().filter(|_| cluster.nodes > 1) {
         let threshold = spec.threshold();
         let med = median(reduce_spans.iter().map(|s| s.end - s.start).collect());
@@ -799,6 +884,7 @@ pub fn run_job(
                     faults: None,
                     max_fetch_attempts: 1,
                     cancel: None,
+                    trace: cfg.trace,
                 },
             );
             if let Ok(b) = res_b {
@@ -821,8 +907,23 @@ pub fn run_job(
                     results[r] = b;
                     let final_attempt = rattempt_durations[r].len().saturating_sub(1);
                     let _ = std::fs::remove_dir_all(temp.join(format!("r{r}_a{final_attempt}")));
+                    if cfg.trace {
+                        reduce_lost_to_backup[r] = true;
+                        reduce_backups.push((r, backup_node, slot, start_b, end_b, None));
+                    }
                 } else {
-                    rslot_free[backup_node][slot] = p_end.max(start_b);
+                    let end_b = p_end.max(start_b);
+                    rslot_free[backup_node][slot] = end_b;
+                    if cfg.trace && end_b > start_b {
+                        reduce_backups.push((
+                            r,
+                            backup_node,
+                            slot,
+                            start_b,
+                            end_b,
+                            Some(AttemptKind::Lost),
+                        ));
+                    }
                 }
             }
             // Reduce output lives in memory, so the backup's scratch is
@@ -848,12 +949,138 @@ pub fn run_job(
         .max()
         .unwrap_or(map_phase_end);
 
+    // ---- assemble the job trace (opt-in) ---------------------------------------
+    // Each attempt of record contributes its task-local lanes, shifted to
+    // its scheduled start and stretched by its node's straggler factor;
+    // failed attempts, speculation losers, and dead backups contribute flat
+    // slot-occupancy spans. The profiles' trace payloads move into the
+    // JobTrace here, so `JobRun::profile` stays lean.
+    let trace = if cfg.trace {
+        let mut entries = Vec::new();
+        for (t, sched) in map_sched.iter().enumerate() {
+            let node = splits[t].home_node % cluster.nodes;
+            let factor = cfg.fault_plan.node_factor(node);
+            let last = sched.len().saturating_sub(1);
+            for (attempt, &(slot, start, end)) in sched.iter().enumerate() {
+                let detail = if attempt < last {
+                    EntryDetail::Flat(AttemptKind::Failed)
+                } else if map_lost_to_backup[t] {
+                    EntryDetail::Flat(AttemptKind::Lost)
+                } else {
+                    match map_profiles[t].trace.take() {
+                        Some(tr) => EntryDetail::Lanes(tr.into_absolute(start, factor)),
+                        None => EntryDetail::Flat(AttemptKind::Failed),
+                    }
+                };
+                entries.push(TraceEntry {
+                    kind: TaskKind::Map,
+                    task: t,
+                    attempt,
+                    backup: false,
+                    node,
+                    slot,
+                    factor,
+                    start,
+                    end,
+                    detail,
+                });
+            }
+        }
+        for (r, sched) in reduce_sched.iter().enumerate() {
+            let node = r % cluster.nodes;
+            let factor = cfg.fault_plan.node_factor(node);
+            let last = sched.len().saturating_sub(1);
+            for (attempt, &(slot, start, end)) in sched.iter().enumerate() {
+                let detail = if attempt < last {
+                    EntryDetail::Flat(AttemptKind::Failed)
+                } else if reduce_lost_to_backup[r] {
+                    EntryDetail::Flat(AttemptKind::Lost)
+                } else {
+                    match reduce_profiles[r].trace.take() {
+                        Some(tr) => EntryDetail::Lanes(tr.into_absolute(start, factor)),
+                        None => EntryDetail::Flat(AttemptKind::Failed),
+                    }
+                };
+                entries.push(TraceEntry {
+                    kind: TaskKind::Reduce,
+                    task: r,
+                    attempt,
+                    backup: false,
+                    node,
+                    slot,
+                    factor,
+                    start,
+                    end,
+                    detail,
+                });
+            }
+        }
+        for &(t, node, slot, start, end, outcome) in &map_backups {
+            let factor = cfg.fault_plan.node_factor(node);
+            let detail = match outcome {
+                None => match map_profiles[t].trace.take() {
+                    Some(tr) => EntryDetail::Lanes(tr.into_absolute(start, factor)),
+                    None => EntryDetail::Flat(AttemptKind::Lost),
+                },
+                Some(kind) => EntryDetail::Flat(kind),
+            };
+            entries.push(TraceEntry {
+                kind: TaskKind::Map,
+                task: t,
+                attempt: 0,
+                backup: true,
+                node,
+                slot,
+                factor,
+                start,
+                end,
+                detail,
+            });
+        }
+        for &(r, node, slot, start, end, outcome) in &reduce_backups {
+            let factor = cfg.fault_plan.node_factor(node);
+            let detail = match outcome {
+                None => match reduce_profiles[r].trace.take() {
+                    Some(tr) => EntryDetail::Lanes(tr.into_absolute(start, factor)),
+                    None => EntryDetail::Flat(AttemptKind::Lost),
+                },
+                Some(kind) => EntryDetail::Flat(kind),
+            };
+            entries.push(TraceEntry {
+                kind: TaskKind::Reduce,
+                task: r,
+                attempt: 0,
+                backup: true,
+                node,
+                slot,
+                factor,
+                start,
+                end,
+                detail,
+            });
+        }
+        let twall = entries.iter().map(|e| e.end).max().unwrap_or(0).max(wall);
+        Some(JobTrace {
+            nodes: cluster.nodes,
+            map_slots: cluster.map_slots_per_node.max(1),
+            reduce_slots: cluster.reduce_slots_per_node.max(1),
+            fetchers: cluster
+                .shuffle_fetchers
+                .clamp(1, crate::shuffle::MAX_FETCHERS),
+            wall: twall,
+            entries,
+        })
+    } else {
+        None
+    };
+
     // Map outputs (and their files) are dropped here; `_cleanup` removes
     // the job's temp directory when `run_job` returns.
     drop(map_outputs);
 
     Ok(JobRun {
         outputs,
+        trace,
         profile: JobProfile {
             map_tasks: map_profiles,
             reduce_tasks: reduce_profiles,
@@ -1176,6 +1403,71 @@ mod tests {
             packed.profile.shuffled_bytes,
             plain.profile.shuffled_bytes
         );
+    }
+
+    #[test]
+    fn tracing_is_opt_in_and_consistent_with_the_profile() {
+        let data = corpus(300);
+        for fetchers in [1, 4] {
+            let cluster = ClusterConfig::local().with_shuffle_fetchers(fetchers);
+            let mut dfs = SimDfs::new(cluster.nodes, 2048);
+            dfs.put("c", data.clone());
+            let plain = run_job(
+                &cluster,
+                &JobConfig::default(),
+                Arc::new(WordSum),
+                &dfs,
+                &[("c", 0)],
+            )
+            .unwrap();
+            assert!(plain.trace.is_none());
+            let traced = run_job(
+                &cluster,
+                &JobConfig::default().with_trace(),
+                Arc::new(WordSum),
+                &dfs,
+                &[("c", 0)],
+            )
+            .unwrap();
+            // Tracing changes nothing observable about the job itself.
+            assert_eq!(plain.sorted_pairs(), traced.sorted_pairs());
+            assert_eq!(plain.profile.signature(), traced.profile.signature());
+            let trace = traced.trace.expect("trace requested");
+            // Lanes tile their entries, slots never double-book, and the
+            // op spans reproduce the profile's totals exactly.
+            trace.check().unwrap();
+            assert_eq!(trace.op_times(), traced.profile.total_ops());
+            let json = trace.to_chrome_json();
+            let summary = crate::trace::validate_chrome_trace(&json).unwrap();
+            assert!(summary.complete_events > 0);
+            assert!(summary.pids >= 1);
+        }
+    }
+
+    #[test]
+    fn tracing_covers_retries_stragglers_and_speculation() {
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 2048);
+        dfs.put("c", corpus(300));
+        let plan = FaultPlan::new().map_fail_after(0, 3).slow_node(0, 4);
+        let cfg = JobConfig::default()
+            .with_fault_plan(plan)
+            .with_speculation(SpeculationConfig::default())
+            .with_trace();
+        let run = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+        let trace = run.trace.expect("trace requested");
+        trace.check().unwrap();
+        // Straggler scaling divides back out exactly, so op totals still
+        // match even with a 4× node in the plan.
+        assert_eq!(trace.op_times(), run.profile.total_ops());
+        // The injected first-attempt failure leaves a flat marker.
+        assert!(trace
+            .entries
+            .iter()
+            .any(|e| matches!(e.detail, EntryDetail::Flat(AttemptKind::Failed))));
+        crate::trace::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
+        // The ASCII renderer covers every lane without panicking.
+        assert!(!trace.render_text(80).is_empty());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   ([`task::reduce_task`]);
 //! * cluster-level virtual scheduling onto node slots ([`cluster`]);
 //! * fine-grained abstraction-cost metrics ([`metrics`]) matching the
-//!   paper's Table I operation breakdown.
+//!   paper's Table I operation breakdown;
+//! * an opt-in deterministic virtual-time tracer ([`trace`]) that exports
+//!   per-thread span timelines as Chrome-trace/Perfetto JSON or ASCII.
 //!
 //! The paper's optimizations plug in through [`controller::SpillController`]
 //! and [`controller::EmitFilter`] — see the `textmr-core` crate.
@@ -65,10 +67,11 @@ pub mod io;
 pub mod job;
 pub mod metrics;
 pub mod net;
-pub(crate) mod pool;
+pub mod pool;
 pub mod reference;
 pub mod shuffle;
 pub mod task;
+pub mod trace;
 
 /// One-stop imports for writing and running jobs.
 pub mod prelude {
@@ -85,4 +88,5 @@ pub mod prelude {
     pub use crate::net::NetworkConfig;
     pub use crate::shuffle::{FetchHistogram, ShuffleStats};
     pub use crate::task::reduce_task::Grouping;
+    pub use crate::trace::{validate_chrome_trace, JobTrace, TaskTrace};
 }

@@ -327,6 +327,11 @@ pub struct TaskProfile {
     pub freq_absorbed_records: u64,
     /// Bytes written to the final (merged) map output / reduce output.
     pub output_bytes: u64,
+    /// Per-thread span timeline of this attempt, recorded only when the
+    /// job ran with [`JobConfig::trace`](crate::cluster::JobConfig::trace)
+    /// enabled (`None` otherwise — the untraced path allocates nothing).
+    /// Boxed to keep the common untraced profile small.
+    pub trace: Option<Box<crate::trace::TaskTrace>>,
 }
 
 impl TaskProfile {

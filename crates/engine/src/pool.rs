@@ -4,6 +4,11 @@
 //! and the shuffle fetcher pool ([`crate::shuffle`]). The contract both rely
 //! on: results come back **by item index**, never by completion order, so a
 //! pooled run is observably identical to a sequential loop.
+//!
+//! The pool deliberately records nothing into the virtual-time tracer
+//! ([`crate::trace`]): which OS thread runs which item is real-machine
+//! nondeterminism, while every trace lane lives in deterministic virtual
+//! time. Traces therefore look identical at any `worker_threads` setting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -22,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// later than item `j > i`. Work that waits on an outcome produced by a
 /// lower-indexed item (e.g. the frequent-key registry's designated
 /// publisher) relies on this to stay deadlock-free.
-pub(crate) fn run_indexed<R, F>(workers: usize, count: usize, work: F) -> Vec<R>
+pub fn run_indexed<R, F>(workers: usize, count: usize, work: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,

@@ -8,8 +8,9 @@
 //! sequential `for` loop inside the reduce task; this module lifts them
 //! into a first-class subsystem with two independent knobs:
 //!
-//! * **Fetcher pool** ([`ClusterConfig::shuffle_fetchers`]
-//!   (crate::cluster::ClusterConfig::shuffle_fetchers)): the real disk
+//! * **Fetcher pool**
+//!   ([`ClusterConfig::shuffle_fetchers`](crate::cluster::ClusterConfig::shuffle_fetchers)):
+//!   the real disk
 //!   reads + decompression run on a bounded pool of scoped threads, like
 //!   Hadoop's small pool of parallel copiers. Results are collected in
 //!   **map-task-id order** (the same recipe the job driver uses for task
@@ -27,8 +28,9 @@
 //!
 //! The event loop also measures the **straggler tail**: the span during
 //! which every other fetcher has drained and the reducer is stalled on its
-//! single slowest source. That feeds [`Op::ShuffleWait`]
-//! (crate::metrics::Op::ShuffleWait) and the `shuffle_scale` harness.
+//! single slowest source. That feeds
+//! [`Op::ShuffleWait`](crate::metrics::Op::ShuffleWait) and the
+//! `shuffle_scale` harness.
 //!
 //! Simplification (documented, like the phase-split shuffle): each reduce
 //! task models its own node's ingress NIC in isolation; two reduce tasks
@@ -41,10 +43,11 @@ use crate::metrics::{Stopwatch, VNanos};
 use crate::net::NetworkConfig;
 use crate::pool::run_indexed;
 use crate::task::map_task::MapOutput;
+use crate::trace::FlowTrace;
 use std::io;
 
 /// Hard cap on parallel fetchers per reduce task. Keeps the NIC event
-/// loop's exact integer arithmetic in range ([`SCALE`] is the LCM of all
+/// loop's exact integer arithmetic in range (`SCALE` is the LCM of all
 /// admissible flow counts); Hadoop's `parallel copies` default is 5, so 16
 /// is already generous.
 pub const MAX_FETCHERS: usize = 16;
@@ -144,8 +147,9 @@ pub struct ShuffleStats {
     pub retries: u64,
     /// Total virtual backoff charged before retries (capped exponential,
     /// [`crate::fault::shuffle_backoff_ns`]); flows into the NIC schedule
-    /// as pre-flow time and into [`Op::ShuffleRetry`]
-    /// (crate::metrics::Op::ShuffleRetry). Deterministic, like `retries`.
+    /// as pre-flow time and into
+    /// [`Op::ShuffleRetry`](crate::metrics::Op::ShuffleRetry).
+    /// Deterministic, like `retries`.
     pub backoff_ns: VNanos,
     /// Histogram of per-fetch stored sizes.
     pub size_hist: FetchHistogram,
@@ -182,6 +186,9 @@ pub struct ShuffleOutcome {
     pub fetch_work_ns: u64,
     /// Per-task statistics including the virtual-time schedule.
     pub stats: ShuffleStats,
+    /// Per-flow schedule (phase boundaries per fetch, in map-task order),
+    /// recorded only when `run_shuffle` was called with `trace = true`.
+    pub flows: Option<Vec<FlowTrace>>,
 }
 
 /// One fetched partition with its measured costs.
@@ -295,6 +302,12 @@ enum AfterFixed {
 struct Slot {
     job: usize,
     state: SlotState,
+    /// Phase boundaries, filled in as transitions happen (for the trace's
+    /// per-flow schedule; cost-free bookkeeping otherwise).
+    start: u64,
+    pre_end: u64,
+    latency_end: u64,
+    transfer_end: u64,
 }
 
 impl Slot {
@@ -309,6 +322,10 @@ impl Slot {
                     AfterFixed::Done
                 },
             },
+            start: now,
+            pre_end: now,
+            latency_end: now,
+            transfer_end: now,
         }
     }
 
@@ -319,19 +336,33 @@ impl Slot {
             match &self.state {
                 SlotState::Fixed { until, next } if *until == now => match next {
                     AfterFixed::Latency => {
+                        self.pre_end = now;
                         self.state = SlotState::Fixed {
                             until: now.saturating_add(jobs[self.job].latency_ns),
                             next: AfterFixed::Transfer,
                         };
                     }
                     AfterFixed::Transfer => {
+                        self.latency_end = now;
                         self.state = SlotState::Transfer {
                             remaining: jobs[self.job].full_rate_ns as u128 * SCALE,
                         };
                     }
-                    AfterFixed::Done => return true,
+                    AfterFixed::Done => {
+                        // A local job's only phase is its pre work — the
+                        // event loop never schedules its decompress (a
+                        // known model quirk, see the module docs); its
+                        // marks all collapse onto the completion instant.
+                        if !jobs[self.job].remote {
+                            self.pre_end = now;
+                            self.latency_end = now;
+                            self.transfer_end = now;
+                        }
+                        return true;
+                    }
                 },
                 SlotState::Transfer { remaining } if *remaining == 0 => {
+                    self.transfer_end = now;
                     self.state = SlotState::Fixed {
                         until: now.saturating_add(jobs[self.job].post_ns),
                         next: AfterFixed::Done,
@@ -343,17 +374,49 @@ impl Slot {
     }
 }
 
+/// One completed flow's schedule as recorded by [`nic_schedule`].
+#[derive(Debug, Clone, Copy)]
+struct FlowSched {
+    job: usize,
+    slot: usize,
+    start: u64,
+    pre_end: u64,
+    latency_end: u64,
+    transfer_end: u64,
+    finish: u64,
+}
+
+fn record_flow(sched: &mut Option<&mut Vec<FlowSched>>, s: &Slot, slot_idx: usize, now: u64) {
+    if let Some(rec) = sched.as_deref_mut() {
+        rec.push(FlowSched {
+            job: s.job,
+            slot: slot_idx,
+            start: s.start,
+            pre_end: s.pre_end,
+            latency_end: s.latency_end,
+            transfer_end: s.transfer_end,
+            finish: now,
+        });
+    }
+}
+
 /// Deterministic event loop: `fetchers` slots pull jobs in id order; all
 /// in-flight transfers share the destination NIC fairly. Returns the
-/// schedule makespan and the straggler tail.
-fn nic_schedule(jobs: &[FlowJob], fetchers: usize) -> (VNanos, VNanos) {
+/// schedule makespan and the straggler tail. When `sched` is provided,
+/// every completed flow's phase boundaries are appended to it (in
+/// completion order — callers sort as needed).
+fn nic_schedule(
+    jobs: &[FlowJob],
+    fetchers: usize,
+    mut sched: Option<&mut Vec<FlowSched>>,
+) -> (VNanos, VNanos) {
     let f = fetchers.clamp(1, MAX_FETCHERS).min(jobs.len().max(1));
     let mut slots: Vec<Option<Slot>> = (0..f).map(|_| None).collect();
     let mut next_job = 0usize;
     let mut now: u64 = 0;
     let mut wait_ns: u64 = 0;
     loop {
-        for slot in slots.iter_mut() {
+        for (slot_idx, slot) in slots.iter_mut().enumerate() {
             // Keep claiming: a fully zero-cost job completes instantly and
             // frees its slot for the next pending job at the same instant.
             while slot.is_none() && next_job < jobs.len() {
@@ -361,6 +424,8 @@ fn nic_schedule(jobs: &[FlowJob], fetchers: usize) -> (VNanos, VNanos) {
                 next_job += 1;
                 if !s.advance(jobs, now) {
                     *slot = Some(s);
+                } else {
+                    record_flow(&mut sched, &s, slot_idx, now);
                 }
             }
         }
@@ -400,9 +465,10 @@ fn nic_schedule(jobs: &[FlowJob], fetchers: usize) -> (VNanos, VNanos) {
             }
         }
         now = t_next;
-        for slot in slots.iter_mut() {
+        for (slot_idx, slot) in slots.iter_mut().enumerate() {
             if let Some(s) = slot {
                 if s.advance(jobs, now) {
+                    record_flow(&mut sched, s, slot_idx, now);
                     *slot = None;
                 }
             }
@@ -422,6 +488,11 @@ fn nic_schedule(jobs: &[FlowJob], fetchers: usize) -> (VNanos, VNanos) {
 /// fetch attempt); each failure costs a virtual backoff that is charged to
 /// the flow's pre-work in the NIC schedule, and a fetch whose failures
 /// reach `max_fetch_attempts` becomes a hard `io::Error`.
+///
+/// With `trace` enabled the per-flow schedule (phase boundaries per fetch)
+/// is recorded into [`ShuffleOutcome::flows`]; the untraced path records
+/// nothing.
+#[allow(clippy::too_many_arguments)]
 pub fn run_shuffle(
     map_outputs: &[MapOutput],
     partition: usize,
@@ -430,6 +501,7 @@ pub fn run_shuffle(
     fetchers: usize,
     faults: Option<&FaultPlan>,
     max_fetch_attempts: usize,
+    trace: bool,
 ) -> io::Result<ShuffleOutcome> {
     let fetchers = fetchers.clamp(1, MAX_FETCHERS);
     let fetched = run_indexed(fetchers.min(map_outputs.len()), map_outputs.len(), |i| {
@@ -444,6 +516,9 @@ pub fn run_shuffle(
     let mut fetch_work_ns = 0u64;
     let mut jobs = Vec::with_capacity(map_outputs.len());
     let mut runs = Vec::with_capacity(map_outputs.len());
+    // Per-flow measured splits (io, backoff, src_node), kept only when
+    // tracing; index-aligned with `jobs` (== map-task id).
+    let mut metas: Vec<(u64, u64, usize)> = Vec::new();
     // Results arrive in map-task-id order; the first error seen is the one
     // a sequential fetch loop would have reported.
     for fr in fetched {
@@ -472,17 +547,59 @@ pub fn run_shuffle(
         stats.sequential_ns = stats.sequential_ns.saturating_add(job.isolated_ns());
         stats.max_flow_ns = stats.max_flow_ns.max(job.isolated_ns());
         jobs.push(job);
+        if trace {
+            metas.push((fr.io_ns, fr.backoff_ns, fr.src_node));
+        }
         if !fr.data.is_empty() {
             runs.push(fr.data);
         }
     }
 
+    let mut flows: Option<Vec<FlowTrace>> = None;
     if fetchers <= 1 {
         // Degenerate case: the legacy independent-flow sum, bit-for-bit.
         stats.virtual_ns = stats.sequential_ns;
         stats.wait_ns = 0;
+        if trace {
+            // Sequential schedule: flows run back to back on one slot, each
+            // paying its full isolated cost (including a local flow's
+            // decompress — the one-fetcher sum has no NIC event loop).
+            let mut cursor = 0u64;
+            let traced = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let (io_ns, backoff_ns, src_node) = metas[i];
+                    let start = cursor;
+                    let pre_end = start + job.pre_ns;
+                    let (latency_end, transfer_end) = if job.remote {
+                        let le = pre_end.saturating_add(job.latency_ns);
+                        (le, le.saturating_add(job.full_rate_ns))
+                    } else {
+                        (pre_end, pre_end)
+                    };
+                    let finish = transfer_end.saturating_add(job.post_ns);
+                    cursor = finish;
+                    FlowTrace {
+                        map_task: i,
+                        src_node,
+                        remote: job.remote,
+                        io_ns,
+                        backoff_ns,
+                        slot: 0,
+                        start,
+                        pre_end,
+                        latency_end,
+                        transfer_end,
+                        finish,
+                    }
+                })
+                .collect();
+            flows = Some(traced);
+        }
     } else {
-        let (makespan, wait_ns) = nic_schedule(&jobs, fetchers);
+        let mut sched: Vec<FlowSched> = Vec::new();
+        let (makespan, wait_ns) = nic_schedule(&jobs, fetchers, trace.then_some(&mut sched));
         stats.virtual_ns = makespan;
         stats.wait_ns = wait_ns;
         debug_assert!(
@@ -493,12 +610,37 @@ pub fn run_shuffle(
             stats.virtual_ns >= stats.max_flow_ns,
             "no schedule beats the largest single flow"
         );
+        if trace {
+            sched.sort_by_key(|s| s.job);
+            flows = Some(
+                sched
+                    .iter()
+                    .map(|s| {
+                        let (io_ns, backoff_ns, src_node) = metas[s.job];
+                        FlowTrace {
+                            map_task: s.job,
+                            src_node,
+                            remote: jobs[s.job].remote,
+                            io_ns,
+                            backoff_ns,
+                            slot: s.slot,
+                            start: s.start,
+                            pre_end: s.pre_end,
+                            latency_end: s.latency_end,
+                            transfer_end: s.transfer_end,
+                            finish: s.finish,
+                        }
+                    })
+                    .collect(),
+            );
+        }
     }
 
     Ok(ShuffleOutcome {
         runs,
         fetch_work_ns,
         stats,
+        flows,
     })
 }
 
@@ -537,7 +679,7 @@ mod tests {
     #[test]
     fn one_fetcher_matches_sequential_sum() {
         let jobs = vec![remote(10, 1000, 5), local(7, 0), remote(3, 500, 2)];
-        let (makespan, wait) = nic_schedule(&jobs, 1);
+        let (makespan, wait) = nic_schedule(&jobs, 1, None);
         assert_eq!(makespan, seq_sum(&jobs));
         assert_eq!(wait, 0);
     }
@@ -549,7 +691,7 @@ mod tests {
         // latency + 2 × full_rate (both drain together), not 2 × (latency
         // + full_rate).
         let jobs = vec![remote(0, 1000, 0), remote(0, 1000, 0)];
-        let (makespan, _) = nic_schedule(&jobs, 2);
+        let (makespan, _) = nic_schedule(&jobs, 2, None);
         assert_eq!(makespan, 100 + 2000);
         assert!(makespan < seq_sum(&jobs));
         assert!(makespan >= max_flow(&jobs));
@@ -561,7 +703,7 @@ mod tests {
         // 600 shared ns (progress 300); the long one then has 600 left at
         // full rate. Makespan = latency + 600 + 600.
         let jobs = vec![remote(0, 300, 0), remote(0, 900, 0)];
-        let (makespan, wait) = nic_schedule(&jobs, 2);
+        let (makespan, wait) = nic_schedule(&jobs, 2, None);
         assert_eq!(makespan, 100 + 600 + 600);
         // Tail where only the 900-flow remains: 600 ns.
         assert_eq!(wait, 600);
@@ -571,7 +713,7 @@ mod tests {
     fn local_fetches_do_not_consume_bandwidth() {
         // A local fetch overlaps a remote flow without slowing it.
         let jobs = vec![remote(0, 1000, 0), local(500, 0)];
-        let (makespan, _) = nic_schedule(&jobs, 2);
+        let (makespan, _) = nic_schedule(&jobs, 2, None);
         assert_eq!(makespan, 100 + 1000);
     }
 
@@ -587,15 +729,15 @@ mod tests {
             })
             .collect();
         for f in [2, 3, 4, 8, 16] {
-            let (makespan, wait) = nic_schedule(&jobs, f);
+            let (makespan, wait) = nic_schedule(&jobs, f, None);
             assert!(makespan <= seq_sum(&jobs), "f={f}");
             assert!(makespan >= max_flow(&jobs), "f={f}");
             assert!(wait <= makespan, "f={f}");
         }
         // More fetchers never slow the schedule down on flow-free work...
         // with shared bandwidth the makespan is monotone non-increasing.
-        let (m2, _) = nic_schedule(&jobs, 2);
-        let (m16, _) = nic_schedule(&jobs, 16);
+        let (m2, _) = nic_schedule(&jobs, 2, None);
+        let (m16, _) = nic_schedule(&jobs, 16, None);
         assert!(m16 <= m2);
     }
 
@@ -603,7 +745,7 @@ mod tests {
     fn zero_cost_jobs_terminate() {
         let jobs = vec![local(0, 0), remote(0, 0, 0), local(0, 0)];
         for f in [1, 2, 4] {
-            let (makespan, _) = nic_schedule(&jobs, f);
+            let (makespan, _) = nic_schedule(&jobs, f, None);
             // Only the remote latency costs anything, at any fetcher count.
             assert_eq!(makespan, 100, "f={f}");
         }
@@ -611,7 +753,7 @@ mod tests {
 
     #[test]
     fn empty_job_list_is_fine() {
-        let (makespan, wait) = nic_schedule(&[], 4);
+        let (makespan, wait) = nic_schedule(&[], 4, None);
         assert_eq!((makespan, wait), (0, 0));
     }
 
@@ -702,13 +844,13 @@ mod tests {
             test_output("retry_b.bin", 2, &["gamma"]),
         ];
         let net = NetworkConfig::local_cluster();
-        let clean = run_shuffle(&outputs, 0, 0, &net, 1, None, 4).unwrap();
+        let clean = run_shuffle(&outputs, 0, 0, &net, 1, None, 4, false).unwrap();
         // Map 0 fails twice, map 1 once — all within the 4-attempt budget.
         let plan = FaultPlan::new()
             .shuffle_fail(0, 0)
             .shuffle_fail(0, 1)
             .shuffle_fail(1, 0);
-        let faulty = run_shuffle(&outputs, 0, 0, &net, 1, Some(&plan), 4).unwrap();
+        let faulty = run_shuffle(&outputs, 0, 0, &net, 1, Some(&plan), 4, false).unwrap();
         // Byte-identical reduce input despite the retries.
         assert_eq!(faulty.runs, clean.runs);
         assert_eq!(faulty.stats.fetched_bytes, clean.stats.fetched_bytes);
@@ -741,6 +883,7 @@ mod tests {
             1,
             Some(&plan),
             3,
+            false,
         )
         .unwrap_err();
         assert!(
@@ -760,8 +903,8 @@ mod tests {
         // fault fires, so the legacy one-fetcher accounting is reproduced
         // bit-for-bit in every deterministic field.
         let plan = FaultPlan::new().shuffle_fail(99, 0);
-        let base = run_shuffle(&outputs, 0, 0, &net, 1, None, 4).unwrap();
-        let armed = run_shuffle(&outputs, 0, 0, &net, 1, Some(&plan), 4).unwrap();
+        let base = run_shuffle(&outputs, 0, 0, &net, 1, None, 4, false).unwrap();
+        let armed = run_shuffle(&outputs, 0, 0, &net, 1, Some(&plan), 4, false).unwrap();
         assert_eq!(armed.runs, base.runs);
         assert_eq!(armed.stats.fetches, base.stats.fetches);
         assert_eq!(armed.stats.remote_fetches, base.stats.remote_fetches);
@@ -780,12 +923,12 @@ mod tests {
             .map(|i| test_output(&format!("par_{i}.bin"), i, &["w", "q", "r"]))
             .collect();
         let net = NetworkConfig::local_cluster();
-        let clean = run_shuffle(&outputs, 0, 0, &net, 4, None, 4).unwrap();
+        let clean = run_shuffle(&outputs, 0, 0, &net, 4, None, 4, false).unwrap();
         let plan = FaultPlan::new()
             .shuffle_fail(1, 0)
             .shuffle_fail(4, 0)
             .shuffle_fail(4, 1);
-        let faulty = run_shuffle(&outputs, 0, 0, &net, 4, Some(&plan), 4).unwrap();
+        let faulty = run_shuffle(&outputs, 0, 0, &net, 4, Some(&plan), 4, false).unwrap();
         assert_eq!(faulty.runs, clean.runs);
         assert_eq!(faulty.stats.retries, 3);
         assert!(faulty.stats.virtual_ns <= faulty.stats.sequential_ns);

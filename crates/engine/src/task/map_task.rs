@@ -17,6 +17,7 @@ use crate::task::merge::merge_grouped;
 use crate::task::pipeline::{Admission, Pipeline};
 use crate::task::segment::Segment;
 use crate::task::spill::spill_segment;
+use crate::trace::MapTraceRecorder;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +60,9 @@ pub struct MapTaskConfig {
     /// Checked between input records so a doomed job does not keep worker
     /// threads busy.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Record a per-thread span timeline into `TaskProfile::trace`. Off by
+    /// default; the untraced path allocates nothing.
+    pub trace: bool,
 }
 
 /// A finished map task's output, fetchable by partition during shuffle.
@@ -119,6 +123,8 @@ struct SpillPath<'a> {
     /// Set when `io_error` came from an injected fault, so the task is
     /// reported as `Injected` (retryable) instead of a hard I/O failure.
     injected: bool,
+    /// Span recorder for the map/support lanes (tracing enabled only).
+    trace: Option<Box<MapTraceRecorder>>,
 }
 
 impl<'a> SpillPath<'a> {
@@ -160,7 +166,13 @@ impl<'a> SpillPath<'a> {
                 self.ops.add_nanos(Op::SpillWrite, out.write_ns);
                 let consume_ns = out.consume_ns();
                 let fraction = self.pipeline.fraction();
+                // The consumer is idle at handover, so it starts at the
+                // producer's clock — capture it for the support-lane span.
+                let handover_at = self.pipeline.producer_clock();
                 let (bytes, produce_ns) = self.pipeline.handover(consume_ns);
+                if let Some(tr) = &mut self.trace {
+                    tr.on_spill(handover_at, out.sort_ns, out.combine_ns, out.write_ns);
+                }
                 self.stats.push(SpillStat {
                     bytes,
                     records: out.records_in as usize,
@@ -252,6 +264,7 @@ pub fn run_map_task(
         io_error: None,
         fail_spill: cfg.fail_spill,
         injected: false,
+        trace: cfg.trace.then(|| Box::new(MapTraceRecorder::new())),
     };
     let mut emitter = MapEmitter {
         path,
@@ -264,6 +277,9 @@ pub fn run_map_task(
     // ---- producer loop: read → map → emit ---------------------------------
     let mut reader = SplitReader::new(split);
     let mut input_records = 0u64;
+    // Producer-wait watermark for the trace: the delta per record is the
+    // blocked-on-full-buffer time that preceded the record's busy time.
+    let mut last_pw = 0u64;
     loop {
         let sw_rec = Stopwatch::start();
         let Some(rec) = reader.next() else { break };
@@ -284,18 +300,30 @@ pub fn run_map_task(
             .as_mut()
             .map_or(0, |f| f.take_user_combine_ns())
             .min(emit_ns);
+        // Decompose the record's producer time as a clamped cascade so the
+        // components sum to `produce_ns` *exactly* (the trace's map-lane
+        // spans must tile the producer's busy time). In the normal case
+        // (read + emit + handover ≤ total, the measured invariant) every
+        // component equals the plain subtraction used before.
+        let produce_ns = total_ns.saturating_sub(handover_ns);
+        let read_c = read_ns.min(produce_ns);
+        let emit_c = emit_ns.min(produce_ns - read_c);
+        let map_c = produce_ns - read_c - emit_c;
+        let combine_c = filter_combine_ns.min(emit_c);
         let ops = &mut emitter.path.ops;
-        ops.add_nanos(Op::Read, read_ns);
-        ops.add_nanos(Op::Emit, emit_ns - filter_combine_ns);
-        ops.add_nanos(Op::Combine, filter_combine_ns);
-        ops.add_nanos(
-            Op::Map,
-            total_ns.saturating_sub(read_ns + emit_ns + handover_ns),
-        );
-        emitter
-            .path
-            .pipeline
-            .produce(total_ns.saturating_sub(handover_ns));
+        ops.add_nanos(Op::Read, read_c);
+        ops.add_nanos(Op::Emit, emit_c - combine_c);
+        ops.add_nanos(Op::Combine, combine_c);
+        ops.add_nanos(Op::Map, map_c);
+        emitter.path.pipeline.produce(produce_ns);
+        if emitter.path.trace.is_some() {
+            let pw = emitter.path.pipeline.producer_wait;
+            let wait = pw - last_pw;
+            last_pw = pw;
+            if let Some(tr) = &mut emitter.path.trace {
+                tr.on_record(wait, read_c, map_c, emit_c - combine_c, combine_c);
+            }
+        }
 
         if let Some(e) = emitter.path.io_error.take() {
             if emitter.path.injected {
@@ -327,12 +355,26 @@ pub fn run_map_task(
         emitter.path.ops.add_nanos(Op::Emit, produce - combine);
         emitter.path.ops.add_nanos(Op::Combine, combine);
         emitter.path.pipeline.produce(produce);
+        if emitter.path.trace.is_some() {
+            let pw = emitter.path.pipeline.producer_wait;
+            let wait = pw - last_pw;
+            last_pw = pw;
+            if let Some(tr) = &mut emitter.path.trace {
+                tr.on_record(wait, 0, 0, produce - combine, combine);
+            }
+        }
         freq_absorbed = f.absorbed();
     }
 
     // ---- final spill ---------------------------------------------------------
     let mut path = emitter.path;
     path.pipeline.drain_barrier();
+    if path.trace.is_some() {
+        let wait = path.pipeline.producer_wait - last_pw;
+        if let Some(tr) = &mut path.trace {
+            tr.on_barrier(wait);
+        }
+    }
     path.do_spill();
     if let Some(e) = path.io_error.take() {
         if path.injected {
@@ -432,13 +474,18 @@ pub fn run_map_task(
     }
     let file = writer.finish()?;
     let merge_total_ns = sw_merge.elapsed_ns();
-    path.ops.add_nanos(
-        Op::Merge,
-        merge_total_ns.saturating_sub(combine_in_merge_ns),
-    );
-    path.ops.add_nanos(Op::Combine, combine_in_merge_ns);
+    // Clamp so Merge + Combine == merge_total_ns exactly (combine time is
+    // measured inside the merge stopwatch, so the clamp never bites in
+    // practice; the trace's merge spans must tile the merge interval).
+    let cim = combine_in_merge_ns.min(merge_total_ns);
+    path.ops.add_nanos(Op::Merge, merge_total_ns - cim);
+    path.ops.add_nanos(Op::Combine, cim);
 
     // ---- profile -------------------------------------------------------------
+    let trace = path
+        .trace
+        .take()
+        .map(|tr| Box::new(tr.finish(pipeline_end, merge_total_ns - cim, cim)));
     let profile = TaskProfile {
         ops: path.ops,
         virtual_duration: pipeline_end + merge_total_ns,
@@ -451,6 +498,7 @@ pub fn run_map_task(
         emitted_records: emitter.emitted,
         freq_absorbed_records: freq_absorbed,
         output_bytes: file.total_bytes(),
+        trace,
     };
     Ok((
         MapOutput {
@@ -525,6 +573,7 @@ mod tests {
             fail_after_records: None,
             fail_spill: None,
             cancel: None,
+            trace: false,
         }
     }
 

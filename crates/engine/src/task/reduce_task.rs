@@ -116,6 +116,9 @@ pub struct ReduceTaskConfig {
     /// Cooperative cancellation token, set by the driver when the job is
     /// aborting; checked between key groups.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Record a per-thread span timeline (reduce lane + fetcher lanes)
+    /// into `TaskProfile::trace`. Off by default.
+    pub trace: bool,
 }
 
 #[inline]
@@ -153,12 +156,14 @@ pub fn run_reduce_task(
         cfg.fetchers,
         cfg.faults.as_deref(),
         cfg.max_fetch_attempts.max(1),
+        cfg.trace,
     )?;
     ops.add_nanos(Op::ShuffleFetch, fetched.fetch_work_ns);
     ops.add_nanos(Op::ShuffleWait, fetched.stats.wait_ns);
     ops.add_nanos(Op::ShuffleRetry, fetched.stats.backoff_ns);
     let shuffle_virtual_ns = fetched.stats.virtual_ns;
     let runs = fetched.runs;
+    let flows = fetched.flows;
     let shuffle = fetched.stats;
 
     let sw_all = Stopwatch::start();
@@ -264,19 +269,38 @@ pub fn run_reduce_task(
         None => {}
     }
     let total_ns = sw_all.elapsed_ns();
-    let write_ns = sink.write_ns;
-    let merge_ns = total_ns.saturating_sub(reduce_ns + write_ns + intermediate_combine_ns);
-    ops.add_nanos(Op::ReduceMerge, merge_ns);
-    ops.add_nanos(Op::Combine, intermediate_combine_ns);
-    ops.add_nanos(Op::Reduce, reduce_ns);
-    ops.add_nanos(Op::OutputWrite, write_ns);
+    // Decompose the post-shuffle time as a clamped cascade so the four
+    // components sum to `total_ns` *exactly* (the trace's reduce lane must
+    // tile it); in the normal case (components measured inside `sw_all`,
+    // so their sum never exceeds it) each equals the plain subtraction
+    // used before.
+    let reduce_c = reduce_ns.min(total_ns);
+    let write_c = sink.write_ns.min(total_ns - reduce_c);
+    let ic_c = intermediate_combine_ns.min(total_ns - reduce_c - write_c);
+    let merge_c = total_ns - reduce_c - write_c - ic_c;
+    ops.add_nanos(Op::ReduceMerge, merge_c);
+    ops.add_nanos(Op::Combine, ic_c);
+    ops.add_nanos(Op::Reduce, reduce_c);
+    ops.add_nanos(Op::OutputWrite, write_c);
 
+    let trace = flows.map(|fl| {
+        Box::new(crate::trace::build_reduce_trace(
+            &fl,
+            shuffle.wait_ns,
+            shuffle_virtual_ns,
+            merge_c,
+            ic_c,
+            reduce_c,
+            write_c,
+        ))
+    });
     let output_bytes = sink.out_buf.len() as u64;
     let profile = TaskProfile {
         ops,
         virtual_duration: shuffle_virtual_ns + total_ns,
         input_records,
         output_bytes,
+        trace,
         ..Default::default()
     };
     Ok(ReduceResult {
@@ -344,6 +368,7 @@ mod tests {
             faults: None,
             max_fetch_attempts: 4,
             cancel: None,
+            trace: false,
         }
     }
 
@@ -369,6 +394,7 @@ mod tests {
                     fail_after_records: None,
                     fail_spill: None,
                     cancel: None,
+                    trace: false,
                 };
                 run_map_task(&job, &split, cfg)
                     .map_err(|e| format!("{e:?}"))

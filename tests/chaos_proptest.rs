@@ -66,6 +66,8 @@ struct Baseline {
     pairs: Vec<(Vec<u8>, Vec<u8>)>,
     signature: JobSignature,
     shape: ChaosShape,
+    /// Home node of each map task in the fault-free schedule.
+    map_nodes: Vec<usize>,
 }
 
 /// The fault-free reference run (workers = 1, fetchers = 1), computed once.
@@ -94,6 +96,7 @@ fn baseline() -> &'static Baseline {
             pairs: run.sorted_pairs(),
             signature: run.profile.signature(),
             shape,
+            map_nodes: run.profile.map_spans.iter().map(|s| s.node).collect(),
         }
     })
 }
@@ -251,6 +254,57 @@ fn speculation_beats_a_straggler_node() {
     );
     // Without speculation the stats stay zeroed.
     assert_eq!(slow.profile.speculation.backups(), 0);
+}
+
+/// A fault injected into a *speculative backup* attempt must never disturb
+/// the job: the backup dies, the primary still wins, the output is
+/// identical to the fault-free baseline, and the trace records the dead
+/// backup lane.
+#[test]
+fn faulty_backup_dies_and_primary_still_wins() {
+    use textmr_engine::trace::{AttemptKind, EntryDetail, TaskKind};
+
+    let base = baseline();
+    // Stretch a node that actually hosts a map task so a map backup
+    // launches; every backup is doomed.
+    let slow = base.map_nodes[0];
+    let mut plan = FaultPlan::new().slow_node(slow, 24);
+    for t in 0..base.shape.map_tasks {
+        plan = plan.map_backup_fail_after(t, 2);
+    }
+
+    let root = temp_root("backup-fault");
+    let dfs = corpus_dfs();
+    let run = run_job(
+        &cluster(&root, 1, 1),
+        &JobConfig::default()
+            .with_fault_plan(plan)
+            .with_speculation(SpeculationConfig::default())
+            .with_trace(),
+        Arc::new(WordCount),
+        &dfs,
+        &[("corpus", 0)],
+    )
+    .unwrap();
+    assert_empty_and_remove(&root);
+
+    assert_eq!(run.sorted_pairs(), base.pairs);
+    let stats = run.profile.speculation;
+    assert!(stats.map_backups > 0, "no map backup launched: {stats:?}");
+
+    let trace = run.trace.as_ref().expect("trace requested");
+    trace.check().unwrap();
+    let dead: Vec<_> = trace
+        .entries
+        .iter()
+        .filter(|e| matches!(e.detail, EntryDetail::Flat(AttemptKind::Dead)))
+        .collect();
+    assert!(!dead.is_empty(), "no dead backup lane in the trace");
+    for e in &dead {
+        assert!(e.backup, "dead lane not marked as a backup: {e:?}");
+        assert!(matches!(e.kind, TaskKind::Map));
+        assert!(e.end > e.start, "dead backup burned no virtual time");
+    }
 }
 
 /// Speculation composes with fault injection: backups plus retries still
