@@ -20,7 +20,8 @@
 //! here: optimizations are installed purely through the engine's
 //! `JobConfig`.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod access_log;
 pub mod inverted_index;

@@ -151,7 +151,8 @@ impl Job for PageRank {
         // intermediates) so the result is independent of combine grouping.
         let damping_pct = (self.damping * 100.0).round() as u128;
         let teleport = (ATTO as u128 * (100 - damping_pct) / 100) / self.num_pages as u128;
-        let new_atto = (teleport + sum as u128 * damping_pct / 100) as u64;
+        let new_atto = u64::try_from(teleport + sum as u128 * damping_pct / 100)
+            .expect("rank mass is bounded by ATTO and fits u64");
         let mut value = atto_to_string(new_atto).into_bytes();
         value.push(b'|');
         value.extend_from_slice(&links);

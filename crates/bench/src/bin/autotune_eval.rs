@@ -12,6 +12,8 @@
 //! cargo run --release -p textmr-bench --bin autotune_eval [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::local_cluster;

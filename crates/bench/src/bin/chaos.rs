@@ -14,6 +14,8 @@
 //! cargo run --release -p textmr-bench --bin chaos -- --smoke   # CI
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::{local_cluster, REDUCERS};

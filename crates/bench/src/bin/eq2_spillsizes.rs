@@ -11,6 +11,8 @@
 //! cargo run --release -p textmr-bench --bin eq2_spillsizes [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::Table;
 use textmr_bench::runner::local_cluster;

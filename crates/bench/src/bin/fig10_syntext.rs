@@ -12,6 +12,8 @@
 //! cargo run --release -p textmr-bench --bin fig10_syntext [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::Table;
 use textmr_bench::runner::{local_cluster, run_config, Config, REDUCERS};

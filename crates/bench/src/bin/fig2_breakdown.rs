@@ -11,6 +11,8 @@
 //! cargo run --release -p textmr-bench --bin fig2_breakdown [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use textmr_bench::report::{pct, Table};
 use textmr_bench::runner::{local_cluster, run_config, Config, REDUCERS};
 use textmr_bench::scale::Scale;

@@ -10,6 +10,9 @@
 //! cargo run --release -p textmr-bench --bin fig3_zipf [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
+// textmr-lint: allow(unordered-iteration, reason = "exact-count truth table; entries are sorted by count before the curve is reported")
 use std::collections::HashMap;
 use textmr_bench::report::Table;
 use textmr_bench::scale::Scale;
@@ -28,6 +31,7 @@ fn main() {
     let lines = corpus.generate();
 
     // Exact counts (the "truth" curve of Figure 3).
+    // textmr-lint: allow(unordered-iteration, reason = "counting only; the frequency curve below sorts before use")
     let mut counts: HashMap<String, u64> = HashMap::new();
     let mut est = ZipfEstimator::default();
     let sample = (lines.len() / 100).max(1);

@@ -12,6 +12,8 @@
 //! cargo run --release -p textmr-bench --bin fig7_prediction [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use textmr_bench::report::{pct, Table};
 use textmr_bench::scale::Scale;
 use textmr_core::predictors::{

@@ -13,6 +13,8 @@
 //! cargo run --release -p textmr-bench --bin fig8_freqopt [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::{local_cluster, run_config, Config, REDUCERS};
 use textmr_bench::scale::Scale;

@@ -13,6 +13,8 @@
 //! cargo run --release -p textmr-bench --bin fig9_wait [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::{local_cluster, run_all_configs, REDUCERS};
 use textmr_bench::scale::Scale;

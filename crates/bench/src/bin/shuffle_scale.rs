@@ -20,6 +20,8 @@
 //! cargo run --release -p textmr-bench --bin shuffle_scale -- --smoke   # CI
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::{ec2_cluster, local_cluster, REDUCERS};

@@ -11,6 +11,8 @@
 //! cargo run --release -p textmr-bench --bin table2_idle [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use textmr_bench::report::Table;
 use textmr_bench::runner::{local_cluster, run_config, Config, REDUCERS};
 use textmr_bench::scale::Scale;

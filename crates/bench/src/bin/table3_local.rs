@@ -10,6 +10,8 @@
 //! cargo run --release -p textmr-bench --bin table3_local [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::{local_cluster, run_all_configs, Config, REDUCERS};
 use textmr_bench::scale::Scale;

@@ -10,6 +10,8 @@
 //! cargo run --release -p textmr-bench --bin table4_ec2 [-- --scale paper]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::{ms, Table};
 use textmr_bench::runner::{ec2_cluster, run_all_configs, REDUCERS};

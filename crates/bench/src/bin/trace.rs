@@ -18,6 +18,8 @@
 //! cargo run --release -p textmr-bench --bin trace -- --smoke   # CI
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use textmr_bench::report::{results_dir, Table};
 use textmr_bench::runner::{local_cluster, Config, REDUCERS};

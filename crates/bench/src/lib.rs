@@ -14,6 +14,9 @@
 //! *shapes* — who wins, by roughly what factor, where crossovers sit — are
 //! the reproduction targets (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod report;
 pub mod runner;
 pub mod scale;

@@ -31,6 +31,7 @@
 //! signatures — identical at any worker-thread count.
 
 use crate::autotune::{sampling_fraction, TuneBounds};
+// textmr-lint: allow(unordered-iteration, reason = "fixed-seed FNV; every iteration site below collects and sorts keys before emitting")
 use crate::fnv::FnvHashMap;
 use crate::registry::FrequentKeyRegistry;
 use crate::space_saving::SpaceSaving;
@@ -96,6 +97,7 @@ impl KeyBuf {
 
 /// The frozen frequent-key table (Optimize stage).
 struct FreqTable {
+    // textmr-lint: allow(unordered-iteration, reason = "drain sites sort the key list before emission, so table order never leaks")
     entries: FnvHashMap<Box<[u8]>, KeyBuf>,
     per_key_limit: usize,
     /// Reused scratch for combine calls.
@@ -379,9 +381,12 @@ impl EmitFilter for FrequencyBuffer {
                         // buffer's allocation.
                         let mut refs: Vec<&[u8]> = Vec::with_capacity(buf.count as usize);
                         buf.gather(&mut refs);
+                        // textmr-lint: allow(wall-clock-in-virtual-path, reason = "measured-op sampling: times the user combiner to report its real cost; never feeds the virtual schedule")
                         let sw = std::time::Instant::now();
                         let combined = combine_values(self.job.as_ref(), key, &refs);
-                        self.user_combine_ns += sw.elapsed().as_nanos() as u64;
+                        self.user_combine_ns = self.user_combine_ns.saturating_add(
+                            u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
                         table.scratch.clear();
                         table.scratch.extend(combined);
                         buf.data.clear();
@@ -421,9 +426,12 @@ impl EmitFilter for FrequencyBuffer {
                 let buf = table.entries.get(&key).expect("key just listed");
                 buf.gather(&mut refs);
                 if refs.len() > 1 && self.job.has_combiner() {
+                    // textmr-lint: allow(wall-clock-in-virtual-path, reason = "measured-op sampling: times the user combiner to report its real cost; never feeds the virtual schedule")
                     let sw = std::time::Instant::now();
                     let combined = combine_values(self.job.as_ref(), &key, &refs);
-                    self.user_combine_ns += sw.elapsed().as_nanos() as u64;
+                    self.user_combine_ns = self
+                        .user_combine_ns
+                        .saturating_add(u64::try_from(sw.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     for v in combined {
                         sink.emit(&key, &v);
                     }

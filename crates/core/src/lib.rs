@@ -33,7 +33,8 @@
 //! assert!(cfg.emit_filter.is_some());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod autotune;
 pub mod fnv;

@@ -18,6 +18,7 @@
 //! the prefix). The functions return the fraction of all records removed.
 
 use crate::space_saving::SpaceSaving;
+// textmr-lint: allow(unordered-iteration, reason = "profiling predictors count and membership-test only; the one iteration sorts by (count, key) first")
 use std::collections::HashMap;
 
 /// Fraction removed by the paper's scheme: Space-Saving profiling over the
@@ -37,6 +38,7 @@ pub fn removed_fraction_space_saving<'a>(
     }
     let profile_n = ((n as f64) * s) as usize;
     let mut sketch = SpaceSaving::new(k.max(1));
+    // textmr-lint: allow(unordered-iteration, reason = "membership tests only; never iterated")
     let mut frozen: Option<std::collections::HashSet<Vec<u8>>> = None;
     let mut removed = 0usize;
     for (i, key) in stream.enumerate() {
@@ -64,12 +66,14 @@ pub fn removed_fraction_ideal<'a>(
         return 0.0;
     }
     let profile_n = ((n as f64) * s) as usize;
+    // textmr-lint: allow(unordered-iteration, reason = "counting only; iterated once into a Vec that is sorted by (count, key)")
     let mut counts: HashMap<&[u8], u64> = HashMap::new();
     for key in stream.clone() {
         *counts.entry(key).or_default() += 1;
     }
     let mut freqs: Vec<(&[u8], u64)> = counts.into_iter().collect();
     freqs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    // textmr-lint: allow(unordered-iteration, reason = "membership tests only; never iterated")
     let top: std::collections::HashSet<&[u8]> = freqs.iter().take(k).map(|(key, _)| *key).collect();
     let removed = stream
         .skip(profile_n)
@@ -97,6 +101,7 @@ pub fn removed_fraction_lru<'a>(
     // so an ordered scan on eviction would be O(n·k). Use timestamp map +
     // a monotonically increasing clock with a BTreeMap index.
     use std::collections::BTreeMap;
+    // textmr-lint: allow(unordered-iteration, reason = "key-to-stamp lookups only; eviction order comes from the sorted BTreeMap index")
     let mut stamp_of: HashMap<Vec<u8>, u64> = HashMap::new();
     let mut by_stamp: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut clock = 0u64;

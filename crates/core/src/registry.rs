@@ -25,6 +25,7 @@
 //! Waiters additionally poll a caller-supplied cancellation check so a job
 //! that aborts mid-flight drains instead of hanging.
 
+// textmr-lint: allow(unordered-iteration, reason = "registry slots are looked up by id and never iterated")
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -39,6 +40,7 @@ type Slot = Option<SharedKeySet>;
 /// Job-scoped registry of frozen frequent-key sets, one per node.
 #[derive(Debug, Default)]
 pub struct FrequentKeyRegistry {
+    // textmr-lint: allow(unordered-iteration, reason = "keyed by slot id, lookup-only; never iterated")
     slots: Mutex<HashMap<usize, Slot>>,
     decided: Condvar,
 }

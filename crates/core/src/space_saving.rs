@@ -15,6 +15,7 @@
 //! * for every monitored key, `count − error ≤ true frequency ≤ count`;
 //! * any key with true frequency > N/k is monitored.
 
+// textmr-lint: allow(unordered-iteration, reason = "fixed-seed FNV key-to-slot index, lookup-only; ordered output comes from the bucket list")
 use crate::fnv::FnvHashMap;
 
 const NIL: u32 = u32::MAX;
@@ -41,6 +42,7 @@ struct Bucket {
 #[derive(Debug)]
 pub struct SpaceSaving {
     capacity: usize,
+    // textmr-lint: allow(unordered-iteration, reason = "key-to-slot lookups only; iteration happens over the ordered bucket/slot structure")
     map: FnvHashMap<Box<[u8]>, u32>,
     slots: Vec<Slot>,
     buckets: Vec<Bucket>,
@@ -60,6 +62,7 @@ impl SpaceSaving {
         assert!(capacity > 0, "SpaceSaving capacity must be positive");
         SpaceSaving {
             capacity,
+            // textmr-lint: allow(unordered-iteration, reason = "see the field annotation: lookup-only index")
             map: FnvHashMap::default(),
             slots: Vec::with_capacity(capacity),
             buckets: Vec::new(),

@@ -7,6 +7,7 @@
 //! regression of `log f_i` on `log i` over the observed rank/frequency
 //! pairs — since `f_i = C·i^{-α}` gives `log f_i = −α·log i + log C`.
 
+// textmr-lint: allow(unordered-iteration, reason = "fixed-seed FNV: iteration order is a pure function of the per-task key set, so downstream sketch seeding is deterministic")
 use crate::fnv::FnvHashMap;
 
 /// Default cap on distinct keys tracked during pre-profiling; bounds
@@ -18,6 +19,7 @@ pub const DEFAULT_MAX_KEYS: usize = 65_536;
 /// fits α.
 #[derive(Debug)]
 pub struct ZipfEstimator {
+    // textmr-lint: allow(unordered-iteration, reason = "per-task counters with fixed-seed FNV; any iteration order is reproducible run-to-run")
     counts: FnvHashMap<Box<[u8]>, u64>,
     max_keys: usize,
     /// Records seen (including ones dropped once the key cap was hit).
@@ -45,6 +47,7 @@ impl ZipfEstimator {
     /// New estimator tracking at most `max_keys` distinct keys.
     pub fn new(max_keys: usize) -> Self {
         ZipfEstimator {
+            // textmr-lint: allow(unordered-iteration, reason = "see the field annotation: fixed-seed, per-task")
             counts: FnvHashMap::default(),
             max_keys: max_keys.max(16),
             seen: 0,
@@ -74,6 +77,7 @@ impl ZipfEstimator {
     }
 
     /// Consume the accumulated counts (e.g. to seed a Space-Saving sketch).
+    // textmr-lint: allow(unordered-iteration, reason = "fixed-seed FNV: the consumer's iteration order is deterministic for a given key set")
     pub fn into_counts(self) -> FnvHashMap<Box<[u8]>, u64> {
         self.counts
     }

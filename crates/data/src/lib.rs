@@ -17,7 +17,8 @@
 //! numbers that also back the paper's auto-tuning analysis, and [`words`]
 //! synthesizes the vocabulary (rank → word string).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod graph;
 pub mod text;

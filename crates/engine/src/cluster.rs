@@ -37,6 +37,7 @@ use crate::task::reduce_task::{
     run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig, ReduceTaskError,
 };
 use crate::trace::{AttemptKind, EntryDetail, JobTrace, TaskKind, TraceEntry};
+// textmr-lint: allow(unordered-iteration, reason = "per-node lookups only; never iterated")
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -383,6 +384,7 @@ pub fn run_job(
     // Lowest task id per node: the designated publisher for the node's
     // frequent-key registry slot. Deterministic (derived from the split
     // plan), unlike "whichever task froze first" under a worker pool.
+    // textmr-lint: allow(unordered-iteration, reason = "keyed by node for lookups; never iterated")
     let mut node_first_task: HashMap<usize, usize> = HashMap::new();
     for (t, split) in splits.iter().enumerate() {
         node_first_task

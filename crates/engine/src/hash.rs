@@ -41,9 +41,11 @@ impl Hasher for FnvHasher {
 pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 
 /// A `HashMap` keyed with FNV-1a.
+// textmr-lint: allow(unordered-iteration, reason = "alias definition: FnvBuildHasher is fixed-seed, so iteration order is a deterministic function of the key set (unlike RandomState); users must still sort anything that reaches outputs or signatures")
 pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
 
 /// A `HashSet` keyed with FNV-1a.
+// textmr-lint: allow(unordered-iteration, reason = "alias definition: fixed-seed hasher, deterministic iteration; see FnvHashMap note")
 pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //!   jobs).
 
 use crate::job::fnv1a;
+// textmr-lint: allow(unordered-iteration, reason = "file table is keyed by name for lookups; never iterated")
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -45,6 +46,7 @@ impl DfsFile {
 pub struct SimDfs {
     nodes: usize,
     block_size: usize,
+    // textmr-lint: allow(unordered-iteration, reason = "name-to-file lookups only; never iterated")
     files: HashMap<String, DfsFile>,
 }
 
@@ -59,6 +61,7 @@ impl SimDfs {
         SimDfs {
             nodes,
             block_size,
+            // textmr-lint: allow(unordered-iteration, reason = "see the field annotation: lookup-only")
             files: HashMap::new(),
         }
     }

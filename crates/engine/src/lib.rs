@@ -56,7 +56,8 @@
 //! assert_eq!(decode_u64(v), Some(5));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod codec;

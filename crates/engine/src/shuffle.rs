@@ -164,12 +164,12 @@ impl ShuffleStats {
         self.fetched_bytes += other.fetched_bytes;
         self.remote_bytes += other.remote_bytes;
         self.fetchers = self.fetchers.max(other.fetchers);
-        self.virtual_ns += other.virtual_ns;
-        self.sequential_ns += other.sequential_ns;
+        self.virtual_ns = self.virtual_ns.saturating_add(other.virtual_ns);
+        self.sequential_ns = self.sequential_ns.saturating_add(other.sequential_ns);
         self.max_flow_ns = self.max_flow_ns.max(other.max_flow_ns);
-        self.wait_ns += other.wait_ns;
+        self.wait_ns = self.wait_ns.saturating_add(other.wait_ns);
         self.retries += other.retries;
-        self.backoff_ns += other.backoff_ns;
+        self.backoff_ns = self.backoff_ns.saturating_add(other.backoff_ns);
         self.size_hist.merge(&other.size_hist);
     }
 }
@@ -222,7 +222,7 @@ fn fetch_one(
         let attempt = retries as usize;
         let sw = Stopwatch::start();
         let raw = mo.file.read_partition(partition)?;
-        io_ns += sw.elapsed_ns();
+        io_ns = io_ns.saturating_add(sw.elapsed_ns());
         if faults.is_some_and(|f| f.shuffle_fault(map_task, attempt)) {
             retries += 1;
             if attempt + 1 >= max_fetch_attempts.max(1) {
@@ -231,7 +231,7 @@ fn fetch_one(
                      failed {retries} attempts"
                 )));
             }
-            backoff_ns += shuffle_backoff_ns(attempt);
+            backoff_ns = backoff_ns.saturating_add(shuffle_backoff_ns(attempt));
             continue;
         }
         let stored_bytes = raw.len() as u64;
@@ -291,10 +291,12 @@ enum SlotState {
 
 /// What follows the current fixed phase.
 enum AfterFixed {
-    /// Disk read done → start latency (remote) or decompress (local).
+    /// Disk read done → start latency (remote flows).
     Latency,
     /// Latency done → start the transfer.
     Transfer,
+    /// Disk read done → start decompress (local flows skip the network).
+    Post,
     /// Decompress done → job complete.
     Done,
 }
@@ -319,7 +321,7 @@ impl Slot {
                 next: if jobs[job].remote {
                     AfterFixed::Latency
                 } else {
-                    AfterFixed::Done
+                    AfterFixed::Post
                 },
             },
             start: now,
@@ -348,18 +350,19 @@ impl Slot {
                             remaining: jobs[self.job].full_rate_ns as u128 * SCALE,
                         };
                     }
-                    AfterFixed::Done => {
-                        // A local job's only phase is its pre work — the
-                        // event loop never schedules its decompress (a
-                        // known model quirk, see the module docs); its
-                        // marks all collapse onto the completion instant.
-                        if !jobs[self.job].remote {
-                            self.pre_end = now;
-                            self.latency_end = now;
-                            self.transfer_end = now;
-                        }
-                        return true;
+                    AfterFixed::Post => {
+                        // Local flow: no network phases, so the latency and
+                        // transfer marks collapse onto the end of the disk
+                        // read and the slot moves straight to decompress.
+                        self.pre_end = now;
+                        self.latency_end = now;
+                        self.transfer_end = now;
+                        self.state = SlotState::Fixed {
+                            until: now.saturating_add(jobs[self.job].post_ns),
+                            next: AfterFixed::Done,
+                        };
                     }
+                    AfterFixed::Done => return true,
                 },
                 SlotState::Transfer { remaining } if *remaining == 0 => {
                     self.transfer_end = now;
@@ -454,7 +457,7 @@ fn nic_schedule(
         let dt = t_next - now;
         // Straggler tail: one source left in flight, idle capacity beside it.
         if f > 1 && busy == 1 && next_job >= jobs.len() {
-            wait_ns += dt;
+            wait_ns = wait_ns.saturating_add(dt);
         }
         if n_flows > 0 && dt > 0 {
             let dep = dt as u128 * (SCALE / n_flows as u128);
@@ -532,8 +535,8 @@ pub fn run_shuffle(
         }
         stats.size_hist.record(fr.stored_bytes);
         stats.retries += fr.retries;
-        stats.backoff_ns += fr.backoff_ns;
-        fetch_work_ns += fr.io_ns + fr.decompress_ns;
+        stats.backoff_ns = stats.backoff_ns.saturating_add(fr.backoff_ns);
+        fetch_work_ns = fetch_work_ns.saturating_add(fr.io_ns + fr.decompress_ns);
         let job = FlowJob {
             // Backoff is virtual pre-flow time: the fetcher holds its slot
             // while backing off, so retries delay this flow (and, under the
@@ -678,7 +681,7 @@ mod tests {
 
     #[test]
     fn one_fetcher_matches_sequential_sum() {
-        let jobs = vec![remote(10, 1000, 5), local(7, 0), remote(3, 500, 2)];
+        let jobs = vec![remote(10, 1000, 5), local(7, 9), remote(3, 500, 2)];
         let (makespan, wait) = nic_schedule(&jobs, 1, None);
         assert_eq!(makespan, seq_sum(&jobs));
         assert_eq!(wait, 0);
@@ -739,6 +742,40 @@ mod tests {
         let (m2, _) = nic_schedule(&jobs, 2, None);
         let (m16, _) = nic_schedule(&jobs, 16, None);
         assert!(m16 <= m2);
+    }
+
+    #[test]
+    fn local_decompress_occupies_the_fetcher_slot() {
+        // Compressed local fetches: decompress is a scheduled phase, so a
+        // lone slot serializes pre + post per flow, while two slots overlap
+        // the flows completely (local flows never contend for the NIC).
+        let jobs = vec![local(100, 50), local(100, 50)];
+        let (m1, _) = nic_schedule(&jobs, 1, None);
+        assert_eq!(m1, 300);
+        let (m2, _) = nic_schedule(&jobs, 2, None);
+        assert_eq!(m2, 150);
+    }
+
+    #[test]
+    fn local_flow_phase_marks_split_pre_and_post() {
+        // A local flow's latency/transfer marks collapse onto the end of
+        // its disk read; the decompress phase runs after them, giving the
+        // trace the same phase granularity as a remote flow.
+        let jobs = vec![local(100, 50), remote(100, 200, 50)];
+        let mut sched = Vec::new();
+        let (makespan, _) = nic_schedule(&jobs, 2, Some(&mut sched));
+        sched.sort_by_key(|s| s.job);
+        let l = sched[0];
+        assert_eq!(
+            (l.start, l.pre_end, l.latency_end, l.transfer_end, l.finish),
+            (0, 100, 100, 100, 150)
+        );
+        let r = sched[1];
+        assert_eq!(
+            (r.start, r.pre_end, r.latency_end, r.transfer_end, r.finish),
+            (0, 100, 200, 400, 450)
+        );
+        assert_eq!(makespan, 450);
     }
 
     #[test]

@@ -189,7 +189,7 @@ impl<'a> SpillPath<'a> {
                 };
                 let next = self.controller.next_fraction(&obs).clamp(MIN_FRACTION, 1.0);
                 self.pipeline.set_fraction(next);
-                self.consume_pending_ns += consume_ns;
+                self.consume_pending_ns = self.consume_pending_ns.saturating_add(consume_ns);
                 self.seg.clear();
                 self.spills.push(out.file);
             }
@@ -231,8 +231,8 @@ impl<'a> Emit for MapEmitter<'a> {
         }
         let total = sw.elapsed_ns();
         let consumed = self.path.take_consume_pending();
-        self.handover_ns += consumed;
-        self.emit_ns += total.saturating_sub(consumed);
+        self.handover_ns = self.handover_ns.saturating_add(consumed);
+        self.emit_ns = self.emit_ns.saturating_add(total.saturating_sub(consumed));
     }
 }
 
@@ -416,7 +416,7 @@ pub fn run_map_task(
             cfg.merge_fan_in,
             &scratch,
         )?;
-        combine_in_merge_ns += multi.combine_ns;
+        combine_in_merge_ns = combine_in_merge_ns.saturating_add(multi.combine_ns);
         let runs = multi.runs;
         if cfg.compress_output {
             // Merge into an in-memory run, compress it, store as one blob;
@@ -428,7 +428,7 @@ pub fn run_map_task(
                 if has_combiner && values.len() > 1 {
                     let sw_c = Stopwatch::start();
                     let combined = combine_values(job.as_ref(), key, values);
-                    combine_in_merge_ns += sw_c.elapsed_ns();
+                    combine_in_merge_ns = combine_in_merge_ns.saturating_add(sw_c.elapsed_ns());
                     for v in &combined {
                         crate::codec::write_record(&mut merged, key, v);
                         records += 1;
@@ -457,7 +457,7 @@ pub fn run_map_task(
                 if has_combiner && values.len() > 1 {
                     let sw_c = Stopwatch::start();
                     let combined = combine_values(job.as_ref(), key, values);
-                    combine_in_merge_ns += sw_c.elapsed_ns();
+                    combine_in_merge_ns = combine_in_merge_ns.saturating_add(sw_c.elapsed_ns());
                     for v in &combined {
                         write(key, v);
                     }

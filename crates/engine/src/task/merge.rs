@@ -135,7 +135,7 @@ pub fn reduce_to_fan_in(
             if use_combiner && values.len() > 1 {
                 let sw = Stopwatch::start();
                 let combined = combine_values(job, key, values);
-                combine_ns += sw.elapsed_ns();
+                combine_ns = combine_ns.saturating_add(sw.elapsed_ns());
                 for v in &combined {
                     write_record(&mut merged, key, v);
                 }
@@ -150,7 +150,7 @@ pub fn reduce_to_fan_in(
         let sw = Stopwatch::start();
         std::fs::write(scratch, &merged)?;
         let merged = std::fs::read(scratch)?;
-        io_ns += sw.elapsed_ns();
+        io_ns = io_ns.saturating_add(sw.elapsed_ns());
         runs.push(merged);
     }
     let _ = std::fs::remove_file(scratch);

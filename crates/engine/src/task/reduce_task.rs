@@ -10,6 +10,7 @@
 //! which is where the EC2 configuration's shuffle penalty enters (Table IV).
 
 use crate::fault::FaultPlan;
+// textmr-lint: allow(unordered-iteration, reason = "hash-grouping accumulator; groups are collected and sorted by key bytes before any reduce call")
 use crate::hash::FnvHashMap;
 use crate::job::{Emit, Job, SliceValues};
 use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile, VNanos};
@@ -84,7 +85,7 @@ impl Emit for ReduceSink {
         let sw = Stopwatch::start();
         crate::codec::write_record(&mut self.out_buf, key, value);
         self.pairs.push((key.to_vec(), value.to_vec()));
-        self.write_ns += sw.elapsed_ns();
+        self.write_ns = self.write_ns.saturating_add(sw.elapsed_ns());
     }
 }
 
@@ -187,7 +188,8 @@ pub fn run_reduce_task(
             let mut cursor = SliceValues::new(values);
             job.reduce(key, &mut cursor, sink);
             let group_ns = sw_r.elapsed_ns();
-            *reduce_ns += group_ns.saturating_sub(sink.write_ns - write_before);
+            *reduce_ns =
+                reduce_ns.saturating_add(group_ns.saturating_sub(sink.write_ns - write_before));
         };
     match cfg.grouping {
         Grouping::Sort => {
@@ -223,6 +225,7 @@ pub fn run_reduce_task(
         Grouping::Hash => {
             // ---- hash grouping: no sort, no merge passes ----------------------
             // Values per key accumulate as framed bytes in one buffer.
+            // textmr-lint: allow(unordered-iteration, reason = "iteration below goes through sorted_groups, sorted by key bytes")
             let mut groups: FnvHashMap<Vec<u8>, Vec<u8>> = FnvHashMap::default();
             for run in &runs {
                 let mut pos = 0usize;

@@ -95,7 +95,7 @@ pub fn spill_segment(seg: &Segment, job: &dyn Job, path: PathBuf) -> io::Result<
             // matches Hadoop's practical behaviour.
             let sw_c = Stopwatch::start();
             let combined = combine_values(job, key, &values);
-            combine_ns += sw_c.elapsed_ns();
+            combine_ns = combine_ns.saturating_add(sw_c.elapsed_ns());
             for v in &combined {
                 writer.write_record(key, v)?;
                 records_out += 1;

@@ -29,14 +29,20 @@
 //! `tid` = slot lane, timestamps in virtual microseconds), and
 //! [`JobTrace::render_text`] draws a compact ASCII timeline for terminals
 //! and tests. [`validate_chrome_trace`] is a minimal dependency-free JSON
-//! schema check used by the tests and the `trace` bench bin.
+//! schema check used by the tests and the `trace` bench bin. The export is
+//! lossless for auditing purposes: [`JobTrace::from_chrome_json`] rebuilds
+//! a `JobTrace` from its own export (cluster layout travels in a `textmr`
+//! metadata object), which is how `textmr-lint --trace` audits shipped
+//! trace files offline.
 //!
-//! Known model quirk (inherited from the NIC event loop, see ROADMAP): with
-//! more than one fetcher a *local* flow's decompress phase is not scheduled,
-//! so traces of compressed-map-output jobs under a parallel shuffle
-//! under-report `ShuffleFetch` span time relative to the op totals. The
-//! consistency tests therefore run with uncompressed map outputs (the
-//! default everywhere).
+//! The [`race`] submodule is a vector-clock happens-before checker over a
+//! `JobTrace`: it reconstructs the cross-lane ordering edges (hand-offs,
+//! spill→merge, map-output→fetch, shuffle barriers, retries, slot reuse)
+//! and reports span pairs that touch the same logical resource without a
+//! happens-before path — virtual-time races the per-lane tiling checks in
+//! [`JobTrace::check`] cannot see.
+
+pub mod race;
 
 use crate::metrics::{Op, OpTimes, VNanos};
 use std::collections::BTreeMap;
@@ -71,6 +77,23 @@ pub enum IdleKind {
 }
 
 impl IdleKind {
+    /// All idle kinds, for name lookups.
+    pub const ALL: [IdleKind; 8] = [
+        IdleKind::BufferFull,
+        IdleKind::Barrier,
+        IdleKind::SpillWait,
+        IdleKind::Done,
+        IdleKind::NetLatency,
+        IdleKind::NetTransfer,
+        IdleKind::Shuffle,
+        IdleKind::FetcherIdle,
+    ];
+
+    /// Inverse of [`IdleKind::name`].
+    pub fn from_name(name: &str) -> Option<IdleKind> {
+        IdleKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Display name used in exports.
     pub fn name(self) -> &'static str {
         match self {
@@ -104,6 +127,22 @@ impl SpanKind {
             SpanKind::Idle(k) => k.name(),
         }
     }
+
+    /// Recover a span kind from its exported `name` and `cat`. The `cat`
+    /// disambiguates the one collision in the name tables:
+    /// `Op::ShuffleFetch` and `IdleKind::Shuffle` both print as "shuffle"
+    /// but export with different categories.
+    pub fn from_name(name: &str, cat: &str) -> Option<SpanKind> {
+        if cat == "idle" {
+            if let Some(k) = IdleKind::from_name(name) {
+                return Some(SpanKind::Idle(k));
+            }
+        }
+        Op::ALL
+            .into_iter()
+            .find(|op| op.name() == name)
+            .map(SpanKind::Op)
+    }
 }
 
 /// One half-open interval `[start, end)` on a lane, in virtual nanoseconds.
@@ -115,6 +154,10 @@ pub struct Span {
     pub end: VNanos,
     /// What the lane was doing.
     pub kind: SpanKind,
+    /// For shuffle-flow spans: the map task whose output the flow carries.
+    /// `None` everywhere else. Gives the race checker (and the Chrome
+    /// export's `src` arg) the flow ↔ map-output association.
+    pub flow: Option<u32>,
 }
 
 /// Which thread of a task a lane models.
@@ -265,15 +308,22 @@ impl LaneBuilder {
 
     /// Append a span of `dur` nanoseconds (no-op when `dur == 0`).
     pub fn push(&mut self, dur: VNanos, kind: SpanKind) {
+        self.push_flow(dur, kind, None);
+    }
+
+    /// Append a span tagged with the map task whose shuffle flow it belongs
+    /// to (no-op when `dur == 0`).
+    pub fn push_flow(&mut self, dur: VNanos, kind: SpanKind, flow: Option<u32>) {
         if dur == 0 {
             return;
         }
         self.spans.push(Span {
             start: self.cursor,
-            end: self.cursor + dur,
+            end: self.cursor.saturating_add(dur),
             kind,
+            flow,
         });
-        self.cursor += dur;
+        self.cursor = self.cursor.saturating_add(dur);
     }
 
     /// Pad with idle time up to instant `t` (no-op when already there or
@@ -456,20 +506,24 @@ pub fn build_reduce_trace(
     order.sort_by_key(|f| (f.slot, f.start, f.map_task));
     for f in order {
         let lane = &mut fetchers[f.slot];
+        let src = u32::try_from(f.map_task).ok();
         lane.pad_to(f.start, IdleKind::FetcherIdle);
-        lane.push(f.io_ns, SpanKind::Op(Op::ShuffleFetch));
-        lane.push(f.backoff_ns, SpanKind::Op(Op::ShuffleRetry));
-        lane.push(
+        lane.push_flow(f.io_ns, SpanKind::Op(Op::ShuffleFetch), src);
+        lane.push_flow(f.backoff_ns, SpanKind::Op(Op::ShuffleRetry), src);
+        lane.push_flow(
             f.latency_end.saturating_sub(f.pre_end),
             SpanKind::Idle(IdleKind::NetLatency),
+            src,
         );
-        lane.push(
+        lane.push_flow(
             f.transfer_end.saturating_sub(f.latency_end),
             SpanKind::Idle(IdleKind::NetTransfer),
+            src,
         );
-        lane.push(
+        lane.push_flow(
             f.finish.saturating_sub(f.transfer_end),
             SpanKind::Op(Op::ShuffleFetch),
+            src,
         );
     }
     // The straggler tail: only the slowest source's slot is busy; show the
@@ -549,6 +603,13 @@ impl AttemptKind {
             AttemptKind::Lost => "speculation-lost",
             AttemptKind::Dead => "backup-dead",
         }
+    }
+
+    /// Inverse of [`AttemptKind::name`].
+    pub fn from_name(name: &str) -> Option<AttemptKind> {
+        [AttemptKind::Failed, AttemptKind::Lost, AttemptKind::Dead]
+            .into_iter()
+            .find(|k| k.name() == name)
     }
 }
 
@@ -692,7 +753,16 @@ impl JobTrace {
     /// timestamps and durations in virtual microseconds.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        // Cluster layout rides along in a `textmr` metadata object so the
+        // trace is self-describing: [`JobTrace::from_chrome_json`] needs it
+        // to invert the tid layout. Perfetto ignores unknown keys.
+        let _ = write!(
+            out,
+            "{{\"displayTimeUnit\":\"ms\",\"textmr\":{{\"nodes\":{},\
+             \"mapSlots\":{},\"reduceSlots\":{},\"fetchers\":{},\"wall\":{}}}\
+             ,\"traceEvents\":[",
+            self.nodes, self.map_slots, self.reduce_slots, self.fetchers, self.wall
+        );
         let mut first = true;
         let mut push = |out: &mut String, event: String| {
             if !first {
@@ -772,13 +842,14 @@ impl JobTrace {
                                 },
                                 _ => "idle",
                             };
+                            let src = s.flow.map(|f| format!(",\"src\":{f}")).unwrap_or_default();
                             push(
                                 &mut out,
                                 format!(
                                     "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
                                      \"dur\":{},\"name\":\"{}\",\"cat\":\"{cat}\",\
                                      \"args\":{{\"task\":\"{}\",\"attempt\":{},\
-                                     \"backup\":{}}}}}",
+                                     \"backup\":{}{src}}}}}",
                                     e.node,
                                     fmt_us(s.start),
                                     fmt_us(s.end - s.start),
@@ -874,7 +945,8 @@ impl JobTrace {
             let mut line = String::with_capacity(width);
             for col in 0..width {
                 // Sample the column's midpoint.
-                let t = ((wall as u128 * (2 * col as u128 + 1)) / (2 * width as u128)) as u64;
+                let t = u64::try_from((wall as u128 * (2 * col as u128 + 1)) / (2 * width as u128))
+                    .expect("column midpoint is bounded by wall, which is u64");
                 let c = row
                     .iter()
                     .find(|&&(s, e, _)| s <= t && t < e)
@@ -1008,9 +1080,242 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Chrome-trace JSON import (the inverse of `to_chrome_json`)
+// ---------------------------------------------------------------------------
+
+fn obj_field<'v>(fields: &'v [(String, JsonValue)], key: &str) -> Option<&'v JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn num_field(fields: &[(String, JsonValue)], key: &str, ctx: &str) -> Result<f64, String> {
+    match obj_field(fields, key) {
+        Some(JsonValue::Num(n)) => Ok(*n),
+        _ => Err(format!("{ctx}: missing numeric {key}")),
+    }
+}
+
+fn usize_field(fields: &[(String, JsonValue)], key: &str, ctx: &str) -> Result<usize, String> {
+    let n = num_field(fields, key, ctx)?;
+    if n < 0.0 || n.fract() != 0.0 || n > usize::MAX as f64 {
+        return Err(format!("{ctx}: {key} = {n} is not a valid index"));
+    }
+    Ok(n as usize)
+}
+
+/// Exported microseconds (three exact fraction digits) back to nanoseconds.
+/// Exact for any virtual time below 2^53 ns (~104 virtual days).
+fn ns_of(us: f64) -> VNanos {
+    (us * 1000.0).round() as u64
+}
+
+/// Parse an exported task label ("map 3" / "reduce 7").
+fn parse_task(label: &str, ctx: &str) -> Result<(TaskKind, usize), String> {
+    let (kind, id) = label
+        .split_once(' ')
+        .ok_or_else(|| format!("{ctx}: malformed task label {label:?}"))?;
+    let kind = match kind {
+        "map" => TaskKind::Map,
+        "reduce" => TaskKind::Reduce,
+        other => return Err(format!("{ctx}: unknown task kind {other:?}")),
+    };
+    let id = id
+        .parse::<usize>()
+        .map_err(|_| format!("{ctx}: malformed task id in {label:?}"))?;
+    Ok((kind, id))
+}
+
+/// One task attempt being reassembled from its exported events.
+struct EntryBuild {
+    kind: TaskKind,
+    task: usize,
+    attempt: usize,
+    backup: bool,
+    node: usize,
+    slot: usize,
+    flat: Option<(AttemptKind, VNanos, VNanos)>,
+    /// Lane sub-index → spans (sub-index order is the builders' lane order).
+    lanes: BTreeMap<usize, Vec<Span>>,
+}
+
+impl JobTrace {
+    /// Rebuild a `JobTrace` from its own Chrome-trace export.
+    ///
+    /// The export carries the cluster layout in a top-level `textmr`
+    /// metadata object; complete (`"ph":"X"`) events are grouped back into
+    /// task attempts by `(node, task, attempt, backup)` and their lanes are
+    /// recovered by inverting the tid layout. Straggler factors are not
+    /// exported, so every reconstructed entry has `factor == 1`: the result
+    /// supports structural auditing ([`JobTrace::check`],
+    /// [`race::check_races`]) and lossless re-export, but not op-time
+    /// accounting of straggler-scaled jobs ([`JobTrace::op_times`] divides
+    /// durations by the factor).
+    pub fn from_chrome_json(text: &str) -> Result<JobTrace, String> {
+        let value = JsonParser::new(text).parse()?;
+        let JsonValue::Obj(top) = &value else {
+            return Err("top level is not an object".into());
+        };
+        let Some(JsonValue::Obj(meta)) = obj_field(top, "textmr") else {
+            return Err("missing textmr layout metadata (not a textmr-exported trace)".into());
+        };
+        let nodes = usize_field(meta, "nodes", "textmr")?;
+        let map_slots = usize_field(meta, "mapSlots", "textmr")?;
+        let reduce_slots = usize_field(meta, "reduceSlots", "textmr")?;
+        let fetchers = usize_field(meta, "fetchers", "textmr")?;
+        let wall = num_field(meta, "wall", "textmr")? as u64;
+        let Some(JsonValue::Arr(events)) = obj_field(top, "traceEvents") else {
+            return Err("missing traceEvents".into());
+        };
+
+        let mut order: Vec<EntryBuild> = Vec::new();
+        let mut index: BTreeMap<(usize, TaskKind, usize, usize, bool), usize> = BTreeMap::new();
+        for (i, ev) in events.iter().enumerate() {
+            let ctx = format!("event {i}");
+            let JsonValue::Obj(f) = ev else {
+                return Err(format!("{ctx}: not an object"));
+            };
+            let Some(JsonValue::Str(ph)) = obj_field(f, "ph") else {
+                return Err(format!("{ctx}: missing string ph"));
+            };
+            if ph != "X" {
+                continue;
+            }
+            let node = usize_field(f, "pid", &ctx)?;
+            let tid = usize_field(f, "tid", &ctx)?;
+            let start = ns_of(num_field(f, "ts", &ctx)?);
+            let end = start + ns_of(num_field(f, "dur", &ctx)?);
+            let Some(JsonValue::Str(name)) = obj_field(f, "name") else {
+                return Err(format!("{ctx}: missing string name"));
+            };
+            let cat = match obj_field(f, "cat") {
+                Some(JsonValue::Str(c)) => c.as_str(),
+                _ => "",
+            };
+            let Some(JsonValue::Obj(args)) = obj_field(f, "args") else {
+                return Err(format!("{ctx}: missing args"));
+            };
+            let Some(JsonValue::Str(task_label)) = obj_field(args, "task") else {
+                return Err(format!("{ctx}: missing args.task"));
+            };
+            let (kind, task) = parse_task(task_label, &ctx)?;
+            let attempt = usize_field(args, "attempt", &ctx)?;
+            let backup = matches!(obj_field(args, "backup"), Some(JsonValue::Bool(true)));
+            // Invert the tid layout: map slots first (two lanes each), then
+            // reduce slots (1 + `fetchers` lanes each).
+            let (slot, sub) = if tid < map_slots * 2 {
+                if kind != TaskKind::Reduce {
+                    (tid / 2, tid % 2)
+                } else {
+                    return Err(format!("{ctx}: reduce task on map-region tid {tid}"));
+                }
+            } else {
+                let r = tid - map_slots * 2;
+                let width = 1 + fetchers;
+                if kind != TaskKind::Map {
+                    (r / width, r % width)
+                } else {
+                    return Err(format!("{ctx}: map task on reduce-region tid {tid}"));
+                }
+            };
+            let key = (node, kind, task, attempt, backup);
+            let at = *index.entry(key).or_insert_with(|| {
+                order.push(EntryBuild {
+                    kind,
+                    task,
+                    attempt,
+                    backup,
+                    node,
+                    slot,
+                    flat: None,
+                    lanes: BTreeMap::new(),
+                });
+                order.len() - 1
+            });
+            let b = &mut order[at];
+            if b.slot != slot {
+                return Err(format!(
+                    "{ctx}: {task_label} attempt {attempt} spans slots {} and {slot}",
+                    b.slot
+                ));
+            }
+            if cat == "attempt" {
+                let k = AttemptKind::from_name(name)
+                    .ok_or_else(|| format!("{ctx}: unknown attempt fate {name:?}"))?;
+                if b.flat.replace((k, start, end)).is_some() {
+                    return Err(format!("{ctx}: duplicate flat event for {task_label}"));
+                }
+            } else {
+                let kind = SpanKind::from_name(name, cat)
+                    .ok_or_else(|| format!("{ctx}: unknown span kind {name:?}"))?;
+                let flow = match obj_field(args, "src") {
+                    Some(JsonValue::Num(n)) => u32::try_from(*n as u64).ok(),
+                    _ => None,
+                };
+                b.lanes.entry(sub).or_default().push(Span {
+                    start,
+                    end,
+                    kind,
+                    flow,
+                });
+            }
+        }
+
+        let mut entries = Vec::with_capacity(order.len());
+        for b in order {
+            let who = format!("{} {} attempt {}", b.kind.label(), b.task, b.attempt);
+            let (start, end, detail) = if let Some((k, s, e)) = b.flat {
+                if !b.lanes.is_empty() {
+                    return Err(format!("{who}: both flat and lane events"));
+                }
+                (s, e, EntryDetail::Flat(k))
+            } else {
+                let mut start = VNanos::MAX;
+                let mut end = 0;
+                let mut lanes = Vec::with_capacity(b.lanes.len());
+                for (sub, mut spans) in b.lanes {
+                    spans.sort_by_key(|s| (s.start, s.end));
+                    start = start.min(spans.first().map_or(VNanos::MAX, |s| s.start));
+                    end = end.max(spans.last().map_or(0, |s| s.end));
+                    let role = match (b.kind, sub) {
+                        (TaskKind::Map, 0) => LaneRole::Map,
+                        (TaskKind::Map, _) => LaneRole::Support,
+                        (TaskKind::Reduce, 0) => LaneRole::Reduce,
+                        (TaskKind::Reduce, s) => LaneRole::Fetcher(s - 1),
+                    };
+                    lanes.push(TaskLane { role, spans });
+                }
+                if lanes.is_empty() {
+                    return Err(format!("{who}: no events"));
+                }
+                (start, end, EntryDetail::Lanes(lanes))
+            };
+            entries.push(TraceEntry {
+                kind: b.kind,
+                task: b.task,
+                attempt: b.attempt,
+                backup: b.backup,
+                node: b.node,
+                slot: b.slot,
+                factor: 1,
+                start,
+                end,
+                detail,
+            });
+        }
+        Ok(JobTrace {
+            nodes,
+            map_slots,
+            reduce_slots,
+            fetchers,
+            wall,
+            entries,
+        })
+    }
+}
+
 enum JsonValue {
     Null,
-    Bool(#[allow(dead_code)] bool),
+    Bool(bool),
     Num(f64),
     Str(String),
     Arr(Vec<JsonValue>),
@@ -1374,6 +1679,72 @@ mod tests {
         let text = trace.render_text(60);
         assert!(text.contains('x'), "timeline:\n{text}");
         assert!(text.contains('g'), "timeline:\n{text}");
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_import() {
+        let trace = job_trace();
+        let json = trace.to_chrome_json();
+        let back = JobTrace::from_chrome_json(&json).unwrap();
+        back.check().unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_chrome_json(), json);
+    }
+
+    #[test]
+    fn flow_tags_survive_the_round_trip() {
+        let flows = vec![FlowTrace {
+            map_task: 3,
+            src_node: 1,
+            remote: true,
+            io_ns: 10,
+            backoff_ns: 2,
+            slot: 0,
+            start: 5,
+            pre_end: 17,
+            latency_end: 25,
+            transfer_end: 60,
+            finish: 66,
+        }];
+        let attempt = build_reduce_trace(&flows, 0, 66, 4, 1, 6, 2);
+        let trace = JobTrace {
+            nodes: 1,
+            map_slots: 0,
+            reduce_slots: 1,
+            fetchers: 1,
+            wall: 79,
+            entries: vec![TraceEntry {
+                kind: TaskKind::Reduce,
+                task: 0,
+                attempt: 0,
+                backup: false,
+                node: 0,
+                slot: 0,
+                factor: 1,
+                start: 0,
+                end: 79,
+                detail: EntryDetail::Lanes(attempt.into_absolute(0, 1)),
+            }],
+        };
+        trace.check().unwrap();
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"src\":3"), "missing src arg: {json}");
+        let back = JobTrace::from_chrome_json(&json).unwrap();
+        assert_eq!(back, trace);
+        let fetcher = match &back.entries[0].detail {
+            EntryDetail::Lanes(lanes) => lanes
+                .iter()
+                .find(|l| l.role == LaneRole::Fetcher(0))
+                .unwrap(),
+            EntryDetail::Flat(_) => panic!("flat"),
+        };
+        assert!(fetcher.spans.iter().any(|s| s.flow == Some(3)));
+    }
+
+    #[test]
+    fn import_rejects_non_textmr_traces() {
+        let err = JobTrace::from_chrome_json("{\"traceEvents\":[]}").unwrap_err();
+        assert!(err.contains("textmr"), "unexpected error: {err}");
     }
 
     #[test]

@@ -1,0 +1,1014 @@
+//! Vector-clock happens-before race checking over a [`JobTrace`].
+//!
+//! [`JobTrace::check`] proves per-lane tiling and per-slot non-overlap, but
+//! says nothing about *cross-lane* ordering: a trace can tile perfectly
+//! while a reducer fetches a map output before the map task sealed it, or a
+//! merge reads a spill file the support thread has not written yet. This
+//! module reconstructs the schedule's synchronization edges and reports any
+//! pair of spans that touch the same logical resource without a
+//! happens-before path between them — a virtual-time race.
+//!
+//! ## Model
+//!
+//! * **Threads**: every lane of every entry is a thread; a flat attempt
+//!   (failed / speculation-lost / dead-backup) is a one-event thread.
+//! * **Events**: a thread's spans in lane order. Program order within a
+//!   thread is always a happens-before edge.
+//! * **Synchronization edges** (each added only when *timing-consistent*,
+//!   i.e. the source event ends no later than the destination starts — an
+//!   edge the timing contradicts is no evidence of ordering, and dropping
+//!   it is what surfaces the race on the resource it was meant to order):
+//!   * *slot reuse*: consecutive attempts on one `(node, phase, slot)`;
+//!   * *retries*: attempt `k` of a task precedes attempt `k + 1`;
+//!   * *map-output publication*: the attempt of record of map task `t`
+//!     precedes every shuffle flow that fetches output `t` (flow spans are
+//!     matched by their [`Span::flow`] tag);
+//!   * *spill hand-off*: each spill write on a map attempt's support lane
+//!     precedes the map lane's merge;
+//!   * *shuffle barrier*: each fetcher lane's last op span precedes the
+//!     reduce lane's first post-shuffle op span.
+//! * **Resources**: scheduler slots, task attempt serialization, map
+//!   outputs, spill files, fetched runs, and reduce output partitions. Two
+//!   accesses conflict when they share a resource and at least one writes;
+//!   a conflict with no happens-before path in either direction is a race.
+//!
+//! Because every edge is timing-consistent and consecutive lane spans
+//! touch, any happens-before chain is monotone in virtual time — the
+//! checker can never "order" two time-overlapping accesses, so a reported
+//! race is always a genuine lack of synchronization evidence.
+//!
+//! ## Deliberate non-resources
+//!
+//! * The **frequent-key registry** synchronizes in *real* time (publisher /
+//!   waiter handshake inside a map wave); its outcome is deterministic and
+//!   its waits are invisible in virtual time by design, so registry slots
+//!   are out of the happens-before domain.
+//! * The **NIC ingress** is a fairly-*shared* resource: concurrent
+//!   transfers into one node are the NIC model's whole point, not a race.
+//!   Transfer spans are tallied in [`RaceReport::accesses`] for visibility
+//!   but carry no exclusivity obligation; per-fetcher-slot exclusivity is
+//!   already proven by lane tiling.
+
+use super::{EntryDetail, IdleKind, JobTrace, LaneRole, Span, SpanKind, TaskKind};
+use crate::metrics::{Op, VNanos};
+use std::collections::BTreeMap;
+
+/// A reference to one event: `(thread index, event index)`.
+type EvRef = (usize, usize);
+
+/// What a diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two conflicting accesses with no happens-before path.
+    Race,
+    /// A structural invariant of the schedule shape is broken (duplicate
+    /// attempt of record, support burst with no hand-off, missing
+    /// producer).
+    Structure,
+}
+
+/// One finding of the race checker.
+#[derive(Debug, Clone)]
+pub struct RaceDiagnostic {
+    /// Race or structural violation.
+    pub kind: RaceKind,
+    /// The logical resource involved (e.g. `mapout:3`, `slot:n0/map/1`).
+    pub resource: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+/// Result of [`check_races`].
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Logical threads examined (lanes + flat attempts).
+    pub threads: usize,
+    /// Total events across all threads.
+    pub events: usize,
+    /// Synchronization edges that were timing-consistent and used.
+    pub edges: usize,
+    /// Accesses tallied per resource kind (`slot`, `task`, `mapout`,
+    /// `spill`, `runs`, `out`, `nic-shared`).
+    pub accesses: BTreeMap<&'static str, usize>,
+    /// All findings, races first.
+    pub diagnostics: Vec<RaceDiagnostic>,
+}
+
+impl RaceReport {
+    /// True when the trace shows no races and no structural violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render a compact text summary (one line per finding).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "race check: {} threads, {} events, {} edges, {} findings",
+            self.threads,
+            self.events,
+            self.edges,
+            self.diagnostics.len()
+        );
+        for (kind, n) in &self.accesses {
+            let _ = writeln!(out, "  accesses[{kind}] = {n}");
+        }
+        for d in &self.diagnostics {
+            let tag = match d.kind {
+                RaceKind::Race => "RACE",
+                RaceKind::Structure => "STRUCTURE",
+            };
+            let _ = writeln!(out, "  {tag} {}: {}", d.resource, d.message);
+        }
+        out
+    }
+}
+
+/// One logical thread: a lane of an entry, or a flat attempt.
+struct Thread {
+    /// `(start, end)` per event, in lane order.
+    events: Vec<(VNanos, VNanos)>,
+}
+
+/// One access to a logical resource, spanning `first..=last` events on a
+/// single envelope (both ends may be the same event).
+struct Access {
+    resource: String,
+    res_kind: &'static str,
+    write: bool,
+    first: EvRef,
+    last: EvRef,
+    who: String,
+}
+
+/// Run the happens-before race check over a job trace.
+pub fn check_races(trace: &JobTrace) -> RaceReport {
+    Checker::new(trace).run()
+}
+
+struct Checker<'t> {
+    trace: &'t JobTrace,
+    threads: Vec<Thread>,
+    /// `(entry index, lane index)` → thread index (flat attempts use lane 0).
+    tix: BTreeMap<(usize, usize), usize>,
+    edges: Vec<(EvRef, EvRef)>,
+    accesses: Vec<Access>,
+    diagnostics: Vec<RaceDiagnostic>,
+}
+
+impl<'t> Checker<'t> {
+    fn new(trace: &'t JobTrace) -> Self {
+        let mut threads = Vec::new();
+        let mut tix = BTreeMap::new();
+        for (ei, e) in trace.entries.iter().enumerate() {
+            match &e.detail {
+                EntryDetail::Lanes(lanes) => {
+                    for (li, lane) in lanes.iter().enumerate() {
+                        if lane.spans.is_empty() {
+                            continue;
+                        }
+                        tix.insert((ei, li), threads.len());
+                        threads.push(Thread {
+                            events: lane.spans.iter().map(|s| (s.start, s.end)).collect(),
+                        });
+                    }
+                }
+                EntryDetail::Flat(_) => {
+                    tix.insert((ei, 0), threads.len());
+                    threads.push(Thread {
+                        events: vec![(e.start, e.end)],
+                    });
+                }
+            }
+        }
+        Checker {
+            trace,
+            threads,
+            tix,
+            edges: Vec::new(),
+            accesses: Vec::new(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    fn who(&self, ei: usize) -> String {
+        let e = &self.trace.entries[ei];
+        format!(
+            "{} {} attempt {}{}",
+            e.kind.label(),
+            e.task,
+            e.attempt,
+            if e.backup { " (backup)" } else { "" }
+        )
+    }
+
+    fn ev_time(&self, (t, i): EvRef) -> (VNanos, VNanos) {
+        self.threads[t].events[i]
+    }
+
+    /// First event of every thread of entry `ei`.
+    fn entry_firsts(&self, ei: usize) -> Vec<EvRef> {
+        self.tix
+            .range((ei, 0)..(ei + 1, 0))
+            .map(|(_, &t)| (t, 0))
+            .collect()
+    }
+
+    /// Last event of every thread of entry `ei`.
+    fn entry_lasts(&self, ei: usize) -> Vec<EvRef> {
+        self.tix
+            .range((ei, 0)..(ei + 1, 0))
+            .map(|(_, &t)| (t, self.threads[t].events.len() - 1))
+            .collect()
+    }
+
+    /// Add a synchronization edge if the timing supports it; an edge the
+    /// timing contradicts is dropped (the conflict it should have ordered
+    /// then surfaces as a race).
+    fn edge(&mut self, src: EvRef, dst: EvRef) {
+        if self.ev_time(src).1 <= self.ev_time(dst).0 {
+            self.edges.push((src, dst));
+        }
+    }
+
+    fn edge_all(&mut self, srcs: &[EvRef], dsts: &[EvRef]) {
+        for &s in srcs {
+            for &d in dsts {
+                self.edge(s, d);
+            }
+        }
+    }
+
+    /// Representative envelope (earliest-starting first event,
+    /// latest-ending last event) of a whole entry, for entry-granular
+    /// accesses.
+    fn entry_envelope(&self, ei: usize) -> (EvRef, EvRef) {
+        let first = self
+            .entry_firsts(ei)
+            .into_iter()
+            .min_by_key(|&r| self.ev_time(r))
+            .expect("entry has threads");
+        let last = self
+            .entry_lasts(ei)
+            .into_iter()
+            .max_by_key(|&r| (self.ev_time(r).1, self.ev_time(r).0))
+            .expect("entry has threads");
+        (first, last)
+    }
+
+    /// The lane index of `role` within entry `ei`'s lanes, if present.
+    fn lane_of(&self, ei: usize, role: LaneRole) -> Option<usize> {
+        match &self.trace.entries[ei].detail {
+            EntryDetail::Lanes(lanes) => lanes.iter().position(|l| l.role == role),
+            EntryDetail::Flat(_) => None,
+        }
+    }
+
+    fn lane_spans(&self, ei: usize, li: usize) -> &'t [Span] {
+        let trace = self.trace;
+        match &trace.entries[ei].detail {
+            EntryDetail::Lanes(lanes) => &lanes[li].spans,
+            EntryDetail::Flat(_) => &[],
+        }
+    }
+
+    fn run(mut self) -> RaceReport {
+        self.slot_edges_and_accesses();
+        self.attempt_edges_and_accesses();
+        let of_record = self.of_record_map();
+        self.map_entry_accesses(&of_record);
+        self.reduce_entry_accesses(&of_record);
+        self.check_races_on_accesses()
+    }
+
+    /// Group entries by `(node, phase, slot)`: consecutive attempts on a
+    /// slot are serialized, and every attempt is a write to the slot.
+    fn slot_edges_and_accesses(&mut self) {
+        let mut by_slot: BTreeMap<(usize, TaskKind, usize), Vec<usize>> = BTreeMap::new();
+        for (ei, e) in self.trace.entries.iter().enumerate() {
+            by_slot
+                .entry((e.node, e.kind, e.slot))
+                .or_default()
+                .push(ei);
+        }
+        for ((node, kind, slot), mut eis) in by_slot {
+            eis.sort_by_key(|&ei| {
+                let e = &self.trace.entries[ei];
+                (e.start, e.end, ei)
+            });
+            for w in eis.windows(2) {
+                let srcs = self.entry_lasts(w[0]);
+                let dsts = self.entry_firsts(w[1]);
+                self.edge_all(&srcs, &dsts);
+            }
+            for ei in eis {
+                let (first, last) = self.entry_envelope(ei);
+                self.accesses.push(Access {
+                    resource: format!("slot:n{node}/{}/{slot}", kind.label()),
+                    res_kind: "slot",
+                    write: true,
+                    first,
+                    last,
+                    who: self.who(ei),
+                });
+            }
+        }
+    }
+
+    /// Non-backup attempts of one task are serialized retries; each is a
+    /// write to the task's attempt slot. Backups race their primary by
+    /// design (first completion wins) and are exempt.
+    fn attempt_edges_and_accesses(&mut self) {
+        let mut by_task: BTreeMap<(TaskKind, usize), Vec<usize>> = BTreeMap::new();
+        for (ei, e) in self.trace.entries.iter().enumerate() {
+            if !e.backup {
+                by_task.entry((e.kind, e.task)).or_default().push(ei);
+            }
+        }
+        for ((kind, task), mut eis) in by_task {
+            eis.sort_by_key(|&ei| self.trace.entries[ei].attempt);
+            for w in eis.windows(2) {
+                let srcs = self.entry_lasts(w[0]);
+                let dsts = self.entry_firsts(w[1]);
+                self.edge_all(&srcs, &dsts);
+            }
+            for ei in eis {
+                let (first, last) = self.entry_envelope(ei);
+                self.accesses.push(Access {
+                    resource: format!("task:{}/{task}", kind.label()),
+                    res_kind: "task",
+                    write: true,
+                    first,
+                    last,
+                    who: self.who(ei),
+                });
+            }
+        }
+    }
+
+    /// The attempt of record (the one `Lanes` entry) per task; duplicates
+    /// and missing attempts of record are structural findings.
+    fn of_record_map(&mut self) -> BTreeMap<(TaskKind, usize), usize> {
+        let mut of_record: BTreeMap<(TaskKind, usize), usize> = BTreeMap::new();
+        let mut seen: BTreeMap<(TaskKind, usize), bool> = BTreeMap::new();
+        for (ei, e) in self.trace.entries.iter().enumerate() {
+            seen.entry((e.kind, e.task)).or_insert(false);
+            if matches!(e.detail, EntryDetail::Lanes(_)) {
+                if let Some(&prev) = of_record.get(&(e.kind, e.task)) {
+                    self.diagnostics.push(RaceDiagnostic {
+                        kind: RaceKind::Structure,
+                        resource: format!("task:{}/{}", e.kind.label(), e.task),
+                        message: format!(
+                            "two attempts of record: {} and {}",
+                            self.who(prev),
+                            self.who(ei)
+                        ),
+                    });
+                } else {
+                    of_record.insert((e.kind, e.task), ei);
+                }
+                seen.insert((e.kind, e.task), true);
+            }
+        }
+        for ((kind, task), has) in seen {
+            if !has {
+                self.diagnostics.push(RaceDiagnostic {
+                    kind: RaceKind::Structure,
+                    resource: format!("task:{}/{task}", kind.label()),
+                    message: "no attempt of record (every attempt is flat)".into(),
+                });
+            }
+        }
+        of_record
+    }
+
+    /// Map attempts of record: spill-file accesses + hand-off structure on
+    /// the support lane, merge reads, and the map-output write envelope.
+    fn map_entry_accesses(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>) {
+        for (&(kind, task), &ei) in of_record {
+            if kind != TaskKind::Map {
+                continue;
+            }
+            let who = self.who(ei);
+            let map_lane = self.lane_of(ei, LaneRole::Map);
+            let support_lane = self.lane_of(ei, LaneRole::Support);
+            // The map lane's merge span reads every spill file.
+            let merge = map_lane.and_then(|li| {
+                let t = *self.tix.get(&(ei, li))?;
+                let idx = self
+                    .lane_spans(ei, li)
+                    .iter()
+                    .position(|s| s.kind == SpanKind::Op(Op::Merge))?;
+                Some((t, idx))
+            });
+            if let (Some(sli), Some(st)) = (
+                support_lane,
+                support_lane.and_then(|li| self.tix.get(&(ei, li)).copied()),
+            ) {
+                let spans = self.lane_spans(ei, sli);
+                let mut spill = 0usize;
+                for (i, s) in spans.iter().enumerate() {
+                    // Hand-off structure: a support burst must begin right
+                    // after a spill-wait (the producer's hand-off is the
+                    // only synchronization the support thread has).
+                    let is_op = matches!(s.kind, SpanKind::Op(_));
+                    let starts_burst =
+                        is_op && (i == 0 || !matches!(spans[i - 1].kind, SpanKind::Op(_)));
+                    if starts_burst
+                        && !matches!(
+                            i.checked_sub(1).map(|p| spans[p].kind),
+                            Some(SpanKind::Idle(IdleKind::SpillWait))
+                        )
+                    {
+                        self.diagnostics.push(RaceDiagnostic {
+                            kind: RaceKind::Structure,
+                            resource: format!("handoff:{task}"),
+                            message: format!(
+                                "{who}: support burst at {} starts without a \
+                                 preceding spill-wait (no hand-off from the producer)",
+                                s.start
+                            ),
+                        });
+                    }
+                    if s.kind == SpanKind::Op(Op::SpillWrite) {
+                        let resource = format!("spill:{task}/{spill}");
+                        spill += 1;
+                        self.accesses.push(Access {
+                            resource: resource.clone(),
+                            res_kind: "spill",
+                            write: true,
+                            first: (st, i),
+                            last: (st, i),
+                            who: format!("{who} support"),
+                        });
+                        if let Some(m) = merge {
+                            self.edge((st, i), m);
+                            self.accesses.push(Access {
+                                resource,
+                                res_kind: "spill",
+                                write: false,
+                                first: m,
+                                last: m,
+                                who: format!("{who} merge"),
+                            });
+                        }
+                    }
+                }
+            }
+            // The map output is written during the merge (fallback: the map
+            // lane's whole tail) and published at the map lane's last event.
+            if let Some(li) = map_lane {
+                if let Some(&t) = self.tix.get(&(ei, li)) {
+                    let last = self.threads[t].events.len() - 1;
+                    let first = merge.map_or((t, last), |m| m);
+                    self.accesses.push(Access {
+                        resource: format!("mapout:{task}"),
+                        res_kind: "mapout",
+                        write: true,
+                        first,
+                        last: (t, last),
+                        who: who.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Reduce attempts of record: flow-group reads of map outputs, run
+    /// writes, the shuffle barrier into the reduce lane, and the output
+    /// partition write.
+    fn reduce_entry_accesses(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>) {
+        for (&(kind, partition), &ei) in of_record {
+            if kind != TaskKind::Reduce {
+                continue;
+            }
+            let who = self.who(ei);
+            let trace = self.trace;
+            let e = &trace.entries[ei];
+            // First post-shuffle op span on the reduce lane: the merge that
+            // consumes every fetched run.
+            let reduce_first_op = self.lane_of(ei, LaneRole::Reduce).and_then(|li| {
+                let t = *self.tix.get(&(ei, li))?;
+                let idx = self
+                    .lane_spans(ei, li)
+                    .iter()
+                    .position(|s| matches!(s.kind, SpanKind::Op(_)))?;
+                Some((t, idx))
+            });
+            let lanes_n = match &e.detail {
+                EntryDetail::Lanes(lanes) => lanes.len(),
+                EntryDetail::Flat(_) => 0,
+            };
+            for li in 0..lanes_n {
+                let Some(&t) = self.tix.get(&(ei, li)) else {
+                    continue;
+                };
+                let role = match &e.detail {
+                    EntryDetail::Lanes(lanes) => lanes[li].role,
+                    EntryDetail::Flat(_) => continue,
+                };
+                if !matches!(role, LaneRole::Fetcher(_)) {
+                    continue;
+                }
+                let spans = self.lane_spans(ei, li);
+                // Flow groups: spans tagged with a source map task.
+                let mut groups: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+                for (i, s) in spans.iter().enumerate() {
+                    if let Some(src) = s.flow {
+                        let g = groups.entry(src).or_insert((i, i));
+                        g.0 = g.0.min(i);
+                        g.1 = g.1.max(i);
+                    }
+                    if s.kind == SpanKind::Idle(IdleKind::NetTransfer) {
+                        self.accesses.push(Access {
+                            resource: format!("nic:n{}", e.node),
+                            res_kind: "nic-shared",
+                            write: false,
+                            first: (t, i),
+                            last: (t, i),
+                            who: who.clone(),
+                        });
+                    }
+                }
+                for (src, (gf, gl)) in groups {
+                    let flow_who = format!("{who} fetch of map {src}");
+                    // The flow reads the published map output...
+                    match of_record.get(&(TaskKind::Map, src as usize)) {
+                        Some(&mei) => {
+                            if let Some(mli) = self.lane_of(mei, LaneRole::Map) {
+                                if let Some(&mt) = self.tix.get(&(mei, mli)) {
+                                    let mlast = self.threads[mt].events.len() - 1;
+                                    self.edge((mt, mlast), (t, gf));
+                                }
+                            }
+                            self.accesses.push(Access {
+                                resource: format!("mapout:{src}"),
+                                res_kind: "mapout",
+                                write: false,
+                                first: (t, gf),
+                                last: (t, gl),
+                                who: flow_who.clone(),
+                            });
+                        }
+                        None => self.diagnostics.push(RaceDiagnostic {
+                            kind: RaceKind::Structure,
+                            resource: format!("mapout:{src}"),
+                            message: format!("{flow_who}: no producing map task in the trace"),
+                        }),
+                    }
+                    // ...and writes the fetched run the merge will read.
+                    self.accesses.push(Access {
+                        resource: format!("runs:{partition}/{src}"),
+                        res_kind: "runs",
+                        write: true,
+                        first: (t, gf),
+                        last: (t, gl),
+                        who: flow_who,
+                    });
+                    // Shuffle barrier: the merge starts only after this
+                    // flow's run has fully arrived — the group's *last*
+                    // event (transfer or decompress completion), not the
+                    // fetch op that merely issued the request.
+                    if let Some(rf) = reduce_first_op {
+                        self.edge((t, gl), rf);
+                        self.accesses.push(Access {
+                            resource: format!("runs:{partition}/{src}"),
+                            res_kind: "runs",
+                            write: false,
+                            first: rf,
+                            last: rf,
+                            who: format!("{who} merge"),
+                        });
+                    }
+                }
+            }
+            // The reduce output partition is written once, by the attempt
+            // of record's output-write span.
+            if let Some(li) = self.lane_of(ei, LaneRole::Reduce) {
+                if let Some(&t) = self.tix.get(&(ei, li)) {
+                    if let Some(ow) = self
+                        .lane_spans(ei, li)
+                        .iter()
+                        .position(|s| s.kind == SpanKind::Op(Op::OutputWrite))
+                    {
+                        self.accesses.push(Access {
+                            resource: format!("out:{partition}"),
+                            res_kind: "out",
+                            write: true,
+                            first: (t, ow),
+                            last: (t, ow),
+                            who,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compute vector clocks over the edge set and report every
+    /// conflicting access pair with no happens-before path.
+    fn check_races_on_accesses(mut self) -> RaceReport {
+        let n = self.threads.len();
+        let events: usize = self.threads.iter().map(|t| t.events.len()).sum();
+
+        // Process events in virtual-time order; every edge source is
+        // processed before its destination because edges are
+        // timing-consistent and spans are non-empty (a zero-length source
+        // tied with its destination sorts first on the end key).
+        let mut seq: Vec<(VNanos, VNanos, usize, usize)> = Vec::with_capacity(events);
+        for (t, th) in self.threads.iter().enumerate() {
+            for (i, &(s, e)) in th.events.iter().enumerate() {
+                seq.push((s, e, t, i));
+            }
+        }
+        seq.sort_unstable();
+
+        let mut incoming: BTreeMap<EvRef, Vec<EvRef>> = BTreeMap::new();
+        let mut is_src: std::collections::BTreeSet<EvRef> = std::collections::BTreeSet::new();
+        for &(src, dst) in &self.edges {
+            incoming.entry(dst).or_default().push(src);
+            is_src.insert(src);
+        }
+
+        // cur[t] = the clock thread t carries right now; joins[t] = the
+        // history of (event index, clock) at each point new knowledge
+        // arrived, for happens-before queries.
+        let mut cur: Vec<Vec<u32>> = vec![vec![0; n]; n];
+        let mut joins: Vec<Vec<(usize, Vec<u32>)>> = vec![Vec::new(); n];
+        let mut snap: BTreeMap<EvRef, Vec<u32>> = BTreeMap::new();
+        for &(_, _, t, i) in &seq {
+            let mut changed = false;
+            if let Some(srcs) = incoming.get(&(t, i)) {
+                for src in srcs {
+                    if let Some(sc) = snap.get(src) {
+                        for (a, b) in cur[t].iter_mut().zip(sc) {
+                            if *b > *a {
+                                *a = *b;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if changed {
+                joins[t].push((i, cur[t].clone()));
+            }
+            cur[t][t] = (i + 1) as u32;
+            if is_src.contains(&(t, i)) {
+                snap.insert((t, i), cur[t].clone());
+            }
+        }
+
+        // hb(a, b): does event a happen before (or program-order precede)
+        // event b?
+        let hb = |a: EvRef, b: EvRef| -> bool {
+            if a.0 == b.0 {
+                return a.1 <= b.1;
+            }
+            let js = &joins[b.0];
+            let at = js.partition_point(|(i, _)| *i <= b.1);
+            at > 0 && js[at - 1].1[a.0] as usize > a.1
+        };
+
+        let mut access_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for a in &self.accesses {
+            *access_counts.entry(a.res_kind).or_default() += 1;
+        }
+
+        let mut by_resource: BTreeMap<&str, Vec<&Access>> = BTreeMap::new();
+        for a in &self.accesses {
+            if a.res_kind == "nic-shared" {
+                continue; // tallied, but shared by design
+            }
+            by_resource.entry(a.resource.as_str()).or_default().push(a);
+        }
+        let mut races = Vec::new();
+        for (resource, accs) in by_resource {
+            for (i, a) in accs.iter().enumerate() {
+                for b in &accs[i + 1..] {
+                    if !(a.write || b.write) {
+                        continue;
+                    }
+                    if hb(a.last, b.first) || hb(b.last, a.first) {
+                        continue;
+                    }
+                    let (a_start, _) = self.ev_time(a.first);
+                    let (_, a_end) = self.ev_time(a.last);
+                    let (b_start, _) = self.ev_time(b.first);
+                    let (_, b_end) = self.ev_time(b.last);
+                    races.push(RaceDiagnostic {
+                        kind: RaceKind::Race,
+                        resource: resource.to_string(),
+                        message: format!(
+                            "{} [{a_start}..{a_end}] and {} [{b_start}..{b_end}] \
+                             are unordered",
+                            a.who, b.who
+                        ),
+                    });
+                }
+            }
+        }
+        races.append(&mut self.diagnostics);
+        RaceReport {
+            threads: n,
+            events,
+            edges: self.edges.len(),
+            accesses: access_counts,
+            diagnostics: races,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{
+        build_reduce_trace, AttemptKind, FlowTrace, JobTrace, MapTraceRecorder, TaskLane,
+        TraceEntry,
+    };
+    use super::*;
+
+    /// A small but complete one-map, one-reduce job trace whose cross-lane
+    /// edges all exist and are timing-consistent.
+    fn micro_trace() -> JobTrace {
+        let mut rec = MapTraceRecorder::new();
+        rec.on_record(0, 5, 10, 3, 2);
+        rec.on_record(4, 5, 10, 3, 2);
+        rec.on_spill(24, 6, 1, 3);
+        rec.on_barrier(0);
+        let map = rec.finish(54, 7, 1); // map ends at 62
+        let flows = vec![FlowTrace {
+            map_task: 0,
+            src_node: 1,
+            remote: true,
+            io_ns: 10,
+            backoff_ns: 0,
+            slot: 0,
+            start: 0,
+            pre_end: 10,
+            latency_end: 20,
+            transfer_end: 50,
+            finish: 55,
+        }];
+        let reduce = build_reduce_trace(&flows, 0, 55, 4, 1, 6, 2); // ends at 68
+        JobTrace {
+            nodes: 2,
+            map_slots: 1,
+            reduce_slots: 1,
+            fetchers: 1,
+            wall: 200,
+            entries: vec![
+                TraceEntry {
+                    kind: TaskKind::Map,
+                    task: 0,
+                    attempt: 0,
+                    backup: false,
+                    node: 0,
+                    slot: 0,
+                    factor: 1,
+                    start: 0,
+                    end: 62,
+                    detail: EntryDetail::Lanes(map.into_absolute(0, 1)),
+                },
+                TraceEntry {
+                    kind: TaskKind::Reduce,
+                    task: 0,
+                    attempt: 0,
+                    backup: false,
+                    node: 1,
+                    slot: 0,
+                    factor: 1,
+                    start: 100,
+                    end: 168,
+                    detail: EntryDetail::Lanes(reduce.into_absolute(100, 1)),
+                },
+            ],
+        }
+    }
+
+    fn lanes_mut(e: &mut TraceEntry) -> &mut Vec<TaskLane> {
+        match &mut e.detail {
+            EntryDetail::Lanes(l) => l,
+            EntryDetail::Flat(_) => panic!("flat entry"),
+        }
+    }
+
+    #[test]
+    fn clean_micro_trace_has_no_findings() {
+        let trace = micro_trace();
+        trace.check().unwrap();
+        let report = check_races(&trace);
+        assert!(
+            report.is_clean(),
+            "unexpected findings:\n{}",
+            report.render()
+        );
+        assert!(report.edges > 0);
+        assert!(report.accesses["mapout"] >= 2); // one write + one read
+        assert!(report.accesses["spill"] >= 2);
+        assert!(report.accesses["runs"] >= 2);
+    }
+
+    #[test]
+    fn fetch_before_map_output_is_a_race() {
+        let mut trace = micro_trace();
+        // Shift the whole reduce attempt to start before the map sealed
+        // its output: tiling still holds, but the fetch now overlaps the
+        // producing map attempt.
+        let e = &mut trace.entries[1];
+        let shift = 90u64;
+        e.start -= shift;
+        e.end -= shift;
+        for lane in lanes_mut(e) {
+            for s in &mut lane.spans {
+                s.start -= shift;
+                s.end -= shift;
+            }
+        }
+        trace.check().unwrap(); // per-lane checks cannot see it
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource == "mapout:0"),
+            "expected a mapout race:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn overlapping_slot_attempts_are_a_race() {
+        let mut trace = micro_trace();
+        // A duplicate map attempt occupying the same slot at the same time.
+        let mut dup = trace.entries[0].clone();
+        dup.attempt = 1;
+        trace.entries.push(dup);
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource.starts_with("slot:")),
+            "expected a slot race:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn merge_before_spill_write_is_a_race() {
+        let mut trace = micro_trace();
+        // Pull the map lane's merge (and everything after the barrier)
+        // before the support lane's spill write by rebuilding the map lane
+        // shifted left; keep entry boundaries by padding at the end.
+        let e = &mut trace.entries[0];
+        let lanes = lanes_mut(e);
+        let map_lane = lanes
+            .iter_mut()
+            .find(|l| matches!(l.role, LaneRole::Map))
+            .unwrap();
+        // The merge span currently sits at [54, 61]; the spill write ends
+        // at 34. Move the merge to [20, 27]: now it reads a spill that has
+        // not been written.
+        for s in &mut map_lane.spans {
+            if s.kind == SpanKind::Op(Op::Merge) {
+                s.start = 20;
+                s.end = 27;
+            }
+        }
+        map_lane.spans.sort_by_key(|s| (s.start, s.end));
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource.starts_with("spill:")),
+            "expected a spill race:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn support_burst_without_handoff_is_structural() {
+        let mut trace = micro_trace();
+        let e = &mut trace.entries[0];
+        let lanes = lanes_mut(e);
+        let support = lanes
+            .iter_mut()
+            .find(|l| matches!(l.role, LaneRole::Support))
+            .unwrap();
+        // Swap the hand-off order: rotate the burst in front of its
+        // spill-wait while keeping the lane tiled.
+        let burst: Vec<_> = support
+            .spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Op(_)))
+            .cloned()
+            .collect();
+        assert!(!burst.is_empty());
+        let mut rebuilt = Vec::new();
+        let mut cursor = 0;
+        for b in &burst {
+            let d = b.end - b.start;
+            let mut s = *b;
+            s.start = cursor;
+            s.end = cursor + d;
+            rebuilt.push(s);
+            cursor += d;
+        }
+        for s in &support.spans {
+            if !matches!(s.kind, SpanKind::Op(_)) {
+                let d = s.end - s.start;
+                let mut moved = *s;
+                moved.start = cursor;
+                moved.end = cursor + d;
+                rebuilt.push(moved);
+                cursor += d;
+            }
+        }
+        assert_eq!(cursor, 62);
+        support.spans = rebuilt;
+        trace.check().unwrap();
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Structure && d.resource.starts_with("handoff:")),
+            "expected a hand-off finding:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn dropped_shuffle_barrier_is_a_race() {
+        let mut trace = micro_trace();
+        // Move the reduce lane's post-shuffle ops before the flow finishes
+        // (merge starts at 10 while the fetch is still in flight), padding
+        // the tail so the lane still tiles.
+        let e = &mut trace.entries[1];
+        let (e_start, e_end) = (e.start, e.end);
+        let lanes = lanes_mut(e);
+        let rl = lanes
+            .iter_mut()
+            .find(|l| matches!(l.role, LaneRole::Reduce))
+            .unwrap();
+        let ops: Vec<_> = rl
+            .spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Op(_)))
+            .cloned()
+            .collect();
+        let mut rebuilt = Vec::new();
+        let mut cursor = e_start;
+        for o in &ops {
+            let d = o.end - o.start;
+            let mut s = *o;
+            s.start = cursor;
+            s.end = cursor + d;
+            rebuilt.push(s);
+            cursor += d;
+        }
+        rebuilt.push(Span {
+            start: cursor,
+            end: e_end,
+            kind: SpanKind::Idle(IdleKind::Done),
+            flow: None,
+        });
+        rl.spans = rebuilt;
+        trace.check().unwrap();
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource.starts_with("runs:")),
+            "expected a runs race:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn failed_then_retried_attempts_are_ordered() {
+        let mut trace = micro_trace();
+        // A failed first attempt on the same slot before the retry.
+        let retried = trace.entries[0].clone();
+        trace.entries[0] = TraceEntry {
+            attempt: 0,
+            detail: EntryDetail::Flat(AttemptKind::Failed),
+            start: 0,
+            end: 0,
+            ..retried.clone()
+        };
+        let mut retry = retried;
+        retry.attempt = 1;
+        trace.entries.insert(1, retry);
+        let report = check_races(&trace);
+        assert!(
+            report.is_clean(),
+            "unexpected findings:\n{}",
+            report.render()
+        );
+    }
+}

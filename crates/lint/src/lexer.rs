@@ -1,0 +1,403 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The lint rules only need identifier/operator adjacency per source line,
+//! so this lexer is deliberately small: it classifies tokens as identifiers,
+//! punctuation, literals, or comments, and records the 1-based line each
+//! token starts on. What it must get exactly right — and does — is *masking*:
+//! comments (including nested block comments), string literals (including
+//! raw strings with arbitrary `#` guards and byte strings), and char
+//! literals must never leak their contents into the token stream, or a
+//! mention of `HashMap` in a doc comment would trip a lint.
+//!
+//! Unterminated constructs run to end of input rather than erroring; the
+//! rules operate best-effort per line and the workspace compiles under
+//! `cargo check` anyway, so malformed input only occurs in fixtures.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `HashMap`, `fn`, ...). Lifetimes and
+    /// raw identifiers (`'a`, `r#match`) also land here; their text keeps
+    /// the sigil so they can never collide with a plain identifier.
+    Ident,
+    /// Punctuation. Compound assignment operators (`+=`, `-=`, `*=`, ...)
+    /// are a single token; everything else is one character.
+    Punct,
+    /// String, char, byte, or number literal. Contents are opaque to the
+    /// rules.
+    Literal,
+    /// Line or block comment, text inclusive of the comment markers.
+    Comment,
+}
+
+/// One token: its verbatim source text and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Verbatim source text.
+    pub text: &'a str,
+    /// Token class.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Byte length of the UTF-8 character beginning with `b0`.
+fn utf8_len(b0: u8) -> usize {
+    if b0 < 0x80 {
+        1
+    } else if b0 < 0xE0 {
+        2
+    } else if b0 < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Skip a `"..."` string starting at the opening quote. Returns the index
+/// one past the closing quote and the updated line counter.
+fn skip_plain_string(b: &[u8], start: usize, mut line: u32) -> (usize, u32) {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, line),
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), line)
+}
+
+/// Skip a char literal starting at the opening `'`. Only called once the
+/// caller has decided this is a char literal, not a lifetime.
+fn skip_char_literal(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    if i < b.len() && b[i] == b'\\' {
+        i += 2; // escape lead ('\n', '\u{...}', '\'')
+        while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+        i += 1;
+    }
+    (i + 1).min(b.len())
+}
+
+/// Try to lex a string literal with an `r`/`b`/`br` prefix at `i`.
+/// Returns `(end, line)` on success, or `None` when the prefix turns out to
+/// begin an ordinary identifier (`raw`, `r#match`, `broadcast`, ...).
+fn try_prefixed_string(src: &str, i: usize, line: u32) -> Option<(usize, u32)> {
+    let b = src.as_bytes();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'r' {
+            raw = true;
+            j += 1;
+        }
+    } else {
+        // b[j] == b'r'
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            // Raw string: scan for `"` followed by `hashes` hash marks.
+            j += 1;
+            let mut nl = line;
+            while j < b.len() {
+                if b[j] == b'\n' {
+                    nl += 1;
+                    j += 1;
+                    continue;
+                }
+                if b[j] == b'"' {
+                    let mut k = 0;
+                    while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return Some((j + 1 + hashes, nl));
+                    }
+                }
+                j += 1;
+            }
+            return Some((b.len(), nl));
+        }
+        return None; // raw identifier or plain ident starting with r/br
+    }
+    // `b"..."` byte string or `b'.'` byte char.
+    if j < b.len() && b[j] == b'"' {
+        return Some(skip_plain_string(b, j, line));
+    }
+    if j < b.len() && b[j] == b'\'' {
+        return Some((skip_char_literal(b, j), line));
+    }
+    None
+}
+
+/// Lex `src` into tokens, preserving comments.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: &src[start..i],
+                    kind: TokKind::Comment,
+                    line,
+                });
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    text: &src[start..i],
+                    kind: TokKind::Comment,
+                    line: start_line,
+                });
+                continue;
+            }
+        }
+        // r"...", r#"..."#, b"...", b'.', br#"..."# — or identifiers that
+        // merely start with those letters.
+        if c == b'r' || c == b'b' {
+            if let Some((end, nl)) = try_prefixed_string(src, i, line) {
+                out.push(Token {
+                    text: &src[i..end],
+                    kind: TokKind::Literal,
+                    line,
+                });
+                line = nl;
+                i = end;
+                continue;
+            }
+        }
+        if c == b'"' {
+            let (end, nl) = skip_plain_string(b, i, line);
+            out.push(Token {
+                text: &src[i..end],
+                kind: TokKind::Literal,
+                line,
+            });
+            line = nl;
+            i = end;
+            continue;
+        }
+        // `'a'` char literal vs `'a` lifetime/label.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied().unwrap_or(0);
+            let is_char = if next == b'\\' {
+                true
+            } else if is_ident_start(next) || next.is_ascii_digit() {
+                // One character then a closing quote → char literal;
+                // otherwise a lifetime (`'static`) or loop label (`'outer:`).
+                b.get(i + 1 + utf8_len(next)) == Some(&b'\'')
+            } else {
+                true // '+' ')' and friends can only be char contents
+            };
+            if is_char {
+                let end = skip_char_literal(b, i);
+                out.push(Token {
+                    text: &src[i..end],
+                    kind: TokKind::Literal,
+                    line,
+                });
+                i = end;
+            } else {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    text: &src[start..i],
+                    kind: TokKind::Ident,
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifiers and keywords (including raw identifiers `r#match`).
+        if is_ident_start(c) {
+            let start = i;
+            i += 1;
+            if c == b'r' && i + 1 < b.len() && b[i] == b'#' && is_ident_start(b[i + 1]) {
+                i += 2;
+            }
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                text: &src[start..i],
+                kind: TokKind::Ident,
+                line,
+            });
+            continue;
+        }
+        // Numbers, including suffixes (`1_000u128`), hex, floats, and
+        // exponents. `1..x` must not swallow the range dots.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                let decimal_dot =
+                    d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() && b[i - 1] != b'.';
+                let exponent_sign = (d == b'+' || d == b'-') && matches!(b[i - 1], b'e' | b'E');
+                if d.is_ascii_alphanumeric() || d == b'_' || decimal_dot || exponent_sign {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                text: &src[start..i],
+                kind: TokKind::Literal,
+                line,
+            });
+            continue;
+        }
+        // Punctuation; compound assignment stays one token.
+        let start = i;
+        if matches!(c, b'+' | b'-' | b'*' | b'/' | b'%' | b'^' | b'&' | b'|')
+            && b.get(i + 1) == Some(&b'=')
+        {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        out.push(Token {
+            text: &src[start..i],
+            kind: TokKind::Punct,
+            line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_mask_their_contents() {
+        let toks = kinds("let x = 1; // HashMap of Instant\nlet y;");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k == TokKind::Comment || !t.contains("HashMap")));
+        let toks = kinds("/* outer /* nested HashMap */ still */ fn f() {}");
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert_eq!(toks[1], (TokKind::Ident, "fn"));
+    }
+
+    #[test]
+    fn strings_mask_their_contents() {
+        for src in [
+            r#"let s = "HashMap::new()";"#,
+            r##"let s = r#"Instant "quoted" here"#;"##,
+            r#"let s = b"SystemTime";"#,
+            "let s = r\"multi\nline HashMap\";",
+        ] {
+            assert!(
+                lex(src)
+                    .iter()
+                    .all(|t| t.kind != TokKind::Ident || !t.text.contains("HashMap")),
+                "leak in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Ident, "'a")));
+        assert!(toks.contains(&(TokKind::Literal, "'x'")));
+        assert!(toks.contains(&(TokKind::Literal, "'\\n'")));
+    }
+
+    #[test]
+    fn compound_assignment_is_one_token() {
+        let toks = kinds("total_ns += x; y -= 1; z *= 2; w /= 3;");
+        assert!(toks.contains(&(TokKind::Punct, "+=")));
+        assert!(toks.contains(&(TokKind::Punct, "-=")));
+        assert!(toks.contains(&(TokKind::Punct, "*=")));
+        assert!(toks.contains(&(TokKind::Punct, "/=")));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("let a = 1_000u128; for i in 0..10 { let f = 1.5e-3; }");
+        assert!(toks.contains(&(TokKind::Literal, "1_000u128")));
+        assert!(toks.contains(&(TokKind::Literal, "0")));
+        assert!(toks.contains(&(TokKind::Literal, "10")));
+        assert!(toks.contains(&(TokKind::Literal, "1.5e-3")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "fn a() {}\n/* one\ntwo */\nfn b() {}";
+        let toks = lex(src);
+        let b_tok = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 4);
+    }
+}

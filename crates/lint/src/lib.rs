@@ -1,0 +1,67 @@
+//! `textmr-lint`: the determinism-audit layer for the textmr workspace.
+//!
+//! Every figure the harness reports rests on one invariant: the virtual-time
+//! schedule is deterministic, so outputs and timing-free signatures are
+//! bit-identical at any worker/fetcher count. The dynamic determinism tests
+//! prove that for the inputs they run; this crate enforces the *source-level
+//! hygiene* that makes it true in general, plus a dynamic happens-before
+//! check over exported schedules.
+//!
+//! Two halves:
+//!
+//! * **Source lints** ([`scanner`], [`rules`], [`workspace`]) — a hand-rolled
+//!   line/token-level Rust scanner (no `syn`/proc-macro dependencies; the
+//!   build is offline) that walks every workspace `.rs` file and enforces
+//!   the project invariants as named diagnostics. Legitimate exceptions are
+//!   annotated in-source with `// textmr-lint: allow(<rule>, reason = "...")`
+//!   pragmas; a pragma that suppresses nothing is itself a diagnostic.
+//! * **Trace race detector** ([`trace_audit`]) — re-imports an exported
+//!   Chrome-format trace with `JobTrace::from_chrome_json`, re-validates the
+//!   per-lane tiling invariants, and runs the vector-clock happens-before
+//!   checker in `textmr_engine::trace::race` to find cross-lane orderings
+//!   the tiling checks cannot see.
+//!
+//! The `textmr-lint` binary exposes both: `--workspace` scans the source
+//! tree, `--trace <json>...` audits exported traces. Exit status is `0`
+//! only when every check is clean, which is what the CI lint gate keys on.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+pub mod lexer;
+pub mod rules;
+pub mod scanner;
+pub mod trace_audit;
+pub mod workspace;
+
+/// One lint finding.
+///
+/// `rule` is either one of the five rule names in [`rules::Rule`] or a
+/// meta-rule raised by the pragma engine itself (`malformed-pragma`,
+/// `unknown-rule`, `missing-reason`, `unused-pragma`). Every diagnostic is
+/// an error: the CI gate fails on any.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// File the finding was raised in (workspace-relative when scanning a
+    /// workspace).
+    pub file: String,
+    /// 1-based line number the finding anchors to (line 1 for file-scoped
+    /// rules such as `missing-crate-lints`).
+    pub line: u32,
+    /// Name of the rule or meta-rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,120 @@
+//! CLI entry point for `textmr-lint`.
+//!
+//! Modes:
+//!
+//! * `textmr-lint --workspace [--root DIR]` — run the source lints over
+//!   every workspace `.rs` file (default root: the current directory).
+//! * `textmr-lint --trace FILE...` — audit exported Chrome-format traces
+//!   with the tiling checks and the happens-before race detector.
+//! * `textmr-lint --list-rules` — print the rule catalogue.
+//!
+//! Exit status: `0` all checks clean, `1` diagnostics reported, `2` usage
+//! or I/O error. CI keys on this.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use textmr_lint::rules::Rule;
+use textmr_lint::trace_audit::audit_trace_file;
+use textmr_lint::workspace::scan_workspace;
+
+const USAGE: &str = "\
+textmr-lint: determinism audit for the textmr workspace
+
+USAGE:
+    textmr-lint --workspace [--root DIR]   lint workspace sources
+    textmr-lint --trace FILE...            happens-before audit of exported traces
+    textmr-lint --list-rules               print the rule catalogue
+
+Exit status: 0 clean, 1 diagnostics found, 2 usage/I-O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::from(if args.is_empty() { 2 } else { 0 });
+    }
+
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root = PathBuf::from(".");
+    let mut traces: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--trace" => {
+                let mut got = false;
+                for f in it.by_ref() {
+                    traces.push(PathBuf::from(f));
+                    got = true;
+                }
+                if !got {
+                    eprintln!("error: --trace needs at least one file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace && !list_rules && traces.is_empty() {
+        eprintln!("error: nothing to do\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    if list_rules {
+        for r in Rule::ALL {
+            println!("{:<32} {}", r.name(), r.summary());
+        }
+    }
+
+    let mut findings = 0usize;
+
+    if workspace {
+        match scan_workspace(&root) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{d}");
+                }
+                findings += diags.len();
+                if diags.is_empty() {
+                    eprintln!("textmr-lint: workspace clean ({})", root.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: workspace scan failed under {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for path in &traces {
+        match audit_trace_file(path) {
+            Ok(summary) => eprintln!("textmr-lint: {summary}"),
+            Err(report) => {
+                println!("{report}");
+                findings += 1;
+            }
+        }
+    }
+
+    if findings > 0 {
+        eprintln!("textmr-lint: {findings} finding(s)");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

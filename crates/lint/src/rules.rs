@@ -1,0 +1,108 @@
+//! The rule catalogue.
+//!
+//! Five rules, all rooted in the same invariant: a virtual-time schedule is
+//! only deterministic if no nondeterministic input (host clock, hash-order
+//! iteration, silent truncation, silent wrap) can reach an output, a
+//! signature, or a scheduling decision. See DESIGN.md §3e for the rationale
+//! behind each rule and the list of annotated exceptions.
+
+/// The determinism-hygiene rules enforced by `textmr-lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `wall-clock-in-virtual-path`: bans `Instant`/`SystemTime` outside
+    /// the annotated measured-op sites. Virtual time must come from the
+    /// cost model, never the host.
+    WallClock,
+    /// `unordered-iteration`: flags `HashMap`/`HashSet` (and the FNV
+    /// aliases) in non-test code. Iteration order is randomized per
+    /// process, so anything it feeds — outputs, signatures, spill files —
+    /// must instead use `BTreeMap`/`BTreeSet` or sort explicitly; sites
+    /// that never iterate are annotated.
+    UnorderedIteration,
+    /// `lossy-virtual-time-cast`: flags `as u64`/`as i64` on lines doing
+    /// 128-bit virtual-time/NIC arithmetic. Narrowing must go through
+    /// `try_from` (or be annotated with the bound that makes it exact).
+    LossyVirtualTimeCast,
+    /// `unchecked-virtual-accumulator`: flags bare `+=`/`-=`/`*=` and bare
+    /// `*` on `*_ns` accumulators. Virtual-time tallies must saturate or
+    /// check, not wrap; 128-bit-widened lines are exempt (they cannot
+    /// overflow at the magnitudes the model produces).
+    UncheckedVirtualAccumulator,
+    /// `missing-crate-lints`: every crate root must carry
+    /// `#![forbid(unsafe_code)]`, and library roots additionally
+    /// `#![deny(missing_docs)]`.
+    MissingCrateLints,
+}
+
+impl Rule {
+    /// All rules, in catalogue order.
+    pub const ALL: [Rule; 5] = [
+        Rule::WallClock,
+        Rule::UnorderedIteration,
+        Rule::LossyVirtualTimeCast,
+        Rule::UncheckedVirtualAccumulator,
+        Rule::MissingCrateLints,
+    ];
+
+    /// The rule's diagnostic / pragma name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock-in-virtual-path",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::LossyVirtualTimeCast => "lossy-virtual-time-cast",
+            Rule::UncheckedVirtualAccumulator => "unchecked-virtual-accumulator",
+            Rule::MissingCrateLints => "missing-crate-lints",
+        }
+    }
+
+    /// Look a rule up by its pragma name.
+    pub fn by_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line summary for `--list-rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "Instant/SystemTime outside annotated measured-op sites; \
+                 virtual time must come from the cost model, not the host"
+            }
+            Rule::UnorderedIteration => {
+                "HashMap/HashSet (incl. FNV aliases) in non-test code; \
+                 iteration order is nondeterministic, use BTree* or sort"
+            }
+            Rule::LossyVirtualTimeCast => {
+                "`as u64`/`as i64` on 128-bit virtual-time arithmetic; \
+                 narrow via try_from or annotate the exactness bound"
+            }
+            Rule::UncheckedVirtualAccumulator => {
+                "bare +=/-=/*= or * on *_ns accumulators; \
+                 saturate or check instead of silently wrapping"
+            }
+            Rule::MissingCrateLints => {
+                "crate roots must carry #![forbid(unsafe_code)] and, for \
+                 libraries, #![deny(missing_docs)]"
+            }
+        }
+    }
+
+    /// True for rules that apply to the file as a whole rather than to a
+    /// particular line; an `allow` pragma anywhere in the file suppresses
+    /// them.
+    pub fn file_scoped(self) -> bool {
+        matches!(self, Rule::MissingCrateLints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::by_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::by_name("no-such-rule"), None);
+    }
+}

@@ -1,0 +1,616 @@
+//! Per-file scanning: `#[cfg(test)]` masking, pragma handling, and rule
+//! dispatch over the token stream produced by [`crate::lexer`].
+//!
+//! # Pragma grammar
+//!
+//! ```text
+//! // textmr-lint: allow(<rule-name>, reason = "<non-empty string>")
+//! ```
+//!
+//! A pragma suppresses findings of `<rule-name>` on its own line (trailing
+//! comment) and on the immediately following line (standalone comment line).
+//! File-scoped rules (`missing-crate-lints`) are suppressed by a pragma
+//! anywhere in the file. The pragma engine raises its own meta-diagnostics:
+//! `malformed-pragma` (marker present but not followed by the grammar),
+//! `unknown-rule` (rule name not in the catalogue), `missing-reason`
+//! (reason absent or empty — the pragma still suppresses, but CI fails
+//! until the reason is written), and `unused-pragma` (nothing to suppress;
+//! stale pragmas are noise that rots).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::Rule;
+use crate::Diagnostic;
+
+/// How a file participates in the lint pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// A crate's `lib.rs`: code rules plus the full `missing-crate-lints`
+    /// set (`forbid(unsafe_code)` + `deny(missing_docs)`).
+    LibRoot,
+    /// A binary root (`src/main.rs`, `src/bin/*.rs`): code rules plus
+    /// `forbid(unsafe_code)`.
+    BinRoot,
+    /// Ordinary library/module source: code rules only.
+    Code,
+    /// Tests, benches, examples, fixtures: exempt. Harness code may time
+    /// wall-clock and hash freely; it never feeds the virtual schedule.
+    TestCode,
+}
+
+/// The comment marker that introduces a suppression pragma.
+pub const PRAGMA_MARK: &str = "textmr-lint:";
+
+struct Pragma {
+    rule: Rule,
+    line: u32,
+    used: bool,
+}
+
+/// Scan one file's source text and return its diagnostics, sorted by line.
+pub fn scan_file(file: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
+    if class == FileClass::TestCode {
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+
+    let mut out = Vec::new();
+    let mut pragmas = collect_pragmas(file, &toks, &mask, &mut out);
+
+    // Code tokens grouped by line, with `#[cfg(test)]` regions dropped.
+    let mut by_line: BTreeMap<u32, Vec<Token<'_>>> = BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Comment || mask[i] {
+            continue;
+        }
+        by_line.entry(t.line).or_default().push(*t);
+    }
+
+    let mut findings = Vec::new();
+    for (line, line_toks) in &by_line {
+        for (rule, message) in line_findings(line_toks) {
+            findings.push((rule, *line, message));
+        }
+    }
+    if matches!(class, FileClass::LibRoot | FileClass::BinRoot) {
+        for message in crate_lint_findings(&toks, &mask, class) {
+            findings.push((Rule::MissingCrateLints, 1, message));
+        }
+    }
+
+    for (rule, line, message) in findings {
+        let hit = pragmas.iter_mut().find(|p| {
+            p.rule == rule && (rule.file_scoped() || p.line == line || p.line + 1 == line)
+        });
+        match hit {
+            Some(p) => p.used = true,
+            None => out.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule: rule.name(),
+                message,
+            }),
+        }
+    }
+    for p in &pragmas {
+        if !p.used {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: p.line,
+                rule: "unused-pragma",
+                message: format!(
+                    "`allow({})` suppresses nothing on line {} or {}",
+                    p.rule.name(),
+                    p.line,
+                    p.line + 1
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Mark every token that belongs to a `#[cfg(test)]`/`#[test]`/`#[bench]`
+/// gated item (the attribute itself, any stacked attributes, and the item
+/// body through its closing brace or terminating semicolon). Comments
+/// inside the region are masked too, so pragmas in test code are inert.
+fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let idx: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind != TokKind::Comment)
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = 0usize;
+    while p < idx.len() {
+        if toks[idx[p]].text != "#" || idx.get(p + 1).map(|&i| toks[i].text) != Some("[") {
+            p += 1;
+            continue;
+        }
+        let attr_start = p;
+        let (q, gated) = read_attr(toks, &idx, p);
+        if !gated {
+            p = q;
+            continue;
+        }
+        // Skip any further stacked attributes.
+        let mut r = q;
+        while r + 1 < idx.len() && toks[idx[r]].text == "#" && toks[idx[r + 1]].text == "[" {
+            let (nr, _) = read_attr(toks, &idx, r);
+            r = nr;
+        }
+        // The item: runs to a `;` or `,` outside any nesting, through the
+        // closing brace of its first top-level brace block, or up to (not
+        // including) a closer that belongs to an enclosing scope — the
+        // latter bounds gated struct fields / enum variants / last items
+        // in a block.
+        let mut brace = 0i32;
+        let mut paren = 0i32;
+        let mut end = r;
+        while end < idx.len() {
+            match toks[idx[end]].text {
+                "{" => brace += 1,
+                "}" => {
+                    if brace == 0 {
+                        break;
+                    }
+                    brace -= 1;
+                    if brace == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                "(" | "[" => paren += 1,
+                ")" | "]" => {
+                    if paren == 0 && brace == 0 {
+                        break;
+                    }
+                    paren -= 1;
+                }
+                ";" | "," if brace == 0 && paren <= 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let lo = idx[attr_start];
+        let hi = idx[(end.max(attr_start + 1) - 1).min(idx.len() - 1)];
+        for m in mask.iter_mut().take(hi + 1).skip(lo) {
+            *m = true;
+        }
+        p = end;
+    }
+    mask
+}
+
+/// Read the attribute starting at non-comment index `p` (which points at
+/// `#`). Returns `(index one past the closing bracket, is-test-gated)`.
+fn read_attr(toks: &[Token<'_>], idx: &[usize], p: usize) -> (usize, bool) {
+    let mut q = p + 2;
+    let mut depth = 1i32;
+    let mut first_ident: Option<&str> = None;
+    let mut has_test = false;
+    let mut has_not = false;
+    while q < idx.len() && depth > 0 {
+        let t = &toks[idx[q]];
+        match t.text {
+            "[" | "(" => depth += 1,
+            "]" | ")" => depth -= 1,
+            _ => {
+                if t.kind == TokKind::Ident {
+                    if first_ident.is_none() {
+                        first_ident = Some(t.text);
+                    }
+                    match t.text {
+                        "test" | "bench" => has_test = true,
+                        "not" => has_not = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        q += 1;
+    }
+    let gated = match first_ident {
+        // `#[cfg(test)]`, `#[cfg(all(test, ...))]` — but not
+        // `#[cfg(not(test))]`, which gates *non*-test builds.
+        Some("cfg") => has_test && !has_not,
+        Some("test") | Some("bench") => true,
+        _ => false,
+    };
+    (q, gated)
+}
+
+/// Extract well-formed pragmas from unmasked comments, raising
+/// `malformed-pragma` / `unknown-rule` / `missing-reason` along the way.
+fn collect_pragmas(
+    file: &str,
+    toks: &[Token<'_>],
+    mask: &[bool],
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment || mask[i] {
+            continue;
+        }
+        // The marker must *lead* the comment (after one comment sigil) to
+        // count as a pragma; prose that merely mentions the grammar — e.g.
+        // these docs — stays inert.
+        let lead = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !lead.starts_with(PRAGMA_MARK) {
+            continue;
+        }
+        let pos = t.text.find(PRAGMA_MARK).expect("marker leads the comment");
+        let meta = |rule: &'static str, message: String| Diagnostic {
+            file: file.to_string(),
+            line: t.line,
+            rule,
+            message,
+        };
+        let rest = t.text[pos + PRAGMA_MARK.len()..].trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            out.push(meta(
+                "malformed-pragma",
+                format!("expected `allow(<rule>, reason = \"...\")` after `{PRAGMA_MARK}`"),
+            ));
+            continue;
+        };
+        let name_len = body
+            .bytes()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == b'-')
+            .count();
+        let name = &body[..name_len];
+        if name.is_empty() {
+            out.push(meta(
+                "malformed-pragma",
+                "pragma names no rule; expected `allow(<rule>, ...)`".to_string(),
+            ));
+            continue;
+        }
+        let Some(rule) = Rule::by_name(name) else {
+            out.push(meta(
+                "unknown-rule",
+                format!("pragma names unknown rule `{name}`"),
+            ));
+            continue;
+        };
+        let reason_ok = body[name_len..]
+            .trim_start()
+            .strip_prefix(',')
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix("reason"))
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('='))
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('"'))
+            .is_some_and(|s| s.find('"').is_some_and(|close| close > 0));
+        if !reason_ok {
+            // The pragma still suppresses — one actionable diagnostic, not
+            // two — but CI stays red until the reason is written down.
+            out.push(meta(
+                "missing-reason",
+                format!("pragma for `{name}` must carry a non-empty `reason = \"...\"`"),
+            ));
+        }
+        pragmas.push(Pragma {
+            rule,
+            line: t.line,
+            used: false,
+        });
+    }
+    pragmas
+}
+
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const UNORDERED_TYPES: [&str; 4] = ["HashMap", "HashSet", "FnvHashMap", "FnvHashSet"];
+const WIDE_SIGNALS: [&str; 4] = ["u128", "i128", "as_nanos", "as_micros"];
+
+/// True when the line contains evidence of 128-bit arithmetic, either as an
+/// identifier (`as u128`, `.as_nanos()`) or a literal suffix (`1u128`).
+fn line_is_widened(line_toks: &[Token<'_>]) -> bool {
+    line_toks.iter().any(|t| match t.kind {
+        TokKind::Ident => WIDE_SIGNALS.contains(&t.text),
+        TokKind::Literal => t.text.ends_with("128"),
+        _ => false,
+    })
+}
+
+/// Run the per-line rules over one line's code tokens. At most one finding
+/// per rule per line.
+fn line_findings(line_toks: &[Token<'_>]) -> Vec<(Rule, String)> {
+    let mut out = Vec::new();
+
+    if let Some(t) = line_toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && WALL_CLOCK_TYPES.contains(&t.text))
+    {
+        out.push((
+            Rule::WallClock,
+            format!(
+                "wall-clock type `{}` in virtual-time code; derive time from \
+                 the cost model, or annotate why host time is safe here",
+                t.text
+            ),
+        ));
+    }
+
+    if let Some(t) = line_toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && UNORDERED_TYPES.contains(&t.text))
+    {
+        out.push((
+            Rule::UnorderedIteration,
+            format!(
+                "`{}` has nondeterministic iteration order; use BTreeMap/\
+                 BTreeSet, sort before use, or annotate why order never leaks",
+                t.text
+            ),
+        ));
+    }
+
+    let widened = line_is_widened(line_toks);
+
+    if widened {
+        let lossy = line_toks.windows(2).any(|w| {
+            w[0].kind == TokKind::Ident
+                && w[0].text == "as"
+                && w[1].kind == TokKind::Ident
+                && matches!(w[1].text, "u64" | "i64")
+        });
+        if lossy {
+            out.push((
+                Rule::LossyVirtualTimeCast,
+                "`as u64`/`as i64` on 128-bit virtual-time arithmetic \
+                 truncates silently; use try_from, or annotate the bound \
+                 that makes the narrowing exact"
+                    .to_string(),
+            ));
+        }
+    }
+
+    if !widened {
+        let is_ns =
+            |t: &Token<'_>| t.kind == TokKind::Ident && t.text.ends_with("_ns") && t.text.len() > 3;
+        let mut acc = None;
+        for i in 0..line_toks.len().saturating_sub(1) {
+            let (a, b) = (&line_toks[i], &line_toks[i + 1]);
+            if is_ns(a) && b.kind == TokKind::Punct && matches!(b.text, "+=" | "-=" | "*=" | "*") {
+                acc = Some(format!("`{} {}`", a.text, b.text));
+                break;
+            }
+            // `x * y_ns` is multiplication only when the `*` is binary;
+            // after `(`/`=`/`;`/`,`/`&`/start-of-line it is a deref.
+            if is_ns(b) && a.kind == TokKind::Punct && a.text == "*" {
+                let binary = i > 0
+                    && (matches!(line_toks[i - 1].text, ")" | "]")
+                        || (matches!(line_toks[i - 1].kind, TokKind::Ident | TokKind::Literal)
+                            && !matches!(
+                                line_toks[i - 1].text,
+                                "return"
+                                    | "in"
+                                    | "as"
+                                    | "break"
+                                    | "else"
+                                    | "match"
+                                    | "if"
+                                    | "while"
+                            )));
+                if binary {
+                    acc = Some(format!("`* {}`", b.text));
+                    break;
+                }
+            }
+        }
+        if let Some(what) = acc {
+            out.push((
+                Rule::UncheckedVirtualAccumulator,
+                format!(
+                    "{what} can wrap; use saturating_*/checked_* (or widen \
+                     to u128) on virtual-time accumulators"
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Check the crate-root inner-attribute set. Returns one message per
+/// missing attribute.
+fn crate_lint_findings(toks: &[Token<'_>], mask: &[bool], class: FileClass) -> Vec<String> {
+    let idx: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|&(i, t)| t.kind != TokKind::Comment && !mask[i])
+        .map(|(i, _)| i)
+        .collect();
+    let mut forbid_unsafe = false;
+    let mut deny_docs = false;
+    let mut p = 0usize;
+    while p + 3 < idx.len() {
+        if toks[idx[p]].text == "#" && toks[idx[p + 1]].text == "!" && toks[idx[p + 2]].text == "["
+        {
+            let which = toks[idx[p + 3]].text;
+            let mut q = p + 4;
+            let mut depth = 1i32;
+            let mut items: Vec<&str> = Vec::new();
+            while q < idx.len() && depth > 0 {
+                let t = &toks[idx[q]];
+                match t.text {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => depth -= 1,
+                    _ => {
+                        if t.kind == TokKind::Ident {
+                            items.push(t.text);
+                        }
+                    }
+                }
+                q += 1;
+            }
+            if which == "forbid" && items.contains(&"unsafe_code") {
+                forbid_unsafe = true;
+            }
+            if matches!(which, "deny" | "forbid") && items.contains(&"missing_docs") {
+                deny_docs = true;
+            }
+            p = q;
+            continue;
+        }
+        p += 1;
+    }
+    let mut out = Vec::new();
+    if !forbid_unsafe {
+        out.push("crate root is missing `#![forbid(unsafe_code)]`".to_string());
+    }
+    if class == FileClass::LibRoot && !deny_docs {
+        out.push("library root is missing `#![deny(missing_docs)]`".to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(src: &str, class: FileClass) -> Vec<&'static str> {
+        scan_file("t.rs", src, class)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert!(!rules_fired(src, FileClass::Code).is_empty());
+        assert!(rules_fired(src, FileClass::TestCode).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_masked() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let m: HashMap<u8, u8> = HashMap::new(); let _ = m; }
+}
+";
+        assert!(rules_fired(src, FileClass::Code).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_field_does_not_mask_the_rest_of_the_file() {
+        let src = "\
+struct S {
+    a: u8,
+    #[cfg(test)]
+    probe: u8,
+    b: u8,
+}
+use std::time::Instant;
+";
+        assert_eq!(
+            rules_fired(src, FileClass::Code),
+            ["wall-clock-in-virtual-path"]
+        );
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nuse std::time::Instant;\n";
+        assert_eq!(
+            rules_fired(src, FileClass::Code),
+            ["wall-clock-in-virtual-path"]
+        );
+    }
+
+    #[test]
+    fn trailing_and_preceding_pragmas_suppress() {
+        let trailing = "use std::time::Instant; // textmr-lint: allow(wall-clock-in-virtual-path, reason = \"measured-op site\")\n";
+        assert!(rules_fired(trailing, FileClass::Code).is_empty());
+        let preceding = "// textmr-lint: allow(unordered-iteration, reason = \"never iterated\")\nuse std::collections::HashMap;\n";
+        assert!(rules_fired(preceding, FileClass::Code).is_empty());
+    }
+
+    #[test]
+    fn pragma_meta_diagnostics() {
+        let unknown = "// textmr-lint: allow(no-such-rule, reason = \"x\")\n";
+        assert_eq!(rules_fired(unknown, FileClass::Code), ["unknown-rule"]);
+        let missing = "use std::time::Instant; // textmr-lint: allow(wall-clock-in-virtual-path)\n";
+        assert_eq!(rules_fired(missing, FileClass::Code), ["missing-reason"]);
+        let unused = "// textmr-lint: allow(wall-clock-in-virtual-path, reason = \"nothing here\")\nfn f() {}\n";
+        assert_eq!(rules_fired(unused, FileClass::Code), ["unused-pragma"]);
+        let malformed = "// textmr-lint: deny(everything)\n";
+        assert_eq!(
+            rules_fired(malformed, FileClass::Code),
+            ["malformed-pragma"]
+        );
+    }
+
+    #[test]
+    fn lossy_cast_requires_a_wide_signal() {
+        let lossy = "let ns = (x as u128 * 7 / 3) as u64;\n";
+        assert_eq!(
+            rules_fired(lossy, FileClass::Code),
+            ["lossy-virtual-time-cast"]
+        );
+        let fine = "let n = big as u64;\n";
+        assert!(rules_fired(fine, FileClass::Code).is_empty());
+    }
+
+    #[test]
+    fn accumulator_rule_sees_compound_assign_and_bare_mul() {
+        assert_eq!(
+            rules_fired("self.total_ns += delta;\n", FileClass::Code),
+            ["unchecked-virtual-accumulator"]
+        );
+        assert_eq!(
+            rules_fired("let t = base_ns * factor;\n", FileClass::Code),
+            ["unchecked-virtual-accumulator"]
+        );
+        // Widened arithmetic is exempt: u128 cannot overflow at model scale.
+        assert!(rules_fired("let t = base_ns as u128 * factor;\n", FileClass::Code).is_empty());
+        // Saturating forms are the blessed spelling.
+        assert!(rules_fired(
+            "self.total_ns = self.total_ns.saturating_add(delta);\n",
+            FileClass::Code
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn crate_root_attribute_checks() {
+        let bare = "//! Docs.\nfn f() {}\n";
+        assert_eq!(
+            rules_fired(bare, FileClass::LibRoot),
+            ["missing-crate-lints", "missing-crate-lints"]
+        );
+        assert_eq!(
+            rules_fired(bare, FileClass::BinRoot),
+            ["missing-crate-lints"]
+        );
+        let good = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\nfn f() {}\n";
+        assert!(rules_fired(good, FileClass::LibRoot).is_empty());
+        // `deny(unsafe_code)` is weaker than forbid and does not count.
+        let weak = "#![deny(unsafe_code)]\n#![deny(missing_docs)]\nfn f() {}\n";
+        assert_eq!(
+            rules_fired(weak, FileClass::LibRoot),
+            ["missing-crate-lints"]
+        );
+    }
+
+    #[test]
+    fn mentions_inside_comments_and_strings_do_not_fire() {
+        let src = "// HashMap and Instant discussed here\nlet s = \"SystemTime\";\n";
+        assert!(rules_fired(src, FileClass::Code).is_empty());
+    }
+}

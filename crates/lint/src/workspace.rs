@@ -1,0 +1,154 @@
+//! Workspace walking and file classification.
+//!
+//! The walker is deliberately convention-based rather than manifest-driven:
+//! it visits `crates/*/src` (rule-checked, with `lib.rs` / `main.rs` /
+//! `src/bin/*.rs` classified as crate roots), treats `crates/*/{tests,
+//! benches,examples}` and the workspace-level `tests/` as exempt harness
+//! code, and skips `target/`, `vendor/` (offline dependency shims are not
+//! ours to lint), and any directory named `fixtures` (seeded-violation
+//! inputs for the lint's own tests).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scanner::{scan_file, FileClass};
+use crate::Diagnostic;
+
+/// A source file discovered in the workspace.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, `/`-separated — used as the
+    /// diagnostic's file label.
+    pub rel: String,
+    /// How the file participates in the lint pass.
+    pub class: FileClass,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Recursively collect `.rs` files under `dir` (sorted for determinism),
+/// classifying each via `classify`.
+fn walk(
+    root: &Path,
+    dir: &Path,
+    classify: &dyn Fn(&Path) -> FileClass,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(root, &path, classify, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                class: classify(&path),
+                path,
+                rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Collect every lintable `.rs` file in the workspace rooted at `root`.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            let src = crate_dir.join("src");
+            if src.is_dir() {
+                let src_root = src.clone();
+                walk(
+                    root,
+                    &src,
+                    &move |p: &Path| classify_src(&src_root, p),
+                    &mut out,
+                )?;
+            }
+            for harness in ["tests", "benches", "examples"] {
+                let dir = crate_dir.join(harness);
+                if dir.is_dir() {
+                    walk(root, &dir, &|_| FileClass::TestCode, &mut out)?;
+                }
+            }
+        }
+    }
+    let root_tests = root.join("tests");
+    if root_tests.is_dir() {
+        walk(root, &root_tests, &|_| FileClass::TestCode, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Classify a file under a crate's `src/` directory.
+fn classify_src(src_root: &Path, path: &Path) -> FileClass {
+    let rel = path.strip_prefix(src_root).unwrap_or(path);
+    let name = rel.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+    let depth = rel.components().count();
+    if depth == 1 && name == "lib.rs" {
+        return FileClass::LibRoot;
+    }
+    if (depth == 1 && name == "main.rs") || (depth == 2 && rel.starts_with("bin")) {
+        return FileClass::BinRoot;
+    }
+    FileClass::Code
+}
+
+/// Scan the whole workspace: collect, read, and lint every file. I/O
+/// errors surface as `Err`; lint findings are the `Ok` payload.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in collect(root)? {
+        let src = fs::read_to_string(&file.path)?;
+        out.extend(scan_file(&file.rel, &src, file.class));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_convention() {
+        let src_root = Path::new("/w/crates/x/src");
+        let case = |p: &str| classify_src(src_root, Path::new(p));
+        assert_eq!(case("/w/crates/x/src/lib.rs"), FileClass::LibRoot);
+        assert_eq!(case("/w/crates/x/src/main.rs"), FileClass::BinRoot);
+        assert_eq!(case("/w/crates/x/src/bin/tool.rs"), FileClass::BinRoot);
+        assert_eq!(case("/w/crates/x/src/shuffle.rs"), FileClass::Code);
+        assert_eq!(case("/w/crates/x/src/trace/mod.rs"), FileClass::Code);
+        // A module merely *named* main.rs below the root is ordinary code.
+        assert_eq!(case("/w/crates/x/src/deep/main.rs"), FileClass::Code);
+    }
+}

@@ -1,0 +1,195 @@
+//! Fixture-driven tests for the lint scanner: every rule fires on a file
+//! seeded with its violation, well-formed pragmas silence cleanly, and the
+//! shipped workspace itself audits with zero diagnostics.
+
+use std::path::Path;
+
+use textmr_lint::scanner::{scan_file, FileClass};
+use textmr_lint::workspace;
+use textmr_lint::Diagnostic;
+
+fn scan_fixture(name: &str, class: FileClass) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    scan_file(name, &src, class)
+}
+
+fn lines_for<'d>(diags: &'d [Diagnostic], rule: &str) -> Vec<(u32, &'d str)> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.message.as_str()))
+        .collect()
+}
+
+#[test]
+fn wall_clock_fixture_flags_instant_and_system_time() {
+    let diags = scan_fixture("wall_clock.rs", FileClass::Code);
+    let hits = lines_for(&diags, "wall-clock-in-virtual-path");
+    let lines: Vec<u32> = hits.iter().map(|&(l, _)| l).collect();
+    // `use` line, Instant::now(), SystemTime return type, SystemTime::now().
+    assert!(lines.contains(&3), "use std::time::Instant: {diags:?}");
+    assert!(lines.contains(&6), "Instant::now(): {diags:?}");
+    assert!(lines.contains(&11), "SystemTime::now(): {diags:?}");
+    // The string literal and the #[cfg(test)] module must stay silent.
+    assert!(
+        !lines.iter().any(|&l| l >= 15),
+        "masked regions fired: {diags:?}"
+    );
+    assert_eq!(diags.len(), hits.len(), "only wall-clock findings expected");
+}
+
+#[test]
+fn unordered_iteration_fixture_flags_hash_containers() {
+    let diags = scan_fixture("unordered_iteration.rs", FileClass::Code);
+    let hits = lines_for(&diags, "unordered-iteration");
+    let lines: Vec<u32> = hits.iter().map(|&(l, _)| l).collect();
+    assert!(lines.contains(&4), "use HashMap: {diags:?}");
+    assert!(lines.contains(&7), "HashMap::new binding: {diags:?}");
+    assert!(lines.contains(&17), "HashSet collect: {diags:?}");
+    assert_eq!(diags.len(), hits.len(), "only unordered findings expected");
+}
+
+#[test]
+fn lossy_cast_fixture_flags_only_widened_lines() {
+    let diags = scan_fixture("lossy_cast.rs", FileClass::Code);
+    let hits = lines_for(&diags, "lossy-virtual-time-cast");
+    let lines: Vec<u32> = hits.iter().map(|&(l, _)| l).collect();
+    assert!(lines.contains(&8), "u128 product as u64: {diags:?}");
+    assert!(lines.contains(&12), "as_nanos() as u64: {diags:?}");
+    assert!(
+        !lines.contains(&17),
+        "u32 -> u64 widening is not lossy: {diags:?}"
+    );
+    assert_eq!(diags.len(), hits.len(), "only lossy-cast findings expected");
+}
+
+#[test]
+fn accumulator_fixture_flags_bare_arithmetic_only() {
+    let diags = scan_fixture("unchecked_accumulator.rs", FileClass::Code);
+    let hits = lines_for(&diags, "unchecked-virtual-accumulator");
+    let lines: Vec<u32> = hits.iter().map(|&(l, _)| l).collect();
+    assert!(lines.contains(&9), "+= on total_ns: {diags:?}");
+    assert!(lines.contains(&13), "bare * on base_ns: {diags:?}");
+    assert!(!lines.contains(&18), "saturating_add is blessed: {diags:?}");
+    assert!(
+        !lines.contains(&23),
+        "u128-widened line is exempt: {diags:?}"
+    );
+    assert_eq!(
+        diags.len(),
+        hits.len(),
+        "only accumulator findings expected"
+    );
+}
+
+#[test]
+fn missing_crate_lints_fixture_flags_lib_roots_only() {
+    let diags = scan_fixture("missing_crate_lints.rs", FileClass::LibRoot);
+    let hits = lines_for(&diags, "missing-crate-lints");
+    assert_eq!(
+        hits.len(),
+        2,
+        "forbid(unsafe_code) + deny(missing_docs): {diags:?}"
+    );
+    assert!(
+        hits.iter().any(|(_, m)| m.contains("unsafe_code")),
+        "{diags:?}"
+    );
+    assert!(
+        hits.iter().any(|(_, m)| m.contains("missing_docs")),
+        "{diags:?}"
+    );
+
+    // A bin root only needs forbid(unsafe_code).
+    let bin = scan_fixture("missing_crate_lints.rs", FileClass::BinRoot);
+    let bin_hits = lines_for(&bin, "missing-crate-lints");
+    assert_eq!(bin_hits.len(), 1, "{bin:?}");
+    assert!(bin_hits[0].1.contains("unsafe_code"), "{bin:?}");
+
+    // Plain module code is never held to crate-root lint requirements.
+    let code = scan_fixture("missing_crate_lints.rs", FileClass::Code);
+    assert!(
+        lines_for(&code, "missing-crate-lints").is_empty(),
+        "{code:?}"
+    );
+}
+
+#[test]
+fn well_formed_pragmas_silence_everything() {
+    let diags = scan_fixture("suppressed_clean.rs", FileClass::Code);
+    assert!(diags.is_empty(), "expected a clean scan, got: {diags:?}");
+}
+
+#[test]
+fn pragma_hygiene_fixture_reports_meta_diagnostics() {
+    let diags = scan_fixture("pragma_hygiene.rs", FileClass::Code);
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"unknown-rule"), "{diags:?}");
+    assert!(rules.contains(&"missing-reason"), "{diags:?}");
+    assert!(rules.contains(&"unused-pragma"), "{diags:?}");
+    assert!(rules.contains(&"malformed-pragma"), "{diags:?}");
+    // The reason-less pragma still suppresses its `use Instant` line...
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule == "wall-clock-in-virtual-path" && d.line == 8),
+        "{diags:?}"
+    );
+    // ...but the unannotated uses later in the file must still fire.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "wall-clock-in-virtual-path" && d.line >= 16),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn test_code_is_fully_exempt() {
+    for fixture in [
+        "wall_clock.rs",
+        "unordered_iteration.rs",
+        "lossy_cast.rs",
+        "unchecked_accumulator.rs",
+        "missing_crate_lints.rs",
+    ] {
+        let diags = scan_fixture(fixture, FileClass::TestCode);
+        assert!(diags.is_empty(), "{fixture}: {diags:?}");
+    }
+}
+
+/// The shipped tree must audit clean: every remaining wall-clock or hash
+/// site carries a reasoned pragma, every crate root forbids unsafe code.
+#[test]
+fn self_audit_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = workspace::scan_workspace(&root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean; found:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The walker must see every crate the workspace builds — guard against a
+/// future crate being silently skipped from the audit.
+#[test]
+fn workspace_walk_covers_all_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace::collect(&root).expect("walk workspace");
+    for krate in ["apps", "bench", "core", "data", "engine", "lint", "nlp"] {
+        let lib = format!("crates/{krate}/src/lib.rs");
+        assert!(
+            files.iter().any(|f| f.rel.replace('\\', "/") == lib),
+            "missing {lib} in walk"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: `lossy-virtual-time-cast` must flag `as u64` narrowing of
+//! 128-bit virtual-time arithmetic.
+
+const SCALE: u128 = 720_720;
+
+fn nic_share(bytes: u64, rate: u64) -> u64 {
+    // The classic NIC-model bug: widen, multiply, then silently truncate.
+    (bytes as u128 * SCALE / rate as u128) as u64
+}
+
+fn stopwatch_ns(d: std::time::Duration) -> u64 {
+    d.as_nanos() as u64
+}
+
+fn fine_narrowing(x: u32) -> u64 {
+    // No 128-bit signal on this line: must NOT fire.
+    x as u64
+}

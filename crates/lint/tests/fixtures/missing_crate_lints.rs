@@ -1,0 +1,8 @@
+//! Fixture: a library crate root with no `#![forbid(unsafe_code)]` and no
+//! `#![deny(missing_docs)]` — `missing-crate-lints` must flag both. A
+//! `deny(unsafe_code)` is weaker than the required forbid and must not
+//! count.
+
+#![deny(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,19 @@
+//! Fixture: the pragma engine's own diagnostics — unknown rule, missing
+//! reason, unused pragma, malformed pragma.
+
+// textmr-lint: allow(not-a-real-rule, reason = "should report unknown-rule")
+fn unknown() {}
+
+// textmr-lint: allow(wall-clock-in-virtual-path)
+use std::time::Instant;
+
+// textmr-lint: allow(unordered-iteration, reason = "nothing here to suppress")
+fn unused() {}
+
+// textmr-lint: warn(everything)
+fn malformed() {}
+
+fn uses_instant() -> Instant {
+    // No pragma here: wall-clock-in-virtual-path must still fire.
+    Instant::now()
+}

@@ -1,0 +1,19 @@
+//! Fixture: every violation carries a well-formed pragma — the scan must
+//! come back clean (and no pragma may be unused).
+
+// textmr-lint: allow(wall-clock-in-virtual-path, reason = "fixture: demonstrates a justified wall-clock site")
+use std::time::Instant;
+
+// textmr-lint: allow(unordered-iteration, reason = "fixture: lookup-only table")
+use std::collections::HashMap;
+
+// textmr-lint: allow(unordered-iteration, reason = "fixture: get() only, never iterated")
+fn lookup(table: &HashMap<u32, u32>, key: u32) -> Option<u32> {
+    table.get(&key).copied()
+}
+
+fn measured() -> u64 {
+    // textmr-lint: allow(wall-clock-in-virtual-path, reason = "fixture: measured-op site")
+    let t0 = Instant::now();
+    t0.elapsed().subsec_nanos() as u64
+}

@@ -1,0 +1,24 @@
+//! Fixture: `unchecked-virtual-accumulator` must flag bare wrapping
+//! arithmetic on `*_ns` accumulators.
+
+struct Stats {
+    total_ns: u64,
+}
+
+fn tally(stats: &mut Stats, delta_ns: u64) {
+    stats.total_ns += delta_ns;
+}
+
+fn scale(base_ns: u64, factor: u64) -> u64 {
+    base_ns * factor
+}
+
+fn blessed(stats: &mut Stats, delta_ns: u64) {
+    // Saturating forms must NOT fire.
+    stats.total_ns = stats.total_ns.saturating_add(delta_ns);
+}
+
+fn widened(base_ns: u64, factor: u64) -> u128 {
+    // 128-bit-widened arithmetic must NOT fire.
+    base_ns as u128 * factor as u128
+}

@@ -1,0 +1,19 @@
+//! Fixture: `unordered-iteration` must flag hash containers in non-test
+//! code.
+
+use std::collections::HashMap;
+
+fn hash_order_leaks(words: &[String]) -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for w in words {
+        *counts.entry(w.clone()).or_default() += 1;
+    }
+    // Iteration order leaks straight into the output — the bug the rule
+    // exists to catch.
+    counts.into_iter().collect()
+}
+
+fn set_too(xs: &[u32]) -> usize {
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}

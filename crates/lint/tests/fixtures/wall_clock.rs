@@ -1,0 +1,25 @@
+//! Fixture: `wall-clock-in-virtual-path` must flag host-time reads.
+
+use std::time::Instant;
+
+fn leak_host_time() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis() as u64
+}
+
+fn leak_system_time() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// Mentions in comments must NOT fire: Instant, SystemTime, HashMap.
+const DOC_ONLY: &str = "Instant::now() in a string must not fire either";
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this must NOT fire.
+    use std::time::Instant;
+
+    fn timed() -> std::time::Duration {
+        Instant::now().elapsed()
+    }
+}

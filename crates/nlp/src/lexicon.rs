@@ -6,6 +6,7 @@
 //! technique for unknown-word handling in HMM taggers.
 
 use crate::tags::{Tag, NUM_TAGS};
+// textmr-lint: allow(unordered-iteration, reason = "closed-class word list: per-token lookups only, never iterated")
 use std::collections::HashMap;
 
 /// Strongly negative log-probability standing in for "impossible".
@@ -158,6 +159,7 @@ const SUFFIX_CUES: &[(&str, Tag, f64)] = &[
 /// per-token and CPU-bound (the point of the WordPOSTag workload).
 #[derive(Debug)]
 pub struct Lexicon {
+    // textmr-lint: allow(unordered-iteration, reason = "word-to-tag lookups only; never iterated")
     closed: HashMap<&'static str, Tag>,
 }
 

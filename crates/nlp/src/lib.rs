@@ -19,7 +19,8 @@
 //! assert_eq!(tagged[0].0, "the");
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod hmm;
 pub mod lexicon;
