@@ -44,6 +44,7 @@ fn main() {
         }
     }
     let mut freqs: Vec<u64> = counts.values().copied().collect();
+    // textmr-lint: allow(sort-unstable-key-runs, reason = "plain u64 counts; equal elements are indistinguishable")
     freqs.sort_unstable_by(|a, b| b.cmp(a));
     let total: u64 = freqs.iter().sum();
 

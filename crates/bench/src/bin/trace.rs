@@ -77,6 +77,15 @@ fn main() {
         "file",
     ]);
 
+    // Multi-fetcher runs (dynamic event-loop shuffle with recorded
+    // happens-before edges) get their own file names, so the shipped
+    // 1-fetcher legacy figures are never clobbered.
+    let fsuffix = if cluster.shuffle_fetchers > 1 {
+        format!("_f{}", cluster.shuffle_fetchers)
+    } else {
+        String::new()
+    };
+
     // The paper's four configurations, traced.
     for config in Config::ALL {
         let job_cfg = optimized(
@@ -84,7 +93,7 @@ fn main() {
             config.optimization(&workload),
         )
         .with_trace();
-        let name = config.name().to_lowercase();
+        let name = format!("{}{fsuffix}", config.name().to_lowercase());
         eprintln!("tracing {name} …");
         let run = run_job(
             &cluster,
@@ -117,7 +126,7 @@ fn main() {
         &workload.inputs,
     )
     .expect("fault run failed");
-    export(&mut table, "faults", &faulty);
+    export(&mut table, &format!("faults{fsuffix}"), &faulty);
 
     table.print();
     println!("\nfault-run timeline (failed attempt x, straggler stretch, backups):\n");

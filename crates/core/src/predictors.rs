@@ -72,6 +72,7 @@ pub fn removed_fraction_ideal<'a>(
         *counts.entry(key).or_default() += 1;
     }
     let mut freqs: Vec<(&[u8], u64)> = counts.into_iter().collect();
+    // textmr-lint: allow(sort-unstable-key-runs, reason = "comparator breaks frequency ties by key bytes; total order")
     freqs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
     // textmr-lint: allow(unordered-iteration, reason = "membership tests only; never iterated")
     let top: std::collections::HashSet<&[u8]> = freqs.iter().take(k).map(|(key, _)| *key).collect();

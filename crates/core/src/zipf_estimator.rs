@@ -93,6 +93,7 @@ impl ZipfEstimator {
         pub const MIN_POINTS: usize = 5;
 
         let mut freqs: Vec<u64> = self.counts.values().copied().collect();
+        // textmr-lint: allow(sort-unstable-key-runs, reason = "plain u64 counts; equal elements are indistinguishable")
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         let distinct = freqs.len();
         if distinct < 2 {

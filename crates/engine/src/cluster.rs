@@ -25,18 +25,24 @@
 use crate::controller::{
     fixed_spill_factory, EmitFilterFactory, FilterCtx, SpillControllerFactory, TaskCtx,
 };
+use crate::event::{AttemptKey, ClusterShape, ReduceAttempt, Scheduler};
 use crate::fault::{FaultPlan, SpeculationConfig};
 use crate::io::dfs::SimDfs;
 use crate::io::input::InputSplit;
 use crate::job::Job;
-use crate::metrics::{JobProfile, SpeculationStats, TaskProfile, TaskSpan, VNanos};
+use crate::metrics::{JobProfile, Op, SpeculationStats, TaskProfile, TaskSpan, VNanos};
 use crate::net::NetworkConfig;
 use crate::pool::run_indexed;
+use crate::shuffle::MAX_FETCHERS;
 use crate::task::map_task::{run_map_task, MapOutput, MapTaskConfig, MapTaskError};
 use crate::task::reduce_task::{
     run_reduce_task, Grouping, ReduceResult, ReduceTaskConfig, ReduceTaskError,
 };
-use crate::trace::{AttemptKind, EntryDetail, JobTrace, TaskKind, TraceEntry};
+use crate::trace::{
+    build_reduce_trace, AttemptKind, EdgeEnd, EdgeKind, EntryDetail, FlowTrace, JobTrace, LaneRole,
+    SpanKind, TaskKind, TraceEdge, TraceEntry,
+};
+use std::collections::BTreeMap;
 // textmr-lint: allow(unordered-iteration, reason = "per-node lookups only; never iterated")
 use std::collections::HashMap;
 use std::io;
@@ -329,6 +335,10 @@ enum ReduceTaskOutcome {
 /// won the race and owns the task's detailed lanes.
 type BackupCapture = (usize, usize, usize, VNanos, VNanos, Option<AttemptKind>);
 
+/// The frequent-key registry's designated-publisher assignment: sorted
+/// `(node, publisher task)` pairs, plus every map task's home node.
+type RegistryAssignment = (Vec<(usize, usize)>, Vec<usize>);
+
 /// Median of a set of virtual durations (0 for the empty set; upper
 /// median for even counts).
 fn median(mut v: Vec<VNanos>) -> VNanos {
@@ -337,6 +347,186 @@ fn median(mut v: Vec<VNanos>) -> VNanos {
     }
     v.sort_unstable();
     v[v.len() / 2]
+}
+
+/// Ground-truth happens-before edges for a job trace.
+///
+/// Scheduling-level edges come off the unified event loop's attempt log
+/// (slot chains in record order; retry and backup hand-offs); intra-task
+/// edges come from the producer-side structure of the assembled entries
+/// (spill segments feeding the map-side merge; each flow group's arrival
+/// preceding the reduce-lane merge; map outputs published before the
+/// reduce attempts that fetch them). `registry` — present when an emit
+/// filter was installed — is the frequent-key registry's
+/// designated-publisher assignment: sorted `(node, publisher task)`
+/// pairs, plus every map task's home node.
+fn build_trace_edges(
+    entries: &[TraceEntry],
+    sched: &Scheduler,
+    registry: Option<&RegistryAssignment>,
+) -> Vec<TraceEdge> {
+    let mut index: BTreeMap<AttemptKey, usize> = BTreeMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        index.insert(
+            AttemptKey {
+                kind: e.kind,
+                task: e.task,
+                attempt: e.attempt,
+                backup: e.backup,
+            },
+            i,
+        );
+    }
+    let mut edges = Vec::new();
+    // Slot chains: consecutive *traced* occupants of each (phase, node,
+    // slot), walked in the scheduler's record order so an attempt that
+    // left no entry (e.g. a zero-length cancelled backup) links its
+    // neighbours instead of breaking the chain.
+    let mut chain_last: BTreeMap<(TaskKind, usize, usize), usize> = BTreeMap::new();
+    for rec in sched.attempts() {
+        let Some(&ei) = index.get(&rec.key) else {
+            continue;
+        };
+        let slot_key = (rec.key.kind, rec.node, rec.slot);
+        if let Some(&prev) = chain_last.get(&slot_key) {
+            edges.push(TraceEdge {
+                kind: EdgeKind::Slot,
+                src: EdgeEnd::entry(prev),
+                dst: EdgeEnd::entry(ei),
+            });
+        }
+        chain_last.insert(slot_key, ei);
+    }
+    // Retry chains and speculative hand-offs, straight off the graph.
+    for se in sched.sched_edges() {
+        if se.kind == EdgeKind::Slot {
+            continue; // emitted above, robust to untraced attempts
+        }
+        let (Some(&si), Some(&di)) = (index.get(&se.src), index.get(&se.dst)) else {
+            continue;
+        };
+        edges.push(TraceEdge {
+            kind: se.kind,
+            src: EdgeEnd::entry(si),
+            dst: EdgeEnd::entry(di),
+        });
+    }
+    // Attempts of record: the entries carrying detailed lanes.
+    let mut map_records: Vec<(usize, usize)> = Vec::new();
+    let mut reduce_records: Vec<usize> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        if !matches!(e.detail, EntryDetail::Lanes(_)) {
+            continue;
+        }
+        match e.kind {
+            TaskKind::Map => map_records.push((e.task, i)),
+            TaskKind::Reduce => reduce_records.push(i),
+        }
+    }
+    // Every map output is complete before any reduce attempt fetches it
+    // (the barrier is per map task: its of-record completion enables each
+    // reducer's whole fetch of that output).
+    for &(_, mi) in &map_records {
+        for &ri in &reduce_records {
+            edges.push(TraceEdge {
+                kind: EdgeKind::MapOut,
+                src: EdgeEnd::entry(mi),
+                dst: EdgeEnd::entry(ri),
+            });
+        }
+    }
+    // Spill hand-ins: each support-lane spill segment is written before
+    // the map lane's end-of-task merge reads it.
+    for &(_, mi) in &map_records {
+        let EntryDetail::Lanes(lanes) = &entries[mi].detail else {
+            continue;
+        };
+        let map_li = lanes.iter().position(|l| l.role == LaneRole::Map);
+        let support_li = lanes.iter().position(|l| l.role == LaneRole::Support);
+        let (Some(mli), Some(sli)) = (map_li, support_li) else {
+            continue;
+        };
+        let Some(merge_si) = lanes[mli]
+            .spans
+            .iter()
+            .position(|s| s.kind == SpanKind::Op(Op::Merge))
+        else {
+            continue;
+        };
+        for (si, s) in lanes[sli].spans.iter().enumerate() {
+            if s.kind == SpanKind::Op(Op::SpillWrite) {
+                edges.push(TraceEdge {
+                    kind: EdgeKind::Spill,
+                    src: EdgeEnd::span(mi, sli, si),
+                    dst: EdgeEnd::span(mi, mli, merge_si),
+                });
+            }
+        }
+    }
+    // Shuffle barriers: a flow group's last span (the run fully arrived)
+    // precedes the reduce lane's first post-shuffle op (the merge that
+    // consumes it).
+    for &ri in &reduce_records {
+        let EntryDetail::Lanes(lanes) = &entries[ri].detail else {
+            continue;
+        };
+        let first_op = lanes
+            .iter()
+            .position(|l| l.role == LaneRole::Reduce)
+            .and_then(|li| {
+                lanes[li]
+                    .spans
+                    .iter()
+                    .position(|s| matches!(s.kind, SpanKind::Op(_)))
+                    .map(|si| (li, si))
+            });
+        let Some((rli, rsi)) = first_op else {
+            continue;
+        };
+        for (li, lane) in lanes.iter().enumerate() {
+            if !matches!(lane.role, LaneRole::Fetcher(_)) {
+                continue;
+            }
+            let mut groups: BTreeMap<u32, usize> = BTreeMap::new();
+            for (si, s) in lane.spans.iter().enumerate() {
+                if let Some(src) = s.flow {
+                    groups.insert(src, si); // ascending → keeps the last
+                }
+            }
+            for (_, last_si) in groups {
+                edges.push(TraceEdge {
+                    kind: EdgeKind::Barrier,
+                    src: EdgeEnd::span(ri, li, last_si),
+                    dst: EdgeEnd::span(ri, rli, rsi),
+                });
+            }
+        }
+    }
+    // Frequent-key registry hand-offs: the node's designated publisher
+    // (its lowest map task id) froze the shared key set; every same-node
+    // map task adopted it. A real-time protocol — the checker validates
+    // these as protocol edges, outside the virtual-time clocks.
+    if let Some((groups, homes)) = registry {
+        let record_of: BTreeMap<usize, usize> = map_records.iter().copied().collect();
+        for &(node, publisher) in groups {
+            let Some(&pi) = record_of.get(&publisher) else {
+                continue;
+            };
+            for (t, &home) in homes.iter().enumerate() {
+                if home != node || t == publisher {
+                    continue;
+                }
+                if let Some(&wi) = record_of.get(&t) {
+                    edges.push(TraceEdge {
+                        kind: EdgeKind::Registry,
+                        src: EdgeEnd::entry(pi),
+                        dst: EdgeEnd::entry(wi),
+                    });
+                }
+            }
+        }
+    }
+    edges
 }
 
 /// Run `job` over the named DFS inputs on the given cluster.
@@ -507,35 +697,35 @@ pub fn run_job(
     }
 
     // ---- virtual-schedule the map phase ---------------------------------------
-    let mut slot_free: Vec<Vec<VNanos>> =
-        vec![vec![0; cluster.map_slots_per_node.max(1)]; cluster.nodes];
+    // All virtual placement goes through the unified event loop
+    // ([`crate::event::Scheduler`]): one integer priority queue drives
+    // slot reservations, speculation probes, and (with parallel fetchers)
+    // the shared-ingress reduce simulation, while the event graph records
+    // every attempt's enabling predecessors for the race checker.
+    let mut vsched = Scheduler::new(
+        ClusterShape {
+            nodes: cluster.nodes,
+            map_slots: cluster.map_slots_per_node.max(1),
+            reduce_slots: cluster.reduce_slots_per_node.max(1),
+            fetchers: cluster.shuffle_fetchers.clamp(1, MAX_FETCHERS),
+        },
+        (0..cluster.nodes)
+            .map(|n| cfg.fault_plan.node_factor(n))
+            .collect(),
+    );
     let mut map_spans = Vec::with_capacity(splits.len());
     // When tracing: per task, every attempt's (slot, start, end) placement.
     let mut map_sched: Vec<Vec<(usize, VNanos, VNanos)>> = Vec::new();
     for (t, split) in splits.iter().enumerate() {
+        // Earliest-free slot on the home node; a retry can only start
+        // after its previous attempt failed. A straggler node stretches
+        // the attempt's virtual duration by its factor.
         let node = split.home_node % cluster.nodes;
-        let mut span_start = 0;
-        let mut span_end = 0;
-        let mut prev_attempt_end = 0;
-        let mut sched = Vec::new();
-        for &dur in &attempt_durations[t] {
-            // Earliest-free slot on the home node; a retry can only start
-            // after its previous attempt failed. A straggler node
-            // stretches the attempt's virtual duration by its factor.
-            let slot = (0..slot_free[node].len())
-                .min_by_key(|&s| slot_free[node][s])
-                .expect("at least one slot");
-            span_start = slot_free[node][slot].max(prev_attempt_end);
-            span_end = span_start + cfg.fault_plan.scale(node, dur);
-            slot_free[node][slot] = span_end;
-            prev_attempt_end = span_end;
-            if cfg.trace {
-                sched.push((slot, span_start, span_end));
-            }
-        }
+        let placed = vsched.place_map(t, node, &attempt_durations[t]);
         if cfg.trace {
-            map_sched.push(sched);
+            map_sched.push(placed.iter().map(|p| (p.slot, p.start, p.end)).collect());
         }
+        let (span_start, span_end) = placed.last().map(|p| (p.start, p.end)).unwrap_or((0, 0));
         map_spans.push(TaskSpan {
             node,
             start: span_start,
@@ -626,12 +816,22 @@ pub fn run_job(
                 cancel: None,
                 trace: cfg.trace,
             };
+            let origin = AttemptKey {
+                kind: TaskKind::Map,
+                task: t,
+                attempt: attempt_durations[t].len().saturating_sub(1),
+                backup: false,
+            };
+            let bkey = AttemptKey {
+                kind: TaskKind::Map,
+                task: t,
+                attempt: 0,
+                backup: true,
+            };
             match run_map_task(&job, split, task_cfg) {
                 Ok((out_b, prof_b)) => {
-                    let slot = (0..slot_free[backup_node].len())
-                        .min_by_key(|&s| slot_free[backup_node][s])
-                        .expect("at least one slot");
-                    let start_b = slot_free[backup_node][slot].max(detect);
+                    let (slot, free) = vsched.probe_backup(TaskKind::Map, backup_node);
+                    let start_b = free.max(detect);
                     let end_b =
                         start_b + cfg.fault_plan.scale(backup_node, prof_b.virtual_duration);
                     if end_b < p_end {
@@ -639,7 +839,7 @@ pub fn run_job(
                         // primary is cancelled and its final attempt's
                         // spill directory reclaimed.
                         spec_stats.map_wins += 1;
-                        slot_free[backup_node][slot] = end_b;
+                        vsched.commit_backup(bkey, origin, backup_node, slot, start_b, end_b);
                         map_spans[t] = TaskSpan {
                             node: backup_node,
                             start: start_b,
@@ -660,7 +860,7 @@ pub fn run_job(
                         // Primary wins: the backup is cancelled the moment
                         // the primary completes; its slot frees then.
                         let end_b = p_end.max(start_b);
-                        slot_free[backup_node][slot] = end_b;
+                        vsched.commit_backup(bkey, origin, backup_node, slot, start_b, end_b);
                         drop(out_b);
                         let _ = std::fs::remove_dir_all(&spec_dir);
                         if cfg.trace && end_b > start_b {
@@ -679,12 +879,10 @@ pub fn run_job(
                     // An injected fault killed the backup mid-flight: the
                     // primary stands, but the dead backup occupied its slot
                     // for the virtual time it burned before dying.
-                    let slot = (0..slot_free[backup_node].len())
-                        .min_by_key(|&s| slot_free[backup_node][s])
-                        .expect("at least one slot");
-                    let start_b = slot_free[backup_node][slot].max(detect);
+                    let (slot, free) = vsched.probe_backup(TaskKind::Map, backup_node);
+                    let start_b = free.max(detect);
                     let end_b = start_b + cfg.fault_plan.scale(backup_node, virtual_elapsed);
-                    slot_free[backup_node][slot] = end_b;
+                    vsched.commit_backup(bkey, origin, backup_node, slot, start_b, end_b);
                     let _ = std::fs::remove_dir_all(&spec_dir);
                     if cfg.trace && end_b > start_b {
                         map_backups.push((
@@ -705,6 +903,9 @@ pub fn run_job(
         }
     }
     let map_phase_end = map_spans.iter().map(|s| s.end).max().unwrap_or(0);
+    // The shuffle barrier enters the event graph (enabled by every map
+    // attempt recorded so far), and every reduce slot frees at it.
+    vsched.begin_reduce_phase(map_phase_end);
 
     // ---- execute reduce tasks (real), with per-attempt retries -----------------
     // Reduce tasks are independent (each reads its own partition out of the
@@ -808,36 +1009,116 @@ pub fn run_job(
     );
 
     // ---- virtual-schedule the reduce phase, in partition order -----------------
+    // With one fetcher (the legacy configuration behind every shipped
+    // figure) the reservation recurrence is bit-identical to the original
+    // driver. With parallel fetchers the whole phase instead replays
+    // through the dynamic event loop, where each node's ingress NIC is a
+    // shared resource: concurrent flows into a node fair-share its
+    // bandwidth regardless of which reduce task owns them, so co-located
+    // reducers now contend instead of being priced in isolation.
     let mut reduce_spans = Vec::with_capacity(cfg.num_reducers);
-    let mut rslot_free: Vec<Vec<VNanos>> =
-        vec![vec![map_phase_end; cluster.reduce_slots_per_node.max(1)]; cluster.nodes];
     let mut reduce_sched: Vec<Vec<(usize, VNanos, VNanos)>> = Vec::new();
-    for (r, attempts) in rattempt_durations.iter().enumerate() {
-        let node = r % cluster.nodes;
-        let mut span_start = map_phase_end;
-        let mut span_end = map_phase_end;
-        let mut prev_attempt_end = 0;
-        let mut sched = Vec::new();
-        for &dur in attempts {
-            let slot = (0..rslot_free[node].len())
-                .min_by_key(|&s| rslot_free[node][s])
-                .expect("at least one slot");
-            span_start = rslot_free[node][slot].max(prev_attempt_end);
-            span_end = span_start + cfg.fault_plan.scale(node, dur);
-            rslot_free[node][slot] = span_end;
-            prev_attempt_end = span_end;
+    if cluster.shuffle_fetchers.clamp(1, MAX_FETCHERS) <= 1 {
+        for (r, attempts) in rattempt_durations.iter().enumerate() {
+            let node = r % cluster.nodes;
+            let placed = vsched.place_reduce(r, node, attempts);
             if cfg.trace {
-                sched.push((slot, span_start, span_end));
+                reduce_sched.push(placed.iter().map(|p| (p.slot, p.start, p.end)).collect());
+            }
+            let (span_start, span_end) = placed
+                .last()
+                .map(|p| (p.start, p.end))
+                .unwrap_or((map_phase_end, map_phase_end));
+            reduce_spans.push(TaskSpan {
+                node,
+                start: span_start,
+                end: span_end,
+            });
+        }
+    } else {
+        // Failed attempts block their slot for the isolated virtual time
+        // they burned (their partial shuffles are not replayed — a
+        // documented approximation); the of-record attempt replays its
+        // recorded flows through the shared-ingress NIC model.
+        let tasks: Vec<(usize, Vec<ReduceAttempt>)> = rattempt_durations
+            .iter()
+            .enumerate()
+            .map(|(r, durs)| {
+                let mut attempts: Vec<ReduceAttempt> = durs[..durs.len().saturating_sub(1)]
+                    .iter()
+                    .map(|&dur| ReduceAttempt::Block { dur })
+                    .collect();
+                attempts.push(ReduceAttempt::Work {
+                    flows: results[r].flow_inputs.iter().map(|fi| fi.flow).collect(),
+                    post_ns: results[r].post_parts.iter().sum(),
+                });
+                (r % cluster.nodes, attempts)
+            })
+            .collect();
+        let outcomes = vsched.run_reduce_phase(tasks);
+        for (r, outs) in outcomes.iter().enumerate() {
+            let node = r % cluster.nodes;
+            if cfg.trace {
+                reduce_sched.push(outs.iter().map(|o| (o.slot, o.start, o.end)).collect());
+            }
+            let last = outs.last().expect("every reducer has an attempt");
+            reduce_spans.push(TaskSpan {
+                node,
+                start: last.start,
+                end: last.end,
+            });
+            // Patch the of-record profile with the contention-priced
+            // shuffle: under co-location the shared-ingress wait and
+            // virtual time replace the isolated estimates computed inside
+            // the task. Applied whether or not tracing is on, so
+            // signatures and op-time totals stay consistent between
+            // traced and untraced runs; without co-location the replay
+            // reproduces the isolated schedule exactly, so this is a
+            // no-op rewrite.
+            let sh = last
+                .shuffle
+                .as_ref()
+                .expect("of-record attempt replays its flows");
+            let post_total: VNanos = results[r].post_parts.iter().sum();
+            let res = &mut results[r];
+            res.profile.ops.set_nanos(Op::ShuffleWait, sh.wait_ns);
+            res.profile.virtual_duration = sh.virtual_ns + post_total;
+            res.shuffle.wait_ns = sh.wait_ns;
+            res.shuffle.virtual_ns = sh.virtual_ns;
+            if cfg.trace {
+                let mut sched_flows = sh.flows.clone();
+                sched_flows.sort_by_key(|s| s.flow);
+                let flow_traces: Vec<FlowTrace> = sched_flows
+                    .iter()
+                    .map(|s| {
+                        let inp = res.flow_inputs[s.flow];
+                        FlowTrace {
+                            map_task: s.flow,
+                            src_node: inp.src_node,
+                            remote: inp.flow.remote,
+                            io_ns: inp.flow.io_ns,
+                            backoff_ns: inp.flow.backoff_ns,
+                            slot: s.slot,
+                            start: s.start,
+                            pre_end: s.pre_end,
+                            latency_end: s.latency_end,
+                            transfer_end: s.transfer_end,
+                            finish: s.finish,
+                        }
+                    })
+                    .collect();
+                let [merge_c, ic_c, reduce_c, write_c] = res.post_parts;
+                res.profile.trace = Some(Box::new(build_reduce_trace(
+                    &flow_traces,
+                    sh.wait_ns,
+                    sh.virtual_ns,
+                    merge_c,
+                    ic_c,
+                    reduce_c,
+                    write_c,
+                )));
             }
         }
-        if cfg.trace {
-            reduce_sched.push(sched);
-        }
-        reduce_spans.push(TaskSpan {
-            node,
-            start: span_start,
-            end: span_end,
-        });
     }
 
     // ---- speculative execution: reduce phase -----------------------------------
@@ -890,17 +1171,27 @@ pub fn run_job(
                 },
             );
             if let Ok(b) = res_b {
-                let slot = (0..rslot_free[backup_node].len())
-                    .min_by_key(|&s| rslot_free[backup_node][s])
-                    .expect("at least one slot");
-                let start_b = rslot_free[backup_node][slot].max(detect);
+                let origin = AttemptKey {
+                    kind: TaskKind::Reduce,
+                    task: r,
+                    attempt: rattempt_durations[r].len().saturating_sub(1),
+                    backup: false,
+                };
+                let bkey = AttemptKey {
+                    kind: TaskKind::Reduce,
+                    task: r,
+                    attempt: 0,
+                    backup: true,
+                };
+                let (slot, free) = vsched.probe_backup(TaskKind::Reduce, backup_node);
+                let start_b = free.max(detect);
                 let end_b = start_b
                     + cfg
                         .fault_plan
                         .scale(backup_node, b.profile.virtual_duration);
                 if end_b < p_end {
                     spec_stats.reduce_wins += 1;
-                    rslot_free[backup_node][slot] = end_b;
+                    vsched.commit_backup(bkey, origin, backup_node, slot, start_b, end_b);
                     reduce_spans[r] = TaskSpan {
                         node: backup_node,
                         start: start_b,
@@ -915,7 +1206,7 @@ pub fn run_job(
                     }
                 } else {
                     let end_b = p_end.max(start_b);
-                    rslot_free[backup_node][slot] = end_b;
+                    vsched.commit_backup(bkey, origin, backup_node, slot, start_b, end_b);
                     if cfg.trace && end_b > start_b {
                         reduce_backups.push((
                             r,
@@ -1062,6 +1353,23 @@ pub fn run_job(
             });
         }
         let twall = entries.iter().map(|e| e.end).max().unwrap_or(0).max(wall);
+        // Ground-truth happens-before edges: scheduling-level orderings
+        // come straight off the event graph's attempt log; intra-task
+        // orderings (spill hand-ins, shuffle barriers) come from the
+        // producer-side structure assembled above. The race checker
+        // consumes these instead of reconstructing them from span timings.
+        let registry = if cfg.emit_filter.is_some() {
+            let homes: Vec<usize> = splits.iter().map(|s| s.home_node % cluster.nodes).collect();
+            let mut groups: Vec<(usize, usize)> = node_first_task
+                .iter()
+                .map(|(&node, &task)| (node, task))
+                .collect();
+            groups.sort_unstable();
+            Some((groups, homes))
+        } else {
+            None
+        };
+        let edges = build_trace_edges(&entries, &vsched, registry.as_ref());
         Some(JobTrace {
             nodes: cluster.nodes,
             map_slots: cluster.map_slots_per_node.max(1),
@@ -1070,6 +1378,7 @@ pub fn run_job(
                 .shuffle_fetchers
                 .clamp(1, crate::shuffle::MAX_FETCHERS),
             wall: twall,
+            edges,
             entries,
         })
     } else {

@@ -62,6 +62,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod controller;
+pub mod event;
 pub mod fault;
 pub mod hash;
 pub mod io;

@@ -188,6 +188,14 @@ impl OpTimes {
         self.nanos[op.index()] += ns;
     }
 
+    /// Overwrite operation `op` with `ns` (the job driver uses this to
+    /// patch virtual ops — e.g. `ShuffleWait` — after replaying a reduce
+    /// attempt's schedule under shared node ingress).
+    #[inline]
+    pub fn set_nanos(&mut self, op: Op, ns: u64) {
+        self.nanos[op.index()] = ns;
+    }
+
     /// Accumulated nanoseconds for `op`.
     #[inline]
     pub fn get(&self, op: Op) -> u64 {

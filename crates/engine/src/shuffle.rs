@@ -21,10 +21,11 @@
 //!   plain sum of `latency + bytes/bandwidth` terms — exactly the legacy
 //!   accounting, reproduced bit-for-bit. With `f > 1` fetchers, up to `f`
 //!   flows are in flight at once and concurrent flows into the reducer's
-//!   node share its ingress bandwidth fairly; a small deterministic event
-//!   loop computes the resulting schedule. Parallel fetch virtual time is
-//!   therefore the *makespan* of overlapping flows — never more than the
-//!   sequential sum, never less than the largest single flow.
+//!   node share its ingress bandwidth fairly; the unified event loop in
+//!   [`crate::event`] computes the resulting schedule
+//!   ([`crate::event::simulate_attempt_flows`]). Parallel fetch virtual
+//!   time is therefore the *makespan* of overlapping flows — never more
+//!   than the sequential sum, never less than the largest single flow.
 //!
 //! The event loop also measures the **straggler tail**: the span during
 //! which every other fetcher has drained and the reducer is stalled on its
@@ -32,11 +33,16 @@
 //! [`Op::ShuffleWait`](crate::metrics::Op::ShuffleWait) and the
 //! `shuffle_scale` harness.
 //!
-//! Simplification (documented, like the phase-split shuffle): each reduce
-//! task models its own node's ingress NIC in isolation; two reduce tasks
-//! scheduled onto the same node do not contend with each other, matching
-//! the engine's independent-task virtual scheduling.
+//! The schedule computed *here* is the attempt-in-isolation one: this
+//! reduce attempt's own flows sharing the destination NIC. Cross-task
+//! contention — two reduce tasks scheduled onto the same node — is modeled
+//! one level up, where the job driver replays the whole reduce phase
+//! through [`crate::event::Scheduler::run_reduce_phase`] with node ingress
+//! as a shared resource; [`ShuffleOutcome::inputs`] carries the per-flow
+//! measured costs that replay needs. (Before the unified event loop this
+//! was a documented modeling gap: co-located reducers did not contend.)
 
+use crate::event::{simulate_attempt_flows, Flow};
 use crate::fault::{shuffle_backoff_ns, FaultPlan};
 use crate::io::compress::decompress;
 use crate::metrics::{Stopwatch, VNanos};
@@ -47,15 +53,10 @@ use crate::trace::FlowTrace;
 use std::io;
 
 /// Hard cap on parallel fetchers per reduce task. Keeps the NIC event
-/// loop's exact integer arithmetic in range (`SCALE` is the LCM of all
-/// admissible flow counts); Hadoop's `parallel copies` default is 5, so 16
-/// is already generous.
+/// loop's exact integer arithmetic in range ([`crate::event::SCALE32`] is
+/// the LCM of all admissible flow counts); Hadoop's `parallel copies`
+/// default is 5, so 16 is already generous.
 pub const MAX_FETCHERS: usize = 16;
-
-/// LCM(1..=16): with `n` concurrent flows, each flow drains `SCALE / n`
-/// scaled units per virtual nanosecond — an exact integer for every
-/// admissible `n`, so the event loop is deterministic with no float drift.
-const SCALE: u128 = 720_720;
 
 /// Number of power-of-two size buckets in a [`FetchHistogram`]
 /// (bucket 39 holds fetches of 2^38 bytes = 256 GiB and above).
@@ -174,6 +175,17 @@ impl ShuffleStats {
     }
 }
 
+/// One fetch's measured costs and routing, as the unified event loop's
+/// phase-level replay needs them: the [`Flow`] the NIC model schedules
+/// plus the source node it came from. Index == map task id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowInput {
+    /// The flow as the NIC model sees it (pre work, network, post work).
+    pub flow: Flow,
+    /// Node the partition was fetched from.
+    pub src_node: usize,
+}
+
 /// Everything a reduce task needs from its shuffle: the fetched runs plus
 /// accounting.
 #[derive(Debug)]
@@ -186,6 +198,10 @@ pub struct ShuffleOutcome {
     pub fetch_work_ns: u64,
     /// Per-task statistics including the virtual-time schedule.
     pub stats: ShuffleStats,
+    /// Per-flow measured inputs in map-task-id order — what the job driver
+    /// feeds back into [`crate::event::Scheduler::run_reduce_phase`] to
+    /// model cross-task ingress contention. Always populated.
+    pub inputs: Vec<FlowInput>,
     /// Per-flow schedule (phase boundaries per fetch, in map-task order),
     /// recorded only when `run_shuffle` was called with `trace = true`.
     pub flows: Option<Vec<FlowTrace>>,
@@ -256,229 +272,11 @@ fn fetch_one(
     }
 }
 
-/// One fetch as the NIC model sees it: fixed pre work (disk read), an
-/// optional network flow (latency, then bytes at the shared rate), fixed
-/// post work (decompress).
-#[derive(Debug, Clone, Copy)]
-struct FlowJob {
-    pre_ns: u64,
-    remote: bool,
-    latency_ns: u64,
-    full_rate_ns: u64,
-    post_ns: u64,
-}
-
-impl FlowJob {
-    /// The job's cost when it has the NIC to itself.
-    fn isolated_ns(&self) -> u64 {
-        let net = if self.remote {
-            self.latency_ns.saturating_add(self.full_rate_ns)
-        } else {
-            0
-        };
-        self.pre_ns.saturating_add(net).saturating_add(self.post_ns)
-    }
-}
-
-/// What a fetcher slot is currently doing.
-enum SlotState {
-    /// A fixed-duration phase (disk read, latency, or decompress).
-    Fixed { until: u64, next: AfterFixed },
-    /// An in-flight network transfer; `remaining` is in `SCALE`-scaled
-    /// full-rate nanoseconds.
-    Transfer { remaining: u128 },
-}
-
-/// What follows the current fixed phase.
-enum AfterFixed {
-    /// Disk read done → start latency (remote flows).
-    Latency,
-    /// Latency done → start the transfer.
-    Transfer,
-    /// Disk read done → start decompress (local flows skip the network).
-    Post,
-    /// Decompress done → job complete.
-    Done,
-}
-
-struct Slot {
-    job: usize,
-    state: SlotState,
-    /// Phase boundaries, filled in as transitions happen (for the trace's
-    /// per-flow schedule; cost-free bookkeeping otherwise).
-    start: u64,
-    pre_end: u64,
-    latency_end: u64,
-    transfer_end: u64,
-}
-
-impl Slot {
-    fn start(jobs: &[FlowJob], job: usize, now: u64) -> Slot {
-        Slot {
-            job,
-            state: SlotState::Fixed {
-                until: now.saturating_add(jobs[job].pre_ns),
-                next: if jobs[job].remote {
-                    AfterFixed::Latency
-                } else {
-                    AfterFixed::Post
-                },
-            },
-            start: now,
-            pre_end: now,
-            latency_end: now,
-            transfer_end: now,
-        }
-    }
-
-    /// Advance through any phases that complete exactly at `now`.
-    /// Returns `true` when the job finished.
-    fn advance(&mut self, jobs: &[FlowJob], now: u64) -> bool {
-        loop {
-            match &self.state {
-                SlotState::Fixed { until, next } if *until == now => match next {
-                    AfterFixed::Latency => {
-                        self.pre_end = now;
-                        self.state = SlotState::Fixed {
-                            until: now.saturating_add(jobs[self.job].latency_ns),
-                            next: AfterFixed::Transfer,
-                        };
-                    }
-                    AfterFixed::Transfer => {
-                        self.latency_end = now;
-                        self.state = SlotState::Transfer {
-                            remaining: jobs[self.job].full_rate_ns as u128 * SCALE,
-                        };
-                    }
-                    AfterFixed::Post => {
-                        // Local flow: no network phases, so the latency and
-                        // transfer marks collapse onto the end of the disk
-                        // read and the slot moves straight to decompress.
-                        self.pre_end = now;
-                        self.latency_end = now;
-                        self.transfer_end = now;
-                        self.state = SlotState::Fixed {
-                            until: now.saturating_add(jobs[self.job].post_ns),
-                            next: AfterFixed::Done,
-                        };
-                    }
-                    AfterFixed::Done => return true,
-                },
-                SlotState::Transfer { remaining } if *remaining == 0 => {
-                    self.transfer_end = now;
-                    self.state = SlotState::Fixed {
-                        until: now.saturating_add(jobs[self.job].post_ns),
-                        next: AfterFixed::Done,
-                    };
-                }
-                _ => return false,
-            }
-        }
-    }
-}
-
-/// One completed flow's schedule as recorded by [`nic_schedule`].
-#[derive(Debug, Clone, Copy)]
-struct FlowSched {
-    job: usize,
-    slot: usize,
-    start: u64,
-    pre_end: u64,
-    latency_end: u64,
-    transfer_end: u64,
-    finish: u64,
-}
-
-fn record_flow(sched: &mut Option<&mut Vec<FlowSched>>, s: &Slot, slot_idx: usize, now: u64) {
-    if let Some(rec) = sched.as_deref_mut() {
-        rec.push(FlowSched {
-            job: s.job,
-            slot: slot_idx,
-            start: s.start,
-            pre_end: s.pre_end,
-            latency_end: s.latency_end,
-            transfer_end: s.transfer_end,
-            finish: now,
-        });
-    }
-}
-
-/// Deterministic event loop: `fetchers` slots pull jobs in id order; all
-/// in-flight transfers share the destination NIC fairly. Returns the
-/// schedule makespan and the straggler tail. When `sched` is provided,
-/// every completed flow's phase boundaries are appended to it (in
-/// completion order — callers sort as needed).
-fn nic_schedule(
-    jobs: &[FlowJob],
-    fetchers: usize,
-    mut sched: Option<&mut Vec<FlowSched>>,
-) -> (VNanos, VNanos) {
-    let f = fetchers.clamp(1, MAX_FETCHERS).min(jobs.len().max(1));
-    let mut slots: Vec<Option<Slot>> = (0..f).map(|_| None).collect();
-    let mut next_job = 0usize;
-    let mut now: u64 = 0;
-    let mut wait_ns: u64 = 0;
-    loop {
-        for (slot_idx, slot) in slots.iter_mut().enumerate() {
-            // Keep claiming: a fully zero-cost job completes instantly and
-            // frees its slot for the next pending job at the same instant.
-            while slot.is_none() && next_job < jobs.len() {
-                let mut s = Slot::start(jobs, next_job, now);
-                next_job += 1;
-                if !s.advance(jobs, now) {
-                    *slot = Some(s);
-                } else {
-                    record_flow(&mut sched, &s, slot_idx, now);
-                }
-            }
-        }
-        let busy = slots.iter().flatten().count();
-        if busy == 0 {
-            break;
-        }
-        let n_flows = slots
-            .iter()
-            .flatten()
-            .filter(|s| matches!(s.state, SlotState::Transfer { .. }))
-            .count();
-        // Earliest next event across fixed phases and flow completions.
-        let mut t_next = u64::MAX;
-        for s in slots.iter().flatten() {
-            let t = match &s.state {
-                SlotState::Fixed { until, .. } => *until,
-                SlotState::Transfer { remaining } => {
-                    let rate = SCALE / n_flows as u128; // exact: n ≤ 16
-                    let dt = remaining.div_ceil(rate);
-                    now.saturating_add(u64::try_from(dt).unwrap_or(u64::MAX))
-                }
-            };
-            t_next = t_next.min(t);
-        }
-        let dt = t_next - now;
-        // Straggler tail: one source left in flight, idle capacity beside it.
-        if f > 1 && busy == 1 && next_job >= jobs.len() {
-            wait_ns = wait_ns.saturating_add(dt);
-        }
-        if n_flows > 0 && dt > 0 {
-            let dep = dt as u128 * (SCALE / n_flows as u128);
-            for s in slots.iter_mut().flatten() {
-                if let SlotState::Transfer { remaining } = &mut s.state {
-                    *remaining = remaining.saturating_sub(dep);
-                }
-            }
-        }
-        now = t_next;
-        for (slot_idx, slot) in slots.iter_mut().enumerate() {
-            if let Some(s) = slot {
-                if s.advance(jobs, now) {
-                    record_flow(&mut sched, s, slot_idx, now);
-                    *slot = None;
-                }
-            }
-        }
-    }
-    (now, wait_ns)
-}
+// The per-attempt NIC step loop that used to live here (its own `Slot` /
+// `SlotState` state machine and `SCALE = lcm(1..=16)` arithmetic) is now a
+// special case of the unified event loop: one node, one reduce slot, this
+// attempt's flows. See `crate::event` for the loop and the proof sketch
+// that the schedules are bit-identical.
 
 /// Fetch a reduce task's partition from every map output.
 ///
@@ -517,11 +315,8 @@ pub fn run_shuffle(
         ..ShuffleStats::default()
     };
     let mut fetch_work_ns = 0u64;
-    let mut jobs = Vec::with_capacity(map_outputs.len());
+    let mut inputs: Vec<FlowInput> = Vec::with_capacity(map_outputs.len());
     let mut runs = Vec::with_capacity(map_outputs.len());
-    // Per-flow measured splits (io, backoff, src_node), kept only when
-    // tracing; index-aligned with `jobs` (== map-task id).
-    let mut metas: Vec<(u64, u64, usize)> = Vec::new();
     // Results arrive in map-task-id order; the first error seen is the one
     // a sequential fetch loop would have reported.
     for fr in fetched {
@@ -537,22 +332,23 @@ pub fn run_shuffle(
         stats.retries += fr.retries;
         stats.backoff_ns = stats.backoff_ns.saturating_add(fr.backoff_ns);
         fetch_work_ns = fetch_work_ns.saturating_add(fr.io_ns + fr.decompress_ns);
-        let job = FlowJob {
-            // Backoff is virtual pre-flow time: the fetcher holds its slot
-            // while backing off, so retries delay this flow (and, under the
-            // NIC model, anything queued behind it) but burn no real work.
-            pre_ns: fr.io_ns.saturating_add(fr.backoff_ns),
+        // Backoff is virtual pre-flow time: the fetcher holds its slot
+        // while backing off, so retries delay this flow (and, under the
+        // NIC model, anything queued behind it) but burn no real work.
+        let flow = Flow {
+            io_ns: fr.io_ns,
+            backoff_ns: fr.backoff_ns,
             remote,
             latency_ns: net.latency_ns,
-            full_rate_ns: net.full_rate_ns(fr.stored_bytes),
+            rate_ns: net.full_rate_ns(fr.stored_bytes),
             post_ns: fr.decompress_ns,
         };
-        stats.sequential_ns = stats.sequential_ns.saturating_add(job.isolated_ns());
-        stats.max_flow_ns = stats.max_flow_ns.max(job.isolated_ns());
-        jobs.push(job);
-        if trace {
-            metas.push((fr.io_ns, fr.backoff_ns, fr.src_node));
-        }
+        stats.sequential_ns = stats.sequential_ns.saturating_add(flow.isolated_ns());
+        stats.max_flow_ns = stats.max_flow_ns.max(flow.isolated_ns());
+        inputs.push(FlowInput {
+            flow,
+            src_node: fr.src_node,
+        });
         if !fr.data.is_empty() {
             runs.push(fr.data);
         }
@@ -568,16 +364,16 @@ pub fn run_shuffle(
             // paying its full isolated cost (including a local flow's
             // decompress — the one-fetcher sum has no NIC event loop).
             let mut cursor = 0u64;
-            let traced = jobs
+            let traced = inputs
                 .iter()
                 .enumerate()
-                .map(|(i, job)| {
-                    let (io_ns, backoff_ns, src_node) = metas[i];
+                .map(|(i, inp)| {
+                    let job = inp.flow;
                     let start = cursor;
-                    let pre_end = start + job.pre_ns;
+                    let pre_end = start + job.pre_ns();
                     let (latency_end, transfer_end) = if job.remote {
                         let le = pre_end.saturating_add(job.latency_ns);
-                        (le, le.saturating_add(job.full_rate_ns))
+                        (le, le.saturating_add(job.rate_ns))
                     } else {
                         (pre_end, pre_end)
                     };
@@ -585,10 +381,10 @@ pub fn run_shuffle(
                     cursor = finish;
                     FlowTrace {
                         map_task: i,
-                        src_node,
+                        src_node: inp.src_node,
                         remote: job.remote,
-                        io_ns,
-                        backoff_ns,
+                        io_ns: job.io_ns,
+                        backoff_ns: job.backoff_ns,
                         slot: 0,
                         start,
                         pre_end,
@@ -601,10 +397,10 @@ pub fn run_shuffle(
             flows = Some(traced);
         }
     } else {
-        let mut sched: Vec<FlowSched> = Vec::new();
-        let (makespan, wait_ns) = nic_schedule(&jobs, fetchers, trace.then_some(&mut sched));
-        stats.virtual_ns = makespan;
-        stats.wait_ns = wait_ns;
+        let jobs: Vec<Flow> = inputs.iter().map(|i| i.flow).collect();
+        let sim = simulate_attempt_flows(&jobs, fetchers);
+        stats.virtual_ns = sim.virtual_ns;
+        stats.wait_ns = sim.wait_ns;
         debug_assert!(
             stats.virtual_ns <= stats.sequential_ns,
             "NIC sharing cannot exceed the sequential sum"
@@ -614,18 +410,19 @@ pub fn run_shuffle(
             "no schedule beats the largest single flow"
         );
         if trace {
-            sched.sort_by_key(|s| s.job);
+            let mut sched = sim.flows;
+            sched.sort_by_key(|s| s.flow);
             flows = Some(
                 sched
                     .iter()
                     .map(|s| {
-                        let (io_ns, backoff_ns, src_node) = metas[s.job];
+                        let inp = inputs[s.flow];
                         FlowTrace {
-                            map_task: s.job,
-                            src_node,
-                            remote: jobs[s.job].remote,
-                            io_ns,
-                            backoff_ns,
+                            map_task: s.flow,
+                            src_node: inp.src_node,
+                            remote: inp.flow.remote,
+                            io_ns: inp.flow.io_ns,
+                            backoff_ns: inp.flow.backoff_ns,
                             slot: s.slot,
                             start: s.start,
                             pre_end: s.pre_end,
@@ -643,6 +440,7 @@ pub fn run_shuffle(
         runs,
         fetch_work_ns,
         stats,
+        inputs,
         flows,
     })
 }
@@ -651,38 +449,46 @@ pub fn run_shuffle(
 mod tests {
     use super::*;
 
-    fn remote(pre: u64, bytes_ns: u64, post: u64) -> FlowJob {
-        FlowJob {
-            pre_ns: pre,
+    fn remote(pre: u64, bytes_ns: u64, post: u64) -> Flow {
+        Flow {
+            io_ns: pre,
+            backoff_ns: 0,
             remote: true,
             latency_ns: 100,
-            full_rate_ns: bytes_ns,
+            rate_ns: bytes_ns,
             post_ns: post,
         }
     }
 
-    fn local(pre: u64, post: u64) -> FlowJob {
-        FlowJob {
-            pre_ns: pre,
+    fn local(pre: u64, post: u64) -> Flow {
+        Flow {
+            io_ns: pre,
+            backoff_ns: 0,
             remote: false,
             latency_ns: 100,
-            full_rate_ns: 0,
+            rate_ns: 0,
             post_ns: post,
         }
     }
 
-    fn seq_sum(jobs: &[FlowJob]) -> u64 {
-        jobs.iter().map(FlowJob::isolated_ns).sum()
+    fn seq_sum(jobs: &[Flow]) -> u64 {
+        jobs.iter().map(Flow::isolated_ns).sum()
     }
 
-    fn max_flow(jobs: &[FlowJob]) -> u64 {
-        jobs.iter().map(FlowJob::isolated_ns).max().unwrap_or(0)
+    fn max_flow(jobs: &[Flow]) -> u64 {
+        jobs.iter().map(Flow::isolated_ns).max().unwrap_or(0)
+    }
+
+    /// The legacy `nic_schedule` signature over the unified event loop.
+    fn nic_schedule(jobs: &[Flow], fetchers: usize) -> (VNanos, VNanos) {
+        let sim = simulate_attempt_flows(jobs, fetchers);
+        (sim.virtual_ns, sim.wait_ns)
     }
 
     #[test]
     fn one_fetcher_matches_sequential_sum() {
         let jobs = vec![remote(10, 1000, 5), local(7, 9), remote(3, 500, 2)];
-        let (makespan, wait) = nic_schedule(&jobs, 1, None);
+        let (makespan, wait) = nic_schedule(&jobs, 1);
         assert_eq!(makespan, seq_sum(&jobs));
         assert_eq!(wait, 0);
     }
@@ -694,7 +500,7 @@ mod tests {
         // latency + 2 × full_rate (both drain together), not 2 × (latency
         // + full_rate).
         let jobs = vec![remote(0, 1000, 0), remote(0, 1000, 0)];
-        let (makespan, _) = nic_schedule(&jobs, 2, None);
+        let (makespan, _) = nic_schedule(&jobs, 2);
         assert_eq!(makespan, 100 + 2000);
         assert!(makespan < seq_sum(&jobs));
         assert!(makespan >= max_flow(&jobs));
@@ -706,7 +512,7 @@ mod tests {
         // 600 shared ns (progress 300); the long one then has 600 left at
         // full rate. Makespan = latency + 600 + 600.
         let jobs = vec![remote(0, 300, 0), remote(0, 900, 0)];
-        let (makespan, wait) = nic_schedule(&jobs, 2, None);
+        let (makespan, wait) = nic_schedule(&jobs, 2);
         assert_eq!(makespan, 100 + 600 + 600);
         // Tail where only the 900-flow remains: 600 ns.
         assert_eq!(wait, 600);
@@ -716,13 +522,13 @@ mod tests {
     fn local_fetches_do_not_consume_bandwidth() {
         // A local fetch overlaps a remote flow without slowing it.
         let jobs = vec![remote(0, 1000, 0), local(500, 0)];
-        let (makespan, _) = nic_schedule(&jobs, 2, None);
+        let (makespan, _) = nic_schedule(&jobs, 2);
         assert_eq!(makespan, 100 + 1000);
     }
 
     #[test]
     fn bounds_hold_for_many_mixed_jobs() {
-        let jobs: Vec<FlowJob> = (0..23)
+        let jobs: Vec<Flow> = (0..23)
             .map(|i| {
                 if i % 3 == 0 {
                     local(17 * i as u64, 5)
@@ -732,15 +538,15 @@ mod tests {
             })
             .collect();
         for f in [2, 3, 4, 8, 16] {
-            let (makespan, wait) = nic_schedule(&jobs, f, None);
+            let (makespan, wait) = nic_schedule(&jobs, f);
             assert!(makespan <= seq_sum(&jobs), "f={f}");
             assert!(makespan >= max_flow(&jobs), "f={f}");
             assert!(wait <= makespan, "f={f}");
         }
         // More fetchers never slow the schedule down on flow-free work...
         // with shared bandwidth the makespan is monotone non-increasing.
-        let (m2, _) = nic_schedule(&jobs, 2, None);
-        let (m16, _) = nic_schedule(&jobs, 16, None);
+        let (m2, _) = nic_schedule(&jobs, 2);
+        let (m16, _) = nic_schedule(&jobs, 16);
         assert!(m16 <= m2);
     }
 
@@ -750,9 +556,9 @@ mod tests {
         // lone slot serializes pre + post per flow, while two slots overlap
         // the flows completely (local flows never contend for the NIC).
         let jobs = vec![local(100, 50), local(100, 50)];
-        let (m1, _) = nic_schedule(&jobs, 1, None);
+        let (m1, _) = nic_schedule(&jobs, 1);
         assert_eq!(m1, 300);
-        let (m2, _) = nic_schedule(&jobs, 2, None);
+        let (m2, _) = nic_schedule(&jobs, 2);
         assert_eq!(m2, 150);
     }
 
@@ -762,9 +568,9 @@ mod tests {
         // its disk read; the decompress phase runs after them, giving the
         // trace the same phase granularity as a remote flow.
         let jobs = vec![local(100, 50), remote(100, 200, 50)];
-        let mut sched = Vec::new();
-        let (makespan, _) = nic_schedule(&jobs, 2, Some(&mut sched));
-        sched.sort_by_key(|s| s.job);
+        let sim = simulate_attempt_flows(&jobs, 2);
+        let mut sched = sim.flows;
+        sched.sort_by_key(|s| s.flow);
         let l = sched[0];
         assert_eq!(
             (l.start, l.pre_end, l.latency_end, l.transfer_end, l.finish),
@@ -775,14 +581,14 @@ mod tests {
             (r.start, r.pre_end, r.latency_end, r.transfer_end, r.finish),
             (0, 100, 200, 400, 450)
         );
-        assert_eq!(makespan, 450);
+        assert_eq!(sim.virtual_ns, 450);
     }
 
     #[test]
     fn zero_cost_jobs_terminate() {
         let jobs = vec![local(0, 0), remote(0, 0, 0), local(0, 0)];
         for f in [1, 2, 4] {
-            let (makespan, _) = nic_schedule(&jobs, f, None);
+            let (makespan, _) = nic_schedule(&jobs, f);
             // Only the remote latency costs anything, at any fetcher count.
             assert_eq!(makespan, 100, "f={f}");
         }
@@ -790,8 +596,29 @@ mod tests {
 
     #[test]
     fn empty_job_list_is_fine() {
-        let (makespan, wait) = nic_schedule(&[], 4, None);
+        let (makespan, wait) = nic_schedule(&[], 4);
         assert_eq!((makespan, wait), (0, 0));
+    }
+
+    #[test]
+    fn outcome_inputs_align_with_map_tasks() {
+        let outputs = vec![
+            test_output("inputs_a.bin", 1, &["alpha", "beta"]),
+            test_output("inputs_b.bin", 0, &["gamma"]),
+        ];
+        let net = NetworkConfig::local_cluster();
+        let out = run_shuffle(&outputs, 0, 0, &net, 2, None, 4, false).unwrap();
+        assert_eq!(out.inputs.len(), 2);
+        assert_eq!(out.inputs[0].src_node, 1);
+        assert!(out.inputs[0].flow.remote);
+        assert_eq!(out.inputs[1].src_node, 0);
+        assert!(!out.inputs[1].flow.remote);
+        // Replaying the recorded inputs through the event loop in isolation
+        // reproduces the attempt's own schedule.
+        let jobs: Vec<Flow> = out.inputs.iter().map(|i| i.flow).collect();
+        let sim = simulate_attempt_flows(&jobs, 2);
+        assert_eq!(sim.virtual_ns, out.stats.virtual_ns);
+        assert_eq!(sim.wait_ns, out.stats.wait_ns);
     }
 
     #[test]

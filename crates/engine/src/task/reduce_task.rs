@@ -15,7 +15,7 @@ use crate::hash::FnvHashMap;
 use crate::job::{Emit, Job, SliceValues};
 use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile, VNanos};
 use crate::net::NetworkConfig;
-use crate::shuffle::{run_shuffle, ShuffleStats};
+use crate::shuffle::{run_shuffle, FlowInput, ShuffleStats};
 use crate::task::map_task::MapOutput;
 use crate::task::merge::merge_grouped;
 use std::io;
@@ -70,6 +70,14 @@ pub struct ReduceResult {
     /// Shuffle statistics: byte totals, fetch-size histogram, and the
     /// NIC-model schedule for this task's fetches.
     pub shuffle: ShuffleStats,
+    /// Per-flow measured inputs (map-task-id order), for the job driver's
+    /// phase-level replay under shared node ingress.
+    pub flow_inputs: Vec<FlowInput>,
+    /// Post-shuffle time decomposed as `[merge, combine, reduce, write]`
+    /// nanoseconds — the exact clamped cascade the profile's ops carry, so
+    /// the driver can rebuild the trace's reduce lane around a replayed
+    /// shuffle schedule.
+    pub post_parts: [u64; 4],
 }
 
 /// Output sink measuring serialization cost separately from user reduce
@@ -165,6 +173,7 @@ pub fn run_reduce_task(
     let shuffle_virtual_ns = fetched.stats.virtual_ns;
     let runs = fetched.runs;
     let flows = fetched.flows;
+    let flow_inputs = fetched.inputs;
     let shuffle = fetched.stats;
 
     let sw_all = Stopwatch::start();
@@ -240,6 +249,7 @@ pub fn run_reduce_task(
             // deterministic. This is NOT the sort-merge key order the Sort
             // grouping guarantees — just a stable iteration order.
             let mut sorted_groups: Vec<(&Vec<u8>, &Vec<u8>)> = groups.iter().collect();
+            // textmr-lint: allow(sort-unstable-key-runs, reason = "group keys are unique, so no equal-key runs exist")
             sorted_groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
             let mut values: Vec<&[u8]> = Vec::new();
             for (key, buf) in sorted_groups {
@@ -310,6 +320,8 @@ pub fn run_reduce_task(
         pairs: sink.pairs,
         profile,
         shuffle,
+        flow_inputs,
+        post_parts: [merge_c, ic_c, reduce_c, write_c],
     })
 }
 

@@ -43,6 +43,7 @@ impl SpillOutcome {
 /// comparator. Exposed for benches and property tests.
 pub fn sort_indices(seg: &Segment, job: &dyn Job) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..seg.len() as u32).collect();
+    // textmr-lint: allow(sort-unstable-key-runs, reason = "shipped figures pin this equal-key order; value order within a group is unspecified by the job contract")
     idx.sort_unstable_by(|&a, &b| {
         let (a, b) = (a as usize, b as usize);
         seg.part(a)

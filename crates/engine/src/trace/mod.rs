@@ -36,9 +36,16 @@
 //! trace files offline.
 //!
 //! The [`race`] submodule is a vector-clock happens-before checker over a
-//! `JobTrace`: it reconstructs the cross-lane ordering edges (hand-offs,
-//! spill→merge, map-output→fetch, shuffle barriers, retries, slot reuse)
-//! and reports span pairs that touch the same logical resource without a
+//! `JobTrace`. Traces produced by the unified event loop
+//! ([`crate::event`]) carry their ordering edges explicitly in
+//! [`JobTrace::edges`] — each [`TraceEdge`] is emitted by the scheduler's
+//! event graph (slot reuse, retries, backups) or by the task recorders'
+//! structure (spill hand-offs, map-output→fetch, shuffle barriers,
+//! registry hand-offs) — and the checker consumes that ground truth
+//! directly. For legacy edge-less traces (including all shipped
+//! `results/trace_*.json` files) the checker falls back to reconstructing
+//! the same edges from span structure and timing. Either way it reports
+//! span pairs that touch the same logical resource without a
 //! happens-before path — virtual-time races the per-lane tiling checks in
 //! [`JobTrace::check`] cannot see.
 
@@ -559,6 +566,113 @@ pub fn build_reduce_trace(
 }
 
 // ---------------------------------------------------------------------------
+// Recorded happens-before edges
+// ---------------------------------------------------------------------------
+
+/// What kind of ordering a recorded [`TraceEdge`] asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Consecutive occupancy of one `(node, phase, slot)`: the source
+    /// attempt vacated the slot before the destination attempt claimed it.
+    Slot,
+    /// Retry chain: attempt `k` of a task failed before attempt `k + 1`
+    /// started.
+    Retry,
+    /// Speculative hand-off: the primary attempt had started when its
+    /// backup launched.
+    Backup,
+    /// A map task's output was complete before a reduce attempt's flow
+    /// fetched it.
+    MapOut,
+    /// Shuffle barrier: a flow group's last span precedes the reduce
+    /// lane's first op (the merge cannot start before its runs arrive).
+    Barrier,
+    /// A spill segment was written before the map-side merge read it.
+    Spill,
+    /// Pipeline hand-off: a map-lane spill wait precedes the support-lane
+    /// burst it handed the buffer to.
+    Handoff,
+    /// Frequent-key registry hand-off: the node's designated publisher
+    /// froze the shared key set before a same-node waiter adopted it.
+    /// Registry edges describe a *real-time* protocol — the virtual spans
+    /// of publisher and waiter may overlap — so the race checker validates
+    /// them as protocol edges instead of adding them to vector clocks.
+    Registry,
+}
+
+impl EdgeKind {
+    /// Every edge kind, in serialization order.
+    pub const ALL: [EdgeKind; 8] = [
+        EdgeKind::Slot,
+        EdgeKind::Retry,
+        EdgeKind::Backup,
+        EdgeKind::MapOut,
+        EdgeKind::Barrier,
+        EdgeKind::Spill,
+        EdgeKind::Handoff,
+        EdgeKind::Registry,
+    ];
+
+    /// Serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Slot => "slot",
+            EdgeKind::Retry => "retry",
+            EdgeKind::Backup => "backup",
+            EdgeKind::MapOut => "mapout",
+            EdgeKind::Barrier => "barrier",
+            EdgeKind::Spill => "spill",
+            EdgeKind::Handoff => "handoff",
+            EdgeKind::Registry => "registry",
+        }
+    }
+
+    /// Inverse of [`EdgeKind::name`].
+    pub fn from_name(name: &str) -> Option<EdgeKind> {
+        EdgeKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One endpoint of a recorded edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeEnd {
+    /// Index into [`JobTrace::entries`].
+    pub entry: usize,
+    /// Anchoring `(lane, span)` within the entry, or `None` when the edge
+    /// constrains the whole entry (its last events on the source side, its
+    /// first events on the destination side — across every lane).
+    pub at: Option<(usize, usize)>,
+}
+
+impl EdgeEnd {
+    /// An endpoint constraining the whole entry.
+    pub fn entry(entry: usize) -> EdgeEnd {
+        EdgeEnd { entry, at: None }
+    }
+
+    /// An endpoint anchored at one span.
+    pub fn span(entry: usize, lane: usize, span: usize) -> EdgeEnd {
+        EdgeEnd {
+            entry,
+            at: Some((lane, span)),
+        }
+    }
+}
+
+/// One recorded happens-before edge: the source event(s) enabled the
+/// destination event(s). Emitted by the unified event loop's graph and the
+/// task recorders; consumed by [`race::check_races`] as ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEdge {
+    /// What ordering this edge asserts.
+    pub kind: EdgeKind,
+    /// Source (the enabling side).
+    pub src: EdgeEnd,
+    /// Destination (the enabled side).
+    pub dst: EdgeEnd,
+}
+
+// ---------------------------------------------------------------------------
 // Job-level trace
 // ---------------------------------------------------------------------------
 
@@ -665,6 +779,9 @@ pub struct JobTrace {
     pub wall: VNanos,
     /// Every scheduled attempt, including failed ones and backups.
     pub entries: Vec<TraceEntry>,
+    /// Recorded happens-before edges (empty for legacy traces; the race
+    /// checker then falls back to timing-derived reconstruction).
+    pub edges: Vec<TraceEdge>,
 }
 
 impl JobTrace {
@@ -755,14 +872,36 @@ impl JobTrace {
         let mut out = String::with_capacity(4096);
         // Cluster layout rides along in a `textmr` metadata object so the
         // trace is self-describing: [`JobTrace::from_chrome_json`] needs it
-        // to invert the tid layout. Perfetto ignores unknown keys.
+        // to invert the tid layout. Perfetto ignores unknown keys. Recorded
+        // happens-before edges travel in the same object as compact arrays
+        // `[kind, srcEntry, srcLane, srcSpan, dstEntry, dstLane, dstSpan]`
+        // (`-1` marks an entry-level endpoint); the key is omitted entirely
+        // for edge-less traces so legacy exports stay byte-identical.
         let _ = write!(
             out,
             "{{\"displayTimeUnit\":\"ms\",\"textmr\":{{\"nodes\":{},\
-             \"mapSlots\":{},\"reduceSlots\":{},\"fetchers\":{},\"wall\":{}}}\
-             ,\"traceEvents\":[",
+             \"mapSlots\":{},\"reduceSlots\":{},\"fetchers\":{},\"wall\":{}",
             self.nodes, self.map_slots, self.reduce_slots, self.fetchers, self.wall
         );
+        if !self.edges.is_empty() {
+            out.push_str(",\"edges\":[");
+            for (i, e) in self.edges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let (sl, ss) = e.src.at.map_or((-1, -1), |(l, s)| (l as i64, s as i64));
+                let (dl, ds) = e.dst.at.map_or((-1, -1), |(l, s)| (l as i64, s as i64));
+                let _ = write!(
+                    out,
+                    "[\"{}\",{},{sl},{ss},{},{dl},{ds}]",
+                    e.kind.name(),
+                    e.src.entry,
+                    e.dst.entry
+                );
+            }
+            out.push(']');
+        }
+        out.push_str("},\"traceEvents\":[");
         let mut first = true;
         let mut push = |out: &mut String, event: String| {
             if !first {
@@ -1163,6 +1302,12 @@ impl JobTrace {
         let reduce_slots = usize_field(meta, "reduceSlots", "textmr")?;
         let fetchers = usize_field(meta, "fetchers", "textmr")?;
         let wall = num_field(meta, "wall", "textmr")? as u64;
+        let mut edges = Vec::new();
+        if let Some(JsonValue::Arr(raw)) = obj_field(meta, "edges") {
+            for (i, e) in raw.iter().enumerate() {
+                edges.push(parse_edge(e, i)?);
+            }
+        }
         let Some(JsonValue::Arr(events)) = obj_field(top, "traceEvents") else {
             return Err("missing traceEvents".into());
         };
@@ -1309,8 +1454,46 @@ impl JobTrace {
             fetchers,
             wall,
             entries,
+            edges,
         })
     }
+}
+
+/// Parse one serialized edge array
+/// `[kind, srcEntry, srcLane, srcSpan, dstEntry, dstLane, dstSpan]`.
+fn parse_edge(v: &JsonValue, i: usize) -> Result<TraceEdge, String> {
+    let JsonValue::Arr(a) = v else {
+        return Err(format!("edge {i}: not an array"));
+    };
+    if a.len() != 7 {
+        return Err(format!("edge {i}: expected 7 elements, got {}", a.len()));
+    }
+    let JsonValue::Str(kind_name) = &a[0] else {
+        return Err(format!("edge {i}: kind is not a string"));
+    };
+    let kind = EdgeKind::from_name(kind_name)
+        .ok_or_else(|| format!("edge {i}: unknown kind {kind_name:?}"))?;
+    let int = |j: usize| -> Result<i64, String> {
+        match &a[j] {
+            JsonValue::Num(n) => Ok(*n as i64),
+            _ => Err(format!("edge {i}: element {j} is not a number")),
+        }
+    };
+    let end = |entry: i64, lane: i64, span: i64| -> Result<EdgeEnd, String> {
+        if entry < 0 {
+            return Err(format!("edge {i}: negative entry index"));
+        }
+        Ok(if lane < 0 || span < 0 {
+            EdgeEnd::entry(entry as usize)
+        } else {
+            EdgeEnd::span(entry as usize, lane as usize, span as usize)
+        })
+    };
+    Ok(TraceEdge {
+        kind,
+        src: end(int(1)?, int(2)?, int(3)?)?,
+        dst: end(int(4)?, int(5)?, int(6)?)?,
+    })
 }
 
 enum JsonValue {
@@ -1636,6 +1819,7 @@ mod tests {
             reduce_slots: 1,
             fetchers: 1,
             wall: 162,
+            edges: Vec::new(),
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
@@ -1713,6 +1897,7 @@ mod tests {
             reduce_slots: 1,
             fetchers: 1,
             wall: 79,
+            edges: Vec::new(),
             entries: vec![TraceEntry {
                 kind: TaskKind::Reduce,
                 task: 0,
@@ -1772,6 +1957,7 @@ mod tests {
             reduce_slots: 1,
             fetchers: 1,
             wall: 40 + 62 * 3,
+            edges: Vec::new(),
             entries: vec![TraceEntry {
                 kind: TaskKind::Map,
                 task: 0,

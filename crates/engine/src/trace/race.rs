@@ -4,9 +4,9 @@
 //! says nothing about *cross-lane* ordering: a trace can tile perfectly
 //! while a reducer fetches a map output before the map task sealed it, or a
 //! merge reads a spill file the support thread has not written yet. This
-//! module reconstructs the schedule's synchronization edges and reports any
-//! pair of spans that touch the same logical resource without a
-//! happens-before path between them — a virtual-time race.
+//! module checks the schedule's synchronization edges and reports any pair
+//! of spans that touch the same logical resource without a happens-before
+//! path between them — a virtual-time race.
 //!
 //! ## Model
 //!
@@ -14,42 +14,66 @@
 //!   (failed / speculation-lost / dead-backup) is a one-event thread.
 //! * **Events**: a thread's spans in lane order. Program order within a
 //!   thread is always a happens-before edge.
-//! * **Synchronization edges** (each added only when *timing-consistent*,
-//!   i.e. the source event ends no later than the destination starts — an
-//!   edge the timing contradicts is no evidence of ordering, and dropping
-//!   it is what surfaces the race on the resource it was meant to order):
-//!   * *slot reuse*: consecutive attempts on one `(node, phase, slot)`;
-//!   * *retries*: attempt `k` of a task precedes attempt `k + 1`;
-//!   * *map-output publication*: the attempt of record of map task `t`
-//!     precedes every shuffle flow that fetches output `t` (flow spans are
-//!     matched by their [`Span::flow`] tag);
-//!   * *spill hand-off*: each spill write on a map attempt's support lane
-//!     precedes the map lane's merge;
-//!   * *shuffle barrier*: each fetcher lane's last op span precedes the
-//!     reduce lane's first post-shuffle op span.
-//! * **Resources**: scheduler slots, task attempt serialization, map
-//!   outputs, spill files, fetched runs, and reduce output partitions. Two
-//!   accesses conflict when they share a resource and at least one writes;
-//!   a conflict with no happens-before path in either direction is a race.
+//! * **Synchronization edges** come from one of two places:
+//!   * **Recorded** ([`JobTrace::edges`] non-empty): the unified event
+//!     loop emitted the edges while scheduling — slot chains, retries,
+//!     and speculative hand-offs off the event graph; map-output
+//!     publication, spill hand-ins, and shuffle barriers off the
+//!     producer-side task structure. The checker consumes them as ground
+//!     truth instead of reconstructing orderings from span timings.
+//!   * **Derived** (legacy traces with no recorded edges): the checker
+//!     reconstructs the same edge families from the entries themselves —
+//!     slot reuse on one `(node, phase, slot)` ordered by span timing,
+//!     retry chains by attempt number, map-output publication to each
+//!     flow group (matched by [`Span::flow`] tag), spill hand-offs, and
+//!     the per-flow shuffle barrier into the reduce lane's first op.
 //!
-//! Because every edge is timing-consistent and consecutive lane spans
-//! touch, any happens-before chain is monotone in virtual time — the
+//!   Either way an edge is *applied* only when timing-consistent (the
+//!   source event ends no later than the destination starts): an edge the
+//!   timing contradicts is no evidence of ordering, and dropping it is
+//!   what surfaces the race on the resource it was meant to order.
+//!   Recorded endpoints that no longer resolve (a mutated trace dropped
+//!   an entry, lane, or span) are dropped the same way.
+//! * **Resources**: scheduler slots, task attempt serialization, map
+//!   outputs, spill files, fetched runs, and reduce output partitions.
+//!   Accesses are always derived from the entries' structure — recorded
+//!   edges assert *orderings*, never hide an access. Two accesses
+//!   conflict when they share a resource and at least one writes; a
+//!   conflict with no happens-before path in either direction is a race.
+//!   Structural invariants (one attempt of record per task, support
+//!   bursts paired with spill-wait hand-offs) are checked unconditionally
+//!   in both modes.
+//!
+//! Because every applied edge is timing-consistent and consecutive lane
+//! spans touch, any happens-before chain is monotone in virtual time — the
 //! checker can never "order" two time-overlapping accesses, so a reported
 //! race is always a genuine lack of synchronization evidence.
 //!
+//! ## The frequent-key registry
+//!
+//! The registry synchronizes in *real* time (publisher / waiter handshake
+//! inside a map wave); its outcome is deterministic and its waits are
+//! invisible in virtual time by design, so the publisher's and waiters'
+//! virtual spans may freely overlap. Traces from the unified loop record
+//! the designated-publisher hand-offs as [`EdgeKind::Registry`] edges;
+//! the checker validates them as *protocol* edges — endpoints must be map
+//! entries, the publisher must carry the node's lowest task id, no waiter
+//! may have two publishers or be a publisher itself, and a publisher's
+//! node must not host an unconnected map task — instead of feeding them
+//! to the vector clocks, where their timing-overlap would be
+//! misread as a race.
+//!
 //! ## Deliberate non-resources
 //!
-//! * The **frequent-key registry** synchronizes in *real* time (publisher /
-//!   waiter handshake inside a map wave); its outcome is deterministic and
-//!   its waits are invisible in virtual time by design, so registry slots
-//!   are out of the happens-before domain.
 //! * The **NIC ingress** is a fairly-*shared* resource: concurrent
 //!   transfers into one node are the NIC model's whole point, not a race.
 //!   Transfer spans are tallied in [`RaceReport::accesses`] for visibility
 //!   but carry no exclusivity obligation; per-fetcher-slot exclusivity is
 //!   already proven by lane tiling.
 
-use super::{EntryDetail, IdleKind, JobTrace, LaneRole, Span, SpanKind, TaskKind};
+use super::{
+    EdgeEnd, EdgeKind, EntryDetail, IdleKind, JobTrace, LaneRole, Span, SpanKind, TaskKind,
+};
 use crate::metrics::{Op, VNanos};
 use std::collections::BTreeMap;
 
@@ -275,17 +299,195 @@ impl<'t> Checker<'t> {
     }
 
     fn run(mut self) -> RaceReport {
-        self.slot_edges_and_accesses();
-        self.attempt_edges_and_accesses();
+        // Recorded mode: the trace carries ground-truth edges from the
+        // unified event loop; skip timing-derived edge reconstruction and
+        // apply the recorded edges instead. Accesses and structural
+        // invariants are derived from the entries either way.
+        let derive = self.trace.edges.is_empty();
+        self.slot_edges_and_accesses(derive);
+        self.attempt_edges_and_accesses(derive);
         let of_record = self.of_record_map();
-        self.map_entry_accesses(&of_record);
-        self.reduce_entry_accesses(&of_record);
+        self.map_entry_accesses(&of_record, derive);
+        self.reduce_entry_accesses(&of_record, derive);
+        if !derive {
+            self.apply_recorded_edges(&of_record);
+        }
         self.check_races_on_accesses()
+    }
+
+    /// Resolve one recorded edge endpoint to concrete events. An
+    /// entry-level endpoint fans out to every thread of the entry (last
+    /// events on the source side, first events on the destination side); a
+    /// span-level endpoint names one event. Endpoints that no longer
+    /// resolve — a mutated trace dropped the entry, lane, or span — yield
+    /// `None`, which drops the edge and lets the conflict it should have
+    /// ordered surface as a race.
+    fn resolve_end(&self, end: EdgeEnd, src_side: bool) -> Option<Vec<EvRef>> {
+        if end.entry >= self.trace.entries.len() {
+            return None;
+        }
+        match end.at {
+            None => Some(if src_side {
+                self.entry_lasts(end.entry)
+            } else {
+                self.entry_firsts(end.entry)
+            }),
+            Some((lane, span)) => {
+                let &t = self.tix.get(&(end.entry, lane))?;
+                if span >= self.threads[t].events.len() {
+                    return None;
+                }
+                Some(vec![(t, span)])
+            }
+        }
+    }
+
+    /// Apply the trace's recorded edges. Every edge except
+    /// [`EdgeKind::Registry`] feeds the vector clocks through the same
+    /// timing filter as derived edges; registry hand-offs synchronize in
+    /// real time, so they are validated as protocol edges instead (see the
+    /// module docs).
+    fn apply_recorded_edges(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>) {
+        let recorded = self.trace.edges.clone();
+        let mut registry = Vec::new();
+        for e in recorded {
+            if e.kind == EdgeKind::Registry {
+                registry.push(e);
+                continue;
+            }
+            let (Some(srcs), Some(dsts)) = (
+                self.resolve_end(e.src, true),
+                self.resolve_end(e.dst, false),
+            ) else {
+                continue;
+            };
+            self.edge_all(&srcs, &dsts);
+        }
+        self.validate_registry_protocol(&registry, of_record);
+    }
+
+    /// Validate the frequent-key registry's designated-publisher protocol.
+    ///
+    /// Registry edges are exempt from the timing filter and the vector
+    /// clocks — the publisher / waiter handshake happens in *real* time
+    /// inside a map wave, so the endpoints' virtual spans legitimately
+    /// overlap. What must hold is the protocol shape: both endpoints are
+    /// map entries, the publisher carries the lower task id (the driver
+    /// designates the node's first map task), no task is both a publisher
+    /// and a waiter, no waiter has two publishers, endpoints share a node
+    /// unless speculation moved a backup winner, and every non-backup map
+    /// attempt of record on a publishing node is connected to that node's
+    /// publisher.
+    fn validate_registry_protocol(
+        &mut self,
+        edges: &[super::TraceEdge],
+        of_record: &BTreeMap<(TaskKind, usize), usize>,
+    ) {
+        if edges.is_empty() {
+            return;
+        }
+        let structure = |resource: String, message: String| RaceDiagnostic {
+            kind: RaceKind::Structure,
+            resource,
+            message,
+        };
+        let mut publishers: BTreeMap<usize, usize> = BTreeMap::new(); // src entry -> node
+        let mut waiter_of: BTreeMap<usize, usize> = BTreeMap::new(); // dst entry -> src entry
+        let mut diags = Vec::new();
+        for e in edges {
+            let resource = "registry".to_string();
+            let ok = |end: EdgeEnd| {
+                end.at.is_none()
+                    && self
+                        .trace
+                        .entries
+                        .get(end.entry)
+                        .is_some_and(|t| t.kind == TaskKind::Map)
+            };
+            if !ok(e.src) || !ok(e.dst) {
+                diags.push(structure(
+                    resource,
+                    "registry edge endpoint is not a map entry".into(),
+                ));
+                continue;
+            }
+            let (src, dst) = (
+                &self.trace.entries[e.src.entry],
+                &self.trace.entries[e.dst.entry],
+            );
+            if src.task >= dst.task {
+                diags.push(structure(
+                    format!("registry:n{}", src.node),
+                    format!(
+                        "publisher map {} does not carry the lowest task id (waiter map {})",
+                        src.task, dst.task
+                    ),
+                ));
+            }
+            if src.node != dst.node && !src.backup && !dst.backup {
+                diags.push(structure(
+                    format!("registry:n{}", src.node),
+                    format!(
+                        "hand-off from map {} (node {}) to map {} (node {}) crosses nodes \
+                         without a backup winner",
+                        src.task, src.node, dst.task, dst.node
+                    ),
+                ));
+            }
+            publishers.insert(e.src.entry, src.node);
+            if let Some(&prev) = waiter_of.get(&e.dst.entry) {
+                if prev != e.src.entry {
+                    diags.push(structure(
+                        format!("registry:n{}", dst.node),
+                        format!("waiter map {} has two publishers", dst.task),
+                    ));
+                }
+            } else {
+                waiter_of.insert(e.dst.entry, e.src.entry);
+            }
+        }
+        for (&pei, &node) in &publishers {
+            let p = &self.trace.entries[pei];
+            if waiter_of.contains_key(&pei) {
+                diags.push(structure(
+                    format!("registry:n{node}"),
+                    format!("map {} is both a publisher and a waiter", p.task),
+                ));
+            }
+            // Per-node completeness: every other non-backup map attempt of
+            // record on the publisher's node must be one of its waiters. A
+            // backup publisher ran away from the home node, so its entry's
+            // node says nothing about which tasks should wait on it.
+            if p.backup {
+                continue;
+            }
+            for (&(kind, task), &ei) in of_record {
+                if kind != TaskKind::Map || ei == pei {
+                    continue;
+                }
+                let w = &self.trace.entries[ei];
+                if w.backup || w.node != node {
+                    continue;
+                }
+                if waiter_of.get(&ei) != Some(&pei) {
+                    diags.push(structure(
+                        format!("registry:n{node}"),
+                        format!(
+                            "map {} on node {node} has no hand-off edge from publisher map {}",
+                            task, p.task
+                        ),
+                    ));
+                }
+            }
+        }
+        self.diagnostics.extend(diags);
     }
 
     /// Group entries by `(node, phase, slot)`: consecutive attempts on a
     /// slot are serialized, and every attempt is a write to the slot.
-    fn slot_edges_and_accesses(&mut self) {
+    /// `derive` controls whether the serialization edges are reconstructed
+    /// here (legacy traces) or left to the recorded slot chains.
+    fn slot_edges_and_accesses(&mut self, derive: bool) {
         let mut by_slot: BTreeMap<(usize, TaskKind, usize), Vec<usize>> = BTreeMap::new();
         for (ei, e) in self.trace.entries.iter().enumerate() {
             by_slot
@@ -298,10 +500,12 @@ impl<'t> Checker<'t> {
                 let e = &self.trace.entries[ei];
                 (e.start, e.end, ei)
             });
-            for w in eis.windows(2) {
-                let srcs = self.entry_lasts(w[0]);
-                let dsts = self.entry_firsts(w[1]);
-                self.edge_all(&srcs, &dsts);
+            if derive {
+                for w in eis.windows(2) {
+                    let srcs = self.entry_lasts(w[0]);
+                    let dsts = self.entry_firsts(w[1]);
+                    self.edge_all(&srcs, &dsts);
+                }
             }
             for ei in eis {
                 let (first, last) = self.entry_envelope(ei);
@@ -319,8 +523,10 @@ impl<'t> Checker<'t> {
 
     /// Non-backup attempts of one task are serialized retries; each is a
     /// write to the task's attempt slot. Backups race their primary by
-    /// design (first completion wins) and are exempt.
-    fn attempt_edges_and_accesses(&mut self) {
+    /// design (first completion wins) and are exempt. `derive` controls
+    /// whether retry edges are reconstructed here (legacy traces) or left
+    /// to the recorded retry chains.
+    fn attempt_edges_and_accesses(&mut self, derive: bool) {
         let mut by_task: BTreeMap<(TaskKind, usize), Vec<usize>> = BTreeMap::new();
         for (ei, e) in self.trace.entries.iter().enumerate() {
             if !e.backup {
@@ -329,10 +535,12 @@ impl<'t> Checker<'t> {
         }
         for ((kind, task), mut eis) in by_task {
             eis.sort_by_key(|&ei| self.trace.entries[ei].attempt);
-            for w in eis.windows(2) {
-                let srcs = self.entry_lasts(w[0]);
-                let dsts = self.entry_firsts(w[1]);
-                self.edge_all(&srcs, &dsts);
+            if derive {
+                for w in eis.windows(2) {
+                    let srcs = self.entry_lasts(w[0]);
+                    let dsts = self.entry_firsts(w[1]);
+                    self.edge_all(&srcs, &dsts);
+                }
             }
             for ei in eis {
                 let (first, last) = self.entry_envelope(ei);
@@ -386,7 +594,9 @@ impl<'t> Checker<'t> {
 
     /// Map attempts of record: spill-file accesses + hand-off structure on
     /// the support lane, merge reads, and the map-output write envelope.
-    fn map_entry_accesses(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>) {
+    /// `derive` controls whether the spill hand-in edges are reconstructed
+    /// here (legacy traces) or left to the recorded spill edges.
+    fn map_entry_accesses(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>, derive: bool) {
         for (&(kind, task), &ei) in of_record {
             if kind != TaskKind::Map {
                 continue;
@@ -444,7 +654,9 @@ impl<'t> Checker<'t> {
                             who: format!("{who} support"),
                         });
                         if let Some(m) = merge {
-                            self.edge((st, i), m);
+                            if derive {
+                                self.edge((st, i), m);
+                            }
                             self.accesses.push(Access {
                                 resource,
                                 res_kind: "spill",
@@ -478,8 +690,14 @@ impl<'t> Checker<'t> {
 
     /// Reduce attempts of record: flow-group reads of map outputs, run
     /// writes, the shuffle barrier into the reduce lane, and the output
-    /// partition write.
-    fn reduce_entry_accesses(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>) {
+    /// partition write. `derive` controls whether publication and barrier
+    /// edges are reconstructed here (legacy traces) or left to the
+    /// recorded map-out and barrier edges.
+    fn reduce_entry_accesses(
+        &mut self,
+        of_record: &BTreeMap<(TaskKind, usize), usize>,
+        derive: bool,
+    ) {
         for (&(kind, partition), &ei) in of_record {
             if kind != TaskKind::Reduce {
                 continue;
@@ -537,10 +755,12 @@ impl<'t> Checker<'t> {
                     // The flow reads the published map output...
                     match of_record.get(&(TaskKind::Map, src as usize)) {
                         Some(&mei) => {
-                            if let Some(mli) = self.lane_of(mei, LaneRole::Map) {
-                                if let Some(&mt) = self.tix.get(&(mei, mli)) {
-                                    let mlast = self.threads[mt].events.len() - 1;
-                                    self.edge((mt, mlast), (t, gf));
+                            if derive {
+                                if let Some(mli) = self.lane_of(mei, LaneRole::Map) {
+                                    if let Some(&mt) = self.tix.get(&(mei, mli)) {
+                                        let mlast = self.threads[mt].events.len() - 1;
+                                        self.edge((mt, mlast), (t, gf));
+                                    }
                                 }
                             }
                             self.accesses.push(Access {
@@ -572,7 +792,9 @@ impl<'t> Checker<'t> {
                     // event (transfer or decompress completion), not the
                     // fetch op that merely issued the request.
                     if let Some(rf) = reduce_first_op {
-                        self.edge((t, gl), rf);
+                        if derive {
+                            self.edge((t, gl), rf);
+                        }
                         self.accesses.push(Access {
                             resource: format!("runs:{partition}/{src}"),
                             res_kind: "runs",
@@ -725,7 +947,7 @@ impl<'t> Checker<'t> {
 mod tests {
     use super::super::{
         build_reduce_trace, AttemptKind, FlowTrace, JobTrace, MapTraceRecorder, TaskLane,
-        TraceEntry,
+        TraceEdge, TraceEntry,
     };
     use super::*;
 
@@ -758,6 +980,7 @@ mod tests {
             reduce_slots: 1,
             fetchers: 1,
             wall: 200,
+            edges: Vec::new(),
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
@@ -985,6 +1208,280 @@ mod tests {
                 .iter()
                 .any(|d| d.kind == RaceKind::Race && d.resource.starts_with("runs:")),
             "expected a runs race:\n{}",
+            report.render()
+        );
+    }
+
+    /// Rebuild the edges the unified event loop would have recorded for a
+    /// micro trace: entry-level map-out publication, span-level spill
+    /// hand-ins, and span-level shuffle barriers.
+    fn recorded_micro_edges(trace: &JobTrace) -> Vec<TraceEdge> {
+        let lanes = |ei: usize| match &trace.entries[ei].detail {
+            EntryDetail::Lanes(l) => l.as_slice(),
+            EntryDetail::Flat(_) => panic!("flat entry"),
+        };
+        let mut edges = Vec::new();
+        let (map_eis, reduce_eis): (Vec<usize>, Vec<usize>) = {
+            let m = (0..trace.entries.len())
+                .filter(|&i| trace.entries[i].kind == TaskKind::Map)
+                .collect();
+            let r = (0..trace.entries.len())
+                .filter(|&i| trace.entries[i].kind == TaskKind::Reduce)
+                .collect();
+            (m, r)
+        };
+        for &mi in &map_eis {
+            for &ri in &reduce_eis {
+                edges.push(TraceEdge {
+                    kind: EdgeKind::MapOut,
+                    src: EdgeEnd::entry(mi),
+                    dst: EdgeEnd::entry(ri),
+                });
+            }
+            let ml = lanes(mi);
+            let mli = ml.iter().position(|l| l.role == LaneRole::Map).unwrap();
+            let sli = ml.iter().position(|l| l.role == LaneRole::Support).unwrap();
+            let merge_si = ml[mli]
+                .spans
+                .iter()
+                .position(|s| s.kind == SpanKind::Op(Op::Merge))
+                .unwrap();
+            for (si, s) in ml[sli].spans.iter().enumerate() {
+                if s.kind == SpanKind::Op(Op::SpillWrite) {
+                    edges.push(TraceEdge {
+                        kind: EdgeKind::Spill,
+                        src: EdgeEnd::span(mi, sli, si),
+                        dst: EdgeEnd::span(mi, mli, merge_si),
+                    });
+                }
+            }
+        }
+        for &ri in &reduce_eis {
+            let rl = lanes(ri);
+            let rli = rl.iter().position(|l| l.role == LaneRole::Reduce).unwrap();
+            let rsi = rl[rli]
+                .spans
+                .iter()
+                .position(|s| matches!(s.kind, SpanKind::Op(_)))
+                .unwrap();
+            for (li, lane) in rl.iter().enumerate() {
+                if !matches!(lane.role, LaneRole::Fetcher(_)) {
+                    continue;
+                }
+                let mut last: BTreeMap<u32, usize> = BTreeMap::new();
+                for (si, s) in lane.spans.iter().enumerate() {
+                    if let Some(f) = s.flow {
+                        last.insert(f, si);
+                    }
+                }
+                for (_, si) in last {
+                    edges.push(TraceEdge {
+                        kind: EdgeKind::Barrier,
+                        src: EdgeEnd::span(ri, li, si),
+                        dst: EdgeEnd::span(ri, rli, rsi),
+                    });
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn recorded_edges_replace_timing_derivation() {
+        let mut trace = micro_trace();
+        trace.edges = recorded_micro_edges(&trace);
+        let report = check_races(&trace);
+        assert!(
+            report.is_clean(),
+            "recorded mode must accept the clean trace:\n{}",
+            report.render()
+        );
+        assert!(report.edges > 0, "recorded edges must feed the clocks");
+    }
+
+    #[test]
+    fn recorded_edge_contradicted_by_timing_is_dropped() {
+        let mut trace = micro_trace();
+        trace.edges = recorded_micro_edges(&trace);
+        // Shift the reduce attempt before the map sealed its output: the
+        // recorded MapOut edge is now timing-inconsistent, so it must be
+        // dropped and the mapout conflict surfaces as a race.
+        let e = &mut trace.entries[1];
+        let shift = 90u64;
+        e.start -= shift;
+        e.end -= shift;
+        for lane in lanes_mut(e) {
+            for s in &mut lane.spans {
+                s.start -= shift;
+                s.end -= shift;
+            }
+        }
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource == "mapout:0"),
+            "expected a mapout race despite the recorded edge:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn recorded_edge_with_dangling_endpoint_is_dropped() {
+        let mut trace = micro_trace();
+        trace.edges = recorded_micro_edges(&trace);
+        // Point a barrier edge at a span past the end of its lane: the
+        // endpoint no longer resolves, so the edge is dropped and the runs
+        // conflict it ordered becomes a race.
+        for e in &mut trace.edges {
+            if e.kind == EdgeKind::Barrier {
+                if let Some((_, span)) = &mut e.dst.at {
+                    *span += 1000;
+                }
+            }
+        }
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource.starts_with("runs:")),
+            "expected a runs race:\n{}",
+            report.render()
+        );
+    }
+
+    /// Two co-homed map tasks plus the reduce consumer, with a registry
+    /// hand-off recorded from the designated publisher (lowest task id on
+    /// the node) to its waiter. Publisher and waiter overlap in virtual
+    /// time — that is the point of the real-time protocol.
+    fn registry_trace() -> JobTrace {
+        let mut trace = micro_trace();
+        let mut second = trace.entries[0].clone();
+        second.task = 1;
+        second.slot = 1;
+        trace.map_slots = 2;
+        trace.entries.insert(1, second);
+        trace.edges = recorded_micro_edges(&trace);
+        trace.edges.push(TraceEdge {
+            kind: EdgeKind::Registry,
+            src: EdgeEnd::entry(0),
+            dst: EdgeEnd::entry(1),
+        });
+        trace
+    }
+
+    #[test]
+    fn registry_handoff_is_protocol_not_a_race() {
+        let trace = registry_trace();
+        let report = check_races(&trace);
+        assert!(
+            report.is_clean(),
+            "overlapping publisher/waiter must not race:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn registry_publisher_must_carry_lowest_task_id() {
+        let mut trace = registry_trace();
+        for e in &mut trace.edges {
+            if e.kind == EdgeKind::Registry {
+                std::mem::swap(&mut e.src, &mut e.dst);
+            }
+        }
+        let report = check_races(&trace);
+        assert!(
+            report.diagnostics.iter().any(|d| {
+                d.kind == RaceKind::Structure
+                    && d.resource.starts_with("registry:")
+                    && d.message.contains("lowest task id")
+            }),
+            "expected a publisher-designation finding:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn registry_waiter_without_handoff_is_structural() {
+        let mut trace = registry_trace();
+        // A third co-homed map task with no hand-off edge from the node's
+        // publisher: the wave protocol covers every same-node map task.
+        let mut third = trace.entries[0].clone();
+        third.task = 2;
+        third.slot = 2;
+        trace.map_slots = 3;
+        trace.entries.insert(2, third);
+        trace.edges = recorded_micro_edges(&trace);
+        trace.edges.push(TraceEdge {
+            kind: EdgeKind::Registry,
+            src: EdgeEnd::entry(0),
+            dst: EdgeEnd::entry(1),
+        });
+        let report = check_races(&trace);
+        assert!(
+            report.diagnostics.iter().any(|d| {
+                d.kind == RaceKind::Structure
+                    && d.resource.starts_with("registry:")
+                    && d.message.contains("no hand-off edge")
+            }),
+            "expected a completeness finding:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn registry_publisher_cannot_also_wait() {
+        let mut trace = registry_trace();
+        let mut third = trace.entries[0].clone();
+        third.task = 2;
+        third.slot = 2;
+        trace.map_slots = 3;
+        trace.entries.insert(2, third);
+        trace.edges = recorded_micro_edges(&trace);
+        // Chain 0 -> 1 -> 2: map 1 is both a waiter and a publisher.
+        trace.edges.push(TraceEdge {
+            kind: EdgeKind::Registry,
+            src: EdgeEnd::entry(0),
+            dst: EdgeEnd::entry(1),
+        });
+        trace.edges.push(TraceEdge {
+            kind: EdgeKind::Registry,
+            src: EdgeEnd::entry(1),
+            dst: EdgeEnd::entry(2),
+        });
+        let report = check_races(&trace);
+        assert!(
+            report.diagnostics.iter().any(|d| {
+                d.kind == RaceKind::Structure
+                    && d.resource.starts_with("registry:")
+                    && d.message.contains("both a publisher and a waiter")
+            }),
+            "expected a publisher-is-waiter finding:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn registry_edge_must_join_map_entries() {
+        let mut trace = registry_trace();
+        let reduce_ei = trace
+            .entries
+            .iter()
+            .position(|e| e.kind == TaskKind::Reduce)
+            .unwrap();
+        trace.edges.push(TraceEdge {
+            kind: EdgeKind::Registry,
+            src: EdgeEnd::entry(0),
+            dst: EdgeEnd::entry(reduce_ei),
+        });
+        let report = check_races(&trace);
+        assert!(
+            report.diagnostics.iter().any(|d| {
+                d.kind == RaceKind::Structure && d.message.contains("not a map entry")
+            }),
+            "expected an endpoint finding:\n{}",
             report.render()
         );
     }

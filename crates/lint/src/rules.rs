@@ -1,6 +1,6 @@
 //! The rule catalogue.
 //!
-//! Five rules, all rooted in the same invariant: a virtual-time schedule is
+//! Six rules, all rooted in the same invariant: a virtual-time schedule is
 //! only deterministic if no nondeterministic input (host clock, hash-order
 //! iteration, silent truncation, silent wrap) can reach an output, a
 //! signature, or a scheduling decision. See DESIGN.md §3e for the rationale
@@ -32,16 +32,24 @@ pub enum Rule {
     /// `#![forbid(unsafe_code)]`, and library roots additionally
     /// `#![deny(missing_docs)]`.
     MissingCrateLints,
+    /// `sort-unstable-key-runs`: flags `.sort_unstable_by` /
+    /// `.sort_unstable_by_key` in non-test code. An unstable sort may
+    /// reorder key-equal runs differently across std versions, so any
+    /// order that leaks into outputs or schedules must come from a stable
+    /// sort or a comparator that breaks every tie; keyless
+    /// `.sort_unstable()` is exempt (equal elements are interchangeable).
+    SortUnstableKeyRuns,
 }
 
 impl Rule {
     /// All rules, in catalogue order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::WallClock,
         Rule::UnorderedIteration,
         Rule::LossyVirtualTimeCast,
         Rule::UncheckedVirtualAccumulator,
         Rule::MissingCrateLints,
+        Rule::SortUnstableKeyRuns,
     ];
 
     /// The rule's diagnostic / pragma name.
@@ -52,6 +60,7 @@ impl Rule {
             Rule::LossyVirtualTimeCast => "lossy-virtual-time-cast",
             Rule::UncheckedVirtualAccumulator => "unchecked-virtual-accumulator",
             Rule::MissingCrateLints => "missing-crate-lints",
+            Rule::SortUnstableKeyRuns => "sort-unstable-key-runs",
         }
     }
 
@@ -82,6 +91,11 @@ impl Rule {
             Rule::MissingCrateLints => {
                 "crate roots must carry #![forbid(unsafe_code)] and, for \
                  libraries, #![deny(missing_docs)]"
+            }
+            Rule::SortUnstableKeyRuns => {
+                "sort_unstable_by/_by_key may reorder key-equal runs; \
+                 use a stable sort, break ties in the comparator, or \
+                 annotate why equal keys cannot coexist"
             }
         }
     }

@@ -341,6 +341,20 @@ fn line_findings(line_toks: &[Token<'_>]) -> Vec<(Rule, String)> {
         ));
     }
 
+    if let Some(t) = line_toks.iter().find(|t| {
+        t.kind == TokKind::Ident && matches!(t.text, "sort_unstable_by" | "sort_unstable_by_key")
+    }) {
+        out.push((
+            Rule::SortUnstableKeyRuns,
+            format!(
+                "`{}` may reorder key-equal runs (unstable across std \
+                 versions); use the stable sort, break every tie in the \
+                 comparator, or annotate why equal keys cannot coexist",
+                t.text
+            ),
+        ));
+    }
+
     if let Some(t) = line_toks
         .iter()
         .find(|t| t.kind == TokKind::Ident && UNORDERED_TYPES.contains(&t.text))
@@ -585,6 +599,23 @@ use std::time::Instant;
             FileClass::Code
         )
         .is_empty());
+    }
+
+    #[test]
+    fn sort_unstable_rule_spares_the_keyless_form() {
+        assert_eq!(
+            rules_fired("v.sort_unstable_by_key(|s| s.start);\n", FileClass::Code),
+            ["sort-unstable-key-runs"]
+        );
+        assert_eq!(
+            rules_fired(
+                "v.sort_unstable_by(|a, b| a.0.cmp(&b.0));\n",
+                FileClass::Code
+            ),
+            ["sort-unstable-key-runs"]
+        );
+        assert!(rules_fired("v.sort_unstable();\n", FileClass::Code).is_empty());
+        assert!(rules_fired("v.sort_by_key(|s| s.start);\n", FileClass::Code).is_empty());
     }
 
     #[test]

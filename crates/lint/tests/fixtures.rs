@@ -119,6 +119,28 @@ fn missing_crate_lints_fixture_flags_lib_roots_only() {
 }
 
 #[test]
+fn sort_unstable_fixture_flags_keyed_forms_only() {
+    let diags = scan_fixture("sort_unstable.rs", FileClass::Code);
+    let hits = lines_for(&diags, "sort-unstable-key-runs");
+    let lines: Vec<u32> = hits.iter().map(|&(l, _)| l).collect();
+    assert!(lines.contains(&5), "sort_unstable_by_key: {diags:?}");
+    assert!(lines.contains(&10), "sort_unstable_by: {diags:?}");
+    assert!(
+        !lines.contains(&16),
+        "keyless sort_unstable is exempt: {diags:?}"
+    );
+    assert!(
+        !lines.contains(&22),
+        "pragma-annotated site is exempt: {diags:?}"
+    );
+    assert!(
+        !lines.contains(&27),
+        "stable sort_by_key is exempt: {diags:?}"
+    );
+    assert_eq!(diags.len(), hits.len(), "only sort findings expected");
+}
+
+#[test]
 fn well_formed_pragmas_silence_everything() {
     let diags = scan_fixture("suppressed_clean.rs", FileClass::Code);
     assert!(diags.is_empty(), "expected a clean scan, got: {diags:?}");
@@ -156,6 +178,7 @@ fn test_code_is_fully_exempt() {
         "lossy_cast.rs",
         "unchecked_accumulator.rs",
         "missing_crate_lints.rs",
+        "sort_unstable.rs",
     ] {
         let diags = scan_fixture(fixture, FileClass::TestCode);
         assert!(diags.is_empty(), "{fixture}: {diags:?}");

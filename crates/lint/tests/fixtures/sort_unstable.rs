@@ -1,0 +1,29 @@
+//! Fixture: unstable sorts with key extraction / comparators must fire;
+//! the keyless form and annotated sites stay silent.
+
+pub fn order_spans(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.sort_unstable_by_key(|s| s.0);
+    spans
+}
+
+pub fn order_names(mut names: Vec<String>) -> Vec<String> {
+    names.sort_unstable_by(|a, b| a.len().cmp(&b.len()));
+    names
+}
+
+pub fn order_ids(mut ids: Vec<u64>) -> Vec<u64> {
+    // Keyless: equal elements are interchangeable, reordering is invisible.
+    ids.sort_unstable();
+    ids
+}
+
+pub fn order_totals(mut totals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    // textmr-lint: allow(sort-unstable-key-runs, reason = "full tuple compared, no equal keys")
+    totals.sort_unstable_by(|a, b| a.cmp(b));
+    totals
+}
+
+pub fn order_stable(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.sort_by_key(|s| s.0);
+    spans
+}
