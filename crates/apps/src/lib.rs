@@ -14,6 +14,13 @@
 //! | [`access_log::AccessLogJoin`] | relational | Zipf 0.8 | light | none (join) |
 //! | [`pagerank::PageRank`] | graph | Zipf 1 (in-links) | light | sums contributions |
 //! | [`syntext::SynText`] | synthetic | Zipf ≈ 1 | parameter | parameter β |
+//! | [`prefix_sum::PrefixLocal`]/[`prefix_sum::PrefixScan`]/[`prefix_sum::PrefixApply`] | numeric, 3-round DAG | uniform blocks | light | sums block totals |
+//!
+//! Two of these are *multi-round*: [`pagerank::pagerank_to_convergence`]
+//! iterates PageRank through the engine's DAG executor until the rank
+//! vector converges, and [`prefix_sum`] is the Goodrich-style
+//! three-round parallel scan — both chain rounds through the typed
+//! framed hand-off, never re-parsing text between rounds.
 //!
 //! None of the applications knows anything about frequency-buffering or
 //! spill-matcher — the paper's "no user code changes" claim is structural
@@ -27,12 +34,14 @@ pub mod access_log;
 pub mod inverted_index;
 pub mod pagerank;
 pub mod pos_tag;
+pub mod prefix_sum;
 pub mod syntext;
 pub mod wordcount;
 
 pub use access_log::{AccessLogJoin, AccessLogSum, SOURCE_RANKINGS, SOURCE_VISITS};
 pub use inverted_index::InvertedIndex;
-pub use pagerank::PageRank;
+pub use pagerank::{pagerank_to_convergence, PageRank, PageRankRun};
 pub use pos_tag::WordPosTag;
+pub use prefix_sum::{PrefixApply, PrefixLocal, PrefixScan};
 pub use syntext::SynText;
 pub use wordcount::WordCount;

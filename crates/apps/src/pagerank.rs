@@ -1,10 +1,20 @@
-//! PageRank — one iteration of the classic algorithm over a web crawl.
+//! PageRank — the classic algorithm over a web crawl, iterated to
+//! convergence through the round-generic DAG executor.
 //!
-//! Input records are adjacency lines `page|rank|out1,out2,...`. The map
-//! function emits two kinds of data, per the paper: `(page, (0, outlinks))`
-//! to reconstruct the graph, plus `(target, rank/outdeg)` for every
-//! out-link. Combine and reduce sum contributions; reduce re-emits the
-//! adjacency line with the new rank so iterations chain.
+//! Round-0 input records are adjacency lines `page|rank|out1,out2,...`.
+//! The map function emits two kinds of data, per the paper:
+//! `(page, (0, outlinks))` to reconstruct the graph, plus
+//! `(target, rank/outdeg)` for every out-link. Combine and reduce sum
+//! contributions; reduce re-emits `rank|links` under the page key so
+//! iterations chain. Later rounds consume the previous round's reduce
+//! partitions through the typed framed hand-off (tagged
+//! [`SOURCE_CHAINED`]): the map sees the producer's exact key/value
+//! bytes, never a re-parsed text line.
+//!
+//! [`pagerank_to_convergence`] drives a [`DagExecutor`] round by round
+//! and stops when the atto-unit rank residual drops below a tolerance —
+//! the residual is integer arithmetic over the same decimal strings the
+//! rounds exchange, so convergence is deterministic.
 //!
 //! PageRank sits between the text and relational workloads: a large
 //! intermediate set with moderately skewed keys (in-link popularity is
@@ -12,12 +22,23 @@
 //! reduce-side shuffle — which is why its gains fall between the two
 //! groups in Table III.
 
-use textmr_engine::codec::encode_u64;
-use textmr_engine::job::{Emit, Job, Record, ValueCursor, ValueSink};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+use textmr_engine::cluster::{ClusterConfig, JobConfig};
+use textmr_engine::codec::{decode_u64, encode_u64};
+use textmr_engine::dag::{DagExecutor, DagRun};
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::job::{Emit, Job, Record, StageInput, ValueCursor, ValueSink};
 
 /// Intermediate value tags.
 const TAG_STRUCTURE: u8 = 0;
 const TAG_CONTRIB: u8 = 1;
+
+/// Source tag marking a chained round's framed hand-off input: the record
+/// key is the 8-byte page id and the value is the previous round's reduce
+/// output `rank|links`.
+pub const SOURCE_CHAINED: u8 = 1;
 
 /// Fixed-point scale for rank arithmetic: 1.0 rank = 10^18 atto-units.
 /// Floating-point addition is not associative, and a combiner may group
@@ -71,20 +92,50 @@ pub fn decode_output(v: &[u8]) -> Option<(f64, &str)> {
     Some((rank.parse().ok()?, links))
 }
 
+/// Parse a reduce-output value's rank field back into exact atto-units
+/// (the inverse of `atto_to_string` up to its 12-digit precision).
+/// Residual tests must not go through `f64`, whose rounding could flip a
+/// convergence decision.
+pub fn parse_rank_atto(v: &[u8]) -> Option<u64> {
+    let s = std::str::from_utf8(v).ok()?;
+    let rank = s.split('|').next()?;
+    let (whole, frac) = rank.split_once('.')?;
+    if frac.len() != 12 {
+        return None;
+    }
+    let whole: u64 = whole.parse().ok()?;
+    let frac: u64 = frac.parse().ok()?;
+    Some(whole * ATTO + frac * 1_000_000)
+}
+
 impl Job for PageRank {
     fn name(&self) -> &str {
         "PageRank"
     }
 
     fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
-        let Some((page, rank, links)) = parse_page_line(record.value) else {
-            return;
+        // A chained round's framed record already carries the page key and
+        // the `rank|links` value the previous reduce emitted; round 0
+        // parses the adjacency line.
+        let (page_key, rank, links): ([u8; 8], f64, &[u8]) = if record.source == SOURCE_CHAINED {
+            let Some((rank, links)) = decode_output(record.value) else {
+                return;
+            };
+            let Some(page) = decode_u64(record.key) else {
+                return;
+            };
+            (encode_u64(page), rank, links.as_bytes())
+        } else {
+            let Some((page, rank, links)) = parse_page_line(record.value) else {
+                return;
+            };
+            (encode_u64(page), rank, links)
         };
         // Graph structure: (page, TAG_STRUCTURE ++ links).
         let mut v = Vec::with_capacity(links.len() + 1);
         v.push(TAG_STRUCTURE);
         v.extend_from_slice(links);
-        emit.emit(&encode_u64(page), &v);
+        emit.emit(&page_key, &v);
         // Rank contributions.
         let targets = links.split(|&b| b == b',').filter(|s| !s.is_empty());
         let outdeg = links
@@ -158,6 +209,88 @@ impl Job for PageRank {
         value.extend_from_slice(&links);
         out.emit(key, &value);
     }
+}
+
+/// A converged iterative PageRank run.
+#[derive(Debug)]
+pub struct PageRankRun {
+    /// The completed DAG (final ranks in `run.outputs`, per-round
+    /// profiles, whole-DAG trace when enabled).
+    pub run: DagRun,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// The final round's L1 rank residual in atto-units (`u64::MAX`
+    /// after a single round, which has nothing to diff against).
+    pub residual_atto: u64,
+}
+
+/// Ranks per page, in exact atto-units, from one round's outputs.
+fn rank_vector(outputs: &[Vec<(Vec<u8>, Vec<u8>)>]) -> BTreeMap<u64, u64> {
+    outputs
+        .iter()
+        .flatten()
+        .filter_map(|(k, v)| Some((decode_u64(k)?, parse_rank_atto(v)?)))
+        .collect()
+}
+
+/// L1 distance between two rank vectors, in atto-units.
+fn residual(prev: &BTreeMap<u64, u64>, next: &BTreeMap<u64, u64>) -> u64 {
+    let mut sum = 0u64;
+    for (page, &r) in next {
+        sum += r.abs_diff(prev.get(page).copied().unwrap_or(0));
+    }
+    for (page, &r) in prev {
+        if !next.contains_key(page) {
+            sum += r;
+        }
+    }
+    sum
+}
+
+/// Iterate PageRank to convergence through the DAG executor.
+///
+/// Round 0 reads the adjacency file `input` from the DFS; every later
+/// round consumes its predecessor's reduce partitions through the typed
+/// framed hand-off. Iteration stops when the L1 atto-unit residual
+/// between consecutive rank vectors drops to `tol_atto` or below, or
+/// after `max_rounds` rounds. The residual is computed from the exact
+/// decimal strings the rounds exchange, so the round count is a pure
+/// function of the input — timing never moves it.
+pub fn pagerank_to_convergence(
+    cluster: &ClusterConfig,
+    cfg: &JobConfig,
+    dfs: &SimDfs,
+    input: &str,
+    num_pages: u64,
+    tol_atto: u64,
+    max_rounds: usize,
+) -> io::Result<PageRankRun> {
+    assert!(max_rounds > 0, "need at least one round");
+    let job: Arc<dyn Job> = Arc::new(PageRank::new(num_pages));
+    let mut ex = DagExecutor::new(cluster)?;
+    ex.run_stage(Arc::clone(&job), cfg, &StageInput::dfs(input), dfs)?;
+    let mut prev = rank_vector(ex.last_outputs());
+    let mut residual_atto = u64::MAX;
+    let mut rounds = 1;
+    while rounds < max_rounds {
+        let input = StageInput::Prior {
+            stage: rounds - 1,
+            source: SOURCE_CHAINED,
+        };
+        ex.run_stage(Arc::clone(&job), cfg, &input, dfs)?;
+        rounds += 1;
+        let next = rank_vector(ex.last_outputs());
+        residual_atto = residual(&prev, &next);
+        prev = next;
+        if residual_atto <= tol_atto {
+            break;
+        }
+    }
+    Ok(PageRankRun {
+        run: ex.finish(),
+        rounds,
+        residual_atto,
+    })
 }
 
 #[cfg(test)]
@@ -234,5 +367,131 @@ mod tests {
         assert!(parse_page_line(b"x|y|z").is_none());
         assert!(parse_page_line(b"").is_none());
         assert!(parse_page_line(b"1|0.5|").is_some());
+    }
+
+    #[test]
+    fn rank_atto_string_round_trips() {
+        for atto in [0, 1_000_000, ATTO / 3, ATTO / 2, ATTO] {
+            let s = format!("{}|1,2", atto_to_string(atto));
+            // atto_to_string truncates to 12 decimals (micro-atto units).
+            let back = parse_rank_atto(s.as_bytes()).unwrap();
+            assert_eq!(back, atto / 1_000_000 * 1_000_000, "atto={atto}");
+        }
+        assert!(parse_rank_atto(b"0.5|1").is_none()); // not 12 digits
+    }
+
+    /// One in-memory power-iteration round over `(page → (rank string,
+    /// links))`, replicating the job's exact arithmetic *including* the
+    /// decimal string round-trip between rounds.
+    fn reference_round(
+        state: &std::collections::BTreeMap<u64, (String, String)>,
+        n: u64,
+    ) -> std::collections::BTreeMap<u64, (String, String)> {
+        let mut contrib: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut structure: std::collections::BTreeMap<u64, String> =
+            std::collections::BTreeMap::new();
+        for (&page, (rank_str, links)) in state {
+            structure.insert(page, links.clone());
+            let rank: f64 = rank_str.parse().unwrap();
+            let targets: Vec<u64> = links
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().unwrap())
+                .collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let share = rank_to_atto(rank) / targets.len() as u64;
+            for t in targets {
+                *contrib.entry(t).or_default() += share;
+            }
+        }
+        let mut keys: Vec<u64> = structure
+            .keys()
+            .copied()
+            .chain(contrib.keys().copied())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter()
+            .map(|page| {
+                let sum = contrib.get(&page).copied().unwrap_or(0);
+                let teleport = (ATTO as u128 * 15 / 100) / n as u128;
+                let new_atto = u64::try_from(teleport + sum as u128 * 85 / 100).unwrap();
+                let links = structure.get(&page).cloned().unwrap_or_default();
+                (page, (atto_to_string(new_atto), links))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iterative_pagerank_matches_power_iteration_reference() {
+        // A closed 5-page graph (no sinks, so rank mass is conserved).
+        let lines = ["0|0.2|1,2", "1|0.2|2", "2|0.2|0,3,4", "3|0.2|0", "4|0.2|0"];
+        let n = 5;
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 1 << 16);
+        dfs.put("graph", (lines.join("\n") + "\n").into_bytes());
+        let cfg = JobConfig::default().with_reducers(3);
+        // Power iteration contracts by the damping factor per round, so
+        // an L1 tolerance of 1e-6 rank mass (1e12 atto) needs ~90 rounds.
+        let tol = 1_000_000_000_000;
+        let pr = pagerank_to_convergence(&cluster, &cfg, &dfs, "graph", n, tol, 120).unwrap();
+        assert!(pr.rounds >= 3, "converged suspiciously fast: {}", pr.rounds);
+        assert!(pr.rounds < 120, "did not converge");
+        assert!(pr.residual_atto <= tol);
+        assert_eq!(pr.run.profile.num_rounds(), pr.rounds);
+
+        // Replay the same number of rounds in memory; every page's rank
+        // *string* must match byte for byte.
+        let mut state: std::collections::BTreeMap<u64, (String, String)> = lines
+            .iter()
+            .map(|l| {
+                let (p, r, links) = parse_page_line(l.as_bytes()).unwrap();
+                (
+                    p,
+                    (r.to_string(), String::from_utf8(links.to_vec()).unwrap()),
+                )
+            })
+            .collect();
+        for _ in 0..pr.rounds {
+            state = reference_round(&state, n);
+        }
+        let got: std::collections::BTreeMap<u64, (String, String)> = pr
+            .run
+            .sorted_pairs()
+            .into_iter()
+            .map(|(k, v)| {
+                let (page, s) = (decode_u64(&k).unwrap(), String::from_utf8(v).unwrap());
+                let (rank, links) = s.split_once('|').unwrap();
+                (page, (rank.to_string(), links.to_string()))
+            })
+            .collect();
+        assert_eq!(got, state);
+
+        // Total rank mass stays ~1 (truncation loses < 1 micro-unit per
+        // page per round).
+        let total: u64 = got
+            .values()
+            .map(|(r, _)| parse_rank_atto(format!("{r}|").as_bytes()).unwrap())
+            .sum();
+        assert!(total <= ATTO && total > ATTO - ATTO / 1000, "mass {total}");
+    }
+
+    #[test]
+    fn convergence_round_count_is_deterministic() {
+        let lines = ["0|0.25|1", "1|0.25|2", "2|0.25|3", "3|0.25|0,1"];
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 1 << 16);
+        dfs.put("graph", (lines.join("\n") + "\n").into_bytes());
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let cfg = JobConfig::default().with_reducers(2);
+                pagerank_to_convergence(&cluster, &cfg, &dfs, "graph", 4, 10_000_000, 40).unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].rounds, runs[1].rounds);
+        assert_eq!(runs[0].residual_atto, runs[1].residual_atto);
+        assert_eq!(runs[0].run.sorted_pairs(), runs[1].run.sorted_pairs());
     }
 }

@@ -1,0 +1,277 @@
+//! Parallel prefix sums — a Goodrich-style three-round MapReduce scan.
+//!
+//! Input records are lines `index value`. Elements are grouped into
+//! fixed-size blocks by index and the scan runs in the textbook three
+//! rounds, each a map→shuffle→reduce stage chained through the DAG
+//! executor's typed framed hand-off:
+//!
+//! 1. **Local scan** ([`PrefixLocal`]): reduce sorts each block's
+//!    elements and computes within-block inclusive prefixes, emitting
+//!    the scanned elements plus one block-total record.
+//! 2. **Scan of sums** ([`PrefixScan`]): map fans each block total out
+//!    to every *later* block; reduce sums the incoming totals into the
+//!    block's exclusive offset.
+//! 3. **Apply** ([`PrefixApply`]): reduce adds the block offset to each
+//!    element's within-block prefix and emits the final
+//!    `(index, prefix)` pairs.
+//!
+//! All three stages key by block id, so the hand-off carries each
+//! block's records straight from the producing reduce partition to the
+//! consuming map task without touching a text codec. Value records are
+//! tagged: `E` element `(index, prefix)`, `T` block total, `O` block
+//! offset.
+
+use textmr_engine::codec::{decode_u64, encode_u64};
+use textmr_engine::job::{Emit, Job, Record, ValueCursor, ValueSink};
+
+/// Element record: tag ++ index(8) ++ value(8).
+const TAG_ELEM: u8 = b'E';
+/// Block-total record: tag ++ sum(8).
+const TAG_TOTAL: u8 = b'T';
+/// Block-offset record: tag ++ offset(8).
+const TAG_OFFSET: u8 = b'O';
+
+fn elem_record(index: u64, value: u64) -> [u8; 17] {
+    let mut v = [0u8; 17];
+    v[0] = TAG_ELEM;
+    v[1..9].copy_from_slice(&encode_u64(index));
+    v[9..17].copy_from_slice(&encode_u64(value));
+    v
+}
+
+fn scalar_record(tag: u8, value: u64) -> [u8; 9] {
+    let mut v = [0u8; 9];
+    v[0] = tag;
+    v[1..9].copy_from_slice(&encode_u64(value));
+    v
+}
+
+fn decode_elem(v: &[u8]) -> Option<(u64, u64)> {
+    if v.len() == 17 && v[0] == TAG_ELEM {
+        Some((decode_u64(&v[1..9])?, decode_u64(&v[9..17])?))
+    } else {
+        None
+    }
+}
+
+fn decode_scalar(tag: u8, v: &[u8]) -> Option<u64> {
+    if v.len() == 9 && v[0] == tag {
+        decode_u64(&v[1..9])
+    } else {
+        None
+    }
+}
+
+/// Parse an input line `index value`.
+pub fn parse_element_line(line: &[u8]) -> Option<(u64, u64)> {
+    let s = std::str::from_utf8(line).ok()?;
+    let (i, v) = s.trim().split_once(' ')?;
+    Some((i.trim().parse().ok()?, v.trim().parse().ok()?))
+}
+
+/// Round 1: within-block inclusive scan.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixLocal {
+    /// Elements per block.
+    pub block_size: u64,
+}
+
+impl Job for PrefixLocal {
+    fn name(&self) -> &str {
+        "prefix-local"
+    }
+
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+        let Some((index, value)) = parse_element_line(record.value) else {
+            return;
+        };
+        let block = index / self.block_size;
+        emit.emit(&encode_u64(block), &elem_record(index, value));
+    }
+
+    fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+        let mut elems: Vec<(u64, u64)> = Vec::new();
+        while let Some(v) = values.next() {
+            if let Some(e) = decode_elem(v) {
+                elems.push(e);
+            }
+        }
+        elems.sort_unstable();
+        let mut running = 0u64;
+        for (index, value) in elems {
+            running += value;
+            out.emit(key, &elem_record(index, running));
+        }
+        out.emit(key, &scalar_record(TAG_TOTAL, running));
+    }
+}
+
+/// Round 2: exclusive scan over the block totals.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixScan {
+    /// Total number of blocks (so the fan-out knows where to stop).
+    pub num_blocks: u64,
+}
+
+impl Job for PrefixScan {
+    fn name(&self) -> &str {
+        "prefix-scan"
+    }
+
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+        let Some(block) = decode_u64(record.key) else {
+            return;
+        };
+        if let Some(total) = decode_scalar(TAG_TOTAL, record.value) {
+            // Fan the total out to every later block — its exclusive
+            // offset includes this block's sum.
+            for later in block + 1..self.num_blocks {
+                emit.emit(&encode_u64(later), &scalar_record(TAG_TOTAL, total));
+            }
+        } else {
+            emit.emit(record.key, record.value);
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+        // Totals bound for one block collapse to their sum; elements
+        // pass through.
+        let mut sum = 0u64;
+        let mut any = false;
+        while let Some(v) = values.next() {
+            if let Some(t) = decode_scalar(TAG_TOTAL, v) {
+                sum += t;
+                any = true;
+            } else {
+                out.push(v);
+            }
+        }
+        if any {
+            out.push(&scalar_record(TAG_TOTAL, sum));
+        }
+    }
+
+    fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+        let mut offset = 0u64;
+        let mut elems: Vec<[u8; 17]> = Vec::new();
+        while let Some(v) = values.next() {
+            if let Some(t) = decode_scalar(TAG_TOTAL, v) {
+                offset += t;
+            } else if v.len() == 17 && v[0] == TAG_ELEM {
+                elems.push(v.try_into().expect("17-byte element record"));
+            }
+        }
+        for e in &elems {
+            out.emit(key, e);
+        }
+        out.emit(key, &scalar_record(TAG_OFFSET, offset));
+    }
+}
+
+/// Round 3: add each block's offset to its elements' local prefixes.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixApply;
+
+impl Job for PrefixApply {
+    fn name(&self) -> &str {
+        "prefix-apply"
+    }
+
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+        emit.emit(record.key, record.value);
+    }
+
+    fn reduce(&self, _key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+        let mut offset = 0u64;
+        let mut elems: Vec<(u64, u64)> = Vec::new();
+        while let Some(v) = values.next() {
+            if let Some(o) = decode_scalar(TAG_OFFSET, v) {
+                offset += o;
+            } else if let Some(e) = decode_elem(v) {
+                elems.push(e);
+            }
+        }
+        for (index, local) in elems {
+            out.emit(&encode_u64(index), &encode_u64(offset + local));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use textmr_engine::cluster::{ClusterConfig, JobConfig};
+    use textmr_engine::dag::run_dag;
+    use textmr_engine::io::dfs::SimDfs;
+    use textmr_engine::job::{JobDag, StageInput};
+
+    fn scan_dag(values: &[u64], block_size: u64, reducers: usize) -> Vec<(u64, u64)> {
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 4096);
+        let mut lines = String::new();
+        for (i, v) in values.iter().enumerate() {
+            lines.push_str(&format!("{i} {v}\n"));
+        }
+        dfs.put("elems", lines.into_bytes());
+        let num_blocks = (values.len() as u64).div_ceil(block_size);
+        let cfg = JobConfig::default().with_reducers(reducers);
+        let dag = JobDag::new()
+            .stage(
+                Arc::new(PrefixLocal { block_size }),
+                cfg.clone(),
+                StageInput::dfs("elems"),
+            )
+            .then(Arc::new(PrefixScan { num_blocks }), cfg.clone())
+            .then(Arc::new(PrefixApply), cfg);
+        let run = run_dag(&cluster, &dag, &dfs).unwrap();
+        run.sorted_pairs()
+            .into_iter()
+            .map(|(k, v)| (decode_u64(&k).unwrap(), decode_u64(&v).unwrap()))
+            .collect()
+    }
+
+    fn reference(values: &[u64]) -> Vec<(u64, u64)> {
+        values
+            .iter()
+            .scan(0u64, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+            .collect()
+    }
+
+    #[test]
+    fn three_round_scan_matches_sequential_reference() {
+        let values: Vec<u64> = (0..97).map(|i| (i * 7 + 3) % 31).collect();
+        assert_eq!(scan_dag(&values, 8, 3), reference(&values));
+    }
+
+    #[test]
+    fn scan_is_invariant_to_block_size_and_partitioning() {
+        let values: Vec<u64> = (0..60).map(|i| i * i % 17).collect();
+        let want = reference(&values);
+        for (bs, red) in [(1, 2), (5, 4), (60, 1), (7, 3)] {
+            assert_eq!(scan_dag(&values, bs, red), want, "bs={bs} red={red}");
+        }
+    }
+
+    #[test]
+    fn single_element_and_empty_blocks() {
+        assert_eq!(scan_dag(&[42], 4, 2), vec![(0, 42)]);
+    }
+
+    #[test]
+    fn parse_element_lines() {
+        assert_eq!(parse_element_line(b"3 17"), Some((3, 17)));
+        assert_eq!(parse_element_line(b"  3   17 "), Some((3, 17)));
+        assert_eq!(parse_element_line(b"x 1"), None);
+        assert_eq!(parse_element_line(b""), None);
+    }
+}

@@ -13,13 +13,21 @@
 //! The fault run's ASCII timeline is printed so recovery (failed attempt,
 //! straggler stretch, speculative backup) is visible without a browser.
 //!
+//! A diff mode aligns two exported traces lane-by-lane and prints the
+//! Fig. 9-style wait-delta table (plus `results/wait_delta.json`):
+//!
 //! ```sh
 //! cargo run --release -p textmr-bench --bin trace [-- --scale paper]
 //! cargo run --release -p textmr-bench --bin trace -- --smoke   # CI
+//! cargo run --release -p textmr-bench --bin trace -- --diff a.json b.json
 //! ```
+//!
+//! The normal run also diffs baseline against the combined optimization
+//! automatically, so the wait-migration table ships with the traces.
 
 #![forbid(unsafe_code)]
 
+use std::path::Path;
 use std::sync::Arc;
 use textmr_bench::report::{results_dir, Table};
 use textmr_bench::runner::{local_cluster, Config, REDUCERS};
@@ -30,10 +38,43 @@ use textmr_data::text::CorpusConfig;
 use textmr_engine::cluster::{JobConfig, JobRun};
 use textmr_engine::fault::{FaultPlan, SpeculationConfig};
 use textmr_engine::io::dfs::SimDfs;
-use textmr_engine::prelude::{run_job, validate_chrome_trace};
+use textmr_engine::prelude::{run_job, validate_chrome_trace, JobTrace};
+use textmr_engine::trace::diff::diff_traces;
+
+/// `--diff A B`: load two exported traces, print the wait-delta table,
+/// write `results/wait_delta.json`.
+fn diff_mode(files: &[String]) {
+    let [a, b] = files else {
+        eprintln!("usage: trace --diff <a.json> <b.json>");
+        std::process::exit(2);
+    };
+    let load = |path: &String| -> JobTrace {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read trace {path}: {e}"));
+        JobTrace::from_chrome_json(&text).unwrap_or_else(|e| panic!("parse trace {path}: {e}"))
+    };
+    let name = |path: &String| {
+        Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone())
+    };
+    let diff = diff_traces(&name(a), &load(a), &name(b), &load(b));
+    print!("{}", diff.render_text());
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let out = dir.join("wait_delta.json");
+    std::fs::write(&out, diff.to_json()).expect("write wait_delta.json");
+    println!("\nwrote {}", out.display());
+}
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        diff_mode(&args[i + 1..]);
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale = Scale::from_args();
     let lines = if smoke { 1_500 } else { scale.corpus_lines };
     // Small blocks force several map tasks so the timeline has texture.
@@ -87,6 +128,7 @@ fn main() {
     };
 
     // The paper's four configurations, traced.
+    let mut kept: Vec<(String, JobTrace)> = Vec::new();
     for config in Config::ALL {
         let job_cfg = optimized(
             JobConfig::default().with_reducers(REDUCERS),
@@ -104,6 +146,7 @@ fn main() {
         )
         .unwrap_or_else(|e| panic!("{name} run failed: {e}"));
         export(&mut table, &name, &run);
+        kept.push((name, run.trace.expect("trace requested")));
     }
 
     // Recovery machinery in one plan: a record fault (retry), a transient
@@ -129,6 +172,16 @@ fn main() {
     export(&mut table, &format!("faults{fsuffix}"), &faulty);
 
     table.print();
+
+    // Where did the waiting move? Baseline vs. the combined optimization.
+    let (first, last) = (&kept[0], &kept[kept.len() - 1]);
+    let diff = diff_traces(&first.0, &first.1, &last.0, &last.1);
+    println!("\nwait-delta table ({} → {}):\n", first.0, last.0);
+    print!("{}", diff.render_text());
+    let diff_path = results_dir().join("wait_delta.json");
+    std::fs::write(&diff_path, diff.to_json()).expect("write wait_delta.json");
+    println!("\nwrote {}", diff_path.display());
+
     println!("\nfault-run timeline (failed attempt x, straggler stretch, backups):\n");
     print!(
         "{}",

@@ -155,7 +155,7 @@ impl ClusterConfig {
         self
     }
 
-    fn resolve_temp_dir(&self) -> io::Result<PathBuf> {
+    pub(crate) fn resolve_temp_dir(&self) -> io::Result<PathBuf> {
         static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir = match &self.temp_dir {
@@ -337,7 +337,7 @@ type BackupCapture = (usize, usize, usize, VNanos, VNanos, Option<AttemptKind>);
 
 /// The frequent-key registry's designated-publisher assignment: sorted
 /// `(node, publisher task)` pairs, plus every map task's home node.
-type RegistryAssignment = (Vec<(usize, usize)>, Vec<usize>);
+pub(crate) type RegistryAssignment = (Vec<(usize, usize)>, Vec<usize>);
 
 /// Median of a set of virtual durations (0 for the empty set; upper
 /// median for even counts).
@@ -360,22 +360,32 @@ fn median(mut v: Vec<VNanos>) -> VNanos {
 /// filter was installed — is the frequent-key registry's
 /// designated-publisher assignment: sorted `(node, publisher task)`
 /// pairs, plus every map task's home node.
-fn build_trace_edges(
+/// `registries[r]` is round `r`'s assignment (or `None`); `map_base[r]` /
+/// `reduce_base[r]` are the global task-id offsets the scheduler used for
+/// round `r`, so entries (which carry round-local task ids) can be matched
+/// back to the shared attempt log of a multi-round DAG.
+pub(crate) fn build_trace_edges(
     entries: &[TraceEntry],
     sched: &Scheduler,
-    registry: Option<&RegistryAssignment>,
+    registries: &[Option<RegistryAssignment>],
+    map_base: &[usize],
+    reduce_base: &[usize],
 ) -> Vec<TraceEdge> {
+    let global_key = |e: &TraceEntry| {
+        let base = match e.kind {
+            TaskKind::Map => map_base.get(e.round).copied().unwrap_or(0),
+            TaskKind::Reduce => reduce_base.get(e.round).copied().unwrap_or(0),
+        };
+        AttemptKey {
+            kind: e.kind,
+            task: base + e.task,
+            attempt: e.attempt,
+            backup: e.backup,
+        }
+    };
     let mut index: BTreeMap<AttemptKey, usize> = BTreeMap::new();
     for (i, e) in entries.iter().enumerate() {
-        index.insert(
-            AttemptKey {
-                kind: e.kind,
-                task: e.task,
-                attempt: e.attempt,
-                backup: e.backup,
-            },
-            i,
-        );
+        index.insert(global_key(e), i);
     }
     let mut edges = Vec::new();
     // Slot chains: consecutive *traced* occupants of each (phase, node,
@@ -412,22 +422,25 @@ fn build_trace_edges(
         });
     }
     // Attempts of record: the entries carrying detailed lanes.
-    let mut map_records: Vec<(usize, usize)> = Vec::new();
-    let mut reduce_records: Vec<usize> = Vec::new();
+    let mut map_records: Vec<(usize, usize, usize)> = Vec::new(); // (round, task, entry)
+    let mut reduce_records: Vec<(usize, usize)> = Vec::new(); // (round, entry)
     for (i, e) in entries.iter().enumerate() {
         if !matches!(e.detail, EntryDetail::Lanes(_)) {
             continue;
         }
         match e.kind {
-            TaskKind::Map => map_records.push((e.task, i)),
-            TaskKind::Reduce => reduce_records.push(i),
+            TaskKind::Map => map_records.push((e.round, e.task, i)),
+            TaskKind::Reduce => reduce_records.push((e.round, i)),
         }
     }
     // Every map output is complete before any reduce attempt fetches it
     // (the barrier is per map task: its of-record completion enables each
-    // reducer's whole fetch of that output).
-    for &(_, mi) in &map_records {
-        for &ri in &reduce_records {
+    // reducer's whole fetch of that output). Shuffles stay within a round.
+    for &(mr, _, mi) in &map_records {
+        for &(rr, ri) in &reduce_records {
+            if mr != rr {
+                continue;
+            }
             edges.push(TraceEdge {
                 kind: EdgeKind::MapOut,
                 src: EdgeEnd::entry(mi),
@@ -437,7 +450,7 @@ fn build_trace_edges(
     }
     // Spill hand-ins: each support-lane spill segment is written before
     // the map lane's end-of-task merge reads it.
-    for &(_, mi) in &map_records {
+    for &(_, _, mi) in &map_records {
         let EntryDetail::Lanes(lanes) = &entries[mi].detail else {
             continue;
         };
@@ -466,7 +479,7 @@ fn build_trace_edges(
     // Shuffle barriers: a flow group's last span (the run fully arrived)
     // precedes the reduce lane's first post-shuffle op (the merge that
     // consumes it).
-    for &ri in &reduce_records {
+    for &(_, ri) in &reduce_records {
         let EntryDetail::Lanes(lanes) = &entries[ri].detail else {
             continue;
         };
@@ -506,8 +519,15 @@ fn build_trace_edges(
     // (its lowest map task id) froze the shared key set; every same-node
     // map task adopted it. A real-time protocol — the checker validates
     // these as protocol edges, outside the virtual-time clocks.
-    if let Some((groups, homes)) = registry {
-        let record_of: BTreeMap<usize, usize> = map_records.iter().copied().collect();
+    for (round, reg) in registries.iter().enumerate() {
+        let Some((groups, homes)) = reg else {
+            continue;
+        };
+        let record_of: BTreeMap<usize, usize> = map_records
+            .iter()
+            .filter(|&&(r, _, _)| r == round)
+            .map(|&(_, t, i)| (t, i))
+            .collect();
         for &(node, publisher) in groups {
             let Some(&pi) = record_of.get(&publisher) else {
                 continue;
@@ -529,10 +549,31 @@ fn build_trace_edges(
     edges
 }
 
+/// Fresh unified event loop sized to the cluster, with `cfg`'s straggler
+/// factors. A DAG job builds one scheduler and threads it through every
+/// round, so cross-round virtual time is continuous.
+pub(crate) fn new_scheduler(cluster: &ClusterConfig, cfg: &JobConfig) -> Scheduler {
+    Scheduler::new(
+        ClusterShape {
+            nodes: cluster.nodes,
+            map_slots: cluster.map_slots_per_node.max(1),
+            reduce_slots: cluster.reduce_slots_per_node.max(1),
+            fetchers: cluster.shuffle_fetchers.clamp(1, MAX_FETCHERS),
+        },
+        (0..cluster.nodes)
+            .map(|n| cfg.fault_plan.node_factor(n))
+            .collect(),
+    )
+}
+
 /// Run `job` over the named DFS inputs on the given cluster.
 ///
 /// `inputs` pairs a DFS file name with its logical source tag (tags matter
 /// only for multi-input jobs such as repartition joins).
+///
+/// One round on a fresh scheduler: exactly the legacy one-shot pipeline.
+/// Multi-round DAG jobs drive `run_round` through
+/// [`crate::dag::DagExecutor`] instead.
 pub fn run_job(
     cluster: &ClusterConfig,
     cfg: &JobConfig,
@@ -540,14 +581,8 @@ pub fn run_job(
     dfs: &SimDfs,
     inputs: &[(&str, u8)],
 ) -> io::Result<JobRun> {
-    assert!(cfg.num_reducers > 0, "need at least one reducer");
-    assert!(
-        (0.0..1.0).contains(&cfg.filter_budget_fraction),
-        "filter budget fraction must be in [0,1)"
-    );
     let temp = cluster.resolve_temp_dir()?;
     let _cleanup = TempDirGuard(&temp);
-    let workers = cluster.worker_threads.max(1);
 
     // ---- plan splits ----------------------------------------------------------
     let mut splits: Vec<InputSplit> = Vec::new();
@@ -557,6 +592,110 @@ pub fn run_job(
         })?;
         splits.extend(InputSplit::from_file(file, *source));
     }
+
+    let mut vsched = new_scheduler(cluster, cfg);
+    let RoundRun {
+        outputs,
+        profile,
+        entries,
+        registry,
+    } = run_round(
+        cluster,
+        cfg,
+        job,
+        &splits,
+        RoundCtx {
+            round: 0,
+            map_task_base: 0,
+            reduce_task_base: 0,
+            vsched: &mut vsched,
+            temp: &temp,
+        },
+    )?;
+    let trace = if cfg.trace {
+        let twall = entries
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(0)
+            .max(profile.wall);
+        let edges = build_trace_edges(&entries, &vsched, &[registry], &[0], &[0]);
+        Some(JobTrace {
+            nodes: cluster.nodes,
+            map_slots: cluster.map_slots_per_node.max(1),
+            reduce_slots: cluster.reduce_slots_per_node.max(1),
+            fetchers: cluster
+                .shuffle_fetchers
+                .clamp(1, crate::shuffle::MAX_FETCHERS),
+            wall: twall,
+            edges,
+            entries,
+        })
+    } else {
+        None
+    };
+    Ok(JobRun {
+        outputs,
+        trace,
+        profile,
+    })
+}
+
+/// Where one round sits inside a (possibly multi-round) job.
+pub(crate) struct RoundCtx<'a> {
+    /// Round index (0 for single-round jobs).
+    pub round: usize,
+    /// Global map task-id offset inside the shared scheduler.
+    pub map_task_base: usize,
+    /// Global reduce task-id offset inside the shared scheduler.
+    pub reduce_task_base: usize,
+    /// The job-wide unified event loop, shared across rounds.
+    pub vsched: &'a mut Scheduler,
+    /// The job-wide temp directory (round-qualified names inside).
+    pub temp: &'a Path,
+}
+
+/// One round's results: real outputs, its virtual-time profile, and (when
+/// tracing) its round-stamped trace entries plus registry assignment.
+pub(crate) struct RoundRun {
+    /// Per-partition output pairs.
+    pub outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    /// The round's profile (spans, op times, shuffle stats, speculation).
+    pub profile: JobProfile,
+    /// Round-stamped trace entries (empty when tracing is off).
+    pub entries: Vec<TraceEntry>,
+    /// Frequent-key registry assignment, when an emit filter ran.
+    pub registry: Option<RegistryAssignment>,
+}
+
+/// Execute one map→shuffle→reduce round on the shared event loop.
+///
+/// With `round == 0`, zero bases, and a fresh scheduler this IS the legacy
+/// single-shot pipeline, bit for bit: the scheduler sees the same task
+/// ids, the reservation recurrence starts from the same all-zero slot
+/// frees, and round-0 trace entries export byte-identically to pre-DAG
+/// traces. Later rounds pass global task-id bases (so attempt keys stay
+/// unique in the shared event graph) and a round stamp for the trace.
+pub(crate) fn run_round(
+    cluster: &ClusterConfig,
+    cfg: &JobConfig,
+    job: Arc<dyn Job>,
+    splits: &[InputSplit],
+    ctx: RoundCtx<'_>,
+) -> io::Result<RoundRun> {
+    assert!(cfg.num_reducers > 0, "need at least one reducer");
+    assert!(
+        (0.0..1.0).contains(&cfg.filter_budget_fraction),
+        "filter budget fraction must be in [0,1)"
+    );
+    let RoundCtx {
+        round,
+        map_task_base,
+        reduce_task_base,
+        vsched,
+        temp,
+    } = ctx;
+    let workers = cluster.worker_threads.max(1);
 
     // ---- execute map tasks (real), collecting per-attempt durations -----------
     let filter_budget = if cfg.emit_filter.is_some() {
@@ -593,7 +732,7 @@ pub fn run_job(
             // Every attempt spills into its own directory: a retry never
             // reuses (or trips over) a dead attempt's files, even when
             // other tasks are running concurrently in the same job temp.
-            let attempt_dir = temp.join(format!("t{t}_a{attempt}"));
+            let attempt_dir = temp.join(format!("rd{round}_t{t}_a{attempt}"));
             if let Err(e) = std::fs::create_dir_all(&attempt_dir) {
                 cancel.store(true, Ordering::Relaxed);
                 return MapTaskOutcome::Failed(e);
@@ -701,18 +840,9 @@ pub fn run_job(
     // ([`crate::event::Scheduler`]): one integer priority queue drives
     // slot reservations, speculation probes, and (with parallel fetchers)
     // the shared-ingress reduce simulation, while the event graph records
-    // every attempt's enabling predecessors for the race checker.
-    let mut vsched = Scheduler::new(
-        ClusterShape {
-            nodes: cluster.nodes,
-            map_slots: cluster.map_slots_per_node.max(1),
-            reduce_slots: cluster.reduce_slots_per_node.max(1),
-            fetchers: cluster.shuffle_fetchers.clamp(1, MAX_FETCHERS),
-        },
-        (0..cluster.nodes)
-            .map(|n| cfg.fault_plan.node_factor(n))
-            .collect(),
-    );
+    // every attempt's enabling predecessors for the race checker. The
+    // scheduler is shared across a DAG job's rounds, so placements are
+    // keyed by globally unique task ids (`map_task_base + t`).
     let mut map_spans = Vec::with_capacity(splits.len());
     // When tracing: per task, every attempt's (slot, start, end) placement.
     let mut map_sched: Vec<Vec<(usize, VNanos, VNanos)>> = Vec::new();
@@ -721,7 +851,7 @@ pub fn run_job(
         // after its previous attempt failed. A straggler node stretches
         // the attempt's virtual duration by its factor.
         let node = split.home_node % cluster.nodes;
-        let placed = vsched.place_map(t, node, &attempt_durations[t]);
+        let placed = vsched.place_map(map_task_base + t, node, &attempt_durations[t]);
         if cfg.trace {
             map_sched.push(placed.iter().map(|p| (p.slot, p.start, p.end)).collect());
         }
@@ -769,7 +899,7 @@ pub fn run_job(
             let Some(backup_node) = cfg.fault_plan.fastest_other_node(cluster.nodes, home) else {
                 continue;
             };
-            let spec_dir = temp.join(format!("t{t}_spec"));
+            let spec_dir = temp.join(format!("rd{round}_t{t}_spec"));
             if std::fs::create_dir_all(&spec_dir).is_err() {
                 continue;
             }
@@ -818,13 +948,13 @@ pub fn run_job(
             };
             let origin = AttemptKey {
                 kind: TaskKind::Map,
-                task: t,
+                task: map_task_base + t,
                 attempt: attempt_durations[t].len().saturating_sub(1),
                 backup: false,
             };
             let bkey = AttemptKey {
                 kind: TaskKind::Map,
-                task: t,
+                task: map_task_base + t,
                 attempt: 0,
                 backup: true,
             };
@@ -849,8 +979,9 @@ pub fn run_job(
                         // file; then its (now empty) directory goes too.
                         drop(std::mem::replace(&mut map_outputs[t], out_b));
                         let final_attempt = attempt_durations[t].len().saturating_sub(1);
-                        let _ =
-                            std::fs::remove_dir_all(temp.join(format!("t{t}_a{final_attempt}")));
+                        let _ = std::fs::remove_dir_all(
+                            temp.join(format!("rd{round}_t{t}_a{final_attempt}")),
+                        );
                         map_profiles[t] = prof_b;
                         if cfg.trace {
                             map_lost_to_backup[t] = true;
@@ -925,7 +1056,7 @@ pub fn run_job(
         let mut attempts: Vec<VNanos> = Vec::new();
         let mut attempt = 0usize;
         loop {
-            let scratch_dir = temp.join(format!("r{r}_a{attempt}"));
+            let scratch_dir = temp.join(format!("rd{round}_r{r}_a{attempt}"));
             if let Err(e) = std::fs::create_dir_all(&scratch_dir) {
                 rcancel.store(true, Ordering::Relaxed);
                 return ReduceTaskOutcome::Failed(e);
@@ -1021,7 +1152,7 @@ pub fn run_job(
     if cluster.shuffle_fetchers.clamp(1, MAX_FETCHERS) <= 1 {
         for (r, attempts) in rattempt_durations.iter().enumerate() {
             let node = r % cluster.nodes;
-            let placed = vsched.place_reduce(r, node, attempts);
+            let placed = vsched.place_reduce(reduce_task_base + r, node, attempts);
             if cfg.trace {
                 reduce_sched.push(placed.iter().map(|p| (p.slot, p.start, p.end)).collect());
             }
@@ -1055,7 +1186,7 @@ pub fn run_job(
                 (r % cluster.nodes, attempts)
             })
             .collect();
-        let outcomes = vsched.run_reduce_phase(tasks);
+        let outcomes = vsched.run_reduce_phase_from(reduce_task_base, tasks);
         for (r, outs) in outcomes.iter().enumerate() {
             let node = r % cluster.nodes;
             if cfg.trace {
@@ -1147,7 +1278,7 @@ pub fn run_job(
             let Some(backup_node) = cfg.fault_plan.fastest_other_node(cluster.nodes, home) else {
                 continue;
             };
-            let spec_dir = temp.join(format!("r{r}_spec"));
+            let spec_dir = temp.join(format!("rd{round}_r{r}_spec"));
             if std::fs::create_dir_all(&spec_dir).is_err() {
                 continue;
             }
@@ -1173,13 +1304,13 @@ pub fn run_job(
             if let Ok(b) = res_b {
                 let origin = AttemptKey {
                     kind: TaskKind::Reduce,
-                    task: r,
+                    task: reduce_task_base + r,
                     attempt: rattempt_durations[r].len().saturating_sub(1),
                     backup: false,
                 };
                 let bkey = AttemptKey {
                     kind: TaskKind::Reduce,
-                    task: r,
+                    task: reduce_task_base + r,
                     attempt: 0,
                     backup: true,
                 };
@@ -1199,7 +1330,9 @@ pub fn run_job(
                     };
                     results[r] = b;
                     let final_attempt = rattempt_durations[r].len().saturating_sub(1);
-                    let _ = std::fs::remove_dir_all(temp.join(format!("r{r}_a{final_attempt}")));
+                    let _ = std::fs::remove_dir_all(
+                        temp.join(format!("rd{round}_r{r}_a{final_attempt}")),
+                    );
                     if cfg.trace {
                         reduce_lost_to_backup[r] = true;
                         reduce_backups.push((r, backup_node, slot, start_b, end_b, None));
@@ -1242,13 +1375,15 @@ pub fn run_job(
         .max()
         .unwrap_or(map_phase_end);
 
-    // ---- assemble the job trace (opt-in) ---------------------------------------
+    // ---- assemble the round's trace entries (opt-in) ---------------------------
     // Each attempt of record contributes its task-local lanes, shifted to
     // its scheduled start and stretched by its node's straggler factor;
     // failed attempts, speculation losers, and dead backups contribute flat
     // slot-occupancy spans. The profiles' trace payloads move into the
-    // JobTrace here, so `JobRun::profile` stays lean.
-    let trace = if cfg.trace {
+    // entries here, so the returned profile stays lean. Entries keep
+    // round-local task ids plus the round stamp; the caller assembles the
+    // whole job's `JobTrace`.
+    let (entries, registry) = if cfg.trace {
         let mut entries = Vec::new();
         for (t, sched) in map_sched.iter().enumerate() {
             let node = splits[t].home_node % cluster.nodes;
@@ -1267,6 +1402,7 @@ pub fn run_job(
                 };
                 entries.push(TraceEntry {
                     kind: TaskKind::Map,
+                    round,
                     task: t,
                     attempt,
                     backup: false,
@@ -1296,6 +1432,7 @@ pub fn run_job(
                 };
                 entries.push(TraceEntry {
                     kind: TaskKind::Reduce,
+                    round,
                     task: r,
                     attempt,
                     backup: false,
@@ -1319,6 +1456,7 @@ pub fn run_job(
             };
             entries.push(TraceEntry {
                 kind: TaskKind::Map,
+                round,
                 task: t,
                 attempt: 0,
                 backup: true,
@@ -1341,6 +1479,7 @@ pub fn run_job(
             };
             entries.push(TraceEntry {
                 kind: TaskKind::Reduce,
+                round,
                 task: r,
                 attempt: 0,
                 backup: true,
@@ -1352,12 +1491,9 @@ pub fn run_job(
                 detail,
             });
         }
-        let twall = entries.iter().map(|e| e.end).max().unwrap_or(0).max(wall);
-        // Ground-truth happens-before edges: scheduling-level orderings
-        // come straight off the event graph's attempt log; intra-task
-        // orderings (spill hand-ins, shuffle barriers) come from the
-        // producer-side structure assembled above. The race checker
-        // consumes these instead of reconstructing them from span timings.
+        // The frequent-key registry's designated-publisher assignment,
+        // kept alongside the entries so the caller can build the
+        // protocol's happens-before edges for this round.
         let registry = if cfg.emit_filter.is_some() {
             let homes: Vec<usize> = splits.iter().map(|s| s.home_node % cluster.nodes).collect();
             let mut groups: Vec<(usize, usize)> = node_first_task
@@ -1369,29 +1505,17 @@ pub fn run_job(
         } else {
             None
         };
-        let edges = build_trace_edges(&entries, &vsched, registry.as_ref());
-        Some(JobTrace {
-            nodes: cluster.nodes,
-            map_slots: cluster.map_slots_per_node.max(1),
-            reduce_slots: cluster.reduce_slots_per_node.max(1),
-            fetchers: cluster
-                .shuffle_fetchers
-                .clamp(1, crate::shuffle::MAX_FETCHERS),
-            wall: twall,
-            edges,
-            entries,
-        })
+        (entries, registry)
     } else {
-        None
+        (Vec::new(), None)
     };
 
-    // Map outputs (and their files) are dropped here; `_cleanup` removes
-    // the job's temp directory when `run_job` returns.
+    // Map outputs (and their files) are dropped here; the job-level temp
+    // guard removes the whole directory once the job (all rounds) is done.
     drop(map_outputs);
 
-    Ok(JobRun {
+    Ok(RoundRun {
         outputs,
-        trace,
         profile: JobProfile {
             map_tasks: map_profiles,
             reduce_tasks: reduce_profiles,
@@ -1403,6 +1527,8 @@ pub fn run_job(
             reduce_shuffles,
             speculation: spec_stats,
         },
+        entries,
+        registry,
     })
 }
 

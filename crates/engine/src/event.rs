@@ -161,6 +161,15 @@ pub enum EventKind {
         /// Flow index == source map task id.
         flow: usize,
     },
+    /// A DAG round boundary: every attempt of rounds `< round` completed
+    /// before any attempt of `round` starts. Enabled by all prior attempt
+    /// ends; an enabling predecessor of every later attempt.
+    RoundBoundary {
+        /// The round that opens at this boundary (1-based; round 0 has no
+        /// boundary — single-round jobs record the legacy graph
+        /// unchanged).
+        round: usize,
+    },
 }
 
 /// Index of a node in an [`EventGraph`].
@@ -389,6 +398,7 @@ pub struct Scheduler {
     reduce_free: Vec<Vec<VNanos>>,
     reduce_last: Vec<Vec<Option<(EventId, AttemptKey)>>>,
     map_phase_ev: Option<EventId>,
+    round_ev: Option<EventId>,
     reduce_phase_start: VNanos,
     /// Every recorded attempt, in the order it entered the graph.
     attempts: Vec<AttemptRecord>,
@@ -436,6 +446,7 @@ impl Scheduler {
             reduce_free: vec![vec![0; reduce_slots]; nodes],
             reduce_last: vec![vec![None; reduce_slots]; nodes],
             map_phase_ev: None,
+            round_ev: None,
             reduce_phase_start: 0,
             attempts: Vec::new(),
         }
@@ -497,6 +508,9 @@ impl Scheduler {
             if let Some(mp) = self.map_phase_ev {
                 preds.push(mp);
             }
+        }
+        if let Some(rb) = self.round_ev {
+            preds.push(rb);
         }
         if let Some(o) = origin {
             if let Some(orig) = self.find_attempt(o) {
@@ -627,6 +641,27 @@ impl Scheduler {
         free[node][slot] = end;
     }
 
+    /// Open DAG round `round` (1-based) at virtual instant `origin` — the
+    /// end of the previous round's last reduce attempt. Records a
+    /// [`EventKind::RoundBoundary`] enabled by every attempt so far and
+    /// raises all slot free times to at least `origin`, so cross-round
+    /// virtual time is continuous: round-`k+1` work starts no earlier
+    /// than the round-`k` outputs it consumes. Never called for round 0,
+    /// which keeps single-round jobs bit-identical to the legacy path.
+    pub fn begin_round(&mut self, round: usize, origin: VNanos) {
+        let preds = self.attempts.iter().map(|a| a.end_ev).collect();
+        self.round_ev = Some(
+            self.graph
+                .push(origin, EventKind::RoundBoundary { round }, preds),
+        );
+        self.map_phase_ev = None;
+        for free in self.map_free.iter_mut().chain(self.reduce_free.iter_mut()) {
+            for slot in free.iter_mut() {
+                *slot = (*slot).max(origin);
+            }
+        }
+    }
+
     /// Open the reduce phase: all reduce slots free at `map_phase_end`,
     /// and the barrier event (enabled by every map attempt recorded so
     /// far) enters the graph.
@@ -685,6 +720,18 @@ impl Scheduler {
         &mut self,
         tasks: Vec<(usize, Vec<ReduceAttempt>)>,
     ) -> Vec<Vec<AttemptOutcome>> {
+        self.run_reduce_phase_from(0, tasks)
+    }
+
+    /// [`Scheduler::run_reduce_phase`] with a global task-id base: attempt
+    /// and flow-finish events are recorded as task `base + r`, keeping
+    /// keys unique when a DAG job runs several rounds through one
+    /// scheduler. `base = 0` is the single-round path.
+    pub fn run_reduce_phase_from(
+        &mut self,
+        base: usize,
+        tasks: Vec<(usize, Vec<ReduceAttempt>)>,
+    ) -> Vec<Vec<AttemptOutcome>> {
         let nodes: Vec<usize> = tasks.iter().map(|(n, _)| *n).collect();
         let outcomes = ReduceSim::new(
             self.shape.nodes,
@@ -707,7 +754,7 @@ impl Scheduler {
             let o = &outcomes[task][attempt];
             let key = AttemptKey {
                 kind: TaskKind::Reduce,
-                task,
+                task: base + task,
                 attempt,
                 backup: false,
             };
@@ -720,7 +767,10 @@ impl Scheduler {
                         .min(o.end);
                     self.graph.push(
                         at,
-                        EventKind::FlowFinish { task, flow: f.flow },
+                        EventKind::FlowFinish {
+                            task: base + task,
+                            flow: f.flow,
+                        },
                         vec![start_ev],
                     );
                 }

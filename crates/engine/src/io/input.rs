@@ -1,12 +1,18 @@
-//! Input splits and the line-oriented record reader.
+//! Input splits and the record readers over them.
 //!
-//! One split per DFS block, with Hadoop's exact line-boundary protocol: a
-//! reader starting at offset > 0 skips the (partial) first line — it
-//! belongs to the previous split — and the reader owning the byte at the
-//! split end finishes the line that straddles it. Every input line is
-//! therefore read exactly once across splits.
+//! Text splits: one split per DFS block, with Hadoop's exact line-boundary
+//! protocol — a reader starting at offset > 0 skips the (partial) first
+//! line (it belongs to the previous split) and the reader owning the byte
+//! at the split end finishes the line that straddles it. Every input line
+//! is therefore read exactly once across splits.
+//!
+//! Framed splits: a whole buffer of [`crate::codec`] varint-framed
+//! `(key, value)` records — the typed cross-round hand-off of DAG jobs. A
+//! prior round's reduce partition becomes the next round's map input
+//! without re-materializing through a text codec; the reader yields the
+//! framed pairs directly.
 
-use crate::codec::encode_u64;
+use crate::codec::{encode_u64, read_record, write_record};
 use crate::io::dfs::DfsFile;
 use crate::job::Record;
 use std::sync::Arc;
@@ -25,6 +31,9 @@ pub struct InputSplit {
     pub home_node: usize,
     /// Logical input source tag (multi-input jobs).
     pub source: u8,
+    /// True for a typed hand-off split: the bytes are varint-framed
+    /// `(key, value)` records instead of newline-delimited text.
+    pub framed: bool,
 }
 
 impl InputSplit {
@@ -39,9 +48,31 @@ impl InputSplit {
                     end,
                     home_node: file.placements[b],
                     source,
+                    framed: false,
                 }
             })
             .collect()
+    }
+
+    /// Frame `(key, value)` pairs into one whole-buffer typed split — the
+    /// cross-round hand-off of a DAG job.
+    pub fn from_pairs<'p, I>(pairs: I, home_node: usize, source: u8) -> InputSplit
+    where
+        I: IntoIterator<Item = &'p (Vec<u8>, Vec<u8>)>,
+    {
+        let mut buf = Vec::new();
+        for (k, v) in pairs {
+            write_record(&mut buf, k, v);
+        }
+        let end = buf.len();
+        InputSplit {
+            data: Arc::new(buf),
+            start: 0,
+            end,
+            home_node,
+            source,
+            framed: true,
+        }
     }
 
     /// Split length in bytes.
@@ -66,23 +97,25 @@ impl InputSplit {
     }
 }
 
-/// Lending reader producing line [`Record`]s from a split. The record key
-/// is the big-endian byte offset of the line; the value is the line without
-/// its trailing newline.
+/// Lending reader producing [`Record`]s from a split. For text splits the
+/// record key is the big-endian byte offset of the line and the value is
+/// the line without its trailing newline; for framed splits key and value
+/// are the framed pair's own bytes.
 pub struct SplitReader<'a> {
     data: &'a [u8],
     pos: usize,
     end: usize,
     source: u8,
+    framed: bool,
     key_buf: [u8; 8],
 }
 
 impl<'a> SplitReader<'a> {
-    /// Position a reader at the split's first whole line.
+    /// Position a reader at the split's first whole record.
     pub fn new(split: &'a InputSplit) -> Self {
         let data: &'a [u8] = &split.data;
         let mut pos = split.start;
-        if pos > 0 {
+        if !split.framed && pos > 0 {
             // Skip the partial first line: it belongs to the previous split.
             while pos < data.len() && data[pos - 1] != b'\n' {
                 pos += 1;
@@ -93,6 +126,7 @@ impl<'a> SplitReader<'a> {
             pos,
             end: split.end,
             source: split.source,
+            framed: split.framed,
             key_buf: [0; 8],
         }
     }
@@ -100,10 +134,18 @@ impl<'a> SplitReader<'a> {
     /// Next record, or `None` at the end of the split.
     #[allow(clippy::should_implement_trait)] // lending iterator: borrows self
     pub fn next(&mut self) -> Option<Record<'_>> {
-        // A line is read by the split containing its first byte.
         if self.pos >= self.end || self.pos >= self.data.len() {
             return None;
         }
+        if self.framed {
+            let (key, value) = read_record(self.data, &mut self.pos)?;
+            return Some(Record {
+                key,
+                value,
+                source: self.source,
+            });
+        }
+        // A line is read by the split containing its first byte.
         let line_start = self.pos;
         let mut i = self.pos;
         while i < self.data.len() && self.data[i] != b'\n' {
@@ -195,5 +237,37 @@ mod tests {
     fn empty_lines_are_records() {
         let splits = splits_of("a\n\nb\n", 100, 1);
         assert_eq!(read_all(&splits[0]), vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn framed_split_round_trips_pairs() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (b"k1".to_vec(), b"value one".to_vec()),
+            (b"".to_vec(), b"empty key".to_vec()),
+            (b"k3\nwith newline".to_vec(), b"".to_vec()),
+        ];
+        let split = InputSplit::from_pairs(&pairs, 2, 5);
+        assert!(split.framed);
+        assert_eq!(split.home_node, 2);
+        assert_eq!(split.count_records(), 3);
+        let mut r = SplitReader::new(&split);
+        for (k, v) in &pairs {
+            let rec = r.next().unwrap();
+            assert_eq!(rec.key, &k[..]);
+            assert_eq!(rec.value, &v[..]);
+            assert_eq!(rec.source, 5);
+        }
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn framed_keys_pass_through_untouched() {
+        // Newlines inside framed records must not split them: the framed
+        // reader is the codec, not the line scanner.
+        let pairs = vec![(b"a".to_vec(), b"line1\nline2".to_vec())];
+        let split = InputSplit::from_pairs(&pairs, 0, 0);
+        let mut r = SplitReader::new(&split);
+        assert_eq!(r.next().unwrap().value, b"line1\nline2");
+        assert!(r.next().is_none());
     }
 }

@@ -14,7 +14,9 @@
 //! * [`Job::reduce`] — final aggregation per key;
 //! * [`Job::compare_keys`] / [`Job::partition`] — ordering and routing.
 
+use crate::cluster::JobConfig;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// One input record handed to `map()`. For line-oriented text inputs the
 /// key is the big-endian byte offset and the value is the line (without the
@@ -138,6 +140,103 @@ pub trait Job: Send + Sync {
     /// FNV-1a hash. Must be deterministic.
     fn partition(&self, key: &[u8], num_partitions: usize) -> usize {
         (fnv1a(key) % num_partitions as u64) as usize
+    }
+}
+
+/// Where one DAG stage draws its map input from.
+#[derive(Clone)]
+pub enum StageInput {
+    /// Named DFS files with logical source tags, exactly like
+    /// [`run_job`](crate::cluster::run_job)'s `inputs`.
+    Dfs(Vec<(String, u8)>),
+    /// A prior stage's reduce output, handed off as typed framed splits —
+    /// no re-materialization through the text codec. Partition `p` of the
+    /// producing stage becomes map split (and task) `p` of this stage,
+    /// homed on the node that reduced it.
+    Prior {
+        /// Index of the producing stage; must precede this stage.
+        stage: usize,
+        /// Source tag attached to the handed-off records.
+        source: u8,
+    },
+}
+
+impl StageInput {
+    /// Convenience: input from one DFS file with source tag 0.
+    pub fn dfs(name: &str) -> StageInput {
+        StageInput::Dfs(vec![(name.to_string(), 0)])
+    }
+
+    /// Convenience: the immediately preceding stage's output (source 0).
+    /// Resolved by [`JobDag::then`]; panics if used before resolution.
+    pub fn prior(stage: usize) -> StageInput {
+        StageInput::Prior { stage, source: 0 }
+    }
+}
+
+/// One stage of a multi-round DAG job: user code, its per-round policy,
+/// and where its input comes from.
+pub struct Stage {
+    /// The stage's MapReduce job.
+    pub job: Arc<dyn Job>,
+    /// Per-stage policy (reducers, plug-ins, faults, tracing). All stages
+    /// of one DAG must agree on `trace` and on straggler factors, since
+    /// they share one scheduler.
+    pub cfg: JobConfig,
+    /// Where the stage's map input comes from.
+    pub input: StageInput,
+}
+
+/// A round-generic DAG plan: an ordered list of [`Stage`]s whose `Prior`
+/// input edges point strictly backwards. Stage `k` executes as round `k`
+/// on one shared virtual-time scheduler (see
+/// [`DagExecutor`](crate::dag::DagExecutor)); a single-stage plan is
+/// exactly the legacy one-shot pipeline.
+#[derive(Default)]
+pub struct JobDag {
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl JobDag {
+    /// An empty plan.
+    pub fn new() -> JobDag {
+        JobDag::default()
+    }
+
+    /// Append a stage with an explicit input.
+    pub fn stage(mut self, job: Arc<dyn Job>, cfg: JobConfig, input: StageInput) -> JobDag {
+        self.stages.push(Stage { job, cfg, input });
+        self
+    }
+
+    /// Append a stage consuming the previous stage's output with source
+    /// tag 0. Panics if the plan is still empty.
+    pub fn then(self, job: Arc<dyn Job>, cfg: JobConfig) -> JobDag {
+        assert!(!self.stages.is_empty(), "then() needs a preceding stage");
+        let prior = self.stages.len() - 1;
+        self.stage(job, cfg, StageInput::prior(prior))
+    }
+
+    /// Check the plan is executable: non-empty, every `Prior` edge points
+    /// to an earlier stage, and every stage agrees with stage 0 on the
+    /// `trace` flag (one scheduler, one trace).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("empty DAG".into());
+        }
+        let trace = self.stages[0].cfg.trace;
+        for (i, s) in self.stages.iter().enumerate() {
+            if let StageInput::Prior { stage, .. } = s.input {
+                if stage >= i {
+                    return Err(format!("stage {i} consumes non-prior stage {stage}"));
+                }
+            }
+            if s.cfg.trace != trace {
+                return Err(format!("stage {i} disagrees with stage 0 on tracing"));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -62,6 +62,7 @@
 pub mod cluster;
 pub mod codec;
 pub mod controller;
+pub mod dag;
 pub mod event;
 pub mod fault;
 pub mod hash;
@@ -83,10 +84,11 @@ pub mod prelude {
         fixed_spill_factory, EmitFilter, FilterCtx, FixedSpill, SpillController, SpillObservation,
         TaskCtx,
     };
+    pub use crate::dag::{run_dag, DagExecutor, DagRun};
     pub use crate::fault::{ChaosShape, FaultPlan, SpeculationConfig};
     pub use crate::io::dfs::SimDfs;
-    pub use crate::job::{Emit, Job, Record, ValueCursor, ValueSink};
-    pub use crate::metrics::{JobProfile, Op, Phase, TaskProfile};
+    pub use crate::job::{Emit, Job, JobDag, Record, Stage, StageInput, ValueCursor, ValueSink};
+    pub use crate::metrics::{DagProfile, DagSignature, JobProfile, Op, Phase, TaskProfile};
     pub use crate::net::NetworkConfig;
     pub use crate::shuffle::{FetchHistogram, ShuffleStats};
     pub use crate::task::reduce_task::Grouping;

@@ -514,6 +514,61 @@ impl JobProfile {
     }
 }
 
+/// Timing-free summary of a whole multi-round DAG run: one
+/// [`JobSignature`] per round, in execution order. Two DAG runs with equal
+/// signatures produced byte-identical intermediate and final data at every
+/// round boundary, whatever the cluster shape or fault timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagSignature {
+    /// Per-round signatures, in round order.
+    pub rounds: Vec<JobSignature>,
+}
+
+/// Aggregated profile of a multi-round DAG job: the per-round profiles
+/// plus the cumulative virtual makespan (rounds run back to back on one
+/// scheduler, so the DAG wall is the last round's wall).
+#[derive(Debug, Clone, Default)]
+pub struct DagProfile {
+    /// Per-round profiles, in execution order.
+    pub rounds: Vec<JobProfile>,
+    /// Virtual makespan of the whole DAG.
+    pub wall: VNanos,
+}
+
+impl DagProfile {
+    /// The timing-free part of this profile (see [`DagSignature`]).
+    pub fn signature(&self) -> DagSignature {
+        DagSignature {
+            rounds: self.rounds.iter().map(JobProfile::signature).collect(),
+        }
+    }
+
+    /// Sum of all operation times across every round's tasks — the
+    /// cumulative abstraction-cost account of the whole pipeline.
+    pub fn total_ops(&self) -> OpTimes {
+        let mut agg = OpTimes::new();
+        for r in &self.rounds {
+            agg.merge(&r.total_ops());
+        }
+        agg
+    }
+
+    /// Total intermediate bytes shuffled across all rounds.
+    pub fn shuffled_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.shuffled_bytes).sum()
+    }
+
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Virtual makespan as a `Duration`.
+    pub fn wall_duration(&self) -> Duration {
+        Duration::from_nanos(self.wall)
+    }
+}
+
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;

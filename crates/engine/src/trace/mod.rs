@@ -49,6 +49,7 @@
 //! happens-before path — virtual-time races the per-lane tiling checks in
 //! [`JobTrace::check`] cannot see.
 
+pub mod diff;
 pub mod race;
 
 use crate::metrics::{Op, OpTimes, VNanos};
@@ -598,11 +599,15 @@ pub enum EdgeKind {
     /// of publisher and waiter may overlap — so the race checker validates
     /// them as protocol edges instead of adding them to vector clocks.
     Registry,
+    /// Cross-round hand-off in a DAG job: a round-`k` reduce partition was
+    /// complete before the round-`k+1` map attempt that consumes it
+    /// started.
+    Round,
 }
 
 impl EdgeKind {
     /// Every edge kind, in serialization order.
-    pub const ALL: [EdgeKind; 8] = [
+    pub const ALL: [EdgeKind; 9] = [
         EdgeKind::Slot,
         EdgeKind::Retry,
         EdgeKind::Backup,
@@ -611,6 +616,7 @@ impl EdgeKind {
         EdgeKind::Spill,
         EdgeKind::Handoff,
         EdgeKind::Registry,
+        EdgeKind::Round,
     ];
 
     /// Serialized name.
@@ -624,6 +630,7 @@ impl EdgeKind {
             EdgeKind::Spill => "spill",
             EdgeKind::Handoff => "handoff",
             EdgeKind::Registry => "registry",
+            EdgeKind::Round => "round",
         }
     }
 
@@ -742,7 +749,10 @@ pub enum EntryDetail {
 pub struct TraceEntry {
     /// Map or reduce phase.
     pub kind: TaskKind,
-    /// Task id (map task index / reduce partition).
+    /// DAG round the attempt belongs to (0 for single-round jobs — the
+    /// legacy export is byte-identical when every entry is round 0).
+    pub round: usize,
+    /// Task id within its round (map task index / reduce partition).
     pub task: usize,
     /// Attempt number (0-based; backups restart at 0).
     pub attempt: usize,
@@ -785,10 +795,19 @@ pub struct JobTrace {
 }
 
 impl JobTrace {
-    /// Stable Chrome-trace thread id for a lane: map slots first (two
-    /// lanes each), then reduce slots (1 + `fetchers` lanes each).
-    fn tid(&self, kind: TaskKind, slot: usize, role: LaneRole) -> usize {
-        match kind {
+    /// Width of one round's tid block: map slots first (two lanes each),
+    /// then reduce slots (1 + `fetchers` lanes each).
+    fn lane_block(&self) -> usize {
+        self.map_slots * 2 + self.reduce_slots * (1 + self.fetchers)
+    }
+
+    /// Stable Chrome-trace thread id for a lane. Round 0 occupies the
+    /// legacy layout; each later round gets its own block of lanes above
+    /// it, so a whole DAG renders as one Perfetto timeline with per-round
+    /// lane groups.
+    fn tid(&self, round: usize, kind: TaskKind, slot: usize, role: LaneRole) -> usize {
+        let base = round * self.lane_block();
+        base + match kind {
             TaskKind::Map => slot * 2 + role.sub_index(),
             TaskKind::Reduce => self.map_slots * 2 + slot * (1 + self.fetchers) + role.sub_index(),
         }
@@ -822,7 +841,12 @@ impl JobTrace {
         let mut by_slot: BTreeMap<(usize, TaskKind, usize), SlotSpans> = BTreeMap::new();
         for e in &self.entries {
             let who = format!(
-                "{} {} attempt {}{}",
+                "{}{} {} attempt {}{}",
+                if e.round > 0 {
+                    format!("round {} ", e.round)
+                } else {
+                    String::new()
+                },
                 e.kind.label(),
                 e.task,
                 e.attempt,
@@ -921,10 +945,15 @@ impl JobTrace {
                 }],
             };
             for role in roles {
-                let tid = self.tid(e.kind, e.slot, role);
+                let tid = self.tid(e.round, e.kind, e.slot, role);
                 threads.entry((e.node, tid)).or_insert_with(|| {
                     format!(
-                        "{} slot {} \u{00b7} {}",
+                        "{}{} slot {} \u{00b7} {}",
+                        if e.round > 0 {
+                            format!("r{} ", e.round)
+                        } else {
+                            String::new()
+                        },
                         e.kind.label(),
                         e.slot,
                         role.label()
@@ -965,13 +994,20 @@ impl JobTrace {
                 ),
             );
         }
-        // Span events.
+        // Span events. The `round` arg is emitted only for rounds past the
+        // first, so single-round exports stay byte-identical to the legacy
+        // format.
         for e in &self.entries {
             let task = format!("{} {}", e.kind.label(), e.task);
+            let round = if e.round > 0 {
+                format!(",\"round\":{}", e.round)
+            } else {
+                String::new()
+            };
             match &e.detail {
                 EntryDetail::Lanes(lanes) => {
                     for lane in lanes {
-                        let tid = self.tid(e.kind, e.slot, lane.role);
+                        let tid = self.tid(e.round, e.kind, e.slot, lane.role);
                         for s in &lane.spans {
                             let cat = match s.kind {
                                 SpanKind::Op(op) if !op.is_idle() => match op.phase() {
@@ -988,7 +1024,7 @@ impl JobTrace {
                                     "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
                                      \"dur\":{},\"name\":\"{}\",\"cat\":\"{cat}\",\
                                      \"args\":{{\"task\":\"{}\",\"attempt\":{},\
-                                     \"backup\":{}{src}}}}}",
+                                     \"backup\":{}{round}{src}}}}}",
                                     e.node,
                                     fmt_us(s.start),
                                     fmt_us(s.end - s.start),
@@ -1006,13 +1042,13 @@ impl JobTrace {
                         TaskKind::Map => LaneRole::Map,
                         TaskKind::Reduce => LaneRole::Reduce,
                     };
-                    let tid = self.tid(e.kind, e.slot, role);
+                    let tid = self.tid(e.round, e.kind, e.slot, role);
                     push(
                         &mut out,
                         format!(
                             "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
                              \"dur\":{},\"name\":\"{}\",\"cat\":\"attempt\",\
-                             \"args\":{{\"task\":\"{}\",\"attempt\":{},\"backup\":{}}}}}",
+                             \"args\":{{\"task\":\"{}\",\"attempt\":{},\"backup\":{}{round}}}}}",
                             e.node,
                             fmt_us(e.start),
                             fmt_us(e.end - e.start),
@@ -1034,14 +1070,15 @@ impl JobTrace {
     pub fn render_text(&self, width: usize) -> String {
         let width = width.clamp(20, 400);
         let wall = self.wall.max(1);
-        // (node, kind, slot, lane sub-index) → row of (start, end, glyph).
-        type RowKey = (usize, TaskKind, usize, usize);
+        // (node, round, kind, slot, lane sub-index) → row of
+        // (start, end, glyph).
+        type RowKey = (usize, usize, TaskKind, usize, usize);
         let mut rows: BTreeMap<RowKey, Vec<(VNanos, VNanos, char)>> = BTreeMap::new();
         for e in &self.entries {
             match &e.detail {
                 EntryDetail::Lanes(lanes) => {
                     for lane in lanes {
-                        let key = (e.node, e.kind, e.slot, lane.role.sub_index());
+                        let key = (e.node, e.round, e.kind, e.slot, lane.role.sub_index());
                         let row = rows.entry(key).or_default();
                         for s in &lane.spans {
                             row.push((s.start, s.end, glyph(s.kind)));
@@ -1049,7 +1086,7 @@ impl JobTrace {
                     }
                 }
                 EntryDetail::Flat(kind) => {
-                    let key = (e.node, e.kind, e.slot, 0);
+                    let key = (e.node, e.round, e.kind, e.slot, 0);
                     rows.entry(key).or_default().push((
                         e.start,
                         e.end,
@@ -1069,7 +1106,8 @@ impl JobTrace {
             wall as f64 / 1e6,
             width
         );
-        for ((node, kind, slot, sub), mut row) in rows {
+        let multi_round = self.entries.iter().any(|e| e.round > 0);
+        for ((node, round, kind, slot, sub), mut row) in rows {
             row.sort();
             let lane = match (kind, sub) {
                 (TaskKind::Map, 0) => "map".to_string(),
@@ -1080,6 +1118,11 @@ impl JobTrace {
             let prefix = match kind {
                 TaskKind::Map => 'm',
                 TaskKind::Reduce => 'r',
+            };
+            let round_tag = if multi_round {
+                format!("R{round} ")
+            } else {
+                String::new()
             };
             let mut line = String::with_capacity(width);
             for col in 0..width {
@@ -1093,7 +1136,7 @@ impl JobTrace {
                     .unwrap_or(' ');
                 line.push(c);
             }
-            let _ = writeln!(out, "n{node} {prefix}{slot} {lane:<4}|{line}|");
+            let _ = writeln!(out, "n{node} {round_tag}{prefix}{slot} {lane:<4}|{line}|");
         }
         out.push_str(
             "legend: r read  M map  e emit  s sort  c combine  w spill  g merge  \
@@ -1267,6 +1310,7 @@ fn parse_task(label: &str, ctx: &str) -> Result<(TaskKind, usize), String> {
 /// One task attempt being reassembled from its exported events.
 struct EntryBuild {
     kind: TaskKind,
+    round: usize,
     task: usize,
     attempt: usize,
     backup: bool,
@@ -1313,7 +1357,8 @@ impl JobTrace {
         };
 
         let mut order: Vec<EntryBuild> = Vec::new();
-        let mut index: BTreeMap<(usize, TaskKind, usize, usize, bool), usize> = BTreeMap::new();
+        let mut index: BTreeMap<(usize, usize, TaskKind, usize, usize, bool), usize> =
+            BTreeMap::new();
         for (i, ev) in events.iter().enumerate() {
             let ctx = format!("event {i}");
             let JsonValue::Obj(f) = ev else {
@@ -1345,16 +1390,21 @@ impl JobTrace {
             let (kind, task) = parse_task(task_label, &ctx)?;
             let attempt = usize_field(args, "attempt", &ctx)?;
             let backup = matches!(obj_field(args, "backup"), Some(JsonValue::Bool(true)));
-            // Invert the tid layout: map slots first (two lanes each), then
-            // reduce slots (1 + `fetchers` lanes each).
-            let (slot, sub) = if tid < map_slots * 2 {
+            // Invert the tid layout: each DAG round owns one block of
+            // lanes (round 0 is the legacy layout); within a block, map
+            // slots first (two lanes each), then reduce slots (1 +
+            // `fetchers` lanes each).
+            let block = map_slots * 2 + reduce_slots * (1 + fetchers);
+            let round = tid.checked_div(block).unwrap_or(0);
+            let rem = tid.checked_rem(block).unwrap_or(tid);
+            let (slot, sub) = if rem < map_slots * 2 {
                 if kind != TaskKind::Reduce {
-                    (tid / 2, tid % 2)
+                    (rem / 2, rem % 2)
                 } else {
                     return Err(format!("{ctx}: reduce task on map-region tid {tid}"));
                 }
             } else {
-                let r = tid - map_slots * 2;
+                let r = rem - map_slots * 2;
                 let width = 1 + fetchers;
                 if kind != TaskKind::Map {
                     (r / width, r % width)
@@ -1362,10 +1412,11 @@ impl JobTrace {
                     return Err(format!("{ctx}: map task on reduce-region tid {tid}"));
                 }
             };
-            let key = (node, kind, task, attempt, backup);
+            let key = (node, round, kind, task, attempt, backup);
             let at = *index.entry(key).or_insert_with(|| {
                 order.push(EntryBuild {
                     kind,
+                    round,
                     task,
                     attempt,
                     backup,
@@ -1436,6 +1487,7 @@ impl JobTrace {
             };
             entries.push(TraceEntry {
                 kind: b.kind,
+                round: b.round,
                 task: b.task,
                 attempt: b.attempt,
                 backup: b.backup,
@@ -1823,6 +1875,7 @@ mod tests {
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
+                    round: 0,
                     task: 0,
                     attempt: 1,
                     backup: false,
@@ -1835,6 +1888,7 @@ mod tests {
                 },
                 TraceEntry {
                     kind: TaskKind::Map,
+                    round: 0,
                     task: 0,
                     attempt: 0,
                     backup: false,
@@ -1876,6 +1930,68 @@ mod tests {
     }
 
     #[test]
+    fn multi_round_export_round_trips_and_separates_lanes() {
+        // Two rounds of the same map attempt on the same physical slot:
+        // round 1 starts after round 0 ends (cross-round continuity).
+        let lanes0 = map_trace().into_absolute(0, 1);
+        let lanes1 = map_trace().into_absolute(100, 1);
+        let trace = JobTrace {
+            nodes: 1,
+            map_slots: 1,
+            reduce_slots: 1,
+            fetchers: 1,
+            wall: 162,
+            edges: vec![TraceEdge {
+                kind: EdgeKind::Round,
+                src: EdgeEnd::entry(0),
+                dst: EdgeEnd::entry(1),
+            }],
+            entries: vec![
+                TraceEntry {
+                    kind: TaskKind::Map,
+                    round: 0,
+                    task: 0,
+                    attempt: 0,
+                    backup: false,
+                    node: 0,
+                    slot: 0,
+                    factor: 1,
+                    start: 0,
+                    end: 62,
+                    detail: EntryDetail::Lanes(lanes0),
+                },
+                TraceEntry {
+                    kind: TaskKind::Map,
+                    round: 1,
+                    task: 0,
+                    attempt: 0,
+                    backup: false,
+                    node: 0,
+                    slot: 0,
+                    factor: 1,
+                    start: 100,
+                    end: 162,
+                    detail: EntryDetail::Lanes(lanes1),
+                },
+            ],
+        };
+        trace.check().unwrap();
+        let json = trace.to_chrome_json();
+        // Round 1 lanes land in their own tid block (block width = 1*2 +
+        // 1*(1+1) = 4) and carry the round arg; round 0 stays legacy.
+        assert!(json.contains("\"tid\":4"), "missing per-round lane: {json}");
+        assert!(json.contains("\"round\":1"), "missing round arg: {json}");
+        assert!(json.contains("[\"round\",0,-1,-1,1,-1,-1]"), "{json}");
+        let back = JobTrace::from_chrome_json(&json).unwrap();
+        back.check().unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_chrome_json(), json);
+        // The ASCII renderer labels per-round rows.
+        let text = trace.render_text(40);
+        assert!(text.contains("R1"), "timeline:\n{text}");
+    }
+
+    #[test]
     fn flow_tags_survive_the_round_trip() {
         let flows = vec![FlowTrace {
             map_task: 3,
@@ -1900,6 +2016,7 @@ mod tests {
             edges: Vec::new(),
             entries: vec![TraceEntry {
                 kind: TaskKind::Reduce,
+                round: 0,
                 task: 0,
                 attempt: 0,
                 backup: false,
@@ -1960,6 +2077,7 @@ mod tests {
             edges: Vec::new(),
             entries: vec![TraceEntry {
                 kind: TaskKind::Map,
+                round: 0,
                 task: 0,
                 attempt: 0,
                 backup: false,

@@ -220,12 +220,27 @@ impl<'t> Checker<'t> {
     fn who(&self, ei: usize) -> String {
         let e = &self.trace.entries[ei];
         format!(
-            "{} {} attempt {}{}",
+            "{}{} {} attempt {}{}",
+            if e.round > 0 {
+                format!("round {} ", e.round)
+            } else {
+                String::new()
+            },
             e.kind.label(),
             e.task,
             e.attempt,
             if e.backup { " (backup)" } else { "" }
         )
+    }
+
+    /// Round qualifier for resource names: empty for round 0 so every
+    /// legacy (single-round) diagnostic string is unchanged.
+    fn rq(round: usize) -> String {
+        if round > 0 {
+            format!("r{round}:")
+        } else {
+            String::new()
+        }
     }
 
     fn ev_time(&self, (t, i): EvRef) -> (VNanos, VNanos) {
@@ -347,7 +362,7 @@ impl<'t> Checker<'t> {
     /// timing filter as derived edges; registry hand-offs synchronize in
     /// real time, so they are validated as protocol edges instead (see the
     /// module docs).
-    fn apply_recorded_edges(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>) {
+    fn apply_recorded_edges(&mut self, of_record: &BTreeMap<(TaskKind, usize, usize), usize>) {
         let recorded = self.trace.edges.clone();
         let mut registry = Vec::new();
         for e in recorded {
@@ -381,7 +396,7 @@ impl<'t> Checker<'t> {
     fn validate_registry_protocol(
         &mut self,
         edges: &[super::TraceEdge],
-        of_record: &BTreeMap<(TaskKind, usize), usize>,
+        of_record: &BTreeMap<(TaskKind, usize, usize), usize>,
     ) {
         if edges.is_empty() {
             return;
@@ -461,8 +476,8 @@ impl<'t> Checker<'t> {
             if p.backup {
                 continue;
             }
-            for (&(kind, task), &ei) in of_record {
-                if kind != TaskKind::Map || ei == pei {
+            for (&(kind, round, task), &ei) in of_record {
+                if kind != TaskKind::Map || round != p.round || ei == pei {
                     continue;
                 }
                 let w = &self.trace.entries[ei];
@@ -527,13 +542,16 @@ impl<'t> Checker<'t> {
     /// whether retry edges are reconstructed here (legacy traces) or left
     /// to the recorded retry chains.
     fn attempt_edges_and_accesses(&mut self, derive: bool) {
-        let mut by_task: BTreeMap<(TaskKind, usize), Vec<usize>> = BTreeMap::new();
+        let mut by_task: BTreeMap<(TaskKind, usize, usize), Vec<usize>> = BTreeMap::new();
         for (ei, e) in self.trace.entries.iter().enumerate() {
             if !e.backup {
-                by_task.entry((e.kind, e.task)).or_default().push(ei);
+                by_task
+                    .entry((e.kind, e.round, e.task))
+                    .or_default()
+                    .push(ei);
             }
         }
-        for ((kind, task), mut eis) in by_task {
+        for ((kind, round, task), mut eis) in by_task {
             eis.sort_by_key(|&ei| self.trace.entries[ei].attempt);
             if derive {
                 for w in eis.windows(2) {
@@ -542,10 +560,11 @@ impl<'t> Checker<'t> {
                     self.edge_all(&srcs, &dsts);
                 }
             }
+            let rq = Self::rq(round);
             for ei in eis {
                 let (first, last) = self.entry_envelope(ei);
                 self.accesses.push(Access {
-                    resource: format!("task:{}/{task}", kind.label()),
+                    resource: format!("task:{}/{rq}{task}", kind.label()),
                     res_kind: "task",
                     write: true,
                     first,
@@ -556,18 +575,23 @@ impl<'t> Checker<'t> {
         }
     }
 
-    /// The attempt of record (the one `Lanes` entry) per task; duplicates
-    /// and missing attempts of record are structural findings.
-    fn of_record_map(&mut self) -> BTreeMap<(TaskKind, usize), usize> {
-        let mut of_record: BTreeMap<(TaskKind, usize), usize> = BTreeMap::new();
-        let mut seen: BTreeMap<(TaskKind, usize), bool> = BTreeMap::new();
+    /// The attempt of record (the one `Lanes` entry) per `(round, task)`;
+    /// duplicates and missing attempts of record are structural findings.
+    fn of_record_map(&mut self) -> BTreeMap<(TaskKind, usize, usize), usize> {
+        let mut of_record: BTreeMap<(TaskKind, usize, usize), usize> = BTreeMap::new();
+        let mut seen: BTreeMap<(TaskKind, usize, usize), bool> = BTreeMap::new();
         for (ei, e) in self.trace.entries.iter().enumerate() {
-            seen.entry((e.kind, e.task)).or_insert(false);
+            seen.entry((e.kind, e.round, e.task)).or_insert(false);
             if matches!(e.detail, EntryDetail::Lanes(_)) {
-                if let Some(&prev) = of_record.get(&(e.kind, e.task)) {
+                if let Some(&prev) = of_record.get(&(e.kind, e.round, e.task)) {
                     self.diagnostics.push(RaceDiagnostic {
                         kind: RaceKind::Structure,
-                        resource: format!("task:{}/{}", e.kind.label(), e.task),
+                        resource: format!(
+                            "task:{}/{}{}",
+                            e.kind.label(),
+                            Self::rq(e.round),
+                            e.task
+                        ),
                         message: format!(
                             "two attempts of record: {} and {}",
                             self.who(prev),
@@ -575,16 +599,16 @@ impl<'t> Checker<'t> {
                         ),
                     });
                 } else {
-                    of_record.insert((e.kind, e.task), ei);
+                    of_record.insert((e.kind, e.round, e.task), ei);
                 }
-                seen.insert((e.kind, e.task), true);
+                seen.insert((e.kind, e.round, e.task), true);
             }
         }
-        for ((kind, task), has) in seen {
+        for ((kind, round, task), has) in seen {
             if !has {
                 self.diagnostics.push(RaceDiagnostic {
                     kind: RaceKind::Structure,
-                    resource: format!("task:{}/{task}", kind.label()),
+                    resource: format!("task:{}/{}{task}", kind.label(), Self::rq(round)),
                     message: "no attempt of record (every attempt is flat)".into(),
                 });
             }
@@ -596,11 +620,16 @@ impl<'t> Checker<'t> {
     /// the support lane, merge reads, and the map-output write envelope.
     /// `derive` controls whether the spill hand-in edges are reconstructed
     /// here (legacy traces) or left to the recorded spill edges.
-    fn map_entry_accesses(&mut self, of_record: &BTreeMap<(TaskKind, usize), usize>, derive: bool) {
-        for (&(kind, task), &ei) in of_record {
+    fn map_entry_accesses(
+        &mut self,
+        of_record: &BTreeMap<(TaskKind, usize, usize), usize>,
+        derive: bool,
+    ) {
+        for (&(kind, round, task), &ei) in of_record {
             if kind != TaskKind::Map {
                 continue;
             }
+            let rq = Self::rq(round);
             let who = self.who(ei);
             let map_lane = self.lane_of(ei, LaneRole::Map);
             let support_lane = self.lane_of(ei, LaneRole::Support);
@@ -634,7 +663,7 @@ impl<'t> Checker<'t> {
                     {
                         self.diagnostics.push(RaceDiagnostic {
                             kind: RaceKind::Structure,
-                            resource: format!("handoff:{task}"),
+                            resource: format!("handoff:{rq}{task}"),
                             message: format!(
                                 "{who}: support burst at {} starts without a \
                                  preceding spill-wait (no hand-off from the producer)",
@@ -643,7 +672,7 @@ impl<'t> Checker<'t> {
                         });
                     }
                     if s.kind == SpanKind::Op(Op::SpillWrite) {
-                        let resource = format!("spill:{task}/{spill}");
+                        let resource = format!("spill:{rq}{task}/{spill}");
                         spill += 1;
                         self.accesses.push(Access {
                             resource: resource.clone(),
@@ -676,7 +705,7 @@ impl<'t> Checker<'t> {
                     let last = self.threads[t].events.len() - 1;
                     let first = merge.map_or((t, last), |m| m);
                     self.accesses.push(Access {
-                        resource: format!("mapout:{task}"),
+                        resource: format!("mapout:{rq}{task}"),
                         res_kind: "mapout",
                         write: true,
                         first,
@@ -695,13 +724,14 @@ impl<'t> Checker<'t> {
     /// recorded map-out and barrier edges.
     fn reduce_entry_accesses(
         &mut self,
-        of_record: &BTreeMap<(TaskKind, usize), usize>,
+        of_record: &BTreeMap<(TaskKind, usize, usize), usize>,
         derive: bool,
     ) {
-        for (&(kind, partition), &ei) in of_record {
+        for (&(kind, round, partition), &ei) in of_record {
             if kind != TaskKind::Reduce {
                 continue;
             }
+            let rq = Self::rq(round);
             let who = self.who(ei);
             let trace = self.trace;
             let e = &trace.entries[ei];
@@ -752,8 +782,9 @@ impl<'t> Checker<'t> {
                 }
                 for (src, (gf, gl)) in groups {
                     let flow_who = format!("{who} fetch of map {src}");
-                    // The flow reads the published map output...
-                    match of_record.get(&(TaskKind::Map, src as usize)) {
+                    // The flow reads the published map output — shuffles
+                    // stay within the entry's own round.
+                    match of_record.get(&(TaskKind::Map, round, src as usize)) {
                         Some(&mei) => {
                             if derive {
                                 if let Some(mli) = self.lane_of(mei, LaneRole::Map) {
@@ -764,7 +795,7 @@ impl<'t> Checker<'t> {
                                 }
                             }
                             self.accesses.push(Access {
-                                resource: format!("mapout:{src}"),
+                                resource: format!("mapout:{rq}{src}"),
                                 res_kind: "mapout",
                                 write: false,
                                 first: (t, gf),
@@ -774,13 +805,13 @@ impl<'t> Checker<'t> {
                         }
                         None => self.diagnostics.push(RaceDiagnostic {
                             kind: RaceKind::Structure,
-                            resource: format!("mapout:{src}"),
+                            resource: format!("mapout:{rq}{src}"),
                             message: format!("{flow_who}: no producing map task in the trace"),
                         }),
                     }
                     // ...and writes the fetched run the merge will read.
                     self.accesses.push(Access {
-                        resource: format!("runs:{partition}/{src}"),
+                        resource: format!("runs:{rq}{partition}/{src}"),
                         res_kind: "runs",
                         write: true,
                         first: (t, gf),
@@ -796,7 +827,7 @@ impl<'t> Checker<'t> {
                             self.edge((t, gl), rf);
                         }
                         self.accesses.push(Access {
-                            resource: format!("runs:{partition}/{src}"),
+                            resource: format!("runs:{rq}{partition}/{src}"),
                             res_kind: "runs",
                             write: false,
                             first: rf,
@@ -816,7 +847,7 @@ impl<'t> Checker<'t> {
                         .position(|s| s.kind == SpanKind::Op(Op::OutputWrite))
                     {
                         self.accesses.push(Access {
-                            resource: format!("out:{partition}"),
+                            resource: format!("out:{rq}{partition}"),
                             res_kind: "out",
                             write: true,
                             first: (t, ow),
@@ -984,6 +1015,7 @@ mod tests {
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
+                    round: 0,
                     task: 0,
                     attempt: 0,
                     backup: false,
@@ -996,6 +1028,7 @@ mod tests {
                 },
                 TraceEntry {
                     kind: TaskKind::Reduce,
+                    round: 0,
                     task: 0,
                     attempt: 0,
                     backup: false,

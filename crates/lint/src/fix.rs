@@ -1,0 +1,138 @@
+//! `--fix` mode: insert suppression-pragma stubs at finding sites.
+//!
+//! The fixer re-runs the scanner and, for every *rule* finding (the
+//! pragma engine's meta-diagnostics — `malformed-pragma`, `unused-pragma`
+//! and friends — describe pragmas themselves and are never stubbed),
+//! inserts a standalone comment line directly above the finding:
+//!
+//! ```text
+//! // textmr-lint: allow(<rule>, reason = "TODO")
+//! ```
+//!
+//! The stub matches the finding line's indentation and carries the
+//! literal reason `TODO`: it silences the finding so the tree scans
+//! clean, but leaves a grep-able marker that the human rationale is
+//! still owed. Fixing is idempotent — a second pass over fixed source
+//! inserts nothing.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::Rule;
+use crate::scanner::{scan_file, FileClass, PRAGMA_MARK};
+use crate::workspace::collect;
+
+/// Render the stub pragma comment for `rule` (no indentation, no newline).
+pub fn stub_for(rule: Rule) -> String {
+    format!("// {PRAGMA_MARK} allow({}, reason = \"TODO\")", rule.name())
+}
+
+/// Insert pragma stubs for every rule finding in `src`. Returns the fixed
+/// source and the number of stubs inserted (0 means `src` is returned
+/// unchanged).
+pub fn fix_source(file: &str, src: &str, class: FileClass) -> (String, usize) {
+    // One stub per (line, rule): the scanner reports at most one finding
+    // per rule per line, and a single pragma suppresses all of them.
+    let sites: BTreeSet<(u32, Rule)> = scan_file(file, src, class)
+        .into_iter()
+        .filter_map(|d| Some((d.line, Rule::by_name(d.rule)?)))
+        .collect();
+    if sites.is_empty() {
+        return (src.to_string(), 0);
+    }
+    let lines: Vec<&str> = src.split_inclusive('\n').collect();
+    let mut out = String::with_capacity(src.len() + sites.len() * 64);
+    let mut inserted = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = (i + 1) as u32;
+        for &(_, rule) in sites.iter().filter(|&&(at, _)| at == lineno) {
+            let indent: String = line
+                .chars()
+                .take_while(|c| *c == ' ' || *c == '\t')
+                .collect();
+            out.push_str(&indent);
+            out.push_str(&stub_for(rule));
+            out.push('\n');
+            inserted += 1;
+        }
+        out.push_str(line);
+    }
+    // A finding can anchor past the last line only if the file lacks a
+    // trailing newline; the split above still covers it, so every site
+    // was visited.
+    (out, inserted)
+}
+
+/// One file's `--fix` outcome.
+#[derive(Debug, Clone)]
+pub struct FixedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Pragma stubs inserted.
+    pub stubs: usize,
+}
+
+/// Fix every lintable file in the workspace rooted at `root`, rewriting
+/// files in place. Returns the per-file outcomes for files that changed.
+pub fn fix_workspace(root: &Path) -> io::Result<Vec<FixedFile>> {
+    let mut out = Vec::new();
+    for file in collect(root)? {
+        let src = fs::read_to_string(&file.path)?;
+        let (fixed, stubs) = fix_source(&file.rel, &src, file.class);
+        if stubs > 0 {
+            fs::write(&file.path, fixed)?;
+            out.push(FixedFile {
+                rel: file.rel,
+                stubs,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stubs_silence_and_are_idempotent() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let (fixed, n) = fix_source("t.rs", src, FileClass::Code);
+        assert_eq!(n, 2);
+        assert!(scan_file("t.rs", &fixed, FileClass::Code).is_empty());
+        let (again, n2) = fix_source("t.rs", &fixed, FileClass::Code);
+        assert_eq!(n2, 0);
+        assert_eq!(again, fixed);
+    }
+
+    #[test]
+    fn stub_matches_indentation() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let (fixed, n) = fix_source("t.rs", src, FileClass::Code);
+        assert_eq!(n, 1);
+        assert!(fixed.contains(
+            "    // textmr-lint: allow(wall-clock-in-virtual-path, reason = \"TODO\")\n    let t"
+        ));
+    }
+
+    #[test]
+    fn meta_diagnostics_are_not_stubbed() {
+        let src = "// textmr-lint: allow(no-such-rule, reason = \"x\")\nfn f() {}\n";
+        let (fixed, n) = fix_source("t.rs", src, FileClass::Code);
+        assert_eq!(n, 0);
+        assert_eq!(fixed, src);
+    }
+
+    #[test]
+    fn file_scoped_rules_stub_at_the_top() {
+        let src = "//! Docs.\nfn f() {}\n";
+        let (fixed, n) = fix_source("lib.rs", src, FileClass::LibRoot);
+        assert_eq!(n, 1);
+        assert!(fixed.starts_with(
+            "// textmr-lint: allow(missing-crate-lints, reason = \"TODO\")\n//! Docs.\n"
+        ));
+        assert!(scan_file("lib.rs", &fixed, FileClass::LibRoot).is_empty());
+    }
+}

@@ -22,14 +22,17 @@
 //!   the tiling checks cannot see.
 //!
 //! The `textmr-lint` binary exposes both: `--workspace` scans the source
-//! tree, `--trace <json>...` audits exported traces. Exit status is `0`
-//! only when every check is clean, which is what the CI lint gate keys on.
+//! tree (add `--fix` to insert `reason = "TODO"` pragma stubs at the
+//! finding sites — see [`fix`]), `--trace <json>...` audits exported
+//! traces. Exit status is `0` only when every check is clean, which is
+//! what the CI lint gate keys on.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::fmt;
 
+pub mod fix;
 pub mod lexer;
 pub mod rules;
 pub mod scanner;

@@ -7,7 +7,7 @@
 //! behind each rule and the list of annotated exceptions.
 
 /// The determinism-hygiene rules enforced by `textmr-lint`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// `wall-clock-in-virtual-path`: bans `Instant`/`SystemTime` outside
     /// the annotated measured-op sites. Virtual time must come from the

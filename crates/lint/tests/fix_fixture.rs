@@ -1,0 +1,63 @@
+//! Fixture-driven tests for `--fix`: stubs land at the seeded finding
+//! sites, the fixed source scans clean, and the fix is idempotent.
+
+use std::path::Path;
+
+use textmr_lint::fix::{fix_source, stub_for};
+use textmr_lint::rules::Rule;
+use textmr_lint::scanner::{scan_file, FileClass};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn fix_me_fixture_stubs_every_site_and_scans_clean() {
+    let src = fixture("fix_me.rs");
+    let before = scan_file("fix_me.rs", &src, FileClass::Code);
+    assert!(!before.is_empty(), "fixture must seed findings");
+
+    let (fixed, stubs) = fix_source("fix_me.rs", &src, FileClass::Code);
+    // One stub per (line, rule) pair the scan reported.
+    let mut sites: Vec<(u32, &str)> = before.iter().map(|d| (d.line, d.rule)).collect();
+    sites.sort();
+    sites.dedup();
+    assert_eq!(stubs, sites.len(), "{before:?}");
+
+    // Every stub line is a well-formed pragma directly above its site,
+    // so the fixed source scans completely clean (no unused-pragma, no
+    // missing-reason — "TODO" is a non-empty reason by design).
+    assert!(
+        scan_file("fix_me.rs", &fixed, FileClass::Code).is_empty(),
+        "fixed source must scan clean:\n{fixed}"
+    );
+
+    // The seeded rules each got their stub, indented like the site.
+    let wall = stub_for(Rule::by_name("wall-clock-in-virtual-path").unwrap());
+    let hash = stub_for(Rule::by_name("unordered-iteration").unwrap());
+    let acc = stub_for(Rule::by_name("unchecked-virtual-accumulator").unwrap());
+    assert!(fixed.contains(&format!("{wall}\nuse std::time::Instant;")));
+    assert!(fixed.contains(&format!("{hash}\nuse std::collections::HashMap;")));
+    assert!(fixed.contains(&format!("    {wall}\n    let t0 = Instant::now();")));
+    assert!(fixed.contains(&format!(
+        "    {hash}\n    let mut seen: HashMap<u64, u64> = HashMap::new();"
+    )));
+    assert!(fixed.contains(&format!("    {acc}\n    total_ns += ")));
+
+    // Idempotent: nothing left to fix.
+    let (again, n) = fix_source("fix_me.rs", &fixed, FileClass::Code);
+    assert_eq!(n, 0);
+    assert_eq!(again, fixed);
+}
+
+#[test]
+fn already_clean_fixture_is_untouched() {
+    let src = fixture("suppressed_clean.rs");
+    let (fixed, n) = fix_source("suppressed_clean.rs", &src, FileClass::Code);
+    assert_eq!(n, 0);
+    assert_eq!(fixed, src);
+}

@@ -1,0 +1,16 @@
+//! Fixture: `--fix` must stub every finding site in this file so a
+//! rescan of the fixed source is clean.
+
+use std::time::Instant;
+use std::collections::HashMap;
+
+fn mixed(xs: &[u64]) -> u64 {
+    let t0 = Instant::now();
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_default() += 1;
+    }
+    let mut total_ns = 0u64;
+    total_ns += t0.elapsed().as_millis() as u64;
+    total_ns
+}
