@@ -1,0 +1,215 @@
+//! Multi-tenant serve harness — a Zipfian job-arrival workload swept
+//! across S3-FIFO map-output cache budgets.
+//!
+//! Admits a queue of heterogeneous jobs (WordCount, grep, inverted
+//! index, access-log aggregation, three-round prefix sums) from three
+//! weighted tenants onto the shared serve cluster, once with the cache
+//! off and once per byte budget, and reports cache hit-rate, virtual
+//! makespan, per-tenant mean turnaround, and per-tenant slot share.
+//! Along the way it pins the serve invariants:
+//!
+//! * every job's outputs are byte-identical across all cache budgets
+//!   (the cache must be transparent to data);
+//! * re-multiplexing the recorded solo traces reproduces the schedule
+//!   and the merged trace byte for byte (the multiplexer is pure);
+//! * the merged multi-job trace validates, race-checks clean, and
+//!   round-trips through the Chrome JSON export — written to
+//!   `results/trace_serve.json` for Perfetto and the CI
+//!   `textmr-lint --trace` audit.
+//!
+//! ```sh
+//! cargo run --release -p textmr-bench --bin serve             # full sweep
+//! cargo run --release -p textmr-bench --bin serve -- --smoke  # CI sizing
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use textmr_bench::report::{results_dir, Table};
+use textmr_bench::runner::local_cluster;
+use textmr_bench::scale::Scale;
+use textmr_engine::prelude::validate_chrome_trace;
+use textmr_engine::trace::race::check_races;
+use textmr_serve::sched::{merge_traces, multiplex, JobPlan};
+use textmr_serve::workload::{self, WorkloadConfig};
+use textmr_serve::{serve, S3FifoCache, ServeCacheConfig, ServeConfig, ServeRun};
+
+fn ms(vns: u64) -> String {
+    format!("{:.2}", vns as f64 / 1e6)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::from_args();
+    let cluster = local_cluster(scale);
+
+    let wl_cfg = WorkloadConfig {
+        jobs: if smoke { 20 } else { 40 },
+        tenants: 3,
+        lines: if smoke { 150 } else { 600 },
+        alpha: 1.2,
+        ..Default::default()
+    };
+    // One cache-off baseline plus the budget sweep.
+    let budgets: &[u64] = &[0, 8 << 10, 64 << 10, 1 << 20];
+
+    println!(
+        "serve harness — {} Zipfian jobs, {} tenants, {} cache budgets\n",
+        wl_cfg.jobs,
+        wl_cfg.tenants,
+        budgets.len() - 1
+    );
+
+    let mut table = Table::new(&[
+        "budget_bytes",
+        "hits",
+        "misses",
+        "hit_rate_pct",
+        "wall_ms",
+        "t0_turnaround_ms",
+        "t1_turnaround_ms",
+        "t2_turnaround_ms",
+        "t0_share_pct",
+        "t1_share_pct",
+        "t2_share_pct",
+    ]);
+
+    let mut runs: Vec<ServeRun> = Vec::new();
+    let mut tenants_roster = Vec::new();
+    for &budget in budgets {
+        let wl = workload::generate(cluster.nodes, &wl_cfg);
+        tenants_roster = wl.tenants.clone();
+        let serve_cfg = if budget == 0 {
+            ServeConfig::default()
+        } else {
+            ServeConfig {
+                cache: Some(ServeCacheConfig {
+                    cache: Arc::new(S3FifoCache::new(budget)),
+                    lookup_cost_ns: 50_000,
+                }),
+            }
+        };
+        let run = serve(&cluster, &wl.tenants, wl.requests, &wl.dfs, &serve_cfg)
+            .expect("serve run failed");
+        assert!(run.rejected.is_empty(), "workload must admit fully");
+        assert_eq!(run.jobs.len(), wl_cfg.jobs);
+
+        let (hits, misses) = run.jobs.iter().fold((0u64, 0u64), |(h, m), j| {
+            (h + j.cache_hits, m + j.cache_misses)
+        });
+        let hit_rate = if hits + misses > 0 {
+            100.0 * hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let mut turn = vec![(0u64, 0u64); wl.tenants.len()]; // (sum, count)
+        for j in &run.jobs {
+            turn[j.tenant].0 += j.finish - j.arrival;
+            turn[j.tenant].1 += 1;
+        }
+        let mean_turn: Vec<u64> = turn
+            .iter()
+            .map(|&(sum, n)| sum.checked_div(n).unwrap_or(0))
+            .collect();
+        let total_busy: u64 = run
+            .profile
+            .tenants
+            .iter()
+            .map(|t| t.map_busy + t.reduce_busy)
+            .sum();
+        let share = |t: usize| {
+            let mine = run.profile.tenants[t].map_busy + run.profile.tenants[t].reduce_busy;
+            format!("{:.1}", 100.0 * mine as f64 / total_busy.max(1) as f64)
+        };
+        table.row(&[
+            budget.to_string(),
+            hits.to_string(),
+            misses.to_string(),
+            format!("{hit_rate:.1}"),
+            ms(run.profile.wall),
+            ms(mean_turn[0]),
+            ms(mean_turn[1]),
+            ms(mean_turn[2]),
+            share(0),
+            share(1),
+            share(2),
+        ]);
+        runs.push(run);
+    }
+    table.print();
+    let csv = table.write_csv("serve_zipf").expect("write csv");
+    println!("\ncsv: {}", csv.display());
+
+    // ---- cache transparency: outputs identical across every budget --------
+    for run in &runs[1..] {
+        for (a, b) in runs[0].jobs.iter().zip(&run.jobs) {
+            assert_eq!(
+                a.outputs, b.outputs,
+                "cache changed the data of job {}",
+                a.name
+            );
+        }
+    }
+    let largest = runs.last().expect("at least one run");
+    let largest_hits: u64 = largest.jobs.iter().map(|j| j.cache_hits).sum();
+    assert!(
+        largest_hits > 0,
+        "the largest budget must score hits on a Zipfian class mix"
+    );
+    println!(
+        "cache transparency: outputs byte-identical across all {} budgets",
+        budgets.len()
+    );
+
+    // ---- multiplexer purity: re-multiplexing is byte-identical ------------
+    let plans: Vec<JobPlan> = largest
+        .jobs
+        .iter()
+        .map(|j| {
+            JobPlan::from_trace(j.job, j.tenant, j.arrival, &j.solo_trace)
+                .expect("solo trace must replay")
+        })
+        .collect();
+    let solos: Vec<_> = largest.jobs.iter().map(|j| j.solo_trace.clone()).collect();
+    let remux = multiplex(
+        cluster.nodes,
+        cluster.map_slots_per_node,
+        cluster.reduce_slots_per_node,
+        &tenants_roster,
+        &plans,
+    );
+    assert_eq!(remux, largest.schedule, "re-multiplexing diverged");
+    let remerged = merge_traces(&plans, &solos, &remux);
+    assert_eq!(remerged, largest.trace, "re-merged trace diverged");
+    println!("replay: re-multiplexed schedule and merged trace are byte-identical");
+
+    // ---- merged multi-job trace: validate, race-check, export ------------
+    largest
+        .trace
+        .check()
+        .expect("merged trace invariants violated");
+    let report = check_races(&largest.trace);
+    assert!(report.is_clean(), "{}", report.render());
+    let json = largest.trace.to_chrome_json();
+    let summary = validate_chrome_trace(&json).expect("invalid trace JSON");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("trace_serve.json");
+    std::fs::write(&path, &json).expect("write trace json");
+    println!(
+        "trace: {} entries across {} jobs, {} events, race check clean → {}",
+        largest.trace.entries.len(),
+        largest.jobs.len(),
+        summary.events,
+        path.display()
+    );
+
+    if smoke {
+        println!(
+            "\nsmoke OK: {} jobs × {} tenants × {} budgets served, replayed, race-checked",
+            wl_cfg.jobs,
+            wl_cfg.tenants,
+            budgets.len() - 1
+        );
+    }
+}

@@ -219,6 +219,10 @@ pub struct JobConfig {
     /// untraced path records nothing and allocates nothing, so profiles and
     /// outputs are byte-identical with the flag off.
     pub trace: bool,
+    /// Optional map-output cache (see [`crate::cache`]): a hit skips the
+    /// map task and replays its cached output at a flat virtual lookup
+    /// cost. `None` by default — single-job runs are unaffected.
+    pub map_cache: Option<crate::cache::MapCacheConfig>,
 }
 
 impl Default for JobConfig {
@@ -233,6 +237,7 @@ impl Default for JobConfig {
             grouping: Grouping::Sort,
             speculation: None,
             trace: false,
+            map_cache: None,
         }
     }
 }
@@ -303,6 +308,9 @@ enum MapTaskOutcome {
         attempts: Vec<VNanos>,
         out: MapOutput,
         prof: Box<TaskProfile>,
+        /// Whether the output came from the map-output cache (a hit is
+        /// never offered back to the cache).
+        cached: bool,
     },
     /// All `max_attempts` attempts failed.
     Exhausted { attempts: usize },
@@ -726,6 +734,39 @@ pub(crate) fn run_round(
         }
         let split = &splits[t];
         let node = split.home_node % cluster.nodes;
+        // Map-output cache: a hit rematerializes the cached partitions
+        // into a fresh attempt dir and charges the flat lookup cost —
+        // the map (and any fault fated for it) never executes. Keys are
+        // unique per (job prefix, round, task, split digest), so each
+        // key sees at most one `get` per wave and per-key cache state
+        // stays deterministic under the worker pool.
+        if let Some(mc) = &cfg.map_cache {
+            let key = crate::cache::map_cache_key(&mc.key_prefix, round, t, split);
+            if let Some(hit) = mc.cache.get(&key) {
+                let attempt_dir = temp.join(format!("rd{round}_t{t}_a0"));
+                if let Err(e) = std::fs::create_dir_all(&attempt_dir) {
+                    cancel.store(true, Ordering::Relaxed);
+                    return MapTaskOutcome::Failed(e);
+                }
+                return match hit.materialize(
+                    &attempt_dir.join("cached.spill"),
+                    node,
+                    mc.lookup_cost_ns,
+                    cfg.trace,
+                ) {
+                    Ok((out, prof)) => MapTaskOutcome::Done {
+                        attempts: vec![prof.virtual_duration],
+                        out,
+                        prof: Box::new(prof),
+                        cached: true,
+                    },
+                    Err(e) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        MapTaskOutcome::Failed(e)
+                    }
+                };
+            }
+        }
         let mut attempts: Vec<VNanos> = Vec::new();
         let mut attempt = 0usize;
         loop {
@@ -781,6 +822,7 @@ pub(crate) fn run_round(
                         attempts,
                         out,
                         prof: Box::new(prof),
+                        cached: false,
                     };
                 }
                 Err(MapTaskError::Injected { virtual_elapsed }) => {
@@ -815,7 +857,19 @@ pub(crate) fn run_round(
                 attempts,
                 out,
                 prof,
+                cached,
             } => {
+                // Offer misses back to the cache here — sequentially, in
+                // task-id order — so admission and eviction never depend
+                // on worker-pool timing.
+                if !cached {
+                    if let Some(mc) = &cfg.map_cache {
+                        let key = crate::cache::map_cache_key(&mc.key_prefix, round, t, &splits[t]);
+                        if let Ok(c) = crate::cache::CachedMapOutput::capture(&out, &prof) {
+                            mc.cache.put(&key, Arc::new(c));
+                        }
+                    }
+                }
                 attempt_durations.push(attempts);
                 map_outputs.push(out);
                 map_profiles.push(*prof);
@@ -1402,6 +1456,7 @@ pub(crate) fn run_round(
                 };
                 entries.push(TraceEntry {
                     kind: TaskKind::Map,
+                    job: 0,
                     round,
                     task: t,
                     attempt,
@@ -1432,6 +1487,7 @@ pub(crate) fn run_round(
                 };
                 entries.push(TraceEntry {
                     kind: TaskKind::Reduce,
+                    job: 0,
                     round,
                     task: r,
                     attempt,
@@ -1456,6 +1512,7 @@ pub(crate) fn run_round(
             };
             entries.push(TraceEntry {
                 kind: TaskKind::Map,
+                job: 0,
                 round,
                 task: t,
                 attempt: 0,
@@ -1479,6 +1536,7 @@ pub(crate) fn run_round(
             };
             entries.push(TraceEntry {
                 kind: TaskKind::Reduce,
+                job: 0,
                 round,
                 task: r,
                 attempt: 0,

@@ -123,6 +123,66 @@ impl<E: Ord> Default for EventQueue<E> {
     }
 }
 
+/// A deterministic min-priority queue of `(virtual_ns, job, seq, event)`
+/// for multi-job serving: the serve job id joins the tie-break between
+/// virtual time and push order, so simultaneous events from different
+/// jobs resolve by job id — stable under any change in the order jobs
+/// happen to *push* their events — and only same-job simultaneous events
+/// fall back to push order. This is what makes a `textmr-serve`
+/// interleaving replayable: the popped sequence is a pure function of the
+/// admitted job set, never of driver-side enumeration order.
+#[derive(Debug)]
+pub struct JobEventQueue<E> {
+    heap: BinaryHeap<Reverse<(VNanos, usize, u64, E)>>,
+    seq: u64,
+}
+
+impl<E: Ord> JobEventQueue<E> {
+    /// An empty queue; sequence numbers start at zero.
+    pub fn new() -> Self {
+        JobEventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `ev` for `job` at virtual time `at`; returns its sequence
+    /// number.
+    pub fn push(&mut self, at: VNanos, job: usize, ev: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, job, seq, ev)));
+        seq
+    }
+
+    /// Remove and return the earliest event as `(at, job, seq, event)`.
+    pub fn pop(&mut self) -> Option<(VNanos, usize, u64, E)> {
+        self.heap.pop().map(|Reverse(t)| t)
+    }
+
+    /// Virtual time of the earliest pending event, without removing it.
+    /// Lets a driver drain one same-instant batch before acting on it.
+    pub fn peek_time(&self) -> Option<VNanos> {
+        self.heap.peek().map(|Reverse((at, _, _, _))| *at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: Ord> Default for JobEventQueue<E> {
+    fn default() -> Self {
+        JobEventQueue::new()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Event graph
 // ---------------------------------------------------------------------------
@@ -1311,6 +1371,26 @@ impl ReduceSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn job_queue_breaks_time_ties_by_job_then_seq() {
+        let mut q: JobEventQueue<u32> = JobEventQueue::new();
+        // Push order deliberately scrambles job order at equal times.
+        q.push(10, 2, 20);
+        q.push(10, 1, 11);
+        q.push(5, 3, 30);
+        q.push(10, 1, 12);
+        assert_eq!(q.peek_time(), Some(5));
+        let mut popped = Vec::new();
+        while let Some((at, job, _seq, ev)) = q.pop() {
+            popped.push((at, job, ev));
+        }
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(
+            popped,
+            vec![(5, 3, 30), (10, 1, 11), (10, 1, 12), (10, 2, 20)]
+        );
+    }
 
     fn remote(pre: u64, bytes_ns: u64, post: u64) -> Flow {
         Flow {

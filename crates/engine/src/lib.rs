@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod cluster;
 pub mod codec;
 pub mod controller;

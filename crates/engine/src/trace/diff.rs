@@ -289,6 +289,7 @@ mod tests {
             .unwrap_or((0, 0));
         TraceEntry {
             kind,
+            job: 0,
             round,
             task,
             attempt: 0,

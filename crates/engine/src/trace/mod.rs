@@ -749,6 +749,12 @@ pub enum EntryDetail {
 pub struct TraceEntry {
     /// Map or reduce phase.
     pub kind: TaskKind,
+    /// Serve job the attempt belongs to (0 for single-job traces — the
+    /// legacy export is byte-identical when every entry is job 0;
+    /// `textmr-serve` numbers admitted jobs 1..=N). Edges carry job ids
+    /// implicitly through their entry endpoints; cross-job edges (slot
+    /// reuse) legitimately span two jobs.
+    pub job: usize,
     /// DAG round the attempt belongs to (0 for single-round jobs — the
     /// legacy export is byte-identical when every entry is round 0).
     pub round: usize,
@@ -841,7 +847,12 @@ impl JobTrace {
         let mut by_slot: BTreeMap<(usize, TaskKind, usize), SlotSpans> = BTreeMap::new();
         for e in &self.entries {
             let who = format!(
-                "{}{} {} attempt {}{}",
+                "{}{}{} {} attempt {}{}",
+                if e.job > 0 {
+                    format!("job {} ", e.job)
+                } else {
+                    String::new()
+                },
                 if e.round > 0 {
                     format!("round {} ", e.round)
                 } else {
@@ -994,16 +1005,18 @@ impl JobTrace {
                 ),
             );
         }
-        // Span events. The `round` arg is emitted only for rounds past the
-        // first, so single-round exports stay byte-identical to the legacy
-        // format.
+        // Span events. The `round` and `job` args are emitted only when
+        // non-zero, so single-round single-job exports stay byte-identical
+        // to the legacy format.
         for e in &self.entries {
             let task = format!("{} {}", e.kind.label(), e.task);
-            let round = if e.round > 0 {
-                format!(",\"round\":{}", e.round)
-            } else {
-                String::new()
-            };
+            let mut tags = String::new();
+            if e.job > 0 {
+                let _ = write!(tags, ",\"job\":{}", e.job);
+            }
+            if e.round > 0 {
+                let _ = write!(tags, ",\"round\":{}", e.round);
+            }
             match &e.detail {
                 EntryDetail::Lanes(lanes) => {
                     for lane in lanes {
@@ -1024,7 +1037,7 @@ impl JobTrace {
                                     "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
                                      \"dur\":{},\"name\":\"{}\",\"cat\":\"{cat}\",\
                                      \"args\":{{\"task\":\"{}\",\"attempt\":{},\
-                                     \"backup\":{}{round}{src}}}}}",
+                                     \"backup\":{}{tags}{src}}}}}",
                                     e.node,
                                     fmt_us(s.start),
                                     fmt_us(s.end - s.start),
@@ -1048,7 +1061,7 @@ impl JobTrace {
                         format!(
                             "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
                              \"dur\":{},\"name\":\"{}\",\"cat\":\"attempt\",\
-                             \"args\":{{\"task\":\"{}\",\"attempt\":{},\"backup\":{}{round}}}}}",
+                             \"args\":{{\"task\":\"{}\",\"attempt\":{},\"backup\":{}{tags}}}}}",
                             e.node,
                             fmt_us(e.start),
                             fmt_us(e.end - e.start),
@@ -1310,6 +1323,7 @@ fn parse_task(label: &str, ctx: &str) -> Result<(TaskKind, usize), String> {
 /// One task attempt being reassembled from its exported events.
 struct EntryBuild {
     kind: TaskKind,
+    job: usize,
     round: usize,
     task: usize,
     attempt: usize,
@@ -1357,8 +1371,11 @@ impl JobTrace {
         };
 
         let mut order: Vec<EntryBuild> = Vec::new();
-        let mut index: BTreeMap<(usize, usize, TaskKind, usize, usize, bool), usize> =
-            BTreeMap::new();
+        #[allow(clippy::type_complexity)]
+        let mut index: BTreeMap<
+            (usize, usize, usize, TaskKind, usize, usize, bool),
+            usize,
+        > = BTreeMap::new();
         for (i, ev) in events.iter().enumerate() {
             let ctx = format!("event {i}");
             let JsonValue::Obj(f) = ev else {
@@ -1390,6 +1407,11 @@ impl JobTrace {
             let (kind, task) = parse_task(task_label, &ctx)?;
             let attempt = usize_field(args, "attempt", &ctx)?;
             let backup = matches!(obj_field(args, "backup"), Some(JsonValue::Bool(true)));
+            // Serve job id (omitted for job 0, like `round`).
+            let job = match obj_field(args, "job") {
+                Some(JsonValue::Num(_)) => usize_field(args, "job", &ctx)?,
+                _ => 0,
+            };
             // Invert the tid layout: each DAG round owns one block of
             // lanes (round 0 is the legacy layout); within a block, map
             // slots first (two lanes each), then reduce slots (1 +
@@ -1412,10 +1434,11 @@ impl JobTrace {
                     return Err(format!("{ctx}: map task on reduce-region tid {tid}"));
                 }
             };
-            let key = (node, round, kind, task, attempt, backup);
+            let key = (node, job, round, kind, task, attempt, backup);
             let at = *index.entry(key).or_insert_with(|| {
                 order.push(EntryBuild {
                     kind,
+                    job,
                     round,
                     task,
                     attempt,
@@ -1487,6 +1510,7 @@ impl JobTrace {
             };
             entries.push(TraceEntry {
                 kind: b.kind,
+                job: b.job,
                 round: b.round,
                 task: b.task,
                 attempt: b.attempt,
@@ -1875,6 +1899,7 @@ mod tests {
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
+                    job: 0,
                     round: 0,
                     task: 0,
                     attempt: 1,
@@ -1888,6 +1913,7 @@ mod tests {
                 },
                 TraceEntry {
                     kind: TaskKind::Map,
+                    job: 0,
                     round: 0,
                     task: 0,
                     attempt: 0,
@@ -1949,6 +1975,7 @@ mod tests {
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
+                    job: 0,
                     round: 0,
                     task: 0,
                     attempt: 0,
@@ -1962,6 +1989,7 @@ mod tests {
                 },
                 TraceEntry {
                     kind: TaskKind::Map,
+                    job: 0,
                     round: 1,
                     task: 0,
                     attempt: 0,
@@ -1992,6 +2020,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_job_export_round_trips_and_keeps_tasks_apart() {
+        // Two serve jobs interleaved on the same physical slot: both are
+        // "map 0", distinguished only by the job id.
+        let lanes1 = map_trace().into_absolute(0, 1);
+        let lanes2 = map_trace().into_absolute(100, 1);
+        let trace = JobTrace {
+            nodes: 1,
+            map_slots: 1,
+            reduce_slots: 1,
+            fetchers: 1,
+            wall: 162,
+            edges: vec![TraceEdge {
+                kind: EdgeKind::Slot,
+                src: EdgeEnd::entry(0),
+                dst: EdgeEnd::entry(1),
+            }],
+            entries: vec![
+                TraceEntry {
+                    kind: TaskKind::Map,
+                    job: 1,
+                    round: 0,
+                    task: 0,
+                    attempt: 0,
+                    backup: false,
+                    node: 0,
+                    slot: 0,
+                    factor: 1,
+                    start: 0,
+                    end: 62,
+                    detail: EntryDetail::Lanes(lanes1),
+                },
+                TraceEntry {
+                    kind: TaskKind::Map,
+                    job: 2,
+                    round: 0,
+                    task: 0,
+                    attempt: 0,
+                    backup: false,
+                    node: 0,
+                    slot: 0,
+                    factor: 1,
+                    start: 100,
+                    end: 162,
+                    detail: EntryDetail::Lanes(lanes2),
+                },
+            ],
+        };
+        trace.check().unwrap();
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"job\":1"), "missing job arg: {json}");
+        assert!(json.contains("\"job\":2"), "missing job arg: {json}");
+        let back = JobTrace::from_chrome_json(&json).unwrap();
+        back.check().unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_chrome_json(), json);
+        // Without the job id in the grouping key the two "map 0 attempt 0"
+        // event sets would collapse into one malformed entry.
+        assert_eq!(back.entries.len(), 2);
+    }
+
+    #[test]
     fn flow_tags_survive_the_round_trip() {
         let flows = vec![FlowTrace {
             map_task: 3,
@@ -2016,6 +2105,7 @@ mod tests {
             edges: Vec::new(),
             entries: vec![TraceEntry {
                 kind: TaskKind::Reduce,
+                job: 0,
                 round: 0,
                 task: 0,
                 attempt: 0,
@@ -2077,6 +2167,7 @@ mod tests {
             edges: Vec::new(),
             entries: vec![TraceEntry {
                 kind: TaskKind::Map,
+                job: 0,
                 round: 0,
                 task: 0,
                 attempt: 0,

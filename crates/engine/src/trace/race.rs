@@ -172,6 +172,10 @@ pub fn check_races(trace: &JobTrace) -> RaceReport {
     Checker::new(trace).run()
 }
 
+/// Attempts of record keyed by `(job, kind, round, task)` — job first so
+/// one serve job's tasks never alias another's.
+type OfRecord = BTreeMap<(usize, TaskKind, usize, usize), usize>;
+
 struct Checker<'t> {
     trace: &'t JobTrace,
     threads: Vec<Thread>,
@@ -220,7 +224,12 @@ impl<'t> Checker<'t> {
     fn who(&self, ei: usize) -> String {
         let e = &self.trace.entries[ei];
         format!(
-            "{}{} {} attempt {}{}",
+            "{}{}{} {} attempt {}{}",
+            if e.job > 0 {
+                format!("job {} ", e.job)
+            } else {
+                String::new()
+            },
             if e.round > 0 {
                 format!("round {} ", e.round)
             } else {
@@ -241,6 +250,24 @@ impl<'t> Checker<'t> {
         } else {
             String::new()
         }
+    }
+
+    /// Serve-job qualifier for resource names: empty for job 0 so every
+    /// single-job diagnostic string is unchanged. Multi-job resource keys
+    /// compose as `j{id}:r{k}:…` — data resources (tasks, map outputs,
+    /// spills, runs, output partitions, hand-offs, registries) are private
+    /// to a job, while physical resources (slots, NICs) stay shared.
+    fn jq(job: usize) -> String {
+        if job > 0 {
+            format!("j{job}:")
+        } else {
+            String::new()
+        }
+    }
+
+    /// Combined `j{id}:r{k}:` qualifier for an entry's data resources.
+    fn jrq(job: usize, round: usize) -> String {
+        format!("{}{}", Self::jq(job), Self::rq(round))
     }
 
     fn ev_time(&self, (t, i): EvRef) -> (VNanos, VNanos) {
@@ -362,7 +389,7 @@ impl<'t> Checker<'t> {
     /// timing filter as derived edges; registry hand-offs synchronize in
     /// real time, so they are validated as protocol edges instead (see the
     /// module docs).
-    fn apply_recorded_edges(&mut self, of_record: &BTreeMap<(TaskKind, usize, usize), usize>) {
+    fn apply_recorded_edges(&mut self, of_record: &OfRecord) {
         let recorded = self.trace.edges.clone();
         let mut registry = Vec::new();
         for e in recorded {
@@ -393,11 +420,7 @@ impl<'t> Checker<'t> {
     /// unless speculation moved a backup winner, and every non-backup map
     /// attempt of record on a publishing node is connected to that node's
     /// publisher.
-    fn validate_registry_protocol(
-        &mut self,
-        edges: &[super::TraceEdge],
-        of_record: &BTreeMap<(TaskKind, usize, usize), usize>,
-    ) {
+    fn validate_registry_protocol(&mut self, edges: &[super::TraceEdge], of_record: &OfRecord) {
         if edges.is_empty() {
             return;
         }
@@ -430,9 +453,19 @@ impl<'t> Checker<'t> {
                 &self.trace.entries[e.src.entry],
                 &self.trace.entries[e.dst.entry],
             );
+            if src.job != dst.job {
+                diags.push(structure(
+                    format!("{}registry:n{}", Self::jq(src.job), src.node),
+                    format!(
+                        "hand-off from job {} map {} to job {} map {} crosses jobs",
+                        src.job, src.task, dst.job, dst.task
+                    ),
+                ));
+                continue;
+            }
             if src.task >= dst.task {
                 diags.push(structure(
-                    format!("registry:n{}", src.node),
+                    format!("{}registry:n{}", Self::jq(src.job), src.node),
                     format!(
                         "publisher map {} does not carry the lowest task id (waiter map {})",
                         src.task, dst.task
@@ -441,7 +474,7 @@ impl<'t> Checker<'t> {
             }
             if src.node != dst.node && !src.backup && !dst.backup {
                 diags.push(structure(
-                    format!("registry:n{}", src.node),
+                    format!("{}registry:n{}", Self::jq(src.job), src.node),
                     format!(
                         "hand-off from map {} (node {}) to map {} (node {}) crosses nodes \
                          without a backup winner",
@@ -453,7 +486,7 @@ impl<'t> Checker<'t> {
             if let Some(&prev) = waiter_of.get(&e.dst.entry) {
                 if prev != e.src.entry {
                     diags.push(structure(
-                        format!("registry:n{}", dst.node),
+                        format!("{}registry:n{}", Self::jq(dst.job), dst.node),
                         format!("waiter map {} has two publishers", dst.task),
                     ));
                 }
@@ -465,7 +498,7 @@ impl<'t> Checker<'t> {
             let p = &self.trace.entries[pei];
             if waiter_of.contains_key(&pei) {
                 diags.push(structure(
-                    format!("registry:n{node}"),
+                    format!("{}registry:n{node}", Self::jq(p.job)),
                     format!("map {} is both a publisher and a waiter", p.task),
                 ));
             }
@@ -476,8 +509,8 @@ impl<'t> Checker<'t> {
             if p.backup {
                 continue;
             }
-            for (&(kind, round, task), &ei) in of_record {
-                if kind != TaskKind::Map || round != p.round || ei == pei {
+            for (&(job, kind, round, task), &ei) in of_record {
+                if kind != TaskKind::Map || job != p.job || round != p.round || ei == pei {
                     continue;
                 }
                 let w = &self.trace.entries[ei];
@@ -486,7 +519,7 @@ impl<'t> Checker<'t> {
                 }
                 if waiter_of.get(&ei) != Some(&pei) {
                     diags.push(structure(
-                        format!("registry:n{node}"),
+                        format!("{}registry:n{node}", Self::jq(job)),
                         format!(
                             "map {} on node {node} has no hand-off edge from publisher map {}",
                             task, p.task
@@ -542,16 +575,16 @@ impl<'t> Checker<'t> {
     /// whether retry edges are reconstructed here (legacy traces) or left
     /// to the recorded retry chains.
     fn attempt_edges_and_accesses(&mut self, derive: bool) {
-        let mut by_task: BTreeMap<(TaskKind, usize, usize), Vec<usize>> = BTreeMap::new();
+        let mut by_task: BTreeMap<(usize, TaskKind, usize, usize), Vec<usize>> = BTreeMap::new();
         for (ei, e) in self.trace.entries.iter().enumerate() {
             if !e.backup {
                 by_task
-                    .entry((e.kind, e.round, e.task))
+                    .entry((e.job, e.kind, e.round, e.task))
                     .or_default()
                     .push(ei);
             }
         }
-        for ((kind, round, task), mut eis) in by_task {
+        for ((job, kind, round, task), mut eis) in by_task {
             eis.sort_by_key(|&ei| self.trace.entries[ei].attempt);
             if derive {
                 for w in eis.windows(2) {
@@ -560,7 +593,7 @@ impl<'t> Checker<'t> {
                     self.edge_all(&srcs, &dsts);
                 }
             }
-            let rq = Self::rq(round);
+            let rq = Self::jrq(job, round);
             for ei in eis {
                 let (first, last) = self.entry_envelope(ei);
                 self.accesses.push(Access {
@@ -575,21 +608,23 @@ impl<'t> Checker<'t> {
         }
     }
 
-    /// The attempt of record (the one `Lanes` entry) per `(round, task)`;
-    /// duplicates and missing attempts of record are structural findings.
-    fn of_record_map(&mut self) -> BTreeMap<(TaskKind, usize, usize), usize> {
-        let mut of_record: BTreeMap<(TaskKind, usize, usize), usize> = BTreeMap::new();
-        let mut seen: BTreeMap<(TaskKind, usize, usize), bool> = BTreeMap::new();
+    /// The attempt of record (the one `Lanes` entry) per `(job, round,
+    /// task)`; duplicates and missing attempts of record are structural
+    /// findings.
+    fn of_record_map(&mut self) -> OfRecord {
+        let mut of_record: OfRecord = BTreeMap::new();
+        let mut seen: BTreeMap<(usize, TaskKind, usize, usize), bool> = BTreeMap::new();
         for (ei, e) in self.trace.entries.iter().enumerate() {
-            seen.entry((e.kind, e.round, e.task)).or_insert(false);
+            seen.entry((e.job, e.kind, e.round, e.task))
+                .or_insert(false);
             if matches!(e.detail, EntryDetail::Lanes(_)) {
-                if let Some(&prev) = of_record.get(&(e.kind, e.round, e.task)) {
+                if let Some(&prev) = of_record.get(&(e.job, e.kind, e.round, e.task)) {
                     self.diagnostics.push(RaceDiagnostic {
                         kind: RaceKind::Structure,
                         resource: format!(
                             "task:{}/{}{}",
                             e.kind.label(),
-                            Self::rq(e.round),
+                            Self::jrq(e.job, e.round),
                             e.task
                         ),
                         message: format!(
@@ -599,16 +634,16 @@ impl<'t> Checker<'t> {
                         ),
                     });
                 } else {
-                    of_record.insert((e.kind, e.round, e.task), ei);
+                    of_record.insert((e.job, e.kind, e.round, e.task), ei);
                 }
-                seen.insert((e.kind, e.round, e.task), true);
+                seen.insert((e.job, e.kind, e.round, e.task), true);
             }
         }
-        for ((kind, round, task), has) in seen {
+        for ((job, kind, round, task), has) in seen {
             if !has {
                 self.diagnostics.push(RaceDiagnostic {
                     kind: RaceKind::Structure,
-                    resource: format!("task:{}/{}{task}", kind.label(), Self::rq(round)),
+                    resource: format!("task:{}/{}{task}", kind.label(), Self::jrq(job, round)),
                     message: "no attempt of record (every attempt is flat)".into(),
                 });
             }
@@ -620,16 +655,12 @@ impl<'t> Checker<'t> {
     /// the support lane, merge reads, and the map-output write envelope.
     /// `derive` controls whether the spill hand-in edges are reconstructed
     /// here (legacy traces) or left to the recorded spill edges.
-    fn map_entry_accesses(
-        &mut self,
-        of_record: &BTreeMap<(TaskKind, usize, usize), usize>,
-        derive: bool,
-    ) {
-        for (&(kind, round, task), &ei) in of_record {
+    fn map_entry_accesses(&mut self, of_record: &OfRecord, derive: bool) {
+        for (&(job, kind, round, task), &ei) in of_record {
             if kind != TaskKind::Map {
                 continue;
             }
-            let rq = Self::rq(round);
+            let rq = Self::jrq(job, round);
             let who = self.who(ei);
             let map_lane = self.lane_of(ei, LaneRole::Map);
             let support_lane = self.lane_of(ei, LaneRole::Support);
@@ -722,16 +753,12 @@ impl<'t> Checker<'t> {
     /// partition write. `derive` controls whether publication and barrier
     /// edges are reconstructed here (legacy traces) or left to the
     /// recorded map-out and barrier edges.
-    fn reduce_entry_accesses(
-        &mut self,
-        of_record: &BTreeMap<(TaskKind, usize, usize), usize>,
-        derive: bool,
-    ) {
-        for (&(kind, round, partition), &ei) in of_record {
+    fn reduce_entry_accesses(&mut self, of_record: &OfRecord, derive: bool) {
+        for (&(job, kind, round, partition), &ei) in of_record {
             if kind != TaskKind::Reduce {
                 continue;
             }
-            let rq = Self::rq(round);
+            let rq = Self::jrq(job, round);
             let who = self.who(ei);
             let trace = self.trace;
             let e = &trace.entries[ei];
@@ -783,8 +810,8 @@ impl<'t> Checker<'t> {
                 for (src, (gf, gl)) in groups {
                     let flow_who = format!("{who} fetch of map {src}");
                     // The flow reads the published map output — shuffles
-                    // stay within the entry's own round.
-                    match of_record.get(&(TaskKind::Map, round, src as usize)) {
+                    // stay within the entry's own job and round.
+                    match of_record.get(&(job, TaskKind::Map, round, src as usize)) {
                         Some(&mei) => {
                             if derive {
                                 if let Some(mli) = self.lane_of(mei, LaneRole::Map) {
@@ -1015,6 +1042,7 @@ mod tests {
             entries: vec![
                 TraceEntry {
                     kind: TaskKind::Map,
+                    job: 0,
                     round: 0,
                     task: 0,
                     attempt: 0,
@@ -1028,6 +1056,7 @@ mod tests {
                 },
                 TraceEntry {
                     kind: TaskKind::Reduce,
+                    job: 0,
                     round: 0,
                     task: 0,
                     attempt: 0,
@@ -1090,6 +1119,84 @@ mod tests {
                 .iter()
                 .any(|d| d.kind == RaceKind::Race && d.resource == "mapout:0"),
             "expected a mapout race:\n{}",
+            report.render()
+        );
+    }
+
+    /// Two copies of the micro trace interleaved as serve jobs 1 and 2:
+    /// identical task ids on the same physical slots, disjoint in time.
+    fn two_job_trace(shift: u64) -> JobTrace {
+        let base = micro_trace();
+        let mut trace = base.clone();
+        for e in &mut trace.entries {
+            e.job = 1;
+        }
+        for mut e in base.entries {
+            e.job = 2;
+            e.start += shift;
+            e.end += shift;
+            for lane in lanes_mut(&mut e) {
+                for s in &mut lane.spans {
+                    s.start += shift;
+                    s.end += shift;
+                }
+            }
+            trace.entries.push(e);
+        }
+        trace.wall = trace.entries.iter().map(|e| e.end).max().unwrap_or(0);
+        trace
+    }
+
+    #[test]
+    fn interleaved_jobs_with_identical_task_ids_do_not_alias() {
+        let trace = two_job_trace(300);
+        trace.check().unwrap();
+        // Without the job id in the of-record key, job 2's "map 0" would
+        // collide with job 1's as a duplicate attempt of record.
+        let report = check_races(&trace);
+        assert!(
+            report.is_clean(),
+            "unexpected findings:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn races_inside_a_job_carry_its_qualifier() {
+        let mut trace = two_job_trace(300);
+        // Pull job 2's reduce attempt back before job 2's map sealed its
+        // output (mirrors `fetch_before_map_output_is_a_race`).
+        let e = trace
+            .entries
+            .iter_mut()
+            .find(|e| e.job == 2 && e.kind == TaskKind::Reduce)
+            .unwrap();
+        let shift = 90u64;
+        e.start -= shift;
+        e.end -= shift;
+        for lane in lanes_mut(e) {
+            for s in &mut lane.spans {
+                s.start -= shift;
+                s.end -= shift;
+            }
+        }
+        trace.check().unwrap();
+        let report = check_races(&trace);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == RaceKind::Race && d.resource == "mapout:j2:0"),
+            "expected a job-qualified mapout race:\n{}",
+            report.render()
+        );
+        // Job 1's identically-numbered task is untouched: no j1 findings.
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.resource.contains("j1:")),
+            "job 1 must stay clean:\n{}",
             report.render()
         );
     }

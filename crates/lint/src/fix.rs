@@ -10,10 +10,11 @@
 //! ```
 //!
 //! The stub matches the finding line's indentation and carries the
-//! literal reason `TODO`: it silences the finding so the tree scans
-//! clean, but leaves a grep-able marker that the human rationale is
-//! still owed. Fixing is idempotent — a second pass over fixed source
-//! inserts nothing.
+//! literal reason `TODO` by default: it silences the finding so the tree
+//! scans clean, but leaves a grep-able marker that the human rationale is
+//! still owed. `--fix --reason "<text>"` supplies the rationale up front
+//! instead of the stub. Fixing is idempotent — a second pass over fixed
+//! source inserts nothing.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -24,15 +25,39 @@ use crate::rules::Rule;
 use crate::scanner::{scan_file, FileClass, PRAGMA_MARK};
 use crate::workspace::collect;
 
-/// Render the stub pragma comment for `rule` (no indentation, no newline).
+/// Placeholder reason used when `--fix` runs without `--reason`.
+pub const DEFAULT_REASON: &str = "TODO";
+
+/// Render the stub pragma comment for `rule` with the placeholder reason
+/// (no indentation, no newline).
 pub fn stub_for(rule: Rule) -> String {
-    format!("// {PRAGMA_MARK} allow({}, reason = \"TODO\")", rule.name())
+    stub_with_reason(rule, DEFAULT_REASON)
 }
 
-/// Insert pragma stubs for every rule finding in `src`. Returns the fixed
-/// source and the number of stubs inserted (0 means `src` is returned
-/// unchanged).
+/// Render the stub pragma comment for `rule` carrying `reason` (no
+/// indentation, no newline). The reason must not contain `"` or a
+/// newline, or the pragma would not parse back; callers validate.
+pub fn stub_with_reason(rule: Rule, reason: &str) -> String {
+    format!(
+        "// {PRAGMA_MARK} allow({}, reason = \"{reason}\")",
+        rule.name()
+    )
+}
+
+/// Insert pragma stubs for every rule finding in `src`, using the
+/// placeholder reason. Returns the fixed source and the number of stubs
+/// inserted (0 means `src` is returned unchanged).
 pub fn fix_source(file: &str, src: &str, class: FileClass) -> (String, usize) {
+    fix_source_with_reason(file, src, class, DEFAULT_REASON)
+}
+
+/// Insert pragma stubs carrying `reason` for every rule finding in `src`.
+pub fn fix_source_with_reason(
+    file: &str,
+    src: &str,
+    class: FileClass,
+    reason: &str,
+) -> (String, usize) {
     // One stub per (line, rule): the scanner reports at most one finding
     // per rule per line, and a single pragma suppresses all of them.
     let sites: BTreeSet<(u32, Rule)> = scan_file(file, src, class)
@@ -53,7 +78,7 @@ pub fn fix_source(file: &str, src: &str, class: FileClass) -> (String, usize) {
                 .take_while(|c| *c == ' ' || *c == '\t')
                 .collect();
             out.push_str(&indent);
-            out.push_str(&stub_for(rule));
+            out.push_str(&stub_with_reason(rule, reason));
             out.push('\n');
             inserted += 1;
         }
@@ -75,12 +100,13 @@ pub struct FixedFile {
 }
 
 /// Fix every lintable file in the workspace rooted at `root`, rewriting
-/// files in place. Returns the per-file outcomes for files that changed.
-pub fn fix_workspace(root: &Path) -> io::Result<Vec<FixedFile>> {
+/// files in place with stubs carrying `reason`. Returns the per-file
+/// outcomes for files that changed.
+pub fn fix_workspace(root: &Path, reason: &str) -> io::Result<Vec<FixedFile>> {
     let mut out = Vec::new();
     for file in collect(root)? {
         let src = fs::read_to_string(&file.path)?;
-        let (fixed, stubs) = fix_source(&file.rel, &src, file.class);
+        let (fixed, stubs) = fix_source_with_reason(&file.rel, &src, file.class, reason);
         if stubs > 0 {
             fs::write(&file.path, fixed)?;
             out.push(FixedFile {
@@ -115,6 +141,17 @@ mod tests {
         assert!(fixed.contains(
             "    // textmr-lint: allow(wall-clock-in-virtual-path, reason = \"TODO\")\n    let t"
         ));
+    }
+
+    #[test]
+    fn custom_reason_replaces_the_todo_stub() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let (fixed, n) =
+            fix_source_with_reason("t.rs", src, FileClass::Code, "bench-only wall clock");
+        assert_eq!(n, 2);
+        assert!(fixed.contains("reason = \"bench-only wall clock\""));
+        assert!(!fixed.contains("reason = \"TODO\""));
+        assert!(scan_file("t.rs", &fixed, FileClass::Code).is_empty());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //!
 //! * `textmr-lint --workspace [--root DIR]` — run the source lints over
 //!   every workspace `.rs` file (default root: the current directory).
-//! * `textmr-lint --workspace --fix [--root DIR]` — same scan, but
-//!   rewrite each finding site with an
-//!   `allow(<rule>, reason = "TODO")` pragma stub instead of reporting.
+//! * `textmr-lint --workspace --fix [--reason "<text>"] [--root DIR]` —
+//!   same scan, but rewrite each finding site with an
+//!   `allow(<rule>, reason = "...")` pragma stub instead of reporting
+//!   (`TODO` when no `--reason` is given).
 //! * `textmr-lint --trace FILE...` — audit exported Chrome-format traces
 //!   with the tiling checks and the happens-before race detector.
 //! * `textmr-lint --list-rules` — print the rule catalogue.
@@ -19,7 +20,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use textmr_lint::fix::fix_workspace;
+use textmr_lint::fix::{fix_workspace, DEFAULT_REASON};
 use textmr_lint::rules::Rule;
 use textmr_lint::trace_audit::audit_trace_file;
 use textmr_lint::workspace::scan_workspace;
@@ -30,6 +31,7 @@ textmr-lint: determinism audit for the textmr workspace
 USAGE:
     textmr-lint --workspace [--root DIR]   lint workspace sources
     textmr-lint --workspace --fix          insert pragma stubs at finding sites
+        [--reason \"<text>\"]                pragma rationale (default: TODO)
     textmr-lint --trace FILE...            happens-before audit of exported traces
     textmr-lint --list-rules               print the rule catalogue
 
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut fix = false;
     let mut list_rules = false;
+    let mut reason: Option<String> = None;
     let mut root = PathBuf::from(".");
     let mut traces: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
@@ -53,6 +56,19 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--fix" => fix = true,
             "--list-rules" => list_rules = true,
+            "--reason" => match it.next() {
+                Some(text) if !text.contains('"') && !text.contains('\n') => {
+                    reason = Some(text);
+                }
+                Some(_) => {
+                    eprintln!("error: --reason must not contain `\"` or newlines\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --reason needs a text argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -85,6 +101,10 @@ fn main() -> ExitCode {
         eprintln!("error: --fix only applies to --workspace\n{USAGE}");
         return ExitCode::from(2);
     }
+    if reason.is_some() && !fix {
+        eprintln!("error: --reason only applies to --fix\n{USAGE}");
+        return ExitCode::from(2);
+    }
 
     if list_rules {
         for r in Rule::ALL {
@@ -95,17 +115,26 @@ fn main() -> ExitCode {
     let mut findings = 0usize;
 
     if workspace && fix {
-        match fix_workspace(&root) {
+        let reason = reason.as_deref().unwrap_or(DEFAULT_REASON);
+        match fix_workspace(&root, reason) {
             Ok(fixed) => {
                 let stubs: usize = fixed.iter().map(|f| f.stubs).sum();
                 for f in &fixed {
                     println!("{}: {} pragma stub(s) inserted", f.rel, f.stubs);
                 }
-                eprintln!(
-                    "textmr-lint: --fix inserted {stubs} stub(s) in {} file(s); \
-                     every `reason = \"TODO\"` still owes a rationale",
-                    fixed.len()
-                );
+                if reason == DEFAULT_REASON {
+                    eprintln!(
+                        "textmr-lint: --fix inserted {stubs} stub(s) in {} file(s); \
+                         every `reason = \"TODO\"` still owes a rationale",
+                        fixed.len()
+                    );
+                } else {
+                    eprintln!(
+                        "textmr-lint: --fix inserted {stubs} stub(s) in {} file(s) \
+                         with reason \"{reason}\"",
+                        fixed.len()
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("error: --fix failed under {}: {e}", root.display());

@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use textmr_lint::fix::{fix_source, stub_for};
+use textmr_lint::fix::{fix_source, fix_source_with_reason, stub_for, stub_with_reason};
 use textmr_lint::rules::Rule;
 use textmr_lint::scanner::{scan_file, FileClass};
 
@@ -49,6 +49,38 @@ fn fix_me_fixture_stubs_every_site_and_scans_clean() {
     assert!(fixed.contains(&format!("    {acc}\n    total_ns += ")));
 
     // Idempotent: nothing left to fix.
+    let (again, n) = fix_source("fix_me.rs", &fixed, FileClass::Code);
+    assert_eq!(n, 0);
+    assert_eq!(again, fixed);
+}
+
+#[test]
+fn fix_me_fixture_with_cli_reason_carries_it_into_every_stub() {
+    let src = fixture("fix_me.rs");
+    let before = scan_file("fix_me.rs", &src, FileClass::Code);
+    assert!(!before.is_empty(), "fixture must seed findings");
+
+    let reason = "fixture exercises the lint, not production code";
+    let (fixed, stubs) = fix_source_with_reason("fix_me.rs", &src, FileClass::Code, reason);
+    assert!(stubs > 0);
+    assert_eq!(
+        fixed.matches(&format!("reason = \"{reason}\"")).count(),
+        stubs,
+        "every stub must carry the CLI reason:\n{fixed}"
+    );
+    assert!(!fixed.contains("reason = \"TODO\""));
+    assert!(
+        scan_file("fix_me.rs", &fixed, FileClass::Code).is_empty(),
+        "fixed source must scan clean:\n{fixed}"
+    );
+
+    // Placement matches the default-reason fixer exactly; only the
+    // rationale text differs.
+    let wall = stub_with_reason(Rule::by_name("wall-clock-in-virtual-path").unwrap(), reason);
+    assert!(fixed.contains(&format!("{wall}\nuse std::time::Instant;")));
+    assert!(fixed.contains(&format!("    {wall}\n    let t0 = Instant::now();")));
+
+    // Idempotent regardless of the reason used on the second pass.
     let (again, n) = fix_source("fix_me.rs", &fixed, FileClass::Code);
     assert_eq!(n, 0);
     assert_eq!(again, fixed);

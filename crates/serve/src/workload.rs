@@ -1,0 +1,252 @@
+//! Zipfian multi-tenant workload generator.
+//!
+//! Builds a serve request queue the way a shared text-analytics cluster
+//! sees one: a small roster of job *classes* (WordCount, grep, inverted
+//! index, access-log aggregation, multi-round prefix sums) whose
+//! popularity is Zipf-distributed, submitted round-robin by competing
+//! tenants at a fixed virtual arrival cadence. Popular classes repeat,
+//! so their map outputs are exactly what the S3-FIFO cache is for: every
+//! repeat of a class over the same input resolves to the same
+//! `(prefix, round, task, split-digest)` keys and hits.
+//!
+//! Generation is fully deterministic given [`WorkloadConfig`] — the
+//! class sequence comes from a seeded [`ZipfTable`] draw, the corpora
+//! from seeded generators — so a workload can be rebuilt bit-identically
+//! for replay comparisons.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use textmr_apps::{
+    AccessLogSum, InvertedIndex, PrefixApply, PrefixLocal, PrefixScan, WordCount, SOURCE_VISITS,
+};
+use textmr_data::text::CorpusConfig;
+use textmr_data::weblog::WeblogConfig;
+use textmr_data::zipf::ZipfTable;
+use textmr_engine::cluster::JobConfig;
+use textmr_engine::codec::{decode_u64, encode_u64};
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::job::{Emit, Job, JobDag, Record, StageInput, ValueCursor, ValueSink};
+use textmr_engine::metrics::VNanos;
+
+use crate::{JobRequest, TenantSpec};
+
+/// Grep as a MapReduce job: count lines containing a fixed needle.
+/// The scan shape of the roster — map-heavy, tiny shuffle.
+pub struct GrepCount {
+    /// Substring to search each line for.
+    pub needle: String,
+}
+
+fn sum_counts(values: &mut dyn ValueCursor) -> u64 {
+    let mut sum = 0u64;
+    while let Some(v) = values.next() {
+        sum += decode_u64(v).unwrap_or(0);
+    }
+    sum
+}
+
+impl Job for GrepCount {
+    fn name(&self) -> &str {
+        "grep"
+    }
+
+    fn map(&self, record: &Record<'_>, emit: &mut dyn Emit) {
+        let needle = self.needle.as_bytes();
+        if needle.is_empty() || record.value.windows(needle.len()).any(|w| w == needle) {
+            emit.emit(needle, &encode_u64(1));
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn ValueSink) {
+        out.push(&encode_u64(sum_counts(values)));
+    }
+
+    fn reduce(&self, key: &[u8], values: &mut dyn ValueCursor, out: &mut dyn Emit) {
+        out.emit(key, &encode_u64(sum_counts(values)));
+    }
+}
+
+/// Knobs of the generated workload. All plain data, sweepable.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of job submissions.
+    pub jobs: usize,
+    /// Number of tenants; submissions round-robin across them.
+    pub tenants: usize,
+    /// Seed for the class-popularity draw.
+    pub seed: u64,
+    /// Zipf exponent of class popularity (higher → more repeats → more
+    /// cache hits).
+    pub alpha: f64,
+    /// Virtual gap between consecutive arrivals.
+    pub arrival_gap_ns: VNanos,
+    /// Corpus scale: lines per text input.
+    pub lines: usize,
+    /// Reducers per stage.
+    pub reducers: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            jobs: 24,
+            tenants: 3,
+            seed: 0x5e71_e5e7,
+            alpha: 1.1,
+            arrival_gap_ns: 2_000_000,
+            lines: 300,
+            reducers: 3,
+        }
+    }
+}
+
+/// A generated workload, ready to pass to [`crate::serve`].
+pub struct Workload {
+    /// Shared inputs, pre-loaded.
+    pub dfs: SimDfs,
+    /// Tenant roster with heterogeneous weights (`1 + t mod 3`).
+    pub tenants: Vec<TenantSpec>,
+    /// The request queue, in submission order.
+    pub requests: Vec<JobRequest>,
+}
+
+/// Number of distinct job classes in the roster.
+pub const NUM_CLASSES: usize = 5;
+
+fn class_request(class: usize, cfg: &WorkloadConfig) -> (&'static str, JobDag, String) {
+    let r = cfg.reducers.max(1);
+    let stage_cfg = JobConfig::default().with_reducers(r);
+    match class {
+        0 => (
+            "wordcount",
+            JobDag::new().stage(Arc::new(WordCount), stage_cfg, StageInput::dfs("corpus-a")),
+            format!("wc|corpus-a|r{r}"),
+        ),
+        1 => (
+            "grep",
+            JobDag::new().stage(
+                Arc::new(GrepCount {
+                    needle: "w1".to_string(),
+                }),
+                stage_cfg,
+                StageInput::dfs("corpus-a"),
+            ),
+            format!("grep:w1|corpus-a|r{r}"),
+        ),
+        2 => (
+            "inverted-index",
+            JobDag::new().stage(
+                Arc::new(InvertedIndex),
+                stage_cfg,
+                StageInput::dfs("corpus-b"),
+            ),
+            format!("ii|corpus-b|r{r}"),
+        ),
+        3 => (
+            "log-sum",
+            JobDag::new().stage(
+                Arc::new(AccessLogSum),
+                stage_cfg,
+                StageInput::Dfs(vec![("visits".to_string(), SOURCE_VISITS)]),
+            ),
+            format!("logsum|visits|r{r}"),
+        ),
+        _ => {
+            // The multi-round representative: three chained stages.
+            let block_size = 8u64;
+            let num_blocks = 64u64.div_ceil(block_size);
+            (
+                "prefix-sums",
+                JobDag::new()
+                    .stage(
+                        Arc::new(PrefixLocal { block_size }),
+                        stage_cfg.clone(),
+                        StageInput::dfs("elems"),
+                    )
+                    .then(Arc::new(PrefixScan { num_blocks }), stage_cfg.clone())
+                    .then(Arc::new(PrefixApply), stage_cfg),
+                format!("ps|elems|b{block_size}|r{r}"),
+            )
+        }
+    }
+}
+
+/// Generate the workload for a cluster of `nodes` nodes.
+pub fn generate(nodes: usize, cfg: &WorkloadConfig) -> Workload {
+    let mut dfs = SimDfs::new(nodes.max(1), 256);
+    dfs.put(
+        "corpus-a",
+        CorpusConfig {
+            vocab_size: 300,
+            alpha: 1.0,
+            lines: cfg.lines,
+            words_per_line: 8,
+            seed: cfg.seed,
+        }
+        .generate_bytes(),
+    );
+    dfs.put(
+        "corpus-b",
+        CorpusConfig {
+            vocab_size: 200,
+            alpha: 1.0,
+            lines: cfg.lines,
+            words_per_line: 6,
+            seed: cfg.seed.wrapping_add(1),
+        }
+        .generate_bytes(),
+    );
+    dfs.put(
+        "visits",
+        WeblogConfig {
+            num_urls: 50,
+            num_visits: cfg.lines,
+            url_alpha: 0.8,
+            seed: cfg.seed.wrapping_add(2),
+        }
+        .visits_bytes(),
+    );
+    let mut elems = String::new();
+    for i in 0..64u64 {
+        let v = (i * i * 31 + 7) % 1000;
+        elems.push_str(&format!("{i} {v}\n"));
+    }
+    dfs.put("elems", elems.into_bytes());
+
+    let tenants: Vec<TenantSpec> = (0..cfg.tenants.max(1))
+        .map(|t| TenantSpec {
+            name: format!("tenant-{t}"),
+            weight: 1 + (t as u64 % 3),
+            max_jobs: cfg.jobs,
+        })
+        .collect();
+
+    let zipf = ZipfTable::new(NUM_CLASSES, cfg.alpha);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let requests = (0..cfg.jobs)
+        .map(|i| {
+            let class = zipf.sample(&mut rng) - 1;
+            let (class_name, plan, prefix) = class_request(class, cfg);
+            JobRequest {
+                tenant: i % tenants.len(),
+                arrival: i as VNanos * cfg.arrival_gap_ns,
+                name: format!("{class_name}-{i}"),
+                plan,
+                cache_prefix: Some(prefix),
+            }
+        })
+        .collect();
+
+    Workload {
+        dfs,
+        tenants,
+        requests,
+    }
+}

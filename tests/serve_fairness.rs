@@ -1,0 +1,205 @@
+//! Fairness and admission-control regressions for `textmr-serve`.
+//!
+//! The weighted fair-share bound is pinned at the multiplexer level with
+//! synthetic fixed durations (engine durations are measured, so an
+//! end-to-end bound would flake); admission control is pinned end to end,
+//! including the no-residue guarantee for rejected submissions.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use textmr_apps::WordCount;
+use textmr_data::text::CorpusConfig;
+use textmr_engine::cluster::{ClusterConfig, JobConfig};
+use textmr_engine::fault::SpeculationConfig;
+use textmr_engine::io::dfs::SimDfs;
+use textmr_engine::job::{JobDag, StageInput};
+use textmr_engine::trace::TaskKind;
+use textmr_serve::sched::{multiplex, AttemptInfo, JobPlan, TaskChain};
+use textmr_serve::{serve, AdmissionError, JobRequest, ServeConfig, TenantSpec};
+
+fn tenant(name: &str, weight: u64, max_jobs: usize) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        weight,
+        max_jobs,
+    }
+}
+
+/// A synthetic all-maps plan: `tasks` equal-duration chains in round 0.
+fn flat_plan(job: usize, tenant: usize, tasks: usize, dur: u64) -> JobPlan {
+    let chains: Vec<TaskChain> = (0..tasks)
+        .map(|t| TaskChain {
+            round: 0,
+            kind: TaskKind::Map,
+            task: t,
+            attempts: vec![AttemptInfo {
+                entry: t,
+                node: 0,
+                dur,
+            }],
+        })
+        .collect();
+    let rounds = vec![((0..tasks).collect(), Vec::new())];
+    JobPlan {
+        job,
+        tenant,
+        arrival: 0,
+        chains,
+        rounds,
+    }
+}
+
+/// Tenants weighted 1:3 contending for a single map slot: at every
+/// prefix of the grant sequence (while both still have backlog) the
+/// heavy tenant's slot-virtual-time stays within one weight-round of 3×
+/// the light tenant's — the pinned fair-share bound.
+#[test]
+fn slot_virtual_time_tracks_weights_within_bound() {
+    let dur = 10u64;
+    let tasks = 24;
+    let plans = vec![flat_plan(1, 0, tasks, dur), flat_plan(2, 1, tasks, dur)];
+    let tenants = [tenant("light", 1, 8), tenant("heavy", 3, 8)];
+    let mux = multiplex(1, 1, 1, &tenants, &plans);
+    assert_eq!(mux.placed.len(), tasks * 2);
+
+    let (mut busy_light, mut busy_heavy) = (0i128, 0i128);
+    let (mut left_light, mut left_heavy) = (tasks, tasks);
+    for p in &mux.placed {
+        if p.job == 1 {
+            busy_light += i128::from(dur);
+            left_light -= 1;
+        } else {
+            busy_heavy += i128::from(dur);
+            left_heavy -= 1;
+        }
+        if left_light > 0 && left_heavy > 0 {
+            let drift = (busy_heavy - 3 * busy_light).abs();
+            assert!(
+                drift <= 3 * i128::from(dur),
+                "fair-share drift {drift} beyond bound after \
+                 heavy={busy_heavy} light={busy_light}"
+            );
+        }
+    }
+    // Totals: both tenants eventually get all their work.
+    assert_eq!(mux.shares[0].map_busy, tasks as u64 * dur);
+    assert_eq!(mux.shares[1].map_busy, tasks as u64 * dur);
+    // The single slot is never double-booked and never idles mid-backlog.
+    let mut prev_end = 0;
+    for p in &mux.placed {
+        assert!(p.start >= prev_end, "slot double-booked");
+        prev_end = p.end;
+    }
+    assert_eq!(mux.wall, 2 * tasks as u64 * dur);
+}
+
+fn corpus_dfs(nodes: usize) -> SimDfs {
+    let mut dfs = SimDfs::new(nodes, 4 << 10);
+    dfs.put(
+        "corpus",
+        CorpusConfig {
+            lines: 150,
+            vocab_size: 100,
+            ..Default::default()
+        }
+        .generate_bytes(),
+    );
+    dfs
+}
+
+fn wc_request(tenant: usize, arrival: u64, name: &str, cfg: JobConfig) -> JobRequest {
+    JobRequest {
+        tenant,
+        arrival,
+        name: name.to_string(),
+        plan: JobDag::new().stage(Arc::new(WordCount), cfg, StageInput::dfs("corpus")),
+        cache_prefix: None,
+    }
+}
+
+/// Fresh, empty, per-test temp root so residue assertions see only this
+/// test's spill directories.
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("textmr-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_empty_and_remove(root: &Path) {
+    let leftovers: Vec<_> = std::fs::read_dir(root)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert!(leftovers.is_empty(), "leaked temp dirs: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// A tenant over quota gets the named admission error; the rejected job
+/// never runs, so the serve call leaves no temp-dir residue beyond what
+/// the admitted jobs clean up themselves.
+#[test]
+fn quota_exceeding_tenant_is_rejected_cleanly() {
+    let root = temp_root("quota");
+    let mut cluster = ClusterConfig::local();
+    cluster.temp_dir = Some(root.clone());
+    let dfs = corpus_dfs(cluster.nodes);
+    let tenants = [tenant("capped", 1, 1), tenant("free", 1, 4)];
+    let requests = vec![
+        wc_request(0, 0, "first", JobConfig::default().with_reducers(2)),
+        wc_request(0, 10, "over-quota", JobConfig::default().with_reducers(2)),
+        wc_request(1, 20, "other-tenant", JobConfig::default().with_reducers(2)),
+    ];
+    let run =
+        serve(&cluster, &tenants, requests, &dfs, &ServeConfig::default()).expect("serve failed");
+    assert_eq!(run.jobs.len(), 2, "quota must not block the other tenant");
+    assert_eq!(run.rejected.len(), 1);
+    let rej = &run.rejected[0];
+    assert_eq!(rej.name, "over-quota");
+    assert_eq!(
+        rej.error,
+        AdmissionError::QuotaExceeded {
+            tenant: 0,
+            quota: 1
+        }
+    );
+    assert!(rej.error.to_string().contains("quota"));
+    assert_eq!(run.profile.tenants[0].jobs_admitted, 1);
+    assert_eq!(run.profile.tenants[0].jobs_rejected, 1);
+    assert_empty_and_remove(&root);
+}
+
+/// Unknown tenants and speculative plans are rejected by name, before
+/// anything runs.
+#[test]
+fn bad_submissions_get_named_admission_errors() {
+    let root = temp_root("badsub");
+    let mut cluster = ClusterConfig::local();
+    cluster.temp_dir = Some(root.clone());
+    let dfs = corpus_dfs(cluster.nodes);
+    let tenants = [tenant("only", 1, 4)];
+    let spec_cfg = JobConfig::default()
+        .with_reducers(2)
+        .with_speculation(SpeculationConfig::default());
+    let requests = vec![
+        wc_request(7, 0, "ghost-tenant", JobConfig::default().with_reducers(2)),
+        wc_request(0, 0, "speculative", spec_cfg),
+    ];
+    let run =
+        serve(&cluster, &tenants, requests, &dfs, &ServeConfig::default()).expect("serve failed");
+    assert!(run.jobs.is_empty(), "no valid submissions, nothing may run");
+    assert_eq!(run.rejected.len(), 2);
+    assert_eq!(
+        run.rejected[0].error,
+        AdmissionError::UnknownTenant { tenant: 7 }
+    );
+    assert_eq!(
+        run.rejected[1].error,
+        AdmissionError::SpeculationUnsupported {
+            tenant: 0,
+            job: "speculative".into()
+        }
+    );
+    assert_eq!(run.profile.wall, 0);
+    assert_empty_and_remove(&root);
+}
