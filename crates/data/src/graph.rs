@@ -50,25 +50,69 @@ impl GraphConfig {
         let init_rank = 1.0 / self.pages as f64;
         (0..self.pages)
             .into_par_iter()
-            .map(|page| {
-                let mut rng = StdRng::seed_from_u64(
-                    self.seed ^ (page as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-                );
-                let lo = (self.mean_out_degree / 2).max(1);
-                let hi = (self.mean_out_degree * 3 / 2).max(lo + 1);
-                let degree = rng.gen_range(lo..=hi);
-                let mut line = format!("{page}|{init_rank:.10}|");
-                for d in 0..degree {
-                    // Popularity rank 1 maps to page 0, etc.
-                    let target = zipf.sample(&mut rng) - 1;
-                    if d > 0 {
-                        line.push(',');
-                    }
-                    line.push_str(&target.to_string());
-                }
-                line
-            })
+            .map(|page| self.generate_page(&zipf, init_rank, page))
             .collect()
+    }
+
+    fn generate_page(&self, zipf: &ZipfTable, init_rank: f64, page: usize) -> String {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (page as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let lo = (self.mean_out_degree / 2).max(1);
+        let hi = (self.mean_out_degree * 3 / 2).max(lo + 1);
+        let degree = rng.gen_range(lo..=hi);
+        let mut line = format!("{page}|{init_rank:.10}|");
+        for d in 0..degree {
+            // Popularity rank 1 maps to page 0, etc.
+            let target = zipf.sample(&mut rng) - 1;
+            if d > 0 {
+                line.push(',');
+            }
+            line.push_str(&target.to_string());
+        }
+        line
+    }
+
+    /// Stream the crawl to `w` in bounded chunks of `chunk_pages` lines,
+    /// returning the total bytes written. Peak memory is one chunk; the
+    /// bytes are identical to [`generate_bytes`](GraphConfig::generate_bytes)
+    /// at every chunk size because page `i` depends only on `(seed, i)`.
+    pub fn generate_to_writer(
+        &self,
+        w: &mut dyn std::io::Write,
+        chunk_pages: usize,
+    ) -> std::io::Result<u64> {
+        let zipf = ZipfTable::new(self.pages, self.alpha);
+        let init_rank = 1.0 / self.pages as f64;
+        let chunk = chunk_pages.max(1);
+        let mut written = 0u64;
+        let mut start = 0;
+        while start < self.pages {
+            let end = (start + chunk).min(self.pages);
+            let lines: Vec<String> = (start..end)
+                .into_par_iter()
+                .map(|page| self.generate_page(&zipf, init_rank, page))
+                .collect();
+            for l in &lines {
+                w.write_all(l.as_bytes())?;
+                w.write_all(b"\n")?;
+                written += l.len() as u64 + 1;
+            }
+            start = end;
+        }
+        Ok(written)
+    }
+
+    /// [`generate_to_writer`](GraphConfig::generate_to_writer) into a file
+    /// at `path` (buffered), returning the total bytes written.
+    pub fn generate_to_file(
+        &self,
+        path: &std::path::Path,
+        chunk_pages: usize,
+    ) -> std::io::Result<u64> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let n = self.generate_to_writer(&mut w, chunk_pages)?;
+        std::io::Write::flush(&mut w)?;
+        Ok(n)
     }
 
     /// Graph as a newline-terminated byte buffer.
@@ -128,6 +172,21 @@ impl<'a> PageRecord<'a> {
 mod tests {
     use super::*;
     use std::collections::HashMap;
+
+    #[test]
+    fn streamed_generation_matches_in_memory_bytes() {
+        let cfg = GraphConfig {
+            pages: 101,
+            ..Default::default()
+        };
+        let whole = cfg.generate_bytes();
+        for chunk in [1, 13, 101, 500] {
+            let mut out = Vec::new();
+            let n = cfg.generate_to_writer(&mut out, chunk).unwrap();
+            assert_eq!(out, whole, "chunk_pages={chunk}");
+            assert_eq!(n, whole.len() as u64);
+        }
+    }
 
     #[test]
     fn records_parse_back() {

@@ -66,6 +66,52 @@ impl CorpusConfig {
         buf
     }
 
+    /// Stream the corpus to `w` in bounded chunks of `chunk_lines` lines,
+    /// returning the total bytes written. Each chunk is generated in
+    /// parallel and dropped after writing, so peak memory is one chunk —
+    /// this is how the out-of-core bench materializes inputs many times
+    /// larger than the engine's RAM budget. Because line `i` depends only
+    /// on `(seed, i)`, the output is byte-identical to
+    /// [`generate_bytes`](CorpusConfig::generate_bytes) at every chunk
+    /// size.
+    pub fn generate_to_writer(
+        &self,
+        w: &mut dyn std::io::Write,
+        chunk_lines: usize,
+    ) -> std::io::Result<u64> {
+        let zipf = ZipfTable::new(self.vocab_size, self.alpha);
+        let chunk = chunk_lines.max(1);
+        let mut written = 0u64;
+        let mut start = 0;
+        while start < self.lines {
+            let end = (start + chunk).min(self.lines);
+            let lines: Vec<String> = (start..end)
+                .into_par_iter()
+                .map(|i| self.generate_line(&zipf, i))
+                .collect();
+            for l in &lines {
+                w.write_all(l.as_bytes())?;
+                w.write_all(b"\n")?;
+                written += l.len() as u64 + 1;
+            }
+            start = end;
+        }
+        Ok(written)
+    }
+
+    /// [`generate_to_writer`](CorpusConfig::generate_to_writer) into a
+    /// file at `path` (buffered), returning the total bytes written.
+    pub fn generate_to_file(
+        &self,
+        path: &std::path::Path,
+        chunk_lines: usize,
+    ) -> std::io::Result<u64> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let n = self.generate_to_writer(&mut w, chunk_lines)?;
+        std::io::Write::flush(&mut w)?;
+        Ok(n)
+    }
+
     fn generate_line(&self, zipf: &ZipfTable, line_idx: usize) -> String {
         let mut rng = StdRng::seed_from_u64(
             self.seed ^ (line_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -170,6 +216,22 @@ mod tests {
             (the - expect).abs() / expect < 0.15,
             "emp={the} expect={expect}"
         );
+    }
+
+    #[test]
+    fn streamed_generation_matches_in_memory_bytes() {
+        let cfg = CorpusConfig {
+            lines: 137,
+            vocab_size: 500,
+            ..Default::default()
+        };
+        let whole = cfg.generate_bytes();
+        for chunk in [1, 7, 64, 137, 1000] {
+            let mut out = Vec::new();
+            let n = cfg.generate_to_writer(&mut out, chunk).unwrap();
+            assert_eq!(out, whole, "chunk_lines={chunk}");
+            assert_eq!(n, whole.len() as u64);
+        }
     }
 
     #[test]

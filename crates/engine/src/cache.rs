@@ -4,7 +4,7 @@
 //! task's `(split, map_fn, config)` key was computed before, re-running it
 //! buys nothing. This module defines the engine-side hook: a
 //! [`MapOutputCache`] installed via [`MapCacheConfig`] on
-//! [`JobConfig`](crate::cluster::JobConfig) is consulted once per map
+//! [`JobConfig`] is consulted once per map
 //! task, before the attempt loop. A hit skips execution entirely — the
 //! cached partition blobs are rematerialized into the attempt's fresh
 //! spill directory (a [`SpillFile`] deletes its backing file on drop, so
@@ -33,7 +33,6 @@ use std::sync::Arc;
 use crate::cluster::JobConfig;
 use crate::io::input::InputSplit;
 use crate::io::spill_file::SpillFile;
-use crate::job::fnv1a;
 use crate::metrics::{Op, TaskProfile, VNanos};
 use crate::task::map_task::MapOutput;
 use crate::trace::{IdleKind, LaneBuilder, LaneRole, SpanKind, TaskTrace};
@@ -59,6 +58,8 @@ pub struct CachedMapOutput {
     pub partitions: Vec<CachedPartition>,
     /// Whether the partition bytes are block-compressed.
     pub compressed: bool,
+    /// Whether the original output's partitions were framed runs.
+    pub framed: bool,
     /// Input records the original run consumed.
     pub input_records: u64,
     /// Records the original run emitted (before combining).
@@ -84,6 +85,7 @@ impl CachedMapOutput {
         Ok(CachedMapOutput {
             partitions,
             compressed: out.compressed,
+            framed: out.framed,
             input_records: prof.input_records,
             emitted_records: prof.emitted_records,
             freq_absorbed_records: prof.freq_absorbed_records,
@@ -137,6 +139,7 @@ impl CachedMapOutput {
                 file,
                 node,
                 compressed: self.compressed,
+                framed: self.framed,
             },
             prof,
         ))
@@ -156,7 +159,7 @@ pub trait MapOutputCache: Send + Sync {
     fn put(&self, key: &str, value: Arc<CachedMapOutput>);
 }
 
-/// Cache installation on a [`JobConfig`](crate::cluster::JobConfig).
+/// Cache installation on a [`JobConfig`].
 #[derive(Clone)]
 pub struct MapCacheConfig {
     /// The shared cache.
@@ -188,9 +191,12 @@ impl JobConfig {
 
 /// Content digest of a split: FNV-1a over the split's byte range plus its
 /// framing and source tags (the home node is placement, not content — two
-/// replicas of the same block must share a cache entry).
+/// replicas of the same block must share a cache entry). Disk-backed
+/// splits are digested through a bounded chunk window, never
+/// materialized; identical content digests identically on either backing.
 pub fn split_digest(split: &InputSplit) -> u64 {
-    let mut h = fnv1a(&split.data[split.start..split.end]);
+    // Seed with the FNV offset basis, then stream the range.
+    let mut h = split.digest_content(0xcbf2_9ce4_8422_2325);
     h ^= u64::from(split.source) | (u64::from(split.framed) << 8);
     h.wrapping_mul(0x100_0000_01b3)
 }
@@ -206,7 +212,7 @@ mod tests {
 
     fn split(bytes: &[u8]) -> InputSplit {
         InputSplit {
-            data: Arc::new(bytes.to_vec()),
+            data: crate::io::input::SplitBytes::Mem(Arc::new(bytes.to_vec())),
             start: 0,
             end: bytes.len(),
             home_node: 0,
@@ -244,6 +250,7 @@ mod tests {
                 },
             ],
             compressed: false,
+            framed: false,
             input_records: 10,
             emitted_records: 12,
             freq_absorbed_records: 0,

@@ -29,6 +29,7 @@ use crate::event::{AttemptKey, ClusterShape, ReduceAttempt, Scheduler};
 use crate::fault::{FaultPlan, SpeculationConfig};
 use crate::io::dfs::SimDfs;
 use crate::io::input::InputSplit;
+use crate::io::StreamingConfig;
 use crate::job::Job;
 use crate::metrics::{JobProfile, Op, SpeculationStats, TaskProfile, TaskSpan, VNanos};
 use crate::net::NetworkConfig;
@@ -90,6 +91,32 @@ pub struct ClusterConfig {
     /// identical at any setting; clamped to
     /// [`crate::shuffle::MAX_FETCHERS`].
     pub shuffle_fetchers: usize,
+    /// Out-of-core streaming knobs (see [`StreamingConfig`]). Default off:
+    /// every legacy path runs byte-for-byte. With `framed` on, spills, map
+    /// outputs and shuffle payloads become compressed framed runs with
+    /// per-run frame indexes; `materialize_reads` then toggles whole-run
+    /// vs one-frame-window residency without changing a single stored or
+    /// shuffled byte.
+    pub streaming: StreamingConfig,
+    /// Optional per-map-task RAM budget in bytes. `Some(B)` turns framed
+    /// streaming on and derives the task's tracked buffers from `B` (see
+    /// [`ClusterConfig::effective_streaming`] /
+    /// [`ClusterConfig::effective_spill_buffer_bytes`]):
+    ///
+    /// * spill buffer  = `min(spill_buffer_bytes, B/2)` (≥ 4 KiB)
+    /// * input window  = `min(input_chunk_bytes, B/8)` (≥ 1 KiB)
+    /// * frame window  = `min(frame_bytes, B/16)` (≥ 1 KiB)
+    ///
+    /// During the producer phase the task holds the spill buffer plus one
+    /// input window (≤ 5B/8); during the merge it holds at most
+    /// `merge_fan_in + 1` frame windows (≤ 11B/16 at the default fan-in of
+    /// 10) — either way under `B`, which is what
+    /// [`TaskProfile::peak_buffer_bytes`](crate::metrics::TaskProfile::peak_buffer_bytes)
+    /// tracks and the `oocore` bench asserts. Unlike the paper's fixed
+    /// spill-percentage trigger, the budget composes with the adaptive
+    /// controller ([`crate::controller::AdaptiveBudget`]), which moves the
+    /// spill *fraction* inside the budgeted buffer.
+    pub map_budget_bytes: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -106,6 +133,8 @@ impl ClusterConfig {
             compress_map_output: false,
             worker_threads: 1,
             shuffle_fetchers: 1,
+            streaming: StreamingConfig::default(),
+            map_budget_bytes: None,
         }
     }
 
@@ -122,6 +151,8 @@ impl ClusterConfig {
             compress_map_output: false,
             worker_threads: 1,
             shuffle_fetchers: 1,
+            streaming: StreamingConfig::default(),
+            map_budget_bytes: None,
         }
     }
 
@@ -138,6 +169,8 @@ impl ClusterConfig {
             compress_map_output: false,
             worker_threads: 1,
             shuffle_fetchers: 1,
+            streaming: StreamingConfig::default(),
+            map_budget_bytes: None,
         }
     }
 
@@ -153,6 +186,43 @@ impl ClusterConfig {
     pub fn with_shuffle_fetchers(mut self, n: usize) -> Self {
         self.shuffle_fetchers = n.max(1);
         self
+    }
+
+    /// Builder: set the out-of-core streaming knobs.
+    pub fn with_streaming(mut self, s: StreamingConfig) -> Self {
+        self.streaming = s;
+        self
+    }
+
+    /// Builder: set a per-map-task RAM budget (turns framed streaming on;
+    /// see [`ClusterConfig::map_budget_bytes`] for the derivation).
+    pub fn with_map_budget(mut self, bytes: usize) -> Self {
+        self.map_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// The streaming knobs a run actually uses: [`ClusterConfig::streaming`]
+    /// with [`ClusterConfig::map_budget_bytes`]'s derivation applied (a
+    /// budget forces framed mode and shrinks the input and frame windows to
+    /// its share of `B`).
+    pub fn effective_streaming(&self) -> StreamingConfig {
+        let mut s = self.streaming;
+        if let Some(b) = self.map_budget_bytes {
+            s.framed = true;
+            s.input_chunk_bytes = s.input_chunk_bytes.min((b / 8).max(1 << 10));
+            s.frame_bytes = s.frame_bytes.min((b / 16).max(1 << 10));
+        }
+        s
+    }
+
+    /// The spill-buffer capacity a run actually uses:
+    /// [`ClusterConfig::spill_buffer_bytes`] clamped to half of any
+    /// [`ClusterConfig::map_budget_bytes`].
+    pub fn effective_spill_buffer_bytes(&self) -> usize {
+        match self.map_budget_bytes {
+            Some(b) => self.spill_buffer_bytes.min((b / 2).max(4 << 10)),
+            None => self.spill_buffer_bytes,
+        }
     }
 
     pub(crate) fn resolve_temp_dir(&self) -> io::Result<PathBuf> {
@@ -223,6 +293,15 @@ pub struct JobConfig {
     /// map task and replays its cached output at a flat virtual lookup
     /// cost. `None` by default — single-job runs are unaffected.
     pub map_cache: Option<crate::cache::MapCacheConfig>,
+    /// Stream the Chrome-trace export to this path instead of returning
+    /// an in-memory [`JobTrace`] (see [`crate::trace::stream`]). Requires
+    /// [`trace`](JobConfig::trace); when set, [`JobRun::trace`] is `None`
+    /// and the file at this path is the byte-identical equivalent of
+    /// `trace.to_chrome_json()` — span events are spooled to disk as each
+    /// attempt's entry retires and the full JSON string is never resident.
+    /// The out-of-core bench uses this so a multi-GB run's trace does not
+    /// defeat its own memory budget.
+    pub trace_stream: Option<PathBuf>,
 }
 
 impl Default for JobConfig {
@@ -238,6 +317,7 @@ impl Default for JobConfig {
             speculation: None,
             trace: false,
             map_cache: None,
+            trace_stream: None,
         }
     }
 }
@@ -266,6 +346,14 @@ impl JobConfig {
         self.trace = true;
         self
     }
+
+    /// Convenience: enable tracing AND stream the Chrome-trace export to
+    /// `path` (see [`JobConfig::trace_stream`]).
+    pub fn with_trace_stream(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = true;
+        self.trace_stream = Some(path.into());
+        self
+    }
 }
 
 /// A completed job: outputs per partition plus the full profile.
@@ -276,7 +364,8 @@ pub struct JobRun {
     /// Aggregated instrumentation.
     pub profile: JobProfile,
     /// Virtual-time trace of every scheduled attempt; `Some` iff
-    /// [`JobConfig::trace`] was set.
+    /// [`JobConfig::trace`] was set and the export was not redirected to
+    /// disk via [`JobConfig::trace_stream`].
     pub trace: Option<JobTrace>,
 }
 
@@ -628,17 +717,39 @@ pub fn run_job(
             .unwrap_or(0)
             .max(profile.wall);
         let edges = build_trace_edges(&entries, &vsched, &[registry], &[0], &[0]);
-        Some(JobTrace {
-            nodes: cluster.nodes,
-            map_slots: cluster.map_slots_per_node.max(1),
-            reduce_slots: cluster.reduce_slots_per_node.max(1),
-            fetchers: cluster
-                .shuffle_fetchers
-                .clamp(1, crate::shuffle::MAX_FETCHERS),
-            wall: twall,
-            edges,
-            entries,
-        })
+        let map_slots = cluster.map_slots_per_node.max(1);
+        let reduce_slots = cluster.reduce_slots_per_node.max(1);
+        let fetchers = cluster
+            .shuffle_fetchers
+            .clamp(1, crate::shuffle::MAX_FETCHERS);
+        if let Some(path) = &cfg.trace_stream {
+            // Streamed export: spool each entry's span events to disk and
+            // drop the entry; the full JSON is never resident. Byte parity
+            // with `to_chrome_json()` is guaranteed because both routes
+            // share the emission helpers (see `trace::stream`).
+            let mut w = crate::trace::stream::TraceStreamWriter::create(
+                path.clone(),
+                cluster.nodes,
+                map_slots,
+                reduce_slots,
+                fetchers,
+            )?;
+            for e in entries {
+                w.push_entry(&e)?;
+            }
+            w.finish(twall, &edges)?;
+            None
+        } else {
+            Some(JobTrace {
+                nodes: cluster.nodes,
+                map_slots,
+                reduce_slots,
+                fetchers,
+                wall: twall,
+                edges,
+                entries,
+            })
+        }
     } else {
         None
     };
@@ -706,12 +817,14 @@ pub(crate) fn run_round(
     let workers = cluster.worker_threads.max(1);
 
     // ---- execute map tasks (real), collecting per-attempt durations -----------
+    let streaming = cluster.effective_streaming();
+    let spill_buffer = cluster.effective_spill_buffer_bytes();
     let filter_budget = if cfg.emit_filter.is_some() {
-        (cluster.spill_buffer_bytes as f64 * cfg.filter_budget_fraction) as usize
+        (spill_buffer as f64 * cfg.filter_budget_fraction) as usize
     } else {
         0
     };
-    let pipeline_capacity = (cluster.spill_buffer_bytes - filter_budget).max(1024);
+    let pipeline_capacity = (spill_buffer - filter_budget).max(1024);
 
     // A task that exhausts its retries (or hits an I/O error) sets this
     // flag; in-flight tasks notice it between input records and bail with
@@ -803,7 +916,7 @@ pub(crate) fn run_round(
                 buffer_capacity: if filter.is_some() {
                     pipeline_capacity
                 } else {
-                    cluster.spill_buffer_bytes
+                    spill_buffer
                 },
                 controller: (cfg.spill_controller)(ctx),
                 filter,
@@ -814,6 +927,7 @@ pub(crate) fn run_round(
                 fail_spill: cfg.fault_plan.spill_fault(t, attempt),
                 cancel: Some(Arc::clone(&cancel)),
                 trace: cfg.trace,
+                streaming,
             };
             match run_map_task(&job, split, task_cfg) {
                 Ok((out, prof)) => {
@@ -988,7 +1102,7 @@ pub(crate) fn run_round(
                 buffer_capacity: if filter.is_some() {
                     pipeline_capacity
                 } else {
-                    cluster.spill_buffer_bytes
+                    spill_buffer
                 },
                 controller: (cfg.spill_controller)(ctx),
                 filter,
@@ -999,6 +1113,7 @@ pub(crate) fn run_round(
                 fail_spill: None,
                 cancel: None,
                 trace: cfg.trace,
+                streaming,
             };
             let origin = AttemptKey {
                 kind: TaskKind::Map,
@@ -1131,6 +1246,7 @@ pub(crate) fn run_round(
                     max_fetch_attempts: cfg.max_attempts.max(1),
                     cancel: Some(Arc::clone(&rcancel)),
                     trace: cfg.trace,
+                    streaming,
                 },
             );
             match res {
@@ -1353,6 +1469,7 @@ pub(crate) fn run_round(
                     max_fetch_attempts: 1,
                     cancel: None,
                     trace: cfg.trace,
+                    streaming,
                 },
             );
             if let Ok(b) = res_b {
@@ -1937,6 +2054,67 @@ mod tests {
             assert!(summary.complete_events > 0);
             assert!(summary.pids >= 1);
         }
+    }
+
+    #[test]
+    fn streamed_trace_export_matches_batch_bytes() {
+        // Same job, same faults and stragglers (flat markers, backups, and
+        // multi-round tid layout all flow through the shared emitters):
+        // the file `trace_stream` writes must equal `to_chrome_json()` of
+        // the in-memory trace byte for byte.
+        let cluster = ClusterConfig::local();
+        let mut dfs = SimDfs::new(cluster.nodes, 2048);
+        dfs.put("c", corpus(300));
+        let plan = FaultPlan::new().map_fail_after(0, 3).slow_node(0, 4);
+        let cfg = JobConfig::default()
+            .with_fault_plan(plan)
+            .with_speculation(SpeculationConfig::default())
+            .with_trace();
+        let batch = run_job(&cluster, &cfg, Arc::new(WordSum), &dfs, &[("c", 0)]).unwrap();
+        let dir = std::env::temp_dir().join(format!("textmr-tsj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Byte parity: feed the real trace's entries (flat markers,
+        // backup lanes, flow tags, edges and all) through the streaming
+        // writer and diff against the batch string. Two *runs* cannot be
+        // diffed — virtual durations come from measured real work — so
+        // the comparison pivots on one run's entries.
+        let trace = batch.trace.as_ref().unwrap();
+        let parity = dir.join("parity.json");
+        let mut w = crate::trace::stream::TraceStreamWriter::create(
+            parity.clone(),
+            trace.nodes,
+            trace.map_slots,
+            trace.reduce_slots,
+            trace.fetchers,
+        )
+        .unwrap();
+        for e in &trace.entries {
+            w.push_entry(e).unwrap();
+        }
+        w.finish(trace.wall, &trace.edges).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&parity).unwrap(),
+            trace.to_chrome_json()
+        );
+        // End-to-end stream mode: no in-memory JobTrace, same outputs and
+        // timing-free signature, and the file imports back into a trace
+        // that passes the structural checks.
+        let path = dir.join("streamed.json");
+        let streamed = run_job(
+            &cluster,
+            &cfg.clone().with_trace_stream(path.clone()),
+            Arc::new(WordSum),
+            &dfs,
+            &[("c", 0)],
+        )
+        .unwrap();
+        assert!(streamed.trace.is_none(), "stream mode keeps no JobTrace");
+        assert_eq!(batch.sorted_pairs(), streamed.sorted_pairs());
+        assert_eq!(batch.profile.signature(), streamed.profile.signature());
+        let file = std::fs::read_to_string(&path).unwrap();
+        crate::trace::validate_chrome_trace(&file).unwrap();
+        JobTrace::from_chrome_json(&file).unwrap().check().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

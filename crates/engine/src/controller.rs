@@ -76,6 +76,88 @@ impl SpillController for FixedSpill {
     }
 }
 
+/// The out-of-core memory-budget policy: a *bytes-only* adaptive spill
+/// trigger, the new knob beside the paper's fixed spill percentage.
+///
+/// State machine (see DESIGN.md §3i): the fraction starts at `initial`
+/// and moves inside `[floor, ceil]`.
+///
+/// * **Backpressure** — the observed segment overshot its threshold by
+///   more than 25 % (`bytes > fraction·capacity·5/4`, i.e. records kept
+///   landing while the spill drained). The controller halves the
+///   fraction toward the floor so the next spill starts earlier and the
+///   buffer's headroom absorbs the overrun instead of growing.
+/// * **Stability** — after 3 consecutive spills without overshoot it
+///   grows the fraction by 1.25× toward the ceiling, reclaiming
+///   throughput (fewer, larger spills) when pressure subsides.
+///
+/// Unlike `textmr-core`'s timing-driven `SpillMatcher`, this policy
+/// reads **only byte counts** from the observation — never measured
+/// rates — so spill boundaries stay a pure function of the input and the
+/// engine's timing-free signatures remain deterministic under it (the
+/// determinism doctrine in `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBudget {
+    /// Fraction used for the first spill.
+    pub initial: f64,
+    /// Lower bound on the fraction (keeps spills from degenerating).
+    pub floor: f64,
+    /// Upper bound on the fraction.
+    pub ceil: f64,
+    cur: f64,
+    stable: u32,
+}
+
+impl AdaptiveBudget {
+    /// Policy with the default band: start at 0.5, clamp to
+    /// `[0.125, 0.9]`.
+    pub fn new() -> Self {
+        AdaptiveBudget {
+            initial: 0.5,
+            floor: 0.125,
+            ceil: 0.9,
+            cur: 0.5,
+            stable: 0,
+        }
+    }
+}
+
+impl Default for AdaptiveBudget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpillController for AdaptiveBudget {
+    fn initial_fraction(&mut self) -> f64 {
+        self.cur = self.initial.clamp(self.floor, self.ceil);
+        self.cur
+    }
+
+    fn next_fraction(&mut self, obs: &SpillObservation) -> f64 {
+        // Bytes-only: overshoot is measured against the threshold the
+        // current fraction implied. 5/4 tolerates the record that tips
+        // the buffer past the threshold plus modest drain-lag growth.
+        let threshold = (self.cur * obs.capacity as f64).max(1.0);
+        if obs.bytes as f64 > threshold * 1.25 {
+            self.cur = (self.cur * 0.5).max(self.floor);
+            self.stable = 0;
+        } else {
+            self.stable += 1;
+            if self.stable >= 3 {
+                self.cur = (self.cur * 1.25).min(self.ceil);
+                self.stable = 0;
+            }
+        }
+        self.cur
+    }
+}
+
+/// Convenience: a factory for [`AdaptiveBudget`] with the default band.
+pub fn adaptive_budget_factory() -> SpillControllerFactory {
+    Arc::new(move |_ctx| Box::new(AdaptiveBudget::new()))
+}
+
 /// Map-side emit interceptor (frequency-buffering's hook).
 ///
 /// `offer` sees every pair the user emits, *before* it reaches the spill
@@ -190,6 +272,55 @@ mod tests {
         };
         assert!((obs.produce_rate() - 1e6).abs() < 1.0);
         assert!((obs.consume_rate() - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn adaptive_budget_backs_off_and_recovers() {
+        let mut c = AdaptiveBudget::new();
+        assert_eq!(c.initial_fraction(), 0.5);
+        let cap = 1000;
+        let over = SpillObservation {
+            bytes: 700, // > 0.5 * 1000 * 1.25
+            produce_ns: 0,
+            consume_ns: 0,
+            capacity: cap,
+        };
+        assert_eq!(c.next_fraction(&over), 0.25);
+        // Keep overshooting: halves to the floor and stays there.
+        let over2 = SpillObservation { bytes: 400, ..over };
+        assert_eq!(c.next_fraction(&over2), 0.125);
+        assert_eq!(c.next_fraction(&over2), 0.125);
+        // Three calm spills grow the fraction back by 1.25×.
+        let calm = SpillObservation { bytes: 100, ..over };
+        c.next_fraction(&calm);
+        c.next_fraction(&calm);
+        let grown = c.next_fraction(&calm);
+        assert!((grown - 0.15625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_budget_ignores_timing() {
+        // Identical byte sequences must produce identical fractions no
+        // matter what the measured rates were — the determinism contract.
+        let mut a = AdaptiveBudget::new();
+        let mut b = AdaptiveBudget::new();
+        a.initial_fraction();
+        b.initial_fraction();
+        for (i, &bytes) in [700usize, 100, 200, 90, 800, 50].iter().enumerate() {
+            let fast = SpillObservation {
+                bytes,
+                produce_ns: 1,
+                consume_ns: 1,
+                capacity: 1000,
+            };
+            let slow = SpillObservation {
+                bytes,
+                produce_ns: 1_000_000_000 * (i as u64 + 1),
+                consume_ns: 77_000_000,
+                capacity: 1000,
+            };
+            assert_eq!(a.next_fraction(&fast), b.next_fraction(&slow));
+        }
     }
 
     #[test]

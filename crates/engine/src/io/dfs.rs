@@ -1,9 +1,12 @@
 //! Simulated distributed filesystem.
 //!
-//! Files live in memory as immutable byte buffers divided into logical
-//! blocks; each block has a *home node* (round-robin placement, offset by a
-//! file-name hash so multiple inputs spread differently). Blocks drive two
-//! things the paper's setting has and a single process does not:
+//! Files are immutable byte ranges divided into logical blocks; a file's
+//! bytes live either in memory ([`SimDfs::put`]) or on local disk
+//! ([`SimDfs::put_path`] — the out-of-core path, where splits are read
+//! through a bounded chunk window instead of being materialized). Each
+//! block has a *home node* (round-robin placement, offset by a file-name
+//! hash so multiple inputs spread differently). Blocks drive two things
+//! the paper's setting has and a single process does not:
 //!
 //! * **input splits** — one map task per block, as in Hadoop;
 //! * **locality** — a map task runs on its block's home node; reading a
@@ -14,13 +17,45 @@
 use crate::job::fnv1a;
 // textmr-lint: allow(unordered-iteration, reason = "file table is keyed by name for lookups; never iterated")
 use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Where a DFS file's (or an input split's) bytes live.
+#[derive(Debug, Clone)]
+pub enum FileBytes {
+    /// Resident in memory; splits slice into the shared buffer zero-copy.
+    Mem(Arc<Vec<u8>>),
+    /// On local disk; readers pull bounded chunk windows with
+    /// `std::fs::File` reads instead of materializing the file.
+    Disk {
+        /// Path of the backing file (shared by all splits of the file).
+        path: Arc<PathBuf>,
+        /// File length in bytes, captured at registration time.
+        len: usize,
+    },
+}
+
+impl FileBytes {
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            FileBytes::Mem(d) => d.len(),
+            FileBytes::Disk { len, .. } => *len,
+        }
+    }
+
+    /// True when the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A file stored in the simulated DFS.
 #[derive(Debug, Clone)]
 pub struct DfsFile {
-    /// File contents.
-    pub data: Arc<Vec<u8>>,
+    /// File contents (in memory or disk-backed).
+    pub bytes: FileBytes,
     /// Home node of each logical block.
     pub placements: Vec<usize>,
     /// Logical block size used at placement time.
@@ -36,7 +71,7 @@ impl DfsFile {
     /// Byte range of block `b`.
     pub fn block_range(&self, b: usize) -> (usize, usize) {
         let start = b * self.block_size;
-        let end = ((b + 1) * self.block_size).min(self.data.len());
+        let end = ((b + 1) * self.block_size).min(self.bytes.len());
         (start, end)
     }
 }
@@ -76,20 +111,46 @@ impl SimDfs {
         self.block_size
     }
 
+    fn placements_for(&self, name: &str, len: usize) -> Vec<usize> {
+        let blocks = len.div_ceil(self.block_size).max(1);
+        let start_node = (fnv1a(name.as_bytes()) % self.nodes as u64) as usize;
+        (0..blocks).map(|b| (start_node + b) % self.nodes).collect()
+    }
+
     /// Store `data` under `name`, computing block placement. Replaces any
     /// existing file of that name.
     pub fn put(&mut self, name: &str, data: Vec<u8>) {
-        let blocks = data.len().div_ceil(self.block_size).max(1);
-        let start_node = (fnv1a(name.as_bytes()) % self.nodes as u64) as usize;
-        let placements = (0..blocks).map(|b| (start_node + b) % self.nodes).collect();
+        let placements = self.placements_for(name, data.len());
         self.files.insert(
             name.to_string(),
             DfsFile {
-                data: Arc::new(data),
+                bytes: FileBytes::Mem(Arc::new(data)),
                 placements,
                 block_size: self.block_size,
             },
         );
+    }
+
+    /// Register the on-disk file at `path` under `name` without reading
+    /// it: block placement uses the same name hash + round-robin as
+    /// [`SimDfs::put`], and split readers stream chunk windows from the
+    /// file. This is the out-of-core input path — corpus size is bounded
+    /// by disk, not RAM.
+    pub fn put_path(&mut self, name: &str, path: &Path) -> io::Result<()> {
+        let len = std::fs::metadata(path)?.len() as usize;
+        let placements = self.placements_for(name, len);
+        self.files.insert(
+            name.to_string(),
+            DfsFile {
+                bytes: FileBytes::Disk {
+                    path: Arc::new(path.to_path_buf()),
+                    len,
+                },
+                placements,
+                block_size: self.block_size,
+            },
+        );
+        Ok(())
     }
 
     /// Look up a file.
@@ -99,7 +160,7 @@ impl SimDfs {
 
     /// File size in bytes, if present.
     pub fn len(&self, name: &str) -> Option<usize> {
-        self.files.get(name).map(|f| f.data.len())
+        self.files.get(name).map(|f| f.bytes.len())
     }
 }
 
@@ -146,5 +207,23 @@ mod tests {
             dfs.get("aaa").unwrap().placements[0],
             dfs.get("bbb").unwrap().placements[0]
         );
+    }
+
+    #[test]
+    fn disk_file_places_like_its_mem_twin() {
+        let dir = std::env::temp_dir().join(format!("textmr-dfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("twin.txt");
+        let data = vec![7u8; 95];
+        std::fs::write(&path, &data).unwrap();
+
+        let mut dfs = SimDfs::new(4, 10);
+        dfs.put("twin", data);
+        let mem_placements = dfs.get("twin").unwrap().placements.clone();
+        dfs.put_path("twin", &path).unwrap();
+        let f = dfs.get("twin").unwrap();
+        assert_eq!(f.placements, mem_placements);
+        assert_eq!(dfs.len("twin"), Some(95));
+        assert!(matches!(f.bytes, FileBytes::Disk { .. }));
     }
 }

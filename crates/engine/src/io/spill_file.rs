@@ -1,13 +1,21 @@
 //! On-disk spill files and map-output files.
 //!
-//! A spill file stores framed `(key, value)` records grouped by partition,
-//! each partition's records sorted by key, with an in-memory partition
-//! index `(offset, length, record count)`. The same container backs both
-//! intermediate spills and the final merged map output (whose partitions
-//! reducers fetch during shuffle). Files are deleted when the handle drops,
-//! like Hadoop's task-attempt directories.
+//! A spill file stores varint-framed `(key, value)` records grouped by
+//! partition, each partition's records sorted by key, with an in-memory
+//! partition index `(offset, length, record count)`. The same container
+//! backs both intermediate spills and the final merged map output (whose
+//! partitions reducers fetch during shuffle). Files are deleted when the
+//! handle drops, like Hadoop's task-attempt directories.
+//!
+//! Under [`StreamingConfig::framed`](crate::io::StreamingConfig) a
+//! partition holds a *framed run* (see [`crate::io::frame`]) instead of
+//! bare records: the stored bytes are compressed frames and a per-run
+//! frame index rides in a side table, so consumers can open a
+//! [`FrameRunCursor`] and decode one frame window at a time instead of
+//! materializing the whole partition.
 
 use crate::codec::write_record;
+use crate::io::frame::{FrameMeta, FrameRunCursor};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -30,6 +38,9 @@ pub struct PartIndex {
 pub struct SpillFile {
     path: PathBuf,
     index: Vec<PartIndex>,
+    /// Frame indexes for framed partitions, parallel to `index` lookups:
+    /// `(part, frame index)`. Empty for legacy (record/blob) files.
+    frames: Vec<(usize, Vec<FrameMeta>)>,
     total_bytes: u64,
     total_records: u64,
 }
@@ -46,6 +57,7 @@ impl SpillFile {
             w: BufWriter::new(file),
             path,
             index: Vec::new(),
+            frames: Vec::new(),
             offset: 0,
             cur: None,
             buf: Vec::with_capacity(64 * 1024),
@@ -86,6 +98,31 @@ impl SpillFile {
         Ok(buf)
     }
 
+    /// Frame index for a framed partition, or `None` for empty or
+    /// legacy (unframed) partitions.
+    pub fn frames(&self, part: usize) -> Option<&[FrameMeta]> {
+        self.frames
+            .iter()
+            .find(|(p, _)| *p == part)
+            .map(|(_, m)| m.as_slice())
+    }
+
+    /// Open a windowed record cursor over a framed partition (reads one
+    /// frame at a time from disk). Yields an exhausted cursor for empty
+    /// partitions; errors for partitions written without frames.
+    pub fn framed_cursor(&self, part: usize) -> io::Result<FrameRunCursor> {
+        let Some(entry) = self.part_index(part) else {
+            return FrameRunCursor::from_mem(Vec::new(), Vec::new());
+        };
+        let Some(metas) = self.frames(part) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("partition {part} was not written framed"),
+            ));
+        };
+        FrameRunCursor::from_file(self.path.clone(), entry.offset, entry.len, metas.to_vec())
+    }
+
     /// Filesystem path (for diagnostics).
     pub fn path(&self) -> &Path {
         &self.path
@@ -105,6 +142,7 @@ pub struct SpillFileWriter {
     w: BufWriter<File>,
     path: PathBuf,
     index: Vec<PartIndex>,
+    frames: Vec<(usize, Vec<FrameMeta>)>,
     offset: u64,
     cur: Option<PartIndex>,
     buf: Vec<u8>,
@@ -165,6 +203,26 @@ impl SpillFileWriter {
         Ok(())
     }
 
+    /// Write one partition as a framed run: `stored` is the frame bytes
+    /// from a [`crate::io::frame::FrameEncoder`], `metas` its frame
+    /// index, `records` the logical record count. Readers use
+    /// [`SpillFile::framed_cursor`] (windowed) or
+    /// [`SpillFile::read_partition`] (whole stored run, e.g. for the
+    /// shuffle's network byte accounting).
+    pub fn write_framed_partition(
+        &mut self,
+        part: usize,
+        stored: &[u8],
+        metas: Vec<FrameMeta>,
+        records: u64,
+    ) -> io::Result<()> {
+        self.write_raw_partition(part, stored, records)?;
+        if records > 0 {
+            self.frames.push((part, metas));
+        }
+        Ok(())
+    }
+
     fn finish_partition(&mut self) -> io::Result<()> {
         if let Some(cur) = self.cur.take() {
             if cur.records > 0 {
@@ -183,6 +241,7 @@ impl SpillFileWriter {
         Ok(SpillFile {
             path: self.path,
             index: self.index,
+            frames: self.frames,
             total_bytes,
             total_records,
         })
@@ -243,6 +302,43 @@ mod tests {
         w.start_partition(1).unwrap();
         w.write_record(b"k", b"v").unwrap();
         w.start_partition(0).unwrap();
+    }
+
+    #[test]
+    fn framed_partition_cursor_round_trips() {
+        use crate::io::frame::FrameEncoder;
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..300)
+            .map(|i| (format!("w{i:05}").into_bytes(), vec![b'x'; 30]))
+            .collect();
+        let mut enc = FrameEncoder::new(1 << 10);
+        for (k, v) in &pairs {
+            enc.push_record(k, v);
+        }
+        let (stored, metas, records) = enc.finish();
+        assert!(metas.len() > 1);
+
+        let mut w = SpillFile::create(tmp("spill5.bin")).unwrap();
+        w.write_framed_partition(0, &stored, metas.clone(), records)
+            .unwrap();
+        let f = w.finish().unwrap();
+        assert_eq!(f.frames(0).unwrap().len(), metas.len());
+        assert!(f.frames(1).is_none());
+        // Stored bytes (what the shuffle ships) match the encoder output.
+        assert_eq!(f.read_partition(0).unwrap(), stored);
+
+        let mut c = f.framed_cursor(0).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, v)) = c.peek() {
+            got.push((k.to_vec(), v.to_vec()));
+            c.advance().unwrap();
+        }
+        assert_eq!(got, pairs);
+        // A legacy partition written without frames refuses a cursor.
+        let mut w = SpillFile::create(tmp("spill6.bin")).unwrap();
+        w.start_partition(0).unwrap();
+        w.write_record(b"k", b"v").unwrap();
+        let f = w.finish().unwrap();
+        assert!(f.framed_cursor(0).is_err());
     }
 
     #[test]

@@ -244,7 +244,14 @@ impl JobDag {
 /// by in-memory key tables; fast on short text keys per the perf guide).
 #[inline]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Streaming form of [`fnv1a`]: fold more bytes into a running hash, so
+/// callers can digest disk-backed data one chunk at a time. Seed with the
+/// FNV offset basis (what [`fnv1a`] does) and chain:
+/// `fnv1a(ab) == fnv1a_update(fnv1a(a), b)`.
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3);

@@ -22,7 +22,14 @@
 //! * fine-grained abstraction-cost metrics ([`metrics`]) matching the
 //!   paper's Table I operation breakdown;
 //! * an opt-in deterministic virtual-time tracer ([`trace`]) that exports
-//!   per-thread span timelines as Chrome-trace/Perfetto JSON or ASCII.
+//!   per-thread span timelines as Chrome-trace/Perfetto JSON or ASCII —
+//!   streamable to disk during the run ([`trace::stream`]);
+//! * an out-of-core streaming mode: record-windowed split reads, framed
+//!   compressed intermediate runs with a per-run frame index
+//!   ([`io::frame`]), and a single per-task byte budget
+//!   ([`cluster::ClusterConfig::map_budget_bytes`]) that bounds resident
+//!   buffers while keeping outputs and signatures byte-identical to the
+//!   materialized path.
 //!
 //! The paper's optimizations plug in through [`controller::SpillController`]
 //! and [`controller::EmitFilter`] — see the `textmr-core` crate.
@@ -82,16 +89,17 @@ pub mod prelude {
     pub use crate::cluster::{run_job, ClusterConfig, JobConfig, JobRun};
     pub use crate::codec::{decode_f64, decode_u64, encode_f64, encode_u64};
     pub use crate::controller::{
-        fixed_spill_factory, EmitFilter, FilterCtx, FixedSpill, SpillController, SpillObservation,
-        TaskCtx,
+        adaptive_budget_factory, fixed_spill_factory, AdaptiveBudget, EmitFilter, FilterCtx,
+        FixedSpill, SpillController, SpillObservation, TaskCtx,
     };
     pub use crate::dag::{run_dag, DagExecutor, DagRun};
     pub use crate::fault::{ChaosShape, FaultPlan, SpeculationConfig};
     pub use crate::io::dfs::SimDfs;
+    pub use crate::io::StreamingConfig;
     pub use crate::job::{Emit, Job, JobDag, Record, Stage, StageInput, ValueCursor, ValueSink};
     pub use crate::metrics::{DagProfile, DagSignature, JobProfile, Op, Phase, TaskProfile};
     pub use crate::net::NetworkConfig;
     pub use crate::shuffle::{FetchHistogram, ShuffleStats};
     pub use crate::task::reduce_task::Grouping;
-    pub use crate::trace::{validate_chrome_trace, JobTrace, TaskTrace};
+    pub use crate::trace::{stream::TraceStreamWriter, validate_chrome_trace, JobTrace, TaskTrace};
 }

@@ -336,6 +336,13 @@ pub struct TaskProfile {
     pub freq_absorbed_records: u64,
     /// Bytes written to the final (merged) map output / reduce output.
     pub output_bytes: u64,
+    /// Peak tracked buffer bytes the task held at once: spill-buffer
+    /// occupancy plus (out-of-core mode) the input chunk window, the open
+    /// frame encoder, and decoded merge windows. This is the quantity the
+    /// `map_budget_bytes` knob bounds. Deliberately **not** part of
+    /// [`TaskSignature`]: window residency differs between streamed and
+    /// materialized reads of the same bytes.
+    pub peak_buffer_bytes: u64,
     /// Per-thread span timeline of this attempt, recorded only when the
     /// job ran with [`JobConfig::trace`](crate::cluster::JobConfig::trace)
     /// enabled (`None` otherwise — the untraced path allocates nothing).

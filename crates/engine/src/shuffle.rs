@@ -3,10 +3,11 @@
 //!
 //! A reduce task fetches its partition from every map output. Two things
 //! happen per fetch: *real* work (disk read of the stored partition, plus
-//! decompression when the map side compressed it), which is measured, and
-//! *virtual* network time for remote sources. Historically both lived in a
-//! sequential `for` loop inside the reduce task; this module lifts them
-//! into a first-class subsystem with two independent knobs:
+//! decompression when the map side whole-partition-compressed it), which
+//! is measured, and *virtual* network time for remote sources.
+//! Historically both lived in a sequential `for` loop inside the reduce
+//! task; this module lifts them into a first-class subsystem with two
+//! independent knobs:
 //!
 //! * **Fetcher pool**
 //!   ([`ClusterConfig::shuffle_fetchers`](crate::cluster::ClusterConfig::shuffle_fetchers)):
@@ -32,6 +33,14 @@
 //! single slowest source. That feeds
 //! [`Op::ShuffleWait`](crate::metrics::Op::ShuffleWait) and the
 //! `shuffle_scale` harness.
+//!
+//! Under [`StreamingConfig::framed`](crate::io::StreamingConfig) a map
+//! output partition is a *framed run* ([`crate::io::frame`]): the fetcher
+//! ships the stored frames verbatim — frame-level decompression is
+//! deferred to the reduce-side merge, which decodes one frame window at a
+//! time (or all at once with `materialize_reads`). Either way the bytes
+//! on the wire are the stored bytes, so [`ShuffleStats`] counts the same
+//! `fetched_bytes` at any residency setting.
 //!
 //! The schedule computed *here* is the attempt-in-isolation one: this
 //! reduce attempt's own flows sharing the destination NIC. Cross-task
@@ -190,8 +199,10 @@ pub struct FlowInput {
 /// accounting.
 #[derive(Debug)]
 pub struct ShuffleOutcome {
-    /// Non-empty decompressed partition runs, in map-task-id order —
-    /// byte-identical at any fetcher count.
+    /// Non-empty partition runs, in map-task-id order — byte-identical at
+    /// any fetcher count. For plain outputs these are decompressed record
+    /// bytes; for framed outputs they are the stored frames, decoded
+    /// window-by-window later in the reduce-side merge.
     pub runs: Vec<Vec<u8>>,
     /// Measured real work (disk reads + decompression), for
     /// [`Op::ShuffleFetch`](crate::metrics::Op::ShuffleFetch).
@@ -698,6 +709,7 @@ mod tests {
             file: w.finish().unwrap(),
             node,
             compressed: false,
+            framed: false,
         }
     }
 

@@ -9,14 +9,18 @@
 //! (spill-matcher) picks the spill fraction after every spill.
 
 use crate::controller::{EmitFilter, SpillController, SpillObservation};
+use crate::io::frame::{FrameEncoder, FrameRunCursor, RunStore};
 use crate::io::input::{InputSplit, SplitReader};
 use crate::io::spill_file::SpillFile;
+use crate::io::StreamingConfig;
 use crate::job::{combine_values, Emit, Job};
 use crate::metrics::{Op, OpTimes, SpillStat, Stopwatch, TaskProfile, VNanos};
-use crate::task::merge::merge_grouped;
+use crate::task::merge::{
+    merge_grouped, merge_grouped_cursors, reduce_sources_to_fan_in, CursorSource,
+};
 use crate::task::pipeline::{Admission, Pipeline};
 use crate::task::segment::Segment;
-use crate::task::spill::spill_segment;
+use crate::task::spill::{spill_segment, spill_segment_framed};
 use crate::trace::MapTraceRecorder;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -63,6 +67,12 @@ pub struct MapTaskConfig {
     /// Record a per-thread span timeline into `TaskProfile::trace`. Off by
     /// default; the untraced path allocates nothing.
     pub trace: bool,
+    /// Out-of-core streaming knobs. With `framed` off (the default) the
+    /// task runs the legacy byte-for-byte paths; with it on, spills and
+    /// the map output are written as framed runs and the final merge
+    /// reads them either as one-frame windows (streamed) or whole runs
+    /// (`materialize_reads`) — same bytes, different residency.
+    pub streaming: StreamingConfig,
 }
 
 /// A finished map task's output, fetchable by partition during shuffle.
@@ -75,6 +85,11 @@ pub struct MapOutput {
     /// Whether partitions are stored compressed (reducers must
     /// decompress after fetching).
     pub compressed: bool,
+    /// Whether partitions are framed runs (per-frame compression with a
+    /// frame index; see [`crate::io::frame`]). Framed output supersedes
+    /// whole-blob compression, so `compressed` and `framed` are mutually
+    /// exclusive.
+    pub framed: bool,
 }
 
 /// Why a map task did not complete.
@@ -120,6 +135,10 @@ struct SpillPath<'a> {
     io_error: Option<io::Error>,
     /// Injected spill fault: fail the spill write with this index.
     fail_spill: Option<usize>,
+    /// Write spills as framed runs (out-of-core format).
+    framed: bool,
+    /// Target uncompressed bytes per frame when `framed`.
+    frame_bytes: usize,
     /// Set when `io_error` came from an injected fault, so the task is
     /// reported as `Injected` (retryable) instead of a hard I/O failure.
     injected: bool,
@@ -159,7 +178,12 @@ impl<'a> SpillPath<'a> {
         let path = self
             .spill_dir
             .join(format!("t{}_s{}.spill", self.task_id, self.spills.len()));
-        match spill_segment(&self.seg, self.job, path) {
+        let spilled = if self.framed {
+            spill_segment_framed(&self.seg, self.job, path, self.frame_bytes)
+        } else {
+            spill_segment(&self.seg, self.job, path)
+        };
+        match spilled {
             Ok(out) => {
                 self.ops.add_nanos(Op::Sort, out.sort_ns);
                 self.ops.add_nanos(Op::Combine, out.combine_ns);
@@ -263,6 +287,8 @@ pub fn run_map_task(
         consume_pending_ns: 0,
         io_error: None,
         fail_spill: cfg.fail_spill,
+        framed: cfg.streaming.framed,
+        frame_bytes: cfg.streaming.frame_bytes,
         injected: false,
         trace: cfg.trace.then(|| Box::new(MapTraceRecorder::new())),
     };
@@ -275,8 +301,12 @@ pub fn run_map_task(
     };
 
     // ---- producer loop: read → map → emit ---------------------------------
-    let mut reader = SplitReader::new(split);
+    let mut reader = SplitReader::with_chunk(split, cfg.streaming.input_chunk_bytes);
     let mut input_records = 0u64;
+    // High-water mark of tracked buffer residency: spill-buffer bytes plus
+    // the input chunk window plus (during the merge) cursor windows. This
+    // is the quantity a RAM budget bounds; see `TaskProfile`.
+    let mut peak_buffer_bytes = 0u64;
     // Producer-wait watermark for the trace: the delta per record is the
     // blocked-on-full-buffer time that preceded the record's busy time.
     let mut last_pw = 0u64;
@@ -316,6 +346,8 @@ pub fn run_map_task(
         ops.add_nanos(Op::Combine, combine_c);
         ops.add_nanos(Op::Map, map_c);
         emitter.path.pipeline.produce(produce_ns);
+        let resident = emitter.path.pipeline.active_bytes() + reader.window_bytes();
+        peak_buffer_bytes = peak_buffer_bytes.max(resident as u64);
         if emitter.path.trace.is_some() {
             let pw = emitter.path.pipeline.producer_wait;
             let wait = pw - last_pw;
@@ -398,6 +430,159 @@ pub fn run_map_task(
     let scratch = cfg
         .spill_dir
         .join(format!("t{}_mergescratch.bin", cfg.task_id));
+    if cfg.streaming.framed {
+        // Framed merge. Streamed and materialized reads produce identical
+        // output bytes: multi-pass batching, combiner application, and the
+        // merged record stream are the same (pinned by the merge-module
+        // tests); only how much of each run is resident differs.
+        let frame_bytes = cfg.streaming.frame_bytes;
+        let mut run_store: Option<RunStore> = None;
+        for part in 0..cfg.num_partitions {
+            let mut enc = FrameEncoder::new(frame_bytes);
+            let mut records = 0u64;
+            if cfg.streaming.materialize_reads {
+                // Decode every frame of every run up front — whole-run
+                // residency, the byte-identical reference point.
+                let mut runs: Vec<Vec<u8>> = Vec::with_capacity(path.spills.len());
+                for s in &path.spills {
+                    let stored = s.read_partition(part)?;
+                    let mut raw = Vec::new();
+                    if !stored.is_empty() {
+                        let metas = s
+                            .frames(part)
+                            .expect("framed spill has a frame index for non-empty partitions");
+                        for m in metas {
+                            raw.extend(
+                                crate::io::frame::decode_frame(&stored, m)
+                                    .map_err(io::Error::from)?,
+                            );
+                        }
+                    }
+                    runs.push(raw);
+                }
+                if runs.iter().all(|r| r.is_empty()) {
+                    continue;
+                }
+                let resident: usize = runs.iter().map(Vec::len).sum();
+                peak_buffer_bytes = peak_buffer_bytes.max((resident + frame_bytes) as u64);
+                let multi = crate::task::merge::reduce_to_fan_in(
+                    runs,
+                    job.as_ref(),
+                    has_combiner,
+                    cfg.merge_fan_in,
+                    &scratch,
+                )?;
+                combine_in_merge_ns = combine_in_merge_ns.saturating_add(multi.combine_ns);
+                merge_grouped(
+                    &multi.runs,
+                    &|a, b| job.compare_keys(a, b),
+                    |key, values| {
+                        if has_combiner && values.len() > 1 {
+                            let sw_c = Stopwatch::start();
+                            let combined = combine_values(job.as_ref(), key, values);
+                            combine_in_merge_ns =
+                                combine_in_merge_ns.saturating_add(sw_c.elapsed_ns());
+                            for v in &combined {
+                                enc.push_record(key, v);
+                                records += 1;
+                            }
+                        } else {
+                            for v in values {
+                                enc.push_record(key, v);
+                                records += 1;
+                            }
+                        }
+                    },
+                );
+            } else {
+                // Streamed: sources open lazily (batch by batch), so at
+                // most fan_in + 1 frame windows are live at once.
+                if path.spills.iter().all(|s| s.frames(part).is_none()) {
+                    continue;
+                }
+                let sources: Vec<CursorSource<'_>> = path
+                    .spills
+                    .iter()
+                    .map(|s| CursorSource::Spill { file: s, part })
+                    .collect();
+                let store = match &mut run_store {
+                    Some(s) => s,
+                    None => run_store.insert(RunStore::create(
+                        cfg.spill_dir
+                            .join(format!("t{}_mergescratch.frames", cfg.task_id)),
+                    )?),
+                };
+                let multi = reduce_sources_to_fan_in(
+                    sources,
+                    job.as_ref(),
+                    has_combiner,
+                    cfg.merge_fan_in,
+                    frame_bytes,
+                    store,
+                )?;
+                combine_in_merge_ns = combine_in_merge_ns.saturating_add(multi.combine_ns);
+                let mut cursors = multi.cursors;
+                let resident: usize = cursors.iter().map(FrameRunCursor::window_bytes).sum();
+                peak_buffer_bytes = peak_buffer_bytes.max((resident + frame_bytes) as u64);
+                merge_grouped_cursors(
+                    &mut cursors,
+                    &|a, b| job.compare_keys(a, b),
+                    |key, values| {
+                        if has_combiner && values.len() > 1 {
+                            let sw_c = Stopwatch::start();
+                            let combined = combine_values(job.as_ref(), key, values);
+                            combine_in_merge_ns =
+                                combine_in_merge_ns.saturating_add(sw_c.elapsed_ns());
+                            for v in &combined {
+                                enc.push_record(key, v);
+                                records += 1;
+                            }
+                        } else {
+                            for v in values {
+                                enc.push_record(key, v);
+                                records += 1;
+                            }
+                        }
+                    },
+                )?;
+            }
+            let (stored, metas, _) = enc.finish();
+            writer.write_framed_partition(part, &stored, metas, records)?;
+        }
+        let file = writer.finish()?;
+        let merge_total_ns = sw_merge.elapsed_ns();
+        let cim = combine_in_merge_ns.min(merge_total_ns);
+        path.ops.add_nanos(Op::Merge, merge_total_ns - cim);
+        path.ops.add_nanos(Op::Combine, cim);
+        let trace = path
+            .trace
+            .take()
+            .map(|tr| Box::new(tr.finish(pipeline_end, merge_total_ns - cim, cim)));
+        let profile = TaskProfile {
+            ops: path.ops,
+            virtual_duration: pipeline_end + merge_total_ns,
+            produce_busy: path.pipeline.produce_busy,
+            consume_busy: path.pipeline.consume_busy,
+            producer_wait: path.pipeline.producer_wait,
+            consumer_wait: path.pipeline.consumer_wait,
+            spills: path.stats,
+            input_records,
+            emitted_records: emitter.emitted,
+            freq_absorbed_records: freq_absorbed,
+            output_bytes: file.total_bytes(),
+            peak_buffer_bytes,
+            trace,
+        };
+        return Ok((
+            MapOutput {
+                file,
+                node: cfg.node,
+                compressed: false,
+                framed: true,
+            },
+            profile,
+        ));
+    }
     for part in 0..cfg.num_partitions {
         let runs: Vec<Vec<u8>> = path
             .spills
@@ -407,6 +592,8 @@ pub fn run_map_task(
         if runs.iter().all(|r| r.is_empty()) {
             continue;
         }
+        let resident: usize = runs.iter().map(Vec::len).sum();
+        peak_buffer_bytes = peak_buffer_bytes.max(resident as u64);
         // Bound the final pass's fan-in, merging through scratch disk as
         // Hadoop does when spills exceed io.sort.factor.
         let multi = crate::task::merge::reduce_to_fan_in(
@@ -498,6 +685,7 @@ pub fn run_map_task(
         emitted_records: emitter.emitted,
         freq_absorbed_records: freq_absorbed,
         output_bytes: file.total_bytes(),
+        peak_buffer_bytes,
         trace,
     };
     Ok((
@@ -505,6 +693,7 @@ pub fn run_map_task(
             file,
             node: cfg.node,
             compressed: cfg.compress_output,
+            framed: false,
         },
         profile,
     ))
@@ -574,6 +763,7 @@ mod tests {
             fail_spill: None,
             cancel: None,
             trace: false,
+            streaming: StreamingConfig::default(),
         }
     }
 
@@ -706,6 +896,70 @@ mod tests {
         assert!(
             prof.spills.iter().map(|s| s.records).sum::<usize>() as u64 == prof.emitted_records
         );
+    }
+
+    fn framed_output_counts(
+        out: &MapOutput,
+        parts: usize,
+    ) -> std::collections::HashMap<String, u64> {
+        assert!(out.framed);
+        let mut m = std::collections::HashMap::new();
+        for p in 0..parts {
+            let stored = out.file.read_partition(p).unwrap();
+            if stored.is_empty() {
+                continue;
+            }
+            let mut raw = Vec::new();
+            for meta in crate::io::frame::scan_frames(&stored).unwrap() {
+                raw.extend(crate::io::frame::decode_frame(&stored, &meta).unwrap());
+            }
+            let mut pos = 0;
+            while let Some((k, v)) = read_record(&raw, &mut pos) {
+                *m.entry(String::from_utf8(k.to_vec()).unwrap()).or_insert(0) +=
+                    decode_u64(v).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn framed_streamed_matches_materialized_byte_for_byte() {
+        let text: String = (0..300)
+            .map(|i| format!("w{} common tail{}\n", i % 23, i % 7))
+            .collect();
+        let split = one_split(&text);
+        let job: Arc<dyn Job> = Arc::new(WordSum);
+
+        let mut legacy = cfg(512);
+        legacy.task_id = 10;
+        let (out_legacy, _) = run_map_task(&job, &split, legacy).unwrap();
+
+        let mut streamed = cfg(512);
+        streamed.task_id = 11;
+        streamed.streaming = crate::io::StreamingConfig::streamed();
+        let (out_s, prof_s) = run_map_task(&job, &split, streamed).unwrap();
+
+        let mut mat = cfg(512);
+        mat.task_id = 12;
+        mat.streaming = crate::io::StreamingConfig::materialized();
+        let (out_m, prof_m) = run_map_task(&job, &split, mat).unwrap();
+
+        // Same logical output as the legacy path.
+        assert_eq!(
+            framed_output_counts(&out_s, 2),
+            output_counts(&out_legacy, 2)
+        );
+        // Byte-identical partitions and timing-free signatures across
+        // residency modes.
+        for p in 0..2 {
+            assert_eq!(
+                out_s.file.read_partition(p).unwrap(),
+                out_m.file.read_partition(p).unwrap(),
+                "partition {p} bytes differ streamed vs materialized"
+            );
+        }
+        assert_eq!(prof_s.signature(), prof_m.signature());
+        assert!(prof_s.spills.len() > 3, "want multi-spill coverage");
     }
 
     #[test]

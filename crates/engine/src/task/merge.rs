@@ -162,6 +162,206 @@ pub fn reduce_to_fan_in(
     })
 }
 
+/// A sorted run readable one record at a time — the out-of-core
+/// counterpart of the in-memory byte-buffer runs above. Implementations
+/// may hold only a bounded window of the run (e.g. one decoded frame);
+/// `advance` may therefore invalidate the slices `peek` returned.
+pub trait RunCursor {
+    /// The current record, or `None` when the run is exhausted.
+    fn peek(&self) -> Option<(&[u8], &[u8])>;
+    /// Step to the next record (may read and decompress the next window).
+    fn advance(&mut self) -> std::io::Result<()>;
+}
+
+impl RunCursor for crate::io::frame::FrameRunCursor {
+    fn peek(&self) -> Option<(&[u8], &[u8])> {
+        crate::io::frame::FrameRunCursor::peek(self)
+    }
+    fn advance(&mut self) -> std::io::Result<()> {
+        crate::io::frame::FrameRunCursor::advance(self)
+    }
+}
+
+/// [`merge_grouped`] over windowed [`RunCursor`]s: identical group order
+/// and value order (linear-scan minimum, strict-`Less` wins, so ties
+/// break to the earliest run; values gathered run by run), but each run
+/// holds only its current window in memory. Keys and values are copied
+/// into a scratch arena before cursors advance, so the slices handed to
+/// `on_group` are valid only for the duration of the call — the same
+/// contract `merge_grouped` callers already honor.
+pub fn merge_grouped_cursors<C, F>(
+    cursors: &mut [C],
+    cmp: &dyn Fn(&[u8], &[u8]) -> Ordering,
+    mut on_group: F,
+) -> std::io::Result<()>
+where
+    C: RunCursor,
+    F: FnMut(&[u8], &[&[u8]]),
+{
+    let mut key_buf: Vec<u8> = Vec::new();
+    let mut arena: Vec<u8> = Vec::new();
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
+    loop {
+        // Linear scan for the minimum head key, as in `merge_grouped`.
+        let mut min: Option<usize> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            let Some((k, _)) = c.peek() else { continue };
+            min = Some(match min {
+                None => i,
+                Some(m) => {
+                    let (mk, _) = cursors[m].peek().expect("min cursor has a head");
+                    if cmp(k, mk) == Ordering::Less {
+                        i
+                    } else {
+                        m
+                    }
+                }
+            });
+        }
+        let Some(m) = min else { return Ok(()) };
+        key_buf.clear();
+        key_buf.extend_from_slice(cursors[m].peek().expect("min cursor has a head").0);
+        arena.clear();
+        bounds.clear();
+        for c in cursors.iter_mut() {
+            while let Some((k, v)) = c.peek() {
+                if cmp(k, &key_buf) != Ordering::Equal {
+                    break;
+                }
+                let start = arena.len();
+                arena.extend_from_slice(v);
+                bounds.push((start, arena.len()));
+                c.advance()?;
+            }
+        }
+        let values: Vec<&[u8]> = bounds.iter().map(|&(s, e)| &arena[s..e]).collect();
+        on_group(&key_buf, &values);
+    }
+}
+
+/// A framed run that can be opened as a
+/// [`FrameRunCursor`](crate::io::frame::FrameRunCursor) *on demand*.
+///
+/// Multi-pass merging over cursors must not open every run up front: a
+/// cursor holds one decoded frame window from construction, so opening N
+/// runs at once costs N windows of residency. Sources defer that until
+/// the run's batch is actually merged, keeping at most
+/// `fan_in + 1` windows live at any moment.
+pub enum CursorSource<'a> {
+    /// An in-memory framed run (tests, hand-offs).
+    Mem {
+        /// Stored (framed) bytes of the run.
+        stored: Vec<u8>,
+        /// Its frame index.
+        metas: Vec<crate::io::frame::FrameMeta>,
+    },
+    /// A framed partition of an existing spill file.
+    Spill {
+        /// The spill file holding the run.
+        file: &'a crate::io::spill_file::SpillFile,
+        /// Partition index within it.
+        part: usize,
+    },
+    /// A run previously appended to the scratch
+    /// [`RunStore`](crate::io::frame::RunStore).
+    Stored(crate::io::frame::RunHandle),
+}
+
+impl CursorSource<'_> {
+    /// Open the source as a cursor positioned on its first record.
+    pub fn open(
+        self,
+        store: &mut crate::io::frame::RunStore,
+    ) -> std::io::Result<crate::io::frame::FrameRunCursor> {
+        match self {
+            CursorSource::Mem { stored, metas } => {
+                crate::io::frame::FrameRunCursor::from_mem(stored, metas)
+            }
+            CursorSource::Spill { file, part } => file.framed_cursor(part),
+            CursorSource::Stored(h) => store.cursor(&h),
+        }
+    }
+}
+
+/// Outcome of [`reduce_sources_to_fan_in`].
+#[derive(Debug)]
+pub struct CursorMultiPassOutcome {
+    /// The surviving cursors (≤ fan_in of them), each sorted.
+    pub cursors: Vec<crate::io::frame::FrameRunCursor>,
+    /// Time spent in the user's combiner during intermediate passes (ns).
+    pub combine_ns: u64,
+    /// Time spent encoding/writing intermediate framed runs (ns).
+    pub io_ns: u64,
+    /// Number of intermediate merge passes performed.
+    pub passes: usize,
+}
+
+/// [`reduce_to_fan_in`] over windowed cursors: while more than `fan_in`
+/// runs remain, merge batches of `fan_in` (applying the combiner when
+/// available, as Hadoop does on intermediate passes) into new *framed*
+/// runs appended to `store`, until at most `fan_in` cursors remain for
+/// the caller's final streaming pass. Batch order, combiner application,
+/// and the resulting record stream match the in-memory version exactly;
+/// only the residency differs. Sources open lazily, batch by batch, so
+/// at most `fan_in + 1` frame windows are live at once no matter how
+/// many runs go in.
+pub fn reduce_sources_to_fan_in(
+    sources: Vec<CursorSource<'_>>,
+    job: &dyn crate::job::Job,
+    use_combiner: bool,
+    fan_in: usize,
+    frame_bytes: usize,
+    store: &mut crate::io::frame::RunStore,
+) -> std::io::Result<CursorMultiPassOutcome> {
+    use crate::io::frame::FrameEncoder;
+    use crate::job::combine_values;
+    use crate::metrics::Stopwatch;
+
+    let fan_in = fan_in.max(2);
+    let mut combine_ns = 0u64;
+    let mut io_ns = 0u64;
+    let mut passes = 0usize;
+    let mut sources = sources;
+    while sources.len() > fan_in {
+        passes += 1;
+        let mut batch: Vec<crate::io::frame::FrameRunCursor> = Vec::with_capacity(fan_in);
+        for src in sources.drain(..fan_in) {
+            batch.push(src.open(store)?);
+        }
+        let mut enc = FrameEncoder::new(frame_bytes);
+        merge_grouped_cursors(&mut batch, &|a, b| job.compare_keys(a, b), |key, values| {
+            if use_combiner && values.len() > 1 {
+                let sw = Stopwatch::start();
+                let combined = combine_values(job, key, values);
+                combine_ns = combine_ns.saturating_add(sw.elapsed_ns());
+                for v in &combined {
+                    enc.push_record(key, v);
+                }
+            } else {
+                for v in values {
+                    enc.push_record(key, v);
+                }
+            }
+        })?;
+        drop(batch);
+        let sw = Stopwatch::start();
+        let (stored, metas, records) = enc.finish();
+        let handle = store.append(&stored, metas, records)?;
+        io_ns = io_ns.saturating_add(sw.elapsed_ns());
+        sources.push(CursorSource::Stored(handle));
+    }
+    let mut cursors = Vec::with_capacity(sources.len());
+    for src in sources {
+        cursors.push(src.open(store)?);
+    }
+    Ok(CursorMultiPassOutcome {
+        cursors,
+        combine_ns,
+        io_ns,
+        passes,
+    })
+}
+
 /// Count records in a framed run (diagnostics/tests).
 pub fn count_records(run: &[u8]) -> usize {
     let mut pos = 0;
@@ -255,12 +455,118 @@ mod tests {
         assert_eq!(count_records(&[]), 0);
     }
 
+    mod cursors {
+        use super::*;
+        use crate::io::frame::{FrameEncoder, FrameRunCursor, RunStore};
+
+        fn framed(run: &[u8]) -> FrameRunCursor {
+            let mut enc = FrameEncoder::new(1 << 10);
+            let mut pos = 0;
+            while let Some((k, v)) = read_record(run, &mut pos) {
+                enc.push_record(k, v);
+            }
+            let (stored, metas, _) = enc.finish();
+            FrameRunCursor::from_mem(stored, metas).unwrap()
+        }
+
+        fn collect_cursors(runs: &[Vec<u8>]) -> Vec<(String, Vec<String>)> {
+            let mut cursors: Vec<_> = runs.iter().map(|r| framed(r)).collect();
+            let mut out = Vec::new();
+            merge_grouped_cursors(&mut cursors, &|a, b| a.cmp(b), |k, vs| {
+                out.push((
+                    String::from_utf8(k.to_vec()).unwrap(),
+                    vs.iter()
+                        .map(|v| String::from_utf8(v.to_vec()).unwrap())
+                        .collect(),
+                ));
+            })
+            .unwrap();
+            out
+        }
+
+        #[test]
+        fn cursor_merge_matches_buffer_merge_including_tie_breaks() {
+            // Duplicate keys across runs and within runs: value order must
+            // be run order then within-run order, exactly like
+            // merge_grouped.
+            let runs = vec![
+                run_of(&[("a", "r0a1"), ("a", "r0a2"), ("c", "r0c")]),
+                run_of(&[("a", "r1a"), ("b", "r1b"), ("c", "r1c")]),
+                Vec::new(),
+                run_of(&[("b", "r3b")]),
+            ];
+            assert_eq!(collect(&runs), collect_cursors(&runs));
+        }
+
+        #[test]
+        fn cursor_fan_in_matches_buffer_fan_in_stream() {
+            let runs: Vec<Vec<u8>> = (0..25)
+                .map(|i| run_of(&[(&format!("k{:02}", i % 7), &format!("v{i}"))]))
+                .collect();
+            let scratch = {
+                let d = std::env::temp_dir().join(format!("textmr-cmp-{}", std::process::id()));
+                std::fs::create_dir_all(&d).unwrap();
+                d
+            };
+            let legacy = reduce_to_fan_in(
+                runs.clone(),
+                &multi_pass::Plain,
+                false,
+                4,
+                &scratch.join("legacy.bin"),
+            )
+            .unwrap();
+            let mut legacy_stream = Vec::new();
+            merge_grouped(&legacy.runs, &|a, b| a.cmp(b), |k, vs| {
+                legacy_stream.push((
+                    k.to_vec(),
+                    vs.iter().map(|v| v.to_vec()).collect::<Vec<_>>(),
+                ));
+            });
+
+            let mut store = RunStore::create(scratch.join("store.bin")).unwrap();
+            let sources = runs
+                .iter()
+                .map(|r| {
+                    let mut enc = FrameEncoder::new(1 << 10);
+                    let mut pos = 0;
+                    while let Some((k, v)) = read_record(r, &mut pos) {
+                        enc.push_record(k, v);
+                    }
+                    let (stored, metas, _) = enc.finish();
+                    CursorSource::Mem { stored, metas }
+                })
+                .collect();
+            let out = reduce_sources_to_fan_in(
+                sources,
+                &multi_pass::Plain,
+                false,
+                4,
+                1 << 10,
+                &mut store,
+            )
+            .unwrap();
+            assert!(out.cursors.len() <= 4);
+            assert!(out.passes >= 1);
+            let mut cursors = out.cursors;
+            let mut stream = Vec::new();
+            merge_grouped_cursors(&mut cursors, &|a, b| a.cmp(b), |k, vs| {
+                stream.push((
+                    k.to_vec(),
+                    vs.iter().map(|v| v.to_vec()).collect::<Vec<_>>(),
+                ));
+            })
+            .unwrap();
+            assert_eq!(stream, legacy_stream);
+        }
+    }
+
     mod multi_pass {
         use super::*;
         use crate::job::{Emit, Job, Record, ValueCursor};
         use std::path::PathBuf;
 
-        struct Plain;
+        pub(super) struct Plain;
         impl Job for Plain {
             fn name(&self) -> &str {
                 "plain"

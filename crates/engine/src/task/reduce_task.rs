@@ -12,12 +12,16 @@
 use crate::fault::FaultPlan;
 // textmr-lint: allow(unordered-iteration, reason = "hash-grouping accumulator; groups are collected and sorted by key bytes before any reduce call")
 use crate::hash::FnvHashMap;
+use crate::io::frame::{decode_run, scan_frames, RunStore};
+use crate::io::StreamingConfig;
 use crate::job::{Emit, Job, SliceValues};
 use crate::metrics::{Op, OpTimes, Stopwatch, TaskProfile, VNanos};
 use crate::net::NetworkConfig;
 use crate::shuffle::{run_shuffle, FlowInput, ShuffleStats};
 use crate::task::map_task::MapOutput;
-use crate::task::merge::merge_grouped;
+use crate::task::merge::{
+    merge_grouped, merge_grouped_cursors, reduce_sources_to_fan_in, CursorSource,
+};
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -128,6 +132,14 @@ pub struct ReduceTaskConfig {
     /// Record a per-thread span timeline (reduce lane + fetcher lanes)
     /// into `TaskProfile::trace`. Off by default.
     pub trace: bool,
+    /// Out-of-core streaming knobs. Relevant only when the map outputs
+    /// are framed: with `materialize_reads` off, fetched runs spool to a
+    /// scratch [`RunStore`] and merge through
+    /// one-frame windows; with it on, every frame is decoded up front.
+    /// Same bytes, same output — different residency. Hash grouping
+    /// always materializes (it needs every record in its accumulator
+    /// anyway).
+    pub streaming: StreamingConfig,
 }
 
 #[inline]
@@ -176,7 +188,9 @@ pub fn run_reduce_task(
     let flow_inputs = fetched.inputs;
     let shuffle = fetched.stats;
 
+    let framed = map_outputs.iter().any(|m| m.framed);
     let sw_all = Stopwatch::start();
+    let peak_buffer_bytes;
     let mut sink = ReduceSink {
         pairs: Vec::new(),
         out_buf: Vec::new(),
@@ -201,8 +215,63 @@ pub fn run_reduce_task(
                 reduce_ns.saturating_add(group_ns.saturating_sub(sink.write_ns - write_before));
         };
     match cfg.grouping {
+        Grouping::Sort if framed && !cfg.streaming.materialize_reads => {
+            // ---- streamed framed merge --------------------------------------
+            // Spool each fetched (stored, compressed) run into a scratch
+            // store and drop the in-memory copies; every later pass reads
+            // one-frame windows, so at most `fan_in + 1` windows are
+            // resident. The record stream — and hence the output — is
+            // identical to the materialized path below.
+            let mut store = RunStore::create(
+                cfg.scratch_dir
+                    .join(format!("r{partition}_mergescratch.frames")),
+            )?;
+            let mut sources: Vec<CursorSource<'_>> = Vec::with_capacity(runs.len());
+            for run in &runs {
+                let metas = scan_frames(run).map_err(io::Error::from)?;
+                sources.push(CursorSource::Stored(store.append(run, metas, 0)?));
+            }
+            drop(runs);
+            let multi = reduce_sources_to_fan_in(
+                sources,
+                job.as_ref(),
+                job.has_combiner(),
+                cfg.merge_fan_in,
+                cfg.streaming.frame_bytes,
+                &mut store,
+            )?;
+            intermediate_combine_ns = multi.combine_ns;
+            let mut cursors = multi.cursors;
+            peak_buffer_bytes = cursors.iter().map(|c| c.window_bytes() as u64).sum();
+            merge_grouped_cursors(
+                &mut cursors,
+                &|a, b| job.compare_keys(a, b),
+                |key, values| {
+                    if aborted.is_some() {
+                        return;
+                    }
+                    input_records += values.len() as u64;
+                    reduce_group(key, values, &mut sink, &mut reduce_ns);
+                    groups_done += 1;
+                    if cfg.fail_after_groups == Some(groups_done) {
+                        aborted = Some(Abort::Injected);
+                    } else if groups_done.is_multiple_of(64) && is_cancelled(&cfg.cancel) {
+                        aborted = Some(Abort::Cancelled);
+                    }
+                },
+            )?;
+        }
         Grouping::Sort => {
             // ---- multi-pass merge down to the fan-in limit ------------------
+            let runs = if framed {
+                // Materialized framed reads: decode every frame up front.
+                runs.iter()
+                    .map(|r| decode_run(r).map_err(io::Error::from))
+                    .collect::<io::Result<Vec<_>>>()?
+            } else {
+                runs
+            };
+            peak_buffer_bytes = runs.iter().map(|r| r.len() as u64).sum();
             let scratch = cfg
                 .scratch_dir
                 .join(format!("r{partition}_mergescratch.bin"));
@@ -233,6 +302,17 @@ pub fn run_reduce_task(
         }
         Grouping::Hash => {
             // ---- hash grouping: no sort, no merge passes ----------------------
+            // Hash grouping always materializes framed runs: its
+            // accumulator holds every record regardless, so windowed
+            // reads would bound nothing.
+            let runs = if framed {
+                runs.iter()
+                    .map(|r| decode_run(r).map_err(io::Error::from))
+                    .collect::<io::Result<Vec<_>>>()?
+            } else {
+                runs
+            };
+            peak_buffer_bytes = runs.iter().map(|r| r.len() as u64).sum();
             // Values per key accumulate as framed bytes in one buffer.
             // textmr-lint: allow(unordered-iteration, reason = "iteration below goes through sorted_groups, sorted by key bytes")
             let mut groups: FnvHashMap<Vec<u8>, Vec<u8>> = FnvHashMap::default();
@@ -313,6 +393,7 @@ pub fn run_reduce_task(
         virtual_duration: shuffle_virtual_ns + total_ns,
         input_records,
         output_bytes,
+        peak_buffer_bytes,
         trace,
         ..Default::default()
     };
@@ -384,6 +465,7 @@ mod tests {
             max_fetch_attempts: 4,
             cancel: None,
             trace: false,
+            streaming: StreamingConfig::default(),
         }
     }
 
@@ -410,6 +492,7 @@ mod tests {
                     fail_spill: None,
                     cancel: None,
                     trace: false,
+                    streaming: StreamingConfig::default(),
                 };
                 run_map_task(&job, &split, cfg)
                     .map_err(|e| format!("{e:?}"))

@@ -122,6 +122,101 @@ pub fn spill_segment(seg: &Segment, job: &dyn Job, path: PathBuf) -> io::Result<
     })
 }
 
+/// [`spill_segment`] writing each partition as a *framed run* (the
+/// out-of-core format): same sort, same combiner application, same record
+/// stream, but records pack into compressed frames with a per-run frame
+/// index so later consumers can read windows. `frame_bytes` is the target
+/// uncompressed frame size.
+pub fn spill_segment_framed(
+    seg: &Segment,
+    job: &dyn Job,
+    path: PathBuf,
+    frame_bytes: usize,
+) -> io::Result<SpillOutcome> {
+    use crate::io::frame::FrameEncoder;
+
+    let sw = Stopwatch::start();
+    let idx = sort_indices(seg, job);
+    let sort_ns = sw.elapsed_ns();
+
+    let sw_write = Stopwatch::start();
+    let mut combine_ns = 0u64;
+    let mut records_out = 0u64;
+    let mut writer = SpillFile::create(path)?;
+    let use_combiner = job.has_combiner();
+
+    let mut i = 0usize;
+    let mut cur_part: Option<usize> = None;
+    let mut enc: Option<FrameEncoder> = None;
+    let mut part_records = 0u64;
+    let mut values: Vec<&[u8]> = Vec::new();
+    let flush = |writer: &mut crate::io::spill_file::SpillFileWriter,
+                 enc: Option<FrameEncoder>,
+                 part: Option<usize>,
+                 part_records: u64|
+     -> io::Result<()> {
+        if let (Some(enc), Some(part)) = (enc, part) {
+            let (stored, metas, _) = enc.finish();
+            writer.write_framed_partition(part, &stored, metas, part_records)?;
+        }
+        Ok(())
+    };
+    while i < idx.len() {
+        let r = idx[i] as usize;
+        let part = seg.part(r);
+        if cur_part != Some(part) {
+            flush(&mut writer, enc.take(), cur_part, part_records)?;
+            enc = Some(FrameEncoder::new(frame_bytes));
+            part_records = 0;
+            cur_part = Some(part);
+        }
+        let key = seg.key(r);
+        values.clear();
+        values.push(seg.value(r));
+        let mut j = i + 1;
+        while j < idx.len() {
+            let r2 = idx[j] as usize;
+            if seg.part(r2) != part
+                || job.compare_keys(seg.key(r2), key) != std::cmp::Ordering::Equal
+            {
+                break;
+            }
+            values.push(seg.value(r2));
+            j += 1;
+        }
+        let e = enc.as_mut().expect("encoder open for current partition");
+        if use_combiner && values.len() > 1 {
+            let sw_c = Stopwatch::start();
+            let combined = combine_values(job, key, &values);
+            combine_ns = combine_ns.saturating_add(sw_c.elapsed_ns());
+            for v in &combined {
+                e.push_record(key, v);
+                records_out += 1;
+                part_records += 1;
+            }
+        } else {
+            for v in &values {
+                e.push_record(key, v);
+                records_out += 1;
+                part_records += 1;
+            }
+        }
+        i = j;
+    }
+    flush(&mut writer, enc.take(), cur_part, part_records)?;
+    let file = writer.finish()?;
+    let write_ns = sw_write.elapsed_ns().saturating_sub(combine_ns);
+
+    Ok(SpillOutcome {
+        file,
+        records_in: seg.len() as u64,
+        records_out,
+        sort_ns,
+        combine_ns,
+        write_ns,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

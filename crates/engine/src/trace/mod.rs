@@ -28,7 +28,9 @@
 //! event format (open in Perfetto / `chrome://tracing`; `pid` = node,
 //! `tid` = slot lane, timestamps in virtual microseconds), and
 //! [`JobTrace::render_text`] draws a compact ASCII timeline for terminals
-//! and tests. [`validate_chrome_trace`] is a minimal dependency-free JSON
+//! and tests. For out-of-core runs whose traces should never be resident
+//! as one big string, [`stream::TraceStreamWriter`] spools the same span
+//! events to disk incrementally and produces a byte-identical file. [`validate_chrome_trace`] is a minimal dependency-free JSON
 //! schema check used by the tests and the `trace` bench bin. The export is
 //! lossless for auditing purposes: [`JobTrace::from_chrome_json`] rebuilds
 //! a `JobTrace` from its own export (cluster layout travels in a `textmr`
@@ -51,6 +53,7 @@
 
 pub mod diff;
 pub mod race;
+pub mod stream;
 
 use crate::metrics::{Op, OpTimes, VNanos};
 use std::collections::BTreeMap;
@@ -801,21 +804,12 @@ pub struct JobTrace {
 }
 
 impl JobTrace {
-    /// Width of one round's tid block: map slots first (two lanes each),
-    /// then reduce slots (1 + `fetchers` lanes each).
-    fn lane_block(&self) -> usize {
-        self.map_slots * 2 + self.reduce_slots * (1 + self.fetchers)
-    }
-
-    /// Stable Chrome-trace thread id for a lane. Round 0 occupies the
-    /// legacy layout; each later round gets its own block of lanes above
-    /// it, so a whole DAG renders as one Perfetto timeline with per-round
-    /// lane groups.
-    fn tid(&self, round: usize, kind: TaskKind, slot: usize, role: LaneRole) -> usize {
-        let base = round * self.lane_block();
-        base + match kind {
-            TaskKind::Map => slot * 2 + role.sub_index(),
-            TaskKind::Reduce => self.map_slots * 2 + slot * (1 + self.fetchers) + role.sub_index(),
+    /// Slot-lane geometry for Chrome-trace thread-id computation.
+    fn layout(&self) -> LaneLayout {
+        LaneLayout {
+            map_slots: self.map_slots,
+            reduce_slots: self.reduce_slots,
+            fetchers: self.fetchers,
         }
     }
 
@@ -905,174 +899,27 @@ impl JobTrace {
     /// timestamps and durations in virtual microseconds.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        // Cluster layout rides along in a `textmr` metadata object so the
-        // trace is self-describing: [`JobTrace::from_chrome_json`] needs it
-        // to invert the tid layout. Perfetto ignores unknown keys. Recorded
-        // happens-before edges travel in the same object as compact arrays
-        // `[kind, srcEntry, srcLane, srcSpan, dstEntry, dstLane, dstSpan]`
-        // (`-1` marks an entry-level endpoint); the key is omitted entirely
-        // for edge-less traces so legacy exports stay byte-identical.
-        let _ = write!(
-            out,
-            "{{\"displayTimeUnit\":\"ms\",\"textmr\":{{\"nodes\":{},\
-             \"mapSlots\":{},\"reduceSlots\":{},\"fetchers\":{},\"wall\":{}",
-            self.nodes, self.map_slots, self.reduce_slots, self.fetchers, self.wall
+        write_trace_header(
+            &mut out,
+            self.nodes,
+            self.map_slots,
+            self.reduce_slots,
+            self.fetchers,
+            self.wall,
+            &self.edges,
         );
-        if !self.edges.is_empty() {
-            out.push_str(",\"edges\":[");
-            for (i, e) in self.edges.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let (sl, ss) = e.src.at.map_or((-1, -1), |(l, s)| (l as i64, s as i64));
-                let (dl, ds) = e.dst.at.map_or((-1, -1), |(l, s)| (l as i64, s as i64));
-                let _ = write!(
-                    out,
-                    "[\"{}\",{},{sl},{ss},{},{dl},{ds}]",
-                    e.kind.name(),
-                    e.src.entry,
-                    e.dst.entry
-                );
-            }
-            out.push(']');
-        }
-        out.push_str("},\"traceEvents\":[");
-        let mut first = true;
-        let mut push = |out: &mut String, event: String| {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&event);
-        };
-        // Process metadata: one "process" per node.
+        let layout = self.layout();
         let mut threads: BTreeMap<(usize, usize), String> = BTreeMap::new();
         for e in &self.entries {
-            let roles: Vec<LaneRole> = match &e.detail {
-                EntryDetail::Lanes(lanes) => lanes.iter().map(|l| l.role).collect(),
-                EntryDetail::Flat(_) => vec![match e.kind {
-                    TaskKind::Map => LaneRole::Map,
-                    TaskKind::Reduce => LaneRole::Reduce,
-                }],
-            };
-            for role in roles {
-                let tid = self.tid(e.round, e.kind, e.slot, role);
-                threads.entry((e.node, tid)).or_insert_with(|| {
-                    format!(
-                        "{}{} slot {} \u{00b7} {}",
-                        if e.round > 0 {
-                            format!("r{} ", e.round)
-                        } else {
-                            String::new()
-                        },
-                        e.kind.label(),
-                        e.slot,
-                        role.label()
-                    )
-                });
-            }
+            note_entry_threads(&layout, e, &mut threads);
         }
-        for node in 0..self.nodes {
-            push(
-                &mut out,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{node},\"name\":\"process_name\",\
-                     \"args\":{{\"name\":\"node {node}\"}}}}"
-                ),
-            );
-            push(
-                &mut out,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{node},\"name\":\"process_sort_index\",\
-                     \"args\":{{\"sort_index\":{node}}}}}"
-                ),
-            );
-        }
-        for ((node, tid), label) in &threads {
-            push(
-                &mut out,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\"name\":\"thread_name\",\
-                     \"args\":{{\"name\":\"{}\"}}}}",
-                    json_escape(label)
-                ),
-            );
-            push(
-                &mut out,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\
-                     \"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}"
-                ),
-            );
-        }
+        let mut first = true;
+        write_meta_events(&mut out, self.nodes, &threads, &mut first);
         // Span events. The `round` and `job` args are emitted only when
         // non-zero, so single-round single-job exports stay byte-identical
         // to the legacy format.
         for e in &self.entries {
-            let task = format!("{} {}", e.kind.label(), e.task);
-            let mut tags = String::new();
-            if e.job > 0 {
-                let _ = write!(tags, ",\"job\":{}", e.job);
-            }
-            if e.round > 0 {
-                let _ = write!(tags, ",\"round\":{}", e.round);
-            }
-            match &e.detail {
-                EntryDetail::Lanes(lanes) => {
-                    for lane in lanes {
-                        let tid = self.tid(e.round, e.kind, e.slot, lane.role);
-                        for s in &lane.spans {
-                            let cat = match s.kind {
-                                SpanKind::Op(op) if !op.is_idle() => match op.phase() {
-                                    crate::metrics::Phase::Map => "map",
-                                    crate::metrics::Phase::Shuffle => "shuffle",
-                                    crate::metrics::Phase::Reduce => "reduce",
-                                },
-                                _ => "idle",
-                            };
-                            let src = s.flow.map(|f| format!(",\"src\":{f}")).unwrap_or_default();
-                            push(
-                                &mut out,
-                                format!(
-                                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
-                                     \"dur\":{},\"name\":\"{}\",\"cat\":\"{cat}\",\
-                                     \"args\":{{\"task\":\"{}\",\"attempt\":{},\
-                                     \"backup\":{}{tags}{src}}}}}",
-                                    e.node,
-                                    fmt_us(s.start),
-                                    fmt_us(s.end - s.start),
-                                    json_escape(s.kind.name()),
-                                    json_escape(&task),
-                                    e.attempt,
-                                    e.backup
-                                ),
-                            );
-                        }
-                    }
-                }
-                EntryDetail::Flat(kind) => {
-                    let role = match e.kind {
-                        TaskKind::Map => LaneRole::Map,
-                        TaskKind::Reduce => LaneRole::Reduce,
-                    };
-                    let tid = self.tid(e.round, e.kind, e.slot, role);
-                    push(
-                        &mut out,
-                        format!(
-                            "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
-                             \"dur\":{},\"name\":\"{}\",\"cat\":\"attempt\",\
-                             \"args\":{{\"task\":\"{}\",\"attempt\":{},\"backup\":{}{tags}}}}}",
-                            e.node,
-                            fmt_us(e.start),
-                            fmt_us(e.end - e.start),
-                            kind.name(),
-                            json_escape(&task),
-                            e.attempt,
-                            e.backup
-                        ),
-                    );
-                }
-            }
+            write_entry_events(&mut out, &layout, e, &mut first);
         }
         out.push_str("]}");
         out
@@ -1157,6 +1004,258 @@ impl JobTrace {
              x failed  - lost  X dead-backup\n",
         );
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace emission internals
+// ---------------------------------------------------------------------------
+//
+// Shared by [`JobTrace::to_chrome_json`] (batch) and
+// [`stream::TraceStreamWriter`] (incremental): both paths route every byte
+// through the same four helpers, so the streamed file is byte-identical to
+// the batch export by construction, not by parallel maintenance.
+
+/// Slot-lane geometry needed to compute Chrome-trace thread ids without a
+/// full [`JobTrace`] in hand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneLayout {
+    /// Map slots per node.
+    pub map_slots: usize,
+    /// Reduce slots per node.
+    pub reduce_slots: usize,
+    /// Shuffle fetchers per reduce task (tid-layout width).
+    pub fetchers: usize,
+}
+
+impl LaneLayout {
+    /// Width of one round's tid block: map slots first (two lanes each),
+    /// then reduce slots (1 + `fetchers` lanes each).
+    fn lane_block(&self) -> usize {
+        self.map_slots * 2 + self.reduce_slots * (1 + self.fetchers)
+    }
+
+    /// Stable Chrome-trace thread id for a lane. Round 0 occupies the
+    /// legacy layout; each later round gets its own block of lanes above
+    /// it, so a whole DAG renders as one Perfetto timeline with per-round
+    /// lane groups.
+    fn tid(&self, round: usize, kind: TaskKind, slot: usize, role: LaneRole) -> usize {
+        let base = round * self.lane_block();
+        base + match kind {
+            TaskKind::Map => slot * 2 + role.sub_index(),
+            TaskKind::Reduce => self.map_slots * 2 + slot * (1 + self.fetchers) + role.sub_index(),
+        }
+    }
+}
+
+/// Write everything up to and including the opening `"traceEvents":[`.
+///
+/// Cluster layout rides along in a `textmr` metadata object so the trace
+/// is self-describing: [`JobTrace::from_chrome_json`] needs it to invert
+/// the tid layout. Perfetto ignores unknown keys. Recorded happens-before
+/// edges travel in the same object as compact arrays `[kind, srcEntry,
+/// srcLane, srcSpan, dstEntry, dstLane, dstSpan]` (`-1` marks an
+/// entry-level endpoint); the key is omitted entirely for edge-less traces
+/// so legacy exports stay byte-identical.
+pub(crate) fn write_trace_header(
+    out: &mut String,
+    nodes: usize,
+    map_slots: usize,
+    reduce_slots: usize,
+    fetchers: usize,
+    wall: VNanos,
+    edges: &[TraceEdge],
+) {
+    let _ = write!(
+        out,
+        "{{\"displayTimeUnit\":\"ms\",\"textmr\":{{\"nodes\":{nodes},\
+         \"mapSlots\":{map_slots},\"reduceSlots\":{reduce_slots},\
+         \"fetchers\":{fetchers},\"wall\":{wall}"
+    );
+    if !edges.is_empty() {
+        out.push_str(",\"edges\":[");
+        for (i, e) in edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (sl, ss) = e.src.at.map_or((-1, -1), |(l, s)| (l as i64, s as i64));
+            let (dl, ds) = e.dst.at.map_or((-1, -1), |(l, s)| (l as i64, s as i64));
+            let _ = write!(
+                out,
+                "[\"{}\",{},{sl},{ss},{},{dl},{ds}]",
+                e.kind.name(),
+                e.src.entry,
+                e.dst.entry
+            );
+        }
+        out.push(']');
+    }
+    out.push_str("},\"traceEvents\":[");
+}
+
+/// Record the thread-name labels one entry's lanes will render under.
+/// Labels are keyed `(node, tid)`; first writer wins, so insertion order
+/// (entry order) never changes an existing label.
+pub(crate) fn note_entry_threads(
+    layout: &LaneLayout,
+    e: &TraceEntry,
+    threads: &mut BTreeMap<(usize, usize), String>,
+) {
+    let roles: Vec<LaneRole> = match &e.detail {
+        EntryDetail::Lanes(lanes) => lanes.iter().map(|l| l.role).collect(),
+        EntryDetail::Flat(_) => vec![match e.kind {
+            TaskKind::Map => LaneRole::Map,
+            TaskKind::Reduce => LaneRole::Reduce,
+        }],
+    };
+    for role in roles {
+        let tid = layout.tid(e.round, e.kind, e.slot, role);
+        threads.entry((e.node, tid)).or_insert_with(|| {
+            format!(
+                "{}{} slot {} \u{00b7} {}",
+                if e.round > 0 {
+                    format!("r{} ", e.round)
+                } else {
+                    String::new()
+                },
+                e.kind.label(),
+                e.slot,
+                role.label()
+            )
+        });
+    }
+}
+
+/// Comma-separate `event` into `out`, tracking whether any event has been
+/// written yet via `first`.
+fn push_event(out: &mut String, first: &mut bool, event: String) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(&event);
+}
+
+/// Write the process and thread metadata events: one "process" per node,
+/// then a name and sort index for every `(node, tid)` lane in `threads`.
+pub(crate) fn write_meta_events(
+    out: &mut String,
+    nodes: usize,
+    threads: &BTreeMap<(usize, usize), String>,
+    first: &mut bool,
+) {
+    for node in 0..nodes {
+        push_event(
+            out,
+            first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            ),
+        );
+        push_event(
+            out,
+            first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"name\":\"process_sort_index\",\
+                 \"args\":{{\"sort_index\":{node}}}}}"
+            ),
+        );
+    }
+    for ((node, tid), label) in threads {
+        push_event(
+            out,
+            first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(label)
+            ),
+        );
+        push_event(
+            out,
+            first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\
+                 \"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}"
+            ),
+        );
+    }
+}
+
+/// Write one entry's span events: every lane span for a detailed entry, or
+/// the single flat attempt span for a lanes-less one.
+pub(crate) fn write_entry_events(
+    out: &mut String,
+    layout: &LaneLayout,
+    e: &TraceEntry,
+    first: &mut bool,
+) {
+    let task = format!("{} {}", e.kind.label(), e.task);
+    let mut tags = String::new();
+    if e.job > 0 {
+        let _ = write!(tags, ",\"job\":{}", e.job);
+    }
+    if e.round > 0 {
+        let _ = write!(tags, ",\"round\":{}", e.round);
+    }
+    match &e.detail {
+        EntryDetail::Lanes(lanes) => {
+            for lane in lanes {
+                let tid = layout.tid(e.round, e.kind, e.slot, lane.role);
+                for s in &lane.spans {
+                    let cat = match s.kind {
+                        SpanKind::Op(op) if !op.is_idle() => match op.phase() {
+                            crate::metrics::Phase::Map => "map",
+                            crate::metrics::Phase::Shuffle => "shuffle",
+                            crate::metrics::Phase::Reduce => "reduce",
+                        },
+                        _ => "idle",
+                    };
+                    let src = s.flow.map(|f| format!(",\"src\":{f}")).unwrap_or_default();
+                    push_event(
+                        out,
+                        first,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
+                             \"dur\":{},\"name\":\"{}\",\"cat\":\"{cat}\",\
+                             \"args\":{{\"task\":\"{}\",\"attempt\":{},\
+                             \"backup\":{}{tags}{src}}}}}",
+                            e.node,
+                            fmt_us(s.start),
+                            fmt_us(s.end - s.start),
+                            json_escape(s.kind.name()),
+                            json_escape(&task),
+                            e.attempt,
+                            e.backup
+                        ),
+                    );
+                }
+            }
+        }
+        EntryDetail::Flat(kind) => {
+            let role = match e.kind {
+                TaskKind::Map => LaneRole::Map,
+                TaskKind::Reduce => LaneRole::Reduce,
+            };
+            let tid = layout.tid(e.round, e.kind, e.slot, role);
+            push_event(
+                out,
+                first,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\
+                     \"dur\":{},\"name\":\"{}\",\"cat\":\"attempt\",\
+                     \"args\":{{\"task\":\"{}\",\"attempt\":{},\"backup\":{}{tags}}}}}",
+                    e.node,
+                    fmt_us(e.start),
+                    fmt_us(e.end - e.start),
+                    kind.name(),
+                    json_escape(&task),
+                    e.attempt,
+                    e.backup
+                ),
+            );
+        }
     }
 }
 

@@ -313,6 +313,7 @@ mod tests {
                 records: 1,
             }],
             compressed: false,
+            framed: false,
             input_records: 1,
             emitted_records: 1,
             freq_absorbed_records: 0,

@@ -28,7 +28,7 @@
 //! ## Fairness and determinism
 //!
 //! Tasks become dispatchable in batches driven by a
-//! [`JobEventQueue`](textmr_engine::event::JobEventQueue), whose
+//! [`JobEventQueue`], whose
 //! `(virtual_ns, job, seq)` ordering makes the pop sequence a pure
 //! function of the admitted job set. Within a batch, whole task chains
 //! (an attempt ladder) are placed one at a time; each pick goes to the

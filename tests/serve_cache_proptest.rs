@@ -20,6 +20,7 @@ fn payload(n: usize) -> Arc<CachedMapOutput> {
             records: 1,
         }],
         compressed: false,
+        framed: false,
         input_records: 1,
         emitted_records: 1,
         freq_absorbed_records: 0,
