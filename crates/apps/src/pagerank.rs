@@ -287,7 +287,7 @@ pub fn pagerank_to_convergence(
         }
     }
     Ok(PageRankRun {
-        run: ex.finish(),
+        run: ex.finish()?,
         rounds,
         residual_atto,
     })

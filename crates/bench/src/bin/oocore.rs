@@ -48,6 +48,7 @@ use textmr_engine::prelude::{adaptive_budget_factory, run_job, validate_chrome_t
 
 /// Size knob from the environment, with a default.
 fn env_usize(name: &str, default: usize) -> usize {
+    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "size knobs pick the workload scale under test; each scale's results are deterministic")
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())

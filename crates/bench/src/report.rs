@@ -76,6 +76,7 @@ impl Table {
 pub fn results_dir() -> PathBuf {
     // The harness binaries are normally run via `cargo run` from the
     // workspace root; CARGO_MANIFEST_DIR points at crates/bench.
+    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "the env read only picks where report files land, never what goes in them")
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
         let root = PathBuf::from(manifest).join("../..");
         if root.join("Cargo.toml").exists() {

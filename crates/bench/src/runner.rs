@@ -60,6 +60,7 @@ impl Config {
 /// knob only changes real wall-clock time; every virtual-time result
 /// (makespans, profiles, all paper figures) is identical at any setting.
 pub fn worker_threads() -> usize {
+    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "worker count only changes real wall time; virtual results are asserted identical at any setting")
     let mut n: Option<usize> = None;
     for arg in std::env::args() {
         if arg == "--parallel" {
@@ -83,6 +84,7 @@ pub fn worker_threads() -> usize {
 /// comes from the contention-aware NIC model; outputs and signatures are
 /// identical at any setting (see `textmr_engine::shuffle`).
 pub fn shuffle_fetchers() -> usize {
+    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "fetcher count only changes real wall time; outputs and signatures are asserted identical at any setting")
     let mut n: Option<usize> = None;
     for arg in std::env::args() {
         if let Some(v) = arg.strip_prefix("--fetchers=") {
@@ -127,6 +129,7 @@ pub fn ec2_cluster(scale: Scale) -> ClusterConfig {
 /// Repetitions per (workload, config) measurement; the median-wall run is
 /// reported. Override with `TEXTMR_REPS`.
 pub fn reps() -> usize {
+    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "rep count only picks how many identical runs to take the median of; results are bit-identical across reps")
     std::env::var("TEXTMR_REPS")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -244,6 +244,7 @@ impl ClusterConfig {
     /// *relative* effects survive, absolute I/O costs are testbed-specific
     /// either way).
     fn default_temp_root() -> PathBuf {
+        // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "the env read only picks the spill directory; no path byte reaches a schedule, signature, or output")
         if let Ok(d) = std::env::var("TEXTMR_TMP") {
             return PathBuf::from(d);
         }
@@ -446,6 +447,46 @@ fn median(mut v: Vec<VNanos>) -> VNanos {
     v[v.len() / 2]
 }
 
+/// The slice of a [`TraceEntry`] that cross-entry edge assembly needs.
+///
+/// A streamed DAG export spools each entry's span events to disk as its
+/// round retires and keeps only this metadata resident, so whole-DAG
+/// lane vectors never accumulate in memory. Batch exports derive the same
+/// metas on the fly; both routes feed [`assemble_trace_edges`], which is
+/// what guarantees the two exports emit identical edge lists.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EntryMeta {
+    kind: TaskKind,
+    round: usize,
+    task: usize,
+    attempt: usize,
+    backup: bool,
+    /// Entry end time (feeds the whole-trace wall clock).
+    pub(crate) end: VNanos,
+    /// True when the entry carries detailed lanes (the attempt of record).
+    pub(crate) is_record: bool,
+}
+
+impl EntryMeta {
+    /// Capture the edge-relevant metadata of one entry.
+    pub(crate) fn of(e: &TraceEntry) -> EntryMeta {
+        EntryMeta {
+            kind: e.kind,
+            round: e.round,
+            task: e.task,
+            attempt: e.attempt,
+            backup: e.backup,
+            end: e.end,
+            is_record: matches!(e.detail, EntryDetail::Lanes(_)),
+        }
+    }
+
+    /// Entry fields used by the DAG hand-off edge builder.
+    pub(crate) fn handoff_key(&self) -> (TaskKind, usize, usize, usize, bool) {
+        (self.kind, self.round, self.task, self.attempt, self.backup)
+    }
+}
+
 /// Ground-truth happens-before edges for a job trace.
 ///
 /// Scheduling-level edges come off the unified event loop's attempt log
@@ -468,7 +509,40 @@ pub(crate) fn build_trace_edges(
     map_base: &[usize],
     reduce_base: &[usize],
 ) -> Vec<TraceEdge> {
-    let global_key = |e: &TraceEntry| {
+    let metas: Vec<EntryMeta> = entries.iter().map(EntryMeta::of).collect();
+    let mut spill = Vec::new();
+    let mut barrier = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let (s, b) = intra_entry_edges(i, e);
+        spill.extend(s);
+        barrier.extend(b);
+    }
+    assemble_trace_edges(
+        &metas,
+        sched,
+        registries,
+        map_base,
+        reduce_base,
+        spill,
+        barrier,
+    )
+}
+
+/// Assemble the full edge list from per-entry metadata plus the intra-entry
+/// edges already extracted by [`intra_entry_edges`]. Edge order matches the
+/// historical `build_trace_edges` exactly (slot chains, scheduler edges,
+/// map-output barriers, spill hand-ins, shuffle barriers, registry), so
+/// batch and streamed exports stay byte-identical.
+pub(crate) fn assemble_trace_edges(
+    metas: &[EntryMeta],
+    sched: &Scheduler,
+    registries: &[Option<RegistryAssignment>],
+    map_base: &[usize],
+    reduce_base: &[usize],
+    spill: Vec<TraceEdge>,
+    barrier: Vec<TraceEdge>,
+) -> Vec<TraceEdge> {
+    let global_key = |e: &EntryMeta| {
         let base = match e.kind {
             TaskKind::Map => map_base.get(e.round).copied().unwrap_or(0),
             TaskKind::Reduce => reduce_base.get(e.round).copied().unwrap_or(0),
@@ -481,7 +555,7 @@ pub(crate) fn build_trace_edges(
         }
     };
     let mut index: BTreeMap<AttemptKey, usize> = BTreeMap::new();
-    for (i, e) in entries.iter().enumerate() {
+    for (i, e) in metas.iter().enumerate() {
         index.insert(global_key(e), i);
     }
     let mut edges = Vec::new();
@@ -521,8 +595,8 @@ pub(crate) fn build_trace_edges(
     // Attempts of record: the entries carrying detailed lanes.
     let mut map_records: Vec<(usize, usize, usize)> = Vec::new(); // (round, task, entry)
     let mut reduce_records: Vec<(usize, usize)> = Vec::new(); // (round, entry)
-    for (i, e) in entries.iter().enumerate() {
-        if !matches!(e.detail, EntryDetail::Lanes(_)) {
+    for (i, e) in metas.iter().enumerate() {
+        if !e.is_record {
             continue;
         }
         match e.kind {
@@ -545,73 +619,12 @@ pub(crate) fn build_trace_edges(
             });
         }
     }
-    // Spill hand-ins: each support-lane spill segment is written before
-    // the map lane's end-of-task merge reads it.
-    for &(_, _, mi) in &map_records {
-        let EntryDetail::Lanes(lanes) = &entries[mi].detail else {
-            continue;
-        };
-        let map_li = lanes.iter().position(|l| l.role == LaneRole::Map);
-        let support_li = lanes.iter().position(|l| l.role == LaneRole::Support);
-        let (Some(mli), Some(sli)) = (map_li, support_li) else {
-            continue;
-        };
-        let Some(merge_si) = lanes[mli]
-            .spans
-            .iter()
-            .position(|s| s.kind == SpanKind::Op(Op::Merge))
-        else {
-            continue;
-        };
-        for (si, s) in lanes[sli].spans.iter().enumerate() {
-            if s.kind == SpanKind::Op(Op::SpillWrite) {
-                edges.push(TraceEdge {
-                    kind: EdgeKind::Spill,
-                    src: EdgeEnd::span(mi, sli, si),
-                    dst: EdgeEnd::span(mi, mli, merge_si),
-                });
-            }
-        }
-    }
-    // Shuffle barriers: a flow group's last span (the run fully arrived)
-    // precedes the reduce lane's first post-shuffle op (the merge that
-    // consumes it).
-    for &(_, ri) in &reduce_records {
-        let EntryDetail::Lanes(lanes) = &entries[ri].detail else {
-            continue;
-        };
-        let first_op = lanes
-            .iter()
-            .position(|l| l.role == LaneRole::Reduce)
-            .and_then(|li| {
-                lanes[li]
-                    .spans
-                    .iter()
-                    .position(|s| matches!(s.kind, SpanKind::Op(_)))
-                    .map(|si| (li, si))
-            });
-        let Some((rli, rsi)) = first_op else {
-            continue;
-        };
-        for (li, lane) in lanes.iter().enumerate() {
-            if !matches!(lane.role, LaneRole::Fetcher(_)) {
-                continue;
-            }
-            let mut groups: BTreeMap<u32, usize> = BTreeMap::new();
-            for (si, s) in lane.spans.iter().enumerate() {
-                if let Some(src) = s.flow {
-                    groups.insert(src, si); // ascending → keeps the last
-                }
-            }
-            for (_, last_si) in groups {
-                edges.push(TraceEdge {
-                    kind: EdgeKind::Barrier,
-                    src: EdgeEnd::span(ri, li, last_si),
-                    dst: EdgeEnd::span(ri, rli, rsi),
-                });
-            }
-        }
-    }
+    // Spill hand-ins (per map record, entry order), then shuffle barriers
+    // (per reduce record, entry order) — extracted per entry by
+    // `intra_entry_edges` at assembly time (batch) or entry-retirement
+    // time (streamed); concatenation order matches the historical loops.
+    edges.extend(spill);
+    edges.extend(barrier);
     // Frequent-key registry hand-offs: the node's designated publisher
     // (its lowest map task id) froze the shared key set; every same-node
     // map task adopted it. A real-time protocol — the checker validates
@@ -644,6 +657,82 @@ pub(crate) fn build_trace_edges(
         }
     }
     edges
+}
+
+/// Intra-task edges derivable from one entry alone: spill hand-ins
+/// (support-lane spill segments feeding the map lane's end-of-task merge)
+/// and shuffle barriers (each flow group's last arrival preceding the
+/// reduce lane's first post-shuffle op). `i` is the entry's index in the
+/// trace, baked into the returned [`EdgeEnd`]s. Non-record entries (flat
+/// detail) yield nothing. Returned as `(spill, barrier)` so the assembler
+/// can keep the two edge families in their historical positions.
+pub(crate) fn intra_entry_edges(i: usize, e: &TraceEntry) -> (Vec<TraceEdge>, Vec<TraceEdge>) {
+    let EntryDetail::Lanes(lanes) = &e.detail else {
+        return (Vec::new(), Vec::new());
+    };
+    let mut spill = Vec::new();
+    let mut barrier = Vec::new();
+    match e.kind {
+        TaskKind::Map => {
+            // Spill hand-ins: each support-lane spill segment is written
+            // before the map lane's end-of-task merge reads it.
+            let map_li = lanes.iter().position(|l| l.role == LaneRole::Map);
+            let support_li = lanes.iter().position(|l| l.role == LaneRole::Support);
+            if let (Some(mli), Some(sli)) = (map_li, support_li) {
+                if let Some(merge_si) = lanes[mli]
+                    .spans
+                    .iter()
+                    .position(|s| s.kind == SpanKind::Op(Op::Merge))
+                {
+                    for (si, s) in lanes[sli].spans.iter().enumerate() {
+                        if s.kind == SpanKind::Op(Op::SpillWrite) {
+                            spill.push(TraceEdge {
+                                kind: EdgeKind::Spill,
+                                src: EdgeEnd::span(i, sli, si),
+                                dst: EdgeEnd::span(i, mli, merge_si),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        TaskKind::Reduce => {
+            // Shuffle barriers: a flow group's last span (the run fully
+            // arrived) precedes the reduce lane's first post-shuffle op
+            // (the merge that consumes it).
+            let first_op = lanes
+                .iter()
+                .position(|l| l.role == LaneRole::Reduce)
+                .and_then(|li| {
+                    lanes[li]
+                        .spans
+                        .iter()
+                        .position(|s| matches!(s.kind, SpanKind::Op(_)))
+                        .map(|si| (li, si))
+                });
+            if let Some((rli, rsi)) = first_op {
+                for (li, lane) in lanes.iter().enumerate() {
+                    if !matches!(lane.role, LaneRole::Fetcher(_)) {
+                        continue;
+                    }
+                    let mut groups: BTreeMap<u32, usize> = BTreeMap::new();
+                    for (si, s) in lane.spans.iter().enumerate() {
+                        if let Some(src) = s.flow {
+                            groups.insert(src, si); // ascending → keeps the last
+                        }
+                    }
+                    for (_, last_si) in groups {
+                        barrier.push(TraceEdge {
+                            kind: EdgeKind::Barrier,
+                            src: EdgeEnd::span(i, li, last_si),
+                            dst: EdgeEnd::span(i, rli, rsi),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (spill, barrier)
 }
 
 /// Fresh unified event loop sized to the cluster, with `cfg`'s straggler

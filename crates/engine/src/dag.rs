@@ -22,15 +22,16 @@
 //! [`run_job`]: crate::cluster::run_job
 
 use crate::cluster::{
-    build_trace_edges, new_scheduler, run_round, ClusterConfig, JobConfig, RegistryAssignment,
-    RoundCtx, RoundRun,
+    assemble_trace_edges, intra_entry_edges, new_scheduler, run_round, ClusterConfig, EntryMeta,
+    JobConfig, RegistryAssignment, RoundCtx, RoundRun,
 };
 use crate::event::Scheduler;
 use crate::io::dfs::SimDfs;
 use crate::io::input::InputSplit;
 use crate::job::{Job, JobDag, StageInput};
 use crate::metrics::{DagProfile, JobProfile};
-use crate::trace::{EdgeEnd, EdgeKind, EntryDetail, JobTrace, TaskKind, TraceEdge, TraceEntry};
+use crate::trace::stream::TraceStreamWriter;
+use crate::trace::{EdgeEnd, EdgeKind, JobTrace, TaskKind, TraceEdge, TraceEntry};
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -81,11 +82,22 @@ pub struct DagExecutor<'c> {
     /// Straggler factors the shared scheduler was built with (stage 0's).
     factors: Vec<u64>,
     trace: bool,
+    /// Streamed-export destination (stage 0's `trace_stream`), if any.
+    trace_stream: Option<PathBuf>,
+    /// Open spool when streaming: entries retire to disk round by round.
+    stream: Option<TraceStreamWriter>,
     map_bases: Vec<usize>,
     reduce_bases: Vec<usize>,
     next_map_base: usize,
     next_reduce_base: usize,
+    /// Full entries (batch export only; empty when streaming).
     entries: Vec<TraceEntry>,
+    /// Edge-relevant metadata of every entry, both export routes.
+    metas: Vec<EntryMeta>,
+    /// Intra-entry edges extracted as each round retires (see
+    /// [`intra_entry_edges`]); they index [`DagExecutor::metas`].
+    spill_edges: Vec<TraceEdge>,
+    barrier_edges: Vec<TraceEdge>,
     registries: Vec<Option<RegistryAssignment>>,
     profiles: Vec<JobProfile>,
     outputs: Vec<StageOutputs>,
@@ -104,11 +116,16 @@ impl<'c> DagExecutor<'c> {
             vsched: None,
             factors: Vec::new(),
             trace: false,
+            trace_stream: None,
+            stream: None,
             map_bases: Vec::new(),
             reduce_bases: Vec::new(),
             next_map_base: 0,
             next_reduce_base: 0,
             entries: Vec::new(),
+            metas: Vec::new(),
+            spill_edges: Vec::new(),
+            barrier_edges: Vec::new(),
             registries: Vec::new(),
             profiles: Vec::new(),
             outputs: Vec::new(),
@@ -188,11 +205,25 @@ impl<'c> DagExecutor<'c> {
             None => {
                 self.factors = factors;
                 self.trace = cfg.trace;
+                self.trace_stream = cfg.trace_stream.clone();
+                if let (true, Some(path)) = (cfg.trace, &self.trace_stream) {
+                    // Streamed export: open the spool up front; each
+                    // round's entries retire to disk and never accumulate.
+                    self.stream = Some(TraceStreamWriter::create(
+                        path.clone(),
+                        self.cluster.nodes,
+                        self.cluster.map_slots_per_node.max(1),
+                        self.cluster.reduce_slots_per_node.max(1),
+                        self.cluster
+                            .shuffle_fetchers
+                            .clamp(1, crate::shuffle::MAX_FETCHERS),
+                    )?);
+                }
                 self.vsched.get_or_insert(new_scheduler(self.cluster, cfg))
             }
             Some(s) => {
-                // One scheduler spans every round: node speeds and the
-                // trace flag cannot change mid-DAG.
+                // One scheduler spans every round: node speeds, the trace
+                // flag, and the stream destination cannot change mid-DAG.
                 assert_eq!(
                     factors, self.factors,
                     "stage {round} changes straggler factors mid-DAG"
@@ -200,6 +231,10 @@ impl<'c> DagExecutor<'c> {
                 assert_eq!(
                     cfg.trace, self.trace,
                     "stage {round} disagrees on tracing mid-DAG"
+                );
+                assert_eq!(
+                    cfg.trace_stream, self.trace_stream,
+                    "stage {round} disagrees on trace streaming mid-DAG"
                 );
                 s
             }
@@ -234,7 +269,20 @@ impl<'c> DagExecutor<'c> {
         self.reduce_bases.push(self.next_reduce_base);
         self.next_map_base += splits.len();
         self.next_reduce_base += cfg.num_reducers;
-        self.entries.extend(entries);
+        // Retire the round's entries: extract the edge-relevant metadata
+        // and intra-entry edges, then either spool the entry to disk
+        // (streaming) or keep it for the batch export.
+        for e in entries {
+            let i = self.metas.len();
+            self.metas.push(EntryMeta::of(&e));
+            let (s, b) = intra_entry_edges(i, &e);
+            self.spill_edges.extend(s);
+            self.barrier_edges.extend(b);
+            match self.stream.as_mut() {
+                Some(w) => w.push_entry(&e)?,
+                None => self.entries.push(e),
+            }
+        }
         self.registries.push(registry);
         self.profiles.push(profile);
         self.outputs.push(outputs);
@@ -244,68 +292,84 @@ impl<'c> DagExecutor<'c> {
 
     /// Assemble the completed DAG: final outputs, per-round profiles, and
     /// (when tracing) one whole-DAG trace whose edges include the
-    /// cross-round hand-offs ([`EdgeKind::Round`]).
-    pub fn finish(self) -> DagRun {
+    /// cross-round hand-offs ([`EdgeKind::Round`]). With
+    /// [`JobConfig::trace_stream`] set, the trace was already spooled to
+    /// disk round by round; this finalises the file (byte-identical to the
+    /// batch export) and [`DagRun::trace`] is `None`.
+    pub fn finish(self) -> io::Result<DagRun> {
         let wall = self.profiles.last().map(|p| p.wall).unwrap_or(0);
         let trace = match (self.trace, self.vsched.as_ref()) {
             (true, Some(vsched)) => {
-                let entries = self.entries;
-                let mut edges = build_trace_edges(
-                    &entries,
+                let mut edges = assemble_trace_edges(
+                    &self.metas,
                     vsched,
                     &self.registries,
                     &self.map_bases,
                     &self.reduce_bases,
+                    self.spill_edges,
+                    self.barrier_edges,
                 );
-                edges.extend(handoff_edges(&entries, &self.handoffs));
-                let twall = entries.iter().map(|e| e.end).max().unwrap_or(0).max(wall);
-                Some(JobTrace {
-                    nodes: self.cluster.nodes,
-                    map_slots: self.cluster.map_slots_per_node.max(1),
-                    reduce_slots: self.cluster.reduce_slots_per_node.max(1),
-                    fetchers: self
-                        .cluster
-                        .shuffle_fetchers
-                        .clamp(1, crate::shuffle::MAX_FETCHERS),
-                    wall: twall,
-                    edges,
-                    entries,
-                })
+                edges.extend(handoff_edges(&self.metas, &self.handoffs));
+                let twall = self
+                    .metas
+                    .iter()
+                    .map(|m| m.end)
+                    .max()
+                    .unwrap_or(0)
+                    .max(wall);
+                match self.stream {
+                    Some(w) => {
+                        w.finish(twall, &edges)?;
+                        None
+                    }
+                    None => Some(JobTrace {
+                        nodes: self.cluster.nodes,
+                        map_slots: self.cluster.map_slots_per_node.max(1),
+                        reduce_slots: self.cluster.reduce_slots_per_node.max(1),
+                        fetchers: self
+                            .cluster
+                            .shuffle_fetchers
+                            .clamp(1, crate::shuffle::MAX_FETCHERS),
+                        wall: twall,
+                        edges,
+                        entries: self.entries,
+                    }),
+                }
             }
             _ => None,
         };
-        DagRun {
+        Ok(DagRun {
             outputs: self.outputs.into_iter().last().unwrap_or_default(),
             profile: DagProfile {
                 rounds: self.profiles,
                 wall,
             },
             trace,
-        }
+        })
     }
 }
 
 /// Cross-round hand-off edges: the producing round's of-record reduce
 /// attempt for partition `p` happens before the consuming round's first
 /// map attempt of task `p` (later attempts are already chained to the
-/// first by retry edges).
-fn handoff_edges(entries: &[TraceEntry], handoffs: &[Option<usize>]) -> Vec<TraceEdge> {
+/// first by retry edges). Works off entry metadata alone, so the streamed
+/// route computes identical edges without the entries resident.
+fn handoff_edges(metas: &[EntryMeta], handoffs: &[Option<usize>]) -> Vec<TraceEdge> {
     let mut edges = Vec::new();
     for (round, parent) in handoffs.iter().enumerate() {
         let Some(parent) = parent else {
             continue;
         };
-        for (i, e) in entries.iter().enumerate() {
-            if e.round != round || e.kind != TaskKind::Map || e.attempt != 0 || e.backup {
+        for (i, m) in metas.iter().enumerate() {
+            let (kind, r, task, attempt, backup) = m.handoff_key();
+            if r != round || kind != TaskKind::Map || attempt != 0 || backup {
                 continue;
             }
             // The of-record producer: the attempt carrying detailed lanes
             // (a winning backup owns them; otherwise the final attempt).
-            let src = entries.iter().position(|s| {
-                s.round == *parent
-                    && s.kind == TaskKind::Reduce
-                    && s.task == e.task
-                    && matches!(s.detail, EntryDetail::Lanes(_))
+            let src = metas.iter().position(|s| {
+                let (sk, sr, st, _, _) = s.handoff_key();
+                sr == *parent && sk == TaskKind::Reduce && st == task && s.is_record
             });
             if let Some(si) = src {
                 edges.push(TraceEdge {
@@ -326,7 +390,7 @@ pub fn run_dag(cluster: &ClusterConfig, dag: &JobDag, dfs: &SimDfs) -> io::Resul
     for stage in &dag.stages {
         ex.run_stage(Arc::clone(&stage.job), &stage.cfg, &stage.input, dfs)?;
     }
-    Ok(ex.finish())
+    ex.finish()
 }
 
 #[cfg(test)]

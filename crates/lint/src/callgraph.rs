@@ -1,0 +1,214 @@
+//! Workspace call graph over the item model.
+//!
+//! Call sites are recovered syntactically from each function's statement
+//! runs: `name(...)`, `path::name(...)`, and method calls `.name(...)`.
+//! Resolution is by *name plus `use`-path*: a call to `name` resolves to
+//! every workspace function with that bare name — deliberately
+//! conservative on trait and `dyn` dispatch (all same-named impls are
+//! assumed reachable) — and a call through a `use ... as alias` rename is
+//! first unaliased via the file's import table so the real definition is
+//! found. Calls to names with no workspace definition (std, vendored
+//! shims) resolve to nothing; the flow pass classifies those sites by
+//! pattern instead.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, FnItem};
+
+/// Index of a function in [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every function in the workspace, in (file, line) order.
+    pub fns: Vec<FnItem>,
+    /// `callees[f]` — functions `f` calls (resolved, deduplicated).
+    pub callees: Vec<Vec<FnId>>,
+    /// `callers[f]` — inverse edges.
+    pub callers: Vec<Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Build the graph from per-file models. Functions keep (file, line)
+    /// order so analysis output is deterministic.
+    pub fn build(models: &[FileModel]) -> CallGraph {
+        let mut fns: Vec<FnItem> = Vec::new();
+        // Which file (index into `models`) each fn came from, so its
+        // import table is at hand during resolution.
+        let mut file_of: Vec<usize> = Vec::new();
+        for (mi, m) in models.iter().enumerate() {
+            for f in &m.fns {
+                fns.push(f.clone());
+                file_of.push(mi);
+            }
+        }
+
+        // Name → every definition with that bare name.
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+
+        let mut callees: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+        for (id, f) in fns.iter().enumerate() {
+            let imports = &models[file_of[id]].imports;
+            let mut targets: BTreeSet<FnId> = BTreeSet::new();
+            for stmt in &f.body {
+                for (i, t) in stmt.toks.iter().enumerate() {
+                    if t.kind != TokKind::Ident {
+                        continue;
+                    }
+                    // A call site: identifier directly followed by `(`.
+                    // (Macro invocations are `name ! (` and excluded —
+                    // their bodies were already lexed into the stream.)
+                    if stmt.toks.get(i + 1).map(|n| n.text.as_str()) != Some("(") {
+                        continue;
+                    }
+                    // Struct init `Name (` cannot occur; tuple-struct
+                    // constructors can, and resolve like calls — fine.
+                    let mut name = t.text.as_str();
+                    // A method call (`recv.name(...)`) can only land on a
+                    // `self`-taking definition; without that restriction
+                    // ubiquitous adapter names (`.map`, `.filter`,
+                    // `.merge`) would connect every iterator chain to
+                    // same-named free functions.
+                    let is_method = i > 0 && stmt.toks[i - 1].text == ".";
+                    // Unalias a bare call through `use x::y as name`.
+                    if let Some(full) = imports.get(name) {
+                        if let Some(last) = full.rsplit("::").next() {
+                            name = last;
+                        }
+                    }
+                    if let Some(defs) = by_name.get(name) {
+                        for &d in defs {
+                            if d != id
+                                && (!is_method
+                                    || fns[d].params.first().map(String::as_str) == Some("self"))
+                            {
+                                targets.insert(d);
+                            }
+                        }
+                    }
+                }
+            }
+            callees[id] = targets.into_iter().collect();
+        }
+
+        let mut callers: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+        for (src, outs) in callees.iter().enumerate() {
+            for &dst in outs {
+                callers[dst].push(src);
+            }
+        }
+        CallGraph {
+            fns,
+            callees,
+            callers,
+        }
+    }
+
+    /// Shortest call chain from `from` to `to` (inclusive), following
+    /// caller→callee edges. `None` when unreachable.
+    pub fn chain(&self, from: FnId, to: FnId) -> Option<Vec<FnId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut seen: BTreeSet<FnId> = BTreeSet::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.callees[cur] {
+                if seen.insert(next) {
+                    prev.insert(next, cur);
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut at = to;
+                        while let Some(&p) = prev.get(&at) {
+                            path.push(p);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::model_file;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(name, src)| model_file(name, src))
+            .collect();
+        CallGraph::build(&models)
+    }
+
+    fn id(g: &CallGraph, name: &str) -> FnId {
+        g.fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn resolves_cross_file_calls_by_name() {
+        let g = graph(&[
+            ("a.rs", "fn top() { mid(1); }\n"),
+            (
+                "b.rs",
+                "fn mid(x: u64) -> u64 { leaf(x) }\nfn leaf(x: u64) -> u64 { x }\n",
+            ),
+        ]);
+        let (top, mid, leaf) = (id(&g, "top"), id(&g, "mid"), id(&g, "leaf"));
+        assert_eq!(g.callees[top], vec![mid]);
+        assert_eq!(g.callees[mid], vec![leaf]);
+        assert_eq!(g.callers[leaf], vec![mid]);
+        assert_eq!(g.chain(top, leaf), Some(vec![top, mid, leaf]));
+    }
+
+    #[test]
+    fn method_calls_resolve_to_all_same_named_impls() {
+        let g = graph(&[(
+            "a.rs",
+            "\
+impl A { fn poll(&self) {} }
+impl B { fn poll(&self) {} }
+fn driver(a: &A) { a.poll(); }
+",
+        )]);
+        let driver = id(&g, "driver");
+        // Conservative: both same-named impls are assumed reachable.
+        assert_eq!(g.callees[driver].len(), 2);
+    }
+
+    #[test]
+    fn aliased_imports_unalias_before_resolution() {
+        let g = graph(&[
+            (
+                "a.rs",
+                "use crate::b::real_name as rn;\nfn caller() { rn(); }\n",
+            ),
+            ("b.rs", "fn real_name() {}\n"),
+        ]);
+        assert_eq!(g.callees[id(&g, "caller")], vec![id(&g, "real_name")]);
+    }
+
+    #[test]
+    fn recursion_and_cycles_are_representable() {
+        let g = graph(&[("a.rs", "fn ping() { pong(); }\nfn pong() { ping(); }\n")]);
+        let (ping, pong) = (id(&g, "ping"), id(&g, "pong"));
+        assert_eq!(g.callees[ping], vec![pong]);
+        assert_eq!(g.callees[pong], vec![ping]);
+        assert_eq!(g.chain(ping, pong), Some(vec![ping, pong]));
+    }
+}

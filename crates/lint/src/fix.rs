@@ -58,12 +58,27 @@ pub fn fix_source_with_reason(
     class: FileClass,
     reason: &str,
 ) -> (String, usize) {
+    fix_source_at(file, src, class, reason, &BTreeSet::new())
+}
+
+/// The worker behind both entry points: stubs every token-rule finding in
+/// `src` plus the `extra` (line, rule) sites — the workspace fixer passes
+/// interprocedural flow sinks through here, since those findings are
+/// computed globally rather than per file.
+fn fix_source_at(
+    file: &str,
+    src: &str,
+    class: FileClass,
+    reason: &str,
+    extra: &BTreeSet<(u32, Rule)>,
+) -> (String, usize) {
     // One stub per (line, rule): the scanner reports at most one finding
     // per rule per line, and a single pragma suppresses all of them.
-    let sites: BTreeSet<(u32, Rule)> = scan_file(file, src, class)
+    let mut sites: BTreeSet<(u32, Rule)> = scan_file(file, src, class)
         .into_iter()
         .filter_map(|d| Some((d.line, Rule::by_name(d.rule)?)))
         .collect();
+    sites.extend(extra.iter().copied());
     if sites.is_empty() {
         return (src.to_string(), 0);
     }
@@ -102,11 +117,27 @@ pub struct FixedFile {
 /// Fix every lintable file in the workspace rooted at `root`, rewriting
 /// files in place with stubs carrying `reason`. Returns the per-file
 /// outcomes for files that changed.
+///
+/// Interprocedural flow findings are stubbed at their *sink* lines: the
+/// inserted pragma lands inside the sink's enclosing function, which the
+/// taint pass treats as a sanitizer for every flow through it.
 pub fn fix_workspace(root: &Path, reason: &str) -> io::Result<Vec<FixedFile>> {
+    // Flow findings come from the whole-workspace pass, so compute them
+    // once on the unmodified tree before any file is rewritten.
+    let flows = crate::workspace::audit_workspace(root)?.flows;
+    let mut flow_sites: std::collections::BTreeMap<String, BTreeSet<(u32, Rule)>> =
+        std::collections::BTreeMap::new();
+    for f in &flows {
+        flow_sites
+            .entry(f.sink.file.clone())
+            .or_default()
+            .insert((f.sink.line, f.rule));
+    }
     let mut out = Vec::new();
     for file in collect(root)? {
         let src = fs::read_to_string(&file.path)?;
-        let (fixed, stubs) = fix_source_with_reason(&file.rel, &src, file.class, reason);
+        let extra = flow_sites.remove(&file.rel).unwrap_or_default();
+        let (fixed, stubs) = fix_source_at(&file.rel, &src, file.class, reason, &extra);
         if stubs > 0 {
             fs::write(&file.path, fixed)?;
             out.push(FixedFile {
@@ -160,6 +191,30 @@ mod tests {
         let (fixed, n) = fix_source("t.rs", src, FileClass::Code);
         assert_eq!(n, 0);
         assert_eq!(fixed, src);
+    }
+
+    #[test]
+    fn flow_sinks_are_stubbed_inside_the_sink_function() {
+        let src = "\
+fn source() -> u64 { 1 }
+fn consume(p: &mut P) {
+    p.total_ns = source();
+}
+";
+        let extra: BTreeSet<(u32, Rule)> = [(3, Rule::WallClockFlow)].into_iter().collect();
+        let (fixed, n) = fix_source_at("t.rs", src, FileClass::Code, "measured op", &extra);
+        assert_eq!(n, 1);
+        assert!(fixed.contains(
+            "    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = \"measured op\")"
+        ));
+        // The stub lands inside `consume`, where the taint pass treats it
+        // as a sanitizer for every flow through that function.
+        let m = crate::model::model_file("t.rs", &fixed);
+        let consume = m.fns.iter().find(|f| f.name == "consume").unwrap();
+        assert!(m
+            .pragmas
+            .iter()
+            .any(|(r, l)| r == "wall-clock-flows-to-schedule" && consume.contains_line(*l)));
     }
 
     #[test]

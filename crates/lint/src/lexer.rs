@@ -68,7 +68,16 @@ fn skip_plain_string(b: &[u8], start: usize, mut line: u32) -> (usize, u32) {
     let mut i = start + 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escape consumes the next byte too — which may be a
+                // newline (string line-continuation `"a\␊   b"`). It must
+                // still count toward the line number or every subsequent
+                // token (and the pragmas anchored to them) drifts.
+                if b.get(i + 1) == Some(&b'\n') {
+                    line += 1;
+                }
+                i += 2;
+            }
             b'"' => return (i + 1, line),
             b'\n' => {
                 line += 1;
@@ -399,5 +408,83 @@ mod tests {
         let toks = lex(src);
         let b_tok = toks.iter().find(|t| t.text == "b").unwrap();
         assert_eq!(b_tok.line, 4);
+    }
+
+    /// Regression: a string line-continuation (`\` at end of line) used to
+    /// skip its newline without counting it, drifting every later token's
+    /// line — and with it the pragma anchoring — by one per continuation.
+    #[test]
+    fn escaped_newlines_in_strings_keep_line_numbers() {
+        let src = "let s = \"one\\\n   two\\\n   three\";\nfn after() {}";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+        // The masking still holds: the literal is one token.
+        assert!(toks.iter().any(|t| t.kind == TokKind::Literal
+            && t.text.starts_with('"')
+            && t.text.ends_with('"')));
+    }
+
+    /// Regression fixtures for raw strings: arbitrary `#` guards, an
+    /// embedded `"#` that must not close a `##`-guarded string, and line
+    /// counting across the literal.
+    #[test]
+    fn raw_strings_with_hash_guards() {
+        // `"#` inside a `##`-guarded raw string does not terminate it.
+        let src = "let s = r##\"contains \"# quote HashMap\"##;\nfn g() {}";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokKind::Ident || !t.text.contains("HashMap")));
+        assert_eq!(toks.iter().find(|t| t.text == "g").unwrap().line, 2);
+        // Multi-line raw string advances the line counter.
+        let src = "let s = r#\"a\nb\nc\"#;\nfn h() {}";
+        let toks = lex(src);
+        assert_eq!(toks.iter().find(|t| t.text == "h").unwrap().line, 4);
+        // A raw identifier is not a raw string.
+        let toks = kinds("let r#match = 1; let raw = 2;");
+        assert!(toks.contains(&(TokKind::Ident, "r#match")));
+        assert!(toks.contains(&(TokKind::Ident, "raw")));
+    }
+
+    /// Regression fixtures for byte strings and byte chars: `b"..."`,
+    /// `br#"..."#`, `b'\''`, and identifiers that merely start with `b`/`br`.
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"Instant"; let c = br#"SystemTime"#; let d = b'\'';"##);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident
+                || (!t.contains("Instant") && !t.contains("SystemTime"))));
+        assert!(toks.contains(&(TokKind::Literal, r"b'\''")));
+        // `broadcast` starts with `br` but is an identifier.
+        let toks = kinds("let broadcast = 1; let brief = b;");
+        assert!(toks.contains(&(TokKind::Ident, "broadcast")));
+        assert!(toks.contains(&(TokKind::Ident, "brief")));
+        // Escaped newline inside a byte string counts lines too.
+        let src = "let s = b\"x\\\ny\";\nfn i() {}";
+        let toks = lex(src);
+        assert_eq!(toks.iter().find(|t| t.text == "i").unwrap().line, 3);
+    }
+
+    /// Regression fixtures for nested block comments: depth tracking,
+    /// masking at every depth, line counting, and unterminated tails.
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b /* HashMap */ c */ d */ fn j() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks.iter().any(|t| t.text == "j"));
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokKind::Ident || !t.text.contains("HashMap")));
+        // Line counting through a nested multi-line comment.
+        let src = "/* one\n/* two\n*/ three\n*/ fn k() {}";
+        let toks = lex(src);
+        assert_eq!(toks.iter().find(|t| t.text == "k").unwrap().line, 4);
+        // Unterminated nesting runs to end of input without panicking.
+        let toks = lex("/* open /* still open\nfn hidden() {}");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Comment);
     }
 }

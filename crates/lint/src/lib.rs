@@ -7,34 +7,46 @@
 //! hygiene* that makes it true in general, plus a dynamic happens-before
 //! check over exported schedules.
 //!
-//! Two halves:
+//! Three layers:
 //!
-//! * **Source lints** ([`scanner`], [`rules`], [`workspace`]) — a hand-rolled
+//! * **Token rules** ([`scanner`], [`rules`], [`workspace`]) — a hand-rolled
 //!   line/token-level Rust scanner (no `syn`/proc-macro dependencies; the
 //!   build is offline) that walks every workspace `.rs` file and enforces
 //!   the project invariants as named diagnostics. Legitimate exceptions are
 //!   annotated in-source with `// textmr-lint: allow(<rule>, reason = "...")`
 //!   pragmas; a pragma that suppresses nothing is itself a diagnostic.
+//! * **Flow rules** ([`model`], [`callgraph`], [`flow`]) — an
+//!   interprocedural taint pass over an item-level syntactic model and a
+//!   name+`use`-path call graph. Nondeterministic sources (host clock,
+//!   env, hash-iteration order, non-seeded RNG) are traced through call
+//!   chains to scheduling and output sinks; findings carry the full
+//!   source→fn→…→sink witness chain.
 //! * **Trace race detector** ([`trace_audit`]) — re-imports an exported
 //!   Chrome-format trace with `JobTrace::from_chrome_json`, re-validates the
 //!   per-lane tiling invariants, and runs the vector-clock happens-before
 //!   checker in `textmr_engine::trace::race` to find cross-lane orderings
 //!   the tiling checks cannot see.
 //!
-//! The `textmr-lint` binary exposes both: `--workspace` scans the source
-//! tree (add `--fix` to insert `reason = "TODO"` pragma stubs at the
-//! finding sites — see [`fix`]), `--trace <json>...` audits exported
-//! traces. Exit status is `0` only when every check is clean, which is
-//! what the CI lint gate keys on.
+//! The `textmr-lint` binary exposes all three: `--workspace` scans the
+//! source tree and runs the flow pass (add `--fix` to insert
+//! `reason = "TODO"` pragma stubs at the finding sites — see [`fix`];
+//! `--sarif <file>` exports SARIF 2.1.0, `--baseline <file>` gates
+//! against a committed findings baseline — see [`sarif`]), and
+//! `--trace <json>...` audits exported traces. Exit status is `0` only
+//! when every check is clean, which is what the CI lint gate keys on.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::fmt;
 
+pub mod callgraph;
 pub mod fix;
+pub mod flow;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 pub mod scanner;
 pub mod trace_audit;
 pub mod workspace;

@@ -11,6 +11,11 @@
 //! * `textmr-lint --trace FILE...` — audit exported Chrome-format traces
 //!   with the tiling checks and the happens-before race detector.
 //! * `textmr-lint --list-rules` — print the rule catalogue.
+//! * `--sarif FILE` — also write the findings as a SARIF 2.1.0 log.
+//! * `--baseline FILE` — gate against a committed findings baseline:
+//!   findings not in the baseline fail; stale baseline entries warn.
+//! * `textmr-lint --validate-sarif FILE...` — structurally validate SARIF
+//!   logs (CI proves the artifact it uploads is well-formed).
 //!
 //! Exit status: `0` all checks clean, `1` diagnostics reported, `2` usage
 //! or I/O error. CI keys on this.
@@ -22,17 +27,21 @@ use std::process::ExitCode;
 
 use textmr_lint::fix::{fix_workspace, DEFAULT_REASON};
 use textmr_lint::rules::Rule;
+use textmr_lint::sarif;
 use textmr_lint::trace_audit::audit_trace_file;
-use textmr_lint::workspace::scan_workspace;
+use textmr_lint::workspace::audit_workspace;
 
 const USAGE: &str = "\
 textmr-lint: determinism audit for the textmr workspace
 
 USAGE:
-    textmr-lint --workspace [--root DIR]   lint workspace sources
+    textmr-lint --workspace [--root DIR]   lint workspace sources (token + flow rules)
+        [--sarif FILE]                     also write a SARIF 2.1.0 log
+        [--baseline FILE]                  gate against a committed findings baseline
     textmr-lint --workspace --fix          insert pragma stubs at finding sites
         [--reason \"<text>\"]                pragma rationale (default: TODO)
     textmr-lint --trace FILE...            happens-before audit of exported traces
+    textmr-lint --validate-sarif FILE...   structurally validate SARIF logs
     textmr-lint --list-rules               print the rule catalogue
 
 Exit status: 0 clean, 1 diagnostics found, 2 usage/I-O error.";
@@ -50,12 +59,40 @@ fn main() -> ExitCode {
     let mut reason: Option<String> = None;
     let mut root = PathBuf::from(".");
     let mut traces: Vec<PathBuf> = Vec::new();
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut validate: Vec<PathBuf> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--fix" => fix = true,
             "--list-rules" => list_rules = true,
+            "--sarif" => match it.next() {
+                Some(f) => sarif_out = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("error: --sarif needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(f) => baseline = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("error: --baseline needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--validate-sarif" => {
+                let mut got = false;
+                for f in it.by_ref() {
+                    validate.push(PathBuf::from(f));
+                    got = true;
+                }
+                if !got {
+                    eprintln!("error: --validate-sarif needs at least one file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
             "--reason" => match it.next() {
                 Some(text) if !text.contains('"') && !text.contains('\n') => {
                     reason = Some(text);
@@ -93,7 +130,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !workspace && !list_rules && traces.is_empty() {
+    if !workspace && !list_rules && traces.is_empty() && validate.is_empty() {
         eprintln!("error: nothing to do\n{USAGE}");
         return ExitCode::from(2);
     }
@@ -105,10 +142,15 @@ fn main() -> ExitCode {
         eprintln!("error: --reason only applies to --fix\n{USAGE}");
         return ExitCode::from(2);
     }
+    if (sarif_out.is_some() || baseline.is_some()) && (!workspace || fix) {
+        eprintln!("error: --sarif/--baseline only apply to a --workspace scan\n{USAGE}");
+        return ExitCode::from(2);
+    }
 
     if list_rules {
         for r in Rule::ALL {
-            println!("{:<32} {}", r.name(), r.summary());
+            let kind = if r.flow_scoped() { "flow" } else { "token" };
+            println!("{:<32} {:<6} {}", r.name(), kind, r.summary());
         }
     }
 
@@ -142,19 +184,96 @@ fn main() -> ExitCode {
             }
         }
     } else if workspace {
-        match scan_workspace(&root) {
-            Ok(diags) => {
-                for d in &diags {
-                    println!("{d}");
+        // textmr-lint: allow(wall-clock-flows-to-schedule, reason = "the lint times itself for the CI wall-time report; nothing here touches a virtual schedule")
+        // textmr-lint: allow(wall-clock-in-virtual-path, reason = "lint wall-time self-report; the lint has no virtual path")
+        let started = std::time::Instant::now();
+        match audit_workspace(&root) {
+            Ok(audit) => {
+                // Wall-time report: the lint must stay cheap enough to run
+                // on every commit; CI records this line.
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let keys = audit.baseline_keys();
+                if let Some(path) = &sarif_out {
+                    let log = sarif::to_sarif(&audit.diagnostics, &audit.flows);
+                    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    if let Err(e) = std::fs::write(path, &log) {
+                        eprintln!("error: cannot write SARIF to {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    eprintln!("textmr-lint: SARIF written to {}", path.display());
                 }
-                findings += diags.len();
-                if diags.is_empty() {
-                    eprintln!("textmr-lint: workspace clean ({})", root.display());
+                let diags = audit.into_diagnostics();
+                match &baseline {
+                    Some(path) => {
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(t) => t,
+                            Err(e) => {
+                                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                                return ExitCode::from(2);
+                            }
+                        };
+                        let diff = sarif::diff_baseline(&keys, &sarif::parse_baseline(&text));
+                        for d in &diags {
+                            let key = sarif::baseline_key(d);
+                            if diff.regressions.contains(&key) {
+                                println!("{d}");
+                            }
+                        }
+                        for stale in &diff.stale {
+                            eprintln!(
+                                "textmr-lint: warning: stale baseline entry {stale} \
+                                 (finding no longer present; shrink the baseline)"
+                            );
+                        }
+                        findings += diff.regressions.len();
+                        if diff.regressions.is_empty() {
+                            eprintln!(
+                                "textmr-lint: workspace clean vs baseline ({}, {} \
+                                 baselined, {:.0} ms)",
+                                root.display(),
+                                keys.len(),
+                                wall_ms
+                            );
+                        }
+                    }
+                    None => {
+                        for d in &diags {
+                            println!("{d}");
+                        }
+                        findings += diags.len();
+                        if diags.is_empty() {
+                            eprintln!(
+                                "textmr-lint: workspace clean ({}, {:.0} ms)",
+                                root.display(),
+                                wall_ms
+                            );
+                        }
+                    }
                 }
             }
             Err(e) => {
                 eprintln!("error: workspace scan failed under {}: {e}", root.display());
                 return ExitCode::from(2);
+            }
+        }
+    }
+
+    for path in &validate {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| sarif::validate_sarif(&t))
+        {
+            Ok(summary) => eprintln!(
+                "textmr-lint: {} is valid SARIF 2.1.0 ({} result(s), {} rule(s))",
+                path.display(),
+                summary.results,
+                summary.rules
+            ),
+            Err(e) => {
+                println!("{}: invalid SARIF: {e}", path.display());
+                findings += 1;
             }
         }
     }

@@ -1,0 +1,584 @@
+//! Item-level syntactic model: the brace-tree pass.
+//!
+//! The flow rules need more structure than lines — they need *functions*:
+//! which `fn` items a file defines, what names they import, which calls
+//! each body makes, and the statement-level token runs inside each body.
+//! This module recovers exactly that from the hand-rolled lexer's token
+//! stream (still no `syn`; the build stays offline) with one linear pass
+//! that tracks brace depth:
+//!
+//! * a `fn` keyword followed by an identifier opens a pending item; its
+//!   body is the token run between the next `{` at the signature's depth
+//!   and the matching `}`;
+//! * items nest (closures, inner `fn`s, `impl`/`mod` blocks) — a stack of
+//!   open items attributes each token to the innermost enclosing `fn`,
+//!   and inner `fn`s become items of their own;
+//! * `use` declarations are folded into a per-file import table mapping
+//!   the bound name to its full path (including `as` renames and nested
+//!   `{...}` groups), which the call graph uses to resolve bare calls;
+//! * statements split on `;` and on block boundaries, keeping the 1-based
+//!   line of each run.
+//!
+//! The pass is total: truncated or perturbed input produces a partial
+//! model, never a panic (a mutation proptest holds it to that), because
+//! the workspace compiles under `cargo check` anyway and malformed input
+//! only occurs in fixtures.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::scanner::test_mask;
+
+/// One token of a statement run, owned (the model outlives the source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MTok {
+    /// Verbatim token text.
+    pub text: String,
+    /// Token class.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One statement-level token run inside a function body.
+#[derive(Debug, Clone, Default)]
+pub struct Stmt {
+    /// 1-based line the statement starts on.
+    pub line: u32,
+    /// The statement's code tokens (comments excluded).
+    pub toks: Vec<MTok>,
+}
+
+/// One recovered `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (`run_round`, not a path).
+    pub name: String,
+    /// Workspace-relative file the item lives in.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body (closing brace), for attributing pragmas.
+    pub end_line: u32,
+    /// Parameter names (pattern identifiers at paren depth 1).
+    pub params: Vec<String>,
+    /// The signature's token run (`fn` through the token before the body
+    /// `{`): generics, parameter types, return type. The flow pass reads
+    /// parameter types from here.
+    pub sig: Stmt,
+    /// Statement-level token runs of the body, in order.
+    pub body: Vec<Stmt>,
+}
+
+impl FnItem {
+    /// True when `line` falls within the item (signature through body).
+    pub fn contains_line(&self, line: u32) -> bool {
+        line >= self.line && line <= self.end_line
+    }
+}
+
+/// The model of one source file: its functions and import table.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Every `fn` item, in source order (test-gated items excluded).
+    pub fns: Vec<FnItem>,
+    /// `use` bindings: bound name → full `::`-joined path.
+    pub imports: BTreeMap<String, String>,
+    /// Suppression pragmas found in the file: `(rule name, line)`. The
+    /// flow pass matches these against item line ranges, so a reasoned
+    /// pragma sanitizes every flow through its enclosing function.
+    pub pragmas: Vec<(String, u32)>,
+}
+
+/// Pending item state while its body is being consumed.
+struct OpenFn {
+    item: FnItem,
+    /// Brace depth at which the body opened; the matching close pops it.
+    open_depth: i32,
+    /// Current statement accumulator.
+    stmt: Stmt,
+}
+
+impl OpenFn {
+    fn flush_stmt(&mut self) {
+        if !self.stmt.toks.is_empty() {
+            self.item.body.push(std::mem::take(&mut self.stmt));
+        }
+        self.stmt = Stmt::default();
+    }
+}
+
+/// Build the item model of one file. `file` is the workspace-relative
+/// label carried onto every item.
+pub fn model_file(file: &str, src: &str) -> FileModel {
+    let toks = lex(src);
+    let mask = test_mask(&toks);
+    let mut model = FileModel {
+        file: file.to_string(),
+        ..FileModel::default()
+    };
+
+    // Pragmas: collected from comments before masking-out, since the flow
+    // pass needs them; test-gated pragmas stay inert (masked).
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment || mask[i] {
+            continue;
+        }
+        let lead = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if let Some(rest) = lead.strip_prefix(crate::scanner::PRAGMA_MARK) {
+            if let Some(body) = rest.trim_start().strip_prefix("allow(") {
+                let name: String = body
+                    .chars()
+                    .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-')
+                    .collect();
+                if !name.is_empty() {
+                    model.pragmas.push((name, t.line));
+                }
+            }
+        }
+    }
+
+    // Code tokens only, in order.
+    let code: Vec<Token<'_>> = toks
+        .iter()
+        .enumerate()
+        .filter(|&(i, t)| t.kind != TokKind::Comment && !mask[i])
+        .map(|(_, t)| *t)
+        .collect();
+
+    let mut depth = 0i32;
+    let mut stack: Vec<OpenFn> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        // `use` declarations at any depth feed the import table.
+        if t.text == "use" && t.kind == TokKind::Ident {
+            i = read_use(&code, i + 1, &mut model.imports);
+            continue;
+        }
+        // A new `fn` item: `fn name` (the `fn` in `fn(&T)` types has no
+        // trailing identifier and is skipped naturally).
+        if t.text == "fn" && t.kind == TokKind::Ident {
+            if let Some(name_tok) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                if let Some(open) = read_fn_signature(&code, i, file, name_tok) {
+                    // Trait-method declarations end in `;` — no body, no
+                    // item. `read_fn_signature` returns the index of the
+                    // body-opening `{` (or None for declarations).
+                    let (sig_end, item) = open;
+                    // Consume tokens up to and including the `{`.
+                    // Attribute the signature tokens to the *enclosing*
+                    // fn (types in signatures are not statements).
+                    i = sig_end + 1;
+                    depth += 1;
+                    stack.push(OpenFn {
+                        item,
+                        open_depth: depth,
+                        stmt: Stmt::default(),
+                    });
+                    continue;
+                }
+            }
+        }
+        match t.text {
+            "{" => {
+                depth += 1;
+                if let Some(f) = stack.last_mut() {
+                    f.flush_stmt();
+                }
+            }
+            "}" => {
+                if let Some(f) = stack.last_mut() {
+                    f.flush_stmt();
+                }
+                if stack.last().map(|f| f.open_depth) == Some(depth) {
+                    let mut done = stack.pop().expect("just checked non-empty");
+                    done.item.end_line = t.line;
+                    model.fns.push(done.item);
+                }
+                depth -= 1;
+            }
+            ";" => {
+                if let Some(f) = stack.last_mut() {
+                    f.flush_stmt();
+                }
+            }
+            _ => {
+                if let Some(f) = stack.last_mut() {
+                    if f.stmt.toks.is_empty() {
+                        f.stmt.line = t.line;
+                    }
+                    f.stmt.toks.push(MTok {
+                        text: t.text.to_string(),
+                        kind: t.kind,
+                        line: t.line,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    // Unterminated bodies (truncated input): close whatever is open.
+    while let Some(mut f) = stack.pop() {
+        f.flush_stmt();
+        f.item.end_line = f
+            .item
+            .body
+            .last()
+            .map(|s| s.line)
+            .unwrap_or(f.item.line)
+            .max(f.item.line);
+        model.fns.push(f.item);
+    }
+    // Source order regardless of nesting-induced pop order.
+    model.fns.sort_by_key(|f| (f.line, f.name.clone()));
+    model
+}
+
+/// Parse a `fn` signature starting at `fn_idx` (pointing at `fn`).
+/// Returns `(index of the body-opening brace, the item)` — or `None` for
+/// bodyless declarations (trait methods, `extern` decls) and for any
+/// truncated signature.
+fn read_fn_signature(
+    code: &[Token<'_>],
+    fn_idx: usize,
+    file: &str,
+    name_tok: &Token<'_>,
+) -> Option<(usize, FnItem)> {
+    let mut j = fn_idx + 2;
+    // Skip generics `<...>` if present. `<` nesting is tracked; `->` et
+    // al. never appear before the parameter list.
+    if code.get(j).map(|t| t.text) == Some("<") {
+        let mut angle = 0i32;
+        while j < code.len() {
+            match code[j].text {
+                "<" => angle += 1,
+                // `>` closes generics unless it is the tail of a `->`
+                // (closure bounds like `F: Fn() -> u8` live in here).
+                ">" if code.get(j.wrapping_sub(1)).map(|p| p.text) != Some("-") => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                // A `(`/`{` before the generics closed means we misread
+                // (e.g. `a < b` in a truncated stream); bail out.
+                "(" | "{" | ";" => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if code.get(j).map(|t| t.text) != Some("(") {
+        return None;
+    }
+    // Parameter list: identifiers at paren depth 1 immediately followed
+    // by `:` are parameter names; `self` counts as a parameter.
+    let mut params = Vec::new();
+    let mut paren = 0i32;
+    while j < code.len() {
+        let t = code[j];
+        match t.text {
+            "(" | "[" => paren += 1,
+            ")" | "]" => {
+                paren -= 1;
+                if paren == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            "self" if paren == 1 => params.push("self".to_string()),
+            _ => {
+                if paren == 1
+                    && t.kind == TokKind::Ident
+                    && code.get(j + 1).map(|n| n.text) == Some(":")
+                    // `path::seg` — a `::` ahead means this is a type path,
+                    // not a binding.
+                    && code.get(j + 2).map(|n| n.text) != Some(":")
+                    && code.get(j.wrapping_sub(1)).map(|p| p.text) != Some(":")
+                {
+                    params.push(t.text.to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    // Return type / where clause: scan to the body `{` or a `;`.
+    let mut angle = 0i32;
+    while j < code.len() {
+        match code[j].text {
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "{" if angle == 0 => {
+                let sig = Stmt {
+                    line: code[fn_idx].line,
+                    toks: code[fn_idx..j]
+                        .iter()
+                        .map(|t| MTok {
+                            text: t.text.to_string(),
+                            kind: t.kind,
+                            line: t.line,
+                        })
+                        .collect(),
+                };
+                return Some((
+                    j,
+                    FnItem {
+                        name: name_tok.text.to_string(),
+                        file: file.to_string(),
+                        line: code[fn_idx].line,
+                        end_line: code[fn_idx].line,
+                        params,
+                        sig,
+                        body: Vec::new(),
+                    },
+                ));
+            }
+            ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse a `use` declaration starting just past the `use` keyword; fold
+/// its bindings into `imports`. Returns the index one past the
+/// terminating `;` (or end of input). Handles `as` renames and nested
+/// `{...}` groups (`use a::{b, c as d, e::f};`).
+fn read_use(code: &[Token<'_>], start: usize, imports: &mut BTreeMap<String, String>) -> usize {
+    // Collect the declaration's tokens up to `;`.
+    let mut j = start;
+    let mut decl: Vec<&Token<'_>> = Vec::new();
+    while j < code.len() && code[j].text != ";" {
+        decl.push(&code[j]);
+        j += 1;
+    }
+    parse_use_tree(&decl, 0, &mut Vec::new(), imports);
+    (j + 1).min(code.len())
+}
+
+/// Recursive descent over a use-tree token slice. `prefix` is the path so
+/// far. Returns the index one past what it consumed.
+fn parse_use_tree(
+    decl: &[&Token<'_>],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    imports: &mut BTreeMap<String, String>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    let mut last: Option<String> = None;
+    while i < decl.len() {
+        let t = decl[i];
+        match t.text {
+            "::" | ":" => {} // path separator (lexer splits `::` into two `:`)
+            "{" => {
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+                // Group: parse comma-separated subtrees until `}`.
+                i += 1;
+                loop {
+                    i = parse_use_tree(decl, i, prefix, imports);
+                    match decl.get(i).map(|t| t.text) {
+                        Some(",") => i += 1,
+                        Some("}") => {
+                            i += 1;
+                            break;
+                        }
+                        _ => break, // truncated
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                last = None;
+            }
+            "}" | "," => break,
+            "as" => {
+                // `path as alias`: bind the alias to the full path.
+                if let (Some(seg), Some(alias)) = (last.take(), decl.get(i + 1)) {
+                    if alias.kind == TokKind::Ident {
+                        let mut full = prefix.clone();
+                        full.push(seg);
+                        imports.insert(alias.text.to_string(), full.join("::"));
+                        i += 1;
+                    }
+                }
+            }
+            "*" => last = None, // glob: no single binding
+            _ if t.kind == TokKind::Ident => {
+                // A new segment; if one was pending and we're at a
+                // separator-less boundary this is still linear — bind on
+                // exit below.
+                if let Some(seg) = last.take() {
+                    prefix.push(seg);
+                }
+                last = Some(t.text.to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(seg) = last {
+        if seg != "self" {
+            let mut full = prefix.clone();
+            full.push(seg.clone());
+            imports.insert(seg, full.join("::"));
+        } else if let Some(tail) = prefix.last().cloned() {
+            // `use a::b::{self, c}`: `self` binds the parent segment.
+            imports.insert(tail, prefix.join("::"));
+        }
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_fns_params_and_statements() {
+        let src = "\
+fn alpha(a: u64, b: &str) -> u64 {
+    let x = a + 1;
+    helper(x);
+    x
+}
+fn helper(v: u64) {}
+";
+        let m = model_file("t.rs", src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert_eq!(m.fns[0].params, ["a", "b"]);
+        assert_eq!(m.fns[0].line, 1);
+        assert_eq!(m.fns[0].end_line, 5);
+        assert!(m.fns[0].body.len() >= 2);
+        assert_eq!(m.fns[1].name, "helper");
+        assert_eq!(m.fns[1].params, ["v"]);
+    }
+
+    #[test]
+    fn nested_fns_and_impl_methods_are_items() {
+        let src = "\
+impl Widget {
+    fn outer(&self) {
+        fn inner(q: u8) -> u8 { q }
+        let _ = inner(1);
+    }
+}
+";
+        let m = model_file("t.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        assert_eq!(m.fns[0].params, ["self"]);
+        // `inner`'s body belongs to inner, not outer.
+        let outer = &m.fns[0];
+        assert!(outer
+            .body
+            .iter()
+            .any(|s| s.toks.iter().any(|t| t.text == "inner")));
+    }
+
+    #[test]
+    fn trait_method_declarations_are_not_items() {
+        let src = "trait T { fn decl(&self) -> u8; fn with_body(&self) -> u8 { 1 } }";
+        let m = model_file("t.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_body"]);
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses_parse() {
+        let src = "\
+fn generic<T: Ord, F>(items: Vec<T>, pick: F) -> Option<T>
+where
+    F: Fn(&T) -> bool,
+{
+    items.into_iter().find(|x| pick(x))
+}
+";
+        let m = model_file("t.rs", src);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "generic");
+        assert_eq!(m.fns[0].params, ["items", "pick"]);
+    }
+
+    #[test]
+    fn use_tree_bindings() {
+        let src = "\
+use std::collections::BTreeMap;
+use std::time::{Instant, SystemTime as St};
+use crate::event::{self, Scheduler};
+";
+        let m = model_file("t.rs", src);
+        assert_eq!(
+            m.imports.get("BTreeMap").map(String::as_str),
+            Some("std::collections::BTreeMap")
+        );
+        assert_eq!(
+            m.imports.get("Instant").map(String::as_str),
+            Some("std::time::Instant")
+        );
+        assert_eq!(
+            m.imports.get("St").map(String::as_str),
+            Some("std::time::SystemTime")
+        );
+        assert_eq!(
+            m.imports.get("Scheduler").map(String::as_str),
+            Some("crate::event::Scheduler")
+        );
+        assert_eq!(
+            m.imports.get("event").map(String::as_str),
+            Some("crate::event")
+        );
+    }
+
+    #[test]
+    fn pragmas_are_recorded_with_lines() {
+        let src = "\
+fn f() {
+    // textmr-lint: allow(wall-clock-flows-to-schedule, reason = \"x\")
+    g();
+}
+";
+        let m = model_file("t.rs", src);
+        assert_eq!(
+            m.pragmas,
+            vec![("wall-clock-flows-to-schedule".to_string(), 2)]
+        );
+        assert!(m.fns[0].contains_line(2));
+    }
+
+    #[test]
+    fn test_gated_fns_are_excluded() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper_in_tests() {}
+    #[test]
+    fn a_test() {}
+}
+";
+        let m = model_file("t.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["live"]);
+    }
+
+    #[test]
+    fn truncated_input_yields_partial_model() {
+        for src in [
+            "fn broken(a: u64",
+            "fn open_body() { let x = 1;",
+            "fn a() { fn b() { ",
+            "use std::collections::{BTreeMap, ",
+            "fn g<T",
+            "impl X { fn m(&self",
+        ] {
+            let m = model_file("t.rs", src); // must not panic
+            assert!(m.fns.len() <= 2, "{src:?}");
+        }
+    }
+}

@@ -1,10 +1,13 @@
 //! The rule catalogue.
 //!
-//! Six rules, all rooted in the same invariant: a virtual-time schedule is
+//! Eight rules, all rooted in the same invariant: a virtual-time schedule is
 //! only deterministic if no nondeterministic input (host clock, hash-order
 //! iteration, silent truncation, silent wrap) can reach an output, a
-//! signature, or a scheduling decision. See DESIGN.md §3e for the rationale
-//! behind each rule and the list of annotated exceptions.
+//! signature, or a scheduling decision. The first six are token rules,
+//! enforced line by line; the last two are *flow* rules, enforced by the
+//! interprocedural taint pass in [`crate::flow`] over the workspace call
+//! graph. See DESIGN.md §3e for the rationale behind each rule and the
+//! list of annotated exceptions.
 
 /// The determinism-hygiene rules enforced by `textmr-lint`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -39,17 +42,34 @@ pub enum Rule {
     /// sort or a comparator that breaks every tie; keyless
     /// `.sort_unstable()` is exempt (equal elements are interchangeable).
     SortUnstableKeyRuns,
+    /// `wall-clock-flows-to-schedule`: interprocedural flow rule. A
+    /// nondeterministic value (host clock, env/thread-id/pointer
+    /// formatting, non-seeded RNG) reaches a scheduling-relevant sink — a
+    /// `*_ns` virtual-time accumulator, a `JobProfile`/signature input, or
+    /// a duration handed to the event-loop scheduler — through any chain
+    /// of calls. Sanitized by measured-op `Stopwatch` boundaries and by a
+    /// reasoned pragma anywhere in a function on the chain.
+    WallClockFlow,
+    /// `hash-order-flows-to-output`: interprocedural flow rule. A value
+    /// whose order derives from `HashMap`/`HashSet` iteration reaches
+    /// bytes written to job output, spill files, or traces through any
+    /// chain of calls. Sanitized by sorting (or collecting into a BTree
+    /// collection) before emission and by a reasoned pragma anywhere in a
+    /// function on the chain.
+    HashOrderFlow,
 }
 
 impl Rule {
-    /// All rules, in catalogue order.
-    pub const ALL: [Rule; 6] = [
+    /// All rules, in catalogue order (token rules first, then flow rules).
+    pub const ALL: [Rule; 8] = [
         Rule::WallClock,
         Rule::UnorderedIteration,
         Rule::LossyVirtualTimeCast,
         Rule::UncheckedVirtualAccumulator,
         Rule::MissingCrateLints,
         Rule::SortUnstableKeyRuns,
+        Rule::WallClockFlow,
+        Rule::HashOrderFlow,
     ];
 
     /// The rule's diagnostic / pragma name.
@@ -61,6 +81,8 @@ impl Rule {
             Rule::UncheckedVirtualAccumulator => "unchecked-virtual-accumulator",
             Rule::MissingCrateLints => "missing-crate-lints",
             Rule::SortUnstableKeyRuns => "sort-unstable-key-runs",
+            Rule::WallClockFlow => "wall-clock-flows-to-schedule",
+            Rule::HashOrderFlow => "hash-order-flows-to-output",
         }
     }
 
@@ -97,6 +119,16 @@ impl Rule {
                  use a stable sort, break ties in the comparator, or \
                  annotate why equal keys cannot coexist"
             }
+            Rule::WallClockFlow => {
+                "flow rule: a nondeterministic value (host clock, env, \
+                 thread id, non-seeded RNG) reaches a *_ns accumulator, \
+                 JobProfile/signature, or scheduler duration through calls"
+            }
+            Rule::HashOrderFlow => {
+                "flow rule: hash-iteration order reaches bytes written to \
+                 job output, spills, or traces through calls; sort (or \
+                 collect into a BTree) before emission"
+            }
         }
     }
 
@@ -105,6 +137,15 @@ impl Rule {
     /// them.
     pub fn file_scoped(self) -> bool {
         matches!(self, Rule::MissingCrateLints)
+    }
+
+    /// True for the interprocedural flow rules: they are enforced by the
+    /// taint pass ([`crate::flow`]), not the per-line scanner, and their
+    /// pragmas suppress every flow *through the annotated function* rather
+    /// than a single line (so the line scanner never marks them used or
+    /// unused).
+    pub fn flow_scoped(self) -> bool {
+        matches!(self, Rule::WallClockFlow | Rule::HashOrderFlow)
     }
 }
 

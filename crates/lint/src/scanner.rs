@@ -95,6 +95,12 @@ pub fn scan_file(file: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
         }
     }
     for p in &pragmas {
+        // Flow-rule pragmas are consumed by the interprocedural taint pass
+        // (they sanitize whole flows through the enclosing function), so
+        // the line scanner cannot judge them unused.
+        if p.rule.flow_scoped() {
+            continue;
+        }
         if !p.used {
             out.push(Diagnostic {
                 file: file.to_string(),
@@ -117,7 +123,9 @@ pub fn scan_file(file: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
 /// gated item (the attribute itself, any stacked attributes, and the item
 /// body through its closing brace or terminating semicolon). Comments
 /// inside the region are masked too, so pragmas in test code are inert.
-fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
+/// Shared with the item model ([`crate::model`]): functions in gated
+/// regions never enter the call graph.
+pub(crate) fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let idx: Vec<usize> = toks
         .iter()

@@ -12,6 +12,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::flow::{self, FlowFinding};
+use crate::model::{model_file, FileModel};
 use crate::scanner::{scan_file, FileClass};
 use crate::Diagnostic;
 
@@ -127,12 +129,60 @@ fn classify_src(src_root: &Path, path: &Path) -> FileClass {
 /// Scan the whole workspace: collect, read, and lint every file. I/O
 /// errors surface as `Err`; lint findings are the `Ok` payload.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    Ok(audit_workspace(root)?.into_diagnostics())
+}
+
+/// The full result of a workspace audit: the token/meta diagnostics plus
+/// the interprocedural flow findings, kept separate so the SARIF exporter
+/// can attach witness `codeFlows` to the latter.
+#[derive(Debug, Default)]
+pub struct WorkspaceAudit {
+    /// Token-rule and pragma-engine diagnostics, in scan order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Interprocedural source→sink flow findings, in (sink, rule) order.
+    pub flows: Vec<FlowFinding>,
+}
+
+impl WorkspaceAudit {
+    /// Flatten into one diagnostic list (flow findings rendered with
+    /// their chains), sorted by (file, line, rule).
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        let mut out = self.diagnostics;
+        out.extend(self.flows.iter().map(FlowFinding::diagnostic));
+        out.sort();
+        out
+    }
+
+    /// Baseline keys (`file:line:rule`) of every finding.
+    pub fn baseline_keys(&self) -> std::collections::BTreeSet<String> {
+        let mut keys: std::collections::BTreeSet<String> = self
+            .diagnostics
+            .iter()
+            .map(crate::sarif::baseline_key)
+            .collect();
+        keys.extend(self.flows.iter().map(FlowFinding::baseline_key));
+        keys
+    }
+}
+
+/// Run the complete audit: the per-file token scan over every collected
+/// file, then the interprocedural flow pass over the *production* files
+/// only (harness code may use wall clocks and hash maps freely — the
+/// same exemption the token rules grant).
+pub fn audit_workspace(root: &Path) -> io::Result<WorkspaceAudit> {
+    let mut audit = WorkspaceAudit::default();
+    let mut models: Vec<FileModel> = Vec::new();
     for file in collect(root)? {
         let src = fs::read_to_string(&file.path)?;
-        out.extend(scan_file(&file.rel, &src, file.class));
+        audit
+            .diagnostics
+            .extend(scan_file(&file.rel, &src, file.class));
+        if file.class != FileClass::TestCode {
+            models.push(model_file(&file.rel, &src));
+        }
     }
-    Ok(out)
+    audit.flows = flow::analyze(&models);
+    Ok(audit)
 }
 
 #[cfg(test)]

@@ -1,0 +1,15 @@
+//! Seeded violation: a wall-clock read crosses two calls before landing
+//! in a virtual-time accumulator. The flow pass must report the exact
+//! chain `read_clock → relay → consume`.
+
+fn read_clock() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+fn relay() -> u64 {
+    read_clock() + 1
+}
+
+fn consume(profile: &mut Profile) {
+    profile.total_ns = relay();
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: hash-iteration order reaches output bytes with no
+//! sort in between — `hash-order-flows-to-output` must fire with the
+//! chain `collect_counts → dump`.
+
+fn collect_counts(m: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    m.iter().map(|(k, c)| (*k, *c)).collect()
+}
+
+fn dump(w: &mut Writer, m: &HashMap<u64, u64>) {
+    for e in collect_counts(m) {
+        w.write_all(&e.0.to_le_bytes());
+    }
+}

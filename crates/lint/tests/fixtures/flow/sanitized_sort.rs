@@ -1,0 +1,15 @@
+//! Clean fixture: hash iteration exists, but the collecting function
+//! sorts before anything is emitted — the sort sanitizes the HashOrder
+//! taint, so no flow survives to the writer.
+
+fn collect_counts(m: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = m.iter().map(|(k, c)| (*k, *c)).collect();
+    v.sort_by_key(|e| e.0);
+    v
+}
+
+fn dump(w: &mut Writer, m: &HashMap<u64, u64>) {
+    for e in collect_counts(m) {
+        w.write_all(&e.0.to_le_bytes());
+    }
+}

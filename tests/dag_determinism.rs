@@ -395,3 +395,113 @@ fn chained_dag_outputs_and_signatures_survive_the_sweep() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// 5. Streamed DAG trace export == batch export, byte for byte
+// ---------------------------------------------------------------------------
+
+/// The `--smoke` PageRank graph from the dag bench: a ring plus a second
+/// irregular out-link, so the uniform start vector is not stationary and
+/// tolerance 0 forces exactly `max_rounds` rounds.
+fn pagerank_graph(pages: u64) -> Vec<u8> {
+    let mut buf = String::new();
+    let init = 1.0 / pages as f64;
+    for p in 0..pages {
+        let a = (p + 1) % pages;
+        let b = (3 * p + 1) % pages;
+        if a == b || p % 3 == 0 {
+            buf.push_str(&format!("{p}|{init}|{a}\n"));
+        } else {
+            buf.push_str(&format!("{p}|{init}|{a},{b}\n"));
+        }
+    }
+    buf.into_bytes()
+}
+
+/// `JobConfig::trace_stream` through the `DagExecutor`: the 3-round
+/// PageRank trace streamed to disk round by round must equal the batch
+/// `to_chrome_json()` byte for byte. Two *runs* cannot be diffed (virtual
+/// durations come from measured real work), so the byte comparison pivots
+/// on one run's entries pushed through the streaming writer with the
+/// DAG-assembled edges; a second, fully streamed run then pins the
+/// structural and data-level invariants end to end.
+#[test]
+fn streamed_dag_trace_export_matches_batch_bytes() {
+    use textmr_apps::pagerank_to_convergence;
+    use textmr_engine::trace::stream::TraceStreamWriter;
+
+    let root = temp_root("stream");
+    let pages = 24u64;
+    let mut dfs = SimDfs::new(6, 256);
+    dfs.put("graph", pagerank_graph(pages));
+    let cluster = cluster(&root, 1, 2);
+    let cfg = JobConfig::default().with_reducers(4).with_trace();
+
+    // Batch run: three rounds, whole-DAG trace in memory.
+    let batch = pagerank_to_convergence(&cluster, &cfg, &dfs, "graph", pages, 0, 3).unwrap();
+    assert_eq!(batch.run.profile.num_rounds(), 3);
+    let trace = batch.run.trace.as_ref().expect("trace requested");
+    trace.check().unwrap();
+
+    // Byte parity: this run's entries (per-round lanes, cross-round
+    // hand-off edges and all) through the streaming writer must
+    // reproduce the batch string exactly.
+    let parity = root.join("parity.json");
+    let mut w = TraceStreamWriter::create(
+        parity.clone(),
+        trace.nodes,
+        trace.map_slots,
+        trace.reduce_slots,
+        trace.fetchers,
+    )
+    .unwrap();
+    for e in &trace.entries {
+        w.push_entry(e).unwrap();
+    }
+    w.finish(trace.wall, &trace.edges).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&parity).unwrap(),
+        trace.to_chrome_json(),
+        "streamed DAG export diverged from the batch bytes"
+    );
+
+    // End-to-end stream mode: the executor spools entries to disk as each
+    // round retires, keeps no JobTrace, and the same ranks come out. The
+    // file validates as Chrome-trace JSON and imports back into a trace
+    // that passes the structural checks with all three rounds present.
+    let path = root.join("streamed.json");
+    let streamed = pagerank_to_convergence(
+        &cluster,
+        &cfg.clone().with_trace_stream(path.clone()),
+        &dfs,
+        "graph",
+        pages,
+        0,
+        3,
+    )
+    .unwrap();
+    assert!(
+        streamed.run.trace.is_none(),
+        "stream mode keeps no JobTrace"
+    );
+    assert_eq!(streamed.rounds, 3);
+    assert_eq!(batch.run.sorted_pairs(), streamed.run.sorted_pairs());
+    assert_eq!(
+        batch.run.profile.signature(),
+        streamed.run.profile.signature()
+    );
+    let file = std::fs::read_to_string(&path).unwrap();
+    textmr_engine::trace::validate_chrome_trace(&file).unwrap();
+    let imported = JobTrace::from_chrome_json(&file).unwrap();
+    imported.check().unwrap();
+    assert_eq!(
+        (0..3)
+            .map(|r| imported.entries.iter().filter(|e| e.round == r).count())
+            .collect::<Vec<_>>(),
+        (0..3)
+            .map(|r| trace.entries.iter().filter(|e| e.round == r).count())
+            .collect::<Vec<_>>(),
+        "streamed file lost a round's entries"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
